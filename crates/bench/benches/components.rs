@@ -1,0 +1,118 @@
+//! Criterion benchmarks for the extension components: approximate join,
+//! tree diff, streaming XML indexing, and the blob store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pqgram_core::join::{join, join_nested_loop};
+use pqgram_core::{build_index, ForestIndex, PQParams, TreeId};
+use pqgram_tree::generate::{dblp, random_tree, RandomTreeConfig};
+use pqgram_tree::{record_script, LabelTable, ScriptConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let params = PQParams::new(2, 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut labels = LabelTable::new();
+    let mut left = ForestIndex::new();
+    let mut right = ForestIndex::new();
+    for i in 0..150u64 {
+        let t = random_tree(&mut rng, &mut labels, &RandomTreeConfig::new(60, 8));
+        left.insert(TreeId(i), build_index(&t, &labels, params));
+        let mut noisy = t.clone();
+        let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+        record_script(&mut rng, &mut noisy, &ScriptConfig::new(3, alphabet));
+        right.insert(TreeId(1000 + i), build_index(&noisy, &labels, params));
+    }
+    let mut group = c.benchmark_group("approximate_join_150x150");
+    group.sample_size(20);
+    group.bench_function("inverted_index", |b| {
+        b.iter(|| join(black_box(&left), black_box(&right), 0.4))
+    });
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| join_nested_loop(black_box(&left), black_box(&right), 0.4))
+    });
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut labels = LabelTable::new();
+    let base = dblp(&mut rng, &mut labels, 20_000);
+    let mut edited = base.clone();
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    record_script(&mut rng, &mut edited, &ScriptConfig::new(50, alphabet));
+    let edited_labels = labels.clone();
+    let mut group = c.benchmark_group("tree_diff_20k_nodes_50_edits");
+    group.sample_size(20);
+    group.bench_function("sync", |b| {
+        b.iter(|| {
+            let mut old = base.clone();
+            let mut lt = labels.clone();
+            pqgram_diff::sync(&mut old, &mut lt, &edited, &edited_labels).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stream_vs_dom(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut labels = LabelTable::new();
+    let tree = dblp(&mut rng, &mut labels, 20_000);
+    let xml = pqgram_xml::write_document(&tree, &labels, &pqgram_xml::WriteOptions::default());
+    let params = PQParams::default();
+    let mut group = c.benchmark_group("xml_indexing_20k_nodes");
+    group.throughput(criterion::Throughput::Bytes(xml.len() as u64));
+    group.bench_function("stream_index", |b| {
+        b.iter(|| {
+            pqgram_xml::stream_index(
+                black_box(&xml),
+                params,
+                &pqgram_xml::ParseOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("parse_then_build", |b| {
+        b.iter(|| {
+            let mut lt = LabelTable::new();
+            let t = pqgram_xml::parse_document(black_box(&xml), &mut lt).unwrap();
+            build_index(&t, &lt, params)
+        })
+    });
+    group.finish();
+}
+
+fn bench_blob_store(c: &mut Criterion) {
+    use pqgram_store::blob::BlobStore;
+    use pqgram_store::buffer::BufferPool;
+    use pqgram_store::Pager;
+    let dir = std::env::temp_dir().join(format!("pqgram-bench-blob-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blobs.db");
+    std::fs::remove_file(&path).ok();
+    let pool = BufferPool::new(Pager::create(&path).unwrap(), 1024);
+    let blobs = BlobStore::open(&pool, 1).unwrap();
+    let payload = vec![0x5au8; 64 * 1024];
+    let mut key = 0u64;
+    let mut group = c.benchmark_group("blob_store_64KiB");
+    group.throughput(criterion::Throughput::Bytes(payload.len() as u64));
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            key += 1;
+            blobs.put(key % 64, black_box(&payload)).unwrap()
+        })
+    });
+    group.bench_function("get", |b| b.iter(|| blobs.get(black_box(1)).unwrap()));
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_diff,
+    bench_stream_vs_dom,
+    bench_blob_store
+);
+criterion_main!(benches);

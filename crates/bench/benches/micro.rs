@@ -1,0 +1,191 @@
+//! Criterion micro-benchmarks backing the paper's complexity claims
+//! (Section 8.2: the delta and profile-update functions are near-constant
+//! per edit operation; the overall update is `O(|L|(log|T| + log|L|))`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqgram_core::delta::accumulate_delta;
+use pqgram_core::maintain::update_index;
+use pqgram_core::table::DeltaTables;
+use pqgram_core::update::apply_update;
+use pqgram_core::{build_index, pq_distance, PQParams};
+use pqgram_store::{BTree, Pager};
+use pqgram_tree::generate::{dblp, xmark};
+use pqgram_tree::{record_script, EditOp, LabelTable, LogOp, ScriptConfig, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tree_of(nodes: usize, labels: &mut LabelTable, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    xmark(&mut rng, labels, nodes)
+}
+
+/// Profile/index construction cost — the dominant cost of lookups without a
+/// precomputed index (Figure 13, left).
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    for nodes in [1_000usize, 10_000, 100_000] {
+        let mut labels = LabelTable::new();
+        let tree = tree_of(nodes, &mut labels, 1);
+        group.throughput(criterion::Throughput::Elements(tree.node_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &tree, |b, tree| {
+            b.iter(|| build_index(black_box(tree), &labels, PQParams::default()))
+        });
+    }
+    group.finish();
+}
+
+/// The delta function δ(Tₙ, ē) per operation kind, on a 100k-node tree —
+/// near-constant regardless of tree size (Section 8.2).
+fn bench_delta_fn(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let mut tree = tree_of(100_000, &mut labels, 2);
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(300, alphabet));
+    let params = PQParams::default();
+
+    let of_kind = |pat: fn(&EditOp) -> bool| -> Vec<LogOp> {
+        log.ops().iter().filter(|e| pat(&e.op)).cloned().collect()
+    };
+    let cases = [
+        ("rename", of_kind(|o| matches!(o, EditOp::Rename { .. }))),
+        ("delete", of_kind(|o| matches!(o, EditOp::Delete { .. }))),
+        ("insert", of_kind(|o| matches!(o, EditOp::Insert { .. }))),
+    ];
+    let mut group = c.benchmark_group("delta_fn_100k_tree");
+    for (name, entries) in cases {
+        if entries.is_empty() {
+            continue;
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tables = DeltaTables::new();
+                for entry in &entries {
+                    accumulate_delta(&mut tables, black_box(&tree), entry, params).unwrap();
+                }
+                tables
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The profile update function U per log entry (rewind step).
+fn bench_update_fn(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let mut tree = tree_of(50_000, &mut labels, 4);
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(200, alphabet));
+    let params = PQParams::default();
+    let mut seeded = DeltaTables::new();
+    for entry in log.ops() {
+        accumulate_delta(&mut seeded, &tree, entry, params).unwrap();
+    }
+    c.bench_function("update_fn_rewind_200_ops", |b| {
+        b.iter(|| {
+            let mut tables = seeded.clone();
+            for entry in log.ops().iter().rev() {
+                apply_update(&mut tables, entry.op, params).unwrap();
+            }
+            tables
+        })
+    });
+}
+
+/// End-to-end incremental update vs full rebuild (Figure 13, right, as a
+/// microbenchmark).
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let mut tree = tree_of(100_000, &mut labels, 6);
+    let old = build_index(&tree, &labels, PQParams::default());
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(100, alphabet));
+
+    let mut group = c.benchmark_group("maintenance_100k_tree_100_edits");
+    group.sample_size(20);
+    group.bench_function("incremental_update", |b| {
+        b.iter(|| update_index(black_box(&old), &tree, &labels, &log).unwrap())
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| build_index(black_box(&tree), &labels, PQParams::default()))
+    });
+    group.finish();
+}
+
+/// pq-gram distance between two indexed documents.
+fn bench_distance(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = dblp(&mut rng, &mut labels, 50_000);
+    let b = dblp(&mut rng, &mut labels, 50_000);
+    let (ia, ib) = (
+        build_index(&a, &labels, PQParams::default()),
+        build_index(&b, &labels, PQParams::default()),
+    );
+    c.bench_function("pq_distance_50k_vs_50k", |bch| {
+        bch.iter(|| pq_distance(black_box(&ia), black_box(&ib)))
+    });
+}
+
+/// B+-tree point operations (the index store's inner loop).
+fn bench_btree(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("pqgram-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.db");
+    std::fs::remove_file(&path).ok();
+    let pool = pqgram_store::buffer::BufferPool::new(Pager::create(&path).unwrap(), 2048);
+    let tree = BTree::open(&pool, 0).unwrap();
+    for g in 0..100_000u64 {
+        tree.insert((g % 16, g.wrapping_mul(0x9e37_79b9)), 1)
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("btree_100k_entries");
+    let mut i = 0u64;
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tree.get(((i % 16), (i % 100_000).wrapping_mul(0x9e37_79b9)))
+                .unwrap()
+        })
+    });
+    group.bench_function("insert_overwrite", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tree.insert(((i % 16), (i % 100_000).wrapping_mul(0x9e37_79b9)), 2)
+                .unwrap()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// XML parsing throughput.
+fn bench_xml(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let tree = tree_of(20_000, &mut labels, 9);
+    let xml = pqgram_xml::write_document(&tree, &labels, &pqgram_xml::WriteOptions::default());
+    let mut group = c.benchmark_group("xml_parse");
+    group.throughput(criterion::Throughput::Bytes(xml.len() as u64));
+    group.bench_function("20k_node_document", |b| {
+        b.iter(|| {
+            let mut lt = LabelTable::new();
+            pqgram_xml::parse_document(black_box(&xml), &mut lt).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_delta_fn,
+    bench_update_fn,
+    bench_incremental_vs_rebuild,
+    bench_distance,
+    bench_btree,
+    bench_xml
+);
+criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! Ablation studies for the design choices called out in `DESIGN.md`:
+//! the `p, q` parameters, the structure-sharing `(P, Q)` delta tables, the
+//! buffer-pool capacity, and the log preprocessing of Section 10.
+
+use crate::datasets::{dblp_tree, xmark_tree};
+use crate::report::Table;
+use pqgram_core::delta::accumulate_delta;
+use pqgram_core::table::DeltaTables;
+use pqgram_core::{build_index, pq_distance, PQParams, TreeId};
+use pqgram_store::buffer::BufferPool;
+use pqgram_store::{IndexStore, Pager};
+use pqgram_ted::tree_edit_distance;
+use pqgram_tree::{optimize_log, record_script, LabelTable, ScriptConfig, ScriptMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// **Ablation: the p,q parameters.** Index size, build time, incremental
+/// update time and ranking quality (Kendall τ against the exact tree edit
+/// distance) for a sweep of pq-gram shapes.
+pub fn ablation_pq(nodes: usize) -> Table {
+    let mut table = Table::new(
+        "Ablation: p,q sweep",
+        &[
+            "p,q",
+            "index_KB",
+            "distinct",
+            "build_ms",
+            "update50_ms",
+            "kendall_tau_vs_ted",
+        ],
+    );
+    // Quality pool: variants of one base tree at growing edit distances.
+    let mut lt_quality = LabelTable::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    let base = pqgram_tree::generate::random_tree(
+        &mut rng,
+        &mut lt_quality,
+        &pqgram_tree::generate::RandomTreeConfig::new(70, 5),
+    );
+    let alphabet_quality: Vec<_> = lt_quality.iter().map(|(s, _)| s).collect();
+    let variants: Vec<(pqgram_tree::Tree, f64)> = (0..20usize)
+        .map(|edits| {
+            let mut t = base.clone();
+            let mut cfg = ScriptConfig::new(edits, alphabet_quality.clone());
+            cfg.max_adopted = 0;
+            record_script(&mut rng, &mut t, &cfg);
+            let ted = tree_edit_distance(&base, &t) as f64;
+            (t, ted)
+        })
+        .collect();
+
+    for (p, q) in [(1usize, 2usize), (2, 2), (2, 3), (3, 3), (4, 4)] {
+        let params = PQParams::new(p, q);
+        let mut labels = LabelTable::new();
+        let mut tree = xmark_tree(900, &mut labels, nodes);
+
+        let t = Instant::now();
+        let index = build_index(&tree, &labels, params);
+        let build = t.elapsed();
+
+        let old = index.clone();
+        let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let (log, _) = record_script(&mut rng2, &mut tree, &ScriptConfig::new(50, alphabet));
+        let t = Instant::now();
+        pqgram_core::maintain::update_index(&old, &tree, &labels, &log).expect("consistent");
+        let update = t.elapsed();
+
+        // Ranking quality.
+        let base_idx = build_index(&base, &lt_quality, params);
+        let pairs: Vec<(f64, f64)> = variants
+            .iter()
+            .map(|(t, ted)| {
+                (
+                    pq_distance(&base_idx, &build_index(t, &lt_quality, params)),
+                    *ted,
+                )
+            })
+            .collect();
+        let (mut conc, mut disc) = (0i64, 0i64);
+        for i in 0..pairs.len() {
+            for j in i + 1..pairs.len() {
+                let d = (pairs[i].0 - pairs[j].0) * (pairs[i].1 - pairs[j].1);
+                if d > 0.0 {
+                    conc += 1;
+                } else if d < 0.0 {
+                    disc += 1;
+                }
+            }
+        }
+        let tau = (conc - disc) as f64 / (conc + disc).max(1) as f64;
+
+        table.row(vec![
+            format!("{p},{q}"),
+            format!("{:.1}", index.encoded_size() as f64 / 1024.0),
+            index.distinct().to_string(),
+            format!("{:.3}", build.as_secs_f64() * 1e3),
+            format!("{:.3}", update.as_secs_f64() * 1e3),
+            format!("{tau:.3}"),
+        ]);
+    }
+    table
+}
+
+/// **Ablation: structure sharing in the (P,Q) tables** (Section 8.1). How
+/// many pq-grams the delta tables hold vs. how many p-part / q-row entries
+/// they store — the saving over materializing each gram individually.
+pub fn ablation_sharing(nodes: usize) -> Table {
+    let params = PQParams::default();
+    let mut table = Table::new(
+        "Ablation: (P,Q) table structure sharing (3,3-grams)",
+        &[
+            "edits",
+            "grams",
+            "p_parts",
+            "q_rows",
+            "tuple_entries_naive",
+            "entries_shared",
+            "saving",
+        ],
+    );
+    let mut labels = LabelTable::new();
+    let base = dblp_tree(901, &mut labels, nodes);
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    for edits in [10usize, 100, 1000] {
+        let mut rng = StdRng::seed_from_u64(edits as u64);
+        let mut tree = base.clone();
+        let (log, _) = record_script(
+            &mut rng,
+            &mut tree,
+            &ScriptConfig::new(edits, alphabet.clone()),
+        );
+        let mut tables = DeltaTables::new();
+        for entry in log.ops() {
+            accumulate_delta(&mut tables, &tree, entry, params).expect("consistent");
+        }
+        let grams = tables.q_len();
+        let p_parts = tables.p_len();
+        // Naive: every gram stored as its own (p+q)-label tuple.
+        let naive = grams * params.len();
+        // Shared: one p-part (p labels) per anchor + one q-row (q labels)
+        // per gram.
+        let shared = p_parts * params.p() + grams * params.q();
+        table.row(vec![
+            edits.to_string(),
+            grams.to_string(),
+            p_parts.to_string(),
+            grams.to_string(),
+            naive.to_string(),
+            shared.to_string(),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - shared as f64 / naive.max(1) as f64)
+            ),
+        ]);
+    }
+    table
+}
+
+/// **Ablation: buffer pool capacity.** Time to bulk-load and range-scan a
+/// persistent index as the pool shrinks below the working set.
+pub fn ablation_pool(nodes: usize) -> Table {
+    let params = PQParams::default();
+    let mut labels = LabelTable::new();
+    let tree = dblp_tree(902, &mut labels, nodes);
+    let index = build_index(&tree, &labels, params);
+    let mut table = Table::new(
+        "Ablation: buffer pool capacity (bulk load + full scan)",
+        &["pool_pages", "pool_MB", "load_ms", "scan_ms"],
+    );
+    let dir = std::env::temp_dir().join(format!("pqgram-ablation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    for capacity in [16usize, 64, 256, 1024, 4096] {
+        let path = dir.join(format!("pool-{capacity}.db"));
+        std::fs::remove_file(&path).ok();
+        let pool = BufferPool::new(Pager::create(&path).expect("create"), capacity);
+        let btree = pqgram_store::BTree::open(&pool, 0).expect("open");
+        let t = Instant::now();
+        for (gram, count) in index.iter() {
+            btree.insert((1, gram), count).expect("insert");
+        }
+        pool.flush().expect("flush");
+        let load = t.elapsed();
+        let t = Instant::now();
+        let mut rows = 0u64;
+        btree
+            .for_each_range((0, 0), (u64::MAX, u64::MAX), |_, _| {
+                rows += 1;
+                true
+            })
+            .expect("scan");
+        let scan = t.elapsed();
+        assert_eq!(rows as usize, index.distinct());
+        table.row(vec![
+            capacity.to_string(),
+            format!("{:.1}", capacity as f64 * 4096.0 / (1024.0 * 1024.0)),
+            format!("{:.3}", load.as_secs_f64() * 1e3),
+            format!("{:.3}", scan.as_secs_f64() * 1e3),
+        ]);
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    table
+}
+
+/// **Ablation: log preprocessing** (Section 10 future work). Update time
+/// with the raw log vs. the optimized log on churn-heavy edit sequences.
+pub fn ablation_logopt(nodes: usize) -> Table {
+    let params = PQParams::default();
+    let mut table = Table::new(
+        "Ablation: log preprocessing (churn-heavy scripts)",
+        &[
+            "edits_raw",
+            "edits_optimized",
+            "raw_update_ms",
+            "optimized_update_ms",
+        ],
+    );
+    let mut labels = LabelTable::new();
+    let base = xmark_tree(903, &mut labels, nodes);
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    for edits in [100usize, 500, 2000] {
+        let mut rng = StdRng::seed_from_u64(edits as u64);
+        let mut tree = base.clone();
+        let old = build_index(&tree, &labels, params);
+        // Realistic churn: half the edits are random, half are transient —
+        // insert-then-delete of scratch nodes and rename flip-flops of hot
+        // nodes (save/undo cycles), which the optimizer can eliminate.
+        let mut cfg = ScriptConfig::new(edits / 2, alphabet.clone());
+        cfg.mix = ScriptMix {
+            insert: 2,
+            delete: 2,
+            rename: 3,
+        };
+        let (mut log, _) = record_script(&mut rng, &mut tree, &cfg);
+        let scratch_label = alphabet[0];
+        use rand::seq::IndexedRandom;
+        let live: Vec<_> = tree.preorder(tree.root()).collect();
+        for i in 0..edits / 4 {
+            // Transient node: INS then immediate DEL.
+            let &parent = live.choose(&mut rng).expect("non-empty");
+            let node = tree.next_node_id();
+            let k = rng.random_range(1..=tree.fanout(parent) + 1);
+            log.push(
+                tree.apply_logged(pqgram_tree::EditOp::Insert {
+                    node,
+                    label: scratch_label,
+                    parent,
+                    k,
+                    m: k - 1,
+                })
+                .expect("valid"),
+            );
+            log.push(
+                tree.apply_logged(pqgram_tree::EditOp::Delete { node })
+                    .expect("valid"),
+            );
+            // Rename flip-flop on a hot node.
+            let &hot = live.choose(&mut rng).expect("non-empty");
+            if hot != tree.root() {
+                let original = tree.label(hot);
+                let other = alphabet[1 + i % (alphabet.len() - 1)];
+                if other != original {
+                    log.push(
+                        tree.apply_logged(pqgram_tree::EditOp::Rename {
+                            node: hot,
+                            label: other,
+                        })
+                        .expect("valid"),
+                    );
+                    log.push(
+                        tree.apply_logged(pqgram_tree::EditOp::Rename {
+                            node: hot,
+                            label: original,
+                        })
+                        .expect("valid"),
+                    );
+                }
+            }
+        }
+        let (optimized, _) = optimize_log(&tree, &log);
+
+        let t = Instant::now();
+        let a = pqgram_core::maintain::update_index(&old, &tree, &labels, &log).expect("raw");
+        let raw_ms = t.elapsed();
+        let t = Instant::now();
+        let b = pqgram_core::maintain::update_index(&old, &tree, &labels, &optimized)
+            .expect("optimized");
+        let opt_ms = t.elapsed();
+        assert_eq!(a.index, b.index, "optimization must not change the result");
+        table.row(vec![
+            log.len().to_string(),
+            optimized.len().to_string(),
+            format!("{:.3}", raw_ms.as_secs_f64() * 1e3),
+            format!("{:.3}", opt_ms.as_secs_f64() * 1e3),
+        ]);
+    }
+    table
+}
+
+/// Smoke-level store ablation helper (used by tests): verify a round trip
+/// through `IndexStore` at a tiny scale.
+pub fn sanity_store_roundtrip() -> bool {
+    let params = PQParams::default();
+    let mut labels = LabelTable::new();
+    let tree = dblp_tree(904, &mut labels, 500);
+    let index = build_index(&tree, &labels, params);
+    let dir = std::env::temp_dir().join(format!("pqgram-ablation-sanity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("sanity.pqg");
+    std::fs::remove_file(&path).ok();
+    let mut store = IndexStore::create(&path, params).expect("create");
+    store.put_tree(TreeId(0), &index).expect("put");
+    let ok = store.tree_index(TreeId(0)).expect("get").expect("present") == index;
+    std::fs::remove_dir_all(&dir).ok();
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_smoke() {
+        assert!(ablation_pq(800).render().contains("3,3"));
+        assert!(ablation_sharing(2_000).render().contains("saving"));
+        assert!(ablation_pool(2_000).render().contains("pool_pages"));
+        assert!(ablation_logopt(1_500).render().contains("edits_raw"));
+        assert!(sanity_store_roundtrip());
+    }
+}

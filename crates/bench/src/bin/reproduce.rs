@@ -1,0 +1,103 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p pqgram-bench --bin reproduce -- all
+//! cargo run --release -p pqgram-bench --bin reproduce -- --full fig14-dblp
+//! ```
+//!
+//! Subcommands: `fig13-lookup`, `fig13-update`, `fig14-size`, `fig14-dblp`,
+//! `table2`, `all`. `--full` uses the larger scale (minutes instead of
+//! seconds). CSVs are written to `bench_results/`.
+
+use pqgram_bench::experiments::{self, Scale};
+use pqgram_bench::report::Table;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let out_dir = PathBuf::from("bench_results");
+    let work_dir = std::env::temp_dir().join(format!("pqgram-reproduce-{}", std::process::id()));
+    std::fs::create_dir_all(&work_dir).expect("work dir");
+
+    let run = |name: &str| what.contains(&"all") || what.contains(&name);
+    let mut ran_any = false;
+    let emit = |slug: &str, table: Table| {
+        print!("{}", table.render());
+        match table.write_csv(&out_dir, slug) {
+            Ok(path) => println!("   -> {}", path.display()),
+            Err(e) => eprintln!("   (csv not written: {e})"),
+        }
+    };
+
+    println!(
+        "pq-gram index experiment reproduction ({} scale)",
+        if full { "full" } else { "quick" }
+    );
+
+    if run("fig13-lookup") {
+        emit("fig13_lookup", experiments::fig13_lookup(&scale));
+        ran_any = true;
+    }
+    if run("fig13-update") {
+        emit("fig13_update", experiments::fig13_update(&scale));
+        ran_any = true;
+    }
+    if run("fig14-size") {
+        emit("fig14_size", experiments::fig14_size(&scale));
+        ran_any = true;
+    }
+    if run("fig14-dblp") {
+        emit("fig14_dblp", experiments::fig14_dblp(&scale));
+        ran_any = true;
+    }
+    if run("table2") {
+        emit("table2", experiments::table2(&scale, &work_dir));
+        ran_any = true;
+    }
+    if run("quality") {
+        emit(
+            "quality",
+            experiments::quality(if full { 400 } else { 150 }),
+        );
+        ran_any = true;
+    }
+    let abl_nodes = if full { 100_000 } else { 20_000 };
+    if run("ablations") {
+        emit(
+            "ablation_pq",
+            pqgram_bench::ablations::ablation_pq(abl_nodes),
+        );
+        emit(
+            "ablation_sharing",
+            pqgram_bench::ablations::ablation_sharing(abl_nodes),
+        );
+        emit(
+            "ablation_pool",
+            pqgram_bench::ablations::ablation_pool(abl_nodes),
+        );
+        emit(
+            "ablation_logopt",
+            pqgram_bench::ablations::ablation_logopt(abl_nodes),
+        );
+        ran_any = true;
+    }
+    std::fs::remove_dir_all(&work_dir).ok();
+
+    if !ran_any {
+        eprintln!(
+            "unknown experiment {:?}; use fig13-lookup | fig13-update | fig14-size | \
+             fig14-dblp | table2 | quality | ablations | all",
+            what
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dataset construction for the experiments.
+
+use pqgram_tree::generate::{dblp, xmark};
+use pqgram_tree::{LabelTable, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An XMark-shaped document of roughly `nodes` nodes.
+pub fn xmark_tree(seed: u64, labels: &mut LabelTable, nodes: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    xmark(&mut rng, labels, nodes)
+}
+
+/// A DBLP-shaped document of roughly `nodes` nodes.
+pub fn dblp_tree(seed: u64, labels: &mut LabelTable, nodes: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dblp(&mut rng, labels, nodes)
+}
+
+/// A collection of `count` XMark documents totalling roughly `total_nodes`
+/// nodes — the forests of the lookup experiment (Figure 13, left).
+pub fn xmark_collection(
+    seed: u64,
+    labels: &mut LabelTable,
+    count: usize,
+    total_nodes: usize,
+) -> Vec<Tree> {
+    let per_tree = (total_nodes / count).max(16);
+    (0..count)
+        .map(|i| xmark_tree(seed.wrapping_add(i as u64), labels, per_tree))
+        .collect()
+}

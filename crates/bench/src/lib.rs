@@ -1,0 +1,13 @@
+//! Shared harness for the experiment reproduction (`reproduce` binary) and
+//! the Criterion micro-benchmarks.
+//!
+//! The paper's evaluation (Section 9) consists of two figures with two
+//! panels each and one table; [`experiments`] regenerates all of them at
+//! laptop scale (the substitutions are documented in `DESIGN.md`). Results
+//! are printed as aligned tables and written as CSV next to the workspace
+//! root so `EXPERIMENTS.md` can reference them.
+
+pub mod ablations;
+pub mod datasets;
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,103 @@
+//! Table printing and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned results table that doubles as a CSV writer.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table for the terminal.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.header, &widths, &mut out);
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV into `dir/<slug>.csv`, returning the path.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join(format!("pqgram-report-{}", std::process::id()));
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tiny dependency-free argument parser: positionals plus `--key value` /
+//! `--flag` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments and named options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option names that take a value (everything else passed as `--x` is a
+/// boolean flag).
+const VALUED: &[&str] = &[
+    "p", "q", "tau", "top", "nodes", "seed", "out", "limit", "edits", "id",
+];
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("option --{name} requires a value"))?;
+                    args.options.insert(name.to_string(), value);
+                } else {
+                    args.flags.push(name.to_string());
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument, or an error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}>"))
+    }
+
+    /// All positional arguments from index `i` on.
+    pub fn rest(&self, i: usize) -> &[String] {
+        self.positional.get(i..).unwrap_or(&[])
+    }
+
+    /// An optional `--key value` parsed into `T`.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    /// `--key value` with a default.
+    pub fn opt_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        Ok(self.opt(name)?.unwrap_or(default))
+    }
+
+    /// True if `--name` was passed as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["store.pqg", "--p", "2", "--tau", "0.5", "doc.xml", "--ted"]);
+        assert_eq!(a.positional(0, "store").unwrap(), "store.pqg");
+        assert_eq!(a.positional(1, "doc").unwrap(), "doc.xml");
+        assert_eq!(a.opt::<usize>("p").unwrap(), Some(2));
+        assert_eq!(a.opt_or::<f64>("tau", 1.0).unwrap(), 0.5);
+        assert_eq!(a.opt_or::<usize>("q", 3).unwrap(), 3);
+        assert!(a.flag("ted"));
+        assert!(!a.flag("json"));
+    }
+
+    #[test]
+    fn missing_positional_is_an_error() {
+        let a = parse(&[]);
+        assert!(a.positional(0, "store").unwrap_err().contains("store"));
+    }
+
+    #[test]
+    fn valued_option_requires_value() {
+        let err = Args::parse(["--p".to_string()]).unwrap_err();
+        assert!(err.contains("--p"));
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse(&["--p", "abc"]);
+        assert!(a.opt::<usize>("p").unwrap_err().contains("abc"));
+    }
+
+    #[test]
+    fn rest_collects_tail() {
+        let a = parse(&["cmd", "a.xml", "b.xml", "c.xml"]);
+        assert_eq!(a.rest(1).len(), 3);
+        assert!(a.rest(9).is_empty());
+    }
+}

@@ -1,0 +1,540 @@
+//! `pqgram` — command-line interface to the pq-gram index.
+//!
+//! ```text
+//! pqgram create  <store.pqg> [--p 3 --q 3]
+//! pqgram add     <store.pqg> --id <n> <doc.xml>...
+//! pqgram remove  <store.pqg> --id <n>
+//! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top 10]
+//! pqgram stats   <store.pqg>
+//! pqgram dist    <a.xml> <b.xml> [--p 3 --q 3] [--ted]
+//! pqgram grams   <doc.xml> [--p 3 --q 3] [--limit 20]
+//! pqgram gen     <xmark|dblp|random> [--nodes 10000] [--seed 1] [--out file.xml]
+//!
+//! # document store (documents + index, synced via tree diff)
+//! pqgram init    <store.docs> [--p 3 --q 3]
+//! pqgram put     <store.docs> --id <n> <doc.xml>
+//! pqgram syncdoc <store.docs> --id <n> <new.xml>
+//! pqgram get     <store.docs> --id <n> [--out file.xml]
+//! pqgram find    <store.docs> <query.xml> [--tau 0.6] [--top 10]
+//! pqgram diff    <a.xml> <b.xml>
+//! ```
+
+mod args;
+
+use args::Args;
+use pqgram_core::{build_index, pq_distance, PQParams, TreeId};
+use pqgram_store::document::{DocumentStore, SyncOutcome};
+use pqgram_store::IndexStore;
+use pqgram_tree::generate::{dblp, random_tree, xmark, RandomTreeConfig};
+use pqgram_tree::{LabelTable, Tree};
+use pqgram_xml::{parse_document, write_document, WriteOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pqgram — incrementally maintainable pq-gram index (VLDB 2006)
+
+USAGE:
+  pqgram create  <store.pqg> [--p 3 --q 3]        create an index store
+  pqgram add     <store.pqg> --id <n> <doc.xml>…  index XML document(s)
+  pqgram remove  <store.pqg> --id <n>             drop a document's index
+  pqgram lookup  <store.pqg> <query.xml>          approximate lookup
+                 [--tau 0.6] [--top 10]
+  pqgram stats   <store.pqg>                      store statistics
+  pqgram dist    <a.xml> <b.xml> [--p --q] [--ted]  pairwise distance
+  pqgram grams   <doc.xml> [--p --q] [--limit 20] dump pq-gram tuples
+  pqgram gen     <xmark|dblp|random> [--nodes N] [--seed S] [--out F]
+
+document store (documents + index in one file, synced via tree diff):
+  pqgram init    <store.docs> [--p 3 --q 3]       create a document store
+  pqgram put     <store.docs> --id <n> <doc.xml>  store + index a document
+  pqgram syncdoc <store.docs> --id <n> <new.xml>  diff against the stored
+                                                  version, update incrementally
+  pqgram get     <store.docs> --id <n> [--out F]  dump a stored document
+  pqgram find    <store.docs> <query.xml>         approximate lookup
+  pqgram diff    <a.xml> <b.xml>                  show the derived edit script
+  pqgram join    <left.pqg> <right.pqg> [--tau]   approximate join of stores
+  pqgram show    <doc.xml> [--limit 50] [--dot]   render the document tree
+  pqgram compact <store.pqg> <out.pqg>            rewrite a store compactly
+  pqgram update  <store.pqg> --id <n> <old.xml> <new.xml>
+                                                  incremental index update by
+                                                  diffing two file versions
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "create" => cmd_create(&args),
+        "add" => cmd_add(&args),
+        "remove" => cmd_remove(&args),
+        "lookup" => cmd_lookup(&args),
+        "stats" => cmd_stats(&args),
+        "dist" => cmd_dist(&args),
+        "grams" => cmd_grams(&args),
+        "gen" => cmd_gen(&args),
+        "init" => cmd_init(&args),
+        "put" => cmd_put(&args),
+        "syncdoc" => cmd_syncdoc(&args),
+        "get" => cmd_get(&args),
+        "find" => cmd_find(&args),
+        "diff" => cmd_diff(&args),
+        "join" => cmd_join(&args),
+        "show" => cmd_show(&args),
+        "compact" => cmd_compact(&args),
+        "update" => cmd_update(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn params_from(args: &Args) -> Result<PQParams, String> {
+    let p = args.opt_or::<usize>("p", 3)?;
+    let q = args.opt_or::<usize>("q", 3)?;
+    if p == 0 || q == 0 {
+        return Err("p and q must be at least 1".into());
+    }
+    Ok(PQParams::new(p, q))
+}
+
+fn load_document(path: &str, labels: &mut LabelTable) -> Result<Tree, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_document(&content, labels).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_create(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let params = params_from(args)?;
+    IndexStore::create(Path::new(store_path), params).map_err(|e| e.to_string())?;
+    println!("created {store_path} ({params}-grams)");
+    Ok(())
+}
+
+fn cmd_add(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let docs = args.rest(1);
+    if docs.is_empty() {
+        return Err("missing <doc.xml>".into());
+    }
+    let first_id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let params = store.params();
+    let mut labels = LabelTable::new();
+    for (offset, doc) in docs.iter().enumerate() {
+        let tree = load_document(doc, &mut labels)?;
+        let index = build_index(&tree, &labels, params);
+        let id = TreeId(first_id + offset as u64);
+        store.put_tree(id, &index).map_err(|e| e.to_string())?;
+        println!(
+            "indexed {doc} as tree {}: {} nodes, {} pq-grams ({} distinct)",
+            id.0,
+            tree.node_count(),
+            index.total(),
+            index.distinct()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_remove(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    if store.remove_tree(TreeId(id)).map_err(|e| e.to_string())? {
+        println!("removed tree {id}");
+        Ok(())
+    } else {
+        Err(format!("tree {id} is not in the store"))
+    }
+}
+
+fn cmd_lookup(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let query_path = args.positional(1, "query.xml")?;
+    let tau = args.opt_or::<f64>("tau", 0.6)?;
+    let top = args.opt_or::<usize>("top", 10)?;
+    let store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let mut labels = LabelTable::new();
+    let query_tree = load_document(query_path, &mut labels)?;
+    let query = build_index(&query_tree, &labels, store.params());
+    let hits = store.lookup(&query, tau).map_err(|e| e.to_string())?;
+    if hits.is_empty() {
+        println!("no documents within distance {tau}");
+        return Ok(());
+    }
+    println!("{:>8}  {:>10}", "tree", "distance");
+    for hit in hits.iter().take(top) {
+        println!("{:>8}  {:>10.4}", hit.tree_id.0, hit.distance);
+    }
+    if hits.len() > top {
+        println!("… {} more below tau (raise --top)", hits.len() - top);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let ids = store.tree_ids().map_err(|e| e.to_string())?;
+    let rows = store.row_count().map_err(|e| e.to_string())?;
+    let file_len = std::fs::metadata(store_path).map(|m| m.len()).unwrap_or(0);
+    println!("store:      {store_path}");
+    println!("params:     {}-grams", store.params());
+    println!("documents:  {}", ids.len());
+    println!("index rows: {rows}");
+    println!("file size:  {:.1} KiB", file_len as f64 / 1024.0);
+    if args.flag("verify") {
+        let check = store.verify().map_err(|e| e.to_string())?;
+        println!(
+            "integrity:  ok ({} leaves, {} internal nodes, depth {}, {} entries)",
+            check.leaves, check.internals, check.depth, check.entries
+        );
+    }
+    for id in ids.iter().take(20) {
+        if let Some(idx) = store.tree_index(*id).map_err(|e| e.to_string())? {
+            println!(
+                "  tree {:>6}: {:>8} grams ({} distinct)",
+                id.0,
+                idx.total(),
+                idx.distinct()
+            );
+        }
+    }
+    if ids.len() > 20 {
+        println!("  … {} more", ids.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_dist(args: &Args) -> Result<(), String> {
+    let a_path = args.positional(0, "a.xml")?;
+    let b_path = args.positional(1, "b.xml")?;
+    let params = params_from(args)?;
+    let mut labels = LabelTable::new();
+    let a = load_document(a_path, &mut labels)?;
+    let b = load_document(b_path, &mut labels)?;
+    let d = pq_distance(
+        &build_index(&a, &labels, params),
+        &build_index(&b, &labels, params),
+    );
+    println!("pq-gram distance ({params}-grams): {d:.6}");
+    if args.flag("ted") {
+        let ted = pqgram_ted::tree_edit_distance(&a, &b);
+        println!("exact tree edit distance:        {ted}");
+    }
+    Ok(())
+}
+
+fn cmd_grams(args: &Args) -> Result<(), String> {
+    let doc_path = args.positional(0, "doc.xml")?;
+    let params = params_from(args)?;
+    let limit = args.opt_or::<usize>("limit", 20)?;
+    let mut labels = LabelTable::new();
+    let tree = load_document(doc_path, &mut labels)?;
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    pqgram_core::for_each_gram(&tree, params, |ppart, qpart| {
+        total += 1;
+        if shown < limit {
+            let fmt = |e: &pqgram_core::GramNode| labels.name(e.label()).to_string();
+            let pp: Vec<_> = ppart.iter().map(fmt).collect();
+            let qp: Vec<_> = qpart.iter().map(fmt).collect();
+            println!("({} | {})", pp.join(","), qp.join(","));
+            shown += 1;
+        }
+    });
+    if total > shown {
+        println!("… {} more ({} total)", total - shown, total);
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let kind = args.positional(0, "xmark|dblp|random")?;
+    let nodes = args.opt_or::<usize>("nodes", 10_000)?;
+    let seed = args.opt_or::<u64>("seed", 1)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = LabelTable::new();
+    let tree = match kind {
+        "xmark" => xmark(&mut rng, &mut labels, nodes),
+        "dblp" => dblp(&mut rng, &mut labels, nodes),
+        "random" => random_tree(&mut rng, &mut labels, &RandomTreeConfig::new(nodes, 12)),
+        other => return Err(format!("unknown generator {other:?} (xmark|dblp|random)")),
+    };
+    let xml = write_document(
+        &tree,
+        &labels,
+        &WriteOptions {
+            indent: None,
+            declaration: true,
+        },
+    );
+    match args.opt::<String>("out")? {
+        Some(path) => {
+            std::fs::write(&path, &xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "wrote {} ({} nodes, {:.1} KiB)",
+                path,
+                tree.node_count(),
+                xml.len() as f64 / 1024.0
+            );
+        }
+        None => print!("{xml}"),
+    }
+    Ok(())
+}
+
+fn cmd_init(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.docs")?;
+    let params = params_from(args)?;
+    DocumentStore::create(Path::new(store_path), params).map_err(|e| e.to_string())?;
+    println!("created document store {store_path} ({params}-grams)");
+    Ok(())
+}
+
+fn cmd_put(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.docs")?;
+    let doc = args.positional(1, "doc.xml")?;
+    let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let mut store = DocumentStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let mut labels = LabelTable::new();
+    let tree = load_document(doc, &mut labels)?;
+    store
+        .put(TreeId(id), &tree, &labels)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "stored {doc} as document {id} ({} nodes)",
+        tree.node_count()
+    );
+    Ok(())
+}
+
+fn cmd_syncdoc(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.docs")?;
+    let doc = args.positional(1, "new.xml")?;
+    let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let mut store = DocumentStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let mut labels = LabelTable::new();
+    let tree = load_document(doc, &mut labels)?;
+    match store
+        .sync(TreeId(id), &tree, &labels)
+        .map_err(|e| e.to_string())?
+    {
+        SyncOutcome::Incremental {
+            script_len,
+            optimized_len,
+            stats,
+        } => {
+            println!(
+                "synced document {id}: {script_len} derived edits ({optimized_len} after \
+                 preprocessing), index updated incrementally in {:.2?} \
+                 (+{} / -{} grams)",
+                stats.total(),
+                stats.plus_grams,
+                stats.minus_grams,
+            );
+        }
+        SyncOutcome::Reindexed => {
+            println!("synced document {id}: root changed, re-indexed from scratch");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_get(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.docs")?;
+    let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let store = DocumentStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let Some((tree, labels)) = store.document(TreeId(id)).map_err(|e| e.to_string())? else {
+        return Err(format!("document {id} is not in the store"));
+    };
+    let xml = write_document(
+        &tree,
+        &labels,
+        &WriteOptions {
+            indent: Some(2),
+            declaration: true,
+        },
+    );
+    match args.opt::<String>("out")? {
+        Some(path) => {
+            std::fs::write(&path, &xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path} ({} nodes)", tree.node_count());
+        }
+        None => print!("{xml}"),
+    }
+    Ok(())
+}
+
+fn cmd_find(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.docs")?;
+    let query_path = args.positional(1, "query.xml")?;
+    let tau = args.opt_or::<f64>("tau", 0.6)?;
+    let top = args.opt_or::<usize>("top", 10)?;
+    let store = DocumentStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let mut labels = LabelTable::new();
+    let query_tree = load_document(query_path, &mut labels)?;
+    let query = build_index(&query_tree, &labels, store.params());
+    let hits = store.lookup(&query, tau).map_err(|e| e.to_string())?;
+    if hits.is_empty() {
+        println!("no documents within distance {tau}");
+        return Ok(());
+    }
+    println!("{:>8}  {:>10}", "doc", "distance");
+    for hit in hits.iter().take(top) {
+        println!("{:>8}  {:>10.4}", hit.tree_id.0, hit.distance);
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let a_path = args.positional(0, "a.xml")?;
+    let b_path = args.positional(1, "b.xml")?;
+    let mut labels = LabelTable::new();
+    let mut a = load_document(a_path, &mut labels)?;
+    let mut b_labels = LabelTable::new();
+    let b = load_document(b_path, &mut b_labels)?;
+    let log = pqgram_diff::sync(&mut a, &mut labels, &b, &b_labels).map_err(|e| e.to_string())?;
+    println!(
+        "{} edit operations transform {a_path} into {b_path}:",
+        log.len()
+    );
+    for (i, entry) in log.ops().iter().enumerate().take(50) {
+        use pqgram_tree::EditOp;
+        // The log holds inverse operations; print the forward reading.
+        let line = match entry.op {
+            EditOp::Delete { node } => format!("INS {node:?}"),
+            EditOp::Insert { node, .. } => format!("DEL {node:?}"),
+            EditOp::Rename { node, label } => {
+                format!("REN {node:?} (was {:?})", labels.name(label))
+            }
+        };
+        println!("  {:>4}. {line}", i + 1);
+    }
+    if log.len() > 50 {
+        println!("  … {} more", log.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_join(args: &Args) -> Result<(), String> {
+    let left_path = args.positional(0, "left.pqg")?;
+    let right_path = args.positional(1, "right.pqg")?;
+    let tau = args.opt_or::<f64>("tau", 0.5)?;
+    let top = args.opt_or::<usize>("top", 20)?;
+    let load = |path: &str| -> Result<pqgram_core::ForestIndex, String> {
+        let store = IndexStore::open(Path::new(path)).map_err(|e| e.to_string())?;
+        let mut forest = pqgram_core::ForestIndex::new();
+        for id in store.tree_ids().map_err(|e| e.to_string())? {
+            let idx = store
+                .tree_index(id)
+                .map_err(|e| e.to_string())?
+                .expect("listed id present");
+            forest.insert(id, idx);
+        }
+        Ok(forest)
+    };
+    let left = load(left_path)?;
+    let right = load(right_path)?;
+    let (pairs, stats) = pqgram_core::join(&left, &right, tau);
+    println!(
+        "join of {} x {} trees (tau = {tau}): {} pairs \
+         ({} naive -> {} candidates -> {} verified)",
+        left.len(),
+        right.len(),
+        pairs.len(),
+        stats.pairs_naive,
+        stats.pairs_candidates,
+        stats.pairs_verified
+    );
+    println!("{:>8} {:>8} {:>10}", "left", "right", "distance");
+    for p in pairs.iter().take(top) {
+        println!("{:>8} {:>8} {:>10.4}", p.left.0, p.right.0, p.distance);
+    }
+    if pairs.len() > top {
+        println!("… {} more (raise --top)", pairs.len() - top);
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &Args) -> Result<(), String> {
+    let doc_path = args.positional(0, "doc.xml")?;
+    let limit = args.opt_or::<usize>("limit", 50)?;
+    let mut labels = LabelTable::new();
+    let tree = load_document(doc_path, &mut labels)?;
+    if args.flag("dot") {
+        print!("{}", pqgram_tree::render::render_dot(&tree, &labels, limit));
+    } else {
+        print!(
+            "{}",
+            pqgram_tree::render::render_text(&tree, &labels, tree.root(), limit)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &Args) -> Result<(), String> {
+    let src = args.positional(0, "store.pqg")?;
+    let dst = args.positional(1, "out.pqg")?;
+    let store = IndexStore::open(Path::new(src)).map_err(|e| e.to_string())?;
+    let compacted = store
+        .compact_to(Path::new(dst))
+        .map_err(|e| e.to_string())?;
+    compacted.verify().map_err(|e| e.to_string())?;
+    let before = std::fs::metadata(src).map(|m| m.len()).unwrap_or(0);
+    let after = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "compacted {src} ({:.1} KiB) -> {dst} ({:.1} KiB)",
+        before as f64 / 1024.0,
+        after as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_update(args: &Args) -> Result<(), String> {
+    let store_path = args.positional(0, "store.pqg")?;
+    let old_path = args.positional(1, "old.xml")?;
+    let new_path = args.positional(2, "new.xml")?;
+    let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    // Parsing is deterministic, so re-parsing old.xml reproduces the exact
+    // arena the stored index was built from.
+    let mut labels = LabelTable::new();
+    let mut tree = load_document(old_path, &mut labels)?;
+    let mut new_labels = LabelTable::new();
+    let new_tree = load_document(new_path, &mut new_labels)?;
+    let log = pqgram_diff::sync(&mut tree, &mut labels, &new_tree, &new_labels)
+        .map_err(|e| e.to_string())?;
+    let (optimized, opt_stats) = pqgram_tree::optimize_log(&tree, &log);
+    let stats = store
+        .update_from_log(TreeId(id), &tree, &labels, &optimized)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "updated tree {id}: {} derived edits ({} after preprocessing)",
+        opt_stats.original_len, opt_stats.optimized_len
+    );
+    println!("  {stats}");
+    Ok(())
+}

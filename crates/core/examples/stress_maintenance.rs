@@ -1,0 +1,79 @@
+//! Randomized stress search for incremental-vs-rebuild mismatches.
+use pqgram_core::index::build_index;
+use pqgram_core::maintain::update_index;
+use pqgram_core::PQParams;
+use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+use pqgram_tree::{record_script, LabelTable, ScriptConfig, ScriptMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut failures = 0usize;
+    let mut cases = 0usize;
+    for seed in 0..3000u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = 5 + (seed % 120) as usize;
+        let ops = 1 + (seed % 40) as usize;
+        let mix = match seed % 5 {
+            0 => ScriptMix {
+                insert: 1,
+                delete: 0,
+                rename: 0,
+            },
+            1 => ScriptMix {
+                insert: 0,
+                delete: 1,
+                rename: 0,
+            },
+            2 => ScriptMix {
+                insert: 0,
+                delete: 0,
+                rename: 1,
+            },
+            3 => ScriptMix {
+                insert: 2,
+                delete: 2,
+                rename: 1,
+            },
+            _ => ScriptMix::default(),
+        };
+        let params = match seed % 7 {
+            0 => PQParams::new(1, 2),
+            1 => PQParams::new(2, 2),
+            2 => PQParams::new(2, 3),
+            3 => PQParams::new(3, 3),
+            4 => PQParams::new(4, 2),
+            5 => PQParams::new(3, 4),
+            _ => PQParams::new(5, 5),
+        };
+        let mut lt = LabelTable::new();
+        let mut tree = random_tree(
+            &mut rng,
+            &mut lt,
+            &RandomTreeConfig::new(nodes, 2 + (seed % 6) as usize),
+        );
+        let t0 = tree.clone();
+        let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+        let mut cfg = ScriptConfig::new(ops.min(nodes.saturating_sub(2).max(1)), alphabet);
+        cfg.mix = mix;
+        cfg.max_adopted = (seed % 5) as usize;
+        let (log, _) = record_script(&mut rng, &mut tree, &cfg);
+        cases += 1;
+        let old = build_index(&t0, &lt, params);
+        match update_index(&old, &tree, &lt, &log) {
+            Ok(out) if out.index == build_index(&tree, &lt, params) => {}
+            Ok(_) => {
+                failures += 1;
+                println!("WRONG INDEX seed={seed} nodes={nodes} ops={ops} params={params:?}");
+            }
+            Err(e) => {
+                failures += 1;
+                println!("ERROR seed={seed} nodes={nodes} ops={ops} params={params:?}: {e}");
+            }
+        }
+        if failures > 5 {
+            break;
+        }
+    }
+    println!("{cases} cases, {failures} failures");
+}

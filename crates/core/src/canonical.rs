@@ -1,0 +1,234 @@
+//! Unordered-tree comparison via canonical ordering.
+//!
+//! The pq-gram distance is defined for *ordered* trees; the paper's
+//! conclusion points at unordered data as future work (later addressed by
+//! windowed pq-grams, Augsten et al.). This module provides the simple,
+//! sound building block: a **canonical form** that sorts every child list by
+//! `(label fingerprint, subtree fingerprint)`, so that any two trees that
+//! are equal up to sibling permutation map to the identical ordered tree.
+//! Indexing the canonical form yields a sibling-permutation-invariant
+//! pq-gram distance.
+//!
+//! Note the trade-off (inherent, not an implementation artifact): after
+//! canonicalization, sibling *order* differences cost nothing, and a single
+//! rename can move a child to a different sorted position, perturbing more
+//! grams than in the ordered setting. For ordered documents prefer the
+//! standard index.
+
+use crate::index::{build_index, TreeIndex};
+use crate::params::PQParams;
+use pqgram_tree::fingerprint::{arity_mark, combine, mix, Fingerprint, TUPLE_SEED};
+use pqgram_tree::{LabelTable, NodeId, Tree};
+
+/// Rebuilds `tree` with every child list sorted canonically. The result is
+/// identical (as an ordered tree, up to node ids) for all sibling
+/// permutations of `tree`.
+pub fn canonicalize(tree: &Tree, labels: &LabelTable) -> Tree {
+    // Subtree fingerprints over the *canonical* child order: computed
+    // bottom-up with each node's children sorted before hashing.
+    let mut hashes = vec![0u64; tree.slot_count()];
+    let mut sorted_children: Vec<Vec<NodeId>> = vec![Vec::new(); tree.slot_count()];
+    for node in tree.postorder(tree.root()) {
+        let mut kids: Vec<NodeId> = tree.children(node).to_vec();
+        kids.sort_by_key(|&c| (labels.fingerprint(tree.label(c)), hashes[c.index()]));
+        let mut acc = combine(TUPLE_SEED, labels.fingerprint(tree.label(node)));
+        for &c in &kids {
+            acc = combine(acc, mix(hashes[c.index()]));
+        }
+        hashes[node.index()] = combine(acc, arity_mark(kids.len()));
+        sorted_children[node.index()] = kids;
+    }
+    // Rebuild in canonical preorder.
+    let mut out = Tree::with_root(tree.label(tree.root()));
+    let mut stack = vec![(tree.root(), out.root())];
+    while let Some((src, dst)) = stack.pop() {
+        // Push in reverse so children are added left-to-right.
+        let kids = &sorted_children[src.index()];
+        let mut added = Vec::with_capacity(kids.len());
+        for &c in kids {
+            added.push((c, out.add_child(dst, tree.label(c))));
+        }
+        stack.extend(added.into_iter().rev());
+    }
+    out
+}
+
+/// The canonical subtree fingerprint of the whole tree: equal (w.h.p.) iff
+/// two trees are isomorphic as *unordered* labeled trees.
+pub fn unordered_fingerprint(tree: &Tree, labels: &LabelTable) -> Fingerprint {
+    let mut hashes = vec![0u64; tree.slot_count()];
+    for node in tree.postorder(tree.root()) {
+        let mut kid_hashes: Vec<(Fingerprint, Fingerprint)> = tree
+            .children(node)
+            .iter()
+            .map(|&c| (labels.fingerprint(tree.label(c)), hashes[c.index()]))
+            .collect();
+        kid_hashes.sort_unstable();
+        let mut acc = combine(TUPLE_SEED, labels.fingerprint(tree.label(node)));
+        let arity = kid_hashes.len();
+        for (_, h) in kid_hashes {
+            acc = combine(acc, mix(h));
+        }
+        hashes[node.index()] = combine(acc, arity_mark(arity));
+    }
+    hashes[tree.root().index()]
+}
+
+/// Builds the pq-gram index of the canonical form — a
+/// sibling-permutation-invariant index.
+pub fn build_unordered_index(tree: &Tree, labels: &LabelTable, params: PQParams) -> TreeIndex {
+    build_index(&canonicalize(tree, labels), labels, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::pq_distance;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// Recursively shuffles every child list.
+    fn shuffle_siblings(tree: &Tree, labels: &LabelTable, seed: u64) -> Tree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Tree::with_root(tree.label(tree.root()));
+        let mut stack = vec![(tree.root(), out.root())];
+        while let Some((src, dst)) = stack.pop() {
+            let mut kids: Vec<NodeId> = tree.children(src).to_vec();
+            kids.shuffle(&mut rng);
+            for c in kids {
+                let nd = out.add_child(dst, tree.label(c));
+                stack.push((c, nd));
+            }
+        }
+        let _ = labels;
+        out
+    }
+
+    #[test]
+    fn permuted_trees_have_unordered_distance_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lt = LabelTable::new();
+        let params = PQParams::default();
+        for seed in 0..10u64 {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 5));
+            let shuffled = shuffle_siblings(&t, &lt, seed);
+            // Ordered distance usually nonzero, unordered distance zero.
+            let unordered = pq_distance(
+                &build_unordered_index(&t, &lt, params),
+                &build_unordered_index(&shuffled, &lt, params),
+            );
+            assert_eq!(unordered, 0.0, "seed {seed}");
+            assert_eq!(
+                unordered_fingerprint(&t, &lt),
+                unordered_fingerprint(&shuffled, &lt)
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_distance_detects_permutation_unordered_does_not() {
+        let mut lt = LabelTable::new();
+        let (r, a, b, c) = (
+            lt.intern("r"),
+            lt.intern("a"),
+            lt.intern("b"),
+            lt.intern("c"),
+        );
+        let mut t1 = Tree::with_root(r);
+        for l in [a, b, c] {
+            t1.add_child(t1.root(), l);
+        }
+        let mut t2 = Tree::with_root(r);
+        for l in [c, a, b] {
+            t2.add_child(t2.root(), l);
+        }
+        let params = PQParams::new(2, 2);
+        let ordered = pq_distance(
+            &build_index(&t1, &lt, params),
+            &build_index(&t2, &lt, params),
+        );
+        let unordered = pq_distance(
+            &build_unordered_index(&t1, &lt, params),
+            &build_unordered_index(&t2, &lt, params),
+        );
+        assert!(ordered > 0.0);
+        assert_eq!(unordered, 0.0);
+    }
+
+    #[test]
+    fn unordered_distance_still_detects_real_changes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lt = LabelTable::new();
+        let params = PQParams::default();
+        let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(120, 5));
+        let mut edited = t.clone();
+        let z = lt.intern("zz-changed");
+        let leaf = edited
+            .preorder(edited.root())
+            .find(|&n| edited.is_leaf(n))
+            .unwrap();
+        edited
+            .apply(pqgram_tree::EditOp::Rename {
+                node: leaf,
+                label: z,
+            })
+            .unwrap();
+        let d = pq_distance(
+            &build_unordered_index(&t, &lt, params),
+            &build_unordered_index(&edited, &lt, params),
+        );
+        assert!(d > 0.0 && d < 0.3, "distance {d}");
+        assert_ne!(
+            unordered_fingerprint(&t, &lt),
+            unordered_fingerprint(&edited, &lt)
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent_and_isomorphic_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lt = LabelTable::new();
+        let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 4));
+        let c1 = canonicalize(&t, &lt);
+        let c2 = canonicalize(&c1, &lt);
+        assert!(c1.isomorphic(&c2), "canonicalization must be idempotent");
+        assert_eq!(c1.node_count(), t.node_count());
+        // Same multiset of labels at every depth.
+        let label_bag = |t: &Tree| {
+            let mut v: Vec<(usize, pqgram_tree::LabelSym)> = t
+                .preorder(t.root())
+                .map(|n| (t.node_depth(n), t.label(n)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(label_bag(&t), label_bag(&c1));
+    }
+
+    #[test]
+    fn equal_label_twins_sorted_by_subtree() {
+        // Two children with the same label but different subtrees must sort
+        // deterministically regardless of input order.
+        let mut lt = LabelTable::new();
+        let (r, x, y, z) = (
+            lt.intern("r"),
+            lt.intern("x"),
+            lt.intern("y"),
+            lt.intern("z"),
+        );
+        let build = |first_y: bool| {
+            let mut t = Tree::with_root(r);
+            let a = t.add_child(t.root(), x);
+            let b = t.add_child(t.root(), x);
+            let (ya, yb) = if first_y { (a, b) } else { (b, a) };
+            t.add_child(ya, y);
+            t.add_child(yb, z);
+            t
+        };
+        let c1 = canonicalize(&build(true), &lt);
+        let c2 = canonicalize(&build(false), &lt);
+        assert!(c1.isomorphic(&c2));
+    }
+}

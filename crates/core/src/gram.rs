@@ -1,0 +1,218 @@
+//! pq-grams over concrete nodes (Definition 1).
+//!
+//! A [`PQGram`] is the node-level object the profiles and the delta sets are
+//! made of. The paper distinguishes the *profile* (a **set** of pq-grams,
+//! node identities included) from the *index* (the **bag** of their
+//! label-tuples): two different pq-grams may map to the same label-tuple, so
+//! the maintenance algorithms operate on node-level grams and only project
+//! to label-tuples at the very end.
+
+use crate::params::PQParams;
+use pqgram_tree::fingerprint::{combine, Fingerprint, TUPLE_SEED};
+use pqgram_tree::{LabelSym, LabelTable, NodeId};
+use std::fmt;
+
+/// One entry of a pq-gram: a concrete tree node or a null node `•` of the
+/// extended tree.
+///
+/// Node equality follows the paper: two entries are equal iff identifier
+/// *and* label match; all null entries are equal (their placement inside the
+/// gram is positional).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GramNode {
+    /// A null node `•` (label `*`).
+    Null,
+    /// A concrete node with its label at the time the gram was taken.
+    Node(NodeId, LabelSym),
+}
+
+impl GramNode {
+    /// The entry's label (`*` for null).
+    #[inline]
+    pub fn label(self) -> LabelSym {
+        match self {
+            GramNode::Null => LabelSym::NULL,
+            GramNode::Node(_, l) => l,
+        }
+    }
+
+    /// The concrete node id, if any.
+    #[inline]
+    pub fn id(self) -> Option<NodeId> {
+        match self {
+            GramNode::Null => None,
+            GramNode::Node(id, _) => Some(id),
+        }
+    }
+
+    /// True for `•`.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, GramNode::Null)
+    }
+}
+
+impl fmt::Debug for GramNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GramNode::Null => write!(f, "•"),
+            GramNode::Node(id, l) => write!(f, "{id:?}:{l:?}"),
+        }
+    }
+}
+
+/// A pq-gram in linear encoding: `(a_{p-1}, …, a_1, a, c_i, …, c_{i+q-1})` —
+/// the p-part (ancestors then anchor) followed by the q-part.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PQGram {
+    entries: Box<[GramNode]>,
+    /// Length of the p-part within `entries`.
+    p: u32,
+}
+
+impl PQGram {
+    /// Builds a gram from its p-part and q-part.
+    pub fn new(ppart: &[GramNode], qpart: &[GramNode]) -> Self {
+        let mut entries = Vec::with_capacity(ppart.len() + qpart.len());
+        entries.extend_from_slice(ppart);
+        entries.extend_from_slice(qpart);
+        PQGram {
+            entries: entries.into_boxed_slice(),
+            p: ppart.len() as u32,
+        }
+    }
+
+    /// All `p + q` entries in linear encoding.
+    #[inline]
+    pub fn entries(&self) -> &[GramNode] {
+        &self.entries
+    }
+
+    /// The p-part `(a_{p-1}, …, a_1, a)`.
+    #[inline]
+    pub fn ppart(&self) -> &[GramNode] {
+        &self.entries[..self.p as usize]
+    }
+
+    /// The q-part `(c_i, …, c_{i+q-1})`.
+    #[inline]
+    pub fn qpart(&self) -> &[GramNode] {
+        &self.entries[self.p as usize..]
+    }
+
+    /// The anchor node entry (last of the p-part).
+    #[inline]
+    pub fn anchor(&self) -> GramNode {
+        self.entries[self.p as usize - 1]
+    }
+
+    /// Shape check against `params`.
+    pub fn matches(&self, params: PQParams) -> bool {
+        self.p as usize == params.p() && self.entries.len() == params.len()
+    }
+
+    /// The label-tuple `λ(g)` of this gram.
+    pub fn label_tuple(&self) -> Vec<LabelSym> {
+        self.entries.iter().map(|e| e.label()).collect()
+    }
+
+    /// Fixed-width fingerprint of `λ(g)` — what the index stores.
+    pub fn tuple_fingerprint(&self, labels: &LabelTable) -> Fingerprint {
+        label_tuple_fingerprint(self.entries.iter().map(|e| e.label()), labels)
+    }
+
+    /// True if the gram contains the node `id` (under any label).
+    pub fn contains_id(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|e| e.id() == Some(id))
+    }
+}
+
+impl fmt::Debug for PQGram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if i == self.p as usize {
+                write!(f, "| ")?;
+            }
+            write!(f, "{e:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Folds a sequence of labels into the fixed-width label-tuple fingerprint
+/// (Section 3.2: the paper concatenates per-label hashes; we fold them with
+/// the same Karp–Rabin polynomial, which is equally position-sensitive).
+pub fn label_tuple_fingerprint<I: IntoIterator<Item = LabelSym>>(
+    tuple: I,
+    labels: &LabelTable,
+) -> Fingerprint {
+    tuple
+        .into_iter()
+        .fold(TUPLE_SEED, |acc, sym| combine(acc, labels.fingerprint(sym)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: usize, l: LabelSym) -> GramNode {
+        GramNode::Node(NodeId::from_index(id), l)
+    }
+
+    #[test]
+    fn parts_and_anchor() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let b = lt.intern("b");
+        let g = PQGram::new(
+            &[GramNode::Null, node(1, a)],
+            &[GramNode::Null, node(2, b), GramNode::Null],
+        );
+        assert_eq!(g.ppart().len(), 2);
+        assert_eq!(g.qpart().len(), 3);
+        assert_eq!(g.anchor(), node(1, a));
+        assert!(g.matches(PQParams::new(2, 3)));
+        assert!(!g.matches(PQParams::new(3, 3)));
+        assert_eq!(
+            g.label_tuple(),
+            vec![LabelSym::NULL, a, LabelSym::NULL, b, LabelSym::NULL]
+        );
+        assert!(g.contains_id(NodeId::from_index(2)));
+        assert!(!g.contains_id(NodeId::from_index(3)));
+    }
+
+    #[test]
+    fn same_id_different_label_is_different_gram() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let b = lt.intern("b");
+        let g1 = PQGram::new(&[node(1, a)], &[GramNode::Null]);
+        let g2 = PQGram::new(&[node(1, b)], &[GramNode::Null]);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn tuple_fingerprint_position_sensitive() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let b = lt.intern("b");
+        let fp = |tuple: &[LabelSym]| label_tuple_fingerprint(tuple.iter().copied(), &lt);
+        assert_ne!(fp(&[a, b]), fp(&[b, a]));
+        assert_ne!(fp(&[a, LabelSym::NULL]), fp(&[LabelSym::NULL, a]));
+        assert_eq!(fp(&[a, b]), fp(&[a, b]));
+    }
+
+    #[test]
+    fn grams_with_same_labels_different_ids_share_fingerprint() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let g1 = PQGram::new(&[node(1, a)], &[GramNode::Null]);
+        let g2 = PQGram::new(&[node(9, a)], &[GramNode::Null]);
+        assert_ne!(g1, g2);
+        assert_eq!(g1.tuple_fingerprint(&lt), g2.tuple_fingerprint(&lt));
+    }
+}

@@ -1,0 +1,597 @@
+//! The pq-gram index (Definition 3), the pq-gram distance, and approximate
+//! lookups in forests.
+//!
+//! The index of a tree is the **bag** of label-tuples of its pq-grams,
+//! stored as fixed-width fingerprints with multiplicities — exactly the
+//! relation `(treeId, pqg, cnt)` of Figure 4, with [`ForestIndex`] playing
+//! the role of the relation over a whole forest.
+
+use crate::gram::label_tuple_fingerprint;
+use crate::params::PQParams;
+use crate::profile::for_each_gram;
+use pqgram_tree::fingerprint::{combine, Fingerprint, TUPLE_SEED};
+use pqgram_tree::{FxHashMap, LabelTable, Tree};
+use std::fmt;
+
+/// Fingerprint of a pq-gram label-tuple — the `pqg` column of Figure 4.
+pub type GramKey = Fingerprint;
+
+/// Identifier of a tree within a forest — the `treeId` column of Figure 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeId(pub u64);
+
+impl fmt::Debug for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The pq-gram index `I(T)` of one tree: a bag of gram fingerprints.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TreeIndex {
+    params: PQParams,
+    counts: FxHashMap<GramKey, u32>,
+    total: u64,
+}
+
+impl TreeIndex {
+    /// An empty index (no grams) for the given parameters.
+    pub fn empty(params: PQParams) -> Self {
+        TreeIndex {
+            params,
+            counts: FxHashMap::default(),
+            total: 0,
+        }
+    }
+
+    /// The pq-gram parameters this index was built with.
+    #[inline]
+    pub fn params(&self) -> PQParams {
+        self.params
+    }
+
+    /// Bag cardinality `|I(T)|` (number of pq-grams, duplicates counted).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct label-tuples.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity of one gram fingerprint.
+    #[inline]
+    pub fn count(&self, key: GramKey) -> u32 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(fingerprint, multiplicity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (GramKey, u32)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Adds one occurrence of a gram.
+    pub fn add(&mut self, key: GramKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Removes one occurrence; returns `false` if the gram was absent
+    /// (the index is left unchanged in that case).
+    pub fn remove(&mut self, key: GramKey) -> bool {
+        match self.counts.get_mut(&key) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+            }
+            Some(_) => {
+                self.counts.remove(&key);
+            }
+            None => return false,
+        }
+        self.total -= 1;
+        true
+    }
+
+    /// Size of the index in bytes under the compact on-disk encoding
+    /// (varint fingerprint + varint count per distinct gram). Used by the
+    /// index-size experiment (Figure 14, left).
+    pub fn encoded_size(&self) -> usize {
+        fn varint_len(mut v: u64) -> usize {
+            let mut n = 1;
+            while v >= 0x80 {
+                v >>= 7;
+                n += 1;
+            }
+            n
+        }
+        self.counts
+            .iter()
+            .map(|(&k, &c)| varint_len(k) + varint_len(c as u64))
+            .sum()
+    }
+}
+
+impl fmt::Debug for TreeIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreeIndex")
+            .field("params", &self.params)
+            .field("distinct", &self.distinct())
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+/// Builds the pq-gram index of `tree` in one streaming pass (no profile is
+/// materialized).
+pub fn build_index(tree: &Tree, labels: &LabelTable, params: PQParams) -> TreeIndex {
+    let mut index = TreeIndex::empty(params);
+    for_each_gram(tree, params, |ppart, qpart| {
+        let mut acc = TUPLE_SEED;
+        for e in ppart.iter().chain(qpart) {
+            acc = combine(acc, labels.fingerprint(e.label()));
+        }
+        index.add(acc);
+    });
+    index
+}
+
+/// Indexes a whole forest, fanning the per-tree work out over `threads`
+/// scoped workers (index construction is embarrassingly parallel across
+/// documents — the dominant cost of initial indexing, Figure 13 left).
+pub fn build_forest_index_parallel(
+    trees: &[(TreeId, &Tree)],
+    labels: &LabelTable,
+    params: PQParams,
+    threads: usize,
+) -> ForestIndex {
+    let threads = threads.max(1);
+    let chunk = trees.len().div_ceil(threads).max(1);
+    let mut forest = ForestIndex::new();
+    let built: Vec<(TreeId, TreeIndex)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = trees
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|&(id, tree)| (id, build_index(tree, labels, params)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("index worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    for (id, index) in built {
+        forest.insert(id, index);
+    }
+    forest
+}
+
+/// Builds the index directly from a label-tuple iterator — used by tests
+/// and by the reference implementations.
+pub fn index_from_tuples<I>(tuples: I, labels: &LabelTable, params: PQParams) -> TreeIndex
+where
+    I: IntoIterator,
+    I::Item: IntoIterator<Item = pqgram_tree::LabelSym>,
+{
+    let mut index = TreeIndex::empty(params);
+    for tuple in tuples {
+        index.add(label_tuple_fingerprint(tuple, labels));
+    }
+    index
+}
+
+/// The pq-gram distance (Section 3.2):
+/// `dist(T, T') = 1 − 2·|I(T) ∩ I(T')| / |I(T) ⊎ I(T')|`,
+/// with bag intersection and bag union. Ranges over `[0, 1]`; `0` for trees
+/// with identical indexes, `1` for trees sharing no pq-grams.
+pub fn pq_distance(a: &TreeIndex, b: &TreeIndex) -> f64 {
+    assert_eq!(
+        a.params, b.params,
+        "cannot compare indexes with different p,q"
+    );
+    let denominator = a.total + b.total;
+    if denominator == 0 {
+        return 0.0;
+    }
+    // Iterate the smaller side.
+    let (small, large) = if a.counts.len() <= b.counts.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut intersection = 0u64;
+    for (&key, &c) in &small.counts {
+        intersection += c.min(large.count(key)) as u64;
+    }
+    1.0 - 2.0 * intersection as f64 / denominator as f64
+}
+
+/// One approximate-lookup result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LookupHit {
+    /// The matching tree.
+    pub tree_id: TreeId,
+    /// Its pq-gram distance to the query.
+    pub distance: f64,
+}
+
+/// The pq-gram index of a forest `F = {T_1, …, T_N}` — the persistent
+/// relation of Figure 4, kept per tree for distance computation.
+#[derive(Clone, Debug, Default)]
+pub struct ForestIndex {
+    trees: FxHashMap<TreeId, TreeIndex>,
+}
+
+impl ForestIndex {
+    /// An empty forest index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if no tree is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Inserts (or replaces) the index of `id`.
+    pub fn insert(&mut self, id: TreeId, index: TreeIndex) -> Option<TreeIndex> {
+        self.trees.insert(id, index)
+    }
+
+    /// Removes a tree's index.
+    pub fn remove(&mut self, id: TreeId) -> Option<TreeIndex> {
+        self.trees.remove(&id)
+    }
+
+    /// The index of one tree.
+    pub fn get(&self, id: TreeId) -> Option<&TreeIndex> {
+        self.trees.get(&id)
+    }
+
+    /// Mutable access (for incremental maintenance of a member tree).
+    pub fn get_mut(&mut self, id: TreeId) -> Option<&mut TreeIndex> {
+        self.trees.get_mut(&id)
+    }
+
+    /// Iterates `(id, index)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &TreeIndex)> {
+        self.trees.iter().map(|(&id, idx)| (id, idx))
+    }
+
+    /// The approximate lookup of Section 3.2: all trees whose pq-gram
+    /// distance to `query` is below `tau`, sorted by ascending distance
+    /// (ties by id).
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Vec<LookupHit> {
+        let mut hits: Vec<LookupHit> = self
+            .trees
+            .iter()
+            .filter_map(|(&tree_id, index)| {
+                let distance = pq_distance(query, index);
+                (distance < tau).then_some(LookupHit { tree_id, distance })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.tree_id.cmp(&b.tree_id))
+        });
+        hits
+    }
+
+    /// The `k` nearest trees to `query` by pq-gram distance (ascending;
+    /// ties by id). Unlike [`ForestIndex::lookup`] there is no threshold —
+    /// useful for "find the best matches" interfaces.
+    pub fn lookup_top_k(&self, query: &TreeIndex, k: usize) -> Vec<LookupHit> {
+        let mut hits: Vec<LookupHit> = self
+            .trees
+            .iter()
+            .map(|(&tree_id, index)| LookupHit {
+                tree_id,
+                distance: pq_distance(query, index),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.tree_id.cmp(&b.tree_id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// [`ForestIndex::lookup`] fanned out over `threads` scoped worker
+    /// threads; lookup is read-only and embarrassingly parallel over trees.
+    pub fn lookup_parallel(&self, query: &TreeIndex, tau: f64, threads: usize) -> Vec<LookupHit> {
+        let threads = threads.max(1);
+        let entries: Vec<(&TreeId, &TreeIndex)> = self.trees.iter().collect();
+        let chunk = entries.len().div_ceil(threads).max(1);
+        let mut hits: Vec<LookupHit> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = entries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .filter_map(|&(&tree_id, index)| {
+                                let distance = pq_distance(query, index);
+                                (distance < tau).then_some(LookupHit { tree_id, distance })
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("lookup worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.tree_id.cmp(&b.tree_id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::{EditOp, LabelTable};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_t0() -> (Tree, LabelTable) {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let b = lt.intern("b");
+        let c = lt.intern("c");
+        let e = lt.intern("e");
+        let f = lt.intern("f");
+        let mut t = Tree::with_root(a);
+        let n1 = t.root();
+        t.add_child(n1, c);
+        let n3 = t.add_child(n1, b);
+        t.add_child(n1, c);
+        t.add_child(n3, e);
+        t.add_child(n3, f);
+        (t, lt)
+    }
+
+    #[test]
+    fn index_counts_duplicates() {
+        // Figure 4: the label-tuple (*,a,c,*,*,*) occurs twice in T0 (leaves
+        // n2 and n4 share label c).
+        let (t, lt) = paper_t0();
+        let idx = build_index(&t, &lt, PQParams::new(3, 3));
+        assert_eq!(idx.total(), 13);
+        assert_eq!(idx.distinct(), 12);
+        let null = pqgram_tree::LabelSym::NULL;
+        let a = lt.lookup("a").unwrap();
+        let c = lt.lookup("c").unwrap();
+        let dup = label_tuple_fingerprint([null, a, c, null, null, null], &lt);
+        assert_eq!(idx.count(dup), 2);
+    }
+
+    #[test]
+    fn identical_trees_have_distance_zero() {
+        let (t, lt) = paper_t0();
+        let i1 = build_index(&t, &lt, PQParams::default());
+        let i2 = build_index(&t, &lt, PQParams::default());
+        assert_eq!(pq_distance(&i1, &i2), 0.0);
+    }
+
+    #[test]
+    fn disjoint_trees_have_distance_one() {
+        let mut lt = LabelTable::new();
+        let t1 = Tree::with_root(lt.intern("x"));
+        let t2 = Tree::with_root(lt.intern("y"));
+        let p = PQParams::default();
+        let d = pq_distance(&build_index(&t1, &lt, p), &build_index(&t2, &lt, p));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn small_edit_small_distance() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut lt = LabelTable::new();
+        let t1 = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(300, 5));
+        let mut t2 = t1.clone();
+        let x = lt.intern("completely-new-label");
+        let leaf = t2
+            .preorder(t2.root())
+            .find(|&n| t2.is_leaf(n) && n != t2.root())
+            .unwrap();
+        t2.apply(EditOp::Rename {
+            node: leaf,
+            label: x,
+        })
+        .unwrap();
+        let p = PQParams::default();
+        let d = pq_distance(&build_index(&t1, &lt, p), &build_index(&t2, &lt, p));
+        assert!(d > 0.0 && d < 0.1, "distance {d} out of expected band");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lt = LabelTable::new();
+        let p = PQParams::new(2, 3);
+        for _ in 0..5 {
+            let t1 = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 4));
+            let t2 = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(90, 4));
+            let (i1, i2) = (build_index(&t1, &lt, p), build_index(&t2, &lt, p));
+            assert_eq!(pq_distance(&i1, &i2), pq_distance(&i2, &i1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different p,q")]
+    fn mismatched_params_panic() {
+        let (t, lt) = paper_t0();
+        let i1 = build_index(&t, &lt, PQParams::new(2, 2));
+        let i2 = build_index(&t, &lt, PQParams::new(3, 3));
+        pq_distance(&i1, &i2);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let (t, lt) = paper_t0();
+        let mut idx = build_index(&t, &lt, PQParams::default());
+        let snapshot = idx.clone();
+        let key = 12345u64;
+        assert!(!idx.remove(key), "absent key must not be removable");
+        idx.add(key);
+        idx.add(key);
+        assert_eq!(idx.count(key), 2);
+        assert!(idx.remove(key));
+        assert_eq!(idx.count(key), 1);
+        assert!(idx.remove(key));
+        assert_eq!(idx, snapshot);
+    }
+
+    #[test]
+    fn forest_lookup_orders_by_distance() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut lt = LabelTable::new();
+        let p = PQParams::default();
+        let base = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(200, 5));
+        let query = build_index(&base, &lt, p);
+
+        let mut forest = ForestIndex::new();
+        // T0: identical; T1: slightly edited; T2: unrelated.
+        forest.insert(TreeId(0), query.clone());
+        let mut edited = base.clone();
+        let nn = lt.intern("zz-edit");
+        let some_leaf = edited
+            .preorder(edited.root())
+            .find(|&n| edited.is_leaf(n))
+            .unwrap();
+        edited
+            .apply(EditOp::Rename {
+                node: some_leaf,
+                label: nn,
+            })
+            .unwrap();
+        forest.insert(TreeId(1), build_index(&edited, &lt, p));
+        let unrelated = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(200, 5));
+        forest.insert(TreeId(2), build_index(&unrelated, &lt, p));
+
+        let hits = forest.lookup(&query, 0.5);
+        assert!(hits.len() >= 2);
+        assert_eq!(hits[0].tree_id, TreeId(0));
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits[1].tree_id, TreeId(1));
+        assert!(hits[1].distance > 0.0);
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn parallel_lookup_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lt = LabelTable::new();
+        let p = PQParams::new(2, 2);
+        let mut forest = ForestIndex::new();
+        for i in 0..37 {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 4));
+            forest.insert(TreeId(i), build_index(&t, &lt, p));
+        }
+        let q = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 4));
+        let query = build_index(&q, &lt, p);
+        let serial = forest.lookup(&query, 0.9);
+        for threads in [1, 2, 4, 16, 64] {
+            assert_eq!(forest.lookup_parallel(&query, 0.9, threads), serial);
+        }
+    }
+
+    #[test]
+    fn encoded_size_grows_with_content() {
+        let (t, lt) = paper_t0();
+        let idx = build_index(&t, &lt, PQParams::default());
+        let empty = TreeIndex::empty(PQParams::default());
+        assert_eq!(empty.encoded_size(), 0);
+        assert!(idx.encoded_size() >= idx.distinct() * 2);
+    }
+}
+
+#[cfg(test)]
+mod top_k_tests {
+    use super::*;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::LabelTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut lt = LabelTable::new();
+        let params = PQParams::new(2, 2);
+        let mut forest = ForestIndex::new();
+        for i in 0..25u64 {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(40, 4));
+            forest.insert(TreeId(i), build_index(&t, &lt, params));
+        }
+        let q = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(40, 4));
+        let query = build_index(&q, &lt, params);
+        let top = forest.lookup_top_k(&query, 5);
+        assert_eq!(top.len(), 5);
+        assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
+        // Consistent with the thresholded lookup at tau just above the 5th.
+        let tau = top[4].distance + 1e-9;
+        let thresholded = forest.lookup(&query, tau);
+        assert_eq!(&thresholded[..5], &top[..]);
+        // k larger than the forest returns everything.
+        assert_eq!(forest.lookup_top_k(&query, 100).len(), 25);
+        assert!(forest.lookup_top_k(&query, 0).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod parallel_build_tests {
+    use super::*;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::LabelTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut lt = LabelTable::new();
+        let params = PQParams::new(2, 3);
+        let trees: Vec<Tree> = (0..23)
+            .map(|_| random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 5)))
+            .collect();
+        let refs: Vec<(TreeId, &Tree)> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TreeId(i as u64), t))
+            .collect();
+        for threads in [1, 3, 8, 64] {
+            let forest = build_forest_index_parallel(&refs, &lt, params, threads);
+            assert_eq!(forest.len(), 23);
+            for (i, t) in trees.iter().enumerate() {
+                assert_eq!(
+                    forest.get(TreeId(i as u64)).unwrap(),
+                    &build_index(t, &lt, params)
+                );
+            }
+        }
+        // Empty forest edge case.
+        assert!(build_forest_index_parallel(&[], &lt, params, 4).is_empty());
+    }
+}

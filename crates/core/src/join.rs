@@ -1,0 +1,336 @@
+//! Approximate joins over forests — the application scenario of Guha et al.
+//! (the paper's references [7, 8]) that motivates indexed approximate
+//! lookups: find all pairs `(T₁ ∈ F₁, T₂ ∈ F₂)` with
+//! `dist(T₁, T₂) < τ`.
+//!
+//! The naive join computes `|F₁| · |F₂|` distances. This module prunes with
+//! two classic filters derived from the bag-overlap form of the pq-gram
+//! distance `d = 1 − 2·|I₁ ∩ I₂| / (|I₁| + |I₂|)`:
+//!
+//! * **size filter** — `|I₁ ∩ I₂| ≤ min(|I₁|, |I₂|)` implies
+//!   `d ≥ 1 − 2·min / (|I₁| + |I₂|)`; for `d < τ` the bag sizes must satisfy
+//!   `(1 − τ)·(|I₁| + |I₂|) < 2·min(|I₁|, |I₂|)` — wildly different sizes
+//!   can never join;
+//! * **candidate generation** — an inverted index (gram → posting list)
+//!   over the smaller forest; only trees sharing at least one gram with the
+//!   probe can have `d < 1`, and for `τ ≤ 1` everything else is skipped
+//!   without touching it.
+//!
+//! Both filters are *lossless*: [`join`] returns exactly the pairs the
+//! nested-loop join would.
+
+use crate::index::{pq_distance, ForestIndex, GramKey, TreeId, TreeIndex};
+use pqgram_tree::{FxHashMap, FxHashSet};
+
+/// One join result pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JoinPair {
+    /// Tree from the left forest.
+    pub left: TreeId,
+    /// Tree from the right forest.
+    pub right: TreeId,
+    /// Their pq-gram distance.
+    pub distance: f64,
+}
+
+/// An inverted index over a forest: gram fingerprint → posting list of
+/// `(tree, multiplicity)`.
+///
+/// Built once per join (or maintained alongside the forest). Because the
+/// postings carry multiplicities, a probe can accumulate its exact bag
+/// intersection with *every* candidate in one merge pass over its own
+/// grams' posting lists — no candidate index is ever fetched.
+#[derive(Default, Debug)]
+pub struct InvertedIndex {
+    postings: FxHashMap<GramKey, Vec<(TreeId, u32)>>,
+    totals: FxHashMap<TreeId, u64>,
+}
+
+impl InvertedIndex {
+    /// Builds the inverted index of a forest.
+    pub fn build(forest: &ForestIndex) -> Self {
+        let mut inv = InvertedIndex::default();
+        for (id, index) in forest.iter() {
+            inv.add(id, index);
+        }
+        inv
+    }
+
+    /// Adds one tree's index.
+    pub fn add(&mut self, id: TreeId, index: &TreeIndex) {
+        for (gram, count) in index.iter() {
+            self.postings.entry(gram).or_default().push((id, count));
+        }
+        self.totals.insert(id, index.total());
+    }
+
+    /// Trees sharing at least one distinct gram with `probe`, deduplicated
+    /// and sorted.
+    pub fn candidates(&self, probe: &TreeIndex) -> Vec<TreeId> {
+        let mut seen: FxHashSet<TreeId> = FxHashSet::default();
+        for (gram, _) in probe.iter() {
+            if let Some(list) = self.postings.get(&gram) {
+                seen.extend(list.iter().map(|&(id, _)| id));
+            }
+        }
+        let mut out: Vec<TreeId> = seen.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Exact bag intersections `|I(probe) ∩ I(cand)|` for every candidate
+    /// sharing at least one gram with `probe` (one merge pass).
+    pub fn intersections(&self, probe: &TreeIndex) -> FxHashMap<TreeId, u64> {
+        let mut acc: FxHashMap<TreeId, u64> = FxHashMap::default();
+        for (gram, probe_count) in probe.iter() {
+            if let Some(list) = self.postings.get(&gram) {
+                for &(id, cand_count) in list {
+                    *acc.entry(id).or_insert(0) += probe_count.min(cand_count) as u64;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Bag size of one indexed tree.
+    pub fn total(&self, id: TreeId) -> Option<u64> {
+        self.totals.get(&id).copied()
+    }
+
+    /// Number of distinct grams indexed.
+    pub fn distinct_grams(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// The size filter: can two bags of these sizes possibly be closer than
+/// `tau`?
+#[inline]
+pub fn size_filter(total_a: u64, total_b: u64, tau: f64) -> bool {
+    let min = total_a.min(total_b) as f64;
+    let sum = (total_a + total_b) as f64;
+    if sum == 0.0 {
+        return true; // both empty: distance 0
+    }
+    1.0 - 2.0 * min / sum < tau
+}
+
+/// Statistics of one join run (how much the filters pruned).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinStats {
+    /// `|F₁| · |F₂|`: pairs a nested-loop join would examine.
+    pub pairs_naive: u64,
+    /// Pairs surviving candidate generation.
+    pub pairs_candidates: u64,
+    /// Pairs surviving the size filter (distances actually computed).
+    pub pairs_verified: u64,
+    /// Result pairs below `tau`.
+    pub pairs_joined: u64,
+}
+
+/// Approximate join: all pairs across the two forests with pq-gram distance
+/// below `tau`. Returns the pairs (sorted by distance) and pruning stats.
+///
+/// Exact: identical results to the nested-loop join, typically at a small
+/// fraction of the distance computations.
+pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>, JoinStats) {
+    let mut stats = JoinStats {
+        pairs_naive: left.len() as u64 * right.len() as u64,
+        ..Default::default()
+    };
+    // Invert the smaller side, probe with the larger.
+    let invert_left = left.len() <= right.len();
+    let (build_side, probe_side) = if invert_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let inverted = InvertedIndex::build(build_side);
+
+    let mut pairs = Vec::new();
+    for (probe_id, probe_index) in probe_side.iter() {
+        let intersections = inverted.intersections(probe_index);
+        stats.pairs_candidates += intersections.len() as u64;
+        for (cand, intersection) in intersections {
+            let cand_total = inverted.total(cand).expect("candidate is indexed");
+            if !size_filter(probe_index.total(), cand_total, tau) {
+                continue;
+            }
+            stats.pairs_verified += 1;
+            let denom = (probe_index.total() + cand_total) as f64;
+            let distance = if denom == 0.0 {
+                0.0
+            } else {
+                1.0 - 2.0 * intersection as f64 / denom
+            };
+            if distance < tau {
+                let (l, r) = if invert_left {
+                    (cand, probe_id)
+                } else {
+                    (probe_id, cand)
+                };
+                pairs.push(JoinPair {
+                    left: l,
+                    right: r,
+                    distance,
+                });
+            }
+        }
+    }
+    stats.pairs_joined = pairs.len() as u64;
+    pairs.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    (pairs, stats)
+}
+
+/// Reference nested-loop join (used by tests and benchmarks).
+pub fn join_nested_loop(left: &ForestIndex, right: &ForestIndex, tau: f64) -> Vec<JoinPair> {
+    let mut pairs = Vec::new();
+    for (l, li) in left.iter() {
+        for (r, ri) in right.iter() {
+            let distance = pq_distance(li, ri);
+            if distance < tau {
+                pairs.push(JoinPair {
+                    left: l,
+                    right: r,
+                    distance,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::build_index;
+    use crate::params::PQParams;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::{record_script, LabelTable, ScriptConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two forests where each right tree is a noisy copy of a left tree.
+    fn forests(seed: u64, n: usize) -> (ForestIndex, ForestIndex, LabelTable) {
+        let params = PQParams::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lt = LabelTable::new();
+        let mut left = ForestIndex::new();
+        let mut right = ForestIndex::new();
+        for i in 0..n as u64 {
+            let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 6));
+            left.insert(TreeId(i), build_index(&tree, &lt, params));
+            let mut noisy = tree.clone();
+            let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+            record_script(&mut rng, &mut noisy, &ScriptConfig::new(3, alphabet));
+            right.insert(TreeId(1000 + i), build_index(&noisy, &lt, params));
+        }
+        (left, right, lt)
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        for seed in 0..5 {
+            let (left, right, _) = forests(seed, 25);
+            for tau in [0.2, 0.5, 0.8] {
+                let (fast, stats) = join(&left, &right, tau);
+                let slow = join_nested_loop(&left, &right, tau);
+                assert_eq!(fast, slow, "seed {seed} tau {tau}");
+                assert!(stats.pairs_verified <= stats.pairs_naive);
+                assert_eq!(stats.pairs_joined, fast.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn join_finds_the_noisy_copies() {
+        let (left, right, _) = forests(9, 30);
+        let (pairs, _) = join(&left, &right, 0.5);
+        // Every left tree joins with (at least) its own noisy copy.
+        for i in 0..30u64 {
+            assert!(
+                pairs
+                    .iter()
+                    .any(|p| p.left == TreeId(i) && p.right == TreeId(1000 + i)),
+                "pair {i} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn filters_prune_on_heterogeneous_collections() {
+        // Clusters with disjoint vocabularies and varied sizes: candidate
+        // generation and the size filter both prune.
+        let params = PQParams::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut left = ForestIndex::new();
+        let mut right = ForestIndex::new();
+        for cluster in 0..4usize {
+            let mut lt = LabelTable::new();
+            for i in 0..10u64 {
+                let nodes = 20 + 60 * cluster; // size varies across clusters
+                let mut cfg = RandomTreeConfig::new(nodes, 5);
+                cfg.label_prefix = ["alpha", "beta", "gamma", "delta"][cluster];
+                let tree = random_tree(&mut rng, &mut lt, &cfg);
+                let id = (cluster as u64) * 100 + i;
+                left.insert(TreeId(id), build_index(&tree, &lt, params));
+                right.insert(TreeId(5000 + id), build_index(&tree, &lt, params));
+            }
+        }
+        let (pairs, stats) = join(&left, &right, 0.3);
+        assert_eq!(stats.pairs_naive, 1600);
+        assert!(
+            stats.pairs_verified < stats.pairs_naive / 2,
+            "expected >2x pruning, verified {} of {}",
+            stats.pairs_verified,
+            stats.pairs_naive
+        );
+        assert_eq!(join_nested_loop(&left, &right, 0.3), pairs);
+        // Every tree joins with its identical twin.
+        assert!(pairs.len() >= 40);
+    }
+
+    #[test]
+    fn size_filter_is_sound_and_useful() {
+        // Sound: never prunes a pair that could join.
+        assert!(size_filter(100, 100, 0.1));
+        assert!(size_filter(0, 0, 0.5));
+        // A 100-gram tree and a 10-gram tree have distance >= 1 - 20/110.
+        assert!(!size_filter(100, 10, 0.5));
+        assert!(size_filter(100, 95, 0.2));
+        // Boundary: d_min = 1 - 2*50/150 = 1/3.
+        assert!(!size_filter(100, 50, 1.0 / 3.0));
+        assert!(size_filter(100, 50, 0.34));
+    }
+
+    #[test]
+    fn empty_forests() {
+        let empty = ForestIndex::new();
+        let (pairs, stats) = join(&empty, &empty, 0.5);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.pairs_naive, 0);
+    }
+
+    #[test]
+    fn inverted_index_candidates_share_grams() {
+        let (left, _, lt) = forests(13, 10);
+        let inv = InvertedIndex::build(&left);
+        assert!(inv.distinct_grams() > 0);
+        let _ = lt;
+        // A probe equal to one member must list that member as candidate.
+        let member = left.get(TreeId(3)).unwrap();
+        let cands = inv.candidates(member);
+        assert!(cands.contains(&TreeId(3)));
+    }
+}

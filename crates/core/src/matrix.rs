@@ -1,0 +1,490 @@
+//! The p-matrix / q-matrix representation of pq-grams and its operators
+//! (Section 7 of the paper).
+//!
+//! For an anchor node with `f` children, all `f + q − 1` pq-grams share one
+//! p-part and differ only in their q-part — a sliding window over the null-
+//! padded child sequence. The paper represents them as:
+//!
+//! * a 1×p **p-matrix** `P(a) = (a_{p−1}, …, a_1, a)` with the operators of
+//!   Figure 9: `P^{+n,i}` (insert an ancestor), `P^{−a_i}` (delete one),
+//!   `P^{a_i/m}` (replace one) — here [`PPart`];
+//! * an `(f+q−1)×q` **q-matrix** whose inverse diagonals are the children,
+//!   with the operators of Figure 10: the window `Q^{k..m}`, the diagonal
+//!   replacement `A ∥ B` and the single-diagonal constructor `D(n)` — here
+//!   [`QBlock`].
+//!
+//! A [`QBlock`] stores the matrix (or a window of it) as its *extended
+//! sequence*: `q − 1` left-context entries, the diagonal entries, and `q − 1`
+//! right-context entries; row `r` of the block is the length-`q` window of
+//! the sequence starting at offset `r − first_row`. This one representation
+//! subsumes all four leaf special cases of Section 7.2, which are exercised
+//! individually in the tests below.
+//!
+//! Entries are **labels** (with [`LabelSym::NULL`] for `•`), exactly like the
+//! hashed rows the paper stores (Section 8.1): all matrix operators are
+//! positional and never need node identities.
+
+use pqgram_tree::LabelSym;
+
+/// A q-matrix row: `q` labels.
+pub type QRow = Vec<LabelSym>;
+
+/// The p-part `(a_{p−1}, …, a_1, a)` of the pq-grams of one anchor, with the
+/// operators of Figure 9.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PPart(Vec<LabelSym>);
+
+impl PPart {
+    /// Wraps a label vector of length `p` (front = farthest ancestor).
+    pub fn new(labels: Vec<LabelSym>) -> Self {
+        assert!(!labels.is_empty(), "p-part must have length ≥ 1");
+        PPart(labels)
+    }
+
+    /// The labels, farthest ancestor first, anchor last.
+    #[inline]
+    pub fn labels(&self) -> &[LabelSym] {
+        &self.0
+    }
+
+    /// `p`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Never empty (`p ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `P^{+n,i}`: insert label `n` as the entry at distance `i` from the
+    /// anchor slot; entries further than `i` shift one away and the farthest
+    /// drops out (Figure 9). With `i = 0` the new node becomes the anchor
+    /// (used for the p-parts of grams anchored at a freshly inserted node).
+    pub fn insert(&self, n: LabelSym, i: usize) -> PPart {
+        let p = self.len();
+        assert!(i < p, "insert distance {i} out of range for p={p}");
+        let mut out = Vec::with_capacity(p);
+        out.extend_from_slice(&self.0[1..p - i]); // former distances p-2 ..= i
+        out.push(n); // distance i
+        out.extend_from_slice(&self.0[p - i..]); // distances i-1 ..= 0
+        PPart(out)
+    }
+
+    /// `P^{−a_i}`: delete the entry at distance `i ≥ 1`; farther entries
+    /// shift one closer and a null enters from the front (Figure 9).
+    pub fn delete(&self, i: usize) -> PPart {
+        let p = self.len();
+        assert!(
+            (1..p).contains(&i),
+            "delete distance {i} out of range for p={p}"
+        );
+        let mut out = Vec::with_capacity(p);
+        out.push(LabelSym::NULL);
+        out.extend_from_slice(&self.0[..p - 1 - i]); // distances p-1 ..= i+1
+        out.extend_from_slice(&self.0[p - i..]); // distances i-1 ..= 0
+        PPart(out)
+    }
+
+    /// `P^{a_i/m}`: replace the label at distance `i` (`i = 0` replaces the
+    /// anchor) — Figure 9.
+    pub fn replace(&self, i: usize, m: LabelSym) -> PPart {
+        let p = self.len();
+        assert!(i < p, "replace distance {i} out of range for p={p}");
+        let mut out = self.0.clone();
+        out[p - 1 - i] = m;
+        PPart(out)
+    }
+}
+
+/// A q-matrix or a contiguous window of one, in extended-sequence form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QBlock {
+    /// Row number of the first row of this block (1-based, matching the
+    /// paper's `Q^{k..m}` indexing).
+    first_row: u32,
+    /// `q − 1` left context labels, then the diagonals, then `q − 1` right
+    /// context labels. For leaf blocks: `q` nulls.
+    seq: Vec<LabelSym>,
+    /// Window width `q ≥ 2`.
+    q: usize,
+    /// Canonical 1×q all-null matrix of a leaf anchor (Definition 7).
+    leaf: bool,
+}
+
+impl QBlock {
+    /// The full q-matrix of an anchor with children `diag` (labels, left to
+    /// right). An empty `diag` yields the canonical leaf matrix.
+    pub fn full(diag: &[LabelSym], q: usize) -> QBlock {
+        assert!(q >= 2, "QBlock requires q >= 2");
+        if diag.is_empty() {
+            return QBlock::leaf(q);
+        }
+        let mut seq = vec![LabelSym::NULL; q - 1];
+        seq.extend_from_slice(diag);
+        seq.extend(std::iter::repeat_n(LabelSym::NULL, q - 1));
+        QBlock {
+            first_row: 1,
+            seq,
+            q,
+            leaf: false,
+        }
+    }
+
+    /// The canonical 1×q all-null matrix of a leaf anchor.
+    pub fn leaf(q: usize) -> QBlock {
+        assert!(q >= 2, "QBlock requires q >= 2");
+        QBlock {
+            first_row: 1,
+            seq: vec![LabelSym::NULL; q],
+            q,
+            leaf: true,
+        }
+    }
+
+    /// `D(n)`: a fresh q×q matrix whose only diagonal is `n` (Figure 10).
+    pub fn d(n: LabelSym, q: usize) -> QBlock {
+        QBlock::full(&[n], q)
+    }
+
+    /// Reassembles a window `Q^{k..m}` (rows `k ..= m+q−1`) from its stored
+    /// rows. `rows` must be the contiguous row contents in ascending order;
+    /// adjacent rows must overlap consistently. A single all-null row at row
+    /// 1 is interpreted as the leaf matrix.
+    pub fn from_rows(first_row: u32, rows: &[QRow], q: usize) -> QBlock {
+        assert!(q >= 2, "QBlock requires q >= 2");
+        assert!(!rows.is_empty(), "window must contain at least one row");
+        for r in rows {
+            assert_eq!(r.len(), q, "row width must be q");
+        }
+        if rows.len() == 1 && first_row == 1 && rows[0].iter().all(|l| l.is_null()) {
+            return QBlock::leaf(q);
+        }
+        let mut seq = rows[0].clone();
+        for w in rows.windows(2) {
+            debug_assert_eq!(w[0][1..], w[1][..q - 1], "inconsistent adjacent rows");
+        }
+        seq.extend(rows[1..].iter().map(|r| r[q - 1]));
+        QBlock {
+            first_row,
+            seq,
+            q,
+            leaf: false,
+        }
+    }
+
+    /// First row number of this block.
+    #[inline]
+    pub fn first_row(&self) -> u32 {
+        self.first_row
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        if self.leaf {
+            1
+        } else {
+            self.seq.len() - self.q + 1
+        }
+    }
+
+    /// Number of the last row.
+    pub fn last_row(&self) -> u32 {
+        self.first_row + self.row_count() as u32 - 1
+    }
+
+    /// The diagonal entries of this block (the children covered by the
+    /// window). Empty for leaf blocks and zero-width insert windows.
+    pub fn diagonals(&self) -> &[LabelSym] {
+        if self.leaf {
+            &[]
+        } else {
+            &self.seq[self.q - 1..self.seq.len() - (self.q - 1)]
+        }
+    }
+
+    /// `A ∥ B`: replaces the diagonals of `self` with `diag`, keeping
+    /// `self`'s contexts and first row (Figure 10 and the four special cases
+    /// of Section 7.2). If the result carries no diagonal and no non-null
+    /// context, it canonicalizes to the leaf matrix.
+    pub fn replace_diagonals(&self, diag: &[LabelSym]) -> QBlock {
+        let q = self.q;
+        let nulls = vec![LabelSym::NULL; q - 1];
+        let (left, right): (&[LabelSym], &[LabelSym]) = if self.leaf {
+            // (•…•) ∥ A = A: a leaf gains the diagonals with null context.
+            (&nulls, &nulls)
+        } else {
+            (&self.seq[..q - 1], &self.seq[self.seq.len() - (q - 1)..])
+        };
+        let all_null = |s: &[LabelSym]| s.iter().all(|l| l.is_null());
+        if diag.is_empty() && all_null(left) && all_null(right) {
+            // A ∥ (•…•) with all-null context: the anchor becomes a leaf.
+            return QBlock::leaf(q);
+        }
+        let mut seq = Vec::with_capacity(2 * (q - 1) + diag.len());
+        seq.extend_from_slice(left);
+        seq.extend_from_slice(diag);
+        seq.extend_from_slice(right);
+        let first_row = if self.leaf { 1 } else { self.first_row };
+        QBlock {
+            first_row,
+            seq,
+            q,
+            leaf: false,
+        }
+    }
+
+    /// Iterates the rows of this block as `(row_number, row)`.
+    pub fn rows(&self) -> impl Iterator<Item = (u32, QRow)> + '_ {
+        let count = self.row_count();
+        (0..count).map(move |i| {
+            if self.leaf {
+                (1, vec![LabelSym::NULL; self.q])
+            } else {
+                (self.first_row + i as u32, self.seq[i..i + self.q].to_vec())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_tree::LabelTable;
+
+    fn syms(lt: &mut LabelTable, names: &[&str]) -> Vec<LabelSym> {
+        names
+            .iter()
+            .map(|n| {
+                if *n == "*" {
+                    LabelSym::NULL
+                } else {
+                    lt.intern(n)
+                }
+            })
+            .collect()
+    }
+
+    // ---- PPart / Figure 9 --------------------------------------------------
+
+    #[test]
+    fn ppart_insert_at_distance() {
+        let mut lt = LabelTable::new();
+        let v = syms(&mut lt, &["*", "a", "b"]); // (•, a, b): anchor b under a
+        let n = lt.intern("n");
+        // Insert n as parent of the anchor (distance 1): (a, n, b).
+        let got = PPart::new(v.clone()).insert(n, 1);
+        assert_eq!(got.labels(), syms(&mut lt, &["a", "n", "b"]));
+        // Insert n at distance 2: (a, …) shifts out, (n, a, …)? No: entries
+        // farther than 2 drop; (•,a,b) → (n at distance 2): (n, a, b)? The
+        // former distance-2 entry • drops out: (n, a, b) is wrong — a stays
+        // at distance 1: result (n, a, b).
+        let got = PPart::new(v.clone()).insert(n, 2);
+        assert_eq!(got.labels(), syms(&mut lt, &["n", "a", "b"]));
+        // i = 0: the new node becomes the anchor.
+        let got = PPart::new(v).insert(n, 0);
+        assert_eq!(got.labels(), syms(&mut lt, &["a", "b", "n"]));
+    }
+
+    #[test]
+    fn ppart_delete_at_distance() {
+        let mut lt = LabelTable::new();
+        let v = syms(&mut lt, &["a", "b", "c"]);
+        let got = PPart::new(v.clone()).delete(1);
+        assert_eq!(got.labels(), syms(&mut lt, &["*", "a", "c"]));
+        let got = PPart::new(v).delete(2);
+        assert_eq!(got.labels(), syms(&mut lt, &["*", "b", "c"]));
+    }
+
+    #[test]
+    fn ppart_replace() {
+        let mut lt = LabelTable::new();
+        let v = syms(&mut lt, &["a", "b", "c"]);
+        let m = lt.intern("m");
+        assert_eq!(
+            PPart::new(v.clone()).replace(0, m).labels(),
+            syms(&mut lt, &["a", "b", "m"])
+        );
+        assert_eq!(
+            PPart::new(v.clone()).replace(1, m).labels(),
+            syms(&mut lt, &["a", "m", "c"])
+        );
+        assert_eq!(
+            PPart::new(v).replace(2, m).labels(),
+            syms(&mut lt, &["m", "b", "c"])
+        );
+    }
+
+    #[test]
+    fn ppart_insert_then_delete_loses_farthest() {
+        let mut lt = LabelTable::new();
+        let v = PPart::new(syms(&mut lt, &["a", "b", "c"]));
+        let n = lt.intern("n");
+        let there = v.insert(n, 1);
+        assert_eq!(there.labels(), syms(&mut lt, &["b", "n", "c"]));
+        let back = there.delete(1);
+        // The farthest ancestor was pushed out and is replaced by •.
+        assert_eq!(back.labels(), syms(&mut lt, &["*", "b", "c"]));
+    }
+
+    // ---- QBlock / Figure 10 ------------------------------------------------
+
+    #[test]
+    fn full_matrix_rows_match_definition7() {
+        // Anchor with children (c1, c2), q = 3 → 4 rows.
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["c1", "c2"]);
+        let m = QBlock::full(&d, 3);
+        let rows: Vec<_> = m.rows().collect();
+        let r = |lt: &mut LabelTable, names: &[&str]| syms(lt, names);
+        assert_eq!(
+            rows,
+            vec![
+                (1, r(&mut lt, &["*", "*", "c1"])),
+                (2, r(&mut lt, &["*", "c1", "c2"])),
+                (3, r(&mut lt, &["c1", "c2", "*"])),
+                (4, r(&mut lt, &["c2", "*", "*"])),
+            ]
+        );
+        assert_eq!(m.diagonals(), d.as_slice());
+        assert_eq!(m.last_row(), 4);
+    }
+
+    #[test]
+    fn leaf_matrix_is_one_null_row() {
+        let m = QBlock::leaf(3);
+        let rows: Vec<_> = m.rows().collect();
+        assert_eq!(rows, vec![(1, vec![LabelSym::NULL; 3])]);
+        assert!(m.diagonals().is_empty());
+        assert_eq!(QBlock::full(&[], 3), m);
+    }
+
+    #[test]
+    fn d_constructor() {
+        let mut lt = LabelTable::new();
+        let n = lt.intern("n");
+        let m = QBlock::d(n, 3);
+        assert_eq!(m.row_count(), 3);
+        assert_eq!(m.diagonals(), &[n]);
+    }
+
+    #[test]
+    fn window_from_rows_roundtrip() {
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["c1", "c2", "c3", "c4"]);
+        let m = QBlock::full(&d, 3);
+        // Window Q^{2..2}: rows 2..=4 (child c2 plus context).
+        let rows: Vec<QRow> = m.rows().skip(1).take(3).map(|(_, r)| r).collect();
+        let w = QBlock::from_rows(2, &rows, 3);
+        assert_eq!(w.first_row(), 2);
+        assert_eq!(w.diagonals(), &d[1..2]);
+        let back: Vec<_> = w.rows().map(|(_, r)| r).collect();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn replace_diagonals_general_case() {
+        // Q^{2..2} of children (c1, c2, c3), q=2: rows 2..3, diag c2.
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["c1", "c2", "c3"]);
+        let m = QBlock::full(&d, 2);
+        let rows: Vec<QRow> = m
+            .rows()
+            .filter(|(r, _)| (2..=3).contains(r))
+            .map(|(_, r)| r)
+            .collect();
+        let w = QBlock::from_rows(2, &rows, 2);
+        assert_eq!(w.diagonals(), &d[1..2]);
+        // Replace c2 by (x, y): contexts c1 / c3 kept, rows renumber 2..=4.
+        let xy = syms(&mut lt, &["x", "y"]);
+        let repl = w.replace_diagonals(&xy);
+        assert_eq!(repl.first_row(), 2);
+        let got: Vec<_> = repl.rows().collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, syms(&mut lt, &["c1", "x"])),
+                (3, syms(&mut lt, &["x", "y"])),
+                (4, syms(&mut lt, &["y", "c3"]))
+            ]
+        );
+    }
+
+    // ---- The four special cases of Section 7.2 ------------------------------
+
+    #[test]
+    fn special_case_leaf_window_gains_diagonals() {
+        // (•…•) ∥ A = A: a leaf anchor gains children.
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["x", "y"]);
+        let got = QBlock::leaf(3).replace_diagonals(&d);
+        assert_eq!(got, QBlock::full(&d, 3));
+    }
+
+    #[test]
+    fn special_case_all_null_context_collapses_to_leaf() {
+        // A ∥ (•…•) = (•…•) when all non-diagonal entries of A are null.
+        let mut lt = LabelTable::new();
+        let only = syms(&mut lt, &["only"]);
+        let m = QBlock::full(&only, 3); // anchor whose single child goes away
+        let got = m.replace_diagonals(&[]);
+        assert_eq!(got, QBlock::leaf(3));
+    }
+
+    #[test]
+    fn special_case_nonnull_context_keeps_window() {
+        // A ∥ (•…•) deletes the diagonals when non-null context remains.
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["c1", "c2", "c3"]);
+        let m = QBlock::full(&d, 2);
+        let rows: Vec<QRow> = m
+            .rows()
+            .filter(|(r, _)| (2..=3).contains(r))
+            .map(|(_, r)| r)
+            .collect();
+        let w = QBlock::from_rows(2, &rows, 2);
+        let got = w.replace_diagonals(&[]);
+        assert_eq!(got.row_count(), 1);
+        let r: Vec<_> = got.rows().collect();
+        assert_eq!(r, vec![(2, syms(&mut lt, &["c1", "c3"]))]);
+    }
+
+    #[test]
+    fn special_case_insert_into_window_splices_diagonal() {
+        // Children (c1, c2), q = 3: take window Q^{2..2} (rows 2..=4, diag
+        // c2) and splice a new first diagonal n before c2 — the situation of
+        // rewinding DEL(n) where n re-adopts c2.
+        let mut lt = LabelTable::new();
+        let d = syms(&mut lt, &["c1", "c2"]);
+        let m = QBlock::full(&d, 3);
+        let rows: Vec<QRow> = m
+            .rows()
+            .filter(|(r, _)| (2..=4).contains(r))
+            .map(|(_, r)| r)
+            .collect();
+        let w = QBlock::from_rows(2, &rows, 3);
+        let n = lt.intern("n");
+        let mut new_diag = vec![n];
+        new_diag.extend_from_slice(w.diagonals());
+        let spliced = w.replace_diagonals(&new_diag);
+        assert_eq!(spliced.row_count(), 4);
+        let got: Vec<_> = spliced.rows().collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, syms(&mut lt, &["*", "c1", "n"])),
+                (3, syms(&mut lt, &["c1", "n", "c2"])),
+                (4, syms(&mut lt, &["n", "c2", "*"])),
+                (5, syms(&mut lt, &["c2", "*", "*"])),
+            ]
+        );
+    }
+
+    #[test]
+    fn from_rows_single_null_row_at_one_is_leaf() {
+        let rows = vec![vec![LabelSym::NULL; 3]];
+        let b = QBlock::from_rows(1, &rows, 3);
+        assert_eq!(b, QBlock::leaf(3));
+    }
+}

@@ -1,0 +1,102 @@
+//! pq-gram shape parameters.
+
+use std::fmt;
+
+/// The `p` and `q` of a pq-gram (Definition 1): `p` nodes on the ancestor
+/// path (including the anchor), `q` contiguous children of the anchor.
+///
+/// The paper uses 3,3-grams throughout and 1,2-grams in the index-size
+/// experiment. Distance computation works for any `p, q ≥ 1`; the
+/// *incremental maintenance* additionally requires `q ≥ 2`, because with
+/// `q = 1` a q-matrix window carries no sibling context and the profile
+/// update function cannot decide locally whether a node that lost its only
+/// child became a leaf (see `crate::update`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PQParams {
+    p: usize,
+    q: usize,
+}
+
+impl PQParams {
+    /// Creates parameters; panics unless `p ≥ 1` and `q ≥ 1`.
+    pub fn new(p: usize, q: usize) -> Self {
+        assert!(p >= 1, "p must be at least 1");
+        assert!(q >= 1, "q must be at least 1");
+        PQParams { p, q }
+    }
+
+    /// Stem length (ancestors + anchor).
+    #[inline]
+    pub fn p(self) -> usize {
+        self.p
+    }
+
+    /// Base width (contiguous children window).
+    #[inline]
+    pub fn q(self) -> usize {
+        self.q
+    }
+
+    /// Total nodes per pq-gram.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.p + self.q
+    }
+
+    /// Always `false`: a pq-gram has at least two nodes.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// True iff the incremental maintenance supports these parameters.
+    #[inline]
+    pub fn supports_incremental(self) -> bool {
+        self.q >= 2
+    }
+}
+
+impl Default for PQParams {
+    /// The paper's default: 3,3-grams.
+    fn default() -> Self {
+        PQParams::new(3, 3)
+    }
+}
+
+impl fmt::Debug for PQParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}-grams", self.p, self.q)
+    }
+}
+
+impl fmt::Display for PQParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.p, self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = PQParams::new(2, 3);
+        assert_eq!((p.p(), p.q(), p.len()), (2, 3, 5));
+        assert!(p.supports_incremental());
+        assert!(!PQParams::new(3, 1).supports_incremental());
+        assert_eq!(PQParams::default(), PQParams::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be at least 1")]
+    fn zero_p_rejected() {
+        PQParams::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_rejected() {
+        PQParams::new(3, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! pq-gram profiles (Definition 2) and streaming gram enumeration.
+//!
+//! [`for_each_gram`] walks the tree once and emits every pq-gram of the
+//! null-extended tree `T'` without materializing anything per gram — the
+//! index builder folds each gram straight into a fingerprint. For a tree
+//! with `n` nodes there are exactly `1 + Σ_non-leaf (f + q − 1) + #leaves − …`
+//! grams; more usefully: every node anchors `max(f + q − 1, 1)` grams, so
+//! the total is `Σ_a max(f_a + q − 1, 1)`.
+//!
+//! [`compute_profile`] materializes the profile as a set of node-level
+//! [`PQGram`]s; it is used by the reference implementations and tests (the
+//! incremental machinery never needs a full profile).
+
+use crate::gram::{GramNode, PQGram};
+use crate::params::PQParams;
+use pqgram_tree::{FxHashSet, NodeId, Tree};
+
+/// The pq-gram profile of a tree: the set of all its pq-grams.
+pub type Profile = FxHashSet<PQGram>;
+
+/// Calls `f(ppart, qpart)` for every pq-gram of `tree`.
+///
+/// `ppart` has length `p` (`(a_{p-1}, …, a_1, anchor)`, null-padded at the
+/// front), `qpart` has length `q` (a window of the anchor's children with
+/// `q − 1` null nodes of padding on each side; a single all-null window for
+/// leaves). The slices are reused between calls — clone if you keep them.
+pub fn for_each_gram<F>(tree: &Tree, params: PQParams, mut f: F)
+where
+    F: FnMut(&[GramNode], &[GramNode]),
+{
+    let (p, q) = (params.p(), params.q());
+    // Ancestor chain from the root down to the current node (inclusive).
+    let mut path: Vec<GramNode> = Vec::new();
+    let mut ppart: Vec<GramNode> = vec![GramNode::Null; p];
+    let mut window: Vec<GramNode> = vec![GramNode::Null; q];
+
+    // Iterative DFS; `Frame::Leave` pops the path.
+    enum Step {
+        Enter(NodeId),
+        Leave,
+    }
+    let mut stack = vec![Step::Enter(tree.root())];
+    while let Some(step) = stack.pop() {
+        let node = match step {
+            Step::Leave => {
+                path.pop();
+                continue;
+            }
+            Step::Enter(n) => n,
+        };
+        path.push(GramNode::Node(node, tree.label(node)));
+
+        // p-part: last p entries of the path, null-padded at the front.
+        for (i, slot) in ppart.iter_mut().enumerate() {
+            let need_depth = p - 1 - i; // distance of this slot from anchor
+            *slot = if need_depth < path.len() {
+                path[path.len() - 1 - need_depth]
+            } else {
+                GramNode::Null
+            };
+        }
+
+        let children = tree.children(node);
+        if children.is_empty() {
+            window.fill(GramNode::Null);
+            f(&ppart, &window);
+        } else {
+            // Slide a q-window over (•^{q-1}, c_1 … c_f, •^{q-1}).
+            let fanout = children.len();
+            for start in 0..fanout + q - 1 {
+                for (t, slot) in window.iter_mut().enumerate() {
+                    // extended index of this slot: start + t, children occupy
+                    // extended positions q-1 .. q-1+fanout-1.
+                    let ext = start + t;
+                    *slot = if ext >= q - 1 && ext < q - 1 + fanout {
+                        let c = children[ext - (q - 1)];
+                        GramNode::Node(c, tree.label(c))
+                    } else {
+                        GramNode::Null
+                    };
+                }
+                f(&ppart, &window);
+            }
+        }
+
+        stack.push(Step::Leave);
+        for &c in children.iter().rev() {
+            stack.push(Step::Enter(c));
+        }
+    }
+}
+
+/// Materializes the profile `P(T)` (Definition 2).
+pub fn compute_profile(tree: &Tree, params: PQParams) -> Profile {
+    let mut profile = Profile::default();
+    for_each_gram(tree, params, |ppart, qpart| {
+        profile.insert(PQGram::new(ppart, qpart));
+    });
+    profile
+}
+
+/// Number of pq-grams of `tree` (= profile size; duplicates cannot occur at
+/// node level).
+pub fn gram_count(tree: &Tree, params: PQParams) -> u64 {
+    let q = params.q() as u64;
+    tree.preorder(tree.root())
+        .map(|n| {
+            let f = tree.fanout(n) as u64;
+            if f == 0 {
+                1
+            } else {
+                f + q - 1
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_tree::LabelTable;
+
+    /// Builds the tree T0 of Figure 2 with the labels implied by Figure 4 /
+    /// Example 5: a(c b(e f) c). Returns (tree, labels, node ids n1..n6).
+    pub(crate) fn paper_t0() -> (Tree, LabelTable, Vec<NodeId>) {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let b = lt.intern("b");
+        let c = lt.intern("c");
+        let e = lt.intern("e");
+        let f = lt.intern("f");
+        let mut t = Tree::with_root(a);
+        let n1 = t.root();
+        let n2 = t.add_child(n1, c);
+        let n3 = t.add_child(n1, b);
+        let n4 = t.add_child(n1, c);
+        let n5 = t.add_child(n3, e);
+        let n6 = t.add_child(n3, f);
+        (t, lt, vec![n1, n2, n3, n4, n5, n6])
+    }
+
+    fn g(tree: &Tree, ids: &[Option<NodeId>], p: usize) -> PQGram {
+        let entries: Vec<GramNode> = ids
+            .iter()
+            .map(|&id| match id {
+                None => GramNode::Null,
+                Some(n) => GramNode::Node(n, tree.label(n)),
+            })
+            .collect();
+        PQGram::new(&entries[..p], &entries[p..])
+    }
+
+    #[test]
+    fn example1_count() {
+        // "The total number of pq-grams of T0 is 13." (p = q = 3)
+        let (t, _, _) = paper_t0();
+        assert_eq!(gram_count(&t, PQParams::new(3, 3)), 13);
+        assert_eq!(compute_profile(&t, PQParams::new(3, 3)).len(), 13);
+    }
+
+    #[test]
+    fn example2_profile_p0() {
+        let (t, _, n) = paper_t0();
+        let (n1, n2, n3, n4, n5, n6) = (
+            Some(n[0]),
+            Some(n[1]),
+            Some(n[2]),
+            Some(n[3]),
+            Some(n[4]),
+            Some(n[5]),
+        );
+        let x = None;
+        let expected: Profile = [
+            g(&t, &[x, x, n1, x, x, n2], 3),
+            g(&t, &[x, x, n1, x, n2, n3], 3),
+            g(&t, &[x, x, n1, n2, n3, n4], 3),
+            g(&t, &[x, x, n1, n3, n4, x], 3),
+            g(&t, &[x, x, n1, n4, x, x], 3),
+            g(&t, &[x, n1, n2, x, x, x], 3),
+            g(&t, &[x, n1, n3, x, x, n5], 3),
+            g(&t, &[x, n1, n3, x, n5, n6], 3),
+            g(&t, &[x, n1, n3, n5, n6, x], 3),
+            g(&t, &[x, n1, n3, n6, x, x], 3),
+            g(&t, &[n1, n3, n5, x, x, x], 3),
+            g(&t, &[n1, n3, n6, x, x, x], 3),
+            g(&t, &[x, n1, n4, x, x, x], 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(compute_profile(&t, PQParams::new(3, 3)), expected);
+    }
+
+    #[test]
+    fn example4_grams_anchored_at_root() {
+        // P(n1) ∘ Q(n1) from Example 4: five grams with anchor n1.
+        let (t, _, n) = paper_t0();
+        let profile = compute_profile(&t, PQParams::new(3, 3));
+        let anchored: Vec<_> = profile
+            .iter()
+            .filter(|g| g.anchor().id() == Some(n[0]))
+            .collect();
+        assert_eq!(anchored.len(), 5);
+        // All share the same p-part (•, •, n1).
+        for g in anchored {
+            assert_eq!(g.ppart()[0], GramNode::Null);
+            assert_eq!(g.ppart()[1], GramNode::Null);
+            assert_eq!(g.ppart()[2].id(), Some(n[0]));
+        }
+    }
+
+    #[test]
+    fn single_node_tree_has_one_gram() {
+        let mut lt = LabelTable::new();
+        let t = Tree::with_root(lt.intern("a"));
+        let params = PQParams::new(3, 3);
+        let profile = compute_profile(&t, params);
+        assert_eq!(profile.len(), 1);
+        let gram = profile.iter().next().unwrap();
+        assert_eq!(gram.ppart()[2].id(), Some(t.root()));
+        assert!(gram.qpart().iter().all(|e| e.is_null()));
+        assert!(gram.ppart()[..2].iter().all(|e| e.is_null()));
+    }
+
+    #[test]
+    fn q1_and_p1_grams() {
+        let (t, _, _) = paper_t0();
+        // q = 1: each node window is exactly one child (or one null for a
+        // leaf): root has 3, n3 has 2, leaves have 1 → 3 + 1 + 2 + 1 + 1 + 1.
+        assert_eq!(compute_profile(&t, PQParams::new(1, 1)).len(), 9);
+        // p = 1, q = 2: every node anchors max(f+1, 1) grams: 4+1+3+1+1+1.
+        assert_eq!(compute_profile(&t, PQParams::new(1, 2)).len(), 11);
+    }
+
+    #[test]
+    fn gram_count_matches_enumeration_on_generated_trees() {
+        use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lt = LabelTable::new();
+        for _ in 0..5 {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(120, 5));
+            for params in [
+                PQParams::new(3, 3),
+                PQParams::new(2, 2),
+                PQParams::new(1, 2),
+            ] {
+                let mut emitted = 0u64;
+                for_each_gram(&t, params, |pp, qp| {
+                    assert_eq!(pp.len(), params.p());
+                    assert_eq!(qp.len(), params.q());
+                    emitted += 1;
+                });
+                assert_eq!(emitted, gram_count(&t, params));
+                assert_eq!(compute_profile(&t, params).len() as u64, emitted);
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_is_never_null_and_labels_match_ids() {
+        let (t, _, _) = paper_t0();
+        for_each_gram(&t, PQParams::new(3, 2), |pp, qp| {
+            let anchor = pp[pp.len() - 1];
+            assert!(!anchor.is_null());
+            for e in pp.iter().chain(qp) {
+                if let GramNode::Node(id, l) = e {
+                    assert_eq!(t.label(*id), *l);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn deep_tree_enumeration_does_not_overflow_stack() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let mut t = Tree::with_root(a);
+        let mut cur = t.root();
+        for _ in 0..50_000 {
+            cur = t.add_child(cur, a);
+        }
+        // 50,000 unary nodes anchor f+q-1 = 3 grams each, the leaf anchors 1.
+        assert_eq!(gram_count(&t, PQParams::new(3, 3)), 50_000 * 3 + 1);
+        let mut count = 0u64;
+        for_each_gram(&t, PQParams::new(3, 3), |_, _| count += 1);
+        assert_eq!(count, 50_000 * 3 + 1);
+    }
+}

@@ -1,0 +1,471 @@
+//! The `(P, Q)` table pair that stores delta pq-grams (Section 8.1).
+//!
+//! Delta sets can contain thousands of pq-grams whose p-parts and q-matrix
+//! rows overlap heavily; the paper therefore stores them structure-shared:
+//!
+//! * `P` holds, per anchor node `n`, the tuple `(n, sibPos, parId, ppart)` —
+//!   the single p-part shared by all of `n`'s pq-grams plus the structural
+//!   bookkeeping (`n` is the `sibPos`-th child of `parId`) the update
+//!   function needs;
+//! * `Q` holds q-matrix rows `(n, row, qpart)`.
+//!
+//! A pq-gram is reconstructed by joining `P` and `Q` on the anchor
+//! (`λ(P, Q) = π_{ppart ∘ qpart}[P ⋈ Q]`, Equation 31). Duplicates are
+//! prevented on insert, matching the set semantics of profiles; conflicting
+//! re-insertions (same key, different content) are reported as errors since
+//! they indicate a corrupted log.
+
+use crate::gram::label_tuple_fingerprint;
+use crate::index::GramKey;
+use crate::matrix::QRow;
+use pqgram_tree::{FxHashMap, LabelSym, LabelTable, NodeId};
+use std::collections::BTreeMap;
+
+/// A `P`-table entry: the p-part of one anchor plus structural bookkeeping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PEntry {
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// 1-based sibling position (`0` for the root).
+    pub sib_pos: u32,
+    /// The p-part labels `(a_{p−1}, …, a_1, anchor)`, null-padded.
+    pub ppart: Vec<LabelSym>,
+}
+
+/// The `(P, Q)` table pair.
+#[derive(Clone, Default, Debug)]
+pub struct DeltaTables {
+    p: FxHashMap<NodeId, PEntry>,
+    /// Secondary index: parent → anchors in `P` (unordered).
+    children: FxHashMap<NodeId, Vec<NodeId>>,
+    q: FxHashMap<NodeId, BTreeMap<u32, QRow>>,
+}
+
+/// Inconsistency detected while manipulating the tables — always indicates
+/// that the log does not match the tree/index it is applied to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// Re-insert of an anchor with different content.
+    ConflictingPEntry(NodeId),
+    /// Re-insert of a q-row with different content.
+    ConflictingQRow(NodeId, u32),
+    /// The update function needed an entry the tables do not contain.
+    MissingPEntry(NodeId),
+    /// The update function needed q-rows the tables do not contain.
+    MissingQRows(NodeId, u32, u32),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::ConflictingPEntry(n) => write!(f, "conflicting P entry for {n:?}"),
+            TableError::ConflictingQRow(n, r) => write!(f, "conflicting Q row {r} for {n:?}"),
+            TableError::MissingPEntry(n) => write!(f, "missing P entry for {n:?}"),
+            TableError::MissingQRows(n, k, m) => {
+                write!(f, "missing Q rows {k}..={m} for {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl DeltaTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no pq-gram is stored.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Number of stored p-parts.
+    pub fn p_len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Number of stored q-rows (= number of stored pq-grams).
+    pub fn q_len(&self) -> usize {
+        self.q.values().map(BTreeMap::len).sum()
+    }
+
+    /// Looks up the p-part of an anchor.
+    pub fn p_entry(&self, anchor: NodeId) -> Option<&PEntry> {
+        self.p.get(&anchor)
+    }
+
+    /// Looks up the p-part of an anchor, erroring if absent.
+    pub fn p_entry_required(&self, anchor: NodeId) -> Result<&PEntry, TableError> {
+        self.p.get(&anchor).ok_or(TableError::MissingPEntry(anchor))
+    }
+
+    /// Anchors recorded in `P` whose parent is `parent` (arbitrary order).
+    pub fn children_in_p(&self, parent: NodeId) -> &[NodeId] {
+        self.children.get(&parent).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inserts a p-part; duplicate identical inserts are no-ops.
+    pub fn insert_p(&mut self, anchor: NodeId, entry: PEntry) -> Result<(), TableError> {
+        if let Some(existing) = self.p.get(&anchor) {
+            if *existing == entry {
+                return Ok(());
+            }
+            return Err(TableError::ConflictingPEntry(anchor));
+        }
+        if let Some(parent) = entry.parent {
+            self.children.entry(parent).or_default().push(anchor);
+        }
+        self.p.insert(anchor, entry);
+        Ok(())
+    }
+
+    /// Removes an anchor's p-part (and its `children` index entry).
+    pub fn remove_p(&mut self, anchor: NodeId) -> Option<PEntry> {
+        let entry = self.p.remove(&anchor)?;
+        if let Some(parent) = entry.parent {
+            if let Some(list) = self.children.get_mut(&parent) {
+                list.retain(|&c| c != anchor);
+                if list.is_empty() {
+                    self.children.remove(&parent);
+                }
+            }
+        }
+        Some(entry)
+    }
+
+    /// Overwrites the ppart labels of an existing anchor.
+    pub fn set_ppart(&mut self, anchor: NodeId, ppart: Vec<LabelSym>) -> Result<(), TableError> {
+        let entry = self
+            .p
+            .get_mut(&anchor)
+            .ok_or(TableError::MissingPEntry(anchor))?;
+        entry.ppart = ppart;
+        Ok(())
+    }
+
+    /// Re-parents / repositions an existing anchor, keeping the `children`
+    /// index consistent.
+    pub fn set_parent_pos(
+        &mut self,
+        anchor: NodeId,
+        parent: Option<NodeId>,
+        sib_pos: u32,
+    ) -> Result<(), TableError> {
+        let entry = self
+            .p
+            .get_mut(&anchor)
+            .ok_or(TableError::MissingPEntry(anchor))?;
+        let old_parent = entry.parent;
+        entry.parent = parent;
+        entry.sib_pos = sib_pos;
+        if old_parent != parent {
+            if let Some(op) = old_parent {
+                if let Some(list) = self.children.get_mut(&op) {
+                    list.retain(|&c| c != anchor);
+                    if list.is_empty() {
+                        self.children.remove(&op);
+                    }
+                }
+            }
+            if let Some(np) = parent {
+                self.children.entry(np).or_default().push(anchor);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts one q-row; duplicate identical inserts are no-ops.
+    pub fn insert_q_row(&mut self, anchor: NodeId, row: u32, qrow: QRow) -> Result<(), TableError> {
+        let rows = self.q.entry(anchor).or_default();
+        if let Some(existing) = rows.get(&row) {
+            if *existing == qrow {
+                return Ok(());
+            }
+            return Err(TableError::ConflictingQRow(anchor, row));
+        }
+        rows.insert(row, qrow);
+        Ok(())
+    }
+
+    /// The stored rows of one anchor (row number → row), if any.
+    pub fn q_rows(&self, anchor: NodeId) -> Option<&BTreeMap<u32, QRow>> {
+        self.q.get(&anchor)
+    }
+
+    /// Extracts (removes) the contiguous rows `k ..= last` of `anchor`,
+    /// erroring unless all of them are present.
+    pub fn take_q_range(
+        &mut self,
+        anchor: NodeId,
+        k: u32,
+        last: u32,
+    ) -> Result<Vec<QRow>, TableError> {
+        let rows = self
+            .q
+            .get_mut(&anchor)
+            .ok_or(TableError::MissingQRows(anchor, k, last))?;
+        let mut out = Vec::with_capacity((last - k + 1) as usize);
+        for r in k..=last {
+            match rows.remove(&r) {
+                Some(row) => out.push(row),
+                None => return Err(TableError::MissingQRows(anchor, k, last)),
+            }
+        }
+        if rows.is_empty() {
+            self.q.remove(&anchor);
+        }
+        Ok(out)
+    }
+
+    /// Removes *all* rows of an anchor, returning them ascending by row
+    /// number (empty if none stored).
+    pub fn take_q_all(&mut self, anchor: NodeId) -> Vec<(u32, QRow)> {
+        self.q
+            .remove(&anchor)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Shifts the row numbers of all stored rows of `anchor` strictly above
+    /// `after` by `delta` (used when an edit grows/shrinks a child list).
+    pub fn shift_q_rows(&mut self, anchor: NodeId, after: u32, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let Some(rows) = self.q.get_mut(&anchor) else {
+            return;
+        };
+        let moved: Vec<(u32, QRow)> = rows
+            .range(after + 1..)
+            .map(|(&r, _)| r)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|r| (r, rows.remove(&r).expect("row present")))
+            .collect();
+        for (r, qrow) in moved {
+            let new_row = (r as i64 + delta) as u32;
+            let prev = rows.insert(new_row, qrow);
+            debug_assert!(prev.is_none(), "row shift collided at {new_row}");
+        }
+    }
+
+    /// Shifts `sib_pos` of every `P` anchor whose parent is `parent` and
+    /// whose position is strictly greater than `after` by `delta`.
+    pub fn shift_sib_pos(&mut self, parent: NodeId, after: u32, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let Some(anchors) = self.children.get(&parent) else {
+            return;
+        };
+        for anchor in anchors.clone() {
+            let entry = self.p.get_mut(&anchor).expect("children index out of sync");
+            if entry.sib_pos > after {
+                entry.sib_pos = (entry.sib_pos as i64 + delta) as u32;
+            }
+        }
+    }
+
+    /// Enumerates the stored pq-grams as `(anchor, row, label-tuple)` —
+    /// the join `P ⋈ Q` of Equation 31.
+    pub fn enumerate(&self) -> impl Iterator<Item = (NodeId, u32, Vec<LabelSym>)> + '_ {
+        self.q.iter().flat_map(move |(&anchor, rows)| {
+            let ppart = &self
+                .p
+                .get(&anchor)
+                .expect("Q row without P entry — tables out of sync")
+                .ppart;
+            rows.iter().map(move |(&row, qrow)| {
+                let mut tuple = Vec::with_capacity(ppart.len() + qrow.len());
+                tuple.extend_from_slice(ppart);
+                tuple.extend_from_slice(qrow);
+                (anchor, row, tuple)
+            })
+        })
+    }
+
+    /// `λ(P, Q)`: the bag of label-tuple fingerprints of the stored
+    /// pq-grams (Equation 31).
+    pub fn lambda(&self, labels: &LabelTable) -> Vec<GramKey> {
+        self.enumerate()
+            .map(|(_, _, tuple)| label_tuple_fingerprint(tuple, labels))
+            .collect()
+    }
+
+    /// Debug helper: checks P/children-index consistency and that every
+    /// Q anchor has a P entry.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (&parent, list) in &self.children {
+            for &anchor in list {
+                match self.p.get(&anchor) {
+                    Some(e) if e.parent == Some(parent) => {}
+                    other => return Err(format!("children index stale: {anchor:?} -> {other:?}")),
+                }
+            }
+        }
+        for (&anchor, entry) in &self.p {
+            if let Some(parent) = entry.parent {
+                if !self
+                    .children
+                    .get(&parent)
+                    .is_some_and(|l| l.contains(&anchor))
+                {
+                    return Err(format!("missing children index entry for {anchor:?}"));
+                }
+            }
+        }
+        for &anchor in self.q.keys() {
+            if !self.p.contains_key(&anchor) {
+                return Err(format!("Q rows without P entry for {anchor:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_tree::LabelTable;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn entry(lt: &mut LabelTable, parent: Option<usize>, pos: u32, labels: &[&str]) -> PEntry {
+        PEntry {
+            parent: parent.map(nid),
+            sib_pos: pos,
+            ppart: labels
+                .iter()
+                .map(|l| {
+                    if *l == "*" {
+                        LabelSym::NULL
+                    } else {
+                        lt.intern(l)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn p_insert_is_idempotent_and_conflicts_detected() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let e = entry(&mut lt, Some(0), 1, &["*", "a", "b"]);
+        t.insert_p(nid(1), e.clone()).unwrap();
+        t.insert_p(nid(1), e).unwrap(); // identical: fine
+        let different = entry(&mut lt, Some(0), 2, &["*", "a", "b"]);
+        assert_eq!(
+            t.insert_p(nid(1), different),
+            Err(TableError::ConflictingPEntry(nid(1)))
+        );
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn children_index_tracks_mutations() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(1), entry(&mut lt, Some(0), 1, &["a", "b"]))
+            .unwrap();
+        t.insert_p(nid(2), entry(&mut lt, Some(0), 2, &["a", "c"]))
+            .unwrap();
+        assert_eq!(t.children_in_p(nid(0)).len(), 2);
+        t.set_parent_pos(nid(2), Some(nid(1)), 1).unwrap();
+        assert_eq!(t.children_in_p(nid(0)), &[nid(1)]);
+        assert_eq!(t.children_in_p(nid(1)), &[nid(2)]);
+        t.remove_p(nid(2));
+        assert!(t.children_in_p(nid(1)).is_empty());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn q_rows_roundtrip_and_conflicts() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let x = lt.intern("x");
+        let row = vec![x, LabelSym::NULL];
+        t.insert_q_row(nid(1), 1, row.clone()).unwrap();
+        t.insert_q_row(nid(1), 1, row.clone()).unwrap();
+        assert_eq!(
+            t.insert_q_row(nid(1), 1, vec![LabelSym::NULL, x]),
+            Err(TableError::ConflictingQRow(nid(1), 1))
+        );
+        assert_eq!(t.q_len(), 1);
+        let got = t.take_q_range(nid(1), 1, 1).unwrap();
+        assert_eq!(got, vec![row]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn take_q_range_requires_contiguity() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let x = lt.intern("x");
+        t.insert_q_row(nid(1), 1, vec![x]).unwrap();
+        t.insert_q_row(nid(1), 3, vec![x]).unwrap();
+        assert!(matches!(
+            t.take_q_range(nid(1), 1, 3),
+            Err(TableError::MissingQRows(..))
+        ));
+    }
+
+    #[test]
+    fn shift_q_rows_moves_only_later_rows() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let x = lt.intern("x");
+        for r in [1u32, 2, 5, 6] {
+            t.insert_q_row(nid(1), r, vec![lt.intern(&format!("r{r}")), x])
+                .unwrap();
+        }
+        t.shift_q_rows(nid(1), 2, 3);
+        let rows: Vec<u32> = t.q_rows(nid(1)).unwrap().keys().copied().collect();
+        assert_eq!(rows, vec![1, 2, 8, 9]);
+        t.shift_q_rows(nid(1), 2, -3);
+        let rows: Vec<u32> = t.q_rows(nid(1)).unwrap().keys().copied().collect();
+        assert_eq!(rows, vec![1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn shift_sib_pos_moves_only_later_siblings() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        for (i, pos) in [(1usize, 1u32), (2, 2), (3, 4)] {
+            t.insert_p(nid(i), entry(&mut lt, Some(0), pos, &["a", "x"]))
+                .unwrap();
+        }
+        t.shift_sib_pos(nid(0), 1, 1);
+        assert_eq!(t.p_entry(nid(1)).unwrap().sib_pos, 1);
+        assert_eq!(t.p_entry(nid(2)).unwrap().sib_pos, 3);
+        assert_eq!(t.p_entry(nid(3)).unwrap().sib_pos, 5);
+    }
+
+    #[test]
+    fn lambda_joins_p_and_q() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let (a, b, c) = (lt.intern("a"), lt.intern("b"), lt.intern("c"));
+        t.insert_p(
+            nid(1),
+            PEntry {
+                parent: None,
+                sib_pos: 0,
+                ppart: vec![LabelSym::NULL, a],
+            },
+        )
+        .unwrap();
+        t.insert_q_row(nid(1), 1, vec![LabelSym::NULL, b]).unwrap();
+        t.insert_q_row(nid(1), 2, vec![b, c]).unwrap();
+        let grams = t.lambda(&lt);
+        assert_eq!(grams.len(), 2);
+        let expected1 = label_tuple_fingerprint([LabelSym::NULL, a, LabelSym::NULL, b], &lt);
+        let expected2 = label_tuple_fingerprint([LabelSym::NULL, a, b, c], &lt);
+        assert!(grams.contains(&expected1) && grams.contains(&expected2));
+        t.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the tree diff: convergence, rewindability and
+//! compatibility with the incremental index maintenance, on arbitrary
+//! (including completely unrelated) tree pairs.
+
+use pqgram_diff::{sync, DiffError};
+use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+use pqgram_tree::{LabelTable, Tree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn names(t: &Tree, l: &LabelTable) -> Vec<String> {
+    t.preorder(t.root())
+        .map(|n| format!("{}/{}", l.name(t.label(n)), t.fanout(n)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Diffing two *independent* random trees must converge to a
+    /// label-isomorphic result (or report RootRelabeled), and the log must
+    /// rewind to the original.
+    #[test]
+    fn unrelated_trees_converge(
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        n_a in 1usize..80,
+        n_b in 1usize..80,
+        alphabet in 1usize..6,
+    ) {
+        let mut rng_a = StdRng::seed_from_u64(seed_a);
+        let mut lt = LabelTable::new();
+        let mut old = random_tree(&mut rng_a, &mut lt, &RandomTreeConfig::new(n_a, alphabet));
+        let snapshot = old.clone();
+        let mut rng_b = StdRng::seed_from_u64(seed_b);
+        let mut nlt = LabelTable::new();
+        let new = random_tree(&mut rng_b, &mut nlt, &RandomTreeConfig::new(n_b, alphabet));
+
+        match sync(&mut old, &mut lt, &new, &nlt) {
+            Ok(log) => {
+                prop_assert_eq!(names(&old, &lt), names(&new, &nlt));
+                log.rewind(&mut old).unwrap();
+                prop_assert_eq!(old, snapshot);
+            }
+            Err(DiffError::RootRelabeled) => {
+                prop_assert_ne!(
+                    lt.name(snapshot.label(snapshot.root())),
+                    nlt.name(new.label(new.root()))
+                );
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    /// The diff-derived log drives the incremental index maintenance to the
+    /// same index a rebuild produces.
+    #[test]
+    fn diff_logs_feed_maintenance(
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        n in 2usize..60,
+    ) {
+        use pqgram_core::{build_index, PQParams};
+        use pqgram_core::maintain::update_index;
+        let params = PQParams::new(2, 3);
+        let mut rng_a = StdRng::seed_from_u64(seed_a);
+        let mut lt = LabelTable::new();
+        let mut old = random_tree(&mut rng_a, &mut lt, &RandomTreeConfig::new(n, 4));
+        let old_index = build_index(&old, &lt, params);
+        let mut rng_b = StdRng::seed_from_u64(seed_b);
+        // Same label prefix: roots always match.
+        let new = random_tree(&mut rng_b, &mut lt.clone(), &RandomTreeConfig::new(n, 4));
+        let new_labels = lt.clone();
+        let log = match sync(&mut old, &mut lt, &new, &new_labels) {
+            Ok(log) => log,
+            Err(DiffError::RootRelabeled) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        };
+        let updated = update_index(&old_index, &old, &lt, &log).unwrap().index;
+        prop_assert_eq!(updated, build_index(&old, &lt, params));
+    }
+}

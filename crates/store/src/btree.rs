@@ -1,0 +1,1007 @@
+//! A disk-resident B+-tree with fixed-width keys.
+//!
+//! Keys are `(u64, u64)` pairs — in the index store `(tree_id, gram
+//! fingerprint)`, matching the paper's relation `(treeId, pqg, cnt)` — and
+//! values are `u32` counts. Leaves are chained for range scans (all grams of
+//! one tree = one contiguous key range).
+//!
+//! Node layout (4 KiB pages):
+//!
+//! ```text
+//! leaf:     [0]=1 | count u16 @1 | next leaf PageId @4 | pad | entries @16
+//!           entry: key.hi u64 | key.lo u64 | value u32     (20 bytes, 204/leaf)
+//! internal: [0]=2 | count u16 @1 | child0 PageId @4 | pad | entries @16
+//!           entry: sep key (16) | child PageId (4)         (20 bytes, 204 keys)
+//! ```
+//!
+//! Separator convention: `sep[i]` is a lower bound for everything in child
+//! `i + 1`; descent picks `child = partition_point(sep <= key)`.
+//! Deletions remove leaf entries without rebalancing (the index workload
+//! deletes only what it re-inserts later; space is reclaimed when a tree is
+//! dropped wholesale).
+
+use crate::buffer::BufferPool;
+use crate::page::{PageBuf, PageId};
+use crate::pager::Result;
+
+/// B+-tree key: `(tree_id, gram)` in the index store.
+pub type Key = (u64, u64);
+
+const TYPE_LEAF: u8 = 1;
+const TYPE_INTERNAL: u8 = 2;
+const OFF_COUNT: usize = 1;
+const OFF_NEXT: usize = 4; // leaf: next-leaf; internal: child0
+const OFF_ENTRIES: usize = 16;
+const ENTRY: usize = 20;
+/// Maximum entries per node (same arithmetic for both node kinds).
+pub const NODE_CAPACITY: usize = (crate::page::PAGE_SIZE - OFF_ENTRIES) / ENTRY;
+
+/// A B+-tree rooted at a page recorded in a pager metadata slot.
+pub struct BTree<'p> {
+    pool: &'p BufferPool,
+    meta_slot: usize,
+}
+
+impl<'p> BTree<'p> {
+    /// Opens the tree whose root page id lives in `meta_slot`; creates an
+    /// empty root leaf if the slot is unset (zero).
+    pub fn open(pool: &'p BufferPool, meta_slot: usize) -> Result<Self> {
+        let tree = BTree { pool, meta_slot };
+        if pool.meta(meta_slot) == 0 {
+            let root = pool.allocate()?;
+            pool.with_page_mut(root, init_leaf)?;
+            pool.set_meta(meta_slot, root.0 as u64 + 1)?;
+        }
+        Ok(tree)
+    }
+
+    fn root(&self) -> PageId {
+        PageId((self.pool.meta(self.meta_slot) - 1) as u32)
+    }
+
+    fn set_root(&self, id: PageId) -> Result<()> {
+        self.pool.set_meta(self.meta_slot, id.0 as u64 + 1)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: Key) -> Result<Option<u32>> {
+        let leaf = self.descend(key)?.0;
+        self.pool.with_page(leaf, |p| {
+            let (pos, found) = leaf_search(p, key);
+            found.then(|| leaf_value(p, pos))
+        })
+    }
+
+    /// Inserts or overwrites; returns the previous value if any.
+    pub fn insert(&self, key: Key, value: u32) -> Result<Option<u32>> {
+        let (leaf, path) = self.descend(key)?;
+        enum Outcome {
+            Done(Option<u32>),
+            Split,
+        }
+        let outcome = self.pool.with_page_mut(leaf, |p| {
+            let (pos, found) = leaf_search(p, key);
+            if found {
+                let old = leaf_value(p, pos);
+                set_leaf_value(p, pos, value);
+                return Outcome::Done(Some(old));
+            }
+            if (count(p) as usize) < NODE_CAPACITY {
+                leaf_insert_at(p, pos, key, value);
+                return Outcome::Done(None);
+            }
+            Outcome::Split
+        })?;
+        match outcome {
+            Outcome::Done(old) => Ok(old),
+            Outcome::Split => {
+                self.split_leaf_and_insert(leaf, key, value, path)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Removes a key; returns its value if present.
+    pub fn delete(&self, key: Key) -> Result<Option<u32>> {
+        let leaf = self.descend(key)?.0;
+        self.pool.with_page_mut(leaf, |p| {
+            let (pos, found) = leaf_search(p, key);
+            found.then(|| {
+                let old = leaf_value(p, pos);
+                leaf_remove_at(p, pos);
+                old
+            })
+        })
+    }
+
+    /// Calls `f(key, value)` for every entry with `lo <= key <= hi`, in key
+    /// order, until `f` returns `false`.
+    pub fn for_each_range(
+        &self,
+        lo: Key,
+        hi: Key,
+        mut f: impl FnMut(Key, u32) -> bool,
+    ) -> Result<()> {
+        let mut leaf = self.descend(lo)?.0;
+        loop {
+            // Copy the relevant slice out, then release the pool lock.
+            let (entries, next) = self.pool.with_page(leaf, |p| {
+                let n = count(p) as usize;
+                let (start, _) = leaf_search(p, lo);
+                let mut out = Vec::with_capacity(n.saturating_sub(start));
+                for i in start..n {
+                    let k = leaf_key(p, i);
+                    if k > hi {
+                        break;
+                    }
+                    out.push((k, leaf_value(p, i)));
+                }
+                (out, p.get_page_id(OFF_NEXT))
+            })?;
+            let exhausted = entries.last().map(|&(k, _)| k >= hi).unwrap_or(false);
+            for (k, v) in entries {
+                if !f(k, v) {
+                    return Ok(());
+                }
+            }
+            if exhausted || next == PageId::NONE {
+                return Ok(());
+            }
+            leaf = next;
+        }
+    }
+
+    /// Total number of entries (full scan; used by tests and stats).
+    pub fn len(&self) -> Result<u64> {
+        let mut n = 0u64;
+        self.for_each_range((0, 0), (u64::MAX, u64::MAX), |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        let mut any = false;
+        self.for_each_range((0, 0), (u64::MAX, u64::MAX), |_, _| {
+            any = true;
+            false
+        })?;
+        Ok(!any)
+    }
+
+    /// Walks from the root to the leaf responsible for `key`, returning the
+    /// leaf and the descent path `(internal page, child index)`.
+    fn descend(&self, key: Key) -> Result<(PageId, Vec<(PageId, usize)>)> {
+        let mut cur = self.root();
+        let mut path = Vec::new();
+        loop {
+            let step = self.pool.with_page(cur, |p| match p.get_u8(0) {
+                TYPE_LEAF => None,
+                TYPE_INTERNAL => {
+                    let idx = internal_child_index(p, key);
+                    Some((idx, internal_child(p, idx)))
+                }
+                t => panic!("corrupt node type {t}"),
+            })?;
+            match step {
+                None => return Ok((cur, path)),
+                Some((idx, child)) => {
+                    path.push((cur, idx));
+                    cur = child;
+                }
+            }
+        }
+    }
+
+    fn split_leaf_and_insert(
+        &self,
+        leaf: PageId,
+        key: Key,
+        value: u32,
+        path: Vec<(PageId, usize)>,
+    ) -> Result<()> {
+        let right = self.pool.allocate()?;
+        // Move the upper half out of the left leaf.
+        let (moved, old_next) = self.pool.with_page_mut(leaf, |p| {
+            let n = count(p) as usize;
+            let mid = n / 2;
+            let mut moved = Vec::with_capacity(n - mid);
+            for i in mid..n {
+                moved.push((leaf_key(p, i), leaf_value(p, i)));
+            }
+            let old_next = p.get_page_id(OFF_NEXT);
+            set_count(p, mid as u16);
+            p.put_page_id(OFF_NEXT, right);
+            (moved, old_next)
+        })?;
+        let sep = moved[0].0;
+        self.pool.with_page_mut(right, |p| {
+            init_leaf(p);
+            p.put_page_id(OFF_NEXT, old_next);
+            for (i, &(k, v)) in moved.iter().enumerate() {
+                leaf_write_at(p, i, k, v);
+            }
+            set_count(p, moved.len() as u16);
+        })?;
+        // Insert the pending entry into whichever side owns it.
+        let target = if key < sep { leaf } else { right };
+        self.pool.with_page_mut(target, |p| {
+            let (pos, found) = leaf_search(p, key);
+            debug_assert!(!found);
+            leaf_insert_at(p, pos, key, value);
+        })?;
+        self.propagate_split(sep, right, path)
+    }
+
+    /// Inserts `(sep, right)` into the parents, splitting as needed.
+    fn propagate_split(
+        &self,
+        mut sep: Key,
+        mut right: PageId,
+        mut path: Vec<(PageId, usize)>,
+    ) -> Result<()> {
+        while let Some((node, idx)) = path.pop() {
+            enum Outcome {
+                Done,
+                Split {
+                    promoted: Key,
+                    moved: Vec<(Key, PageId)>,
+                    right_child0: PageId,
+                },
+            }
+            let outcome = self.pool.with_page_mut(node, |p| {
+                if (count(p) as usize) < NODE_CAPACITY {
+                    internal_insert_at(p, idx, sep, right);
+                    return Outcome::Done;
+                }
+                // Split: promote the middle key.
+                let n = count(p) as usize;
+                let mid = n / 2;
+                let promoted = internal_key(p, mid);
+                let right_child0 = internal_child(p, mid + 1);
+                let moved: Vec<(Key, PageId)> = (mid + 1..n)
+                    .map(|i| (internal_key(p, i), internal_child(p, i + 1)))
+                    .collect();
+                set_count(p, mid as u16);
+                Outcome::Split {
+                    promoted,
+                    moved,
+                    right_child0,
+                }
+            })?;
+            match outcome {
+                Outcome::Done => return Ok(()),
+                Outcome::Split {
+                    promoted,
+                    moved,
+                    right_child0,
+                } => {
+                    let new_node = self.pool.allocate()?;
+                    self.pool.with_page_mut(new_node, |p| {
+                        init_internal(p, right_child0);
+                        for (i, &(k, c)) in moved.iter().enumerate() {
+                            internal_write_at(p, i, k, c);
+                        }
+                        set_count(p, moved.len() as u16);
+                    })?;
+                    // The pending (sep, right) goes to whichever half owns
+                    // its key range. Separators are pairwise distinct (a
+                    // subtree's minimum key is never promoted again), so
+                    // strict comparison suffices.
+                    let target = if sep < promoted { node } else { new_node };
+                    self.pool.with_page_mut(target, |p| {
+                        let pos = internal_child_index(p, sep);
+                        internal_insert_at(p, pos, sep, right);
+                    })?;
+                    sep = promoted;
+                    right = new_node;
+                }
+            }
+        }
+        // Root split.
+        let old_root = self.root();
+        let new_root = self.pool.allocate()?;
+        self.pool.with_page_mut(new_root, |p| {
+            init_internal(p, old_root);
+            internal_write_at(p, 0, sep, right);
+            set_count(p, 1);
+        })?;
+        self.set_root(new_root)
+    }
+}
+
+// ---- pure node views (safe inside pool closures) ---------------------------
+
+fn init_leaf(p: &mut PageBuf) {
+    p.as_bytes_mut().fill(0);
+    p.put_u8(0, TYPE_LEAF);
+    p.put_page_id(OFF_NEXT, PageId::NONE);
+}
+
+fn init_internal(p: &mut PageBuf, child0: PageId) {
+    p.as_bytes_mut().fill(0);
+    p.put_u8(0, TYPE_INTERNAL);
+    p.put_page_id(OFF_NEXT, child0);
+}
+
+fn count(p: &PageBuf) -> u16 {
+    p.get_u16(OFF_COUNT)
+}
+
+fn set_count(p: &mut PageBuf, n: u16) {
+    p.put_u16(OFF_COUNT, n);
+}
+
+fn entry_off(i: usize) -> usize {
+    OFF_ENTRIES + i * ENTRY
+}
+
+fn leaf_key(p: &PageBuf, i: usize) -> Key {
+    (p.get_u64(entry_off(i)), p.get_u64(entry_off(i) + 8))
+}
+
+fn leaf_value(p: &PageBuf, i: usize) -> u32 {
+    p.get_u32(entry_off(i) + 16)
+}
+
+fn set_leaf_value(p: &mut PageBuf, i: usize, v: u32) {
+    p.put_u32(entry_off(i) + 16, v);
+}
+
+fn leaf_write_at(p: &mut PageBuf, i: usize, k: Key, v: u32) {
+    p.put_u64(entry_off(i), k.0);
+    p.put_u64(entry_off(i) + 8, k.1);
+    p.put_u32(entry_off(i) + 16, v);
+}
+
+/// Binary search; returns `(position, exact match)`.
+fn leaf_search(p: &PageBuf, key: Key) -> (usize, bool) {
+    let n = count(p) as usize;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match leaf_key(p, mid).cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return (mid, true),
+        }
+    }
+    (lo, false)
+}
+
+fn leaf_insert_at(p: &mut PageBuf, pos: usize, key: Key, value: u32) {
+    let n = count(p) as usize;
+    debug_assert!(n < NODE_CAPACITY);
+    p.shift(entry_off(pos), entry_off(pos + 1), (n - pos) * ENTRY);
+    leaf_write_at(p, pos, key, value);
+    set_count(p, (n + 1) as u16);
+}
+
+fn leaf_remove_at(p: &mut PageBuf, pos: usize) {
+    let n = count(p) as usize;
+    p.shift(entry_off(pos + 1), entry_off(pos), (n - pos - 1) * ENTRY);
+    set_count(p, (n - 1) as u16);
+}
+
+fn internal_key(p: &PageBuf, i: usize) -> Key {
+    (p.get_u64(entry_off(i)), p.get_u64(entry_off(i) + 8))
+}
+
+/// Child `i` (`0 ..= count`): child 0 lives in the header slot.
+fn internal_child(p: &PageBuf, i: usize) -> PageId {
+    if i == 0 {
+        p.get_page_id(OFF_NEXT)
+    } else {
+        p.get_page_id(entry_off(i - 1) + 16)
+    }
+}
+
+fn internal_write_at(p: &mut PageBuf, i: usize, k: Key, child: PageId) {
+    p.put_u64(entry_off(i), k.0);
+    p.put_u64(entry_off(i) + 8, k.1);
+    p.put_page_id(entry_off(i) + 16, child);
+}
+
+/// Index of the child to descend into for `key`:
+/// `partition_point(sep <= key)`.
+fn internal_child_index(p: &PageBuf, key: Key) -> usize {
+    let n = count(p) as usize;
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(p, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn internal_insert_at(p: &mut PageBuf, idx: usize, sep: Key, right: PageId) {
+    let n = count(p) as usize;
+    debug_assert!(n < NODE_CAPACITY);
+    p.shift(entry_off(idx), entry_off(idx + 1), (n - idx) * ENTRY);
+    internal_write_at(p, idx, sep, right);
+    set_count(p, (n + 1) as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pqgram-btree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::remove_file(&p).ok();
+        let mut j = p.as_os_str().to_owned();
+        j.push("-journal");
+        std::fs::remove_file(PathBuf::from(j)).ok();
+        p
+    }
+
+    fn pool(name: &str) -> BufferPool {
+        BufferPool::new(Pager::create(&tmp(name)).unwrap(), 64)
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let pool = pool("basic.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        assert_eq!(tree.get((1, 2)).unwrap(), None);
+        assert_eq!(tree.insert((1, 2), 10).unwrap(), None);
+        assert_eq!(tree.get((1, 2)).unwrap(), Some(10));
+        assert_eq!(tree.insert((1, 2), 11).unwrap(), Some(10));
+        assert_eq!(tree.get((1, 2)).unwrap(), Some(11));
+        assert_eq!(tree.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn many_keys_random_order() {
+        let pool = pool("many.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        let mut keys: Vec<Key> = (0..20_000u64).map(|i| (i % 7, i * 31 % 65_536)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(5));
+        for (i, &k) in shuffled.iter().enumerate() {
+            tree.insert(k, i as u32).unwrap();
+        }
+        assert_eq!(tree.len().unwrap(), keys.len() as u64);
+        for &k in keys.iter().step_by(97) {
+            assert!(tree.get(k).unwrap().is_some(), "missing {k:?}");
+        }
+        // Full scan returns keys in sorted order.
+        let mut scanned = Vec::new();
+        tree.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, _| {
+            scanned.push(k);
+            true
+        })
+        .unwrap();
+        assert_eq!(scanned, keys);
+    }
+
+    #[test]
+    fn range_scan_per_tree_id() {
+        let pool = pool("range.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for t in 0..5u64 {
+            for g in 0..300u64 {
+                tree.insert((t, g * 7), (t * 1000 + g) as u32).unwrap();
+            }
+        }
+        let mut seen = Vec::new();
+        tree.for_each_range((2, 0), (2, u64::MAX), |k, v| {
+            assert_eq!(k.0, 2);
+            seen.push((k.1, v));
+            true
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 300);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn early_termination() {
+        let pool = pool("early.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for g in 0..1000u64 {
+            tree.insert((1, g), g as u32).unwrap();
+        }
+        let mut n = 0;
+        tree.for_each_range((1, 0), (1, u64::MAX), |_, _| {
+            n += 1;
+            n < 10
+        })
+        .unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let pool = pool("delete.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for g in 0..5_000u64 {
+            tree.insert((0, g), g as u32).unwrap();
+        }
+        for g in (0..5_000u64).step_by(2) {
+            assert_eq!(tree.delete((0, g)).unwrap(), Some(g as u32));
+        }
+        assert_eq!(tree.delete((0, 0)).unwrap(), None);
+        assert_eq!(tree.len().unwrap(), 2_500);
+        for g in 0..5_000u64 {
+            let expect = (g % 2 == 1).then_some(g as u32);
+            assert_eq!(tree.get((0, g)).unwrap(), expect, "key {g}");
+        }
+        for g in (0..5_000u64).step_by(2) {
+            tree.insert((0, g), 1).unwrap();
+        }
+        assert_eq!(tree.len().unwrap(), 5_000);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmp("persist.db");
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
+            let tree = BTree::open(&pool, 0).unwrap();
+            for g in 0..3_000u64 {
+                tree.insert((9, g), (g * 2) as u32).unwrap();
+            }
+            pool.flush().unwrap();
+        }
+        let pool = BufferPool::new(Pager::open(&path).unwrap(), 64);
+        let tree = BTree::open(&pool, 0).unwrap();
+        assert_eq!(tree.len().unwrap(), 3_000);
+        assert_eq!(tree.get((9, 1234)).unwrap(), Some(2468));
+    }
+
+    #[test]
+    fn descending_and_ascending_inserts_split_correctly() {
+        for reverse in [false, true] {
+            let pool = pool(if reverse { "desc.db" } else { "asc.db" });
+            let tree = BTree::open(&pool, 0).unwrap();
+            let keys: Vec<u64> = if reverse {
+                (0..10_000).rev().collect()
+            } else {
+                (0..10_000).collect()
+            };
+            for &g in &keys {
+                tree.insert((0, g), g as u32).unwrap();
+            }
+            assert_eq!(tree.len().unwrap(), 10_000);
+            assert_eq!(tree.get((0, 9_999)).unwrap(), Some(9_999));
+            assert_eq!(tree.get((0, 0)).unwrap(), Some(0));
+        }
+    }
+
+    #[test]
+    fn two_trees_in_one_pool() {
+        let pool = pool("two.db");
+        let a = BTree::open(&pool, 0).unwrap();
+        let b = BTree::open(&pool, 1).unwrap();
+        for g in 0..500u64 {
+            a.insert((0, g), 1).unwrap();
+            b.insert((0, g), 2).unwrap();
+        }
+        assert_eq!(a.get((0, 100)).unwrap(), Some(1));
+        assert_eq!(b.get((0, 100)).unwrap(), Some(2));
+        assert_eq!(a.len().unwrap(), 500);
+        assert_eq!(b.len().unwrap(), 500);
+    }
+}
+
+impl BTree<'_> {
+    /// Verifies the structural invariants of the whole tree: node types,
+    /// in-node key ordering, separator bounds, leaf-chain order and
+    /// reachability. Returns a description of the first violation.
+    ///
+    /// Intended for tests, recovery checks and the CLI's `stats --verify`.
+    pub fn verify(&self) -> Result<BTreeCheck> {
+        let mut check = BTreeCheck::default();
+        let mut leftmost_leaf = PageId::NONE;
+        self.verify_node(self.root(), None, None, 0, &mut check, &mut leftmost_leaf)?;
+        // Walk the leaf chain and confirm global key order and entry count.
+        let mut chained = 0u64;
+        let mut prev: Option<Key> = None;
+        let mut leaf = leftmost_leaf;
+        while leaf != PageId::NONE {
+            let (entries, next) = self.pool.with_page(leaf, |p| {
+                if p.get_u8(0) != TYPE_LEAF {
+                    return (None, PageId::NONE);
+                }
+                let n = count(p) as usize;
+                let keys: Vec<Key> = (0..n).map(|i| leaf_key(p, i)).collect();
+                (Some(keys), p.get_page_id(OFF_NEXT))
+            })?;
+            let Some(keys) = entries else {
+                return Err(corrupt("leaf chain reaches a non-leaf page"));
+            };
+            for k in keys {
+                if let Some(p) = prev {
+                    if p >= k {
+                        return Err(corrupt("leaf chain keys out of order"));
+                    }
+                }
+                prev = Some(k);
+                chained += 1;
+            }
+            leaf = next;
+        }
+        if chained != check.entries {
+            return Err(corrupt("leaf chain entry count disagrees with tree walk"));
+        }
+        Ok(check)
+    }
+
+    fn verify_node(
+        &self,
+        page: PageId,
+        lower: Option<Key>,
+        upper: Option<Key>,
+        depth: usize,
+        check: &mut BTreeCheck,
+        leftmost_leaf: &mut PageId,
+    ) -> Result<()> {
+        if depth > 64 {
+            return Err(corrupt("tree too deep (cycle?)"));
+        }
+        enum Node {
+            Leaf(Vec<Key>),
+            Internal(Vec<Key>, Vec<PageId>),
+        }
+        let node = self.pool.with_page(page, |p| match p.get_u8(0) {
+            TYPE_LEAF => {
+                let n = count(p) as usize;
+                Some(Node::Leaf((0..n).map(|i| leaf_key(p, i)).collect()))
+            }
+            TYPE_INTERNAL => {
+                let n = count(p) as usize;
+                let keys = (0..n).map(|i| internal_key(p, i)).collect();
+                let children = (0..=n).map(|i| internal_child(p, i)).collect();
+                Some(Node::Internal(keys, children))
+            }
+            _ => None,
+        })?;
+        match node {
+            None => Err(corrupt("unknown node type")),
+            Some(Node::Leaf(keys)) => {
+                check.leaves += 1;
+                check.entries += keys.len() as u64;
+                check.depth = check.depth.max(depth);
+                if *leftmost_leaf == PageId::NONE {
+                    *leftmost_leaf = page;
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(corrupt("leaf keys out of order"));
+                    }
+                }
+                if let (Some(lo), Some(first)) = (lower, keys.first()) {
+                    if *first < lo {
+                        return Err(corrupt("leaf key below separator bound"));
+                    }
+                }
+                if let (Some(hi), Some(last)) = (upper, keys.last()) {
+                    if *last >= hi {
+                        return Err(corrupt("leaf key at or above separator bound"));
+                    }
+                }
+                Ok(())
+            }
+            Some(Node::Internal(keys, children)) => {
+                check.internals += 1;
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(corrupt("separators out of order"));
+                    }
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(keys[i - 1]) };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(keys[i])
+                    };
+                    self.verify_node(child, lo, hi, depth + 1, check, leftmost_leaf)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn corrupt(msg: &str) -> crate::pager::StoreError {
+    crate::pager::StoreError::Corrupt(msg.into())
+}
+
+/// Result of [`BTree::verify`]: shape statistics of a healthy tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BTreeCheck {
+    /// Number of leaf pages.
+    pub leaves: u64,
+    /// Number of internal pages.
+    pub internals: u64,
+    /// Total entries.
+    pub entries: u64,
+    /// Leaf depth (root = 0).
+    pub depth: usize,
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::pager::Pager;
+
+    fn pool(name: &str) -> BufferPool {
+        let dir = std::env::temp_dir().join(format!("pqgram-bverify-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::remove_file(&p).ok();
+        let mut j = p.as_os_str().to_owned();
+        j.push("-journal");
+        std::fs::remove_file(std::path::PathBuf::from(j)).ok();
+        BufferPool::new(Pager::create(&p).unwrap(), 128)
+    }
+
+    #[test]
+    fn verify_healthy_tree() {
+        let pool = pool("healthy.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for g in 0..30_000u64 {
+            tree.insert((g % 5, g.wrapping_mul(0x9e37_79b9)), 1)
+                .unwrap();
+        }
+        let check = tree.verify().unwrap();
+        assert_eq!(check.entries, 30_000);
+        assert!(check.leaves > 100);
+        assert!(check.internals >= 1);
+        assert!(check.depth >= 1);
+    }
+
+    #[test]
+    fn verify_after_deletions() {
+        let pool = pool("deleted.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for g in 0..10_000u64 {
+            tree.insert((0, g), 1).unwrap();
+        }
+        for g in (0..10_000u64).step_by(3) {
+            tree.delete((0, g)).unwrap();
+        }
+        let check = tree.verify().unwrap();
+        assert_eq!(check.entries, 10_000 - 10_000u64.div_ceil(3));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let pool = pool("corrupt.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        for g in 0..5_000u64 {
+            tree.insert((0, g), 1).unwrap();
+        }
+        // Corrupt one leaf: swap two keys through the raw page.
+        let leaf = {
+            // Find any leaf by descending.
+            let mut page = PageId((pool.meta(0) - 1) as u32);
+            loop {
+                let next = pool
+                    .with_page(page, |p| {
+                        (p.get_u8(0) == TYPE_INTERNAL).then(|| internal_child(p, 0))
+                    })
+                    .unwrap();
+                match next {
+                    Some(child) => page = child,
+                    None => break page,
+                }
+            }
+        };
+        pool.with_page_mut(leaf, |p| {
+            let k0 = leaf_key(p, 0);
+            let k1 = leaf_key(p, 1);
+            let v0 = leaf_value(p, 0);
+            let v1 = leaf_value(p, 1);
+            leaf_write_at(p, 0, k1, v1);
+            leaf_write_at(p, 1, k0, v0);
+        })
+        .unwrap();
+        assert!(tree.verify().is_err());
+    }
+}
+
+impl<'p> BTree<'p> {
+    /// Bulk-loads a **sorted, deduplicated** key/value stream into an empty
+    /// tree, building leaves left to right and internal levels bottom-up —
+    /// `O(n)` page writes with ~90%-full leaves, versus `O(n log n)` descent
+    /// costs and half-full splits for repeated inserts.
+    ///
+    /// Errors if the tree is not empty or the input is not strictly
+    /// ascending.
+    pub fn bulk_load<I>(&self, entries: I) -> Result<u64>
+    where
+        I: IntoIterator<Item = (Key, u32)>,
+    {
+        if !self.is_empty()? {
+            return Err(corrupt("bulk_load requires an empty tree"));
+        }
+        // Fill factor: leave some slack for future inserts.
+        let leaf_cap = NODE_CAPACITY * 9 / 10;
+        let mut total = 0u64;
+        let mut last_key: Option<Key> = None;
+
+        // Current leaf being filled.
+        let first_leaf = self.root();
+        let mut cur_leaf = first_leaf;
+        let mut cur_count = 0usize;
+        // (first key, page) of every completed leaf, for the upper levels.
+        let mut level: Vec<(Key, PageId)> = Vec::new();
+        let mut first_key_of_cur: Option<Key> = None;
+
+        for (key, value) in entries {
+            if let Some(prev) = last_key {
+                if prev >= key {
+                    return Err(corrupt("bulk_load input not strictly ascending"));
+                }
+            }
+            last_key = Some(key);
+            if cur_count == leaf_cap {
+                // Seal this leaf, start a new one.
+                let next = self.pool.allocate()?;
+                self.pool
+                    .with_page_mut(cur_leaf, |p| p.put_page_id(OFF_NEXT, next))?;
+                self.pool.with_page_mut(next, init_leaf)?;
+                level.push((
+                    first_key_of_cur.take().expect("sealed leaf has keys"),
+                    cur_leaf,
+                ));
+                cur_leaf = next;
+                cur_count = 0;
+            }
+            self.pool.with_page_mut(cur_leaf, |p| {
+                leaf_write_at(p, cur_count, key, value);
+                set_count(p, (cur_count + 1) as u16);
+            })?;
+            if cur_count == 0 {
+                first_key_of_cur = Some(key);
+            }
+            cur_count += 1;
+            total += 1;
+        }
+        if let Some(fk) = first_key_of_cur {
+            level.push((fk, cur_leaf));
+        } else if total == 0 {
+            return Ok(0); // empty input: the empty root leaf stands
+        } else if cur_count == 0 {
+            // The last allocated leaf stayed empty; it is harmless (searches
+            // and scans tolerate empty leaves), keep it in the chain.
+            level.push((last_key.expect("total > 0"), cur_leaf));
+        }
+
+        // Build internal levels until one node remains.
+        let int_cap = NODE_CAPACITY * 9 / 10;
+        let mut current = level;
+        while current.len() > 1 {
+            let mut next_level: Vec<(Key, PageId)> = Vec::new();
+            let mut i = 0usize;
+            while i < current.len() {
+                // One internal node covers up to int_cap + 1 children.
+                let take = (int_cap + 1).min(current.len() - i);
+                let node = self.pool.allocate()?;
+                let group = &current[i..i + take];
+                self.pool.with_page_mut(node, |p| {
+                    init_internal(p, group[0].1);
+                    for (j, &(sep, child)) in group[1..].iter().enumerate() {
+                        internal_write_at(p, j, sep, child);
+                    }
+                    set_count(p, (group.len() - 1) as u16);
+                })?;
+                next_level.push((group[0].0, node));
+                i += take;
+            }
+            current = next_level;
+        }
+        self.set_root(current[0].1)?;
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod bulk_tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::pager::Pager;
+
+    fn pool(name: &str) -> BufferPool {
+        let dir = std::env::temp_dir().join(format!("pqgram-bulk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::remove_file(&p).ok();
+        let mut j = p.as_os_str().to_owned();
+        j.push("-journal");
+        std::fs::remove_file(std::path::PathBuf::from(j)).ok();
+        BufferPool::new(Pager::create(&p).unwrap(), 256)
+    }
+
+    #[test]
+    fn bulk_load_then_read_everything() {
+        let pool = pool("basic.db");
+        let tree = BTree::open(&pool, 0).unwrap();
+        let entries: Vec<(Key, u32)> = (0..50_000u64).map(|g| ((g % 7, g), g as u32)).collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+        let n = tree.bulk_load(sorted.iter().copied()).unwrap();
+        assert_eq!(n, 50_000);
+        tree.verify().unwrap();
+        assert_eq!(tree.len().unwrap(), 50_000);
+        for &(k, v) in sorted.iter().step_by(997) {
+            assert_eq!(tree.get(k).unwrap(), Some(v));
+        }
+        // Inserts after bulk load still work (slack in leaves).
+        tree.insert((99, 1), 7).unwrap();
+        assert_eq!(tree.get((99, 1)).unwrap(), Some(7));
+        tree.verify().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_small_inputs() {
+        for n in [0u64, 1, 2, 200] {
+            let p = pool(&format!("small{n}.db"));
+            let tree = BTree::open(&p, 0).unwrap();
+            tree.bulk_load((0..n).map(|g| ((0, g), 1))).unwrap();
+            assert_eq!(tree.len().unwrap(), n);
+            tree.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted_and_nonempty() {
+        let p = pool("reject.db");
+        let tree = BTree::open(&p, 0).unwrap();
+        assert!(tree.bulk_load([((0, 2), 1), ((0, 1), 1)]).is_err());
+        // After the failed load the tree may hold a prefix; re-check the
+        // empty-precondition path with a fresh tree.
+        let pool2 = pool("reject2.db");
+        let tree2 = BTree::open(&pool2, 0).unwrap();
+        tree2.insert((0, 0), 1).unwrap();
+        assert!(tree2.bulk_load([((0, 1), 1)]).is_err());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let pool_a = pool("cmp-a.db");
+        let a = BTree::open(&pool_a, 0).unwrap();
+        let pool_b = pool("cmp-b.db");
+        let b = BTree::open(&pool_b, 0).unwrap();
+        let entries: Vec<(Key, u32)> = (0..10_000u64)
+            .map(|g| ((g % 3, g * 17), (g % 91) as u32))
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable();
+        a.bulk_load(sorted.iter().copied()).unwrap();
+        for &(k, v) in &entries {
+            b.insert(k, v).unwrap();
+        }
+        let dump = |t: &BTree| {
+            let mut v = Vec::new();
+            t.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, val| {
+                v.push((k, val));
+                true
+            })
+            .unwrap();
+            v
+        };
+        assert_eq!(dump(&a), dump(&b));
+        a.verify().unwrap();
+        b.verify().unwrap();
+    }
+}

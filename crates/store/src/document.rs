@@ -1,0 +1,452 @@
+//! The document store: documents *and* their pq-gram index in one file.
+//!
+//! [`crate::index_store::IndexStore`] implements exactly the paper's
+//! scenario — the application supplies the edit log. `DocumentStore` covers
+//! the common practical case where no instrumented editor exists: it keeps
+//! the serialized document next to its index rows, and [`DocumentStore::sync`]
+//! accepts a *new version* of a document, derives an edit script against the
+//! stored version (`pqgram-diff`), preprocesses the log (Section 10), and
+//! applies the incremental index update plus the new document blob in one
+//! transaction.
+//!
+//! Header metadata slots: 0 = index B+-tree root, 1 = `p`, 2 = `q`,
+//! 3 = blob directory root, 7 = file-kind marker.
+
+use crate::blob::BlobStore;
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::pager::{Pager, StoreError};
+use pqgram_core::maintain::{compute_index_delta, MaintainError, UpdateStats};
+use pqgram_core::{build_index, GramKey, LookupHit, PQParams, TreeId, TreeIndex};
+use pqgram_diff::DiffError;
+use pqgram_tree::serial::{read_tree, write_tree};
+use pqgram_tree::{optimize_log, LabelTable, Tree};
+use std::fmt;
+use std::path::Path;
+
+const META_ROOT: usize = 0;
+const META_P: usize = 1;
+const META_Q: usize = 2;
+const META_BLOBS: usize = 3;
+const META_KIND: usize = 7;
+const KIND_DOCUMENT_STORE: u64 = 2;
+
+/// Errors of the document store.
+#[derive(Debug)]
+pub enum DocError {
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// Incremental maintenance failure.
+    Maintain(MaintainError),
+    /// The diff could not produce a script (e.g. the root label changed and
+    /// `sync` was asked not to fall back).
+    Diff(DiffError),
+    /// Operation on a document that is not in the store.
+    UnknownDocument(TreeId),
+    /// A delta removal referenced a gram the stored index does not have.
+    InconsistentDelta(TreeId, GramKey),
+    /// The stored blob could not be decoded.
+    CorruptDocument(TreeId, String),
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::Store(e) => write!(f, "storage error: {e}"),
+            DocError::Maintain(e) => write!(f, "maintenance error: {e}"),
+            DocError::Diff(e) => write!(f, "diff error: {e}"),
+            DocError::UnknownDocument(t) => write!(f, "document {t:?} is not in the store"),
+            DocError::InconsistentDelta(t, g) => {
+                write!(f, "delta removes gram {g:#x} absent from {t:?}")
+            }
+            DocError::CorruptDocument(t, m) => write!(f, "document {t:?} corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+impl From<StoreError> for DocError {
+    fn from(e: StoreError) -> Self {
+        DocError::Store(e)
+    }
+}
+
+impl From<MaintainError> for DocError {
+    fn from(e: MaintainError) -> Self {
+        DocError::Maintain(e)
+    }
+}
+
+impl From<DiffError> for DocError {
+    fn from(e: DiffError) -> Self {
+        DocError::Diff(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, DocError>;
+
+/// How [`DocumentStore::sync`] brought the stored document up to date.
+#[derive(Clone, Debug)]
+pub enum SyncOutcome {
+    /// An edit script was derived and the index updated incrementally.
+    Incremental {
+        /// Edit operations in the derived script.
+        script_len: usize,
+        /// Operations left after log preprocessing.
+        optimized_len: usize,
+        /// Maintenance timing breakdown.
+        stats: UpdateStats,
+    },
+    /// The diff was impossible (root relabeled); the document was re-indexed
+    /// from scratch.
+    Reindexed,
+}
+
+/// Documents plus their pq-gram index, in one transactional file.
+pub struct DocumentStore {
+    pool: BufferPool,
+    params: PQParams,
+}
+
+impl DocumentStore {
+    /// Creates a new document store.
+    pub fn create(path: &Path, params: PQParams) -> Result<DocumentStore> {
+        let pool = BufferPool::new(Pager::create(path)?, DEFAULT_CAPACITY);
+        pool.set_meta(META_P, params.p() as u64)?;
+        pool.set_meta(META_Q, params.q() as u64)?;
+        pool.set_meta(META_KIND, KIND_DOCUMENT_STORE)?;
+        BTree::open(&pool, META_ROOT)?;
+        BlobStore::open(&pool, META_BLOBS)?;
+        pool.flush()?;
+        Ok(DocumentStore { pool, params })
+    }
+
+    /// Opens an existing document store (with crash recovery).
+    pub fn open(path: &Path) -> Result<DocumentStore> {
+        let pool = BufferPool::new(Pager::open(path)?, DEFAULT_CAPACITY);
+        if pool.meta(META_KIND) != KIND_DOCUMENT_STORE {
+            return Err(DocError::Store(StoreError::Corrupt(
+                "not a document store (kind marker mismatch)".into(),
+            )));
+        }
+        let (p, q) = (pool.meta(META_P) as usize, pool.meta(META_Q) as usize);
+        if p == 0 || q == 0 {
+            return Err(DocError::Store(StoreError::Corrupt(
+                "missing pq parameters".into(),
+            )));
+        }
+        Ok(DocumentStore {
+            pool,
+            params: PQParams::new(p, q),
+        })
+    }
+
+    /// The pq-gram parameters of this store.
+    pub fn params(&self) -> PQParams {
+        self.params
+    }
+
+    /// Stores (or replaces) a document and its index. Transactional.
+    pub fn put(&mut self, id: TreeId, tree: &Tree, labels: &LabelTable) -> Result<()> {
+        let index = build_index(tree, labels, self.params);
+        let mut blob = Vec::new();
+        write_tree(&mut blob, tree, labels).map_err(|e| DocError::Store(StoreError::Io(e)))?;
+        self.transactional(|store| {
+            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
+            crate::ops::put_tree_entries(&store.pool, META_ROOT, id, &index)?;
+            BlobStore::open(&store.pool, META_BLOBS)?.put(id.0, &blob)?;
+            Ok(())
+        })
+    }
+
+    /// Loads a stored document (tree + its label table).
+    pub fn document(&self, id: TreeId) -> Result<Option<(Tree, LabelTable)>> {
+        let blobs = BlobStore::open(&self.pool, META_BLOBS)?;
+        let Some(bytes) = blobs.get(id.0)? else {
+            return Ok(None);
+        };
+        read_tree(&mut bytes.as_slice())
+            .map(Some)
+            .map_err(|e| DocError::CorruptDocument(id, e.to_string()))
+    }
+
+    /// The stored index of a document.
+    pub fn document_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
+        Ok(crate::ops::tree_index(
+            &self.pool,
+            META_ROOT,
+            self.params,
+            id,
+        )?)
+    }
+
+    /// Removes a document (blob + index rows). Returns `true` if present.
+    pub fn remove(&mut self, id: TreeId) -> Result<bool> {
+        let blobs = BlobStore::open(&self.pool, META_BLOBS)?;
+        if !blobs.contains(id.0)? {
+            return Ok(false);
+        }
+        self.transactional(|store| {
+            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
+            BlobStore::open(&store.pool, META_BLOBS)?.delete(id.0)?;
+            Ok(())
+        })?;
+        Ok(true)
+    }
+
+    /// All stored document ids, ascending.
+    pub fn ids(&self) -> Result<Vec<TreeId>> {
+        let blobs = BlobStore::open(&self.pool, META_BLOBS)?;
+        Ok(blobs.keys()?.into_iter().map(TreeId).collect())
+    }
+
+    /// Brings document `id` up to date with `new_tree`: derives an edit
+    /// script against the stored version, preprocesses it, updates the index
+    /// incrementally, and stores the new document blob — all in one
+    /// transaction. Falls back to a full re-index when the diff is
+    /// impossible (root relabeled).
+    pub fn sync(
+        &mut self,
+        id: TreeId,
+        new_tree: &Tree,
+        new_labels: &LabelTable,
+    ) -> Result<SyncOutcome> {
+        let Some((mut tree, mut labels)) = self.document(id)? else {
+            return Err(DocError::UnknownDocument(id));
+        };
+        let log = match pqgram_diff::sync(&mut tree, &mut labels, new_tree, new_labels) {
+            Ok(log) => log,
+            Err(DiffError::RootRelabeled) => {
+                self.put(id, new_tree, new_labels)?;
+                return Ok(SyncOutcome::Reindexed);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let script_len = log.len();
+        let (optimized, _) = optimize_log(&tree, &log);
+        let (delta, stats) = compute_index_delta(&tree, &labels, &optimized, self.params)?;
+
+        let mut blob = Vec::new();
+        write_tree(&mut blob, &tree, &labels).map_err(|e| DocError::Store(StoreError::Io(e)))?;
+        let t = std::time::Instant::now();
+        let mut apply_err = None;
+        self.transactional(|store| {
+            if let Some(gram) = crate::ops::apply_delta_rows(&store.pool, META_ROOT, id, &delta)? {
+                apply_err = Some(DocError::InconsistentDelta(id, gram));
+                return Err(DocError::InconsistentDelta(id, gram));
+            }
+            BlobStore::open(&store.pool, META_BLOBS)?.put(id.0, &blob)?;
+            Ok(())
+        })?;
+        let mut stats = stats;
+        stats.apply = t.elapsed();
+        Ok(SyncOutcome::Incremental {
+            script_len,
+            optimized_len: optimized.len(),
+            stats,
+        })
+    }
+
+    /// Approximate lookup over the stored forest.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        assert_eq!(query.params(), self.params, "parameter mismatch");
+        Ok(crate::ops::lookup_scan(&self.pool, META_ROOT, query, tau)?)
+    }
+
+    /// Number of index rows.
+    pub fn row_count(&self) -> Result<u64> {
+        Ok(BTree::open(&self.pool, META_ROOT)?.len()?)
+    }
+
+    fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
+        self.pool.begin()?;
+        match f(self) {
+            Ok(()) => {
+                self.pool.commit()?;
+                Ok(())
+            }
+            Err(e) => {
+                self.pool.rollback()?;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_tree::generate::{dblp, random_tree, RandomTreeConfig};
+    use pqgram_tree::{record_script, ScriptConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pqgram-docstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::remove_file(&p).ok();
+        let mut j = p.as_os_str().to_owned();
+        j.push("-journal");
+        std::fs::remove_file(PathBuf::from(j)).ok();
+        p
+    }
+
+    #[test]
+    fn put_document_and_read_back() {
+        let params = PQParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lt = LabelTable::new();
+        let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(150, 5));
+        let mut store = DocumentStore::create(&tmp("put.docs"), params).unwrap();
+        store.put(TreeId(1), &tree, &lt).unwrap();
+        let (back, back_lt) = store.document(TreeId(1)).unwrap().unwrap();
+        assert_eq!(back.node_count(), tree.node_count());
+        // Label-name sequences match (ids are renumbered by serialization).
+        let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
+            t.preorder(t.root())
+                .map(|n| l.name(t.label(n)).to_string())
+                .collect()
+        };
+        assert_eq!(names(&tree, &lt), names(&back, &back_lt));
+        assert_eq!(
+            store.document_index(TreeId(1)).unwrap().unwrap(),
+            build_index(&tree, &lt, params)
+        );
+    }
+
+    #[test]
+    fn sync_applies_incremental_update() {
+        let params = PQParams::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lt = LabelTable::new();
+        let mut tree = dblp(&mut rng, &mut lt, 3_000);
+        let mut store = DocumentStore::create(&tmp("sync.docs"), params).unwrap();
+        store.put(TreeId(1), &tree, &lt).unwrap();
+
+        // The document evolves elsewhere; only the new version arrives.
+        let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+        record_script(&mut rng, &mut tree, &ScriptConfig::new(40, alphabet));
+        let outcome = store.sync(TreeId(1), &tree, &lt).unwrap();
+        match outcome {
+            SyncOutcome::Incremental {
+                script_len,
+                optimized_len,
+                ..
+            } => {
+                assert!(script_len > 0);
+                assert!(optimized_len <= script_len);
+                // A 40-edit change must not look like a full rewrite.
+                assert!(script_len < 600, "script_len {script_len}");
+            }
+            SyncOutcome::Reindexed => panic!("expected incremental sync"),
+        }
+        // The stored index equals a rebuild of the new version.
+        let stored = store.document_index(TreeId(1)).unwrap().unwrap();
+        assert_eq!(stored, build_index(&tree, &lt, params));
+        // The stored document matches the new version.
+        let (back, back_lt) = store.document(TreeId(1)).unwrap().unwrap();
+        let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
+            t.preorder(t.root())
+                .map(|n| l.name(t.label(n)).to_string())
+                .collect()
+        };
+        assert_eq!(names(&tree, &lt), names(&back, &back_lt));
+    }
+
+    #[test]
+    fn repeated_syncs_stay_consistent() {
+        let params = PQParams::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lt = LabelTable::new();
+        let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(400, 6));
+        let mut store = DocumentStore::create(&tmp("repeat.docs"), params).unwrap();
+        store.put(TreeId(9), &tree, &lt).unwrap();
+        for round in 0..5 {
+            let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+            record_script(&mut rng, &mut tree, &ScriptConfig::new(15, alphabet));
+            store.sync(TreeId(9), &tree, &lt).unwrap();
+            let stored = store.document_index(TreeId(9)).unwrap().unwrap();
+            assert_eq!(stored, build_index(&tree, &lt, params), "round {round}");
+        }
+    }
+
+    #[test]
+    fn root_relabel_falls_back_to_reindex() {
+        let params = PQParams::default();
+        let mut lt = LabelTable::new();
+        let mut t1 = Tree::with_root(lt.intern("old-root"));
+        t1.add_child(t1.root(), lt.intern("x"));
+        let mut store = DocumentStore::create(&tmp("fallback.docs"), params).unwrap();
+        store.put(TreeId(1), &t1, &lt).unwrap();
+        let mut t2 = Tree::with_root(lt.intern("new-root"));
+        t2.add_child(t2.root(), lt.intern("x"));
+        let outcome = store.sync(TreeId(1), &t2, &lt).unwrap();
+        assert!(matches!(outcome, SyncOutcome::Reindexed));
+        assert_eq!(
+            store.document_index(TreeId(1)).unwrap().unwrap(),
+            build_index(&t2, &lt, params)
+        );
+    }
+
+    #[test]
+    fn sync_unknown_document_fails() {
+        let params = PQParams::default();
+        let mut lt = LabelTable::new();
+        let t = Tree::with_root(lt.intern("a"));
+        let mut store = DocumentStore::create(&tmp("unknown.docs"), params).unwrap();
+        assert!(matches!(
+            store.sync(TreeId(5), &t, &lt).unwrap_err(),
+            DocError::UnknownDocument(TreeId(5))
+        ));
+    }
+
+    #[test]
+    fn remove_drops_blob_and_rows() {
+        let params = PQParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lt = LabelTable::new();
+        let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 4));
+        let mut store = DocumentStore::create(&tmp("remove.docs"), params).unwrap();
+        store.put(TreeId(1), &tree, &lt).unwrap();
+        assert!(store.remove(TreeId(1)).unwrap());
+        assert!(!store.remove(TreeId(1)).unwrap());
+        assert!(store.document(TreeId(1)).unwrap().is_none());
+        assert_eq!(store.row_count().unwrap(), 0);
+        assert!(store.ids().unwrap().is_empty());
+    }
+
+    #[test]
+    fn reopen_and_lookup() {
+        let params = PQParams::default();
+        let path = tmp("reopen.docs");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lt = LabelTable::new();
+        let trees: Vec<_> = (0..5)
+            .map(|_| random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(120, 5)))
+            .collect();
+        {
+            let mut store = DocumentStore::create(&path, params).unwrap();
+            for (i, t) in trees.iter().enumerate() {
+                store.put(TreeId(i as u64), t, &lt).unwrap();
+            }
+        }
+        let store = DocumentStore::open(&path).unwrap();
+        assert_eq!(store.ids().unwrap().len(), 5);
+        let query = build_index(&trees[2], &lt, params);
+        let hits = store.lookup(&query, 0.9).unwrap();
+        assert_eq!(hits[0].tree_id, TreeId(2));
+        assert!(hits[0].distance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_store_file_is_rejected() {
+        let params = PQParams::default();
+        let path = tmp("wrongkind.docs");
+        crate::IndexStore::create(&path, params).unwrap();
+        let err = DocumentStore::open(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, DocError::Store(StoreError::Corrupt(_))));
+    }
+}

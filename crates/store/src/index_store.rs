@@ -1,0 +1,474 @@
+//! The persistent pq-gram forest index.
+//!
+//! One store file holds the relation `(treeId, pqg, cnt)` of Figure 4 in a
+//! B+-tree keyed by `(tree_id, gram fingerprint)`, plus the `p, q`
+//! parameters in the header. All mutating operations are transactional
+//! (rollback journal): a crash mid-update leaves the previous index state.
+//!
+//! The two workloads of the paper's evaluation map to:
+//!
+//! * **approximate lookup** ([`IndexStore::lookup`]) — one ordered scan of
+//!   the relation computes the pq-gram distance of the query to every
+//!   stored tree (Section 9.1);
+//! * **incremental update** ([`IndexStore::apply_delta`],
+//!   [`IndexStore::update_from_log`]) — applies `I ← I \ I⁻ ⊎ I⁺` from an
+//!   edit log without touching unrelated entries (Sections 8–9.2).
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::pager::{Pager, StoreError};
+use pqgram_core::maintain::{compute_index_delta, IndexDelta, MaintainError, UpdateStats};
+use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
+use pqgram_tree::{EditLog, LabelTable, Tree};
+use std::fmt;
+use std::path::Path;
+
+const META_ROOT: usize = 0;
+const META_P: usize = 1;
+const META_Q: usize = 2;
+const META_KIND: usize = 7;
+const KIND_INDEX_STORE: u64 = 1;
+
+/// Errors of the persistent index layer.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// Incremental maintenance failure (log/tree/index mismatch).
+    Maintain(MaintainError),
+    /// A delta removal referenced a gram the stored tree does not have.
+    InconsistentDelta(TreeId, GramKey),
+    /// Operation on a tree that is not in the store.
+    UnknownTree(TreeId),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Store(e) => write!(f, "storage error: {e}"),
+            IndexError::Maintain(e) => write!(f, "maintenance error: {e}"),
+            IndexError::InconsistentDelta(t, g) => {
+                write!(f, "delta removes gram {g:#x} absent from {t:?}")
+            }
+            IndexError::UnknownTree(t) => write!(f, "tree {t:?} is not in the store"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<StoreError> for IndexError {
+    fn from(e: StoreError) -> Self {
+        IndexError::Store(e)
+    }
+}
+
+impl From<MaintainError> for IndexError {
+    fn from(e: MaintainError) -> Self {
+        IndexError::Maintain(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, IndexError>;
+
+/// A persistent forest index file.
+pub struct IndexStore {
+    pool: BufferPool,
+    params: PQParams,
+}
+
+impl IndexStore {
+    /// Creates a new store file for the given pq-gram parameters.
+    pub fn create(path: &Path, params: PQParams) -> Result<IndexStore> {
+        let pool = BufferPool::new(Pager::create(path)?, DEFAULT_CAPACITY);
+        pool.set_meta(META_P, params.p() as u64)?;
+        pool.set_meta(META_Q, params.q() as u64)?;
+        pool.set_meta(META_KIND, KIND_INDEX_STORE)?;
+        BTree::open(&pool, META_ROOT)?;
+        pool.flush()?;
+        Ok(IndexStore { pool, params })
+    }
+
+    /// Opens an existing store (running crash recovery if needed).
+    pub fn open(path: &Path) -> Result<IndexStore> {
+        let pool = BufferPool::new(Pager::open(path)?, DEFAULT_CAPACITY);
+        if pool.meta(META_KIND) != KIND_INDEX_STORE {
+            return Err(IndexError::Store(StoreError::Corrupt(
+                "not an index store (kind marker mismatch; document stores open with \
+                 DocumentStore)"
+                    .into(),
+            )));
+        }
+        let (p, q) = (pool.meta(META_P) as usize, pool.meta(META_Q) as usize);
+        if p == 0 || q == 0 {
+            return Err(IndexError::Store(StoreError::Corrupt(
+                "missing pq parameters in header".into(),
+            )));
+        }
+        let params = PQParams::new(p, q);
+        Ok(IndexStore { pool, params })
+    }
+
+    /// The pq-gram parameters this store was created with.
+    pub fn params(&self) -> PQParams {
+        self.params
+    }
+
+    fn tree(&self) -> Result<BTree<'_>> {
+        Ok(BTree::open(&self.pool, META_ROOT)?)
+    }
+
+    /// Inserts (or replaces) the index of one tree. Transactional.
+    pub fn put_tree(&mut self, id: TreeId, index: &TreeIndex) -> Result<()> {
+        assert_eq!(index.params(), self.params, "parameter mismatch");
+        self.transactional(|store| {
+            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
+            crate::ops::put_tree_entries(&store.pool, META_ROOT, id, index)?;
+            Ok(())
+        })
+    }
+
+    /// Removes a tree from the store. Transactional. Returns `true` if the
+    /// tree existed.
+    pub fn remove_tree(&mut self, id: TreeId) -> Result<bool> {
+        let existed = self.contains_tree(id)?;
+        if existed {
+            self.transactional(|store| store.delete_tree_entries(id))?;
+        }
+        Ok(existed)
+    }
+
+    fn delete_tree_entries(&self, id: TreeId) -> Result<()> {
+        Ok(crate::ops::delete_tree_entries(&self.pool, META_ROOT, id)?)
+    }
+
+    /// True if any gram of `id` is stored.
+    pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
+        Ok(crate::ops::contains_tree(&self.pool, META_ROOT, id)?)
+    }
+
+    /// Materializes the in-memory index of one stored tree.
+    pub fn tree_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
+        Ok(crate::ops::tree_index(
+            &self.pool,
+            META_ROOT,
+            self.params,
+            id,
+        )?)
+    }
+
+    /// All stored tree ids, ascending (skip-scan over the key space).
+    pub fn tree_ids(&self) -> Result<Vec<TreeId>> {
+        Ok(crate::ops::tree_ids(&self.pool, META_ROOT)?)
+    }
+
+    /// Applies an incremental update delta (`I ← I \ I⁻ ⊎ I⁺`) to one tree.
+    /// Transactional: on any inconsistency the store is left unchanged.
+    pub fn apply_delta(&mut self, id: TreeId, delta: &IndexDelta) -> Result<()> {
+        self.transactional(|store| {
+            match crate::ops::apply_delta_rows(&store.pool, META_ROOT, id, delta)? {
+                None => Ok(()),
+                Some(gram) => Err(IndexError::InconsistentDelta(id, gram)),
+            }
+        })
+    }
+
+    /// The full pipeline of the paper: given the stored old index of `id`,
+    /// the resulting tree and the log of inverse operations, computes
+    /// `I⁺`/`I⁻` (Algorithm 1) and applies them in one transaction.
+    pub fn update_from_log(
+        &mut self,
+        id: TreeId,
+        tree: &Tree,
+        labels: &LabelTable,
+        log: &EditLog,
+    ) -> Result<UpdateStats> {
+        if !self.contains_tree(id)? {
+            return Err(IndexError::UnknownTree(id));
+        }
+        let (delta, mut stats) = compute_index_delta(tree, labels, log, self.params)?;
+        let t = std::time::Instant::now();
+        self.apply_delta(id, &delta)?;
+        stats.apply = t.elapsed();
+        Ok(stats)
+    }
+
+    /// The approximate lookup of Section 3.2 over the stored forest: all
+    /// trees with `dist(query, T) < tau`, ascending by distance. One ordered
+    /// scan of the relation.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        assert_eq!(query.params(), self.params, "parameter mismatch");
+        Ok(crate::ops::lookup_scan(&self.pool, META_ROOT, query, tau)?)
+    }
+
+    /// Number of distinct `(tree, gram)` rows (size of the relation).
+    pub fn row_count(&self) -> Result<u64> {
+        Ok(self.tree()?.len()?)
+    }
+
+    /// Verifies the on-disk B+-tree invariants (see
+    /// [`crate::btree::BTree::verify`]).
+    pub fn verify(&self) -> Result<crate::btree::BTreeCheck> {
+        Ok(self.tree()?.verify()?)
+    }
+
+    /// Flushes caches to disk (no-op for data already committed).
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.pool.flush()?)
+    }
+
+    /// Creates a store and bulk-loads a whole forest in one pass (sorted
+    /// bottom-up B+-tree build) — much faster than per-tree [`Self::put_tree`]
+    /// for initial indexing.
+    pub fn bulk_create<'a, I>(path: &Path, params: PQParams, forest: I) -> Result<IndexStore>
+    where
+        I: IntoIterator<Item = (TreeId, &'a TreeIndex)>,
+    {
+        let mut rows: Vec<((u64, u64), u32)> = Vec::new();
+        for (id, index) in forest {
+            assert_eq!(index.params(), params, "parameter mismatch");
+            for (gram, count) in index.iter() {
+                rows.push(((id.0, gram), count));
+            }
+        }
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        let store = IndexStore::create(path, params)?;
+        let tree = store.tree()?;
+        tree.bulk_load(rows)?;
+        store.pool.flush()?;
+        Ok(store)
+    }
+
+    /// Rewrites the store into a fresh compact file at `target` (bulk-built
+    /// B+-tree, no free pages, ~90% leaf fill) and returns the new store.
+    pub fn compact_to(&self, target: &Path) -> Result<IndexStore> {
+        let compacted = IndexStore::create(target, self.params)?;
+        let src = self.tree()?;
+        let dst = compacted.tree()?;
+        let mut rows: Vec<((u64, u64), u32)> = Vec::new();
+        src.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, v| {
+            rows.push((k, v));
+            true
+        })?;
+        dst.bulk_load(rows)?;
+        compacted.pool.flush()?;
+        Ok(compacted)
+    }
+
+    fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
+        self.pool.begin()?;
+        match f(self) {
+            Ok(()) => {
+                self.pool.commit()?;
+                Ok(())
+            }
+            Err(e) => {
+                self.pool.rollback()?;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_core::{build_index, pq_distance};
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::{record_script, ScriptConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pqgram-istore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::remove_file(&p).ok();
+        let mut j = p.as_os_str().to_owned();
+        j.push("-journal");
+        std::fs::remove_file(PathBuf::from(j)).ok();
+        p
+    }
+
+    fn setup(seed: u64, n: usize) -> (Tree, LabelTable) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lt = LabelTable::new();
+        let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(n, 6));
+        (t, lt)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let params = PQParams::default();
+        let (t, lt) = setup(1, 300);
+        let idx = build_index(&t, &lt, params);
+        let mut store = IndexStore::create(&tmp("roundtrip.pqg"), params).unwrap();
+        store.put_tree(TreeId(7), &idx).unwrap();
+        let back = store.tree_index(TreeId(7)).unwrap().unwrap();
+        assert_eq!(back, idx);
+        assert!(store.tree_index(TreeId(8)).unwrap().is_none());
+        assert_eq!(store.tree_ids().unwrap(), vec![TreeId(7)]);
+    }
+
+    #[test]
+    fn reopen_preserves_params_and_data() {
+        let params = PQParams::new(2, 4);
+        let path = tmp("reopen.pqg");
+        let (t, lt) = setup(2, 200);
+        let idx = build_index(&t, &lt, params);
+        {
+            let mut store = IndexStore::create(&path, params).unwrap();
+            store.put_tree(TreeId(1), &idx).unwrap();
+        }
+        let store = IndexStore::open(&path).unwrap();
+        assert_eq!(store.params(), params);
+        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx);
+    }
+
+    #[test]
+    fn put_replaces_previous_index() {
+        let params = PQParams::default();
+        let (t1, lt) = setup(3, 150);
+        let (t2, lt2) = setup(4, 150);
+        let mut store = IndexStore::create(&tmp("replace.pqg"), params).unwrap();
+        store
+            .put_tree(TreeId(1), &build_index(&t1, &lt, params))
+            .unwrap();
+        let idx2 = build_index(&t2, &lt2, params);
+        store.put_tree(TreeId(1), &idx2).unwrap();
+        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx2);
+    }
+
+    #[test]
+    fn remove_tree_works() {
+        let params = PQParams::default();
+        let (t, lt) = setup(5, 100);
+        let mut store = IndexStore::create(&tmp("remove.pqg"), params).unwrap();
+        store
+            .put_tree(TreeId(3), &build_index(&t, &lt, params))
+            .unwrap();
+        assert!(store.remove_tree(TreeId(3)).unwrap());
+        assert!(!store.remove_tree(TreeId(3)).unwrap());
+        assert!(store.tree_index(TreeId(3)).unwrap().is_none());
+        assert_eq!(store.row_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn lookup_matches_in_memory_distance() {
+        let params = PQParams::default();
+        let mut store = IndexStore::create(&tmp("lookup.pqg"), params).unwrap();
+        let mut indexes = Vec::new();
+        for i in 0..20u64 {
+            let (t, lt) = setup(100 + i, 120);
+            let idx = build_index(&t, &lt, params);
+            store.put_tree(TreeId(i), &idx).unwrap();
+            indexes.push(idx);
+        }
+        let (q, qlt) = setup(100, 120); // same seed as tree 0: identical
+        let query = build_index(&q, &qlt, params);
+        let hits = store.lookup(&query, 1.01).unwrap();
+        assert_eq!(hits.len(), 20);
+        assert_eq!(hits[0].tree_id, TreeId(0));
+        assert_eq!(hits[0].distance, 0.0);
+        for hit in &hits {
+            let expected = pq_distance(&query, &indexes[hit.tree_id.0 as usize]);
+            assert!((hit.distance - expected).abs() < 1e-12);
+        }
+        // Threshold filters.
+        let close = store.lookup(&query, 0.5).unwrap();
+        assert!(close.len() < 20);
+        assert!(close.iter().any(|h| h.tree_id == TreeId(0)));
+    }
+
+    #[test]
+    fn incremental_update_from_log_matches_rebuild() {
+        let params = PQParams::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lt = LabelTable::new();
+        let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(400, 6));
+        let mut store = IndexStore::create(&tmp("incr.pqg"), params).unwrap();
+        store
+            .put_tree(TreeId(0), &build_index(&tree, &lt, params))
+            .unwrap();
+
+        let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+        let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(60, alphabet));
+        let stats = store.update_from_log(TreeId(0), &tree, &lt, &log).unwrap();
+        assert_eq!(stats.ops, 60);
+        let stored = store.tree_index(TreeId(0)).unwrap().unwrap();
+        assert_eq!(stored, build_index(&tree, &lt, params));
+    }
+
+    #[test]
+    fn update_unknown_tree_fails() {
+        let params = PQParams::default();
+        let (t, lt) = setup(6, 50);
+        let mut store = IndexStore::create(&tmp("unknown.pqg"), params).unwrap();
+        let err = store
+            .update_from_log(TreeId(9), &t, &lt, &EditLog::new())
+            .unwrap_err();
+        assert!(matches!(err, IndexError::UnknownTree(TreeId(9))));
+    }
+
+    #[test]
+    fn inconsistent_delta_rolls_back() {
+        let params = PQParams::default();
+        let (t, lt) = setup(7, 100);
+        let idx = build_index(&t, &lt, params);
+        let mut store = IndexStore::create(&tmp("badelta.pqg"), params).unwrap();
+        store.put_tree(TreeId(0), &idx).unwrap();
+        // A delta that first adds (visible inside the tx) then removes an
+        // absent gram: the whole transaction must roll back.
+        let delta = IndexDelta {
+            additions: vec![0xdead_beef],
+            removals: vec![0x1234_5678_9abc], // never in the index
+        };
+        // removals are applied first in apply_delta, so reorder to make the
+        // addition land before the failure:
+        let delta = IndexDelta {
+            additions: delta.additions,
+            removals: delta.removals,
+        };
+        let err = store.apply_delta(TreeId(0), &delta).unwrap_err();
+        assert!(matches!(err, IndexError::InconsistentDelta(..)));
+        assert_eq!(
+            store.tree_index(TreeId(0)).unwrap().unwrap(),
+            idx,
+            "rolled back"
+        );
+    }
+
+    #[test]
+    fn many_trees_skip_scan() {
+        let params = PQParams::new(2, 2);
+        let mut store = IndexStore::create(&tmp("ids.pqg"), params).unwrap();
+        for i in [5u64, 17, 0, 99, 3] {
+            let (t, lt) = setup(i, 30);
+            store
+                .put_tree(TreeId(i), &build_index(&t, &lt, params))
+                .unwrap();
+        }
+        assert_eq!(
+            store.tree_ids().unwrap(),
+            vec![TreeId(0), TreeId(3), TreeId(5), TreeId(17), TreeId(99)]
+        );
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn document_store_file_is_rejected_by_index_store() {
+        let dir = std::env::temp_dir().join(format!("pqgram-kind-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path: PathBuf = dir.join("docs-as-index.docs");
+        std::fs::remove_file(&path).ok();
+        crate::DocumentStore::create(&path, PQParams::default()).unwrap();
+        let err = IndexStore::open(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::Store(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,321 @@
+//! Rollback journal: atomic multi-page commits and crash recovery.
+//!
+//! Before a transaction first modifies a page, the page's *original* image
+//! is appended to a side file (`<store>-journal`). If the process crashes
+//! mid-transaction, the next open finds the hot journal and copies the
+//! original images back, truncating the file to its original length — the
+//! store is restored to the pre-transaction state. Committing syncs the data
+//! file and deletes the journal.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! header:  magic "PQGJRNL1" | original_page_count u32 | header_crc u32
+//! entry*:  page_id u32 | image_crc u32 | image [PAGE_SIZE]
+//! ```
+//!
+//! Entries carry CRCs so a torn tail write is detected and ignored: a torn
+//! entry's data page was never modified (the journal is synced before the
+//! first data write of each entry's page), so skipping it is safe.
+
+use crate::crc::crc32;
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"PQGJRNL1";
+const HEADER_LEN: usize = 16;
+const ENTRY_LEN: usize = 8 + PAGE_SIZE;
+
+/// An open, *hot* journal for one transaction.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Pages already journaled in this transaction.
+    journaled: std::collections::BTreeSet<u32>,
+    synced: bool,
+}
+
+impl Journal {
+    /// Path of the journal side file for a store file.
+    pub fn path_for(store: &Path) -> PathBuf {
+        let mut os = store.as_os_str().to_owned();
+        os.push("-journal");
+        PathBuf::from(os)
+    }
+
+    /// Starts a journal recording `original_page_count`.
+    pub fn begin(store: &Path, original_page_count: u32) -> io::Result<Journal> {
+        let path = Self::path_for(store);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = [0u8; HEADER_LEN];
+        header[..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&original_page_count.to_le_bytes());
+        let crc = crc32(&header[..12]);
+        header[12..16].copy_from_slice(&crc.to_le_bytes());
+        file.write_all(&header)?;
+        Ok(Journal {
+            file,
+            path,
+            journaled: Default::default(),
+            synced: false,
+        })
+    }
+
+    /// True if `page` has already been captured in this transaction.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.journaled.contains(&page.0)
+    }
+
+    /// Appends the original image of `page`. Idempotent per transaction.
+    pub fn record(&mut self, page: PageId, image: &PageBuf) -> io::Result<()> {
+        if !self.journaled.insert(page.0) {
+            return Ok(());
+        }
+        let mut head = [0u8; 8];
+        head[..4].copy_from_slice(&page.0.to_le_bytes());
+        head[4..].copy_from_slice(&crc32(image.as_bytes()).to_le_bytes());
+        self.file.write_all(&head)?;
+        self.file.write_all(image.as_bytes())?;
+        self.synced = false;
+        Ok(())
+    }
+
+    /// Syncs the journal; must happen before the first data-file write that
+    /// overwrites any recorded page.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.synced {
+            self.file.sync_data()?;
+            self.synced = true;
+        }
+        Ok(())
+    }
+
+    /// Commits the transaction by deleting the journal (the caller must
+    /// have synced the data file first).
+    pub fn commit(self) -> io::Result<()> {
+        drop(self.file);
+        std::fs::remove_file(&self.path)
+    }
+
+    /// Rolls the data file back to the recorded images and removes the
+    /// journal.
+    pub fn rollback(self, data: &mut File) -> io::Result<()> {
+        drop(self.file);
+        replay(&self.path, data)?;
+        std::fs::remove_file(&self.path)
+    }
+}
+
+/// Recovers `data` from a hot journal at `journal_path`, if one exists.
+/// Returns `true` if a rollback was performed.
+pub fn recover(store: &Path, data: &mut File) -> io::Result<bool> {
+    let path = Journal::path_for(store);
+    if !path.exists() {
+        return Ok(false);
+    }
+    match replay(&path, data) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // Header invalid: journal never became hot; discard it.
+        }
+        Err(e) => return Err(e),
+    }
+    std::fs::remove_file(&path)?;
+    Ok(true)
+}
+
+/// Copies all valid journal entries back into `data` and truncates it to
+/// the original page count. Invalid tails are ignored; an invalid header is
+/// an `InvalidData` error (the journal never became hot).
+fn replay(journal_path: &Path, data: &mut File) -> io::Result<()> {
+    let mut journal = File::open(journal_path)?;
+    let mut header = [0u8; HEADER_LEN];
+    if journal.read_exact(&mut header).is_err()
+        || &header[..8] != MAGIC
+        || crc32(&header[..12]) != u32::from_le_bytes(header[12..16].try_into().expect("len"))
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "invalid journal header",
+        ));
+    }
+    let original_pages = u32::from_le_bytes(header[8..12].try_into().expect("len"));
+
+    let mut entry = vec![0u8; ENTRY_LEN];
+    loop {
+        match read_exact_or_eof(&mut journal, &mut entry)? {
+            false => break,
+            true => {
+                let page = u32::from_le_bytes(entry[..4].try_into().expect("len"));
+                let stored_crc = u32::from_le_bytes(entry[4..8].try_into().expect("len"));
+                if crc32(&entry[8..]) != stored_crc {
+                    break; // torn tail: its data page was never modified
+                }
+                data.seek(SeekFrom::Start(PageId(page).offset()))?;
+                data.write_all(&entry[8..])?;
+            }
+        }
+    }
+    data.set_len(original_pages as u64 * PAGE_SIZE as u64)?;
+    data.sync_data()?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes, or returns `Ok(false)` on clean or torn
+/// EOF (partial reads count as torn tail).
+fn read_exact_or_eof(f: &mut File, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match f.read(&mut buf[filled..])? {
+            0 => return Ok(false),
+            n => filled += n,
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pqgram-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn page_with(byte: u8) -> PageBuf {
+        let mut p = PageBuf::zeroed();
+        p.as_bytes_mut().fill(byte);
+        p
+    }
+
+    fn write_page(f: &mut File, id: PageId, p: &PageBuf) {
+        f.seek(SeekFrom::Start(id.offset())).unwrap();
+        f.write_all(p.as_bytes()).unwrap();
+    }
+
+    fn read_page(f: &mut File, id: PageId) -> PageBuf {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.seek(SeekFrom::Start(id.offset())).unwrap();
+        f.read_exact(&mut buf).unwrap();
+        PageBuf::from_bytes(&buf)
+    }
+
+    fn fresh_store(name: &str, pages: u32) -> (PathBuf, File) {
+        let store = tmp(name);
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(Journal::path_for(&store)).ok();
+        let mut f = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&store)
+            .unwrap();
+        for i in 0..pages {
+            write_page(&mut f, PageId(i), &page_with(i as u8));
+        }
+        (store, f)
+    }
+
+    #[test]
+    fn rollback_restores_images_and_length() {
+        let (store, mut f) = fresh_store("rollback.db", 3);
+        let mut j = Journal::begin(&store, 3).unwrap();
+        j.record(PageId(1), &read_page(&mut f, PageId(1))).unwrap();
+        j.sync().unwrap();
+        write_page(&mut f, PageId(1), &page_with(0xff));
+        write_page(&mut f, PageId(3), &page_with(0xee)); // newly appended page
+        j.rollback(&mut f).unwrap();
+        assert_eq!(read_page(&mut f, PageId(1)), page_with(1));
+        assert_eq!(f.metadata().unwrap().len(), 3 * PAGE_SIZE as u64);
+        assert!(!Journal::path_for(&store).exists());
+    }
+
+    #[test]
+    fn commit_removes_journal() {
+        let (store, mut f) = fresh_store("commit.db", 2);
+        let mut j = Journal::begin(&store, 2).unwrap();
+        j.record(PageId(0), &read_page(&mut f, PageId(0))).unwrap();
+        j.sync().unwrap();
+        write_page(&mut f, PageId(0), &page_with(0xaa));
+        f.sync_data().unwrap();
+        j.commit().unwrap();
+        assert!(!Journal::path_for(&store).exists());
+        assert_eq!(read_page(&mut f, PageId(0)), page_with(0xaa));
+    }
+
+    #[test]
+    fn recover_applies_hot_journal() {
+        let (store, mut f) = fresh_store("recover.db", 2);
+        {
+            let mut j = Journal::begin(&store, 2).unwrap();
+            j.record(PageId(1), &read_page(&mut f, PageId(1))).unwrap();
+            j.sync().unwrap();
+            write_page(&mut f, PageId(1), &page_with(0x99));
+            // Crash: journal dropped without commit/rollback.
+            std::mem::forget(j);
+        }
+        assert!(recover(&store, &mut f).unwrap());
+        assert_eq!(read_page(&mut f, PageId(1)), page_with(1));
+        assert!(!recover(&store, &mut f).unwrap(), "journal must be gone");
+    }
+
+    #[test]
+    fn recover_ignores_torn_tail() {
+        let (store, mut f) = fresh_store("torn.db", 3);
+        {
+            let mut j = Journal::begin(&store, 3).unwrap();
+            j.record(PageId(1), &read_page(&mut f, PageId(1))).unwrap();
+            j.record(PageId(2), &read_page(&mut f, PageId(2))).unwrap();
+            j.sync().unwrap();
+            write_page(&mut f, PageId(1), &page_with(0x77));
+            std::mem::forget(j);
+        }
+        // Tear the second entry.
+        let jpath = Journal::path_for(&store);
+        let len = std::fs::metadata(&jpath).unwrap().len();
+        let f2 = OpenOptions::new().write(true).open(&jpath).unwrap();
+        f2.set_len(len - 100).unwrap();
+        drop(f2);
+        assert!(recover(&store, &mut f).unwrap());
+        // First entry applied; torn second entry (page 2 unmodified) skipped.
+        assert_eq!(read_page(&mut f, PageId(1)), page_with(1));
+        assert_eq!(read_page(&mut f, PageId(2)), page_with(2));
+    }
+
+    #[test]
+    fn recover_discards_journal_with_bad_header() {
+        let (store, mut f) = fresh_store("badheader.db", 2);
+        std::fs::write(Journal::path_for(&store), b"garbage").unwrap();
+        let before = read_page(&mut f, PageId(1));
+        assert!(recover(&store, &mut f).unwrap());
+        assert_eq!(read_page(&mut f, PageId(1)), before);
+        assert!(!Journal::path_for(&store).exists());
+    }
+
+    #[test]
+    fn record_is_idempotent_per_page() {
+        let (store, mut f) = fresh_store("idem.db", 2);
+        let mut j = Journal::begin(&store, 2).unwrap();
+        let img = read_page(&mut f, PageId(1));
+        j.record(PageId(1), &img).unwrap();
+        let len_one = std::fs::metadata(Journal::path_for(&store)).unwrap().len();
+        j.record(PageId(1), &page_with(0x55)).unwrap(); // ignored duplicate
+        j.sync().unwrap();
+        assert_eq!(
+            std::fs::metadata(Journal::path_for(&store)).unwrap().len(),
+            len_one
+        );
+        write_page(&mut f, PageId(1), &page_with(0x11));
+        j.rollback(&mut f).unwrap();
+        assert_eq!(read_page(&mut f, PageId(1)), img);
+    }
+}

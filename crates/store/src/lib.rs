@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! Persistent storage for the pq-gram index.
+//!
+//! The paper stores the index of a forest as a relation `(treeId, pqg, cnt)`
+//! in an RDBMS and stresses that the index is *persistent* — lookups and
+//! incremental updates run against stored data, never against freshly
+//! extracted pq-grams. This crate supplies that substrate as a small,
+//! self-contained storage engine:
+//!
+//! * [`crc`] — CRC-32 checksums (from scratch);
+//! * [`page`] — 4 KiB page abstraction with typed little-endian accessors;
+//! * [`pager`] — a page file with a header page and a free list;
+//! * [`journal`] — a rollback journal giving atomic multi-page commits
+//!   (crash recovery restores the pre-transaction images);
+//! * [`buffer`] — a clock-eviction buffer pool over the pager;
+//! * [`btree`] — a B+-tree with fixed-width `(tree_id, gram)` keys and `u32`
+//!   counts, leaf-chained for range scans;
+//! * [`index_store`] — the persistent forest index: per-tree pq-gram bags,
+//!   approximate lookups and transactional application of incremental
+//!   update deltas ([`pqgram_core::maintain::IndexDelta`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use pqgram_core::{build_index, PQParams, TreeId};
+//! use pqgram_store::index_store::IndexStore;
+//! use pqgram_tree::{LabelTable, Tree};
+//!
+//! let dir = std::env::temp_dir().join(format!("pqgram-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("forest.pqg");
+//!
+//! let mut labels = LabelTable::new();
+//! let mut tree = Tree::with_root(labels.intern("a"));
+//! tree.add_child(tree.root(), labels.intern("b"));
+//! let params = PQParams::default();
+//!
+//! let mut store = IndexStore::create(&path, params).unwrap();
+//! store.put_tree(TreeId(1), &build_index(&tree, &labels, params)).unwrap();
+//! drop(store);
+//!
+//! // Reopen: the index is still there.
+//! let store = IndexStore::open(&path).unwrap();
+//! let back = store.tree_index(TreeId(1)).unwrap().unwrap();
+//! assert_eq!(back.total(), build_index(&tree, &labels, params).total());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod blob;
+pub mod btree;
+pub mod buffer;
+pub mod crc;
+pub mod document;
+pub mod index_store;
+pub mod journal;
+pub(crate) mod ops;
+pub mod page;
+pub mod pager;
+
+pub use btree::BTree;
+pub use document::DocumentStore;
+pub use index_store::IndexStore;
+pub use page::{PageBuf, PageId, PAGE_SIZE};
+pub use pager::{Pager, StoreError};

@@ -1,0 +1,168 @@
+//! Index-relation operations shared by [`crate::index_store::IndexStore`]
+//! and [`crate::document::DocumentStore`]: row-level manipulation of the
+//! `(treeId, pqg, cnt)` B+-tree.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::pager::Result;
+use pqgram_core::maintain::IndexDelta;
+use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
+
+/// Deletes every row of `id`.
+pub(crate) fn delete_tree_entries(pool: &BufferPool, slot: usize, id: TreeId) -> Result<()> {
+    let tree = BTree::open(pool, slot)?;
+    let mut keys = Vec::new();
+    tree.for_each_range((id.0, 0), (id.0, u64::MAX), |k, _| {
+        keys.push(k);
+        true
+    })?;
+    for k in keys {
+        tree.delete(k)?;
+    }
+    Ok(())
+}
+
+/// Inserts all rows of `index` under `id` (caller clears old rows first).
+pub(crate) fn put_tree_entries(
+    pool: &BufferPool,
+    slot: usize,
+    id: TreeId,
+    index: &TreeIndex,
+) -> Result<()> {
+    let tree = BTree::open(pool, slot)?;
+    for (gram, count) in index.iter() {
+        tree.insert((id.0, gram), count)?;
+    }
+    Ok(())
+}
+
+/// True if any row of `id` exists.
+pub(crate) fn contains_tree(pool: &BufferPool, slot: usize, id: TreeId) -> Result<bool> {
+    let tree = BTree::open(pool, slot)?;
+    let mut any = false;
+    tree.for_each_range((id.0, 0), (id.0, u64::MAX), |_, _| {
+        any = true;
+        false
+    })?;
+    Ok(any)
+}
+
+/// Materializes the stored index of `id` (`None` if no rows).
+pub(crate) fn tree_index(
+    pool: &BufferPool,
+    slot: usize,
+    params: PQParams,
+    id: TreeId,
+) -> Result<Option<TreeIndex>> {
+    let tree = BTree::open(pool, slot)?;
+    let mut index = TreeIndex::empty(params);
+    tree.for_each_range((id.0, 0), (id.0, u64::MAX), |(_, gram), count| {
+        for _ in 0..count {
+            index.add(gram);
+        }
+        true
+    })?;
+    Ok((index.total() > 0).then_some(index))
+}
+
+/// All stored tree ids via skip scan.
+pub(crate) fn tree_ids(pool: &BufferPool, slot: usize) -> Result<Vec<TreeId>> {
+    let tree = BTree::open(pool, slot)?;
+    let mut ids = Vec::new();
+    let mut next = 0u64;
+    loop {
+        let mut found: Option<u64> = None;
+        tree.for_each_range((next, 0), (u64::MAX, u64::MAX), |k, _| {
+            found = Some(k.0);
+            false
+        })?;
+        match found {
+            None => return Ok(ids),
+            Some(t) => {
+                ids.push(TreeId(t));
+                match t.checked_add(1) {
+                    Some(n) => next = n,
+                    None => return Ok(ids),
+                }
+            }
+        }
+    }
+}
+
+/// Applies `I ← I \ I⁻ ⊎ I⁺` to the rows of `id`. Returns the first gram
+/// whose removal failed (the caller rolls back), or `None` on success.
+pub(crate) fn apply_delta_rows(
+    pool: &BufferPool,
+    slot: usize,
+    id: TreeId,
+    delta: &IndexDelta,
+) -> Result<Option<GramKey>> {
+    let tree = BTree::open(pool, slot)?;
+    for &gram in &delta.removals {
+        let key = (id.0, gram);
+        match tree.get(key)? {
+            None | Some(0) => return Ok(Some(gram)),
+            Some(1) => {
+                tree.delete(key)?;
+            }
+            Some(c) => {
+                tree.insert(key, c - 1)?;
+            }
+        }
+    }
+    for &gram in &delta.additions {
+        let key = (id.0, gram);
+        let current = tree.get(key)?.unwrap_or(0);
+        tree.insert(key, current + 1)?;
+    }
+    Ok(None)
+}
+
+/// One ordered scan computing the pq-gram distance of `query` to every
+/// stored tree; returns hits below `tau`, ascending by distance.
+pub(crate) fn lookup_scan(
+    pool: &BufferPool,
+    slot: usize,
+    query: &TreeIndex,
+    tau: f64,
+) -> Result<Vec<LookupHit>> {
+    let tree = BTree::open(pool, slot)?;
+    let mut hits = Vec::new();
+    let mut cur: Option<u64> = None;
+    let mut stored_total = 0u64;
+    let mut intersection = 0u64;
+    let mut flush = |cur: Option<u64>, stored_total: u64, intersection: u64| {
+        if let Some(t) = cur {
+            let denom = (query.total() + stored_total) as f64;
+            let distance = if denom == 0.0 {
+                0.0
+            } else {
+                1.0 - 2.0 * intersection as f64 / denom
+            };
+            if distance < tau {
+                hits.push(LookupHit {
+                    tree_id: TreeId(t),
+                    distance,
+                });
+            }
+        }
+    };
+    tree.for_each_range((0, 0), (u64::MAX, u64::MAX), |(t, gram), count| {
+        if cur != Some(t) {
+            flush(cur, stored_total, intersection);
+            cur = Some(t);
+            stored_total = 0;
+            intersection = 0;
+        }
+        stored_total += count as u64;
+        intersection += count.min(query.count(gram)) as u64;
+        true
+    })?;
+    flush(cur, stored_total, intersection);
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.tree_id.cmp(&b.tree_id))
+    });
+    Ok(hits)
+}

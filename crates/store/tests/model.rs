@@ -1,0 +1,277 @@
+//! Model-based and stress tests for the storage engine: the B+-tree must
+//! behave exactly like `std::collections::BTreeMap` under arbitrary
+//! operation sequences, transactions must be all-or-nothing across crashes,
+//! and the buffer pool must serve concurrent readers.
+
+use pqgram_store::btree::{BTree, Key};
+use pqgram_store::buffer::BufferPool;
+use pqgram_store::{PageId, Pager};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pqgram-model-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::remove_file(&p).ok();
+    let mut j = p.as_os_str().to_owned();
+    j.push("-journal");
+    std::fs::remove_file(PathBuf::from(j)).ok();
+    p
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Key, u32),
+    Delete(Key),
+    Get(Key),
+    Scan(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe so operations collide often.
+    let key = (0u64..4, 0u64..600).prop_map(|(a, b)| (a, b));
+    prop_oneof![
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Get),
+        (0u64..4).prop_map(Op::Scan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..400), case in 0u64..u64::MAX) {
+        let path = tmp(&format!("model-{case}.db"));
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 32);
+        let tree = BTree::open(&pool, 0).unwrap();
+        let mut model: BTreeMap<Key, u32> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let expected = model.insert(k, v);
+                    prop_assert_eq!(tree.insert(k, v).unwrap(), expected);
+                }
+                Op::Delete(k) => {
+                    let expected = model.remove(&k);
+                    prop_assert_eq!(tree.delete(k).unwrap(), expected);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k).unwrap(), model.get(&k).copied());
+                }
+                Op::Scan(t) => {
+                    let mut got = Vec::new();
+                    tree.for_each_range((t, 0), (t, u64::MAX), |k, v| {
+                        got.push((k, v));
+                        true
+                    }).unwrap();
+                    let expected: Vec<(Key, u32)> = model
+                        .range((t, 0)..=(t, u64::MAX))
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_between_transactions_keeps_last_commit(
+        committed in proptest::collection::vec((0u64..3, 0u64..200, any::<u32>()), 1..60),
+        uncommitted in proptest::collection::vec((0u64..3, 0u64..200, any::<u32>()), 1..60),
+        case in 0u64..u64::MAX,
+    ) {
+        let path = tmp(&format!("crash-{case}.db"));
+        let mut model: BTreeMap<Key, u32> = BTreeMap::new();
+        {
+            let pool = BufferPool::new(Pager::create(&path).unwrap(), 16);
+            let tree = BTree::open(&pool, 0).unwrap();
+            pool.begin().unwrap();
+            for &(a, b, v) in &committed {
+                tree.insert((a, b), v).unwrap();
+                model.insert((a, b), v);
+            }
+            pool.commit().unwrap();
+            // Second transaction: crashes before commit.
+            pool.begin().unwrap();
+            for &(a, b, v) in &uncommitted {
+                tree.insert((a, b), v.wrapping_add(1)).unwrap();
+            }
+            pool.flush().unwrap(); // dirty pages reach disk, journal is hot
+            // Crash: drop everything without commit/rollback.
+            std::mem::forget(pool);
+        }
+        let pool = BufferPool::new(Pager::open(&path).unwrap(), 16);
+        let tree = BTree::open(&pool, 0).unwrap();
+        let mut got = Vec::new();
+        tree.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, v| {
+            got.push((k, v));
+            true
+        }).unwrap();
+        let expected: Vec<(Key, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expected, "recovery must restore the last commit");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn concurrent_readers_share_the_pool() {
+    let path = tmp("concurrent.db");
+    let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
+    let tree = BTree::open(&pool, 0).unwrap();
+    for g in 0..20_000u64 {
+        tree.insert((g % 8, g), g as u32).unwrap();
+    }
+    pool.flush().unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let pool = &pool;
+            scope.spawn(move || {
+                let tree = BTree::open(pool, 0).unwrap();
+                let mut count = 0u64;
+                tree.for_each_range((t % 8, 0), (t % 8, u64::MAX), |_, _| {
+                    count += 1;
+                    true
+                })
+                .unwrap();
+                assert_eq!(count, 2_500);
+                for g in (0..20_000u64).step_by(101) {
+                    let expect = (g % 8 == t % 8).then_some(g as u32);
+                    let got = tree.get((t % 8, g)).unwrap();
+                    if g % 8 == t % 8 {
+                        assert_eq!(got, expect);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn reopen_after_many_transactions() {
+    let path = tmp("manytx.db");
+    {
+        let pool = BufferPool::new(Pager::create(&path).unwrap(), 32);
+        let tree = BTree::open(&pool, 0).unwrap();
+        for round in 0..30u64 {
+            pool.begin().unwrap();
+            for g in 0..200u64 {
+                tree.insert((round % 4, round * 1_000 + g), (round * g) as u32)
+                    .unwrap();
+            }
+            if round % 5 == 4 {
+                pool.rollback().unwrap();
+            } else {
+                pool.commit().unwrap();
+            }
+        }
+    }
+    let pool = BufferPool::new(Pager::open(&path).unwrap(), 32);
+    let tree = BTree::open(&pool, 0).unwrap();
+    // 30 rounds, every 5th rolled back -> 24 committed * 200 entries.
+    assert_eq!(tree.len().unwrap(), 24 * 200);
+}
+
+#[test]
+fn header_page_is_never_handed_out() {
+    let path = tmp("headerguard.db");
+    let pool = BufferPool::new(Pager::create(&path).unwrap(), 8);
+    let first = pool.allocate().unwrap();
+    assert_ne!(first, PageId(0), "allocation must never return the header");
+}
+
+#[test]
+fn bulk_create_equals_put_tree() {
+    use pqgram_core::{build_index, PQParams, TreeId};
+    use pqgram_store::IndexStore;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::LabelTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let params = PQParams::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut lt = LabelTable::new();
+    let indexes: Vec<_> = (0..12u64)
+        .map(|i| {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(150, 6));
+            (TreeId(i), build_index(&t, &lt, params))
+        })
+        .collect();
+
+    let bulk_path = tmp("bulk.pqg");
+    let bulk = IndexStore::bulk_create(
+        &bulk_path,
+        params,
+        indexes.iter().map(|(id, idx)| (*id, idx)),
+    )
+    .unwrap();
+    bulk.verify().unwrap();
+
+    let put_path = tmp("put.pqg");
+    let mut put = IndexStore::create(&put_path, params).unwrap();
+    for (id, idx) in &indexes {
+        put.put_tree(*id, idx).unwrap();
+    }
+    for (id, idx) in &indexes {
+        assert_eq!(bulk.tree_index(*id).unwrap().unwrap(), *idx);
+        assert_eq!(put.tree_index(*id).unwrap().unwrap(), *idx);
+    }
+    assert_eq!(bulk.row_count().unwrap(), put.row_count().unwrap());
+    // Bulk files are tighter than incrementally split files.
+    let bulk_len = std::fs::metadata(&bulk_path).unwrap().len();
+    let put_len = std::fs::metadata(&put_path).unwrap().len();
+    assert!(bulk_len <= put_len, "bulk {bulk_len} > put {put_len}");
+}
+
+#[test]
+fn compaction_preserves_content_and_shrinks() {
+    use pqgram_core::{build_index, PQParams, TreeId};
+    use pqgram_store::IndexStore;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::LabelTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let params = PQParams::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut lt = LabelTable::new();
+    let path = tmp("frag.pqg");
+    let mut store = IndexStore::create(&path, params).unwrap();
+    // Fragment the file: insert and remove several generations of trees.
+    for round in 0..4u64 {
+        for i in 0..8u64 {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(200, 6));
+            store
+                .put_tree(TreeId(round * 100 + i), &build_index(&t, &lt, params))
+                .unwrap();
+        }
+        if round < 3 {
+            for i in 0..8u64 {
+                store.remove_tree(TreeId(round * 100 + i)).unwrap();
+            }
+        }
+    }
+    store.flush().unwrap();
+    let before = std::fs::metadata(&path).unwrap().len();
+    let compact_path = tmp("compact.pqg");
+    let compacted = store.compact_to(&compact_path).unwrap();
+    compacted.verify().unwrap();
+    let after = std::fs::metadata(&compact_path).unwrap().len();
+    assert!(
+        after < before,
+        "compaction must shrink: {after} vs {before}"
+    );
+    assert_eq!(compacted.tree_ids().unwrap(), store.tree_ids().unwrap());
+    for id in store.tree_ids().unwrap() {
+        assert_eq!(
+            compacted.tree_index(id).unwrap().unwrap(),
+            store.tree_index(id).unwrap().unwrap()
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Karp–Rabin label fingerprints (Section 3.2 of the paper).
+//!
+//! The pq-gram index does not store node labels — which in XML documents can
+//! be arbitrarily long — but a fixed-width fingerprint `h(l)` that is unique
+//! with high probability. The only operation the index ever performs on
+//! labels is an equality check, for which fingerprints suffice.
+//!
+//! We implement the classic Karp–Rabin scheme: the label bytes are read as the
+//! coefficients of a polynomial which is evaluated at a fixed base modulo a
+//! large prime. Two different labels collide with probability ≈ `len / P`,
+//! negligible for realistic label sets.
+
+/// A 64-bit Karp–Rabin fingerprint of a label.
+pub type Fingerprint = u64;
+
+/// Mersenne prime `2^61 - 1`; fits products of two 61-bit residues in `u128`.
+const P: u128 = (1 << 61) - 1;
+/// Evaluation point for the Karp–Rabin polynomial (a fixed random odd value).
+const BASE: u128 = 0x2d35_8dcc_aa6c_78a5 % P;
+
+/// Fingerprint reserved for the *null label* `*` of the extended tree
+/// (Definition 1). Matches the paper's example hash table where `h(*) = 0`.
+pub const NULL_FINGERPRINT: Fingerprint = 0;
+
+/// Computes the Karp–Rabin fingerprint of a label.
+///
+/// The result is guaranteed to be non-zero so that it can never collide with
+/// [`NULL_FINGERPRINT`]; real labels and the null node are always
+/// distinguishable.
+pub fn karp_rabin(label: &str) -> Fingerprint {
+    let mut acc: u128 = 0;
+    for &b in label.as_bytes() {
+        // Horner evaluation: acc = acc * BASE + (b + 1)  (mod P).
+        // `b + 1` keeps leading NUL bytes significant.
+        acc = mul_mod(acc, BASE) + (b as u128 + 1);
+        if acc >= P {
+            acc -= P;
+        }
+    }
+    // Mix in the length so that e.g. "a" and "a\0" (after the +1 shift: labels
+    // that are prefixes under the accumulator) stay distinct, then ensure
+    // non-zero.
+    acc = mul_mod(acc, BASE) + (label.len() as u128 % P) + 1;
+    acc %= P;
+    if acc == 0 {
+        1
+    } else {
+        acc as u64
+    }
+}
+
+/// Incrementally combines label fingerprints into a tuple fingerprint
+/// (Horner evaluation over the same field as [`karp_rabin`]).
+///
+/// The pq-gram index stores one fixed-width value per pq-gram: the paper
+/// concatenates the fixed-width hashes of the `p + q` labels; we fold them
+/// with the same Karp–Rabin polynomial instead, which keeps the value at 64
+/// bits for any `p, q` while remaining position-sensitive. Start from
+/// [`TUPLE_SEED`] and fold each label fingerprint in order.
+#[inline]
+pub fn combine(acc: Fingerprint, label_fp: Fingerprint) -> Fingerprint {
+    let v = mul_mod(acc as u128, BASE) + label_fp as u128 + 1;
+    (v % P) as u64
+}
+
+/// Initial accumulator for [`combine`].
+pub const TUPLE_SEED: Fingerprint = 0x5eed;
+
+/// A fanout token for Merkle-style subtree fingerprints.
+///
+/// [`combine`] is an affine fold, so hashing a node as
+/// `fold(label, child-hashes…)` alone is ambiguous: child sequences
+/// *flatten* and differently-bracketed trees collide systematically (e.g.
+/// `a(a(a a))` vs `a(a a(a))`). Appending `arity_mark(fanout)` after the
+/// children delimits nodes; additionally every *child hash* must pass
+/// through the non-linear [`mix`] before folding — under a purely affine
+/// fold, hash differences telescope through the levels and cancel
+/// *identically*, markers or not.
+#[inline]
+pub fn arity_mark(fanout: usize) -> Fingerprint {
+    ((fanout as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) % ((1 << 61) - 1)
+}
+
+/// Non-linear 64-bit permutation (the splitmix64 finalizer). Apply to child
+/// hashes before [`combine`]-folding them into a parent's Merkle hash; see
+/// [`arity_mark`] for why linearity is fatal there.
+#[inline]
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mul_mod(a: u128, b: u128) -> u128 {
+    let prod = a * b;
+    // Fast reduction modulo 2^61 - 1.
+    let reduced = (prod & P) + (prod >> 61);
+    if reduced >= P {
+        reduced - P
+    } else {
+        reduced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(karp_rabin("article"), karp_rabin("article"));
+    }
+
+    #[test]
+    fn distinct_for_small_alphabet() {
+        let labels = ["a", "b", "c", "d", "aa", "ab", "ba", "", " ", "article"];
+        let fps: HashSet<_> = labels.iter().map(|l| karp_rabin(l)).collect();
+        assert_eq!(fps.len(), labels.len());
+    }
+
+    #[test]
+    fn never_null() {
+        for l in ["", "x", "\0", "\0\0", "long label with spaces"] {
+            assert_ne!(karp_rabin(l), NULL_FINGERPRINT);
+        }
+    }
+
+    #[test]
+    fn no_collisions_over_many_generated_labels() {
+        let mut fps = HashSet::new();
+        for i in 0..50_000u32 {
+            assert!(
+                fps.insert(karp_rabin(&format!("label-{i}"))),
+                "collision at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(karp_rabin("ab"), karp_rabin("ba"));
+    }
+
+    #[test]
+    fn length_sensitive() {
+        assert_ne!(karp_rabin("a"), karp_rabin("aa"));
+        assert_ne!(karp_rabin(""), karp_rabin("\0"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Log preprocessing: eliminating redundant edit operations
+//! (Section 10, future work).
+//!
+//! "Later edit operations in the log might undo earlier ones. In future we
+//! will investigate how the log can be preprocessed in order to eliminate
+//! redundant edit operations." — this module implements that preprocessing
+//! with three provably safe rewrites, given the resulting tree `Tₙ` and the
+//! log (the same inputs the index maintenance has):
+//!
+//! 1. **Adjacent create/destroy cancellation.** A forward `INS(x, …)`
+//!    immediately followed by `DEL(x)` is a net identity on the tree (the
+//!    delete releases exactly the children the insert adopted); the log pair
+//!    `(DEL(x), INS(x, …))` at adjacent positions is removed. Applied to a
+//!    fixpoint, so nested create/destroy brackets collapse.
+//! 2. **Dead renames.** If the log contains `DEL(x)` (i.e. the forward
+//!    sequence *created* `x`, so `x ∉ T₀`), every `REN(x, ·)` entry is
+//!    dropped: during the rewind `x` is deleted anyway and no other
+//!    operation reads labels.
+//! 3. **Rename collapse.** Of several `REN(x, ·)` entries only the earliest
+//!    (whose argument is `x`'s original label `l₁`) matters for `T₀`; later
+//!    ones are dropped. If the log also re-creates `x` (`INS(x, …)` from a
+//!    forward delete), the insert's label is rewritten to `l₁` and the
+//!    rename dropped entirely; if `x ∈ Tₙ` already carries `l₁`, the rename
+//!    is a net identity and dropped.
+//!
+//! Every rewrite preserves the rewind result (`T₀`) *and* keeps the log a
+//! valid inverse edit sequence, so the incremental index maintenance accepts
+//! the optimized log unchanged — validated by the oracle tests here and in
+//! `pqgram-core`.
+
+use crate::edit::{EditLog, EditOp, LogOp};
+use crate::tree::{NodeId, Tree};
+use crate::FxHashMap;
+
+/// What [`optimize_log`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Entries in the input log.
+    pub original_len: usize,
+    /// Entries in the optimized log.
+    pub optimized_len: usize,
+    /// Adjacent `INS`/`DEL` pairs cancelled (rule 1), counted in pairs.
+    pub cancelled_pairs: usize,
+    /// `REN` entries dropped by rules 2 and 3.
+    pub dropped_renames: usize,
+    /// `INS` entries whose label was rewritten (rule 3).
+    pub rewritten_inserts: usize,
+}
+
+/// Preprocesses `log` against the resulting tree `tree` (= `Tₙ`), returning
+/// an equivalent, usually shorter log.
+pub fn optimize_log(tree: &Tree, log: &EditLog) -> (EditLog, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        original_len: log.len(),
+        ..Default::default()
+    };
+    let mut entries: Vec<Option<LogOp>> = log.ops().iter().cloned().map(Some).collect();
+
+    cancel_adjacent_pairs(&mut entries, &mut stats);
+    drop_and_collapse_renames(tree, &mut entries, &mut stats);
+
+    let out: EditLog = entries.into_iter().flatten().collect();
+    stats.optimized_len = out.len();
+    (out, stats)
+}
+
+/// Rule 1 to a fixpoint: remove `(DEL(x), INS(x, …))` at adjacent live
+/// positions.
+fn cancel_adjacent_pairs(entries: &mut [Option<LogOp>], stats: &mut OptimizeStats) {
+    loop {
+        let mut changed = false;
+        let mut prev: Option<usize> = None; // previous live index
+        for i in 0..entries.len() {
+            if entries[i].is_none() {
+                continue;
+            }
+            if let Some(p) = prev {
+                let cancels = matches!(
+                    (&entries[p], &entries[i]),
+                    (
+                        Some(LogOp { op: EditOp::Delete { node: a }, .. }),
+                        Some(LogOp { op: EditOp::Insert { node: b, .. }, .. }),
+                    ) if a == b
+                );
+                if cancels {
+                    entries[p] = None;
+                    entries[i] = None;
+                    stats.cancelled_pairs += 1;
+                    changed = true;
+                    // `prev` stays at the entry before `p` conceptually; the
+                    // next sweep will pick up any newly adjacent pair.
+                    prev = None;
+                    continue;
+                }
+            }
+            prev = Some(i);
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Rules 2 and 3.
+fn drop_and_collapse_renames(
+    tree: &Tree,
+    entries: &mut [Option<LogOp>],
+    stats: &mut OptimizeStats,
+) {
+    // Index the per-node entry kinds.
+    #[derive(Default)]
+    struct PerNode {
+        /// positions of REN(x, ·) entries, ascending.
+        renames: Vec<usize>,
+        /// position of the DEL(x) entry (forward insert), if any.
+        del: Option<usize>,
+        /// position of the INS(x, …) entry (forward delete), if any.
+        ins: Option<usize>,
+    }
+    let mut by_node: FxHashMap<NodeId, PerNode> = FxHashMap::default();
+    for (i, slot) in entries.iter().enumerate() {
+        let Some(entry) = slot else { continue };
+        let per = by_node.entry(entry.op.target()).or_default();
+        match entry.op {
+            EditOp::Rename { .. } => per.renames.push(i),
+            EditOp::Delete { .. } => per.del = Some(i),
+            EditOp::Insert { .. } => per.ins = Some(i),
+        }
+    }
+
+    for (node, per) in by_node {
+        if per.renames.is_empty() {
+            continue;
+        }
+        // Rule 2: x does not exist in T0 — its labels never matter.
+        if per.del.is_some() {
+            for &i in &per.renames {
+                entries[i] = None;
+                stats.dropped_renames += 1;
+            }
+            continue;
+        }
+        // Rule 3: only the earliest rename (the original label) matters.
+        let first = per.renames[0];
+        let original_label = match entries[first].as_ref().expect("live").op {
+            EditOp::Rename { label, .. } => label,
+            _ => unreachable!("indexed as rename"),
+        };
+        for &i in &per.renames[1..] {
+            entries[i] = None;
+            stats.dropped_renames += 1;
+        }
+        match per.ins {
+            Some(ins_pos) => {
+                // The rewind re-creates x; bake the original label into the
+                // insert and drop the rename.
+                let entry = entries[ins_pos].as_mut().expect("live");
+                if let EditOp::Insert { label, .. } = &mut entry.op {
+                    if *label != original_label {
+                        *label = original_label;
+                        stats.rewritten_inserts += 1;
+                    }
+                }
+                entries[first] = None;
+                stats.dropped_renames += 1;
+            }
+            None => {
+                // x survives into Tn. If its label is already the original,
+                // the remaining rename is a net identity.
+                if tree.contains(node) && tree.label(node) == original_label {
+                    entries[first] = None;
+                    stats.dropped_renames += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_tree, RandomTreeConfig};
+    use crate::label::LabelTable;
+    use crate::script::{record_script, ScriptConfig, ScriptMix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> (Tree, LabelTable, Vec<NodeId>) {
+        let mut lt = LabelTable::new();
+        let syms: Vec<_> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|s| lt.intern(s))
+            .collect();
+        let mut t = Tree::with_root(syms[0]);
+        let n1 = t.root();
+        let n2 = t.add_child(n1, syms[1]);
+        let n3 = t.add_child(n1, syms[2]);
+        let n4 = t.add_child(n1, syms[3]);
+        let n5 = t.add_child(n3, syms[4]);
+        let n6 = t.add_child(n3, syms[5]);
+        (t, lt, vec![n1, n2, n3, n4, n5, n6])
+    }
+
+    /// Rewinding the original and the optimized log must yield the same T0.
+    fn assert_equivalent(tree: &Tree, log: &EditLog, optimized: &EditLog) {
+        let mut a = tree.clone();
+        log.rewind(&mut a).expect("original rewinds");
+        let mut b = tree.clone();
+        optimized.rewind(&mut b).expect("optimized rewinds");
+        assert_eq!(a, b, "rewind results differ");
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let (mut t, mut lt, n) = sample();
+        let x = lt.intern("x");
+        let mut log = EditLog::new();
+        let id = t.next_node_id();
+        log.push(
+            t.apply_logged(EditOp::Insert {
+                node: id,
+                label: x,
+                parent: n[0],
+                k: 2,
+                m: 3,
+            })
+            .unwrap(),
+        );
+        log.push(t.apply_logged(EditOp::Delete { node: id }).unwrap());
+        let (opt, stats) = optimize_log(&t, &log);
+        assert!(opt.is_empty());
+        assert_eq!(stats.cancelled_pairs, 1);
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn nested_create_destroy_brackets_collapse() {
+        let (mut t, mut lt, n) = sample();
+        let x = lt.intern("x");
+        let mut log = EditLog::new();
+        let a = t.next_node_id();
+        log.push(
+            t.apply_logged(EditOp::Insert {
+                node: a,
+                label: x,
+                parent: n[0],
+                k: 1,
+                m: 0,
+            })
+            .unwrap(),
+        );
+        let b = t.next_node_id();
+        log.push(
+            t.apply_logged(EditOp::Insert {
+                node: b,
+                label: x,
+                parent: a,
+                k: 1,
+                m: 0,
+            })
+            .unwrap(),
+        );
+        log.push(t.apply_logged(EditOp::Delete { node: b }).unwrap());
+        log.push(t.apply_logged(EditOp::Delete { node: a }).unwrap());
+        let (opt, stats) = optimize_log(&t, &log);
+        assert!(
+            opt.is_empty(),
+            "nested brackets should fully cancel: {opt:?}"
+        );
+        assert_eq!(stats.cancelled_pairs, 2);
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn rename_chain_collapses_to_one() {
+        let (mut t, mut lt, n) = sample();
+        let (x, y, z) = (lt.intern("x"), lt.intern("y"), lt.intern("z"));
+        let mut log = EditLog::new();
+        for l in [x, y, z] {
+            log.push(
+                t.apply_logged(EditOp::Rename {
+                    node: n[1],
+                    label: l,
+                })
+                .unwrap(),
+            );
+        }
+        let (opt, stats) = optimize_log(&t, &log);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.dropped_renames, 2);
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn rename_roundtrip_vanishes() {
+        let (mut t, mut lt, n) = sample();
+        let x = lt.intern("x");
+        let original = t.label(n[1]);
+        let mut log = EditLog::new();
+        log.push(
+            t.apply_logged(EditOp::Rename {
+                node: n[1],
+                label: x,
+            })
+            .unwrap(),
+        );
+        log.push(
+            t.apply_logged(EditOp::Rename {
+                node: n[1],
+                label: original,
+            })
+            .unwrap(),
+        );
+        let (opt, _) = optimize_log(&t, &log);
+        assert!(opt.is_empty(), "a rename round trip is a net identity");
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn rename_then_delete_bakes_label_into_insert() {
+        let (mut t, mut lt, n) = sample();
+        let x = lt.intern("x");
+        let original = t.label(n[1]);
+        let mut log = EditLog::new();
+        log.push(
+            t.apply_logged(EditOp::Rename {
+                node: n[1],
+                label: x,
+            })
+            .unwrap(),
+        );
+        log.push(t.apply_logged(EditOp::Delete { node: n[1] }).unwrap());
+        let (opt, stats) = optimize_log(&t, &log);
+        assert_eq!(opt.len(), 1, "only the insert remains");
+        match opt.ops()[0].op {
+            EditOp::Insert { label, .. } => assert_eq!(label, original),
+            ref other => panic!("expected insert, got {other:?}"),
+        }
+        assert_eq!(stats.rewritten_inserts, 1);
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn renames_of_forward_inserted_node_are_dead() {
+        let (mut t, mut lt, n) = sample();
+        let (x, y) = (lt.intern("x"), lt.intern("y"));
+        let mut log = EditLog::new();
+        let id = t.next_node_id();
+        log.push(
+            t.apply_logged(EditOp::Insert {
+                node: id,
+                label: x,
+                parent: n[0],
+                k: 1,
+                m: 0,
+            })
+            .unwrap(),
+        );
+        log.push(
+            t.apply_logged(EditOp::Rename { node: id, label: y })
+                .unwrap(),
+        );
+        let (opt, stats) = optimize_log(&t, &log);
+        assert_eq!(opt.len(), 1, "the DEL entry for the created node remains");
+        assert!(matches!(opt.ops()[0].op, EditOp::Delete { .. }));
+        assert_eq!(stats.dropped_renames, 1);
+        assert_equivalent(&t, &log, &opt);
+    }
+
+    #[test]
+    fn random_scripts_stay_equivalent() {
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut lt = LabelTable::new();
+            let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(40, 4));
+            let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+            let mut cfg = ScriptConfig::new(30, alphabet);
+            // Bias toward churn so the rules actually fire.
+            cfg.mix = ScriptMix {
+                insert: 2,
+                delete: 2,
+                rename: 3,
+            };
+            let (log, _) = record_script(&mut rng, &mut tree, &cfg);
+            let (opt, stats) = optimize_log(&tree, &log);
+            assert!(opt.len() <= log.len());
+            assert_eq!(stats.original_len, log.len());
+            assert_eq!(stats.optimized_len, opt.len());
+            assert_equivalent(&tree, &log, &opt);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Human-readable tree rendering: indented text and Graphviz DOT.
+//!
+//! Debugging aids for everything in this workspace that manipulates trees —
+//! edit scripts, diffs, delta regions. Kept allocation-light and safe for
+//! large trees (iterative traversals, output size capped by the caller).
+
+use crate::label::LabelTable;
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write;
+
+/// Renders the subtree under `node` as an indented outline:
+///
+/// ```text
+/// article (n0)
+/// ├── author (n1)
+/// │   └── N. Augsten (n3)
+/// └── title (n2)
+/// ```
+///
+/// `max_nodes` caps the output (a trailing `…` line marks truncation).
+pub fn render_text(tree: &Tree, labels: &LabelTable, node: NodeId, max_nodes: usize) -> String {
+    let mut out = String::new();
+    // Stack of (node, prefix, is_last, depth); root handled specially.
+    let _ = writeln!(out, "{} ({:?})", labels.name(tree.label(node)), node);
+    let mut emitted = 1usize;
+    let mut stack: Vec<(NodeId, String, bool)> = Vec::new();
+    let kids = tree.children(node);
+    for (i, &c) in kids.iter().enumerate().rev() {
+        stack.push((c, String::new(), i == kids.len() - 1));
+    }
+    while let Some((n, prefix, is_last)) = stack.pop() {
+        if emitted >= max_nodes {
+            let _ = writeln!(out, "{prefix}…");
+            break;
+        }
+        let branch = if is_last { "└── " } else { "├── " };
+        let _ = writeln!(
+            out,
+            "{prefix}{branch}{} ({:?})",
+            labels.name(tree.label(n)),
+            n
+        );
+        emitted += 1;
+        let child_prefix = format!("{prefix}{}", if is_last { "    " } else { "│   " });
+        let kids = tree.children(n);
+        for (i, &c) in kids.iter().enumerate().rev() {
+            stack.push((c, child_prefix.clone(), i == kids.len() - 1));
+        }
+    }
+    out
+}
+
+/// Renders the whole tree as a Graphviz DOT digraph (`max_nodes` cap).
+pub fn render_dot(tree: &Tree, labels: &LabelTable, max_nodes: usize) -> String {
+    let mut out = String::from("digraph tree {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (emitted, n) in tree.preorder(tree.root()).enumerate() {
+        if emitted >= max_nodes {
+            let _ = writeln!(out, "  truncated [label=\"…\", shape=plaintext];");
+            break;
+        }
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            n.index(),
+            escape_dot(labels.name(tree.label(n)))
+        );
+        if let Some(p) = tree.parent(n) {
+            let _ = writeln!(out, "  n{} -> n{};", p.index(), n.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Tree, LabelTable) {
+        let mut lt = LabelTable::new();
+        let mut t = Tree::with_root(lt.intern("article"));
+        let a = t.add_child(t.root(), lt.intern("author"));
+        t.add_child(a, lt.intern("N. Augsten"));
+        t.add_child(t.root(), lt.intern("title"));
+        (t, lt)
+    }
+
+    #[test]
+    fn text_outline_shape() {
+        let (t, lt) = sample();
+        let text = render_text(&t, &lt, t.root(), 100);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("article"));
+        assert!(lines[1].contains("├── author"));
+        assert!(lines[2].contains("│   └── N. Augsten"));
+        assert!(lines[3].contains("└── title"));
+    }
+
+    #[test]
+    fn text_truncates() {
+        let (t, lt) = sample();
+        let text = render_text(&t, &lt, t.root(), 2);
+        assert!(text.contains('…'));
+        assert!(text.lines().count() <= 4);
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let (t, lt) = sample();
+        let dot = render_dot(&t, &lt, 100);
+        assert!(dot.starts_with("digraph tree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("label=\"N. Augsten\""));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut lt = LabelTable::new();
+        let t = Tree::with_root(lt.intern("say \"hi\""));
+        let dot = render_dot(&t, &lt, 10);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn subtree_rendering() {
+        let (t, lt) = sample();
+        let author = t.children(t.root())[0];
+        let text = render_text(&t, &lt, author, 100);
+        assert!(text.starts_with("author"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Subtree edit operations (Section 10, future work).
+//!
+//! The paper's index maintenance is defined over the three *node* edit
+//! operations; its conclusion notes that operations on whole subtrees —
+//! deletion, insertion, move — "are simulated by a sequence of node edit
+//! operations". This module implements that simulation: each subtree
+//! operation expands into a sequence of valid node edits, applies them, and
+//! returns the corresponding log entries, so the incremental index
+//! maintenance works on subtree-edited documents unchanged.
+
+use crate::edit::{EditError, EditOp, LogOp};
+use crate::label::LabelSym;
+use crate::tree::{NodeId, Tree};
+
+/// A description of a subtree to insert: a label and its children, nested.
+///
+/// ```
+/// use pqgram_tree::{subtree::Spec, LabelTable, Tree};
+/// let mut lt = LabelTable::new();
+/// let spec = Spec::node(lt.intern("person"), vec![
+///     Spec::leaf(lt.intern("name")),
+///     Spec::leaf(lt.intern("email")),
+/// ]);
+/// let mut t = Tree::with_root(lt.intern("people"));
+/// let parent = t.root();
+/// let (root, log) = pqgram_tree::subtree::insert_subtree(&mut t, parent, 1, &spec).unwrap();
+/// assert_eq!(t.label(root), lt.intern("person"));
+/// assert_eq!(log.len(), 3); // one INS per node
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spec {
+    /// Label of this node.
+    pub label: LabelSym,
+    /// Child subtrees, in sibling order.
+    pub children: Vec<Spec>,
+}
+
+impl Spec {
+    /// A leaf spec.
+    pub fn leaf(label: LabelSym) -> Spec {
+        Spec {
+            label,
+            children: Vec::new(),
+        }
+    }
+
+    /// An inner-node spec.
+    pub fn node(label: LabelSym, children: Vec<Spec>) -> Spec {
+        Spec { label, children }
+    }
+
+    /// Number of nodes this spec describes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Spec::size).sum::<usize>()
+    }
+
+    /// Captures the subtree of `tree` rooted at `node` as a spec.
+    pub fn capture(tree: &Tree, node: NodeId) -> Spec {
+        Spec {
+            label: tree.label(node),
+            children: tree
+                .children(node)
+                .iter()
+                .map(|&c| Spec::capture(tree, c))
+                .collect(),
+        }
+    }
+}
+
+/// Inserts a whole subtree described by `spec` as the `pos`-th child of
+/// `parent` (1-based), as a sequence of leaf `INS` operations (top-down,
+/// each node inserted as a leaf and then populated). Returns the root of
+/// the new subtree and the log entries, in application order.
+pub fn insert_subtree(
+    tree: &mut Tree,
+    parent: NodeId,
+    pos: usize,
+    spec: &Spec,
+) -> Result<(NodeId, Vec<LogOp>), EditError> {
+    let mut log = Vec::with_capacity(spec.size());
+    let root = insert_rec(tree, parent, pos, spec, &mut log)?;
+    Ok((root, log))
+}
+
+fn insert_rec(
+    tree: &mut Tree,
+    parent: NodeId,
+    pos: usize,
+    spec: &Spec,
+    log: &mut Vec<LogOp>,
+) -> Result<NodeId, EditError> {
+    let node = tree.next_node_id();
+    log.push(tree.apply_logged(EditOp::Insert {
+        node,
+        label: spec.label,
+        parent,
+        k: pos,
+        m: pos - 1,
+    })?);
+    for (i, child) in spec.children.iter().enumerate() {
+        insert_rec(tree, node, i + 1, child, log)?;
+    }
+    Ok(node)
+}
+
+/// Deletes the whole subtree rooted at `node` (which must not be the root),
+/// as a sequence of `DEL` operations (bottom-up: leaves first). Returns the
+/// log entries in application order.
+pub fn delete_subtree(tree: &mut Tree, node: NodeId) -> Result<Vec<LogOp>, EditError> {
+    if !tree.contains(node) {
+        return Err(EditError::MissingNode(node));
+    }
+    if node == tree.root() {
+        return Err(EditError::RootEdit);
+    }
+    // Postorder: every node is a leaf by the time it is deleted — each DEL
+    // is a plain node edit with no child adoption.
+    let order = tree.postorder(node);
+    let mut log = Vec::with_capacity(order.len());
+    for n in order {
+        log.push(tree.apply_logged(EditOp::Delete { node: n })?);
+    }
+    Ok(log)
+}
+
+/// Moves the subtree rooted at `node` to become the `pos`-th child of
+/// `new_parent`, simulated as capture + delete + re-insert (the moved nodes
+/// get fresh identities, as the node-edit model requires — a node id never
+/// refers to two tree locations over its lifetime). Returns the new subtree
+/// root and the log entries.
+///
+/// Fails if `new_parent` lies inside the moved subtree or if `node` is the
+/// root.
+pub fn move_subtree(
+    tree: &mut Tree,
+    node: NodeId,
+    new_parent: NodeId,
+    pos: usize,
+) -> Result<(NodeId, Vec<LogOp>), EditError> {
+    if !tree.contains(node) {
+        return Err(EditError::MissingNode(node));
+    }
+    if !tree.contains(new_parent) {
+        return Err(EditError::MissingNode(new_parent));
+    }
+    if node == tree.root() {
+        return Err(EditError::RootEdit);
+    }
+    // new_parent must not be inside the moved subtree.
+    let mut cur = Some(new_parent);
+    while let Some(n) = cur {
+        if n == node {
+            return Err(EditError::BadRange {
+                k: pos,
+                m: pos,
+                fanout: tree.fanout(new_parent),
+            });
+        }
+        cur = tree.parent(n);
+    }
+    let spec = Spec::capture(tree, node);
+    let mut log = delete_subtree(tree, node)?;
+    // Positions may have shifted if node and new_parent share the parent;
+    // the caller-provided pos refers to the post-delete child list.
+    let (new_root, insert_log) = insert_subtree(tree, new_parent, pos, &spec)?;
+    log.extend(insert_log);
+    Ok((new_root, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::EditLog;
+    use crate::label::LabelTable;
+
+    fn sample() -> (Tree, LabelTable, Vec<NodeId>) {
+        // a(b c(e f) d)
+        let mut lt = LabelTable::new();
+        let syms: Vec<_> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|s| lt.intern(s))
+            .collect();
+        let mut t = Tree::with_root(syms[0]);
+        let n1 = t.root();
+        let n2 = t.add_child(n1, syms[1]);
+        let n3 = t.add_child(n1, syms[2]);
+        let n4 = t.add_child(n1, syms[3]);
+        let n5 = t.add_child(n3, syms[4]);
+        let n6 = t.add_child(n3, syms[5]);
+        (t, lt, vec![n1, n2, n3, n4, n5, n6])
+    }
+
+    #[test]
+    fn insert_subtree_builds_structure_and_log_rewinds() {
+        let (mut t, mut lt, n) = sample();
+        let orig = t.clone();
+        let spec = Spec::node(
+            lt.intern("x"),
+            vec![
+                Spec::leaf(lt.intern("y")),
+                Spec::node(lt.intern("z"), vec![Spec::leaf(lt.intern("w"))]),
+            ],
+        );
+        let (root, log) = insert_subtree(&mut t, n[0], 2, &spec).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.node_count(), 10);
+        assert_eq!(t.sibling_pos(root), Some(2));
+        assert_eq!(Spec::capture(&t, root), spec);
+        assert_eq!(log.len(), 4);
+        let log: EditLog = log.into_iter().collect();
+        log.rewind(&mut t).unwrap();
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn delete_subtree_removes_all_and_log_rewinds() {
+        let (mut t, _, n) = sample();
+        let orig = t.clone();
+        let log = delete_subtree(&mut t, n[2]).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.node_count(), 3);
+        assert!(!t.contains(n[2]) && !t.contains(n[4]) && !t.contains(n[5]));
+        assert_eq!(log.len(), 3);
+        let log: EditLog = log.into_iter().collect();
+        log.rewind(&mut t).unwrap();
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn delete_subtree_rejects_root_and_missing() {
+        let (mut t, _, n) = sample();
+        assert_eq!(
+            delete_subtree(&mut t, n[0]).unwrap_err(),
+            EditError::RootEdit
+        );
+        let mut t2 = t.clone();
+        delete_subtree(&mut t2, n[1]).unwrap();
+        assert_eq!(
+            delete_subtree(&mut t2, n[1]).unwrap_err(),
+            EditError::MissingNode(n[1])
+        );
+    }
+
+    #[test]
+    fn move_subtree_relocates_and_log_rewinds() {
+        let (mut t, _, n) = sample();
+        let orig = t.clone();
+        // Move c(e f) under b.
+        let (new_root, log) = move_subtree(&mut t, n[2], n[1], 1).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.parent(new_root), Some(n[1]));
+        assert_eq!(t.children(t.root()).len(), 2);
+        assert_eq!(t.fanout(new_root), 2);
+        let log: EditLog = log.into_iter().collect();
+        log.rewind(&mut t).unwrap();
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn move_into_own_subtree_rejected() {
+        let (mut t, _, n) = sample();
+        // c into its own child e.
+        assert!(move_subtree(&mut t, n[2], n[4], 1).is_err());
+        // node into itself.
+        assert!(move_subtree(&mut t, n[2], n[2], 1).is_err());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_size_and_capture_roundtrip() {
+        let (t, _, n) = sample();
+        let spec = Spec::capture(&t, n[0]);
+        assert_eq!(spec.size(), 6);
+        let mut t2 = Tree::with_root(spec.label);
+        let root = t2.root();
+        for (i, child) in spec.children.iter().enumerate() {
+            insert_subtree(&mut t2, root, i + 1, child).unwrap();
+        }
+        assert!(t.isomorphic(&t2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Parse errors with positions.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A character that cannot start/continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closing an unopened or differently-named element.
+    MismatchedCloseTag {
+        /// The element that is actually open.
+        expected: String,
+        /// The close-tag name encountered.
+        found: String,
+    },
+    /// Close tag with no element open.
+    UnopenedCloseTag(String),
+    /// Element(s) left open at end of input.
+    UnclosedElement(String),
+    /// Empty or malformed name.
+    BadName,
+    /// Malformed entity/character reference.
+    BadEntity(String),
+    /// Document has no root element, or content outside the root.
+    BadDocumentStructure(&'static str),
+    /// Attribute appears twice on one element.
+    DuplicateAttribute(String),
+}
+
+/// A parse error with 1-based line/column of the offending position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Error category and payload.
+    pub kind: ParseErrorKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::MismatchedCloseTag { expected, found } => {
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
+            }
+            ParseErrorKind::UnopenedCloseTag(n) => {
+                write!(f, "close tag </{n}> with no open element")
+            }
+            ParseErrorKind::UnclosedElement(n) => write!(f, "element <{n}> left open"),
+            ParseErrorKind::BadName => write!(f, "malformed name"),
+            ParseErrorKind::BadEntity(e) => write!(f, "malformed entity reference &{e};"),
+            ParseErrorKind::BadDocumentStructure(msg) => write!(f, "{msg}"),
+            ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

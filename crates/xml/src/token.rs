@@ -1,0 +1,517 @@
+//! Streaming XML tokenizer.
+//!
+//! Supports the subset of XML 1.0 needed for data documents: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions and DOCTYPE declarations (the latter three are tokenized but
+//! typically skipped by the parser), the five predefined entities and decimal
+//! / hexadecimal character references.
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// An attribute `name="value"` with the value entity-decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// One XML token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" …>`; `self_closing` for `<name …/>`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, values decoded.
+        attributes: Vec<Attribute>,
+        /// True for `<name …/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded. Includes CDATA content.
+    Text(String),
+    /// `<!-- … -->` (content without the delimiters).
+    Comment(String),
+    /// `<?target …?>` (content without the delimiters).
+    ProcessingInstruction(String),
+    /// `<!DOCTYPE …>` (content without the delimiters; internal subsets with
+    /// balanced brackets are consumed).
+    Doctype(String),
+}
+
+/// Tokenizes a complete document string. Convenience wrapper collecting
+/// [`Tokenizer`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    Tokenizer::new(input).collect()
+}
+
+/// Pull tokenizer over a `&str` input.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    /// Byte offset of the cursor.
+    pos: usize,
+    line: usize,
+    /// Byte offset where the current line starts (column = chars since).
+    line_start: usize,
+    finished: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            finished: false,
+        }
+    }
+
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        let column = self.input[self.line_start..self.pos].chars().count() + 1;
+        ParseError {
+            kind,
+            line: self.line,
+            column,
+        }
+    }
+
+    /// Current 1-based (line, column) — used by the parser for its own
+    /// errors.
+    pub fn position(&self) -> (usize, usize) {
+        (
+            self.line,
+            self.input[self.line_start..self.pos].chars().count() + 1,
+        )
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            for _ in 0..prefix.chars().count() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Consumes until `needle`, returning the skipped slice (needle consumed).
+    fn until(&mut self, needle: &str) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        match self.rest().find(needle) {
+            Some(off) => {
+                let end = start + off;
+                while self.pos < end {
+                    self.bump();
+                }
+                for _ in 0..needle.chars().count() {
+                    self.bump();
+                }
+                Ok(&self.input[start..end])
+            }
+            None => {
+                self.pos = self.input.len();
+                Err(self.error(ParseErrorKind::UnexpectedEof))
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.error(ParseErrorKind::BadName)),
+        }
+        while self.peek().is_some_and(is_name_char) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn entity(&mut self) -> Result<char, ParseError> {
+        // Cursor is just past '&'.
+        let start = self.pos;
+        let semi = match self.rest().find(';') {
+            Some(off) if off <= 10 => start + off,
+            _ => return Err(self.error(ParseErrorKind::BadEntity(String::new()))),
+        };
+        let body = &self.input[start..semi];
+        let decoded = match body {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ => {
+                let code = if let Some(hex) = body.strip_prefix("#x").or(body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                code.and_then(char::from_u32)
+                    .ok_or_else(|| self.error(ParseErrorKind::BadEntity(body.to_string())))?
+            }
+        };
+        while self.pos <= semi {
+            self.bump();
+        }
+        Ok(decoded)
+    }
+
+    fn attribute_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(c @ ('"' | '\'')) => {
+                self.bump();
+                c
+            }
+            Some(c) => return Err(self.error(ParseErrorKind::UnexpectedChar(c))),
+            None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('&') => {
+                    self.bump();
+                    out.push(self.entity()?);
+                }
+                Some('<') => return Err(self.error(ParseErrorKind::UnexpectedChar('<'))),
+                Some(c) => {
+                    self.bump();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn start_tag(&mut self) -> Result<Token, ParseError> {
+        // Cursor is just past '<'.
+        let name = self.name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some('/') => {
+                    self.bump();
+                    if self.eat(">") {
+                        return Ok(Token::StartTag {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        });
+                    }
+                    return Err(self.error(ParseErrorKind::UnexpectedChar('/')));
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_name = self.name()?;
+                    self.skip_whitespace();
+                    if !self.eat("=") {
+                        let c = self.peek().unwrap_or('\0');
+                        return Err(self.error(ParseErrorKind::UnexpectedChar(c)));
+                    }
+                    self.skip_whitespace();
+                    let value = self.attribute_value()?;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr_name) {
+                        return Err(self.error(ParseErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                Some(c) => return Err(self.error(ParseErrorKind::UnexpectedChar(c))),
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn end_tag(&mut self) -> Result<Token, ParseError> {
+        // Cursor is just past '</'.
+        let name = self.name()?;
+        self.skip_whitespace();
+        if !self.eat(">") {
+            let c = self.peek().unwrap_or('\0');
+            return Err(self.error(ParseErrorKind::UnexpectedChar(c)));
+        }
+        Ok(Token::EndTag { name })
+    }
+
+    fn doctype(&mut self) -> Result<Token, ParseError> {
+        // Cursor is just past '<!DOCTYPE'. Consume to matching '>', honoring
+        // one level of internal subset brackets.
+        let start = self.pos;
+        let mut depth = 0i32;
+        loop {
+            match self.bump() {
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+                Some('[') => depth += 1,
+                Some(']') => depth -= 1,
+                Some('>') if depth <= 0 => {
+                    let body = &self.input[start..self.pos - 1];
+                    return Ok(Token::Doctype(body.trim().to_string()));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn text(&mut self) -> Result<Token, ParseError> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some('<') => break,
+                Some('&') => {
+                    self.bump();
+                    out.push(self.entity()?);
+                }
+                Some(c) => {
+                    self.bump();
+                    out.push(c);
+                }
+            }
+        }
+        Ok(Token::Text(out))
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        if self.eat("<") {
+            if self.eat("!--") {
+                let body = self.until("-->")?;
+                return Ok(Some(Token::Comment(body.to_string())));
+            }
+            if self.eat("![CDATA[") {
+                let body = self.until("]]>")?;
+                return Ok(Some(Token::Text(body.to_string())));
+            }
+            if self.eat("!DOCTYPE") {
+                return self.doctype().map(Some);
+            }
+            if self.eat("?") {
+                let body = self.until("?>")?;
+                return Ok(Some(Token::ProcessingInstruction(body.to_string())));
+            }
+            if self.eat("/") {
+                return self.end_tag().map(Some);
+            }
+            return self.start_tag().map(Some);
+        }
+        self.text().map(Some)
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Result<Token, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match self.next_token() {
+            Ok(Some(t)) => Some(Ok(t)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &str) -> Token {
+        Token::Text(s.to_string())
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = tokenize("<a>hi</a>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                text("hi"),
+                Token::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_self_closing() {
+        let toks = tokenize(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::StartTag {
+                name: "a".into(),
+                attributes: vec![
+                    Attribute {
+                        name: "x".into(),
+                        value: "1".into()
+                    },
+                    Attribute {
+                        name: "y".into(),
+                        value: "two".into()
+                    },
+                ],
+                self_closing: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attributes() {
+        let toks = tokenize(r#"<a t="&lt;&amp;&gt;">x &#65;&#x42; &quot;q&apos;</a>"#).unwrap();
+        match &toks[0] {
+            Token::StartTag { attributes, .. } => assert_eq!(attributes[0].value, "<&>"),
+            t => panic!("unexpected {t:?}"),
+        }
+        assert_eq!(toks[1], text("x AB \"q'"));
+    }
+
+    #[test]
+    fn cdata_is_raw_text() {
+        let toks = tokenize("<a><![CDATA[<not> &amp; parsed]]></a>").unwrap();
+        assert_eq!(toks[1], text("<not> &amp; parsed"));
+    }
+
+    #[test]
+    fn comments_pi_doctype() {
+        let toks =
+            tokenize("<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\"><!-- c --><a/>")
+                .unwrap();
+        assert_eq!(
+            toks[0],
+            Token::ProcessingInstruction("xml version=\"1.0\"".into())
+        );
+        assert_eq!(toks[1], Token::Doctype("dblp SYSTEM \"dblp.dtd\"".into()));
+        assert_eq!(toks[2], Token::Comment(" c ".into()));
+        assert!(matches!(toks[3], Token::StartTag { .. }));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let toks = tokenize("<!DOCTYPE a [<!ELEMENT a (b)> ]><a/>").unwrap();
+        assert!(matches!(&toks[0], Token::Doctype(d) if d.contains("ELEMENT")));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("<a>\n  <b x=></b></a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar('>')));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        assert!(matches!(
+            tokenize("<a>&bogus;</a>").unwrap_err().kind,
+            ParseErrorKind::BadEntity(_)
+        ));
+        assert!(matches!(
+            tokenize("<a>&#xZZ;</a>").unwrap_err().kind,
+            ParseErrorKind::BadEntity(_)
+        ));
+        // Unterminated entity (no ';' within bounds).
+        assert!(tokenize("<a>&ampampampamp</a>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            tokenize(r#"<a x="1" x="2"/>"#).unwrap_err().kind,
+            ParseErrorKind::DuplicateAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn eof_inside_tag() {
+        assert_eq!(
+            tokenize("<a").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            tokenize("<!-- never closed").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn raw_text_lt_in_attribute_rejected() {
+        assert!(matches!(
+            tokenize(r#"<a x="<"/>"#).unwrap_err().kind,
+            ParseErrorKind::UnexpectedChar('<')
+        ));
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let toks = tokenize("<bücher>Ä ö</bücher>").unwrap();
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "bücher"));
+        assert_eq!(toks[1], text("Ä ö"));
+    }
+}

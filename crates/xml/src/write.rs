@@ -1,0 +1,223 @@
+//! [`Tree`] → XML serialization (inverse of the parse mapping).
+//!
+//! * a node whose label starts with `@` and that has exactly one leaf child
+//!   is written as an attribute of its parent element;
+//! * a leaf whose label is a valid XML name is written as an empty element;
+//! * any other leaf is written as a text run (escaped);
+//! * every other node is written as an element.
+//!
+//! `parse(write(tree))` yields a tree isomorphic to the input whenever labels
+//! honor the conventions above (text leaves must not be whitespace-only if
+//! whitespace normalization is enabled on the parse side).
+
+use pqgram_tree::{LabelTable, NodeId, Tree};
+use std::fmt::Write;
+
+/// Options for [`write_document`].
+#[derive(Clone, Debug, Default)]
+pub struct WriteOptions {
+    /// Pretty-print with this many spaces per level (`None` = compact).
+    pub indent: Option<usize>,
+    /// Emit an `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+}
+
+/// Serializes `tree` as an XML document.
+pub fn write_document(tree: &Tree, labels: &LabelTable, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_node(&mut out, tree, labels, tree.root(), 0, options);
+    out
+}
+
+fn write_node(
+    out: &mut String,
+    tree: &Tree,
+    labels: &LabelTable,
+    node: NodeId,
+    level: usize,
+    options: &WriteOptions,
+) {
+    let label = labels.name(tree.label(node));
+    let newline_indent = |out: &mut String, level: usize| {
+        if let Some(width) = options.indent {
+            if !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            for _ in 0..level * width {
+                out.push(' ');
+            }
+        }
+    };
+
+    if tree.is_leaf(node) && !is_valid_name(label) {
+        newline_indent(out, level);
+        escape_text(out, label);
+        return;
+    }
+
+    newline_indent(out, level);
+    out.push('<');
+    out.push_str(label);
+
+    // Attributes: children labeled `@name` with exactly one leaf child.
+    let mut content = Vec::new();
+    for &child in tree.children(node) {
+        let child_label = labels.name(tree.label(child));
+        if let Some(attr_name) = child_label.strip_prefix('@') {
+            let grandchildren = tree.children(child);
+            if is_valid_name(attr_name)
+                && grandchildren.len() == 1
+                && tree.is_leaf(grandchildren[0])
+            {
+                out.push(' ');
+                out.push_str(attr_name);
+                out.push_str("=\"");
+                escape_attr(out, labels.name(tree.label(grandchildren[0])));
+                out.push('"');
+                continue;
+            }
+        }
+        content.push(child);
+    }
+
+    if content.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let only_text = content.len() == 1
+        && tree.is_leaf(content[0])
+        && !is_valid_name(labels.name(tree.label(content[0])));
+    for &child in &content {
+        write_node(out, tree, labels, child, level + 1, options);
+    }
+    if !only_text {
+        newline_indent(out, level);
+    }
+    let _ = write!(out, "</{label}>");
+}
+
+/// True if `s` is a valid XML element/attribute name for our tokenizer.
+pub(crate) fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| {
+        c.is_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit() || c == '-' || c == '.'
+    })
+}
+
+fn escape_text(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut lt = LabelTable::new();
+        let doc = r#"<a x="1"><b>hi there</b><c/></a>"#;
+        let tree = parse_document(doc, &mut lt).unwrap();
+        let written = write_document(&tree, &lt, &WriteOptions::default());
+        let mut lt2 = LabelTable::new();
+        let back = parse_document(&written, &mut lt2).unwrap();
+        assert_eq!(tree.node_count(), back.node_count());
+        let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
+            t.preorder(t.root())
+                .map(|n| l.name(t.label(n)).to_string())
+                .collect()
+        };
+        assert_eq!(names(&tree, &lt), names(&back, &lt2));
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let mut lt = LabelTable::new();
+        let doc = r#"<a x="a&quot;&lt;b"><t>x &amp; y &lt; z</t></a>"#;
+        let tree = parse_document(doc, &mut lt).unwrap();
+        let written = write_document(&tree, &lt, &WriteOptions::default());
+        let mut lt2 = LabelTable::new();
+        let back = parse_document(&written, &mut lt2).unwrap();
+        let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
+            t.preorder(t.root())
+                .map(|n| l.name(t.label(n)).to_string())
+                .collect()
+        };
+        assert_eq!(names(&tree, &lt), names(&back, &lt2));
+    }
+
+    #[test]
+    fn pretty_print_has_indentation() {
+        let mut lt = LabelTable::new();
+        let tree = parse_document("<a><b><c/></b></a>", &mut lt).unwrap();
+        let written = write_document(
+            &tree,
+            &lt,
+            &WriteOptions {
+                indent: Some(2),
+                declaration: true,
+            },
+        );
+        assert!(written.starts_with("<?xml"));
+        assert!(written.contains("\n  <b>"));
+        assert!(written.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn generated_trees_roundtrip() {
+        use pqgram_tree::generate::{dblp, xmark};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut lt = LabelTable::new();
+        for tree in [
+            xmark(&mut rng, &mut lt, 3_000),
+            dblp(&mut rng, &mut lt, 3_000),
+        ] {
+            let written = write_document(&tree, &lt, &WriteOptions::default());
+            let mut lt2 = LabelTable::new();
+            let back = parse_document(&written, &mut lt2).unwrap();
+            assert_eq!(tree.node_count(), back.node_count());
+        }
+    }
+
+    #[test]
+    fn valid_name_checks() {
+        assert!(is_valid_name("a"));
+        assert!(is_valid_name("_x-1.b"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1a"));
+        assert!(!is_valid_name("two words"));
+        assert!(!is_valid_name("@attr"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Near-duplicate detection in a bibliography — the approximate-join
+//! scenario (Guha et al.) that motivates indexes for approximate lookups.
+//!
+//! Generates a collection of publication records, injects noisy duplicates
+//! (typos, dropped fields, reordered authors), then uses approximate lookups
+//! against the forest index to recover the duplicate pairs. Reports
+//! precision/recall of the pq-gram distance at the chosen threshold.
+//!
+//! ```sh
+//! cargo run --release --example deduplication
+//! ```
+
+use pqgram::{build_index, ForestIndex, LabelTable, PQParams, Tree, TreeId};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds one publication record tree.
+fn record(labels: &mut LabelTable, authors: &[&str], title_words: &[&str], year: &str) -> Tree {
+    let mut t = Tree::with_root(labels.intern("article"));
+    for a in authors {
+        let an = t.add_child(t.root(), labels.intern("author"));
+        t.add_child(an, labels.intern(a));
+    }
+    let ti = t.add_child(t.root(), labels.intern("title"));
+    for w in title_words {
+        t.add_child(ti, labels.intern(w));
+    }
+    let y = t.add_child(t.root(), labels.intern("year"));
+    t.add_child(y, labels.intern(year));
+    t
+}
+
+/// Derives a noisy duplicate: typo one title word, maybe drop an author.
+fn noisy_copy<R: Rng>(rng: &mut R, labels: &mut LabelTable, original: &Tree) -> Tree {
+    let mut t = original.clone();
+    // Typo: rename one random leaf.
+    let leaves: Vec<_> = t.preorder(t.root()).filter(|&n| t.is_leaf(n)).collect();
+    if let Some(&leaf) = leaves.choose(rng) {
+        let old = labels.name(t.label(leaf)).to_string();
+        let typo = labels.intern(&format!("{old}~"));
+        t.apply(pqgram::EditOp::Rename {
+            node: leaf,
+            label: typo,
+        })
+        .unwrap();
+    }
+    // Sometimes drop a whole field.
+    if rng.random_bool(0.4) {
+        let fields: Vec<_> = t.children(t.root()).to_vec();
+        if fields.len() > 2 {
+            let &field = fields.choose(rng).unwrap();
+            // Delete value leaf first, then the field node.
+            for child in t.children(field).to_vec() {
+                t.apply(pqgram::EditOp::Delete { node: child }).unwrap();
+            }
+            t.apply(pqgram::EditOp::Delete { node: field }).unwrap();
+        }
+    }
+    t
+}
+
+fn main() {
+    let params = PQParams::new(2, 3);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut labels = LabelTable::new();
+
+    // 200 base records; every third one gets a noisy duplicate.
+    let first_names = ["A.", "B.", "C.", "D.", "E.", "F."];
+    let last_names = [
+        "Smith", "Mueller", "Rossi", "Tanaka", "Kumar", "Silva", "Novak",
+    ];
+    let words = [
+        "index",
+        "tree",
+        "query",
+        "join",
+        "approximate",
+        "stream",
+        "graph",
+        "cache",
+        "lookup",
+        "edit",
+        "distance",
+        "gram",
+        "log",
+        "update",
+        "xml",
+        "storage",
+        "page",
+        "buffer",
+        "scan",
+        "hash",
+        "partition",
+        "schema",
+        "label",
+        "window",
+        "forest",
+        "profile",
+        "sibling",
+        "anchor",
+        "matrix",
+        "fingerprint",
+    ];
+
+    let mut trees: Vec<Tree> = Vec::new();
+    let mut duplicate_of: Vec<Option<usize>> = Vec::new();
+    for i in 0..200usize {
+        let authors: Vec<String> = (0..rng.random_range(1..=3))
+            .map(|_| {
+                format!(
+                    "{} {}",
+                    first_names.choose(&mut rng).unwrap(),
+                    last_names.choose(&mut rng).unwrap()
+                )
+            })
+            .collect();
+        let author_refs: Vec<&str> = authors.iter().map(String::as_str).collect();
+        let title: Vec<&str> = (0..rng.random_range(4..=7))
+            .map(|_| *words.choose(&mut rng).unwrap())
+            .collect();
+        let year = format!("{}", 1990 + rng.random_range(0..20));
+        let base = record(&mut labels, &author_refs, &title, &year);
+        trees.push(base);
+        duplicate_of.push(None);
+        if i % 3 == 0 {
+            let dup = noisy_copy(&mut rng, &mut labels, trees.last().unwrap());
+            trees.push(dup);
+            duplicate_of.push(Some(trees.len() - 2));
+        }
+    }
+
+    let mut forest = ForestIndex::new();
+    let indexes: Vec<_> = trees
+        .iter()
+        .map(|t| build_index(t, &labels, params))
+        .collect();
+    for (i, idx) in indexes.iter().enumerate() {
+        forest.insert(TreeId(i as u64), idx.clone());
+    }
+    println!(
+        "collection: {} records ({} injected duplicates)",
+        trees.len(),
+        duplicate_of.iter().flatten().count()
+    );
+
+    // For every record, find its nearest non-identical neighbor below tau.
+    let tau = 0.5;
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for (i, idx) in indexes.iter().enumerate() {
+        let hits = forest.lookup_parallel(idx, tau, 4);
+        let best_other = hits.iter().find(|h| h.tree_id.0 as usize != i);
+        let predicted = best_other.map(|h| h.tree_id.0 as usize);
+        let truth = duplicate_of[i].or_else(|| duplicate_of.iter().position(|&d| d == Some(i)));
+        match (predicted, truth) {
+            (Some(p), Some(t)) if p == t => tp += 1,
+            (Some(_), _) => fp += 1,
+            (None, Some(_)) => fn_ += 1,
+            (None, None) => {}
+        }
+    }
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    println!("duplicate detection at tau = {tau}: precision {precision:.3}, recall {recall:.3}");
+    assert!(
+        recall > 0.9,
+        "pq-gram distance should recover nearly all duplicates"
+    );
+}

@@ -1,0 +1,108 @@
+//! Quickstart: build pq-gram indexes, measure tree similarity, look up
+//! similar documents in a forest, and update an index incrementally from an
+//! edit log.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pqgram::{
+    build_index, pq_distance, record_script, update_index, ForestIndex, LabelTable, PQParams,
+    ScriptConfig, Tree, TreeId,
+};
+use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let params = PQParams::default(); // the paper's 3,3-grams
+    let mut labels = LabelTable::new();
+
+    // ---- 1. Build two similar documents and compare them -----------------
+    let mut doc = Tree::with_root(labels.intern("article"));
+    let title = doc.add_child(doc.root(), labels.intern("title"));
+    doc.add_child(
+        title,
+        labels.intern("Approximate Matching of Hierarchical Data"),
+    );
+    let authors = doc.add_child(doc.root(), labels.intern("authors"));
+    for name in ["Augsten", "Boehlen", "Gamper"] {
+        let a = doc.add_child(authors, labels.intern("author"));
+        doc.add_child(a, labels.intern(name));
+    }
+
+    let mut doc2 = doc.clone();
+    // A small edit: one author name changes.
+    let some_leaf = doc2
+        .preorder(doc2.root())
+        .find(|&n| labels.name(doc2.label(n)) == "Gamper")
+        .expect("present");
+    doc2.apply(pqgram::EditOp::Rename {
+        node: some_leaf,
+        label: labels.intern("Gamper, J."),
+    })
+    .unwrap();
+
+    let i1 = build_index(&doc, &labels, params);
+    let i2 = build_index(&doc2, &labels, params);
+    println!(
+        "pq-gram distance after one rename: {:.4}",
+        pq_distance(&i1, &i2)
+    );
+    println!(
+        "pq-gram distance to itself:        {:.4}",
+        pq_distance(&i1, &i1)
+    );
+
+    // ---- 2. Approximate lookup in a forest -------------------------------
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut forest = ForestIndex::new();
+    forest.insert(TreeId(0), i1.clone());
+    forest.insert(TreeId(1), i2);
+    for i in 2..50u64 {
+        let t = random_tree(&mut rng, &mut labels, &RandomTreeConfig::new(40, 6));
+        forest.insert(TreeId(i), build_index(&t, &labels, params));
+    }
+    let hits = forest.lookup(&i1, 0.5);
+    println!("\nlookup(doc, tau = 0.5) over {} trees:", forest.len());
+    for hit in &hits {
+        println!("  {:?}  distance {:.4}", hit.tree_id, hit.distance);
+    }
+
+    // ---- 3. Incremental index maintenance --------------------------------
+    // A larger document evolves through 100 edits; we keep only the log of
+    // inverse operations and the final document, as in the paper.
+    let mut big = random_tree(&mut rng, &mut labels, &RandomTreeConfig::new(50_000, 12));
+    let old_index = build_index(&big, &labels, params);
+
+    let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();
+    let (log, _) = record_script(&mut rng, &mut big, &ScriptConfig::new(100, alphabet));
+
+    let t = Instant::now();
+    let outcome = update_index(&old_index, &big, &labels, &log).expect("consistent log");
+    let incremental = t.elapsed();
+
+    let t = Instant::now();
+    let rebuilt = build_index(&big, &labels, params);
+    let rebuild = t.elapsed();
+
+    assert_eq!(outcome.index, rebuilt);
+    println!(
+        "\nindex maintenance on a {}-node tree, 100 edits:",
+        big.node_count()
+    );
+    println!(
+        "  incremental update: {incremental:>10.2?}   (+{} / -{} grams)",
+        outcome.delta.additions.len(),
+        outcome.delta.removals.len()
+    );
+    println!(
+        "  full rebuild:       {rebuild:>10.2?}   ({} grams)",
+        rebuilt.total()
+    );
+    println!(
+        "  speedup:            {:>10.1}x",
+        rebuild.as_secs_f64() / incremental.as_secs_f64().max(1e-9)
+    );
+}

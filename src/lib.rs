@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+//! # pqgram — an incrementally maintainable index for approximate lookups in hierarchical data
+//!
+//! A production-quality Rust implementation of
+//! *Augsten, Böhlen, Gamper: "An Incrementally Maintainable Index for
+//! Approximate Lookups in Hierarchical Data" (VLDB 2006)*, including every
+//! substrate the paper depends on.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`tree`] ([`pqgram_tree`]) — ordered labeled trees with stable node
+//!   identity, the `INS`/`DEL`/`REN` edit operations with inverses, edit
+//!   logs, and workload generators (random, XMark-shaped, DBLP-shaped);
+//! * [`xml`] ([`pqgram_xml`]) — a from-scratch XML parser/writer mapping
+//!   documents onto trees;
+//! * [`ted`] ([`pqgram_ted`]) — the exact Zhang–Shasha tree edit distance
+//!   the pq-gram distance approximates;
+//! * [`core`] ([`pqgram_core`]) — pq-gram profiles, the index, the pq-gram
+//!   distance and approximate lookups, and the paper's contribution: the
+//!   delta function `δ`, the profile update function `U`, and Algorithm 1
+//!   (incremental index maintenance from the log of inverse edits);
+//! * [`diff`] ([`pqgram_diff`]) — a Merkle-hash guided tree diff deriving
+//!   edit scripts (with logs) between document versions;
+//! * [`store`] ([`pqgram_store`]) — a persistent page-based storage engine
+//!   (pager, rollback journal, buffer pool, B+-tree, blob chains) holding
+//!   the index relation `(treeId, pqg, cnt)` with transactional incremental
+//!   updates, plus a [`DocumentStore`] that keeps the documents themselves
+//!   next to the index and syncs them via derived edit scripts.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use pqgram::{build_index, update_index, PQParams, LabelTable, Tree, EditOp};
+//!
+//! // Build a document tree.
+//! let mut labels = LabelTable::new();
+//! let mut doc = Tree::with_root(labels.intern("article"));
+//! let title = doc.add_child(doc.root(), labels.intern("title"));
+//! doc.add_child(title, labels.intern("pq-grams"));
+//! let author = doc.add_child(doc.root(), labels.intern("author"));
+//! doc.add_child(author, labels.intern("N. Augsten"));
+//!
+//! // Index it (3,3-grams by default).
+//! let params = PQParams::default();
+//! let old_index = build_index(&doc, &labels, params);
+//!
+//! // The document evolves; only the log of inverse edits is kept.
+//! let mut log = pqgram::EditLog::new();
+//! let year = doc.next_node_id();
+//! log.push(doc.apply_logged(EditOp::Insert {
+//!     node: year, label: labels.intern("year"), parent: doc.root(), k: 1, m: 0,
+//! }).unwrap());
+//! log.push(doc.apply_logged(EditOp::Rename {
+//!     node: title, label: labels.intern("title-2e"),
+//! }).unwrap());
+//!
+//! // Update the index from (old index, resulting tree, log) alone.
+//! let updated = update_index(&old_index, &doc, &labels, &log).unwrap().index;
+//! assert_eq!(updated, build_index(&doc, &labels, params));
+//! ```
+
+pub use pqgram_core as core;
+pub use pqgram_diff as diff;
+pub use pqgram_store as store;
+pub use pqgram_ted as ted;
+pub use pqgram_tree as tree;
+pub use pqgram_xml as xml;
+
+pub use pqgram_core::join::{join as approximate_join, JoinPair, JoinStats};
+pub use pqgram_core::maintain::{update_index, IndexDelta, MaintainError, UpdateStats};
+pub use pqgram_core::{
+    build_index, pq_distance, ForestIndex, GramKey, LookupHit, PQParams, TreeId, TreeIndex,
+};
+pub use pqgram_diff::{sync as diff_sync, DiffError};
+pub use pqgram_store::document::{DocumentStore, SyncOutcome};
+pub use pqgram_store::IndexStore;
+pub use pqgram_ted::tree_edit_distance;
+pub use pqgram_tree::{
+    optimize_log, record_script, EditError, EditLog, EditOp, InsertAnchor, LabelSym, LabelTable,
+    LogOp, NodeId, OptimizeStats, ScriptConfig, ScriptMix, Tree,
+};
+pub use pqgram_xml::{parse_document, write_document, ParseError, WriteOptions};

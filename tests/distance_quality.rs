@@ -1,0 +1,107 @@
+//! Approximation quality of the pq-gram distance against the exact
+//! Zhang–Shasha tree edit distance — the property the 2005 companion paper
+//! establishes and this paper's lookups rely on.
+
+use pqgram::{build_index, pq_distance, tree_edit_distance, LabelTable, PQParams, ScriptConfig};
+use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+use pqgram_tree::record_script;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn identical_trees_have_both_distances_zero() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut lt = LabelTable::new();
+    let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 5));
+    assert_eq!(tree_edit_distance(&t, &t), 0);
+    let idx = build_index(&t, &lt, PQParams::default());
+    assert_eq!(pq_distance(&idx, &idx), 0.0);
+}
+
+#[test]
+fn pq_distance_grows_with_edit_count() {
+    // Apply increasing numbers of edits; the pq-gram distance to the
+    // original must grow (weakly) with the true edit distance budget.
+    let params = PQParams::default();
+    let mut lt = LabelTable::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(400, 6));
+    let base_idx = build_index(&base, &lt, params);
+    let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+
+    let mut previous = 0.0;
+    let mut distances = Vec::new();
+    for edits in [1usize, 5, 25, 100, 300] {
+        let mut t = base.clone();
+        let mut cfg = ScriptConfig::new(edits, alphabet.clone());
+        cfg.max_adopted = 1;
+        record_script(&mut rng, &mut t, &cfg);
+        let d = pq_distance(&base_idx, &build_index(&t, &lt, params));
+        distances.push((edits, d));
+        assert!(
+            d >= previous - 0.05,
+            "distance should not collapse as edits grow: {distances:?}"
+        );
+        previous = d;
+    }
+    assert!(distances[0].1 < 0.1, "one edit keeps the trees very close");
+    assert!(
+        distances.last().unwrap().1 > 0.4,
+        "300 edits move the trees far apart"
+    );
+}
+
+#[test]
+fn pq_distance_ranks_like_ted_on_average() {
+    // Spearman-style check: for a query and a pool of candidates at varying
+    // true edit distances, the pq-gram ranking must correlate positively
+    // with the exact ranking.
+    let params = PQParams::new(2, 3);
+    let mut lt = LabelTable::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 5));
+    let base_idx = build_index(&base, &lt, params);
+    let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+
+    let mut pairs = Vec::new();
+    for edits in 0..24usize {
+        let mut t = base.clone();
+        let mut cfg = ScriptConfig::new(edits, alphabet.clone());
+        cfg.max_adopted = 0;
+        record_script(&mut rng, &mut t, &cfg);
+        let pq = pq_distance(&base_idx, &build_index(&t, &lt, params));
+        let ted = tree_edit_distance(&base, &t) as f64;
+        pairs.push((pq, ted));
+    }
+    // Rank correlation via concordant/discordant pairs (Kendall tau).
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..pairs.len() {
+        for j in i + 1..pairs.len() {
+            let dp = pairs[i].0 - pairs[j].0;
+            let dt = pairs[i].1 - pairs[j].1;
+            if dp * dt > 0.0 {
+                concordant += 1;
+            } else if dp * dt < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let tau = (concordant - discordant) as f64 / (concordant + discordant).max(1) as f64;
+    assert!(tau > 0.5, "Kendall tau {tau:.3} too weak; pairs: {pairs:?}");
+}
+
+#[test]
+fn pq_distance_is_bounded_and_symmetric() {
+    let params = PQParams::default();
+    let mut lt = LabelTable::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..20 {
+        let a = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(50, 4));
+        let b = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(70, 4));
+        let (ia, ib) = (build_index(&a, &lt, params), build_index(&b, &lt, params));
+        let d = pq_distance(&ia, &ib);
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(d, pq_distance(&ib, &ia));
+    }
+}
