@@ -6,6 +6,7 @@
 //! laptop scale (the substitutions are documented in `DESIGN.md`). Results
 //! are printed as aligned tables and written as CSV next to the workspace
 //! root so `EXPERIMENTS.md` can reference them.
+#![warn(missing_docs)]
 
 pub mod ablations;
 pub mod datasets;

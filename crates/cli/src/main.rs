@@ -18,6 +18,7 @@
 //! pqgram find    <store.docs> <query.xml> [--tau 0.6] [--top 10]
 //! pqgram diff    <a.xml> <b.xml>
 //! ```
+#![warn(missing_docs)]
 
 mod args;
 

@@ -193,10 +193,14 @@ fn file_based_incremental_update() {
     let store = p(&dir, "store.pqg");
     std::fs::remove_file(&store).ok();
 
-    assert!(run(&["gen", "dblp", "--nodes", "1500", "--seed", "8", "--out", &old])
-        .status
-        .success());
-    let content = std::fs::read_to_string(&old).unwrap().replace("venue0", "venue0-renamed");
+    assert!(
+        run(&["gen", "dblp", "--nodes", "1500", "--seed", "8", "--out", &old])
+            .status
+            .success()
+    );
+    let content = std::fs::read_to_string(&old)
+        .unwrap()
+        .replace("venue0", "venue0-renamed");
     std::fs::write(&newer, content).unwrap();
 
     assert!(run(&["create", &store]).status.success());

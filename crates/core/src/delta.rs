@@ -336,7 +336,7 @@ mod tests {
         let mut tables = DeltaTables::new();
         assert!(accumulate_delta(&mut tables, &t2, &e1_bar, params).unwrap());
         assert!(accumulate_delta(&mut tables, &t2, &e2_bar, params).unwrap());
-        tables.check_consistency().unwrap();
+        tables.validate().unwrap();
 
         let s = |x: &str| lt.lookup(x).unwrap();
         let nl = LabelSym::NULL;

@@ -112,6 +112,56 @@ impl TreeIndex {
             .map(|(&k, &c)| varint_len(k) + varint_len(c as u64))
             .sum()
     }
+
+    /// Structural invariant audit: every stored multiplicity is positive
+    /// and the cached bag cardinality equals the sum of multiplicities.
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some((&key, _)) = self.counts.iter().find(|(_, &c)| c == 0) {
+            return Err(format!("gram {key:#x} stored with zero multiplicity"));
+        }
+        let sum: u64 = self.counts.values().map(|&c| u64::from(c)).sum();
+        if sum != self.total {
+            return Err(format!(
+                "cached total {} disagrees with multiplicity sum {sum}",
+                self.total
+            ));
+        }
+        Ok(())
+    }
+
+    /// Audits this index against the tree it claims to describe: internal
+    /// consistency ([`Self::validate`]), bag cardinality equal to the
+    /// profile size `|P(T)|`, and gram-for-gram agreement with a fresh
+    /// build. This is the invariant incremental maintenance must preserve
+    /// (Theorem 3); property tests call it after every update batch.
+    pub fn validate_against(&self, tree: &Tree, labels: &LabelTable) -> Result<(), String> {
+        self.validate()?;
+        let expected_total = crate::profile::gram_count(tree, self.params);
+        if self.total != expected_total {
+            return Err(format!(
+                "bag cardinality {} != profile size {expected_total}",
+                self.total
+            ));
+        }
+        let fresh = build_index(tree, labels, self.params);
+        for (key, count) in fresh.iter() {
+            let have = self.count(key);
+            if have != count {
+                return Err(format!(
+                    "gram {key:#x}: multiplicity {have}, fresh build has {count}"
+                ));
+            }
+        }
+        if self.distinct() != fresh.distinct() {
+            return Err(format!(
+                "{} distinct grams, fresh build has {}",
+                self.distinct(),
+                fresh.distinct()
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for TreeIndex {
@@ -384,6 +434,40 @@ mod tests {
         let c = lt.lookup("c").unwrap();
         let dup = label_tuple_fingerprint([null, a, c, null, null, null], &lt);
         assert_eq!(idx.count(dup), 2);
+    }
+
+    #[test]
+    fn validate_reports_total_and_multiplicity_corruption() {
+        let (t, lt) = paper_t0();
+        let mut idx = build_index(&t, &lt, PQParams::new(3, 3));
+        assert_eq!(idx.validate(), Ok(()));
+        assert_eq!(idx.validate_against(&t, &lt), Ok(()));
+
+        // Cached cardinality drifts from the stored multiplicities.
+        idx.total += 1;
+        let msg = idx.validate().unwrap_err();
+        assert!(msg.contains("disagrees with multiplicity sum"), "{msg}");
+        idx.total -= 1;
+
+        // A gram stored with multiplicity zero (must be removed, not kept).
+        let Some((&key, _)) = idx.counts.iter().next() else {
+            panic!("paper tree index is non-empty");
+        };
+        if let Some(c) = idx.counts.get_mut(&key) {
+            *c = 0;
+        }
+        let msg = idx.validate().unwrap_err();
+        assert!(msg.contains("zero multiplicity"), "{msg}");
+    }
+
+    #[test]
+    fn validate_against_reports_foreign_tree() {
+        let (t, lt) = paper_t0();
+        let idx = build_index(&t, &lt, PQParams::new(3, 3));
+        let mut lt2 = LabelTable::new();
+        let other = Tree::with_root(lt2.intern("z"));
+        let msg = idx.validate_against(&other, &lt2).unwrap_err();
+        assert!(msg.contains("bag cardinality"), "{msg}");
     }
 
     #[test]

@@ -294,10 +294,30 @@ impl DeltaTables {
             .collect()
     }
 
-    /// Debug helper: checks P/children-index consistency and that every
-    /// Q anchor has a P entry.
-    pub fn check_consistency(&self) -> Result<(), String> {
+    /// Structural invariant audit of the table pair. Checks, in order:
+    ///
+    /// * the `children` secondary index agrees with `P` in both directions
+    ///   (every indexed anchor has a matching `P` entry; every parented
+    ///   `P` entry is indexed) — the shared-p-part reference counts;
+    /// * `children` lists hold no duplicates and no stale empty lists
+    ///   survive;
+    /// * every `Q` anchor joins to a `P` entry and holds at least one row
+    ///   (P/Q row correspondence, Equation 31);
+    /// * all stored p-parts have one common width and all q-rows another
+    ///   (a mixed-parameter table cannot arise from one `PQParams`).
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
         for (&parent, list) in &self.children {
+            if list.is_empty() {
+                return Err(format!("stale empty children list for {parent:?}"));
+            }
+            let mut dedup = list.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            if dedup.len() != list.len() {
+                return Err(format!("duplicate children index entries under {parent:?}"));
+            }
             for &anchor in list {
                 match self.p.get(&anchor) {
                     Some(e) if e.parent == Some(parent) => {}
@@ -316,9 +336,40 @@ impl DeltaTables {
                 }
             }
         }
-        for &anchor in self.q.keys() {
+        for (&anchor, rows) in &self.q {
             if !self.p.contains_key(&anchor) {
                 return Err(format!("Q rows without P entry for {anchor:?}"));
+            }
+            if rows.is_empty() {
+                return Err(format!("stale empty Q row map for {anchor:?}"));
+            }
+        }
+        let mut ppart_width: Option<usize> = None;
+        for (&anchor, entry) in &self.p {
+            match ppart_width {
+                None => ppart_width = Some(entry.ppart.len()),
+                Some(w) if w == entry.ppart.len() => {}
+                Some(w) => {
+                    return Err(format!(
+                        "p-part width {} for {anchor:?}, other entries have {w}",
+                        entry.ppart.len()
+                    ))
+                }
+            }
+        }
+        let mut qrow_width: Option<usize> = None;
+        for (&anchor, rows) in &self.q {
+            for (&row, qrow) in rows {
+                match qrow_width {
+                    None => qrow_width = Some(qrow.len()),
+                    Some(w) if w == qrow.len() => {}
+                    Some(w) => {
+                        return Err(format!(
+                            "q-row width {} at ({anchor:?}, {row}), other rows have {w}",
+                            qrow.len()
+                        ))
+                    }
+                }
             }
         }
         Ok(())
@@ -363,7 +414,7 @@ mod tests {
             t.insert_p(nid(1), different),
             Err(TableError::ConflictingPEntry(nid(1)))
         );
-        t.check_consistency().unwrap();
+        t.validate().unwrap();
     }
 
     #[test]
@@ -380,7 +431,7 @@ mod tests {
         assert_eq!(t.children_in_p(nid(1)), &[nid(2)]);
         t.remove_p(nid(2));
         assert!(t.children_in_p(nid(1)).is_empty());
-        t.check_consistency().unwrap();
+        t.validate().unwrap();
     }
 
     #[test]
@@ -466,6 +517,91 @@ mod tests {
         let expected1 = label_tuple_fingerprint([LabelSym::NULL, a, LabelSym::NULL, b], &lt);
         let expected2 = label_tuple_fingerprint([LabelSym::NULL, a, b, c], &lt);
         assert!(grams.contains(&expected1) && grams.contains(&expected2));
-        t.check_consistency().unwrap();
+        t.validate().unwrap();
+    }
+
+    fn corrupt_message(r: Result<(), String>) -> String {
+        match r {
+            Err(m) => m,
+            Ok(()) => panic!("expected validate() to report corruption"),
+        }
+    }
+
+    #[test]
+    fn validate_reports_stale_children_index() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(1), entry(&mut lt, Some(0), 1, &["a", "b"]))
+            .unwrap();
+        // An anchor indexed under nid(0) without a matching P entry.
+        if let Some(list) = t.children.get_mut(&nid(0)) {
+            list.push(nid(9));
+        }
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("children index stale"), "got: {m}");
+    }
+
+    #[test]
+    fn validate_reports_duplicate_children_entries() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(1), entry(&mut lt, Some(0), 1, &["a", "b"]))
+            .unwrap();
+        if let Some(list) = t.children.get_mut(&nid(0)) {
+            list.push(nid(1));
+        }
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("duplicate children index entries"), "got: {m}");
+    }
+
+    #[test]
+    fn validate_reports_missing_children_entry() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(1), entry(&mut lt, Some(0), 1, &["a", "b"]))
+            .unwrap();
+        // Drop the secondary index while the parented P entry survives.
+        t.children.remove(&nid(0));
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("missing children index entry"), "got: {m}");
+    }
+
+    #[test]
+    fn validate_reports_orphan_q_rows_and_stale_maps() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        let x = lt.intern("x");
+        // Q rows for an anchor that has no P entry.
+        t.q.entry(nid(3)).or_default().insert(1, vec![x]);
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("Q rows without P entry"), "got: {m}");
+
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(3), entry(&mut lt, None, 0, &["*", "a"]))
+            .unwrap();
+        t.q.entry(nid(3)).or_default();
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("stale empty Q row map"), "got: {m}");
+    }
+
+    #[test]
+    fn validate_reports_mixed_widths() {
+        let mut lt = LabelTable::new();
+        let mut t = DeltaTables::new();
+        t.insert_p(nid(1), entry(&mut lt, None, 0, &["*", "a"]))
+            .unwrap();
+        t.insert_p(nid(2), entry(&mut lt, Some(1), 1, &["a", "b", "c"]))
+            .unwrap();
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("p-part width"), "got: {m}");
+
+        let mut t = DeltaTables::new();
+        let x = lt.intern("x");
+        t.insert_p(nid(1), entry(&mut lt, None, 0, &["*", "a"]))
+            .unwrap();
+        t.insert_q_row(nid(1), 1, vec![x, x]).unwrap();
+        t.insert_q_row(nid(1), 2, vec![x]).unwrap();
+        let m = corrupt_message(t.validate());
+        assert!(m.contains("q-row width"), "got: {m}");
     }
 }

@@ -30,7 +30,10 @@ pub fn apply_update(
     op: EditOp,
     params: PQParams,
 ) -> Result<(), TableError> {
-    debug_assert!(params.supports_incremental());
+    debug_assert!(
+        params.supports_incremental(),
+        "apply_update requires incremental-capable params, got {params:?}"
+    );
     match op {
         EditOp::Rename { node, label } => rename(tables, node, label, params),
         EditOp::Delete { node } => delete(tables, node, params),
@@ -90,9 +93,9 @@ fn delete(tables: &mut DeltaTables, n: NodeId, params: PQParams) -> Result<(), T
     }
     let n_row_contents: Vec<_> = n_rows.into_iter().map(|(_, r)| r).collect();
     let n_matrix = QBlock::from_rows(1, &n_row_contents, q as usize);
-    let g = n_matrix.diagonals().len() as i64; // fanout of n
-    // Rows of v after the window shift by g − 1 (the window grows from q
-    // rows to g + q − 1 rows).
+    // `g` is the fanout of n. Rows of v after the window shift by g − 1
+    // (the window grows from q rows to g + q − 1 rows).
+    let g = n_matrix.diagonals().len() as i64;
     tables.shift_q_rows(v, k + q - 1, g - 1);
     for (r, row) in window.replace_diagonals(n_matrix.diagonals()).rows() {
         tables.insert_q_row(v, r, row)?;
@@ -319,7 +322,7 @@ mod tests {
 
         // First U call: ē2 = INS((n3, b), n1, 2, 3).
         apply_update(&mut tables, e2_bar.op, params).unwrap();
-        tables.check_consistency().unwrap();
+        tables.validate().unwrap();
         let expected_mid = fp(vec![
             vec![nl, nl, a, nl, c, b],
             vec![nl, nl, a, c, b, c],
@@ -338,7 +341,7 @@ mod tests {
 
         // Second U call: ē1 = DEL(n7).
         apply_update(&mut tables, e1_bar.op, params).unwrap();
-        tables.check_consistency().unwrap();
+        tables.validate().unwrap();
         let expected_minus = fp(vec![
             vec![nl, nl, a, nl, c, b],
             vec![nl, nl, a, c, b, c],
@@ -372,7 +375,7 @@ mod tests {
         let mut tables = DeltaTables::new();
         accumulate_delta(&mut tables, &tj, &LogOp::new(rev, None), params).unwrap();
         apply_update(&mut tables, rev, params).unwrap();
-        tables.check_consistency().unwrap();
+        tables.validate().unwrap();
 
         let mut expected = DeltaTables::new();
         // On T_i (= t2), the grams δ(T_i, forward REN) are those containing

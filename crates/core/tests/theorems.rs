@@ -70,6 +70,7 @@ fn deltas_subsume_definitional_deltas() {
         let old = build_index(&t0, &lt, params);
         let out = update_index(&old, &tn, &lt, &log).unwrap();
         assert_eq!(out.index, build_index(&tn, &lt, params), "seed {seed}");
+        out.index.validate_against(&tn, &lt).unwrap();
 
         // The extras on both sides must be identical bags (they cancel).
         let plus_extra = multiset_diff(&plus, &def_plus_keys);
@@ -117,6 +118,7 @@ fn incremental_matches_rebuild_on_xmark_and_dblp() {
         let old = build_index(&t0, &lt, params);
         let out = update_index(&old, &tree, &lt, &log).unwrap();
         assert_eq!(out.index, build_index(&tree, &lt, params));
+        out.index.validate_against(&tree, &lt).unwrap();
     }
 }
 
@@ -130,6 +132,7 @@ fn long_log_on_small_tree() {
         let old = build_index(&t0, &lt, params);
         let out = update_index(&old, &tn, &lt, &log).unwrap();
         assert_eq!(out.index, build_index(&tn, &lt, params), "seed {seed}");
+        out.index.validate_against(&tn, &lt).unwrap();
         assert!(out.stats.skipped_deltas <= log.len());
     }
 }
@@ -172,6 +175,8 @@ proptest! {
         let params = PQParams::new(p, q);
         let old = build_index(&t0, &lt, params);
         let out = update_index(&old, &tree, &lt, &log).unwrap();
+        // Full invariant audit: cardinality == |P(T)|, gram-for-gram match.
+        prop_assert_eq!(out.index.validate_against(&tree, &lt), Ok(()));
         prop_assert_eq!(out.index, build_index(&tree, &lt, params));
     }
 
@@ -327,6 +332,9 @@ proptest! {
         // result is then not guaranteed (documented) — only well-formedness.
         if let Ok(outcome) = update_index(&old, &tree, &lt, &foreign_log) {
             prop_assert!(outcome.index.total() > 0 || tree.node_count() == 0);
+            // Even a semantically wrong result must be internally coherent:
+            // positive multiplicities, total == sum.
+            prop_assert_eq!(outcome.index.validate(), Ok(()));
         }
     }
 }

@@ -125,100 +125,109 @@ mod tests {
     use crate::pager::Pager;
     use std::path::PathBuf;
 
-    fn pool(name: &str) -> BufferPool {
+    use crate::pager::Result;
+
+    fn pool(name: &str) -> Result<BufferPool> {
         let dir = std::env::temp_dir().join(format!("pqgram-blob-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
         j.push("-journal");
         std::fs::remove_file(PathBuf::from(j)).ok();
-        BufferPool::new(Pager::create(&p).unwrap(), 64)
+        Ok(BufferPool::new(Pager::create(&p)?, 64))
     }
 
     #[test]
-    fn small_blob_roundtrip() {
-        let pool = pool("small.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
-        blobs.put(7, b"hello world").unwrap();
-        assert_eq!(blobs.get(7).unwrap().unwrap(), b"hello world");
-        assert!(blobs.get(8).unwrap().is_none());
-        assert!(blobs.contains(7).unwrap());
+    fn small_blob_roundtrip() -> Result<()> {
+        let pool = pool("small.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
+        blobs.put(7, b"hello world")?;
+        assert_eq!(blobs.get(7)?, Some(b"hello world".to_vec()));
+        assert!(blobs.get(8)?.is_none());
+        assert!(blobs.contains(7)?);
+        Ok(())
     }
 
     #[test]
-    fn empty_blob_is_distinguishable_from_absent() {
-        let pool = pool("empty.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
-        blobs.put(1, b"").unwrap();
-        assert_eq!(blobs.get(1).unwrap().unwrap(), Vec::<u8>::new());
-        assert!(blobs.contains(1).unwrap());
-        assert!(!blobs.contains(2).unwrap());
+    fn empty_blob_is_distinguishable_from_absent() -> Result<()> {
+        let pool = pool("empty.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
+        blobs.put(1, b"")?;
+        assert_eq!(blobs.get(1)?, Some(Vec::new()));
+        assert!(blobs.contains(1)?);
+        assert!(!blobs.contains(2)?);
+        Ok(())
     }
 
     #[test]
-    fn multi_page_blob_roundtrip() {
-        let pool = pool("big.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
+    fn multi_page_blob_roundtrip() -> Result<()> {
+        let pool = pool("big.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
         let data: Vec<u8> = (0..50_000u32).map(|i| (i * 31 % 251) as u8).collect();
-        blobs.put(3, &data).unwrap();
-        assert_eq!(blobs.get(3).unwrap().unwrap(), data);
+        blobs.put(3, &data)?;
+        assert_eq!(blobs.get(3)?, Some(data));
+        Ok(())
     }
 
     #[test]
-    fn replace_frees_old_chain() {
-        let pool = pool("replace.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
+    fn replace_frees_old_chain() -> Result<()> {
+        let pool = pool("replace.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
         let big = vec![0xabu8; 30_000];
-        blobs.put(1, &big).unwrap();
+        blobs.put(1, &big)?;
         let pages_after_big = pool.page_count();
-        blobs.put(1, b"tiny").unwrap();
-        assert_eq!(blobs.get(1).unwrap().unwrap(), b"tiny");
+        blobs.put(1, b"tiny")?;
+        assert_eq!(blobs.get(1)?, Some(b"tiny".to_vec()));
         // Replacing with another big blob must reuse the freed pages.
-        blobs.put(1, &big).unwrap();
+        blobs.put(1, &big)?;
         assert_eq!(
             pool.page_count(),
             pages_after_big,
             "chain pages must be recycled"
         );
-        assert_eq!(blobs.get(1).unwrap().unwrap(), big);
+        assert_eq!(blobs.get(1)?, Some(big));
+        Ok(())
     }
 
     #[test]
-    fn delete_removes_and_frees() {
-        let pool = pool("delete.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
-        blobs.put(5, &vec![1u8; 10_000]).unwrap();
-        assert!(blobs.delete(5).unwrap());
-        assert!(!blobs.delete(5).unwrap());
-        assert!(blobs.get(5).unwrap().is_none());
+    fn delete_removes_and_frees() -> Result<()> {
+        let pool = pool("delete.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
+        blobs.put(5, &vec![1u8; 10_000])?;
+        assert!(blobs.delete(5)?);
+        assert!(!blobs.delete(5)?);
+        assert!(blobs.get(5)?.is_none());
+        Ok(())
     }
 
     #[test]
-    fn many_blobs_keys_sorted() {
-        let pool = pool("many.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
+    fn many_blobs_keys_sorted() -> Result<()> {
+        let pool = pool("many.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
         for k in [9u64, 2, 55, 13] {
-            blobs.put(k, &k.to_le_bytes()).unwrap();
+            blobs.put(k, &k.to_le_bytes())?;
         }
-        assert_eq!(blobs.keys().unwrap(), vec![2, 9, 13, 55]);
+        assert_eq!(blobs.keys()?, vec![2, 9, 13, 55]);
         for k in [9u64, 2, 55, 13] {
-            assert_eq!(blobs.get(k).unwrap().unwrap(), k.to_le_bytes());
+            assert_eq!(blobs.get(k)?, Some(k.to_le_bytes().to_vec()));
         }
+        Ok(())
     }
 
     #[test]
-    fn blobs_participate_in_transactions() {
-        let pool = pool("tx.db");
-        let blobs = BlobStore::open(&pool, 1).unwrap();
-        blobs.put(1, b"committed").unwrap();
-        pool.flush().unwrap();
-        pool.begin().unwrap();
-        blobs.put(1, b"uncommitted").unwrap();
-        blobs.put(2, b"new").unwrap();
-        pool.rollback().unwrap();
-        let blobs = BlobStore::open(&pool, 1).unwrap();
-        assert_eq!(blobs.get(1).unwrap().unwrap(), b"committed");
-        assert!(blobs.get(2).unwrap().is_none());
+    fn blobs_participate_in_transactions() -> Result<()> {
+        let pool = pool("tx.db")?;
+        let blobs = BlobStore::open(&pool, 1)?;
+        blobs.put(1, b"committed")?;
+        pool.flush()?;
+        pool.begin()?;
+        blobs.put(1, b"uncommitted")?;
+        blobs.put(2, b"new")?;
+        pool.rollback()?;
+        let blobs = BlobStore::open(&pool, 1)?;
+        assert_eq!(blobs.get(1)?, Some(b"committed".to_vec()));
+        assert!(blobs.get(2)?.is_none());
+        Ok(())
     }
 }

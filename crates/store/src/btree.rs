@@ -50,7 +50,7 @@ impl<'p> BTree<'p> {
         if pool.meta(meta_slot) == 0 {
             let root = pool.allocate()?;
             pool.with_page_mut(root, init_leaf)?;
-            pool.set_meta(meta_slot, root.0 as u64 + 1)?;
+            pool.set_meta(meta_slot, u64::from(root.0) + 1)?;
         }
         Ok(tree)
     }
@@ -60,7 +60,7 @@ impl<'p> BTree<'p> {
     }
 
     fn set_root(&self, id: PageId) -> Result<()> {
-        self.pool.set_meta(self.meta_slot, id.0 as u64 + 1)
+        self.pool.set_meta(self.meta_slot, u64::from(id.0) + 1)
     }
 
     /// Point lookup.
@@ -86,7 +86,7 @@ impl<'p> BTree<'p> {
                 set_leaf_value(p, pos, value);
                 return Outcome::Done(Some(old));
             }
-            if (count(p) as usize) < NODE_CAPACITY {
+            if count(p) < NODE_CAPACITY {
                 leaf_insert_at(p, pos, key, value);
                 return Outcome::Done(None);
             }
@@ -126,7 +126,7 @@ impl<'p> BTree<'p> {
         loop {
             // Copy the relevant slice out, then release the pool lock.
             let (entries, next) = self.pool.with_page(leaf, |p| {
-                let n = count(p) as usize;
+                let n = count(p);
                 let (start, _) = leaf_search(p, lo);
                 let mut out = Vec::with_capacity(n.saturating_sub(start));
                 for i in start..n {
@@ -177,14 +177,19 @@ impl<'p> BTree<'p> {
         let mut cur = self.root();
         let mut path = Vec::new();
         loop {
+            if path.len() > 64 {
+                return Err(corrupt("descent deeper than 64 levels (cycle?)"));
+            }
             let step = self.pool.with_page(cur, |p| match p.get_u8(0) {
-                TYPE_LEAF => None,
+                TYPE_LEAF => Ok(None),
                 TYPE_INTERNAL => {
                     let idx = internal_child_index(p, key);
-                    Some((idx, internal_child(p, idx)))
+                    Ok(Some((idx, internal_child(p, idx))))
                 }
-                t => panic!("corrupt node type {t}"),
-            })?;
+                t => Err(crate::pager::StoreError::Corrupt(format!(
+                    "descend hit unknown node type {t} at {cur:?}"
+                ))),
+            })??;
             match step {
                 None => return Ok((cur, path)),
                 Some((idx, child)) => {
@@ -205,14 +210,14 @@ impl<'p> BTree<'p> {
         let right = self.pool.allocate()?;
         // Move the upper half out of the left leaf.
         let (moved, old_next) = self.pool.with_page_mut(leaf, |p| {
-            let n = count(p) as usize;
+            let n = count(p);
             let mid = n / 2;
             let mut moved = Vec::with_capacity(n - mid);
             for i in mid..n {
                 moved.push((leaf_key(p, i), leaf_value(p, i)));
             }
             let old_next = p.get_page_id(OFF_NEXT);
-            set_count(p, mid as u16);
+            set_count(p, mid);
             p.put_page_id(OFF_NEXT, right);
             (moved, old_next)
         })?;
@@ -223,13 +228,13 @@ impl<'p> BTree<'p> {
             for (i, &(k, v)) in moved.iter().enumerate() {
                 leaf_write_at(p, i, k, v);
             }
-            set_count(p, moved.len() as u16);
+            set_count(p, moved.len());
         })?;
         // Insert the pending entry into whichever side owns it.
         let target = if key < sep { leaf } else { right };
         self.pool.with_page_mut(target, |p| {
             let (pos, found) = leaf_search(p, key);
-            debug_assert!(!found);
+            debug_assert!(!found, "split re-insert of key {key:?} already present");
             leaf_insert_at(p, pos, key, value);
         })?;
         self.propagate_split(sep, right, path)
@@ -252,19 +257,19 @@ impl<'p> BTree<'p> {
                 },
             }
             let outcome = self.pool.with_page_mut(node, |p| {
-                if (count(p) as usize) < NODE_CAPACITY {
+                if count(p) < NODE_CAPACITY {
                     internal_insert_at(p, idx, sep, right);
                     return Outcome::Done;
                 }
                 // Split: promote the middle key.
-                let n = count(p) as usize;
+                let n = count(p);
                 let mid = n / 2;
                 let promoted = internal_key(p, mid);
                 let right_child0 = internal_child(p, mid + 1);
                 let moved: Vec<(Key, PageId)> = (mid + 1..n)
                     .map(|i| (internal_key(p, i), internal_child(p, i + 1)))
                     .collect();
-                set_count(p, mid as u16);
+                set_count(p, mid);
                 Outcome::Split {
                     promoted,
                     moved,
@@ -284,7 +289,7 @@ impl<'p> BTree<'p> {
                         for (i, &(k, c)) in moved.iter().enumerate() {
                             internal_write_at(p, i, k, c);
                         }
-                        set_count(p, moved.len() as u16);
+                        set_count(p, moved.len());
                     })?;
                     // The pending (sep, right) goes to whichever half owns
                     // its key range. Separators are pairwise distinct (a
@@ -326,12 +331,17 @@ fn init_internal(p: &mut PageBuf, child0: PageId) {
     p.put_page_id(OFF_NEXT, child0);
 }
 
-fn count(p: &PageBuf) -> u16 {
-    p.get_u16(OFF_COUNT)
+/// Entry count from the node header, widened to `usize` for indexing.
+fn count(p: &PageBuf) -> usize {
+    usize::from(p.get_u16(OFF_COUNT))
 }
 
-fn set_count(p: &mut PageBuf, n: u16) {
-    p.put_u16(OFF_COUNT, n);
+/// Stores the entry count. `n` is bounded by [`NODE_CAPACITY`] (far below
+/// `u16::MAX`); the saturating conversion keeps an impossible overflow from
+/// silently wrapping into a small count.
+fn set_count(p: &mut PageBuf, n: usize) {
+    debug_assert!(n <= NODE_CAPACITY, "set_count beyond capacity ({n})");
+    p.put_u16(OFF_COUNT, u16::try_from(n).unwrap_or(u16::MAX));
 }
 
 fn entry_off(i: usize) -> usize {
@@ -358,7 +368,7 @@ fn leaf_write_at(p: &mut PageBuf, i: usize, k: Key, v: u32) {
 
 /// Binary search; returns `(position, exact match)`.
 fn leaf_search(p: &PageBuf, key: Key) -> (usize, bool) {
-    let n = count(p) as usize;
+    let n = count(p);
     let (mut lo, mut hi) = (0usize, n);
     while lo < hi {
         let mid = (lo + hi) / 2;
@@ -372,17 +382,20 @@ fn leaf_search(p: &PageBuf, key: Key) -> (usize, bool) {
 }
 
 fn leaf_insert_at(p: &mut PageBuf, pos: usize, key: Key, value: u32) {
-    let n = count(p) as usize;
-    debug_assert!(n < NODE_CAPACITY);
+    let n = count(p);
+    debug_assert!(
+        n < NODE_CAPACITY,
+        "leaf_insert_at on a full node ({n} entries)"
+    );
     p.shift(entry_off(pos), entry_off(pos + 1), (n - pos) * ENTRY);
     leaf_write_at(p, pos, key, value);
-    set_count(p, (n + 1) as u16);
+    set_count(p, n + 1);
 }
 
 fn leaf_remove_at(p: &mut PageBuf, pos: usize) {
-    let n = count(p) as usize;
+    let n = count(p);
     p.shift(entry_off(pos + 1), entry_off(pos), (n - pos - 1) * ENTRY);
-    set_count(p, (n - 1) as u16);
+    set_count(p, n - 1);
 }
 
 fn internal_key(p: &PageBuf, i: usize) -> Key {
@@ -407,7 +420,7 @@ fn internal_write_at(p: &mut PageBuf, i: usize, k: Key, child: PageId) {
 /// Index of the child to descend into for `key`:
 /// `partition_point(sep <= key)`.
 fn internal_child_index(p: &PageBuf, key: Key) -> usize {
-    let n = count(p) as usize;
+    let n = count(p);
     let (mut lo, mut hi) = (0usize, n);
     while lo < hi {
         let mid = (lo + hi) / 2;
@@ -421,11 +434,14 @@ fn internal_child_index(p: &PageBuf, key: Key) -> usize {
 }
 
 fn internal_insert_at(p: &mut PageBuf, idx: usize, sep: Key, right: PageId) {
-    let n = count(p) as usize;
-    debug_assert!(n < NODE_CAPACITY);
+    let n = count(p);
+    debug_assert!(
+        n < NODE_CAPACITY,
+        "internal_insert_at on a full node ({n} entries)"
+    );
     p.shift(entry_off(idx), entry_off(idx + 1), (n - idx) * ENTRY);
     internal_write_at(p, idx, sep, right);
-    set_count(p, (n + 1) as u16);
+    set_count(p, n + 1);
 }
 
 #[cfg(test)]
@@ -439,7 +455,8 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-btree-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        // Idempotent; a failure here surfaces at Pager::create below.
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
@@ -448,55 +465,56 @@ mod tests {
         p
     }
 
-    fn pool(name: &str) -> BufferPool {
-        BufferPool::new(Pager::create(&tmp(name)).unwrap(), 64)
+    fn pool(name: &str) -> Result<BufferPool> {
+        Ok(BufferPool::new(Pager::create(&tmp(name))?, 64))
     }
 
     #[test]
-    fn insert_get_overwrite() {
-        let pool = pool("basic.db");
-        let tree = BTree::open(&pool, 0).unwrap();
-        assert_eq!(tree.get((1, 2)).unwrap(), None);
-        assert_eq!(tree.insert((1, 2), 10).unwrap(), None);
-        assert_eq!(tree.get((1, 2)).unwrap(), Some(10));
-        assert_eq!(tree.insert((1, 2), 11).unwrap(), Some(10));
-        assert_eq!(tree.get((1, 2)).unwrap(), Some(11));
-        assert_eq!(tree.len().unwrap(), 1);
+    fn insert_get_overwrite() -> Result<()> {
+        let pool = pool("basic.db")?;
+        let tree = BTree::open(&pool, 0)?;
+        assert_eq!(tree.get((1, 2))?, None);
+        assert_eq!(tree.insert((1, 2), 10)?, None);
+        assert_eq!(tree.get((1, 2))?, Some(10));
+        assert_eq!(tree.insert((1, 2), 11)?, Some(10));
+        assert_eq!(tree.get((1, 2))?, Some(11));
+        assert_eq!(tree.len()?, 1);
+        Ok(())
     }
 
     #[test]
-    fn many_keys_random_order() {
-        let pool = pool("many.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn many_keys_random_order() -> Result<()> {
+        let pool = pool("many.db")?;
+        let tree = BTree::open(&pool, 0)?;
         let mut keys: Vec<Key> = (0..20_000u64).map(|i| (i % 7, i * 31 % 65_536)).collect();
         keys.sort_unstable();
         keys.dedup();
         let mut shuffled = keys.clone();
         shuffled.shuffle(&mut StdRng::seed_from_u64(5));
         for (i, &k) in shuffled.iter().enumerate() {
-            tree.insert(k, i as u32).unwrap();
+            tree.insert(k, i as u32)?;
         }
-        assert_eq!(tree.len().unwrap(), keys.len() as u64);
+        assert_eq!(tree.len()?, keys.len() as u64);
         for &k in keys.iter().step_by(97) {
-            assert!(tree.get(k).unwrap().is_some(), "missing {k:?}");
+            assert!(tree.get(k)?.is_some(), "missing {k:?}");
         }
         // Full scan returns keys in sorted order.
         let mut scanned = Vec::new();
         tree.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, _| {
             scanned.push(k);
             true
-        })
-        .unwrap();
+        })?;
         assert_eq!(scanned, keys);
+        Ok(())
     }
 
     #[test]
-    fn range_scan_per_tree_id() {
-        let pool = pool("range.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn range_scan_per_tree_id() -> Result<()> {
+        let pool = pool("range.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for t in 0..5u64 {
             for g in 0..300u64 {
-                tree.insert((t, g * 7), (t * 1000 + g) as u32).unwrap();
+                tree.insert((t, g * 7), (t * 1000 + g) as u32)?;
             }
         }
         let mut seen = Vec::new();
@@ -504,112 +522,127 @@ mod tests {
             assert_eq!(k.0, 2);
             seen.push((k.1, v));
             true
-        })
-        .unwrap();
+        })?;
         assert_eq!(seen.len(), 300);
         assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+        Ok(())
     }
 
     #[test]
-    fn early_termination() {
-        let pool = pool("early.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn early_termination() -> Result<()> {
+        let pool = pool("early.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for g in 0..1000u64 {
-            tree.insert((1, g), g as u32).unwrap();
+            tree.insert((1, g), g as u32)?;
         }
         let mut n = 0;
         tree.for_each_range((1, 0), (1, u64::MAX), |_, _| {
             n += 1;
             n < 10
-        })
-        .unwrap();
+        })?;
         assert_eq!(n, 10);
+        Ok(())
     }
 
     #[test]
-    fn delete_then_reinsert() {
-        let pool = pool("delete.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn delete_then_reinsert() -> Result<()> {
+        let pool = pool("delete.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for g in 0..5_000u64 {
-            tree.insert((0, g), g as u32).unwrap();
+            tree.insert((0, g), g as u32)?;
         }
         for g in (0..5_000u64).step_by(2) {
-            assert_eq!(tree.delete((0, g)).unwrap(), Some(g as u32));
+            assert_eq!(tree.delete((0, g))?, Some(g as u32));
         }
-        assert_eq!(tree.delete((0, 0)).unwrap(), None);
-        assert_eq!(tree.len().unwrap(), 2_500);
+        assert_eq!(tree.delete((0, 0))?, None);
+        assert_eq!(tree.len()?, 2_500);
         for g in 0..5_000u64 {
             let expect = (g % 2 == 1).then_some(g as u32);
-            assert_eq!(tree.get((0, g)).unwrap(), expect, "key {g}");
+            assert_eq!(tree.get((0, g))?, expect, "key {g}");
         }
         for g in (0..5_000u64).step_by(2) {
-            tree.insert((0, g), 1).unwrap();
+            tree.insert((0, g), 1)?;
         }
-        assert_eq!(tree.len().unwrap(), 5_000);
+        assert_eq!(tree.len()?, 5_000);
+        Ok(())
     }
 
     #[test]
-    fn persists_across_reopen() {
+    fn persists_across_reopen() -> Result<()> {
         let path = tmp("persist.db");
         {
-            let pool = BufferPool::new(Pager::create(&path).unwrap(), 64);
-            let tree = BTree::open(&pool, 0).unwrap();
+            let pool = BufferPool::new(Pager::create(&path)?, 64);
+            let tree = BTree::open(&pool, 0)?;
             for g in 0..3_000u64 {
-                tree.insert((9, g), (g * 2) as u32).unwrap();
+                tree.insert((9, g), (g * 2) as u32)?;
             }
-            pool.flush().unwrap();
+            pool.flush()?;
         }
-        let pool = BufferPool::new(Pager::open(&path).unwrap(), 64);
-        let tree = BTree::open(&pool, 0).unwrap();
-        assert_eq!(tree.len().unwrap(), 3_000);
-        assert_eq!(tree.get((9, 1234)).unwrap(), Some(2468));
+        let pool = BufferPool::new(Pager::open(&path)?, 64);
+        let tree = BTree::open(&pool, 0)?;
+        assert_eq!(tree.len()?, 3_000);
+        assert_eq!(tree.get((9, 1234))?, Some(2468));
+        Ok(())
     }
 
     #[test]
-    fn descending_and_ascending_inserts_split_correctly() {
+    fn descending_and_ascending_inserts_split_correctly() -> Result<()> {
         for reverse in [false, true] {
-            let pool = pool(if reverse { "desc.db" } else { "asc.db" });
-            let tree = BTree::open(&pool, 0).unwrap();
+            let pool = pool(if reverse { "desc.db" } else { "asc.db" })?;
+            let tree = BTree::open(&pool, 0)?;
             let keys: Vec<u64> = if reverse {
                 (0..10_000).rev().collect()
             } else {
                 (0..10_000).collect()
             };
             for &g in &keys {
-                tree.insert((0, g), g as u32).unwrap();
+                tree.insert((0, g), g as u32)?;
             }
-            assert_eq!(tree.len().unwrap(), 10_000);
-            assert_eq!(tree.get((0, 9_999)).unwrap(), Some(9_999));
-            assert_eq!(tree.get((0, 0)).unwrap(), Some(0));
+            assert_eq!(tree.len()?, 10_000);
+            assert_eq!(tree.get((0, 9_999))?, Some(9_999));
+            assert_eq!(tree.get((0, 0))?, Some(0));
         }
+        Ok(())
     }
 
     #[test]
-    fn two_trees_in_one_pool() {
-        let pool = pool("two.db");
-        let a = BTree::open(&pool, 0).unwrap();
-        let b = BTree::open(&pool, 1).unwrap();
+    fn two_trees_in_one_pool() -> Result<()> {
+        let pool = pool("two.db")?;
+        let a = BTree::open(&pool, 0)?;
+        let b = BTree::open(&pool, 1)?;
         for g in 0..500u64 {
-            a.insert((0, g), 1).unwrap();
-            b.insert((0, g), 2).unwrap();
+            a.insert((0, g), 1)?;
+            b.insert((0, g), 2)?;
         }
-        assert_eq!(a.get((0, 100)).unwrap(), Some(1));
-        assert_eq!(b.get((0, 100)).unwrap(), Some(2));
-        assert_eq!(a.len().unwrap(), 500);
-        assert_eq!(b.len().unwrap(), 500);
+        assert_eq!(a.get((0, 100))?, Some(1));
+        assert_eq!(b.get((0, 100))?, Some(2));
+        assert_eq!(a.len()?, 500);
+        assert_eq!(b.len()?, 500);
+        Ok(())
     }
 }
 
 impl BTree<'_> {
     /// Verifies the structural invariants of the whole tree: node types,
-    /// in-node key ordering, separator bounds, leaf-chain order and
-    /// reachability. Returns a description of the first violation.
+    /// in-node key ordering, separator bounds, node occupancy (no node over
+    /// [`NODE_CAPACITY`], no empty internal node), page aliasing (every
+    /// page reachable exactly once), leaf-chain order and reachability.
+    /// Returns a description of the first violation.
     ///
     /// Intended for tests, recovery checks and the CLI's `stats --verify`.
     pub fn verify(&self) -> Result<BTreeCheck> {
         let mut check = BTreeCheck::default();
         let mut leftmost_leaf = PageId::NONE;
-        self.verify_node(self.root(), None, None, 0, &mut check, &mut leftmost_leaf)?;
+        let mut seen = std::collections::BTreeSet::new();
+        self.verify_node(
+            self.root(),
+            None,
+            None,
+            0,
+            &mut check,
+            &mut leftmost_leaf,
+            &mut seen,
+        )?;
         // Walk the leaf chain and confirm global key order and entry count.
         let mut chained = 0u64;
         let mut prev: Option<Key> = None;
@@ -619,7 +652,7 @@ impl BTree<'_> {
                 if p.get_u8(0) != TYPE_LEAF {
                     return (None, PageId::NONE);
                 }
-                let n = count(p) as usize;
+                let n = count(p);
                 let keys: Vec<Key> = (0..n).map(|i| leaf_key(p, i)).collect();
                 (Some(keys), p.get_page_id(OFF_NEXT))
             })?;
@@ -643,6 +676,7 @@ impl BTree<'_> {
         Ok(check)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn verify_node(
         &self,
         page: PageId,
@@ -651,21 +685,34 @@ impl BTree<'_> {
         depth: usize,
         check: &mut BTreeCheck,
         leftmost_leaf: &mut PageId,
+        seen: &mut std::collections::BTreeSet<u32>,
     ) -> Result<()> {
         if depth > 64 {
             return Err(corrupt("tree too deep (cycle?)"));
         }
+        if !seen.insert(page.0) {
+            return Err(corrupt("page reachable twice (aliased child pointer)"));
+        }
         enum Node {
             Leaf(Vec<Key>),
             Internal(Vec<Key>, Vec<PageId>),
+            OverCapacity(&'static str),
         }
+        // Check the stored count *before* walking entries: an over-capacity
+        // count would index past the page end.
         let node = self.pool.with_page(page, |p| match p.get_u8(0) {
             TYPE_LEAF => {
-                let n = count(p) as usize;
+                let n = count(p);
+                if n > NODE_CAPACITY {
+                    return Some(Node::OverCapacity("leaf over capacity"));
+                }
                 Some(Node::Leaf((0..n).map(|i| leaf_key(p, i)).collect()))
             }
             TYPE_INTERNAL => {
-                let n = count(p) as usize;
+                let n = count(p);
+                if n > NODE_CAPACITY {
+                    return Some(Node::OverCapacity("internal node over capacity"));
+                }
                 let keys = (0..n).map(|i| internal_key(p, i)).collect();
                 let children = (0..=n).map(|i| internal_child(p, i)).collect();
                 Some(Node::Internal(keys, children))
@@ -674,6 +721,7 @@ impl BTree<'_> {
         })?;
         match node {
             None => Err(corrupt("unknown node type")),
+            Some(Node::OverCapacity(msg)) => Err(corrupt(msg)),
             Some(Node::Leaf(keys)) => {
                 check.leaves += 1;
                 check.entries += keys.len() as u64;
@@ -699,6 +747,9 @@ impl BTree<'_> {
                 Ok(())
             }
             Some(Node::Internal(keys, children)) => {
+                if keys.is_empty() {
+                    return Err(corrupt("internal node without separators"));
+                }
                 check.internals += 1;
                 for w in keys.windows(2) {
                     if w[0] >= w[1] {
@@ -712,7 +763,7 @@ impl BTree<'_> {
                     } else {
                         Some(keys[i])
                     };
-                    self.verify_node(child, lo, hi, depth + 1, check, leftmost_leaf)?;
+                    self.verify_node(child, lo, hi, depth + 1, check, leftmost_leaf, seen)?;
                 }
                 Ok(())
             }
@@ -743,63 +794,62 @@ mod verify_tests {
     use crate::buffer::BufferPool;
     use crate::pager::Pager;
 
-    fn pool(name: &str) -> BufferPool {
+    fn pool(name: &str) -> Result<BufferPool> {
         let dir = std::env::temp_dir().join(format!("pqgram-bverify-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
         j.push("-journal");
         std::fs::remove_file(std::path::PathBuf::from(j)).ok();
-        BufferPool::new(Pager::create(&p).unwrap(), 128)
+        Ok(BufferPool::new(Pager::create(&p)?, 128))
     }
 
     #[test]
-    fn verify_healthy_tree() {
-        let pool = pool("healthy.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn verify_healthy_tree() -> Result<()> {
+        let pool = pool("healthy.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for g in 0..30_000u64 {
-            tree.insert((g % 5, g.wrapping_mul(0x9e37_79b9)), 1)
-                .unwrap();
+            tree.insert((g % 5, g.wrapping_mul(0x9e37_79b9)), 1)?;
         }
-        let check = tree.verify().unwrap();
+        let check = tree.verify()?;
         assert_eq!(check.entries, 30_000);
         assert!(check.leaves > 100);
         assert!(check.internals >= 1);
         assert!(check.depth >= 1);
+        Ok(())
     }
 
     #[test]
-    fn verify_after_deletions() {
-        let pool = pool("deleted.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn verify_after_deletions() -> Result<()> {
+        let pool = pool("deleted.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for g in 0..10_000u64 {
-            tree.insert((0, g), 1).unwrap();
+            tree.insert((0, g), 1)?;
         }
         for g in (0..10_000u64).step_by(3) {
-            tree.delete((0, g)).unwrap();
+            tree.delete((0, g))?;
         }
-        let check = tree.verify().unwrap();
+        let check = tree.verify()?;
         assert_eq!(check.entries, 10_000 - 10_000u64.div_ceil(3));
+        Ok(())
     }
 
     #[test]
-    fn verify_detects_corruption() {
-        let pool = pool("corrupt.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn verify_detects_corruption() -> Result<()> {
+        let pool = pool("corrupt.db")?;
+        let tree = BTree::open(&pool, 0)?;
         for g in 0..5_000u64 {
-            tree.insert((0, g), 1).unwrap();
+            tree.insert((0, g), 1)?;
         }
         // Corrupt one leaf: swap two keys through the raw page.
         let leaf = {
             // Find any leaf by descending.
             let mut page = PageId((pool.meta(0) - 1) as u32);
             loop {
-                let next = pool
-                    .with_page(page, |p| {
-                        (p.get_u8(0) == TYPE_INTERNAL).then(|| internal_child(p, 0))
-                    })
-                    .unwrap();
+                let next = pool.with_page(page, |p| {
+                    (p.get_u8(0) == TYPE_INTERNAL).then(|| internal_child(p, 0))
+                })?;
                 match next {
                     Some(child) => page = child,
                     None => break page,
@@ -813,9 +863,61 @@ mod verify_tests {
             let v1 = leaf_value(p, 1);
             leaf_write_at(p, 0, k1, v1);
             leaf_write_at(p, 1, k0, v0);
-        })
-        .unwrap();
-        assert!(tree.verify().is_err());
+        })?;
+        match tree.verify() {
+            Err(crate::pager::StoreError::Corrupt(m)) => {
+                assert!(m.contains("leaf keys out of order"), "{m}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn verify_reports_aliased_child_pointer() -> Result<()> {
+        let pool = pool("aliased.db")?;
+        let tree = BTree::open(&pool, 0)?;
+        for g in 0..5_000u64 {
+            tree.insert((0, g), 1)?;
+        }
+        // Make the root's two leftmost children the same page.
+        let root = tree.root();
+        let (is_internal, c0) = pool.with_page(root, |p| {
+            (p.get_u8(0) == TYPE_INTERNAL, internal_child(p, 0))
+        })?;
+        assert!(is_internal, "5k inserts must split the root");
+        pool.with_page_mut(root, |p| {
+            let k = internal_key(p, 0);
+            internal_write_at(p, 0, k, c0);
+        })?;
+        match tree.verify() {
+            Err(crate::pager::StoreError::Corrupt(m)) => {
+                assert!(m.contains("page reachable twice"), "{m}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn verify_reports_over_capacity_node() -> Result<()> {
+        let pool = pool("overcap.db")?;
+        let tree = BTree::open(&pool, 0)?;
+        tree.insert((0, 1), 1)?;
+        // Forge an impossible entry count in the root leaf header.
+        pool.with_page_mut(tree.root(), |p| {
+            p.put_u16(
+                OFF_COUNT,
+                u16::try_from(NODE_CAPACITY + 1).unwrap_or(u16::MAX),
+            );
+        })?;
+        match tree.verify() {
+            Err(crate::pager::StoreError::Corrupt(m)) => {
+                assert!(m.contains("leaf over capacity"), "{m}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        Ok(())
     }
 }
 
@@ -860,16 +962,16 @@ impl<'p> BTree<'p> {
                 self.pool
                     .with_page_mut(cur_leaf, |p| p.put_page_id(OFF_NEXT, next))?;
                 self.pool.with_page_mut(next, init_leaf)?;
-                level.push((
-                    first_key_of_cur.take().expect("sealed leaf has keys"),
-                    cur_leaf,
-                ));
+                let Some(first) = first_key_of_cur.take() else {
+                    return Err(corrupt("bulk_load sealed a leaf without a first key"));
+                };
+                level.push((first, cur_leaf));
                 cur_leaf = next;
                 cur_count = 0;
             }
             self.pool.with_page_mut(cur_leaf, |p| {
                 leaf_write_at(p, cur_count, key, value);
-                set_count(p, (cur_count + 1) as u16);
+                set_count(p, cur_count + 1);
             })?;
             if cur_count == 0 {
                 first_key_of_cur = Some(key);
@@ -884,7 +986,10 @@ impl<'p> BTree<'p> {
         } else if cur_count == 0 {
             // The last allocated leaf stayed empty; it is harmless (searches
             // and scans tolerate empty leaves), keep it in the chain.
-            level.push((last_key.expect("total > 0"), cur_leaf));
+            let Some(lk) = last_key else {
+                return Err(corrupt("bulk_load lost track of the last key"));
+            };
+            level.push((lk, cur_leaf));
         }
 
         // Build internal levels until one node remains.
@@ -903,7 +1008,7 @@ impl<'p> BTree<'p> {
                     for (j, &(sep, child)) in group[1..].iter().enumerate() {
                         internal_write_at(p, j, sep, child);
                     }
-                    set_count(p, (group.len() - 1) as u16);
+                    set_count(p, group.len() - 1);
                 })?;
                 next_level.push((group[0].0, node));
                 i += take;
@@ -921,87 +1026,90 @@ mod bulk_tests {
     use crate::buffer::BufferPool;
     use crate::pager::Pager;
 
-    fn pool(name: &str) -> BufferPool {
+    fn pool(name: &str) -> Result<BufferPool> {
         let dir = std::env::temp_dir().join(format!("pqgram-bulk-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
         j.push("-journal");
         std::fs::remove_file(std::path::PathBuf::from(j)).ok();
-        BufferPool::new(Pager::create(&p).unwrap(), 256)
+        Ok(BufferPool::new(Pager::create(&p)?, 256))
     }
 
     #[test]
-    fn bulk_load_then_read_everything() {
-        let pool = pool("basic.db");
-        let tree = BTree::open(&pool, 0).unwrap();
+    fn bulk_load_then_read_everything() -> Result<()> {
+        let pool = pool("basic.db")?;
+        let tree = BTree::open(&pool, 0)?;
         let entries: Vec<(Key, u32)> = (0..50_000u64).map(|g| ((g % 7, g), g as u32)).collect();
         let mut sorted = entries.clone();
         sorted.sort_unstable();
-        let n = tree.bulk_load(sorted.iter().copied()).unwrap();
+        let n = tree.bulk_load(sorted.iter().copied())?;
         assert_eq!(n, 50_000);
-        tree.verify().unwrap();
-        assert_eq!(tree.len().unwrap(), 50_000);
+        tree.verify()?;
+        assert_eq!(tree.len()?, 50_000);
         for &(k, v) in sorted.iter().step_by(997) {
-            assert_eq!(tree.get(k).unwrap(), Some(v));
+            assert_eq!(tree.get(k)?, Some(v));
         }
         // Inserts after bulk load still work (slack in leaves).
-        tree.insert((99, 1), 7).unwrap();
-        assert_eq!(tree.get((99, 1)).unwrap(), Some(7));
-        tree.verify().unwrap();
+        tree.insert((99, 1), 7)?;
+        assert_eq!(tree.get((99, 1))?, Some(7));
+        tree.verify()?;
+        Ok(())
     }
 
     #[test]
-    fn bulk_load_small_inputs() {
+    fn bulk_load_small_inputs() -> Result<()> {
         for n in [0u64, 1, 2, 200] {
-            let p = pool(&format!("small{n}.db"));
-            let tree = BTree::open(&p, 0).unwrap();
-            tree.bulk_load((0..n).map(|g| ((0, g), 1))).unwrap();
-            assert_eq!(tree.len().unwrap(), n);
-            tree.verify().unwrap();
+            let p = pool(&format!("small{n}.db"))?;
+            let tree = BTree::open(&p, 0)?;
+            tree.bulk_load((0..n).map(|g| ((0, g), 1)))?;
+            assert_eq!(tree.len()?, n);
+            tree.verify()?;
         }
+        Ok(())
     }
 
     #[test]
-    fn bulk_load_rejects_unsorted_and_nonempty() {
-        let p = pool("reject.db");
-        let tree = BTree::open(&p, 0).unwrap();
+    fn bulk_load_rejects_unsorted_and_nonempty() -> Result<()> {
+        let p = pool("reject.db")?;
+        let tree = BTree::open(&p, 0)?;
         assert!(tree.bulk_load([((0, 2), 1), ((0, 1), 1)]).is_err());
         // After the failed load the tree may hold a prefix; re-check the
         // empty-precondition path with a fresh tree.
-        let pool2 = pool("reject2.db");
-        let tree2 = BTree::open(&pool2, 0).unwrap();
-        tree2.insert((0, 0), 1).unwrap();
+        let pool2 = pool("reject2.db")?;
+        let tree2 = BTree::open(&pool2, 0)?;
+        tree2.insert((0, 0), 1)?;
         assert!(tree2.bulk_load([((0, 1), 1)]).is_err());
+        Ok(())
     }
 
     #[test]
-    fn bulk_load_matches_incremental_inserts() {
-        let pool_a = pool("cmp-a.db");
-        let a = BTree::open(&pool_a, 0).unwrap();
-        let pool_b = pool("cmp-b.db");
-        let b = BTree::open(&pool_b, 0).unwrap();
+    fn bulk_load_matches_incremental_inserts() -> Result<()> {
+        let pool_a = pool("cmp-a.db")?;
+        let a = BTree::open(&pool_a, 0)?;
+        let pool_b = pool("cmp-b.db")?;
+        let b = BTree::open(&pool_b, 0)?;
         let entries: Vec<(Key, u32)> = (0..10_000u64)
             .map(|g| ((g % 3, g * 17), (g % 91) as u32))
             .collect();
         let mut sorted = entries.clone();
         sorted.sort_unstable();
-        a.bulk_load(sorted.iter().copied()).unwrap();
+        a.bulk_load(sorted.iter().copied())?;
         for &(k, v) in &entries {
-            b.insert(k, v).unwrap();
+            b.insert(k, v)?;
         }
-        let dump = |t: &BTree| {
+        let dump = |t: &BTree| -> Result<Vec<(Key, u32)>> {
             let mut v = Vec::new();
             t.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, val| {
                 v.push((k, val));
                 true
-            })
-            .unwrap();
-            v
+            })?;
+            Ok(v)
         };
-        assert_eq!(dump(&a), dump(&b));
-        a.verify().unwrap();
-        b.verify().unwrap();
+        assert_eq!(dump(&a)?, dump(&b)?);
+        a.verify()?;
+        b.verify()?;
+        Ok(())
     }
 }

@@ -138,6 +138,13 @@ impl BufferPool {
     pub fn in_transaction(&self) -> bool {
         self.inner.lock().pager.in_transaction()
     }
+
+    /// Runs [`Pager::validate`] — the structural audit of the header and
+    /// free list — on the underlying pager. Free pages are never cached, so
+    /// no flush is needed for the walk to see the logical state.
+    pub fn validate_pager(&self) -> Result<u32> {
+        self.inner.lock().pager.validate()
+    }
 }
 
 impl Inner {
@@ -230,7 +237,7 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-pool-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
@@ -240,73 +247,78 @@ mod tests {
     }
 
     #[test]
-    fn cached_reads_see_writes() {
-        let pool = BufferPool::new(Pager::create(&tmp("rw.db")).unwrap(), 16);
-        let id = pool.allocate().unwrap();
-        pool.with_page_mut(id, |p| p.put_u64(0, 42)).unwrap();
-        let got = pool.with_page(id, |p| p.get_u64(0)).unwrap();
+    fn cached_reads_see_writes() -> Result<()> {
+        let pool = BufferPool::new(Pager::create(&tmp("rw.db"))?, 16);
+        let id = pool.allocate()?;
+        pool.with_page_mut(id, |p| p.put_u64(0, 42))?;
+        let got = pool.with_page(id, |p| p.get_u64(0))?;
         assert_eq!(got, 42);
+        Ok(())
     }
 
     #[test]
-    fn eviction_flushes_dirty_pages() {
+    fn eviction_flushes_dirty_pages() -> Result<()> {
         let path = tmp("evict.db");
-        let pool = BufferPool::new(Pager::create(&path).unwrap(), 8);
+        let pool = BufferPool::new(Pager::create(&path)?, 8);
         // Write through far more pages than the pool holds.
-        let ids: Vec<PageId> = (0..50).map(|_| pool.allocate().unwrap()).collect();
+        let ids: Vec<PageId> = (0..50).map(|_| pool.allocate()).collect::<Result<_>>()?;
         for (i, &id) in ids.iter().enumerate() {
-            pool.with_page_mut(id, |p| p.put_u64(0, i as u64)).unwrap();
+            pool.with_page_mut(id, |p| p.put_u64(0, i as u64))?;
         }
         for (i, &id) in ids.iter().enumerate() {
-            let got = pool.with_page(id, |p| p.get_u64(0)).unwrap();
+            let got = pool.with_page(id, |p| p.get_u64(0))?;
             assert_eq!(got, i as u64, "page {id:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn transaction_rollback_through_pool() {
+    fn transaction_rollback_through_pool() -> Result<()> {
         let path = tmp("txpool.db");
-        let pool = BufferPool::new(Pager::create(&path).unwrap(), 8);
-        let id = pool.allocate().unwrap();
-        pool.with_page_mut(id, |p| p.put_u64(0, 1)).unwrap();
-        pool.flush().unwrap();
+        let pool = BufferPool::new(Pager::create(&path)?, 8);
+        let id = pool.allocate()?;
+        pool.with_page_mut(id, |p| p.put_u64(0, 1))?;
+        pool.flush()?;
 
-        pool.begin().unwrap();
-        pool.with_page_mut(id, |p| p.put_u64(0, 2)).unwrap();
+        pool.begin()?;
+        pool.with_page_mut(id, |p| p.put_u64(0, 2))?;
         // Force the dirty page to disk (inside the tx) via many allocations.
         for _ in 0..40 {
-            pool.allocate().unwrap();
+            pool.allocate()?;
         }
-        pool.rollback().unwrap();
-        assert_eq!(pool.with_page(id, |p| p.get_u64(0)).unwrap(), 1);
+        pool.rollback()?;
+        assert_eq!(pool.with_page(id, |p| p.get_u64(0))?, 1);
         assert_eq!(pool.page_count(), 2);
+        Ok(())
     }
 
     #[test]
-    fn commit_then_reopen() {
+    fn commit_then_reopen() -> Result<()> {
         let path = tmp("commitpool.db");
         {
-            let pool = BufferPool::new(Pager::create(&path).unwrap(), 8);
-            pool.begin().unwrap();
-            let id = pool.allocate().unwrap();
-            pool.with_page_mut(id, |p| p.put_u64(8, 0xfeed)).unwrap();
-            pool.set_meta(3, 33).unwrap();
-            pool.commit().unwrap();
+            let pool = BufferPool::new(Pager::create(&path)?, 8);
+            pool.begin()?;
+            let id = pool.allocate()?;
+            pool.with_page_mut(id, |p| p.put_u64(8, 0xfeed))?;
+            pool.set_meta(3, 33)?;
+            pool.commit()?;
         }
-        let pool = BufferPool::new(Pager::open(&path).unwrap(), 8);
+        let pool = BufferPool::new(Pager::open(&path)?, 8);
         assert_eq!(pool.meta(3), 33);
-        assert_eq!(pool.with_page(PageId(1), |p| p.get_u64(8)).unwrap(), 0xfeed);
+        assert_eq!(pool.with_page(PageId(1), |p| p.get_u64(8))?, 0xfeed);
+        Ok(())
     }
 
     #[test]
-    fn free_and_reuse_through_pool() {
-        let pool = BufferPool::new(Pager::create(&tmp("freepool.db")).unwrap(), 8);
-        let a = pool.allocate().unwrap();
-        pool.with_page_mut(a, |p| p.put_u64(0, 7)).unwrap();
-        pool.free(a).unwrap();
-        let b = pool.allocate().unwrap();
+    fn free_and_reuse_through_pool() -> Result<()> {
+        let pool = BufferPool::new(Pager::create(&tmp("freepool.db"))?, 8);
+        let a = pool.allocate()?;
+        pool.with_page_mut(a, |p| p.put_u64(0, 7))?;
+        pool.free(a)?;
+        let b = pool.allocate()?;
         assert_eq!(a, b);
         // Fresh allocation must be zeroed, not show stale cache content.
-        assert_eq!(pool.with_page(b, |p| p.get_u64(0)).unwrap(), 0);
+        assert_eq!(pool.with_page(b, |p| p.get_u64(0))?, 0);
+        Ok(())
     }
 }

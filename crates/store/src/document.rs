@@ -264,6 +264,13 @@ impl DocumentStore {
         match f(self) {
             Ok(()) => {
                 self.pool.commit()?;
+                // Debug builds audit the full storage invariants after
+                // every committed mutation; release builds pay nothing.
+                #[cfg(debug_assertions)]
+                {
+                    BTree::open(&self.pool, META_ROOT)?.verify()?;
+                    self.pool.validate_pager()?;
+                }
                 Ok(())
             }
             Err(e) => {

@@ -260,6 +260,13 @@ impl IndexStore {
         match f(self) {
             Ok(()) => {
                 self.pool.commit()?;
+                // Debug builds audit the full storage invariants after
+                // every committed mutation; release builds pay nothing.
+                #[cfg(debug_assertions)]
+                {
+                    self.tree()?.verify()?;
+                    self.pool.validate_pager()?;
+                }
                 Ok(())
             }
             Err(e) => {

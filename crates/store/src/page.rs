@@ -5,6 +5,10 @@ use std::fmt;
 /// Page size in bytes. 4 KiB matches common filesystem block sizes.
 pub const PAGE_SIZE: usize = 4096;
 
+/// [`PAGE_SIZE`] widened once for file-offset arithmetic, so on-disk-format
+/// code never needs a bare `as` cast (enforced by `cargo xtask lint`).
+pub const PAGE_SIZE_U64: u64 = PAGE_SIZE as u64;
+
 /// Identifier of a page within the store file (page 0 is the header).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageId(pub u32);
@@ -16,7 +20,15 @@ impl PageId {
     /// Byte offset of this page in the file.
     #[inline]
     pub fn offset(self) -> u64 {
-        self.0 as u64 * PAGE_SIZE as u64
+        u64::from(self.0) * PAGE_SIZE_U64
+    }
+
+    /// This id as a container index. The single sanctioned u32→usize
+    /// widening in the store (usize is at least 32 bits on every supported
+    /// target).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
     }
 }
 

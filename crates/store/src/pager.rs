@@ -20,7 +20,7 @@
 
 use crate::crc::crc32;
 use crate::journal::{recover, Journal};
-use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::page::{PageBuf, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -122,7 +122,7 @@ impl Pager {
             return Err(StoreError::Corrupt("header checksum mismatch".into()));
         }
         let pages = header.get_u32(OFF_PAGE_COUNT);
-        let expect_len = pages as u64 * PAGE_SIZE as u64;
+        let expect_len = u64::from(pages) * PAGE_SIZE_U64;
         if file.metadata()?.len() < expect_len {
             return Err(StoreError::Corrupt("file shorter than page count".into()));
         }
@@ -265,25 +265,69 @@ impl Pager {
         Ok(())
     }
 
+    /// Structural invariant audit of the page file.
+    ///
+    /// Checks that the header's page count is covered by the file length and
+    /// that the free list is in-bounds, acyclic, and never contains the
+    /// header page. Returns the free-list length on success. Cost is
+    /// O(free pages); callers run it from tests and debug assertions, not on
+    /// the hot path.
+    pub fn validate(&mut self) -> Result<u32> {
+        let pages = self.page_count();
+        let file_len = self.file.metadata()?.len();
+        let need = u64::from(pages) * PAGE_SIZE_U64;
+        if file_len < need {
+            return Err(StoreError::Corrupt(format!(
+                "file length {file_len} below {pages} pages ({need} bytes)"
+            )));
+        }
+        let mut seen = vec![false; PageId(pages).index()];
+        let mut cursor = self.header.get_page_id(OFF_FREELIST);
+        let mut free = 0u32;
+        while cursor != PageId::NONE {
+            if cursor == PageId(0) {
+                return Err(StoreError::Corrupt(
+                    "free list contains the header page".into(),
+                ));
+            }
+            if cursor.0 >= pages {
+                return Err(StoreError::Corrupt(format!(
+                    "free list page {cursor:?} out of range ({pages} pages)"
+                )));
+            }
+            if seen[cursor.index()] {
+                return Err(StoreError::Corrupt(format!(
+                    "free list cycle at {cursor:?}"
+                )));
+            }
+            seen[cursor.index()] = true;
+            free += 1;
+            cursor = self.read_page(cursor)?.get_page_id(0);
+        }
+        Ok(free)
+    }
+
     fn journal_page(&mut self, id: PageId) -> Result<()> {
         let in_tx_scope = self
             .journal
             .as_ref()
             .is_some_and(|j| id.0 < self.tx_original_pages && !j.contains(id));
-        if in_tx_scope {
-            let original = if id == PageId(0) {
-                // The in-memory header may already differ from disk within
-                // earlier (committed) operations, but at this point disk and
-                // memory agree because every mutation flushes; journal the
-                // current image.
-                self.header.clone()
-            } else {
-                let mut raw = vec![0u8; PAGE_SIZE];
-                self.file.seek(SeekFrom::Start(id.offset()))?;
-                self.file.read_exact(&mut raw)?;
-                PageBuf::from_bytes(&raw)
-            };
-            let journal = self.journal.as_mut().expect("checked above");
+        if !in_tx_scope {
+            return Ok(());
+        }
+        let original = if id == PageId(0) {
+            // The in-memory header may already differ from disk within
+            // earlier (committed) operations, but at this point disk and
+            // memory agree because every mutation flushes; journal the
+            // current image.
+            self.header.clone()
+        } else {
+            let mut raw = vec![0u8; PAGE_SIZE];
+            self.file.seek(SeekFrom::Start(id.offset()))?;
+            self.file.read_exact(&mut raw)?;
+            PageBuf::from_bytes(&raw)
+        };
+        if let Some(journal) = self.journal.as_mut() {
             journal.record(id, &original)?;
         }
         Ok(())
@@ -317,7 +361,7 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-pager-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(Journal::path_for(&p)).ok();
@@ -331,127 +375,134 @@ mod tests {
     }
 
     #[test]
-    fn create_open_roundtrip() {
+    fn create_open_roundtrip() -> Result<()> {
         let path = tmp("roundtrip.db");
         {
-            let mut pager = Pager::create(&path).unwrap();
-            let id = pager.allocate().unwrap();
-            pager.write_page(id, &page_with(0x42)).unwrap();
-            pager.set_meta(1, 777).unwrap();
+            let mut pager = Pager::create(&path)?;
+            let id = pager.allocate()?;
+            pager.write_page(id, &page_with(0x42))?;
+            pager.set_meta(1, 777)?;
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let mut pager = Pager::open(&path)?;
         assert_eq!(pager.page_count(), 2);
         assert_eq!(pager.meta(1), 777);
-        assert_eq!(pager.read_page(PageId(1)).unwrap(), page_with(0x42));
+        assert_eq!(pager.read_page(PageId(1))?, page_with(0x42));
+        Ok(())
     }
 
     #[test]
-    fn create_refuses_existing() {
+    fn create_refuses_existing() -> Result<()> {
         let path = tmp("exists.db");
-        Pager::create(&path).unwrap();
+        Pager::create(&path)?;
         assert!(Pager::create(&path).is_err());
+        Ok(())
     }
 
     #[test]
-    fn free_list_reuses_pages() {
+    fn free_list_reuses_pages() -> Result<()> {
         let path = tmp("freelist.db");
-        let mut pager = Pager::create(&path).unwrap();
-        let a = pager.allocate().unwrap();
-        let b = pager.allocate().unwrap();
+        let mut pager = Pager::create(&path)?;
+        let a = pager.allocate()?;
+        let b = pager.allocate()?;
         assert_ne!(a, b);
-        pager.free(a).unwrap();
-        let c = pager.allocate().unwrap();
+        pager.free(a)?;
+        let c = pager.allocate()?;
         assert_eq!(c, a, "freed page must be reused");
         assert_eq!(pager.page_count(), 3);
-        pager.free(b).unwrap();
-        pager.free(c).unwrap();
-        let d = pager.allocate().unwrap();
-        let e = pager.allocate().unwrap();
+        pager.free(b)?;
+        pager.free(c)?;
+        let d = pager.allocate()?;
+        let e = pager.allocate()?;
         assert_eq!((d, e), (c, b), "LIFO free list");
+        Ok(())
     }
 
     #[test]
-    fn rollback_undoes_everything() {
+    fn rollback_undoes_everything() -> Result<()> {
         let path = tmp("tx-rollback.db");
-        let mut pager = Pager::create(&path).unwrap();
-        let id = pager.allocate().unwrap();
-        pager.write_page(id, &page_with(1)).unwrap();
-        pager.set_meta(0, 10).unwrap();
+        let mut pager = Pager::create(&path)?;
+        let id = pager.allocate()?;
+        pager.write_page(id, &page_with(1))?;
+        pager.set_meta(0, 10)?;
 
-        pager.begin().unwrap();
-        pager.write_page(id, &page_with(2)).unwrap();
-        let extra = pager.allocate().unwrap();
-        pager.write_page(extra, &page_with(3)).unwrap();
-        pager.set_meta(0, 20).unwrap();
-        pager.rollback().unwrap();
+        pager.begin()?;
+        pager.write_page(id, &page_with(2))?;
+        let extra = pager.allocate()?;
+        pager.write_page(extra, &page_with(3))?;
+        pager.set_meta(0, 20)?;
+        pager.rollback()?;
 
-        assert_eq!(pager.read_page(id).unwrap(), page_with(1));
+        assert_eq!(pager.read_page(id)?, page_with(1));
         assert_eq!(pager.meta(0), 10);
         assert_eq!(pager.page_count(), 2);
         // Post-rollback allocation works on the truncated file.
-        let again = pager.allocate().unwrap();
+        let again = pager.allocate()?;
         assert_eq!(again, extra);
+        Ok(())
     }
 
     #[test]
-    fn commit_persists_across_reopen() {
+    fn commit_persists_across_reopen() -> Result<()> {
         let path = tmp("tx-commit.db");
         {
-            let mut pager = Pager::create(&path).unwrap();
-            pager.begin().unwrap();
-            let id = pager.allocate().unwrap();
-            pager.write_page(id, &page_with(9)).unwrap();
-            pager.set_meta(2, 99).unwrap();
-            pager.commit().unwrap();
+            let mut pager = Pager::create(&path)?;
+            pager.begin()?;
+            let id = pager.allocate()?;
+            pager.write_page(id, &page_with(9))?;
+            pager.set_meta(2, 99)?;
+            pager.commit()?;
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let mut pager = Pager::open(&path)?;
         assert_eq!(pager.meta(2), 99);
-        assert_eq!(pager.read_page(PageId(1)).unwrap(), page_with(9));
+        assert_eq!(pager.read_page(PageId(1))?, page_with(9));
+        Ok(())
     }
 
     #[test]
-    fn crash_mid_transaction_recovers_on_open() {
+    fn crash_mid_transaction_recovers_on_open() -> Result<()> {
         let path = tmp("crash.db");
         {
-            let mut pager = Pager::create(&path).unwrap();
-            let id = pager.allocate().unwrap();
-            pager.write_page(id, &page_with(1)).unwrap();
-            pager.set_meta(0, 5).unwrap();
-            pager.begin().unwrap();
-            pager.write_page(id, &page_with(0xbb)).unwrap();
-            pager.set_meta(0, 6).unwrap();
-            let extra = pager.allocate().unwrap();
-            pager.write_page(extra, &page_with(0xcc)).unwrap();
+            let mut pager = Pager::create(&path)?;
+            let id = pager.allocate()?;
+            pager.write_page(id, &page_with(1))?;
+            pager.set_meta(0, 5)?;
+            pager.begin()?;
+            pager.write_page(id, &page_with(0xbb))?;
+            pager.set_meta(0, 6)?;
+            let extra = pager.allocate()?;
+            pager.write_page(extra, &page_with(0xcc))?;
             // Simulate a crash: leak the journal so no rollback runs.
             std::mem::forget(pager);
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let mut pager = Pager::open(&path)?;
         assert_eq!(pager.meta(0), 5, "metadata rolled back");
         assert_eq!(
-            pager.read_page(PageId(1)).unwrap(),
+            pager.read_page(PageId(1))?,
             page_with(1),
             "page rolled back"
         );
         assert_eq!(pager.page_count(), 2, "appended pages truncated");
+        Ok(())
     }
 
     #[test]
-    fn nested_transactions_rejected() {
+    fn nested_transactions_rejected() -> Result<()> {
         let path = tmp("nested.db");
-        let mut pager = Pager::create(&path).unwrap();
-        pager.begin().unwrap();
+        let mut pager = Pager::create(&path)?;
+        pager.begin()?;
         assert!(matches!(pager.begin(), Err(StoreError::InvalidArgument(_))));
-        pager.commit().unwrap();
+        pager.commit()?;
         assert!(matches!(
             pager.commit(),
             Err(StoreError::InvalidArgument(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn out_of_range_page_rejected() {
+    fn out_of_range_page_rejected() -> Result<()> {
         let path = tmp("range.db");
-        let mut pager = Pager::create(&path).unwrap();
+        let mut pager = Pager::create(&path)?;
         assert!(matches!(
             pager.read_page(PageId(5)),
             Err(StoreError::Corrupt(_))
@@ -460,16 +511,99 @@ mod tests {
             pager.read_page(PageId::NONE),
             Err(StoreError::Corrupt(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn corrupt_header_detected() {
+    fn corrupt_header_detected() -> Result<()> {
         let path = tmp("corrupt.db");
-        Pager::create(&path).unwrap();
+        Pager::create(&path)?;
         // Flip a byte inside the checksummed region.
-        let mut data = std::fs::read(&path).unwrap();
+        let mut data = std::fs::read(&path)?;
         data[20] ^= 0xff;
-        std::fs::write(&path, &data).unwrap();
+        std::fs::write(&path, &data)?;
         assert!(matches!(Pager::open(&path), Err(StoreError::Corrupt(_))));
+        Ok(())
+    }
+
+    /// Extracts the corruption message or panics with the actual outcome.
+    fn corrupt_message<T: std::fmt::Debug>(r: Result<T>) -> String {
+        match r {
+            Err(StoreError::Corrupt(m)) => m,
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_passes_healthy_file_and_counts_free_pages() -> Result<()> {
+        let path = tmp("validate-ok.db");
+        let mut pager = Pager::create(&path)?;
+        let a = pager.allocate()?;
+        let b = pager.allocate()?;
+        pager.allocate()?;
+        assert_eq!(pager.validate()?, 0);
+        pager.free(a)?;
+        pager.free(b)?;
+        assert_eq!(pager.validate()?, 2);
+        Ok(())
+    }
+
+    #[test]
+    fn validate_reports_free_list_cycle() -> Result<()> {
+        let path = tmp("validate-cycle.db");
+        let mut pager = Pager::create(&path)?;
+        let a = pager.allocate()?;
+        let b = pager.allocate()?;
+        pager.free(a)?;
+        pager.free(b)?; // list: b -> a -> NONE
+                        // Point a's next pointer back at b: b -> a -> b.
+        let mut page = pager.read_page(a)?;
+        page.put_page_id(0, b);
+        pager.write_page(a, &page)?;
+        let msg = corrupt_message(pager.validate());
+        assert!(msg.contains("free list cycle"), "{msg}");
+        Ok(())
+    }
+
+    #[test]
+    fn validate_reports_header_in_free_list() -> Result<()> {
+        let path = tmp("validate-header.db");
+        let mut pager = Pager::create(&path)?;
+        let a = pager.allocate()?;
+        pager.free(a)?;
+        let mut page = pager.read_page(a)?;
+        page.put_page_id(0, PageId(0));
+        pager.write_page(a, &page)?;
+        let msg = corrupt_message(pager.validate());
+        assert!(msg.contains("free list contains the header page"), "{msg}");
+        Ok(())
+    }
+
+    #[test]
+    fn validate_reports_out_of_range_free_page() -> Result<()> {
+        let path = tmp("validate-range.db");
+        let mut pager = Pager::create(&path)?;
+        let a = pager.allocate()?;
+        pager.free(a)?;
+        let mut page = pager.read_page(a)?;
+        page.put_page_id(0, PageId(999));
+        pager.write_page(a, &page)?;
+        let msg = corrupt_message(pager.validate());
+        assert!(msg.contains("out of range"), "{msg}");
+        Ok(())
+    }
+
+    #[test]
+    fn validate_reports_truncated_file() -> Result<()> {
+        let path = tmp("validate-trunc.db");
+        let mut pager = Pager::create(&path)?;
+        pager.allocate()?;
+        // Shear the tail off behind the pager's back.
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(PAGE_SIZE_U64 + 7)?;
+        drop(f);
+        let msg = corrupt_message(pager.validate());
+        assert!(msg.contains("below"), "{msg}");
+        Ok(())
     }
 }

@@ -77,6 +77,9 @@ proptest! {
             }
         }
         prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        let check = tree.verify().unwrap();
+        prop_assert_eq!(check.entries, model.len() as u64);
+        pool.validate_pager().unwrap();
         std::fs::remove_file(&path).ok();
     }
 
@@ -115,6 +118,8 @@ proptest! {
         }).unwrap();
         let expected: Vec<(Key, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
         prop_assert_eq!(got, expected, "recovery must restore the last commit");
+        tree.verify().unwrap();
+        pool.validate_pager().unwrap();
         std::fs::remove_file(&path).ok();
     }
 }
@@ -175,6 +180,8 @@ fn reopen_after_many_transactions() {
     let tree = BTree::open(&pool, 0).unwrap();
     // 30 rounds, every 5th rolled back -> 24 committed * 200 entries.
     assert_eq!(tree.len().unwrap(), 24 * 200);
+    tree.verify().unwrap();
+    pool.validate_pager().unwrap();
 }
 
 #[test]

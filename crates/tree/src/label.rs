@@ -29,7 +29,7 @@ impl LabelSym {
     /// Raw index of an interned label; panics on [`LabelSym::NULL`].
     #[inline]
     pub fn index(self) -> usize {
-        debug_assert!(!self.is_null());
+        debug_assert!(!self.is_null(), "index() on LabelSym::NULL");
         self.0 as usize
     }
 

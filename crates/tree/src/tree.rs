@@ -234,7 +234,7 @@ impl Tree {
 
     /// Appends a new child with `label` to `parent`, returning its id.
     pub fn add_child(&mut self, parent: NodeId, label: LabelSym) -> NodeId {
-        debug_assert!(self.contains(parent));
+        debug_assert!(self.contains(parent), "add_child to dead node {parent:?}");
         let id = self.alloc(label, parent);
         self.slots[parent.index()].children.push(id);
         id
@@ -268,7 +268,7 @@ impl Tree {
     // ----- internal mutators used by `edit::apply` -------------------------
 
     pub(crate) fn set_label(&mut self, node: NodeId, label: LabelSym) {
-        debug_assert!(self.contains(node));
+        debug_assert!(self.contains(node), "set_label on dead node {node:?}");
         self.slots[node.index()].label = label;
     }
 

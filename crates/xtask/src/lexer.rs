@@ -1,0 +1,257 @@
+//! A minimal Rust source masker.
+//!
+//! The lint rules in [`crate::rules`] are lexical: they look for tokens
+//! like `.unwrap()` or `as u32` in *code*, never inside comments or string
+//! literals. Instead of a full parser, [`mask`] rewrites a source file so
+//! that every byte belonging to a comment, string, char or byte literal is
+//! replaced by a space while newlines and all remaining code bytes stay in
+//! place. Rules can then use plain substring scans on the masked text and
+//! still report exact line numbers against the original file.
+//!
+//! Handled syntax: line comments, nested block comments, string literals
+//! with escapes, raw (byte) strings with arbitrary `#` fences, char
+//! literals, and lifetimes (which are *not* char literals).
+
+/// Returns `source` with comment/string/char-literal bytes blanked out.
+pub fn mask(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                i = blank_until(&mut out, bytes, i, |b, j| b[j] == b'\n');
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = blank_block_comment(&mut out, bytes, i);
+            }
+            b'"' => {
+                i = blank_string(&mut out, bytes, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = blank_raw_string(&mut out, bytes, i);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                out[i] = b' ';
+                i = blank_string(&mut out, bytes, i + 1);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                out[i] = b' ';
+                i = blank_char(&mut out, bytes, i + 1);
+            }
+            b'\'' => {
+                i = blank_char(&mut out, bytes, i);
+            }
+            _ => i += 1,
+        }
+    }
+    // `out` only ever replaces ASCII bytes with spaces, so it stays UTF-8.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// The 1-based line number of byte offset `pos` in `text`.
+pub fn line_of(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+fn blank(out: &mut [u8], i: usize) {
+    if out[i] != b'\n' {
+        out[i] = b' ';
+    }
+}
+
+fn blank_until(
+    out: &mut [u8],
+    bytes: &[u8],
+    mut i: usize,
+    stop: impl Fn(&[u8], usize) -> bool,
+) -> usize {
+    while i < bytes.len() && !stop(bytes, i) {
+        blank(out, i);
+        i += 1;
+    }
+    i
+}
+
+fn blank_block_comment(out: &mut [u8], bytes: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            blank(out, i);
+            blank(out, i + 1);
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            blank(out, i);
+            blank(out, i + 1);
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            blank(out, i);
+            i += 1;
+        }
+    }
+    i
+}
+
+fn blank_string(out: &mut [u8], bytes: &[u8], start: usize) -> usize {
+    // The delimiting quotes stay visible so that argument counters (see
+    // `rules::top_level_args`) still see a masked literal as content.
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                blank(out, i);
+                blank(out, i + 1);
+                i += 2;
+            }
+            b'"' => return i + 1,
+            _ => {
+                blank(out, i);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// True at `r"`, `r#`, `br"`, `br#` (raw string openers).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Don't treat identifiers ending in r/b (e.g. `var"` is impossible, but
+    // `for r in` is) as raw-string starts: require the prefix to begin a
+    // token, i.e. the previous byte must not be an identifier byte.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let rest = &bytes[i..];
+    let after_prefix = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+        2
+    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+        1
+    } else {
+        return false;
+    };
+    if rest.first() == Some(&b'b') && after_prefix == 1 {
+        return false; // bare `b` handles `b"`/`b'` separately
+    }
+    let mut j = after_prefix;
+    while rest.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&b'"')
+}
+
+fn blank_raw_string(out: &mut [u8], bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while bytes.get(i) == Some(&b'r') || bytes.get(i) == Some(&b'b') {
+        blank(out, i);
+        i += 1;
+    }
+    let mut fence = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        blank(out, i);
+        fence += 1;
+        i += 1;
+    }
+    i += 1; // opening quote stays visible
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let closes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= fence;
+            if closes {
+                for k in i + 1..=i + fence {
+                    blank(out, k);
+                }
+                return i + fence + 1;
+            }
+        }
+        blank(out, i);
+        i += 1;
+    }
+    i
+}
+
+/// Distinguishes char literals (`'a'`, `'\n'`) from lifetimes (`'static`).
+fn blank_char(out: &mut [u8], bytes: &[u8], start: usize) -> usize {
+    let is_char = match bytes.get(start + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // `'X'` where X is one char (possibly multi-byte UTF-8).
+            let mut j = start + 1;
+            j += utf8_len(bytes[j]);
+            bytes.get(j) == Some(&b'\'')
+        }
+        None => false,
+    };
+    if !is_char {
+        return start + 1; // a lifetime: keep the identifier visible
+    }
+    let mut i = start + 1; // delimiting quotes stay visible
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                blank(out, i);
+                blank(out, i + 1);
+                i += 2;
+            }
+            b'\'' => return i + 1,
+            _ => {
+                blank(out, i);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"a.unwrap()\"; // .unwrap()\nlet y = v.unwrap();\n";
+        let masked = mask(src);
+        assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
+        assert_eq!(masked.len(), src.len(), "masking must preserve offsets");
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let s = r#\"as u32\"#; let c = 'a'; let l: &'static str = b\"as u8\";";
+        let masked = mask(src);
+        assert!(!masked.contains("as u32"), "{masked}");
+        assert!(!masked.contains("as u8"), "{masked}");
+        assert!(masked.contains("'static"), "lifetimes survive: {masked}");
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* inner as u64 */ still */ x as u64";
+        let masked = mask(src);
+        assert_eq!(masked.matches("as u64").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn line_numbers() {
+        let text = "a\nb\nc";
+        assert_eq!(line_of(text, 0), 1);
+        assert_eq!(line_of(text, 2), 2);
+        assert_eq!(line_of(text, 4), 3);
+    }
+}

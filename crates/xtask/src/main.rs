@@ -1,0 +1,159 @@
+//! `cargo xtask` — workspace invariant-audit tooling.
+//!
+//! The only subcommand today is `lint`: a source-level lint pass enforcing
+//! project-specific rules that `clippy` cannot express (see [`rules`] for
+//! the rule catalogue). Violations are compared against a committed
+//! baseline (`crates/xtask/baseline.toml`) with a *ratchet*: per rule and
+//! file, the violation count may only decrease. The pass therefore lands
+//! green on a codebase with existing debt and tightens automatically as
+//! the debt is paid down.
+//!
+//! ```text
+//! cargo xtask lint                     # audit against the baseline
+//! cargo xtask lint --verbose           # also list every violation
+//! cargo xtask lint --update-baseline   # re-ratchet after paying down debt
+//! ```
+//!
+//! Exit codes: `0` clean, `1` baseline regression (or stale baseline),
+//! `2` usage / I/O error.
+#![warn(missing_docs)]
+
+mod baseline;
+mod lexer;
+mod rules;
+mod walk;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update = false;
+    let mut verbose = false;
+    let mut cmd: Option<&str> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--update-baseline" => update = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xtask: unknown argument `{other}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match cmd {
+        Some("lint") => run_lint(update, verbose),
+        _ => {
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask lint [--update-baseline] [--verbose]");
+}
+
+fn run_lint(update: bool, verbose: bool) -> ExitCode {
+    let root = match walk::workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("xtask: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = match rules::run_all(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask: lint pass failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if verbose {
+        for v in &violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+    }
+
+    let counts = baseline::counts_of(&violations);
+    let baseline_path = baseline_path(&root);
+    if update {
+        if let Err(e) = baseline::save(&baseline_path, &counts) {
+            eprintln!("xtask: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask: baseline updated ({} violations across {} rule/file entries)",
+            counts.total(),
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let old = match baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "xtask: cannot read {} ({e}); run `cargo xtask lint --update-baseline` once",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let diff = baseline::compare(&old, &counts);
+    for reg in &diff.regressions {
+        eprintln!(
+            "xtask: REGRESSION [{}] {}: {} violation(s), baseline allows {}",
+            reg.rule, reg.file, reg.current, reg.allowed
+        );
+        for v in violations
+            .iter()
+            .filter(|v| v.rule == reg.rule && v.file == reg.file)
+        {
+            eprintln!("    {}:{}: {}", v.file, v.line, v.message);
+        }
+    }
+    for imp in &diff.improvements {
+        println!(
+            "xtask: improved [{}] {}: {} -> {}",
+            imp.rule, imp.file, imp.allowed, imp.current
+        );
+    }
+    println!(
+        "xtask: {} violation(s) across {} rules, baseline {}",
+        counts.total(),
+        rules::RULES.len(),
+        if diff.regressions.is_empty() {
+            "respected"
+        } else {
+            "violated"
+        }
+    );
+    if !diff.regressions.is_empty() {
+        eprintln!(
+            "xtask: {} regression(s); fix them or (only for deliberate, reviewed debt) \
+             re-ratchet with `cargo xtask lint --update-baseline`",
+            diff.regressions.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !diff.improvements.is_empty() {
+        eprintln!(
+            "xtask: baseline is stale ({} entries improved); run \
+             `cargo xtask lint --update-baseline` to lock in the progress",
+            diff.improvements.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn baseline_path(root: &std::path::Path) -> PathBuf {
+    root.join("crates").join("xtask").join("baseline.toml")
+}

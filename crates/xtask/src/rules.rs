@@ -1,0 +1,350 @@
+//! The lint rule catalogue.
+//!
+//! Each rule yields per-file violation counts that feed the baseline
+//! ratchet ([`crate::baseline`]). The catalogue (rule ids are the section
+//! names in `baseline.toml`):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `unwrap` | library crates | no `.unwrap()` / `.expect(` — errors must propagate |
+//! | `as-cast` | `crates/store/src` | no bare `as` numeric casts in on-disk-format code |
+//! | `missing-docs-attr` | every crate root | `#![warn(missing_docs)]` present |
+//! | `error-impl` | library crates | every `pub …Error` type implements `std::error::Error` |
+//! | `debug-assert-message` | whole workspace | every `debug_assert!` family call carries a message |
+
+use crate::lexer::{line_of, mask};
+use crate::walk::{rel, rust_files};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The crates whose `src/` trees form the library surface (no binaries or
+/// harnesses): panics here take down library consumers, so `unwrap` and
+/// friends are ratcheted.
+pub const LIB_CRATES: &[&str] = &["tree", "xml", "ted", "core", "diff", "store"];
+
+/// All rule identifiers, in report order.
+pub const RULES: &[&str] = &[
+    "unwrap",
+    "as-cast",
+    "missing-docs-attr",
+    "error-impl",
+    "debug-assert-message",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs every rule over the workspace at `root`.
+pub fn run_all(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for krate in LIB_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        for path in rust_files(&src)? {
+            let source = std::fs::read_to_string(&path)?;
+            let masked = mask(&source);
+            let file = rel(root, &path);
+            unwrap_rule(&file, &masked, &mut violations);
+            if *krate == "store" {
+                as_cast_rule(&file, &masked, &mut violations);
+            }
+            error_impl_rule(root, krate, &file, &masked, &mut violations)?;
+        }
+    }
+    for path in crate_roots(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let file = rel(root, &path);
+        if !mask(&source).contains("#![warn(missing_docs)]") {
+            violations.push(Violation {
+                rule: "missing-docs-attr",
+                file,
+                line: 1,
+                message: "crate root lacks `#![warn(missing_docs)]`".into(),
+            });
+        }
+    }
+    for path in workspace_sources(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let masked = mask(&source);
+        debug_assert_rule(&rel(root, &path), &masked, &mut violations);
+    }
+    violations.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(violations)
+}
+
+/// `crates/*/src/lib.rs` (or `main.rs` for pure binaries) plus the root
+/// package's `src/lib.rs`.
+fn crate_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut roots = vec![root.join("src").join("lib.rs")];
+    let crates_dir = root.join("crates");
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    names.sort();
+    for dir in names {
+        let lib = dir.join("src").join("lib.rs");
+        let main = dir.join("src").join("main.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        } else if main.is_file() {
+            roots.push(main);
+        }
+    }
+    Ok(roots)
+}
+
+/// Every `.rs` under `crates/*/src` and the root `src/` — the scope of the
+/// workspace-wide rules.
+fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = rust_files(&root.join("src"))?;
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        files.extend(rust_files(&dir.join("src"))?);
+    }
+    Ok(files)
+}
+
+fn unwrap_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
+    for needle in [".unwrap()", ".expect("] {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(needle) {
+            let at = from + pos;
+            out.push(Violation {
+                rule: "unwrap",
+                file: file.to_string(),
+                line: line_of(masked, at),
+                message: format!(
+                    "`{}` in a library crate; propagate an error instead",
+                    needle.trim_end_matches('(')
+                ),
+            });
+            from = at + needle.len();
+        }
+    }
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn as_cast_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find(" as ") {
+        let at = from + pos;
+        from = at + 4;
+        let rest = &masked[at + 4..];
+        let target: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if NUMERIC_TYPES.contains(&target.as_str()) {
+            out.push(Violation {
+                rule: "as-cast",
+                file: file.to_string(),
+                line: line_of(masked, at),
+                message: format!(
+                    "bare `as {target}` cast in on-disk-format code; use `From`/`TryFrom` \
+                     or a checked helper"
+                ),
+            });
+        }
+    }
+}
+
+/// Public error types must implement `std::error::Error` so callers can box
+/// and chain them.
+fn error_impl_rule(
+    root: &Path,
+    krate: &str,
+    file: &str,
+    masked: &str,
+    out: &mut Vec<Violation>,
+) -> io::Result<()> {
+    for kind in ["pub enum ", "pub struct "] {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(kind) {
+            let at = from + pos;
+            from = at + kind.len();
+            let name: String = masked[at + kind.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.ends_with("Error") {
+                continue;
+            }
+            if !crate_implements_error(root, krate, &name)? {
+                out.push(Violation {
+                    rule: "error-impl",
+                    file: file.to_string(),
+                    line: line_of(masked, at),
+                    message: format!(
+                        "public error type `{name}` does not implement `std::error::Error`"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn crate_implements_error(root: &Path, krate: &str, name: &str) -> io::Result<bool> {
+    let needle = format!("Error for {name}");
+    for path in rust_files(&root.join("crates").join(krate).join("src"))? {
+        let masked = mask(&std::fs::read_to_string(&path)?);
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(&needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            // Reject partial matches like `Error for MyErrorKind`.
+            let after = masked[at + needle.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// `debug_assert!(cond)` without a message tells the person staring at a
+/// failed CI log nothing; require `debug_assert!(cond, "…")` (and the
+/// 3-argument forms of `_eq`/`_ne`).
+fn debug_assert_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
+    for (macro_name, min_args) in [
+        ("debug_assert!", 2usize),
+        ("debug_assert_eq!", 3),
+        ("debug_assert_ne!", 3),
+    ] {
+        let mut from = 0;
+        while let Some(pos) = masked[from..].find(macro_name) {
+            let at = from + pos;
+            from = at + macro_name.len();
+            // Guard against matching `debug_assert!` inside
+            // `debug_assert_eq!` by requiring a non-ident boundary before.
+            if at > 0 {
+                let prev = masked.as_bytes()[at - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            let args = top_level_args(&masked[at + macro_name.len()..]);
+            if args > 0 && args < min_args {
+                out.push(Violation {
+                    rule: "debug-assert-message",
+                    file: file.to_string(),
+                    line: line_of(masked, at),
+                    message: format!("`{macro_name}(…)` without a message"),
+                });
+            }
+        }
+    }
+}
+
+/// Number of top-level comma-separated arguments inside the delimiter that
+/// follows (0 if no delimiter follows, e.g. a mention in a `use` path).
+fn top_level_args(rest: &str) -> usize {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\n') {
+        i += 1;
+    }
+    let (open, close) = match bytes.get(i) {
+        Some(b'(') => (b'(', b')'),
+        Some(b'[') => (b'[', b']'),
+        Some(b'{') => (b'{', b'}'),
+        _ => return 0,
+    };
+    let mut depth = 0usize;
+    let mut args = 0usize;
+    let mut segment_has_content = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            _ if b == open || b == b'(' || b == b'[' || b == b'{' => depth += 1,
+            _ if b == close || b == b')' || b == b']' || b == b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if segment_has_content {
+                        args += 1;
+                    }
+                    return args;
+                }
+            }
+            b',' if depth == 1 => {
+                if segment_has_content {
+                    args += 1;
+                }
+                segment_has_content = false;
+            }
+            b' ' | b'\n' | b'\t' | b'\r' => {}
+            _ if depth >= 1 => segment_has_content = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_top_level_args() {
+        assert_eq!(top_level_args("(a, b)"), 2);
+        assert_eq!(top_level_args("(cond)"), 1);
+        assert_eq!(top_level_args("(f(x, y))"), 1);
+        assert_eq!(top_level_args("(a, (b, c), d)"), 3);
+        assert_eq!(top_level_args("(a, b,)"), 2, "trailing comma");
+        assert_eq!(top_level_args(";"), 0, "no delimiter");
+    }
+
+    #[test]
+    fn unwrap_rule_finds_calls() {
+        let mut v = Vec::new();
+        unwrap_rule(
+            "f.rs",
+            "let x = y.unwrap();\nlet z = w.expect(  );\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn as_cast_rule_ignores_non_numeric() {
+        let mut v = Vec::new();
+        as_cast_rule("f.rs", "let a = b as u32; let c = d as SomeType;", &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn debug_assert_rule_requires_message() {
+        let mut v = Vec::new();
+        debug_assert_rule(
+            "f.rs",
+            "debug_assert!(x);\ndebug_assert!(y, \"why\");\ndebug_assert_eq!(a, b);\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Workspace discovery and deterministic file walking (no `walkdir` dep).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// (or of `CARGO_MANIFEST_DIR` when invoked through cargo) whose
+/// `Cargo.toml` contains a `[workspace]` table.
+pub fn workspace_root() -> io::Result<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or(std::env::current_dir()?);
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                "no ancestor Cargo.toml with a [workspace] table",
+            )
+        })?;
+    }
+}
+
+/// All `.rs` files under `dir` (recursively), sorted for deterministic
+/// output. Skips `target` directories and hidden entries.
+pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect(dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes (stable across hosts, and
+/// the key format used in `baseline.toml`).
+pub fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
