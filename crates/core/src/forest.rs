@@ -26,7 +26,7 @@
 //! let new_label = forest.labels_mut().intern("headline");
 //! forest.edit(id, &[EditOp::Rename { node, label: new_label }]).unwrap();
 //!
-//! let hits = forest.lookup_tree(forest.get(id).unwrap().clone(), 0.1);
+//! let hits = forest.lookup_tree(forest.get(id).unwrap(), forest.labels(), 0.1);
 //! assert_eq!(hits[0].tree_id, id);
 //! ```
 
@@ -232,8 +232,15 @@ impl Forest {
     }
 
     /// Approximate lookup with a query document (indexed on the fly).
-    pub fn lookup_tree(&self, query: Tree, tau: f64) -> Vec<LookupHit> {
-        let query_index = build_index(&query, &self.labels, self.params);
+    ///
+    /// `query_labels` is the table the query's `LabelSym`s were interned in
+    /// — pass [`Forest::labels`] for queries built through this forest.
+    /// Fingerprints are derived from label *names*, so a query interned in
+    /// a different table still matches correctly; resolving its symbols
+    /// against the forest's table instead would silently compute distances
+    /// between unrelated labels that happen to share a symbol id.
+    pub fn lookup_tree(&self, query: &Tree, query_labels: &LabelTable, tau: f64) -> Vec<LookupHit> {
+        let query_index = build_index(query, query_labels, self.params);
         self.index.lookup(&query_index, tau)
     }
 
@@ -344,9 +351,44 @@ mod tests {
         let alphabet: Vec<_> = forest.labels().iter().map(|(s, _)| s).collect();
         let (_, forward) = record_script(&mut rng, &mut scratch, &ScriptConfig::new(5, alphabet));
         forest.edit(id, &forward).unwrap();
-        let hits = forest.lookup_tree(scratch, 0.2);
+        let hits = forest.lookup_tree(&scratch, forest.labels(), 0.2);
         assert_eq!(hits[0].tree_id, id);
         assert!(hits[0].distance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_accepts_foreign_label_tables() {
+        let mut forest = Forest::new(PQParams::default());
+        let a = forest.labels_mut().intern("a");
+        let b = forest.labels_mut().intern("b");
+        let c = forest.labels_mut().intern("c");
+        let mut doc = Tree::with_root(a);
+        let mid = doc.add_child(doc.root(), b);
+        doc.add_child(mid, c);
+        let id = forest.insert(doc);
+
+        // A client builds the same document against its own label table,
+        // where the symbol ids happen to be assigned in opposite order —
+        // every symbol collides with a *different* forest label.
+        let mut foreign = LabelTable::new();
+        let fc = foreign.intern("c");
+        let fb = foreign.intern("b");
+        let fa = foreign.intern("a");
+        assert_eq!(fc, a, "ids collide across tables by construction");
+        let mut query = Tree::with_root(fa);
+        let qmid = query.add_child(query.root(), fb);
+        query.add_child(qmid, fc);
+
+        let hits = forest.lookup_tree(&query, &foreign, 0.5);
+        assert!(!hits.is_empty(), "foreign-table query must match");
+        assert_eq!(hits[0].tree_id, id);
+        assert!(hits[0].distance.abs() < 1e-12);
+
+        // Same hits as a twin re-interned in the forest's own table.
+        let mut twin = Tree::with_root(a);
+        let tmid = twin.add_child(twin.root(), b);
+        twin.add_child(tmid, c);
+        assert_eq!(forest.lookup_tree(&twin, forest.labels(), 0.5), hits);
     }
 
     #[test]

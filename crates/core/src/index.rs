@@ -240,7 +240,18 @@ where
 /// The pq-gram distance (Section 3.2):
 /// `dist(T, T') = 1 − 2·|I(T) ∩ I(T')| / |I(T) ⊎ I(T')|`,
 /// with bag intersection and bag union. Ranges over `[0, 1]`; `0` for trees
-/// with identical indexes, `1` for trees sharing no pq-grams.
+/// with identical indexes, `1` for trees sharing no pq-grams. Two *empty*
+/// indexes are at distance `0`: with nothing in either bag the trees are
+/// indistinguishable under these parameters.
+///
+/// # Panics
+///
+/// Panics if the indexes were built with different [`PQParams`]: distances
+/// across parameterizations are meaningless (the bags draw from different
+/// gram shapes), so mixing them is a programming error, not a data
+/// condition — callers comparing stores must check
+/// [`TreeIndex::params`] up front. The check precedes every other code
+/// path, including the empty-bags shortcut.
 pub fn pq_distance(a: &TreeIndex, b: &TreeIndex) -> f64 {
     assert_eq!(
         a.params, b.params,
@@ -529,6 +540,18 @@ mod tests {
         let i1 = build_index(&t, &lt, PQParams::new(2, 2));
         let i2 = build_index(&t, &lt, PQParams::new(3, 3));
         pq_distance(&i1, &i2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different p,q")]
+    fn mismatched_params_panic_even_for_empty_indexes() {
+        // The parameter check must come before the empty-bags shortcut:
+        // "both empty, distance 0" would silently paper over a caller mixing
+        // parameterizations.
+        pq_distance(
+            &TreeIndex::empty(PQParams::new(2, 2)),
+            &TreeIndex::empty(PQParams::new(3, 3)),
+        );
     }
 
     #[test]

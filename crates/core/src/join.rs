@@ -17,7 +17,16 @@
 //!   without touching it.
 //!
 //! Both filters are *lossless*: [`join`] returns exactly the pairs the
-//! nested-loop join would.
+//! nested-loop join would. Two degenerate regions need care to keep that
+//! guarantee:
+//!
+//! * a pair of *empty* bags has distance 0 (they are indistinguishable), so
+//!   for `τ > 0` every empty×empty pair joins even though no gram ever
+//!   surfaces it as a candidate — [`join`] enumerates those pairs
+//!   explicitly;
+//! * for `τ > 1` *every* pair joins (the distance never exceeds 1), so the
+//!   filters cannot prune anything and [`join`] degenerates to the
+//!   exhaustive scan.
 
 use crate::index::{pq_distance, ForestIndex, GramKey, TreeId, TreeIndex};
 use pqgram_tree::{FxHashMap, FxHashSet};
@@ -42,8 +51,31 @@ pub struct JoinPair {
 /// grams' posting lists — no candidate index is ever fetched.
 #[derive(Default, Debug)]
 pub struct InvertedIndex {
-    postings: FxHashMap<GramKey, Vec<(TreeId, u32)>>,
+    postings: FxHashMap<GramKey, Vec<Posting>>,
     totals: FxHashMap<TreeId, u64>,
+}
+
+/// One posting-list entry: a tree containing the gram, the gram's
+/// multiplicity in that tree, and the tree's bag size. Carrying the total
+/// here makes [`InvertedIndex::intersections`] self-contained: the distance
+/// of a candidate is computable without any fallible side lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// The tree containing the gram.
+    pub tree: TreeId,
+    /// Multiplicity of the gram in the tree's bag.
+    pub count: u32,
+    /// Bag size `|I(tree)|`.
+    pub total: u64,
+}
+
+/// Accumulated overlap of a probe with one candidate tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overlap {
+    /// Bag intersection `|I(probe) ∩ I(cand)|`.
+    pub shared: u64,
+    /// Candidate bag size `|I(cand)|`.
+    pub total: u64,
 }
 
 impl InvertedIndex {
@@ -58,10 +90,15 @@ impl InvertedIndex {
 
     /// Adds one tree's index.
     pub fn add(&mut self, id: TreeId, index: &TreeIndex) {
+        let total = index.total();
         for (gram, count) in index.iter() {
-            self.postings.entry(gram).or_default().push((id, count));
+            self.postings.entry(gram).or_default().push(Posting {
+                tree: id,
+                count,
+                total,
+            });
         }
-        self.totals.insert(id, index.total());
+        self.totals.insert(id, total);
     }
 
     /// Trees sharing at least one distinct gram with `probe`, deduplicated
@@ -70,7 +107,7 @@ impl InvertedIndex {
         let mut seen: FxHashSet<TreeId> = FxHashSet::default();
         for (gram, _) in probe.iter() {
             if let Some(list) = self.postings.get(&gram) {
-                seen.extend(list.iter().map(|&(id, _)| id));
+                seen.extend(list.iter().map(|p| p.tree));
             }
         }
         let mut out: Vec<TreeId> = seen.into_iter().collect();
@@ -78,14 +115,19 @@ impl InvertedIndex {
         out
     }
 
-    /// Exact bag intersections `|I(probe) ∩ I(cand)|` for every candidate
-    /// sharing at least one gram with `probe` (one merge pass).
-    pub fn intersections(&self, probe: &TreeIndex) -> FxHashMap<TreeId, u64> {
-        let mut acc: FxHashMap<TreeId, u64> = FxHashMap::default();
+    /// Exact bag overlaps `|I(probe) ∩ I(cand)|` (with the candidate's bag
+    /// size) for every candidate sharing at least one gram with `probe`,
+    /// in one merge pass over the probe's grams' posting lists.
+    pub fn intersections(&self, probe: &TreeIndex) -> FxHashMap<TreeId, Overlap> {
+        let mut acc: FxHashMap<TreeId, Overlap> = FxHashMap::default();
         for (gram, probe_count) in probe.iter() {
             if let Some(list) = self.postings.get(&gram) {
-                for &(id, cand_count) in list {
-                    *acc.entry(id).or_insert(0) += probe_count.min(cand_count) as u64;
+                for posting in list {
+                    let overlap = acc.entry(posting.tree).or_insert(Overlap {
+                        shared: 0,
+                        total: posting.total,
+                    });
+                    overlap.shared += u64::from(probe_count.min(posting.count));
                 }
             }
         }
@@ -120,9 +162,12 @@ pub fn size_filter(total_a: u64, total_b: u64, tau: f64) -> bool {
 pub struct JoinStats {
     /// `|F₁| · |F₂|`: pairs a nested-loop join would examine.
     pub pairs_naive: u64,
-    /// Pairs surviving candidate generation.
+    /// Pairs surviving candidate generation, plus the explicitly enumerated
+    /// empty×empty pairs. For `τ > 1` the filters prune nothing and this
+    /// equals `pairs_naive`.
     pub pairs_candidates: u64,
-    /// Pairs surviving the size filter (distances actually computed).
+    /// Pairs whose distance was actually computed (candidates surviving the
+    /// size filter, plus the enumerated empty×empty pairs).
     pub pairs_verified: u64,
     /// Result pairs below `tau`.
     pub pairs_joined: u64,
@@ -132,48 +177,91 @@ pub struct JoinStats {
 /// below `tau`. Returns the pairs (sorted by distance) and pruning stats.
 ///
 /// Exact: identical results to the nested-loop join, typically at a small
-/// fraction of the distance computations.
+/// fraction of the distance computations. The two regions the inverted
+/// index cannot see are handled separately (see the module docs): for
+/// `τ > 1` the join is exhaustive, and for `0 < τ ≤ 1` the empty×empty
+/// pairs (distance 0) are enumerated directly.
 pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>, JoinStats) {
     let mut stats = JoinStats {
         pairs_naive: left.len() as u64 * right.len() as u64,
         ..Default::default()
     };
-    // Invert the smaller side, probe with the larger.
-    let invert_left = left.len() <= right.len();
-    let (build_side, probe_side) = if invert_left {
-        (left, right)
-    } else {
-        (right, left)
-    };
-    let inverted = InvertedIndex::build(build_side);
-
     let mut pairs = Vec::new();
-    for (probe_id, probe_index) in probe_side.iter() {
-        let intersections = inverted.intersections(probe_index);
-        stats.pairs_candidates += intersections.len() as u64;
-        for (cand, intersection) in intersections {
-            let cand_total = inverted.total(cand).expect("candidate is indexed");
-            if !size_filter(probe_index.total(), cand_total, tau) {
-                continue;
-            }
-            stats.pairs_verified += 1;
-            let denom = (probe_index.total() + cand_total) as f64;
-            let distance = if denom == 0.0 {
-                0.0
-            } else {
-                1.0 - 2.0 * intersection as f64 / denom
-            };
-            if distance < tau {
-                let (l, r) = if invert_left {
-                    (cand, probe_id)
-                } else {
-                    (probe_id, cand)
-                };
+    if tau > 1.0 {
+        // Every pair has distance <= 1 < tau: no filter can prune, so the
+        // inverted index would only add overhead (and misses the
+        // zero-overlap pairs). Degenerate to the exhaustive scan.
+        for (l, li) in left.iter() {
+            for (r, ri) in right.iter() {
                 pairs.push(JoinPair {
                     left: l,
                     right: r,
-                    distance,
+                    distance: pq_distance(li, ri),
                 });
+            }
+        }
+        stats.pairs_candidates = stats.pairs_naive;
+        stats.pairs_verified = stats.pairs_naive;
+    } else {
+        // Invert the smaller side, probe with the larger.
+        let invert_left = left.len() <= right.len();
+        let (build_side, probe_side) = if invert_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        let inverted = InvertedIndex::build(build_side);
+
+        for (probe_id, probe_index) in probe_side.iter() {
+            let intersections = inverted.intersections(probe_index);
+            stats.pairs_candidates += intersections.len() as u64;
+            for (cand, overlap) in intersections {
+                if !size_filter(probe_index.total(), overlap.total, tau) {
+                    continue;
+                }
+                stats.pairs_verified += 1;
+                // A candidate shares a gram with the probe, so both bags
+                // are non-empty and the denominator is positive.
+                let denom = (probe_index.total() + overlap.total) as f64;
+                let distance = 1.0 - 2.0 * overlap.shared as f64 / denom;
+                if distance < tau {
+                    let (l, r) = if invert_left {
+                        (cand, probe_id)
+                    } else {
+                        (probe_id, cand)
+                    };
+                    pairs.push(JoinPair {
+                        left: l,
+                        right: r,
+                        distance,
+                    });
+                }
+            }
+        }
+        // Empty bags share no gram with anything, so candidate generation
+        // never surfaces them — yet two empty bags are at distance 0 and
+        // join for every tau > 0.
+        if tau > 0.0 {
+            let left_empty: Vec<TreeId> = left
+                .iter()
+                .filter(|(_, i)| i.total() == 0)
+                .map(|(id, _)| id)
+                .collect();
+            let right_empty: Vec<TreeId> = right
+                .iter()
+                .filter(|(_, i)| i.total() == 0)
+                .map(|(id, _)| id)
+                .collect();
+            for &l in &left_empty {
+                for &r in &right_empty {
+                    stats.pairs_candidates += 1;
+                    stats.pairs_verified += 1;
+                    pairs.push(JoinPair {
+                        left: l,
+                        right: r,
+                        distance: 0.0,
+                    });
+                }
             }
         }
     }
@@ -320,6 +408,67 @@ mod tests {
         let (pairs, stats) = join(&empty, &empty, 0.5);
         assert!(pairs.is_empty());
         assert_eq!(stats.pairs_naive, 0);
+    }
+
+    #[test]
+    fn empty_trees_join_each_other() {
+        // An empty tree index (e.g. a tree too small to yield any gram bag
+        // under the store's conventions) is at distance 0 from any other
+        // empty one — the pair must join for every tau > 0 even though no
+        // gram ever surfaces it as a candidate.
+        let params = PQParams::new(2, 3);
+        let (mut left, mut right, _) = forests(17, 4);
+        left.insert(TreeId(50), TreeIndex::empty(params));
+        right.insert(TreeId(60), TreeIndex::empty(params));
+        right.insert(TreeId(61), TreeIndex::empty(params));
+        for tau in [0.5, 1.0] {
+            let (fast, stats) = join(&left, &right, tau);
+            let slow = join_nested_loop(&left, &right, tau);
+            assert_eq!(fast, slow, "tau {tau}");
+            for r in [60, 61] {
+                assert!(
+                    fast.iter()
+                        .any(|p| p.left == TreeId(50) && p.right == TreeId(r) && p.distance == 0.0),
+                    "empty pair (50, {r}) missing at tau {tau}"
+                );
+            }
+            assert_eq!(stats.pairs_joined, fast.len() as u64);
+            assert!(stats.pairs_verified >= 2, "empty pairs count as verified");
+        }
+        // tau = 0 admits nothing, not even identical trees.
+        let (none, _) = join(&left, &right, 0.0);
+        assert_eq!(none, join_nested_loop(&left, &right, 0.0));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn tau_above_one_joins_every_pair() {
+        // Distances never exceed 1, so tau > 1 joins all pairs — including
+        // vocabulary-disjoint ones with zero gram overlap that the inverted
+        // index cannot surface.
+        let params = PQParams::new(2, 3);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut left = ForestIndex::new();
+        let mut right = ForestIndex::new();
+        let mut lt = LabelTable::new();
+        for (side, forest) in [("alpha", &mut left), ("beta", &mut right)] {
+            for i in 0..6u64 {
+                let mut cfg = RandomTreeConfig::new(25, 4);
+                cfg.label_prefix = side;
+                let tree = random_tree(&mut rng, &mut lt, &cfg);
+                forest.insert(TreeId(i), build_index(&tree, &lt, params));
+            }
+        }
+        let (fast, stats) = join(&left, &right, 1.2);
+        let slow = join_nested_loop(&left, &right, 1.2);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len() as u64, stats.pairs_naive, "every pair joins");
+        assert_eq!(stats.pairs_candidates, stats.pairs_naive);
+        assert_eq!(stats.pairs_verified, stats.pairs_naive);
+        // At tau = 1.0 the disjoint pairs (distance exactly 1) drop out.
+        let (at_one, _) = join(&left, &right, 1.0);
+        assert_eq!(at_one, join_nested_loop(&left, &right, 1.0));
+        assert!(at_one.len() < fast.len());
     }
 
     #[test]

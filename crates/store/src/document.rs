@@ -112,7 +112,17 @@ pub struct DocumentStore {
 impl DocumentStore {
     /// Creates a new document store.
     pub fn create(path: &Path, params: PQParams) -> Result<DocumentStore> {
-        let pool = BufferPool::new(Pager::create(path)?, DEFAULT_CAPACITY);
+        Self::create_with(path, params, std::sync::Arc::new(crate::vfs::RealVfs))
+    }
+
+    /// [`DocumentStore::create`] on an explicit [`crate::vfs::Vfs`] (fault
+    /// injection, tests).
+    pub fn create_with(
+        path: &Path,
+        params: PQParams,
+        vfs: std::sync::Arc<dyn crate::vfs::Vfs>,
+    ) -> Result<DocumentStore> {
+        let pool = BufferPool::new(Pager::create_with(path, vfs)?, DEFAULT_CAPACITY);
         pool.set_meta(META_P, params.p() as u64)?;
         pool.set_meta(META_Q, params.q() as u64)?;
         pool.set_meta(META_KIND, KIND_DOCUMENT_STORE)?;
@@ -124,7 +134,16 @@ impl DocumentStore {
 
     /// Opens an existing document store (with crash recovery).
     pub fn open(path: &Path) -> Result<DocumentStore> {
-        let pool = BufferPool::new(Pager::open(path)?, DEFAULT_CAPACITY);
+        Self::open_with(path, std::sync::Arc::new(crate::vfs::RealVfs))
+    }
+
+    /// [`DocumentStore::open`] on an explicit [`crate::vfs::Vfs`] (fault
+    /// injection, tests).
+    pub fn open_with(
+        path: &Path,
+        vfs: std::sync::Arc<dyn crate::vfs::Vfs>,
+    ) -> Result<DocumentStore> {
+        let pool = BufferPool::new(Pager::open_with(path, vfs)?, DEFAULT_CAPACITY);
         if pool.meta(META_KIND) != KIND_DOCUMENT_STORE {
             return Err(DocError::Store(StoreError::Corrupt(
                 "not a document store (kind marker mismatch)".into(),

@@ -80,7 +80,17 @@ pub struct IndexStore {
 impl IndexStore {
     /// Creates a new store file for the given pq-gram parameters.
     pub fn create(path: &Path, params: PQParams) -> Result<IndexStore> {
-        let pool = BufferPool::new(Pager::create(path)?, DEFAULT_CAPACITY);
+        Self::create_with(path, params, std::sync::Arc::new(crate::vfs::RealVfs))
+    }
+
+    /// [`IndexStore::create`] on an explicit [`crate::vfs::Vfs`] (fault
+    /// injection, tests).
+    pub fn create_with(
+        path: &Path,
+        params: PQParams,
+        vfs: std::sync::Arc<dyn crate::vfs::Vfs>,
+    ) -> Result<IndexStore> {
+        let pool = BufferPool::new(Pager::create_with(path, vfs)?, DEFAULT_CAPACITY);
         pool.set_meta(META_P, params.p() as u64)?;
         pool.set_meta(META_Q, params.q() as u64)?;
         pool.set_meta(META_KIND, KIND_INDEX_STORE)?;
@@ -91,7 +101,13 @@ impl IndexStore {
 
     /// Opens an existing store (running crash recovery if needed).
     pub fn open(path: &Path) -> Result<IndexStore> {
-        let pool = BufferPool::new(Pager::open(path)?, DEFAULT_CAPACITY);
+        Self::open_with(path, std::sync::Arc::new(crate::vfs::RealVfs))
+    }
+
+    /// [`IndexStore::open`] on an explicit [`crate::vfs::Vfs`] (fault
+    /// injection, tests).
+    pub fn open_with(path: &Path, vfs: std::sync::Arc<dyn crate::vfs::Vfs>) -> Result<IndexStore> {
+        let pool = BufferPool::new(Pager::open_with(path, vfs)?, DEFAULT_CAPACITY);
         if pool.meta(META_KIND) != KIND_INDEX_STORE {
             return Err(IndexError::Store(StoreError::Corrupt(
                 "not an index store (kind marker mismatch; document stores open with \

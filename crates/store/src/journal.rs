@@ -7,6 +7,11 @@
 //! store is restored to the pre-transaction state. Committing syncs the data
 //! file and deletes the journal.
 //!
+//! All file access goes through the [`crate::vfs`] seam, which is how the
+//! crash-enumeration suite (`crates/store/tests/crash.rs`) proves the
+//! sync-ordering invariants below at every I/O boundary instead of trusting
+//! this comment.
+//!
 //! Format (all little-endian):
 //!
 //! ```text
@@ -27,23 +32,28 @@
 
 use crate::crc::{crc32, update};
 use crate::page::{PageBuf, PageId, PAGE_SIZE, PAGE_SIZE_U64};
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use crate::vfs::{len_u64, Vfs, VfsFile};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"PQGJRNL2";
 const HEADER_LEN: usize = 16;
+const HEADER_LEN_U64: u64 = 16;
 const ENTRY_HEAD: usize = 12;
 const ENTRY_LEN: usize = ENTRY_HEAD + PAGE_SIZE;
 
 /// An open, *hot* journal for one transaction.
 pub struct Journal {
-    file: File,
+    file: Box<dyn VfsFile>,
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     /// Pages already journaled in this transaction.
     journaled: std::collections::BTreeSet<u32>,
     /// Sequence number of the next entry.
     next_seq: u32,
+    /// Append offset of the next entry.
+    end: u64,
     synced: bool,
 }
 
@@ -56,24 +66,22 @@ impl Journal {
     }
 
     /// Starts a journal recording `original_page_count`.
-    pub fn begin(store: &Path, original_page_count: u32) -> io::Result<Journal> {
+    pub fn begin(vfs: Arc<dyn Vfs>, store: &Path, original_page_count: u32) -> io::Result<Journal> {
         let path = Self::path_for(store);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        let mut file = vfs.create_truncate(&path)?;
         let mut header = [0u8; HEADER_LEN];
         header[..8].copy_from_slice(MAGIC);
         header[8..12].copy_from_slice(&original_page_count.to_le_bytes());
         let crc = crc32(&header[..12]);
         header[12..16].copy_from_slice(&crc.to_le_bytes());
-        file.write_all(&header)?;
+        file.write_all_at(0, &header)?;
         Ok(Journal {
             file,
+            vfs,
             path,
             journaled: Default::default(),
             next_seq: 0,
+            end: HEADER_LEN_U64,
             synced: false,
         })
     }
@@ -83,20 +91,23 @@ impl Journal {
         self.journaled.contains(&page.0)
     }
 
-    /// Appends the original image of `page`. Idempotent per transaction.
+    /// Appends the original image of `page` (one write: head and image
+    /// together, so a crash tears at most one entry). Idempotent per
+    /// transaction.
     pub fn record(&mut self, page: PageId, image: &PageBuf) -> io::Result<()> {
         if !self.journaled.insert(page.0) {
             return Ok(());
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut head = [0u8; ENTRY_HEAD];
-        head[..4].copy_from_slice(&page.0.to_le_bytes());
-        head[4..8].copy_from_slice(&seq.to_le_bytes());
-        let crc = entry_crc(&head[..8], image.as_bytes());
-        head[8..].copy_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&head)?;
-        self.file.write_all(image.as_bytes())?;
+        let mut entry = vec![0u8; ENTRY_LEN];
+        entry[..4].copy_from_slice(&page.0.to_le_bytes());
+        entry[4..8].copy_from_slice(&seq.to_le_bytes());
+        let crc = entry_crc(&entry[..8], image.as_bytes());
+        entry[8..ENTRY_HEAD].copy_from_slice(&crc.to_le_bytes());
+        entry[ENTRY_HEAD..].copy_from_slice(image.as_bytes());
+        self.file.write_all_at(self.end, &entry)?;
+        self.end += len_u64(entry.len());
         self.synced = false;
         Ok(())
     }
@@ -105,7 +116,7 @@ impl Journal {
     /// overwrites any recorded page.
     pub fn sync(&mut self) -> io::Result<()> {
         if !self.synced {
-            self.file.sync_data()?;
+            self.file.sync()?;
             self.synced = true;
         }
         Ok(())
@@ -114,16 +125,22 @@ impl Journal {
     /// Commits the transaction by deleting the journal (the caller must
     /// have synced the data file first).
     pub fn commit(self) -> io::Result<()> {
-        drop(self.file);
-        std::fs::remove_file(&self.path)
+        let Journal {
+            file, vfs, path, ..
+        } = self;
+        drop(file);
+        vfs.delete(&path)
     }
 
     /// Rolls the data file back to the recorded images and removes the
     /// journal.
-    pub fn rollback(self, data: &mut File) -> io::Result<()> {
-        drop(self.file);
-        replay(&self.path, data)?;
-        std::fs::remove_file(&self.path)
+    pub fn rollback(self, data: &mut dyn VfsFile) -> io::Result<()> {
+        let Journal {
+            file, vfs, path, ..
+        } = self;
+        drop(file);
+        replay(vfs.as_ref(), &path, data)?;
+        vfs.delete(&path)
     }
 }
 
@@ -147,11 +164,11 @@ pub struct JournalCheck {
 /// duplicates. Unlike [`replay`], which silently stops at the first broken
 /// entry (by design — that is crash recovery), `validate` reports the
 /// precise violation.
-pub fn validate(journal_path: &Path) -> io::Result<JournalCheck> {
+pub fn validate(vfs: &dyn Vfs, journal_path: &Path) -> io::Result<JournalCheck> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let mut journal = File::open(journal_path)?;
+    let mut journal = vfs.open(journal_path)?;
     let mut header = [0u8; HEADER_LEN];
-    if journal.read_exact(&mut header).is_err() || &header[..8] != MAGIC {
+    if journal.read_exact_at(0, &mut header).is_err() || &header[..8] != MAGIC {
         return Err(bad("journal header magic mismatch".into()));
     }
     if crc32(&header[..12]) != le32(&header[12..16]) {
@@ -160,7 +177,9 @@ pub fn validate(journal_path: &Path) -> io::Result<JournalCheck> {
     let original_pages = le32(&header[8..12]);
     let mut entry = vec![0u8; ENTRY_LEN];
     let mut entries = 0u32;
-    while read_exact_or_eof(&mut journal, &mut entry)? {
+    let mut pos = HEADER_LEN_U64;
+    while read_exact_or_eof(journal.as_mut(), pos, &mut entry)? {
+        pos += len_u64(entry.len());
         let seq = le32(&entry[4..8]);
         if entry_crc(&entry[..8], &entry[ENTRY_HEAD..]) != le32(&entry[8..ENTRY_HEAD]) {
             return Err(bad(format!("journal entry {entries}: checksum mismatch")));
@@ -178,21 +197,21 @@ pub fn validate(journal_path: &Path) -> io::Result<JournalCheck> {
     })
 }
 
-/// Recovers `data` from a hot journal at `journal_path`, if one exists.
+/// Recovers `data` from a hot journal next to `store`, if one exists.
 /// Returns `true` if a rollback was performed.
-pub fn recover(store: &Path, data: &mut File) -> io::Result<bool> {
+pub fn recover(vfs: &dyn Vfs, store: &Path, data: &mut dyn VfsFile) -> io::Result<bool> {
     let path = Journal::path_for(store);
-    if !path.exists() {
+    if !vfs.exists(&path) {
         return Ok(false);
     }
-    match replay(&path, data) {
+    match replay(vfs, &path, data) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
             // Header invalid: journal never became hot; discard it.
         }
         Err(e) => return Err(e),
     }
-    std::fs::remove_file(&path)?;
+    vfs.delete(&path)?;
     Ok(true)
 }
 
@@ -200,10 +219,10 @@ pub fn recover(store: &Path, data: &mut File) -> io::Result<bool> {
 /// the original page count. Invalid or out-of-sequence tails are ignored;
 /// an invalid header is an `InvalidData` error (the journal never became
 /// hot).
-fn replay(journal_path: &Path, data: &mut File) -> io::Result<()> {
-    let mut journal = File::open(journal_path)?;
+fn replay(vfs: &dyn Vfs, journal_path: &Path, data: &mut dyn VfsFile) -> io::Result<()> {
+    let mut journal = vfs.open(journal_path)?;
     let mut header = [0u8; HEADER_LEN];
-    if journal.read_exact(&mut header).is_err()
+    if journal.read_exact_at(0, &mut header).is_err()
         || &header[..8] != MAGIC
         || crc32(&header[..12]) != le32(&header[12..16])
     {
@@ -216,7 +235,9 @@ fn replay(journal_path: &Path, data: &mut File) -> io::Result<()> {
 
     let mut entry = vec![0u8; ENTRY_LEN];
     let mut expected_seq = 0u32;
-    while read_exact_or_eof(&mut journal, &mut entry)? {
+    let mut pos = HEADER_LEN_U64;
+    while read_exact_or_eof(journal.as_mut(), pos, &mut entry)? {
+        pos += len_u64(entry.len());
         let page = le32(&entry[..4]);
         let seq = le32(&entry[4..8]);
         if entry_crc(&entry[..8], &entry[ENTRY_HEAD..]) != le32(&entry[8..ENTRY_HEAD]) {
@@ -226,11 +247,10 @@ fn replay(journal_path: &Path, data: &mut File) -> io::Result<()> {
             break; // reordered or duplicated block: refuse to apply
         }
         expected_seq += 1;
-        data.seek(SeekFrom::Start(PageId(page).offset()))?;
-        data.write_all(&entry[ENTRY_HEAD..])?;
+        data.write_all_at(PageId(page).offset(), &entry[ENTRY_HEAD..])?;
     }
-    data.set_len(u64::from(original_pages) * PAGE_SIZE_U64)?;
-    data.sync_data()?;
+    data.truncate(u64::from(original_pages) * PAGE_SIZE_U64)?;
+    data.sync()?;
     Ok(())
 }
 
@@ -241,12 +261,12 @@ fn le32(b: &[u8]) -> u32 {
     u32::from_le_bytes(raw)
 }
 
-/// Reads exactly `buf.len()` bytes, or returns `Ok(false)` on clean or torn
-/// EOF (partial reads count as torn tail).
-fn read_exact_or_eof(f: &mut File, buf: &mut [u8]) -> io::Result<bool> {
-    let mut filled = 0;
+/// Reads exactly `buf.len()` bytes at `offset`, or returns `Ok(false)` on
+/// clean or torn EOF (partial reads count as torn tail).
+fn read_exact_or_eof(f: &mut dyn VfsFile, offset: u64, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0usize;
     while filled < buf.len() {
-        match f.read(&mut buf[filled..])? {
+        match f.read_at(offset + len_u64(filled), &mut buf[filled..])? {
             0 => return Ok(false),
             n => filled += n,
         }
@@ -257,6 +277,7 @@ fn read_exact_or_eof(f: &mut File, buf: &mut [u8]) -> io::Result<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-journal-{}", std::process::id()));
@@ -270,30 +291,27 @@ mod tests {
         p
     }
 
-    fn write_page(f: &mut File, id: PageId, p: &PageBuf) -> io::Result<()> {
-        f.seek(SeekFrom::Start(id.offset()))?;
-        f.write_all(p.as_bytes())
+    fn write_page(f: &mut dyn VfsFile, id: PageId, p: &PageBuf) -> io::Result<()> {
+        f.write_all_at(id.offset(), p.as_bytes())
     }
 
-    fn read_page(f: &mut File, id: PageId) -> io::Result<PageBuf> {
+    fn read_page(f: &mut dyn VfsFile, id: PageId) -> io::Result<PageBuf> {
         let mut buf = vec![0u8; PAGE_SIZE];
-        f.seek(SeekFrom::Start(id.offset()))?;
-        f.read_exact(&mut buf)?;
+        f.read_exact_at(id.offset(), &mut buf)?;
         Ok(PageBuf::from_bytes(&buf))
     }
 
-    fn fresh_store(name: &str, pages: u32) -> io::Result<(PathBuf, File)> {
+    fn vfs() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
+    }
+
+    fn fresh_store(name: &str, pages: u32) -> io::Result<(PathBuf, Box<dyn VfsFile>)> {
         let store = tmp(name);
         std::fs::remove_file(&store).ok();
         std::fs::remove_file(Journal::path_for(&store)).ok();
-        let mut f = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(true)
-            .open(&store)?;
+        let mut f = RealVfs.create_truncate(&store)?;
         for i in 0..pages {
-            write_page(&mut f, PageId(i), &page_with(i as u8))?;
+            write_page(f.as_mut(), PageId(i), &page_with(i as u8))?;
         }
         Ok((store, f))
     }
@@ -301,14 +319,14 @@ mod tests {
     #[test]
     fn rollback_restores_images_and_length() -> io::Result<()> {
         let (store, mut f) = fresh_store("rollback.db", 3)?;
-        let mut j = Journal::begin(&store, 3)?;
-        j.record(PageId(1), &read_page(&mut f, PageId(1))?)?;
+        let mut j = Journal::begin(vfs(), &store, 3)?;
+        j.record(PageId(1), &read_page(f.as_mut(), PageId(1))?)?;
         j.sync()?;
-        write_page(&mut f, PageId(1), &page_with(0xff))?;
-        write_page(&mut f, PageId(3), &page_with(0xee))?; // newly appended page
-        j.rollback(&mut f)?;
-        assert_eq!(read_page(&mut f, PageId(1))?, page_with(1));
-        assert_eq!(f.metadata()?.len(), 3 * PAGE_SIZE as u64);
+        write_page(f.as_mut(), PageId(1), &page_with(0xff))?;
+        write_page(f.as_mut(), PageId(3), &page_with(0xee))?; // newly appended page
+        j.rollback(f.as_mut())?;
+        assert_eq!(read_page(f.as_mut(), PageId(1))?, page_with(1));
+        assert_eq!(f.size()?, 3 * PAGE_SIZE_U64);
         assert!(!Journal::path_for(&store).exists());
         Ok(())
     }
@@ -316,14 +334,14 @@ mod tests {
     #[test]
     fn commit_removes_journal() -> io::Result<()> {
         let (store, mut f) = fresh_store("commit.db", 2)?;
-        let mut j = Journal::begin(&store, 2)?;
-        j.record(PageId(0), &read_page(&mut f, PageId(0))?)?;
+        let mut j = Journal::begin(vfs(), &store, 2)?;
+        j.record(PageId(0), &read_page(f.as_mut(), PageId(0))?)?;
         j.sync()?;
-        write_page(&mut f, PageId(0), &page_with(0xaa))?;
-        f.sync_data()?;
+        write_page(f.as_mut(), PageId(0), &page_with(0xaa))?;
+        f.sync()?;
         j.commit()?;
         assert!(!Journal::path_for(&store).exists());
-        assert_eq!(read_page(&mut f, PageId(0))?, page_with(0xaa));
+        assert_eq!(read_page(f.as_mut(), PageId(0))?, page_with(0xaa));
         Ok(())
     }
 
@@ -331,16 +349,19 @@ mod tests {
     fn recover_applies_hot_journal() -> io::Result<()> {
         let (store, mut f) = fresh_store("recover.db", 2)?;
         {
-            let mut j = Journal::begin(&store, 2)?;
-            j.record(PageId(1), &read_page(&mut f, PageId(1))?)?;
+            let mut j = Journal::begin(vfs(), &store, 2)?;
+            j.record(PageId(1), &read_page(f.as_mut(), PageId(1))?)?;
             j.sync()?;
-            write_page(&mut f, PageId(1), &page_with(0x99))?;
+            write_page(f.as_mut(), PageId(1), &page_with(0x99))?;
             // Crash: journal dropped without commit/rollback.
             std::mem::forget(j);
         }
-        assert!(recover(&store, &mut f)?);
-        assert_eq!(read_page(&mut f, PageId(1))?, page_with(1));
-        assert!(!recover(&store, &mut f)?, "journal must be gone");
+        assert!(recover(&RealVfs, &store, f.as_mut())?);
+        assert_eq!(read_page(f.as_mut(), PageId(1))?, page_with(1));
+        assert!(
+            !recover(&RealVfs, &store, f.as_mut())?,
+            "journal must be gone"
+        );
         Ok(())
     }
 
@@ -348,23 +369,23 @@ mod tests {
     fn recover_ignores_torn_tail() -> io::Result<()> {
         let (store, mut f) = fresh_store("torn.db", 3)?;
         {
-            let mut j = Journal::begin(&store, 3)?;
-            j.record(PageId(1), &read_page(&mut f, PageId(1))?)?;
-            j.record(PageId(2), &read_page(&mut f, PageId(2))?)?;
+            let mut j = Journal::begin(vfs(), &store, 3)?;
+            j.record(PageId(1), &read_page(f.as_mut(), PageId(1))?)?;
+            j.record(PageId(2), &read_page(f.as_mut(), PageId(2))?)?;
             j.sync()?;
-            write_page(&mut f, PageId(1), &page_with(0x77))?;
+            write_page(f.as_mut(), PageId(1), &page_with(0x77))?;
             std::mem::forget(j);
         }
         // Tear the second entry.
         let jpath = Journal::path_for(&store);
         let len = std::fs::metadata(&jpath)?.len();
-        let f2 = OpenOptions::new().write(true).open(&jpath)?;
-        f2.set_len(len - 100)?;
+        let mut f2 = RealVfs.open(&jpath)?;
+        f2.truncate(len - 100)?;
         drop(f2);
-        assert!(recover(&store, &mut f)?);
+        assert!(recover(&RealVfs, &store, f.as_mut())?);
         // First entry applied; torn second entry (page 2 unmodified) skipped.
-        assert_eq!(read_page(&mut f, PageId(1))?, page_with(1));
-        assert_eq!(read_page(&mut f, PageId(2))?, page_with(2));
+        assert_eq!(read_page(f.as_mut(), PageId(1))?, page_with(1));
+        assert_eq!(read_page(f.as_mut(), PageId(2))?, page_with(2));
         Ok(())
     }
 
@@ -372,9 +393,9 @@ mod tests {
     fn recover_discards_journal_with_bad_header() -> io::Result<()> {
         let (store, mut f) = fresh_store("badheader.db", 2)?;
         std::fs::write(Journal::path_for(&store), b"garbage")?;
-        let before = read_page(&mut f, PageId(1))?;
-        assert!(recover(&store, &mut f)?);
-        assert_eq!(read_page(&mut f, PageId(1))?, before);
+        let before = read_page(f.as_mut(), PageId(1))?;
+        assert!(recover(&RealVfs, &store, f.as_mut())?);
+        assert_eq!(read_page(f.as_mut(), PageId(1))?, before);
         assert!(!Journal::path_for(&store).exists());
         Ok(())
     }
@@ -382,27 +403,27 @@ mod tests {
     #[test]
     fn record_is_idempotent_per_page() -> io::Result<()> {
         let (store, mut f) = fresh_store("idem.db", 2)?;
-        let mut j = Journal::begin(&store, 2)?;
-        let img = read_page(&mut f, PageId(1))?;
+        let mut j = Journal::begin(vfs(), &store, 2)?;
+        let img = read_page(f.as_mut(), PageId(1))?;
         j.record(PageId(1), &img)?;
         let len_one = std::fs::metadata(Journal::path_for(&store))?.len();
         j.record(PageId(1), &page_with(0x55))?; // ignored duplicate
         j.sync()?;
         assert_eq!(std::fs::metadata(Journal::path_for(&store))?.len(), len_one);
-        write_page(&mut f, PageId(1), &page_with(0x11))?;
-        j.rollback(&mut f)?;
-        assert_eq!(read_page(&mut f, PageId(1))?, img);
+        write_page(f.as_mut(), PageId(1), &page_with(0x11))?;
+        j.rollback(f.as_mut())?;
+        assert_eq!(read_page(f.as_mut(), PageId(1))?, img);
         Ok(())
     }
 
     #[test]
     fn validate_accepts_well_formed_journal() -> io::Result<()> {
         let (store, mut f) = fresh_store("validate-ok.db", 3)?;
-        let mut j = Journal::begin(&store, 3)?;
-        j.record(PageId(1), &read_page(&mut f, PageId(1))?)?;
-        j.record(PageId(2), &read_page(&mut f, PageId(2))?)?;
+        let mut j = Journal::begin(vfs(), &store, 3)?;
+        j.record(PageId(1), &read_page(f.as_mut(), PageId(1))?)?;
+        j.record(PageId(2), &read_page(f.as_mut(), PageId(2))?)?;
         j.sync()?;
-        let check = validate(&Journal::path_for(&store))?;
+        let check = validate(&RealVfs, &Journal::path_for(&store))?;
         assert_eq!(
             check,
             JournalCheck {
@@ -410,7 +431,7 @@ mod tests {
                 entries: 2
             }
         );
-        j.rollback(&mut f)?;
+        j.rollback(f.as_mut())?;
         Ok(())
     }
 
@@ -418,11 +439,11 @@ mod tests {
     fn replay_refuses_out_of_sequence_entries() -> io::Result<()> {
         let (store, mut f) = fresh_store("seq.db", 3)?;
         {
-            let mut j = Journal::begin(&store, 3)?;
-            j.record(PageId(1), &read_page(&mut f, PageId(1))?)?;
-            j.record(PageId(2), &read_page(&mut f, PageId(2))?)?;
+            let mut j = Journal::begin(vfs(), &store, 3)?;
+            j.record(PageId(1), &read_page(f.as_mut(), PageId(1))?)?;
+            j.record(PageId(2), &read_page(f.as_mut(), PageId(2))?)?;
             j.sync()?;
-            write_page(&mut f, PageId(1), &page_with(0x70))?;
+            write_page(f.as_mut(), PageId(1), &page_with(0x70))?;
             std::mem::forget(j);
         }
         // Swap the two entries wholesale, simulating storage-level
@@ -435,15 +456,17 @@ mod tests {
         a.swap_with_slice(&mut b[..ENTRY_LEN]);
         std::fs::write(&jpath, &raw)?;
 
-        let err = validate(&jpath).unwrap_err();
+        let Err(err) = validate(&RealVfs, &jpath) else {
+            panic!("swapped entries must not validate");
+        };
         assert!(
             err.to_string().contains("sequence number 1, expected 0"),
             "{err}"
         );
         // Recovery applies nothing (first entry already out of sequence)
         // rather than applying pages in the wrong order.
-        assert!(recover(&store, &mut f)?);
-        assert_eq!(read_page(&mut f, PageId(2))?, page_with(2));
+        assert!(recover(&RealVfs, &store, f.as_mut())?);
+        assert_eq!(read_page(f.as_mut(), PageId(2))?, page_with(2));
         Ok(())
     }
 }

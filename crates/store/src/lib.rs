@@ -17,7 +17,11 @@
 //!   counts, leaf-chained for range scans;
 //! * [`index_store`] — the persistent forest index: per-tree pq-gram bags,
 //!   approximate lookups and transactional application of incremental
-//!   update deltas ([`pqgram_core::maintain::IndexDelta`]).
+//!   update deltas ([`pqgram_core::maintain::IndexDelta`]);
+//! * [`vfs`] — the file-system seam: [`vfs::RealVfs`] passes through to
+//!   `std::fs`, [`vfs::FaultVfs`] deterministically injects crashes and
+//!   I/O errors so the crash-recovery invariants above are tested at every
+//!   single I/O boundary, not just at hand-picked points.
 //!
 //! # Quick example
 //!
@@ -56,9 +60,11 @@ pub mod journal;
 pub(crate) mod ops;
 pub mod page;
 pub mod pager;
+pub mod vfs;
 
 pub use btree::BTree;
 pub use document::DocumentStore;
 pub use index_store::IndexStore;
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use pager::{Pager, StoreError};
+pub use vfs::{CrashMode, FaultVfs, RealVfs, Vfs, VfsFile};

@@ -17,14 +17,21 @@
 //! the [`crate::journal`]: the original image of every page touched by the
 //! transaction is journaled (and synced) before its first overwrite. Opening
 //! a store with a hot journal rolls the incomplete transaction back.
+//!
+//! All file access is routed through a [`Vfs`] handle. [`Pager::create`] and
+//! [`Pager::open`] use the real file system ([`crate::vfs::RealVfs`]);
+//! [`Pager::create_with`]/[`Pager::open_with`] accept any implementation —
+//! in particular [`crate::vfs::FaultVfs`], which the crash-enumeration suite
+//! uses to interrupt a transaction at every single I/O boundary.
 
 use crate::crc::crc32;
 use crate::journal::{recover, Journal};
 use crate::page::{PageBuf, PageId, PAGE_SIZE, PAGE_SIZE_U64};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"PQGSTORE";
 const VERSION: u32 = 1;
@@ -70,7 +77,8 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 
 /// A page file with free-list allocation and journaled transactions.
 pub struct Pager {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     header: PageBuf,
     journal: Option<Journal>,
@@ -81,17 +89,25 @@ pub struct Pager {
 impl Pager {
     /// Creates a new store file (fails if it already exists).
     pub fn create(path: &Path) -> Result<Pager> {
-        let file = OpenOptions::new()
-            .create_new(true)
-            .read(true)
-            .write(true)
-            .open(path)?;
+        Self::create_with(path, Arc::new(RealVfs))
+    }
+
+    /// Opens an existing store, running crash recovery if a hot journal is
+    /// found.
+    pub fn open(path: &Path) -> Result<Pager> {
+        Self::open_with(path, Arc::new(RealVfs))
+    }
+
+    /// [`Pager::create`] on an explicit [`Vfs`].
+    pub fn create_with(path: &Path, vfs: Arc<dyn Vfs>) -> Result<Pager> {
+        let file = vfs.create_new(path)?;
         let mut header = PageBuf::zeroed();
         header.put_slice(0, MAGIC);
         header.put_u32(8, VERSION);
         header.put_u32(OFF_PAGE_COUNT, 1);
         header.put_page_id(OFF_FREELIST, PageId::NONE);
         let mut pager = Pager {
+            vfs,
             file,
             path: path.to_owned(),
             header,
@@ -99,18 +115,16 @@ impl Pager {
             tx_original_pages: 0,
         };
         pager.flush_header()?;
-        pager.file.sync_all()?;
+        pager.file.sync()?;
         Ok(pager)
     }
 
-    /// Opens an existing store, running crash recovery if a hot journal is
-    /// found.
-    pub fn open(path: &Path) -> Result<Pager> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        recover(path, &mut file)?;
+    /// [`Pager::open`] on an explicit [`Vfs`].
+    pub fn open_with(path: &Path, vfs: Arc<dyn Vfs>) -> Result<Pager> {
+        let mut file = vfs.open(path)?;
+        recover(vfs.as_ref(), path, file.as_mut())?;
         let mut raw = vec![0u8; PAGE_SIZE];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut raw)?;
+        file.read_exact_at(0, &mut raw)?;
         let header = PageBuf::from_bytes(&raw);
         if header.slice(0, 8) != MAGIC {
             return Err(StoreError::Corrupt("bad magic".into()));
@@ -123,10 +137,11 @@ impl Pager {
         }
         let pages = header.get_u32(OFF_PAGE_COUNT);
         let expect_len = u64::from(pages) * PAGE_SIZE_U64;
-        if file.metadata()?.len() < expect_len {
+        if file.size()? < expect_len {
             return Err(StoreError::Corrupt("file shorter than page count".into()));
         }
         Ok(Pager {
+            vfs,
             file,
             path: path.to_owned(),
             header,
@@ -166,8 +181,7 @@ impl Pager {
             return Ok(self.header.clone());
         }
         let mut raw = vec![0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(id.offset()))?;
-        self.file.read_exact(&mut raw)?;
+        self.file.read_exact_at(id.offset(), &mut raw)?;
         Ok(PageBuf::from_bytes(&raw))
     }
 
@@ -184,8 +198,7 @@ impl Pager {
         if let Some(j) = &mut self.journal {
             j.sync()?;
         }
-        self.file.seek(SeekFrom::Start(id.offset()))?;
-        self.file.write_all(page.as_bytes())?;
+        self.file.write_all_at(id.offset(), page.as_bytes())?;
         Ok(())
     }
 
@@ -205,8 +218,8 @@ impl Pager {
         self.header.put_u32(OFF_PAGE_COUNT, id.0 + 1);
         self.flush_header()?;
         // Extend the file with a zero page.
-        self.file.seek(SeekFrom::Start(id.offset()))?;
-        self.file.write_all(PageBuf::zeroed().as_bytes())?;
+        self.file
+            .write_all_at(id.offset(), PageBuf::zeroed().as_bytes())?;
         Ok(id)
     }
 
@@ -232,7 +245,11 @@ impl Pager {
             ));
         }
         self.tx_original_pages = self.page_count();
-        self.journal = Some(Journal::begin(&self.path, self.tx_original_pages)?);
+        self.journal = Some(Journal::begin(
+            Arc::clone(&self.vfs),
+            &self.path,
+            self.tx_original_pages,
+        )?);
         Ok(())
     }
 
@@ -242,12 +259,19 @@ impl Pager {
     }
 
     /// Commits: syncs the data file, then retires the journal.
+    ///
+    /// The data sync happens *before* the journal handle is taken: if the
+    /// sync fails, the transaction stays open and [`Pager::rollback`] still
+    /// works — a failed commit surfaces as an `Err` and never silently
+    /// drops the journal.
     pub fn commit(&mut self) -> Result<()> {
-        let Some(journal) = self.journal.take() else {
+        if self.journal.is_none() {
             return Err(StoreError::InvalidArgument("no open transaction".into()));
-        };
-        self.file.sync_data()?;
-        journal.commit()?;
+        }
+        self.file.sync()?;
+        if let Some(journal) = self.journal.take() {
+            journal.commit()?;
+        }
         Ok(())
     }
 
@@ -256,11 +280,10 @@ impl Pager {
         let Some(journal) = self.journal.take() else {
             return Err(StoreError::InvalidArgument("no open transaction".into()));
         };
-        journal.rollback(&mut self.file)?;
+        journal.rollback(self.file.as_mut())?;
         // Reload the (possibly restored) header.
         let mut raw = vec![0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.read_exact(&mut raw)?;
+        self.file.read_exact_at(0, &mut raw)?;
         self.header = PageBuf::from_bytes(&raw);
         Ok(())
     }
@@ -274,7 +297,7 @@ impl Pager {
     /// the hot path.
     pub fn validate(&mut self) -> Result<u32> {
         let pages = self.page_count();
-        let file_len = self.file.metadata()?.len();
+        let file_len = self.file.size()?;
         let need = u64::from(pages) * PAGE_SIZE_U64;
         if file_len < need {
             return Err(StoreError::Corrupt(format!(
@@ -323,8 +346,7 @@ impl Pager {
             self.header.clone()
         } else {
             let mut raw = vec![0u8; PAGE_SIZE];
-            self.file.seek(SeekFrom::Start(id.offset()))?;
-            self.file.read_exact(&mut raw)?;
+            self.file.read_exact_at(id.offset(), &mut raw)?;
             PageBuf::from_bytes(&raw)
         };
         if let Some(journal) = self.journal.as_mut() {
@@ -339,8 +361,7 @@ impl Pager {
         }
         let crc = crc32(self.header.slice(0, OFF_CRC));
         self.header.put_u32(OFF_CRC, crc);
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(self.header.as_bytes())?;
+        self.file.write_all_at(0, self.header.as_bytes())?;
         Ok(())
     }
 
@@ -358,6 +379,7 @@ impl Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-pager-{}", std::process::id()));
@@ -496,6 +518,25 @@ mod tests {
             pager.commit(),
             Err(StoreError::InvalidArgument(_))
         ));
+        Ok(())
+    }
+
+    #[test]
+    fn failed_data_sync_keeps_transaction_open() -> Result<()> {
+        use crate::vfs::FaultVfs;
+        let path = PathBuf::from("/fault/sync.db");
+        let vfs = FaultVfs::new();
+        let mut pager = Pager::create_with(&path, Arc::new(vfs.clone()))?;
+        let id = pager.allocate()?;
+        pager.write_page(id, &page_with(1))?;
+        pager.begin()?;
+        pager.write_page(id, &page_with(2))?;
+        // Syncs so far: 0 create, 1 journal; the commit's data sync is #2.
+        vfs.fail_sync(2);
+        assert!(matches!(pager.commit(), Err(StoreError::Io(_))));
+        assert!(pager.in_transaction(), "failed commit keeps the tx open");
+        pager.rollback()?;
+        assert_eq!(pager.read_page(id)?, page_with(1));
         Ok(())
     }
 

@@ -1,0 +1,363 @@
+//! Exhaustive crash-point enumeration for the storage engine.
+//!
+//! A scripted workload runs against a [`FaultVfs`]; a fault-free pass
+//! measures the total number of mutating I/O events and records the store
+//! contents after every committed transaction. Then, for **every** event
+//! index `n` of the mutation phase and every [`CrashMode`], a fresh run is
+//! crashed at `n`, the surviving bytes are reopened, and the recovered store
+//! must (a) pass structural verification and (b) hold *exactly* one of the
+//! recorded snapshots — the state before or after some transaction, never a
+//! hybrid of the two.
+//!
+//! The enumeration starts after store creation: creation is not a
+//! transaction (there is no previous state to fall back to), so a crash
+//! during it legitimately leaves an unopenable file.
+//!
+//! Mode coverage:
+//! * `KeepUnsynced` — the kernel flushed everything, including the torn
+//!   half of the in-flight write;
+//! * `DropUnsynced` — power loss with volatile caches: only honestly synced
+//!   bytes survive, for every file;
+//! * `DropUnsyncedMatching("-journal")` — the journal loses its unsynced
+//!   tail while the data file keeps everything (catches a data write racing
+//!   its journal sync);
+//! * `DropUnsyncedMatching(".db")` — the mirror asymmetry: the data file
+//!   loses unsynced writes while the journal keeps them.
+
+use pqgram_core::{build_index, PQParams, TreeId, TreeIndex};
+use pqgram_store::{CrashMode, DocumentStore, FaultVfs, IndexStore};
+use pqgram_tree::{LabelTable, Tree};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+const DB: &str = "/fault/crash.db";
+
+fn modes() -> Vec<CrashMode> {
+    vec![
+        CrashMode::KeepUnsynced,
+        CrashMode::DropUnsynced,
+        CrashMode::DropUnsyncedMatching("-journal".into()),
+        CrashMode::DropUnsyncedMatching(".db".into()),
+    ]
+}
+
+/// A deterministic tree: node `i` hangs off node `i / 2`, labels cycle
+/// through five `{tag}{k}` names interned in the shared table.
+fn sample_tree(lt: &mut LabelTable, tag: &str, nodes: usize) -> Tree {
+    let mut tree = Tree::with_root(lt.intern(&format!("{tag}0")));
+    let mut ids = vec![tree.root()];
+    for i in 1..nodes {
+        let parent = ids[i / 2];
+        ids.push(tree.add_child(parent, lt.intern(&format!("{tag}{}", i % 5))));
+    }
+    tree
+}
+
+// ---------------------------------------------------------------------------
+// IndexStore
+// ---------------------------------------------------------------------------
+
+struct IndexFixtures {
+    params: PQParams,
+    a: TreeIndex,
+    a2: TreeIndex,
+    b: TreeIndex,
+    c: TreeIndex,
+}
+
+fn index_fixtures() -> IndexFixtures {
+    let params = PQParams::new(2, 3);
+    let mut lt = LabelTable::new();
+    let mk = |lt: &mut LabelTable, tag, n| {
+        let tree = sample_tree(lt, tag, n);
+        build_index(&tree, lt, params)
+    };
+    IndexFixtures {
+        params,
+        a: mk(&mut lt, "a", 18),
+        a2: mk(&mut lt, "r", 24),
+        b: mk(&mut lt, "b", 12),
+        c: mk(&mut lt, "c", 60),
+    }
+}
+
+/// Fault-free setup phase: create the store and commit the initial trees.
+fn index_setup(vfs: &FaultVfs, fx: &IndexFixtures) -> IndexStore {
+    let vfs: Arc<FaultVfs> = Arc::new(vfs.clone());
+    let mut store = IndexStore::create_with(Path::new(DB), fx.params, vfs).unwrap();
+    store.put_tree(TreeId(1), &fx.a).unwrap();
+    store.put_tree(TreeId(2), &fx.b).unwrap();
+    store
+}
+
+/// The mutation phase, one closure per transaction.
+type IndexOp<'a> =
+    Box<dyn Fn(&mut IndexStore) -> Result<(), pqgram_store::index_store::IndexError> + 'a>;
+
+fn index_ops(fx: &IndexFixtures) -> Vec<IndexOp<'_>> {
+    vec![
+        Box::new(|s| s.put_tree(TreeId(1), &fx.a2)),
+        Box::new(|s| s.put_tree(TreeId(3), &fx.c)),
+        Box::new(|s| s.remove_tree(TreeId(2)).map(|_| ())),
+    ]
+}
+
+/// Everything the store holds, as seen through its public API.
+fn index_contents(store: &IndexStore) -> BTreeMap<u64, TreeIndex> {
+    store
+        .tree_ids()
+        .unwrap()
+        .into_iter()
+        .map(|id| (id.0, store.tree_index(id).unwrap().unwrap()))
+        .collect()
+}
+
+#[test]
+fn index_store_recovers_at_every_crash_point() {
+    let fx = index_fixtures();
+
+    // Fault-free pass: measure the event clock and record one snapshot per
+    // committed transaction (reads do not tick the clock, so snapshotting
+    // mid-run does not shift the crash points of the replays below).
+    let vfs = FaultVfs::new();
+    let mut store = index_setup(&vfs, &fx);
+    let setup_events = vfs.io_events();
+    let mut snapshots = vec![index_contents(&store)];
+    for op in index_ops(&fx) {
+        op(&mut store).unwrap();
+        snapshots.push(index_contents(&store));
+    }
+    drop(store);
+    let total_events = vfs.io_events();
+    assert!(total_events > setup_events, "mutation phase must do I/O");
+
+    for mode in modes() {
+        for n in setup_events..total_events {
+            let vfs = FaultVfs::new();
+            let mut store = index_setup(&vfs, &fx);
+            assert_eq!(vfs.io_events(), setup_events, "workload is deterministic");
+            vfs.crash_at(n, mode.clone());
+            for op in index_ops(&fx) {
+                // Post-crash operations fail; the errors are the point.
+                let _ = op(&mut store);
+            }
+            drop(store);
+            assert!(vfs.crashed(), "crash point {n} ({mode:?}) never fired");
+
+            let reopened = IndexStore::open_with(Path::new(DB), Arc::new(vfs.surviving()))
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): reopen failed: {e}"));
+            reopened
+                .verify()
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
+            let recovered = index_contents(&reopened);
+            assert!(
+                snapshots.contains(&recovered),
+                "crash point {n} ({mode:?}): recovered to a hybrid state with ids {:?}",
+                recovered.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+/// An injected sync failure must surface as an `Err` that aborts the
+/// transaction — never as silent corruption. After reopening (the documented
+/// recovery path), the store holds the pre-transaction state and the same
+/// mutation succeeds on retry.
+#[test]
+fn failed_sync_aborts_the_transaction_and_reopen_recovers() {
+    let fx = index_fixtures();
+
+    // Count the syncs of one fault-free run so every ordinal gets a turn.
+    let probe = FaultVfs::new();
+    let mut store = index_setup(&probe, &fx);
+    store.put_tree(TreeId(1), &fx.a2).unwrap();
+    drop(store);
+    // Sync ordinals are not exposed directly; the event clock bounds them.
+    let sync_bound = probe.io_events();
+
+    let mut fired = 0u64;
+    for nth in 0..sync_bound {
+        let vfs = FaultVfs::new();
+        let mut store = index_setup(&vfs, &fx);
+        let before = index_contents(&store);
+        vfs.fail_sync(nth);
+        match store.put_tree(TreeId(1), &fx.a2) {
+            Ok(()) => {
+                // `nth` pointed at a setup-phase sync that already ran.
+                assert_eq!(index_contents(&store)[&1], fx.a2);
+                continue;
+            }
+            Err(e) => {
+                fired += 1;
+                let msg = e.to_string();
+                assert!(msg.contains("injected"), "unexpected error: {msg}");
+            }
+        }
+        drop(store);
+        let mut store = IndexStore::open_with(Path::new(DB), Arc::new(vfs.surviving())).unwrap();
+        store.verify().unwrap();
+        assert_eq!(
+            index_contents(&store),
+            before,
+            "failed sync must abort cleanly"
+        );
+        store.put_tree(TreeId(1), &fx.a2).unwrap();
+        assert_eq!(
+            index_contents(&store)[&1],
+            fx.a2,
+            "retry after reopen succeeds"
+        );
+    }
+    assert!(fired > 0, "no sync ordinal of the transaction was hit");
+}
+
+/// A drive that acknowledges syncs it never performs defeats journaling by
+/// definition — but the failure must be *loud*: with nothing durable, reopen
+/// reports corruption instead of serving stale or hybrid data.
+#[test]
+fn lying_syncs_lose_everything_loudly() {
+    let fx = index_fixtures();
+    let vfs = FaultVfs::new();
+    vfs.lie_on_syncs();
+    let mut store = index_setup(&vfs, &fx);
+    let setup_events = vfs.io_events();
+    vfs.crash_at(setup_events + 7, CrashMode::DropUnsynced);
+    for op in index_ops(&fx) {
+        let _ = op(&mut store);
+    }
+    drop(store);
+    assert!(vfs.crashed());
+    // No honest sync ever ran, so nothing is durable: the surviving data
+    // file is empty and the open must fail — an error, not silent data loss.
+    assert!(IndexStore::open_with(Path::new(DB), Arc::new(vfs.surviving())).is_err());
+
+    // With flushed kernel caches (`KeepUnsynced`) the same lying drive is
+    // harmless: recovery still lands on a real snapshot.
+    let vfs = FaultVfs::new();
+    vfs.lie_on_syncs();
+    let mut store = index_setup(&vfs, &fx);
+    let before = index_contents(&store);
+    vfs.crash_at(vfs.io_events() + 7, CrashMode::KeepUnsynced);
+    for op in index_ops(&fx) {
+        let _ = op(&mut store);
+    }
+    drop(store);
+    let reopened = IndexStore::open_with(Path::new(DB), Arc::new(vfs.surviving())).unwrap();
+    reopened.verify().unwrap();
+    let recovered = index_contents(&reopened);
+    let mut after = before.clone();
+    after.insert(1, fx.a2.clone());
+    assert!(
+        recovered == before || recovered == after,
+        "lying syncs + kept caches must still recover to pre- or post-state"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// DocumentStore
+// ---------------------------------------------------------------------------
+
+struct DocFixtures {
+    params: PQParams,
+    lt: LabelTable,
+    t1: Tree,
+    t1b: Tree,
+    t2: Tree,
+    t3: Tree,
+}
+
+fn doc_fixtures() -> DocFixtures {
+    let params = PQParams::new(2, 3);
+    let mut lt = LabelTable::new();
+    let t1 = sample_tree(&mut lt, "a", 16);
+    let t1b = sample_tree(&mut lt, "r", 22);
+    let t2 = sample_tree(&mut lt, "b", 10);
+    let t3 = sample_tree(&mut lt, "c", 48);
+    DocFixtures {
+        params,
+        lt,
+        t1,
+        t1b,
+        t2,
+        t3,
+    }
+}
+
+fn doc_setup(vfs: &FaultVfs, fx: &DocFixtures) -> DocumentStore {
+    let vfs: Arc<FaultVfs> = Arc::new(vfs.clone());
+    let mut store = DocumentStore::create_with(Path::new(DB), fx.params, vfs).unwrap();
+    store.put(TreeId(1), &fx.t1, &fx.lt).unwrap();
+    store.put(TreeId(2), &fx.t2, &fx.lt).unwrap();
+    store
+}
+
+type DocOp<'a> =
+    Box<dyn Fn(&mut DocumentStore) -> Result<(), pqgram_store::document::DocError> + 'a>;
+
+fn doc_ops(fx: &DocFixtures) -> Vec<DocOp<'_>> {
+    vec![
+        Box::new(|s| s.put(TreeId(1), &fx.t1b, &fx.lt)),
+        Box::new(|s| s.put(TreeId(3), &fx.t3, &fx.lt)),
+        Box::new(|s| s.remove(TreeId(2)).map(|_| ())),
+    ]
+}
+
+/// Store contents in a table-independent form: each document decoded to its
+/// preorder `(fanout, label-name)` sequence, plus its stored pq-gram index.
+fn doc_contents(store: &DocumentStore) -> BTreeMap<u64, (Vec<String>, TreeIndex)> {
+    store
+        .ids()
+        .unwrap()
+        .into_iter()
+        .map(|id| {
+            let (tree, labels) = store.document(id).unwrap().unwrap();
+            let shape = tree
+                .preorder(tree.root())
+                .map(|n| format!("{}:{}", tree.fanout(n), labels.name(tree.label(n))))
+                .collect();
+            let index = store.document_index(id).unwrap().unwrap();
+            (id.0, (shape, index))
+        })
+        .collect()
+}
+
+#[test]
+fn document_store_recovers_at_every_crash_point() {
+    let fx = doc_fixtures();
+
+    let vfs = FaultVfs::new();
+    let mut store = doc_setup(&vfs, &fx);
+    let setup_events = vfs.io_events();
+    let mut snapshots = vec![doc_contents(&store)];
+    for op in doc_ops(&fx) {
+        op(&mut store).unwrap();
+        snapshots.push(doc_contents(&store));
+    }
+    drop(store);
+    let total_events = vfs.io_events();
+    assert!(total_events > setup_events, "mutation phase must do I/O");
+
+    for mode in modes() {
+        for n in setup_events..total_events {
+            let vfs = FaultVfs::new();
+            let mut store = doc_setup(&vfs, &fx);
+            assert_eq!(vfs.io_events(), setup_events, "workload is deterministic");
+            vfs.crash_at(n, mode.clone());
+            for op in doc_ops(&fx) {
+                let _ = op(&mut store);
+            }
+            drop(store);
+            assert!(vfs.crashed(), "crash point {n} ({mode:?}) never fired");
+
+            let reopened = DocumentStore::open_with(Path::new(DB), Arc::new(vfs.surviving()))
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): reopen failed: {e}"));
+            let recovered = doc_contents(&reopened);
+            assert!(
+                snapshots.contains(&recovered),
+                "crash point {n} ({mode:?}): recovered to a hybrid state with ids {:?}",
+                recovered.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+}

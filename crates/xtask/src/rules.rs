@@ -11,6 +11,7 @@
 //! | `missing-docs-attr` | every crate root | `#![warn(missing_docs)]` present |
 //! | `error-impl` | library crates | every `pub …Error` type implements `std::error::Error` |
 //! | `debug-assert-message` | whole workspace | every `debug_assert!` family call carries a message |
+//! | `store-raw-fs` | `crates/store/src` | all disk I/O goes through `vfs.rs` — no direct `std::fs` / sync calls |
 
 use crate::lexer::{line_of, mask};
 use crate::walk::{rel, rust_files};
@@ -29,6 +30,7 @@ pub const RULES: &[&str] = &[
     "missing-docs-attr",
     "error-impl",
     "debug-assert-message",
+    "store-raw-fs",
 ];
 
 /// One lint finding.
@@ -56,6 +58,9 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Violation>> {
             unwrap_rule(&file, &masked, &mut violations);
             if *krate == "store" {
                 as_cast_rule(&file, &masked, &mut violations);
+                if !file.ends_with("vfs.rs") {
+                    store_raw_fs_rule(&file, &masked, &mut violations);
+                }
             }
             error_impl_rule(root, krate, &file, &masked, &mut violations)?;
         }
@@ -163,6 +168,31 @@ fn as_cast_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
                 message: format!(
                     "bare `as {target}` cast in on-disk-format code; use `From`/`TryFrom` \
                      or a checked helper"
+                ),
+            });
+        }
+    }
+}
+
+/// Crash-recovery guarantees hold only if every byte crosses the
+/// [`Vfs`](../../store/src/vfs.rs) seam, where the fault injector can see
+/// it. Outside `vfs.rs` (and `#[cfg(test)]` code, which may set up real
+/// temp files), the store crate must not name `std::fs` or call the raw
+/// sync syscalls directly.
+fn store_raw_fs_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
+    let scope_end = masked.find("#[cfg(test)]").unwrap_or(masked.len());
+    let scope = &masked[..scope_end];
+    for needle in ["std::fs", "OpenOptions", ".sync_all(", ".sync_data("] {
+        let mut from = 0;
+        while let Some(pos) = scope[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            out.push(Violation {
+                rule: "store-raw-fs",
+                file: file.to_string(),
+                line: line_of(masked, at),
+                message: format!(
+                    "`{needle}` bypasses the VFS seam; route the I/O through `crate::vfs`"
                 ),
             });
         }
@@ -335,6 +365,19 @@ mod tests {
         as_cast_rule("f.rs", "let a = b as u32; let c = d as SomeType;", &mut v);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn store_raw_fs_rule_stops_at_test_code() {
+        let mut v = Vec::new();
+        store_raw_fs_rule(
+            "f.rs",
+            "use std::fs::File;\nlet f = OpenOptions::new();\nf.sync_all();\n\
+             #[cfg(test)]\nmod tests { use std::fs; }\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.line <= 3));
     }
 
     #[test]
