@@ -1,0 +1,261 @@
+//! `store-lookup` experiment: exhaustive forward-relation scan vs. the
+//! inverted candidate-merge plan of the persistent store.
+//!
+//! ```sh
+//! cargo run --release -p pqgram-bench --bin store_lookup            # full
+//! cargo run --release -p pqgram-bench --bin store_lookup -- --smoke # CI
+//! ```
+//!
+//! Builds forests of {16, 125, 1000} XMark documents, stores them in an
+//! [`IndexStore`], and looks up a locally edited variant of one member
+//! with both plans. Document sizes are skewed, as in real collections:
+//! ~4% of the documents are large and carry most of the nodes, the rest
+//! are small. The query derives from a small member, so the scan plan
+//! pays for every row of the large documents while the candidate-merge
+//! plan only touches the posting lists of the query's grams. Emits
+//! `bench_results/store_lookup.csv` and `BENCH_store_lookup.json` (repo
+//! root) and asserts the acceptance criteria of the inverted plan: both
+//! plans return identical hits at every cardinality, and at the
+//! 1000-document collection the inverted plan reads at least 10× fewer
+//! B+-tree rows and finishes faster than the scan.
+
+use pqgram_bench::datasets::xmark_tree;
+use pqgram_bench::experiments::query_variant;
+use pqgram_bench::report::Table;
+use pqgram_core::{build_index, ForestIndex, PQParams, TreeId};
+use pqgram_store::IndexStore;
+use pqgram_tree::{LabelTable, Tree};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const TAU: f64 = 0.8;
+const COUNTS: [usize; 3] = [16, 125, 1_000];
+
+struct Row {
+    trees: usize,
+    nodes_total: usize,
+    hits: usize,
+    scan_rows: u64,
+    inv_rows: u64,
+    row_ratio: f64,
+    scan_ms: f64,
+    inv_ms: f64,
+    speedup: f64,
+}
+
+/// Median-of-`reps` wall time for one lookup closure.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    let mut result = None;
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        result = Some(f());
+        times.push(t.elapsed());
+    }
+    times.sort_unstable();
+    (result.unwrap(), times[times.len() / 2])
+}
+
+/// The skewed forest: `count` documents, ~4% of them large (splitting
+/// `big_pool` nodes between them), the rest small (splitting `small_pool`).
+/// Small documents come first so `trees[0]` — the query's source — is
+/// small.
+fn skewed_forest(
+    count: usize,
+    small_pool: usize,
+    big_pool: usize,
+    labels: &mut LabelTable,
+) -> Vec<Tree> {
+    let big = (count / 25).max(1);
+    let small = count - big;
+    let per_small = (small_pool / small).max(16);
+    let per_big = big_pool / big;
+    (0..count)
+        .map(|i| {
+            let nodes = if i < small { per_small } else { per_big };
+            xmark_tree(2_000 + i as u64, labels, nodes)
+        })
+        .collect()
+}
+
+fn run_count(
+    count: usize,
+    small_pool: usize,
+    big_pool: usize,
+    reps: usize,
+    work_dir: &PathBuf,
+) -> Row {
+    let params = PQParams::default();
+    let mut labels = LabelTable::new();
+    let trees = skewed_forest(count, small_pool, big_pool, &mut labels);
+    let nodes_total: usize = trees.iter().map(Tree::node_count).sum();
+    let query_tree = query_variant(&trees[0], &mut labels, 11);
+    let query = build_index(&query_tree, &labels, params);
+
+    let mut forest = ForestIndex::new();
+    for (i, t) in trees.iter().enumerate() {
+        forest.insert(TreeId(i as u64), build_index(t, &labels, params));
+    }
+    let store_path = work_dir.join(format!("store-lookup-{count}.pqg"));
+    std::fs::remove_file(&store_path).ok();
+    let store = IndexStore::bulk_create(&store_path, params, forest.iter()).expect("bulk create");
+
+    let ((scan_hits, scan_stats), scan_t) = best_of(reps, || {
+        store
+            .lookup_exhaustive_with_stats(&query, TAU)
+            .expect("scan")
+    });
+    let ((inv_hits, inv_stats), inv_t) = best_of(reps, || {
+        store.lookup_with_stats(&query, TAU).expect("inverted")
+    });
+    std::fs::remove_file(&store_path).ok();
+
+    assert!(
+        inv_stats.used_inverted,
+        "τ = {TAU} must use the inverted plan"
+    );
+    assert!(!scan_stats.used_inverted);
+    assert_eq!(inv_hits, scan_hits, "plans disagree at {count} trees");
+    assert!(
+        !inv_hits.is_empty(),
+        "the query's source document must match"
+    );
+
+    let scan_ms = scan_t.as_secs_f64() * 1e3;
+    let inv_ms = inv_t.as_secs_f64() * 1e3;
+    Row {
+        trees: count,
+        nodes_total,
+        hits: inv_hits.len(),
+        scan_rows: scan_stats.rows_read,
+        inv_rows: inv_stats.rows_read,
+        row_ratio: scan_stats.rows_read as f64 / inv_stats.rows_read.max(1) as f64,
+        scan_ms,
+        inv_ms,
+        speedup: scan_ms / inv_ms.max(1e-9),
+    }
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row]) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"store_lookup\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"tau\": {TAU},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"trees\": {}, \"nodes_total\": {}, \"hits\": {}, \
+             \"scan_rows\": {}, \"inverted_rows\": {}, \"row_ratio\": {:.2}, \
+             \"scan_ms\": {:.3}, \"inverted_ms\": {:.3}, \"speedup\": {:.2}}}{comma}",
+            r.trees,
+            r.nodes_total,
+            r.hits,
+            r.scan_rows,
+            r.inv_rows,
+            r.row_ratio,
+            r.scan_ms,
+            r.inv_ms,
+            r.speedup,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(path, json).expect("write json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The small pool (and with it the query document) keeps the same size
+    // at both scales; `--smoke` only shrinks the large documents and the
+    // repetition count.
+    let (small_pool, big_pool, reps) = if smoke {
+        (40_000, 240_000, 3)
+    } else {
+        (40_000, 720_000, 15)
+    };
+    let work_dir = std::env::temp_dir().join(format!("pqgram-store-lookup-{}", std::process::id()));
+    std::fs::create_dir_all(&work_dir).expect("work dir");
+
+    println!(
+        "store-lookup: scan vs inverted candidate-merge ({} scale, τ = {TAU})",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut rows = Vec::new();
+    for &count in &COUNTS {
+        let row = run_count(count, small_pool, big_pool, reps, &work_dir);
+        println!(
+            "  {:>5} trees: scan {:>8} rows / {:>9.3} ms, inverted {:>7} rows / {:>9.3} ms \
+             ({:.1}x fewer rows, {:.1}x faster, {} hits)",
+            row.trees,
+            row.scan_rows,
+            row.scan_ms,
+            row.inv_rows,
+            row.inv_ms,
+            row.row_ratio,
+            row.speedup,
+            row.hits,
+        );
+        rows.push(row);
+    }
+    std::fs::remove_dir_all(&work_dir).ok();
+
+    // Acceptance criteria at the largest collection: the candidate-merge
+    // plan must read ≥10× fewer rows and win on wall clock.
+    let largest = rows.last().expect("rows");
+    assert!(
+        largest.row_ratio >= 10.0,
+        "inverted plan read only {:.1}x fewer rows than the scan at {} trees",
+        largest.row_ratio,
+        largest.trees,
+    );
+    assert!(
+        largest.inv_ms < largest.scan_ms,
+        "inverted plan ({:.3} ms) not faster than scan ({:.3} ms) at {} trees",
+        largest.inv_ms,
+        largest.scan_ms,
+        largest.trees,
+    );
+
+    let mut table = Table::new(
+        "store-lookup: exhaustive scan vs inverted candidate-merge",
+        &[
+            "trees",
+            "nodes_total",
+            "hits",
+            "scan_rows",
+            "inverted_rows",
+            "row_ratio",
+            "scan_ms",
+            "inverted_ms",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.trees.to_string(),
+            r.nodes_total.to_string(),
+            r.hits.to_string(),
+            r.scan_rows.to_string(),
+            r.inv_rows.to_string(),
+            format!("{:.2}", r.row_ratio),
+            format!("{:.3}", r.scan_ms),
+            format!("{:.3}", r.inv_ms),
+            format!("{:.2}", r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+    match table.write_csv(&PathBuf::from("bench_results"), "store_lookup") {
+        Ok(path) => println!("   -> {}", path.display()),
+        Err(e) => eprintln!("   (csv not written: {e})"),
+    }
+    write_json(
+        "BENCH_store_lookup.json",
+        if smoke { "smoke" } else { "full" },
+        &rows,
+    );
+    println!("   -> BENCH_store_lookup.json");
+}

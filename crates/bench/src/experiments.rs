@@ -73,7 +73,9 @@ fn ms(d: Duration) -> String {
 }
 
 /// Derives a query document: a clone of `base` with a few local edits.
-fn query_variant(base: &Tree, labels: &mut LabelTable, seed: u64) -> Tree {
+/// Shared with the `store_lookup` binary so both experiments query the
+/// collections the same way.
+pub fn query_variant(base: &Tree, labels: &mut LabelTable, seed: u64) -> Tree {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut q = base.clone();
     let alphabet: Vec<_> = labels.iter().map(|(s, _)| s).collect();

@@ -4,7 +4,7 @@
 //! pqgram create  <store.pqg> [--p 3 --q 3]
 //! pqgram add     <store.pqg> --id <n> <doc.xml>...
 //! pqgram remove  <store.pqg> --id <n>
-//! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top 10]
+//! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top 10] [--stats]
 //! pqgram stats   <store.pqg>
 //! pqgram dist    <a.xml> <b.xml> [--p 3 --q 3] [--ted]
 //! pqgram grams   <doc.xml> [--p 3 --q 3] [--limit 20]
@@ -180,7 +180,20 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
     let mut labels = LabelTable::new();
     let query_tree = load_document(query_path, &mut labels)?;
     let query = build_index(&query_tree, &labels, store.params());
-    let hits = store.lookup(&query, tau).map_err(|e| e.to_string())?;
+    let (hits, stats) = store
+        .lookup_with_stats(&query, tau)
+        .map_err(|e| e.to_string())?;
+    if args.flag("stats") {
+        let plan = if stats.used_inverted {
+            "inverted candidate-merge"
+        } else {
+            "exhaustive scan"
+        };
+        println!(
+            "plan: {plan} ({} rows read, {} grams probed, {} candidates, {} verified)",
+            stats.rows_read, stats.grams_probed, stats.candidates, stats.verified
+        );
+    }
     if hits.is_empty() {
         println!("no documents within distance {tau}");
         return Ok(());
@@ -209,8 +222,14 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     if args.flag("verify") {
         let check = store.verify().map_err(|e| e.to_string())?;
         println!(
-            "integrity:  ok ({} leaves, {} internal nodes, depth {}, {} entries)",
-            check.leaves, check.internals, check.depth, check.entries
+            "integrity:  ok ({} trees; forward {} entries depth {}, inverted {} entries depth {}, \
+             totals {} entries)",
+            check.trees,
+            check.forward.entries,
+            check.forward.depth,
+            check.inverted.entries,
+            check.inverted.depth,
+            check.totals.entries
         );
     }
     for id in ids.iter().take(20) {

@@ -157,6 +157,20 @@ pub fn size_filter(total_a: u64, total_b: u64, tau: f64) -> bool {
     1.0 - 2.0 * min / sum < tau
 }
 
+/// The pq-gram distance from an accumulated bag overlap:
+/// `1 − 2·shared / (total_a + total_b)`, with two empty bags at distance 0.
+/// This is [`pq_distance`] expressed over the merge-join quantities, shared
+/// by the in-memory join and the persistent store's candidate-merge lookup
+/// so both paths compute bit-identical distances.
+#[inline]
+pub fn overlap_distance(shared: u64, total_a: u64, total_b: u64) -> f64 {
+    let denom = total_a + total_b;
+    if denom == 0 {
+        return 0.0;
+    }
+    1.0 - 2.0 * shared as f64 / denom as f64
+}
+
 /// Statistics of one join run (how much the filters pruned).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct JoinStats {
@@ -220,10 +234,7 @@ pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>
                     continue;
                 }
                 stats.pairs_verified += 1;
-                // A candidate shares a gram with the probe, so both bags
-                // are non-empty and the denominator is positive.
-                let denom = (probe_index.total() + overlap.total) as f64;
-                let distance = 1.0 - 2.0 * overlap.shared as f64 / denom;
+                let distance = overlap_distance(overlap.shared, probe_index.total(), overlap.total);
                 if distance < tau {
                     let (l, r) = if invert_left {
                         (cand, probe_id)

@@ -77,7 +77,7 @@ pub use index::{
     build_forest_index_parallel, build_index, pq_distance, ForestIndex, GramKey, LookupHit, TreeId,
     TreeIndex,
 };
-pub use join::{join, InvertedIndex, JoinPair, JoinStats};
+pub use join::{join, overlap_distance, size_filter, InvertedIndex, JoinPair, JoinStats};
 pub use maintain::{update_index, IndexDelta, MaintainError, UpdateOutcome, UpdateStats};
 pub use params::PQParams;
 pub use profile::{compute_profile, for_each_gram, Profile};

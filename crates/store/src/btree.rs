@@ -125,20 +125,25 @@ impl<'p> BTree<'p> {
         let mut leaf = self.descend(lo)?.0;
         loop {
             // Copy the relevant slice out, then release the pool lock.
-            let (entries, next) = self.pool.with_page(leaf, |p| {
+            // `past_hi` records that the leaf holds a key beyond the range —
+            // without it a narrow range probe would walk the rest of the
+            // leaf chain finding nothing.
+            let (entries, past_hi, next) = self.pool.with_page(leaf, |p| {
                 let n = count(p);
                 let (start, _) = leaf_search(p, lo);
                 let mut out = Vec::with_capacity(n.saturating_sub(start));
+                let mut past_hi = false;
                 for i in start..n {
                     let k = leaf_key(p, i);
                     if k > hi {
+                        past_hi = true;
                         break;
                     }
                     out.push((k, leaf_value(p, i)));
                 }
-                (out, p.get_page_id(OFF_NEXT))
+                (out, past_hi, p.get_page_id(OFF_NEXT))
             })?;
-            let exhausted = entries.last().map(|&(k, _)| k >= hi).unwrap_or(false);
+            let exhausted = past_hi || entries.last().map(|&(k, _)| k >= hi).unwrap_or(false);
             for (k, v) in entries {
                 if !f(k, v) {
                     return Ok(());
@@ -174,8 +179,20 @@ impl<'p> BTree<'p> {
     /// Walks from the root to the leaf responsible for `key`, returning the
     /// leaf and the descent path `(internal page, child index)`.
     fn descend(&self, key: Key) -> Result<(PageId, Vec<(PageId, usize)>)> {
+        let (leaf, path, _) = self.descend_bounded(key)?;
+        Ok((leaf, path))
+    }
+
+    /// [`BTree::descend`] that additionally reports the exclusive upper
+    /// bound of the leaf's key range (the tightest right separator seen on
+    /// the way down; `None` = rightmost leaf). Every key `k` with
+    /// `key <= k < bound` descends to the same leaf along the same path,
+    /// which is what lets [`BTree::apply_batch_sorted`] reuse one seek
+    /// across a run of adjacent keys.
+    fn descend_bounded(&self, key: Key) -> Result<(PageId, Vec<(PageId, usize)>, Option<Key>)> {
         let mut cur = self.root();
         let mut path = Vec::new();
+        let mut bound: Option<Key> = None;
         loop {
             if path.len() > 64 {
                 return Err(corrupt("descent deeper than 64 levels (cycle?)"));
@@ -184,20 +201,87 @@ impl<'p> BTree<'p> {
                 TYPE_LEAF => Ok(None),
                 TYPE_INTERNAL => {
                     let idx = internal_child_index(p, key);
-                    Ok(Some((idx, internal_child(p, idx))))
+                    let upper = (idx < count(p)).then(|| internal_key(p, idx));
+                    Ok(Some((idx, internal_child(p, idx), upper)))
                 }
                 t => Err(crate::pager::StoreError::Corrupt(format!(
                     "descend hit unknown node type {t} at {cur:?}"
                 ))),
             })??;
             match step {
-                None => return Ok((cur, path)),
-                Some((idx, child)) => {
+                None => return Ok((cur, path, bound)),
+                Some((idx, child, upper)) => {
+                    if let Some(u) = upper {
+                        bound = Some(bound.map_or(u, |b: Key| b.min(u)));
+                    }
                     path.push((cur, idx));
                     cur = child;
                 }
             }
         }
+    }
+
+    /// Applies a **strictly ascending** batch of mutations in one
+    /// left-to-right pass: `(key, Some(value))` inserts or overwrites,
+    /// `(key, None)` deletes (an absent key is ignored, like
+    /// [`BTree::delete`]). The leaf located for one key is reused for every
+    /// following key that falls below its separator bound, so a batch over
+    /// a contiguous key run costs one descent plus sequential in-leaf edits
+    /// instead of a fresh root-to-leaf descent per key.
+    ///
+    /// Errors if the keys are not strictly ascending (the batch may then be
+    /// partially applied; callers run inside a transaction and roll back).
+    pub fn apply_batch_sorted<I>(&self, ops: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Key, Option<u32>)>,
+    {
+        enum Outcome {
+            Done,
+            Split(u32),
+        }
+        let mut cached: Option<(PageId, Vec<(PageId, usize)>, Option<Key>)> = None;
+        let mut last: Option<Key> = None;
+        for (key, value) in ops {
+            if let Some(prev) = last {
+                if prev >= key {
+                    return Err(corrupt("apply_batch_sorted input not strictly ascending"));
+                }
+            }
+            last = Some(key);
+            let (leaf, path, bound) = match cached.take() {
+                Some(c) if c.2.is_none_or(|b| key < b) => c,
+                _ => self.descend_bounded(key)?,
+            };
+            let outcome = self.pool.with_page_mut(leaf, |p| {
+                let (pos, found) = leaf_search(p, key);
+                match value {
+                    Some(v) if found => {
+                        set_leaf_value(p, pos, v);
+                        Outcome::Done
+                    }
+                    Some(v) if count(p) < NODE_CAPACITY => {
+                        leaf_insert_at(p, pos, key, v);
+                        Outcome::Done
+                    }
+                    Some(v) => Outcome::Split(v),
+                    None => {
+                        if found {
+                            leaf_remove_at(p, pos);
+                        }
+                        Outcome::Done
+                    }
+                }
+            })?;
+            match outcome {
+                Outcome::Done => cached = Some((leaf, path, bound)),
+                Outcome::Split(v) => {
+                    // The split rewires parents; the cached path is stale
+                    // for every later key, so the next key re-descends.
+                    self.split_leaf_and_insert(leaf, key, v, path)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn split_leaf_and_insert(
@@ -525,6 +609,35 @@ mod tests {
         })?;
         assert_eq!(seen.len(), 300);
         assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+        Ok(())
+    }
+
+    #[test]
+    fn narrow_range_probes_stop_at_the_bound() -> Result<()> {
+        // Multi-leaf tree of even grams; probes whose upper bound falls
+        // mid-leaf (odd / absent keys) must deliver exactly the in-range
+        // slice — a regression guard for the `past_hi` cut-off, without
+        // which each probe walked the remaining leaf chain.
+        let pool = pool("narrow.db")?;
+        let tree = BTree::open(&pool, 0)?;
+        for g in 0..2_000u64 {
+            tree.insert((1, g * 2), g as u32)?;
+        }
+        let cases: [(u64, u64, Vec<u64>); 5] = [
+            (100, 100, vec![100]),                                   // single present key
+            (101, 101, vec![]),                                      // single absent key
+            (99, 105, vec![100, 102, 104]),                          // window over absences
+            (0, 3, vec![0, 2]),                                      // prefix window
+            (3_990, 5_000, vec![3_990, 3_992, 3_994, 3_996, 3_998]), // tail
+        ];
+        for (lo, hi, expect) in cases {
+            let mut seen = Vec::new();
+            tree.for_each_range((1, lo), (1, hi), |k, _| {
+                seen.push(k.1);
+                true
+            })?;
+            assert_eq!(seen, expect, "probe [{lo}, {hi}]");
+        }
         Ok(())
     }
 
@@ -1081,6 +1194,87 @@ mod bulk_tests {
         let tree2 = BTree::open(&pool2, 0)?;
         tree2.insert((0, 0), 1)?;
         assert!(tree2.bulk_load([((0, 1), 1)]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn batch_matches_individual_ops() -> Result<()> {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for round in 0..4 {
+            let pool_a = pool(&format!("batch-a{round}.db"))?;
+            let a = BTree::open(&pool_a, 0)?;
+            let pool_b = pool(&format!("batch-b{round}.db"))?;
+            let b = BTree::open(&pool_b, 0)?;
+            // Seed both trees with the same base content.
+            let base: Vec<(Key, u32)> = (0..3_000u64).map(|g| ((g % 4, g * 3), 1)).collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            a.bulk_load(sorted.iter().copied())?;
+            b.bulk_load(sorted.iter().copied())?;
+            // A mixed batch: overwrites, fresh inserts, deletes of present
+            // and absent keys.
+            let mut ops: Vec<(Key, Option<u32>)> = Vec::new();
+            for g in 0..4_000u64 {
+                let key = (g % 4, g * 3 + u64::from(rng.random_range(0u32..2)));
+                match rng.random_range(0u32..3) {
+                    0 => ops.push((key, Some(g as u32))),
+                    1 => ops.push((key, None)),
+                    _ => {}
+                }
+            }
+            ops.sort_unstable_by_key(|&(k, _)| k);
+            ops.dedup_by_key(|&mut (k, _)| k);
+            a.apply_batch_sorted(ops.iter().copied())?;
+            for &(k, v) in &ops {
+                match v {
+                    Some(v) => {
+                        b.insert(k, v)?;
+                    }
+                    None => {
+                        b.delete(k)?;
+                    }
+                }
+            }
+            let dump = |t: &BTree| -> Result<Vec<(Key, u32)>> {
+                let mut out = Vec::new();
+                t.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, val| {
+                    out.push((k, val));
+                    true
+                })?;
+                Ok(out)
+            };
+            assert_eq!(dump(&a)?, dump(&b)?, "round {round}");
+            a.verify()?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn batch_splits_under_dense_ascending_inserts() -> Result<()> {
+        let p = pool("batch-split.db")?;
+        let tree = BTree::open(&p, 0)?;
+        // Dense ascending run: every leaf on the path fills and splits
+        // repeatedly while the batch holds a cached leaf.
+        tree.apply_batch_sorted((0..30_000u64).map(|g| ((0, g), Some(g as u32))))?;
+        let check = tree.verify()?;
+        assert_eq!(check.entries, 30_000);
+        assert!(check.depth >= 1);
+        // Deleting a dense run through the batch path, interleaved with
+        // absent keys, also holds up.
+        tree.apply_batch_sorted((0..40_000u64).map(|g| ((0, g), None)))?;
+        assert_eq!(tree.verify()?.entries, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn batch_rejects_unsorted_input() -> Result<()> {
+        let p = pool("batch-reject.db")?;
+        let tree = BTree::open(&p, 0)?;
+        let err = tree.apply_batch_sorted([((0, 2), Some(1)), ((0, 1), Some(1))]);
+        assert!(err.is_err());
+        let dup = tree.apply_batch_sorted([((0, 5), Some(1)), ((0, 5), None)]);
+        assert!(dup.is_err(), "duplicate keys are not ascending");
         Ok(())
     }
 

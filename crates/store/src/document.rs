@@ -9,12 +9,14 @@
 //! applies the incremental index update plus the new document blob in one
 //! transaction.
 //!
-//! Header metadata slots: 0 = index B+-tree root, 1 = `p`, 2 = `q`,
-//! 3 = blob directory root, 7 = file-kind marker.
+//! Header metadata slots: 0 = forward index root, 1 = `p`, 2 = `q`,
+//! 3 = blob directory root, 4 = inverted index root, 5 = totals root,
+//! 6 = format version, 7 = file-kind marker (see [`crate::ops`]).
 
 use crate::blob::BlobStore;
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::ops::{LookupStats, StoreCheck};
 use crate::pager::{Pager, StoreError};
 use pqgram_core::maintain::{compute_index_delta, MaintainError, UpdateStats};
 use pqgram_core::{build_index, GramKey, LookupHit, PQParams, TreeId, TreeIndex};
@@ -24,7 +26,7 @@ use pqgram_tree::{optimize_log, LabelTable, Tree};
 use std::fmt;
 use std::path::Path;
 
-const META_ROOT: usize = 0;
+const META_ROOT: usize = crate::ops::SLOT_FWD;
 const META_P: usize = 1;
 const META_Q: usize = 2;
 const META_BLOBS: usize = 3;
@@ -126,7 +128,7 @@ impl DocumentStore {
         pool.set_meta(META_P, params.p() as u64)?;
         pool.set_meta(META_Q, params.q() as u64)?;
         pool.set_meta(META_KIND, KIND_DOCUMENT_STORE)?;
-        BTree::open(&pool, META_ROOT)?;
+        crate::ops::init_relations(&pool)?;
         BlobStore::open(&pool, META_BLOBS)?;
         pool.flush()?;
         Ok(DocumentStore { pool, params })
@@ -155,6 +157,7 @@ impl DocumentStore {
                 "missing pq parameters".into(),
             )));
         }
+        crate::ops::ensure_format(&pool)?;
         Ok(DocumentStore {
             pool,
             params: PQParams::new(p, q),
@@ -172,8 +175,8 @@ impl DocumentStore {
         let mut blob = Vec::new();
         write_tree(&mut blob, tree, labels).map_err(|e| DocError::Store(StoreError::Io(e)))?;
         self.transactional(|store| {
-            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
-            crate::ops::put_tree_entries(&store.pool, META_ROOT, id, &index)?;
+            crate::ops::delete_tree_entries(&store.pool, id)?;
+            crate::ops::put_tree_entries(&store.pool, id, &index)?;
             BlobStore::open(&store.pool, META_BLOBS)?.put(id.0, &blob)?;
             Ok(())
         })
@@ -192,12 +195,7 @@ impl DocumentStore {
 
     /// The stored index of a document.
     pub fn document_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
-        Ok(crate::ops::tree_index(
-            &self.pool,
-            META_ROOT,
-            self.params,
-            id,
-        )?)
+        Ok(crate::ops::tree_index(&self.pool, self.params, id)?)
     }
 
     /// Removes a document (blob + index rows). Returns `true` if present.
@@ -207,7 +205,7 @@ impl DocumentStore {
             return Ok(false);
         }
         self.transactional(|store| {
-            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
+            crate::ops::delete_tree_entries(&store.pool, id)?;
             BlobStore::open(&store.pool, META_BLOBS)?.delete(id.0)?;
             Ok(())
         })?;
@@ -251,7 +249,7 @@ impl DocumentStore {
         let t = std::time::Instant::now();
         let mut apply_err = None;
         self.transactional(|store| {
-            if let Some(gram) = crate::ops::apply_delta_rows(&store.pool, META_ROOT, id, &delta)? {
+            if let Some(gram) = crate::ops::apply_delta_rows(&store.pool, id, &delta)? {
                 apply_err = Some(DocError::InconsistentDelta(id, gram));
                 return Err(DocError::InconsistentDelta(id, gram));
             }
@@ -267,15 +265,34 @@ impl DocumentStore {
         })
     }
 
-    /// Approximate lookup over the stored forest.
+    /// Approximate lookup over the stored forest: the candidate-merge plan
+    /// over the inverted relation for `τ ≤ 1`, an exhaustive forward scan
+    /// for `τ > 1`.
     pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_with_stats(query, tau)?.0)
+    }
+
+    /// [`DocumentStore::lookup`] also returning the access-path counters of
+    /// the executed plan.
+    pub fn lookup_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
         assert_eq!(query.params(), self.params, "parameter mismatch");
-        Ok(crate::ops::lookup_scan(&self.pool, META_ROOT, query, tau)?)
+        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau)?)
     }
 
     /// Number of index rows.
     pub fn row_count(&self) -> Result<u64> {
         Ok(BTree::open(&self.pool, META_ROOT)?.len()?)
+    }
+
+    /// Verifies the on-disk B+-tree invariants of all three index relations
+    /// plus their cross-relation consistency (see
+    /// [`crate::ops::verify_relations`]).
+    pub fn verify(&self) -> Result<StoreCheck> {
+        Ok(crate::ops::verify_relations(&self.pool)?)
     }
 
     fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
@@ -287,7 +304,7 @@ impl DocumentStore {
                 // every committed mutation; release builds pay nothing.
                 #[cfg(debug_assertions)]
                 {
-                    BTree::open(&self.pool, META_ROOT)?.verify()?;
+                    crate::ops::verify_relations(&self.pool)?;
                     self.pool.validate_pager()?;
                 }
                 Ok(())

@@ -1,21 +1,28 @@
 //! The persistent pq-gram forest index.
 //!
-//! One store file holds the relation `(treeId, pqg, cnt)` of Figure 4 in a
-//! B+-tree keyed by `(tree_id, gram fingerprint)`, plus the `p, q`
-//! parameters in the header. All mutating operations are transactional
-//! (rollback journal): a crash mid-update leaves the previous index state.
+//! One store file holds the relation `(treeId, pqg, cnt)` of Figure 4 plus
+//! two derived relations — the inverted postings `(pqg, treeId, cnt)` and
+//! the per-tree bag sizes `(treeId, |I(T)|)` — in three B+-trees of the
+//! same file (see [`crate::ops`] for the layout and format versioning),
+//! plus the `p, q` parameters in the header. All mutating operations are
+//! transactional (rollback journal) and maintain the three relations
+//! together: a crash mid-update leaves the previous, mutually consistent
+//! state.
 //!
 //! The two workloads of the paper's evaluation map to:
 //!
-//! * **approximate lookup** ([`IndexStore::lookup`]) — one ordered scan of
-//!   the relation computes the pq-gram distance of the query to every
-//!   stored tree (Section 9.1);
+//! * **approximate lookup** ([`IndexStore::lookup`]) — a candidate merge
+//!   over the inverted relation: probe only the query's distinct grams,
+//!   size-filter the candidates against the totals relation, verify the
+//!   survivors (Section 9.1). `τ > 1` falls back to one ordered scan of
+//!   the forward relation;
 //! * **incremental update** ([`IndexStore::apply_delta`],
 //!   [`IndexStore::update_from_log`]) — applies `I ← I \ I⁻ ⊎ I⁺` from an
 //!   edit log without touching unrelated entries (Sections 8–9.2).
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::ops::{LookupStats, StoreCheck};
 use crate::pager::{Pager, StoreError};
 use pqgram_core::maintain::{compute_index_delta, IndexDelta, MaintainError, UpdateStats};
 use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
@@ -23,7 +30,7 @@ use pqgram_tree::{EditLog, LabelTable, Tree};
 use std::fmt;
 use std::path::Path;
 
-const META_ROOT: usize = 0;
+const META_ROOT: usize = crate::ops::SLOT_FWD;
 const META_P: usize = 1;
 const META_Q: usize = 2;
 const META_KIND: usize = 7;
@@ -94,7 +101,7 @@ impl IndexStore {
         pool.set_meta(META_P, params.p() as u64)?;
         pool.set_meta(META_Q, params.q() as u64)?;
         pool.set_meta(META_KIND, KIND_INDEX_STORE)?;
-        BTree::open(&pool, META_ROOT)?;
+        crate::ops::init_relations(&pool)?;
         pool.flush()?;
         Ok(IndexStore { pool, params })
     }
@@ -122,6 +129,7 @@ impl IndexStore {
             )));
         }
         let params = PQParams::new(p, q);
+        crate::ops::ensure_format(&pool)?;
         Ok(IndexStore { pool, params })
     }
 
@@ -138,8 +146,8 @@ impl IndexStore {
     pub fn put_tree(&mut self, id: TreeId, index: &TreeIndex) -> Result<()> {
         assert_eq!(index.params(), self.params, "parameter mismatch");
         self.transactional(|store| {
-            crate::ops::delete_tree_entries(&store.pool, META_ROOT, id)?;
-            crate::ops::put_tree_entries(&store.pool, META_ROOT, id, index)?;
+            crate::ops::delete_tree_entries(&store.pool, id)?;
+            crate::ops::put_tree_entries(&store.pool, id, index)?;
             Ok(())
         })
     }
@@ -155,38 +163,34 @@ impl IndexStore {
     }
 
     fn delete_tree_entries(&self, id: TreeId) -> Result<()> {
-        Ok(crate::ops::delete_tree_entries(&self.pool, META_ROOT, id)?)
+        Ok(crate::ops::delete_tree_entries(&self.pool, id)?)
     }
 
-    /// True if any gram of `id` is stored.
+    /// True if any gram of `id` is stored (one totals-relation lookup).
     pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
-        Ok(crate::ops::contains_tree(&self.pool, META_ROOT, id)?)
+        Ok(crate::ops::contains_tree(&self.pool, id)?)
     }
 
     /// Materializes the in-memory index of one stored tree.
     pub fn tree_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
-        Ok(crate::ops::tree_index(
-            &self.pool,
-            META_ROOT,
-            self.params,
-            id,
-        )?)
+        Ok(crate::ops::tree_index(&self.pool, self.params, id)?)
     }
 
-    /// All stored tree ids, ascending (skip-scan over the key space).
+    /// All stored tree ids, ascending (one scan of the totals relation,
+    /// one row per tree).
     pub fn tree_ids(&self) -> Result<Vec<TreeId>> {
-        Ok(crate::ops::tree_ids(&self.pool, META_ROOT)?)
+        Ok(crate::ops::tree_ids(&self.pool)?)
     }
 
     /// Applies an incremental update delta (`I ← I \ I⁻ ⊎ I⁺`) to one tree.
     /// Transactional: on any inconsistency the store is left unchanged.
     pub fn apply_delta(&mut self, id: TreeId, delta: &IndexDelta) -> Result<()> {
-        self.transactional(|store| {
-            match crate::ops::apply_delta_rows(&store.pool, META_ROOT, id, delta)? {
+        self.transactional(
+            |store| match crate::ops::apply_delta_rows(&store.pool, id, delta)? {
                 None => Ok(()),
                 Some(gram) => Err(IndexError::InconsistentDelta(id, gram)),
-            }
-        })
+            },
+        )
     }
 
     /// The full pipeline of the paper: given the stored old index of `id`,
@@ -210,11 +214,34 @@ impl IndexStore {
     }
 
     /// The approximate lookup of Section 3.2 over the stored forest: all
-    /// trees with `dist(query, T) < tau`, ascending by distance. One ordered
-    /// scan of the relation.
+    /// trees with `dist(query, T) < tau`, ascending by distance. Runs the
+    /// candidate-merge plan over the inverted relation (`τ ≤ 1`), falling
+    /// back to an exhaustive forward scan for `τ > 1`.
     pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_with_stats(query, tau)?.0)
+    }
+
+    /// [`IndexStore::lookup`] also returning the access-path counters of
+    /// the executed plan.
+    pub fn lookup_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
         assert_eq!(query.params(), self.params, "parameter mismatch");
-        Ok(crate::ops::lookup_scan(&self.pool, META_ROOT, query, tau)?)
+        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau)?)
+    }
+
+    /// The version-1 lookup plan — one ordered scan of the forward relation
+    /// verifying every stored tree — regardless of `tau`. Kept as the
+    /// reference side for benchmarks and equivalence tests.
+    pub fn lookup_exhaustive_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        assert_eq!(query.params(), self.params, "parameter mismatch");
+        Ok(crate::ops::lookup_scan_with_stats(&self.pool, query, tau)?)
     }
 
     /// Number of distinct `(tree, gram)` rows (size of the relation).
@@ -222,10 +249,11 @@ impl IndexStore {
         Ok(self.tree()?.len()?)
     }
 
-    /// Verifies the on-disk B+-tree invariants (see
-    /// [`crate::btree::BTree::verify`]).
-    pub fn verify(&self) -> Result<crate::btree::BTreeCheck> {
-        Ok(self.tree()?.verify()?)
+    /// Verifies the on-disk B+-tree invariants of all three relations plus
+    /// their cross-relation consistency (see
+    /// [`crate::ops::verify_relations`]).
+    pub fn verify(&self) -> Result<StoreCheck> {
+        Ok(crate::ops::verify_relations(&self.pool)?)
     }
 
     /// Flushes caches to disk (no-op for data already committed).
@@ -249,24 +277,22 @@ impl IndexStore {
         }
         rows.sort_unstable_by_key(|&(k, _)| k);
         let store = IndexStore::create(path, params)?;
-        let tree = store.tree()?;
-        tree.bulk_load(rows)?;
+        crate::ops::bulk_load_relations(&store.pool, &rows)?;
         store.pool.flush()?;
         Ok(store)
     }
 
     /// Rewrites the store into a fresh compact file at `target` (bulk-built
-    /// B+-tree, no free pages, ~90% leaf fill) and returns the new store.
+    /// B+-trees, no free pages, ~90% leaf fill) and returns the new store.
     pub fn compact_to(&self, target: &Path) -> Result<IndexStore> {
         let compacted = IndexStore::create(target, self.params)?;
         let src = self.tree()?;
-        let dst = compacted.tree()?;
         let mut rows: Vec<((u64, u64), u32)> = Vec::new();
         src.for_each_range((0, 0), (u64::MAX, u64::MAX), |k, v| {
             rows.push((k, v));
             true
         })?;
-        dst.bulk_load(rows)?;
+        crate::ops::bulk_load_relations(&compacted.pool, &rows)?;
         compacted.pool.flush()?;
         Ok(compacted)
     }
@@ -280,7 +306,7 @@ impl IndexStore {
                 // every committed mutation; release builds pay nothing.
                 #[cfg(debug_assertions)]
                 {
-                    self.tree()?.verify()?;
+                    crate::ops::verify_relations(&self.pool)?;
                     self.pool.validate_pager()?;
                 }
                 Ok(())
@@ -476,6 +502,102 @@ mod tests {
             store.tree_ids().unwrap(),
             vec![TreeId(0), TreeId(3), TreeId(5), TreeId(17), TreeId(99)]
         );
+    }
+
+    #[test]
+    fn inverted_plan_matches_exhaustive_scan() {
+        let params = PQParams::default();
+        let mut store = IndexStore::create(&tmp("plans.pqg"), params).unwrap();
+        for i in 0..30u64 {
+            let (t, lt) = setup(500 + i, 80);
+            store
+                .put_tree(TreeId(i), &build_index(&t, &lt, params))
+                .unwrap();
+        }
+        let (q, qlt) = setup(515, 80);
+        let query = build_index(&q, &qlt, params);
+        for tau in [0.2, 0.6, 1.0] {
+            let (inv_hits, inv_stats) = store.lookup_with_stats(&query, tau).unwrap();
+            let (scan_hits, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau).unwrap();
+            assert!(inv_stats.used_inverted);
+            assert!(!scan_stats.used_inverted);
+            assert_eq!(inv_hits, scan_hits, "tau={tau}");
+            assert_eq!(scan_stats.rows_read, store.row_count().unwrap());
+        }
+        // τ > 1: every stored tree is a hit; the dispatcher must fall back
+        // to the scan (the size filter cannot prune anything).
+        let (all_hits, stats) = store.lookup_with_stats(&query, 1.5).unwrap();
+        assert!(!stats.used_inverted);
+        assert_eq!(all_hits.len(), 30);
+    }
+
+    #[test]
+    fn opening_a_version1_file_migrates_in_place() {
+        // Build a version-1 file by hand: forward relation only, version
+        // slot unset — exactly what a pre-dual-relation build wrote.
+        let params = PQParams::new(2, 3);
+        let path = tmp("legacy.pqg");
+        let (t1, lt1) = setup(11, 200);
+        let (t2, lt2) = setup(12, 150);
+        let idx1 = build_index(&t1, &lt1, params);
+        let idx2 = build_index(&t2, &lt2, params);
+        {
+            let pool = BufferPool::new(
+                Pager::create_with(&path, std::sync::Arc::new(crate::vfs::RealVfs)).unwrap(),
+                DEFAULT_CAPACITY,
+            );
+            pool.set_meta(META_P, 2).unwrap();
+            pool.set_meta(META_Q, 3).unwrap();
+            pool.set_meta(META_KIND, KIND_INDEX_STORE).unwrap();
+            let fwd = BTree::open(&pool, crate::ops::SLOT_FWD).unwrap();
+            let mut rows: Vec<((u64, u64), u32)> = Vec::new();
+            for (g, c) in idx1.iter() {
+                rows.push(((1, g), c));
+            }
+            for (g, c) in idx2.iter() {
+                rows.push(((2, g), c));
+            }
+            rows.sort_unstable_by_key(|&(k, _)| k);
+            fwd.bulk_load(rows).unwrap();
+            pool.flush().unwrap();
+        }
+        let store = IndexStore::open(&path).unwrap();
+        let check = store.verify().unwrap();
+        assert_eq!(check.trees, 2);
+        assert_eq!(check.forward.entries, check.inverted.entries);
+        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx1);
+        assert_eq!(store.tree_index(TreeId(2)).unwrap().unwrap(), idx2);
+        assert_eq!(store.tree_ids().unwrap(), vec![TreeId(1), TreeId(2)]);
+        let query = idx1.clone();
+        let (hits, stats) = store.lookup_with_stats(&query, 0.5).unwrap();
+        assert!(stats.used_inverted);
+        assert_eq!(hits[0].tree_id, TreeId(1));
+        assert_eq!(hits[0].distance, 0.0);
+        drop(store);
+        // The migration was committed: a second open must not migrate again
+        // and must see the same consistent state.
+        let again = IndexStore::open(&path).unwrap();
+        assert_eq!(again.verify().unwrap().trees, 2);
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let params = PQParams::default();
+        let path = tmp("future.pqg");
+        {
+            IndexStore::create(&path, params).unwrap();
+        }
+        {
+            let pool = BufferPool::new(
+                Pager::open_with(&path, std::sync::Arc::new(crate::vfs::RealVfs)).unwrap(),
+                DEFAULT_CAPACITY,
+            );
+            pool.set_meta(crate::ops::SLOT_VERSION, crate::ops::FORMAT_VERSION + 1)
+                .unwrap();
+            pool.flush().unwrap();
+        }
+        let err = IndexStore::open(&path).map(|_| ()).unwrap_err();
+        assert!(matches!(err, IndexError::Store(StoreError::Corrupt(_))));
     }
 }
 

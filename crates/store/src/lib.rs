@@ -15,6 +15,11 @@
 //! * [`buffer`] — a clock-eviction buffer pool over the pager;
 //! * [`btree`] — a B+-tree with fixed-width `(tree_id, gram)` keys and `u32`
 //!   counts, leaf-chained for range scans;
+//! * [`mod@ops`] — the relation layer shared by both stores: the forward
+//!   relation `(treeId, pqg, cnt)` of the paper plus an inverted postings
+//!   relation `(pqg, treeId, cnt)` and a per-tree totals relation, all
+//!   maintained together in every transaction, with a candidate-merge
+//!   lookup plan over the inverted relation;
 //! * [`index_store`] — the persistent forest index: per-tree pq-gram bags,
 //!   approximate lookups and transactional application of incremental
 //!   update deltas ([`pqgram_core::maintain::IndexDelta`]);
@@ -57,7 +62,7 @@ pub mod crc;
 pub mod document;
 pub mod index_store;
 pub mod journal;
-pub(crate) mod ops;
+pub mod ops;
 pub mod page;
 pub mod pager;
 pub mod vfs;
@@ -65,6 +70,7 @@ pub mod vfs;
 pub use btree::BTree;
 pub use document::DocumentStore;
 pub use index_store::IndexStore;
+pub use ops::{LookupStats, StoreCheck};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use pager::{Pager, StoreError};
 pub use vfs::{CrashMode, FaultVfs, RealVfs, Vfs, VfsFile};

@@ -1,144 +1,367 @@
-//! Index-relation operations shared by [`crate::index_store::IndexStore`]
-//! and [`crate::document::DocumentStore`]: row-level manipulation of the
-//! `(treeId, pqg, cnt)` B+-tree.
+//! Relation-level operations shared by [`crate::index_store::IndexStore`]
+//! and [`crate::document::DocumentStore`].
+//!
+//! Since format version 2 a store file holds **three** B+-tree relations,
+//! maintained together inside every transaction:
+//!
+//! * **forward** (slot [`SLOT_FWD`]) — `(treeId, pqg) → cnt`, the relation
+//!   of Figure 4; one contiguous key range per tree;
+//! * **inverted** (slot [`SLOT_INV`]) — `(pqg, treeId) → cnt`, the postings
+//!   of each gram; one contiguous key range per gram;
+//! * **totals** (slot [`SLOT_TOT`]) — `(treeId, 0) → |I(T)|`, the bag size
+//!   of every stored tree. A tree has a totals row iff it has forward rows,
+//!   so "is this tree stored" is a single point lookup.
+//!
+//! The inverted relation turns the approximate lookup from a full scan of
+//! the forward relation into a candidate merge: probe only the query's
+//! distinct grams, accumulate per-candidate bag intersections, prune with
+//! the lossless size filter ([`pqgram_core::join::size_filter`]) against
+//! the totals table, and verify just the survivors — the same plan the
+//! in-memory join proves in `pqgram_core::join`. Only `τ > 1`, where no
+//! filter can prune (every pair is within distance 1), falls back to the
+//! exhaustive scan.
+//!
+//! All writers sort their rows and go through
+//! [`crate::btree::BTree::apply_batch_sorted`], so one tree's update costs
+//! a handful of descents plus sequential leaf edits instead of a random
+//! root-to-leaf walk per gram.
 
-use crate::btree::BTree;
+use crate::btree::{BTree, BTreeCheck};
 use crate::buffer::BufferPool;
-use crate::pager::Result;
+use crate::pager::{Result, StoreError};
+use pqgram_core::join::{overlap_distance, size_filter};
 use pqgram_core::maintain::IndexDelta;
 use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
+use pqgram_tree::FxHashMap;
 
-/// Deletes every row of `id`.
-pub(crate) fn delete_tree_entries(pool: &BufferPool, slot: usize, id: TreeId) -> Result<()> {
-    let tree = BTree::open(pool, slot)?;
-    let mut keys = Vec::new();
-    tree.for_each_range((id.0, 0), (id.0, u64::MAX), |k, _| {
-        keys.push(k);
+/// Meta slot of the forward relation root: `(treeId, pqg) → cnt`.
+pub(crate) const SLOT_FWD: usize = 0;
+/// Meta slot of the inverted relation root: `(pqg, treeId) → cnt`.
+pub(crate) const SLOT_INV: usize = 4;
+/// Meta slot of the totals relation root: `(treeId, 0) → |I(T)|`.
+pub(crate) const SLOT_TOT: usize = 5;
+/// Meta slot holding the on-disk format version.
+pub(crate) const SLOT_VERSION: usize = 6;
+/// Current format: dual relations + totals. Version-1 files (slot unset,
+/// forward relation only) are migrated in place on open.
+pub(crate) const FORMAT_VERSION: u64 = 2;
+
+const KEY_MIN: (u64, u64) = (0, 0);
+const KEY_MAX: (u64, u64) = (u64::MAX, u64::MAX);
+
+fn total_u32(total: u64) -> Result<u32> {
+    u32::try_from(total).map_err(|_| {
+        StoreError::Corrupt(format!("bag size {total} exceeds the u32 totals encoding"))
+    })
+}
+
+/// Creates the three relation roots and stamps the format version. Called
+/// once per `create` (the pager journals meta slots with the header).
+pub(crate) fn init_relations(pool: &BufferPool) -> Result<()> {
+    BTree::open(pool, SLOT_FWD)?;
+    BTree::open(pool, SLOT_INV)?;
+    BTree::open(pool, SLOT_TOT)?;
+    pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
+}
+
+/// Checks the format version on open, migrating a version-1 file (forward
+/// relation only) by rebuilding the inverted and totals relations in one
+/// transaction. Returns `true` if a migration ran.
+pub(crate) fn ensure_format(pool: &BufferPool) -> Result<bool> {
+    match pool.meta(SLOT_VERSION) {
+        FORMAT_VERSION => Ok(false),
+        0 => {
+            pool.begin()?;
+            let migrate = || -> Result<()> {
+                build_secondary_relations(pool)?;
+                pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
+            };
+            match migrate() {
+                Ok(()) => pool.commit().map(|()| true),
+                Err(e) => {
+                    pool.rollback()?;
+                    Err(e)
+                }
+            }
+        }
+        v => Err(StoreError::Corrupt(format!(
+            "store format version {v} is newer than this build (reads up to {FORMAT_VERSION})"
+        ))),
+    }
+}
+
+/// Bulk-loads all three relations from rows sorted strictly ascending by
+/// `(treeId, pqg)`; the relations must be empty. Returns the row count.
+pub(crate) fn bulk_load_relations(pool: &BufferPool, rows: &[((u64, u64), u32)]) -> Result<u64> {
+    let n = BTree::open(pool, SLOT_FWD)?.bulk_load(rows.iter().copied())?;
+    build_secondary_relations(pool)?;
+    Ok(n)
+}
+
+/// Rebuilds the inverted and totals relations (which must be empty) from
+/// one ordered scan of the forward relation.
+fn build_secondary_relations(pool: &BufferPool) -> Result<()> {
+    let fwd = BTree::open(pool, SLOT_FWD)?;
+    let mut inv_rows: Vec<((u64, u64), u32)> = Vec::new();
+    let mut totals: Vec<(u64, u64)> = Vec::new();
+    let mut cur: Option<u64> = None;
+    let mut acc = 0u64;
+    fwd.for_each_range(KEY_MIN, KEY_MAX, |(t, g), c| {
+        if cur != Some(t) {
+            if let Some(done) = cur {
+                totals.push((done, acc));
+            }
+            cur = Some(t);
+            acc = 0;
+        }
+        acc += u64::from(c);
+        inv_rows.push(((g, t), c));
         true
     })?;
-    for k in keys {
-        tree.delete(k)?;
+    if let Some(done) = cur {
+        totals.push((done, acc));
     }
+    inv_rows.sort_unstable_by_key(|&(k, _)| k);
+    BTree::open(pool, SLOT_INV)?.bulk_load(inv_rows)?;
+    let mut tot_rows: Vec<((u64, u64), u32)> = Vec::with_capacity(totals.len());
+    for (t, total) in totals {
+        tot_rows.push(((t, 0), total_u32(total)?));
+    }
+    BTree::open(pool, SLOT_TOT)?.bulk_load(tot_rows)?;
     Ok(())
 }
 
-/// Inserts all rows of `index` under `id` (caller clears old rows first).
-pub(crate) fn put_tree_entries(
-    pool: &BufferPool,
-    slot: usize,
-    id: TreeId,
-    index: &TreeIndex,
-) -> Result<()> {
-    let tree = BTree::open(pool, slot)?;
-    for (gram, count) in index.iter() {
-        tree.insert((id.0, gram), count)?;
-    }
-    Ok(())
-}
-
-/// True if any row of `id` exists.
-pub(crate) fn contains_tree(pool: &BufferPool, slot: usize, id: TreeId) -> Result<bool> {
-    let tree = BTree::open(pool, slot)?;
-    let mut any = false;
-    tree.for_each_range((id.0, 0), (id.0, u64::MAX), |_, _| {
-        any = true;
-        false
+/// Deletes every row of `id` from all three relations.
+pub(crate) fn delete_tree_entries(pool: &BufferPool, id: TreeId) -> Result<()> {
+    let fwd = BTree::open(pool, SLOT_FWD)?;
+    let mut grams = Vec::new();
+    fwd.for_each_range((id.0, 0), (id.0, u64::MAX), |(_, g), _| {
+        grams.push(g);
+        true
     })?;
-    Ok(any)
+    if grams.is_empty() {
+        return Ok(());
+    }
+    // The range scan yields grams ascending: both batches are sorted.
+    fwd.apply_batch_sorted(grams.iter().map(|&g| ((id.0, g), None)))?;
+    BTree::open(pool, SLOT_INV)?.apply_batch_sorted(grams.iter().map(|&g| ((g, id.0), None)))?;
+    BTree::open(pool, SLOT_TOT)?.delete((id.0, 0))?;
+    Ok(())
+}
+
+/// Inserts all rows of `index` under `id` into all three relations (caller
+/// clears old rows first). An empty index stores nothing — empty trees are
+/// not representable in the relation, matching version 1.
+pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex) -> Result<()> {
+    let mut rows: Vec<(GramKey, u32)> = index.iter().collect();
+    if rows.is_empty() {
+        return Ok(());
+    }
+    rows.sort_unstable_by_key(|&(g, _)| g);
+    BTree::open(pool, SLOT_FWD)?
+        .apply_batch_sorted(rows.iter().map(|&(g, c)| ((id.0, g), Some(c))))?;
+    BTree::open(pool, SLOT_INV)?
+        .apply_batch_sorted(rows.iter().map(|&(g, c)| ((g, id.0), Some(c))))?;
+    BTree::open(pool, SLOT_TOT)?.insert((id.0, 0), total_u32(index.total())?)?;
+    Ok(())
+}
+
+/// True if `id` is stored: one point lookup in the totals relation.
+pub(crate) fn contains_tree(pool: &BufferPool, id: TreeId) -> Result<bool> {
+    Ok(BTree::open(pool, SLOT_TOT)?.get((id.0, 0))?.is_some())
 }
 
 /// Materializes the stored index of `id` (`None` if no rows).
 pub(crate) fn tree_index(
     pool: &BufferPool,
-    slot: usize,
     params: PQParams,
     id: TreeId,
 ) -> Result<Option<TreeIndex>> {
-    let tree = BTree::open(pool, slot)?;
+    let tree = BTree::open(pool, SLOT_FWD)?;
     let mut index = TreeIndex::empty(params);
     tree.for_each_range((id.0, 0), (id.0, u64::MAX), |(_, gram), count| {
-        for _ in 0..count {
-            index.add(gram);
-        }
+        index.add_n(gram, count);
         true
     })?;
     Ok((index.total() > 0).then_some(index))
 }
 
-/// All stored tree ids via skip scan.
-pub(crate) fn tree_ids(pool: &BufferPool, slot: usize) -> Result<Vec<TreeId>> {
-    let tree = BTree::open(pool, slot)?;
+/// All stored tree ids, ascending: one ordered scan of the totals relation
+/// (one row per tree) instead of a skip scan over the forward relation.
+pub(crate) fn tree_ids(pool: &BufferPool) -> Result<Vec<TreeId>> {
+    let tot = BTree::open(pool, SLOT_TOT)?;
     let mut ids = Vec::new();
-    let mut next = 0u64;
-    loop {
-        let mut found: Option<u64> = None;
-        tree.for_each_range((next, 0), (u64::MAX, u64::MAX), |k, _| {
-            found = Some(k.0);
-            false
-        })?;
-        match found {
-            None => return Ok(ids),
-            Some(t) => {
-                ids.push(TreeId(t));
-                match t.checked_add(1) {
-                    Some(n) => next = n,
-                    None => return Ok(ids),
-                }
-            }
-        }
-    }
+    tot.for_each_range(KEY_MIN, KEY_MAX, |(t, _), _| {
+        ids.push(TreeId(t));
+        true
+    })?;
+    Ok(ids)
 }
 
-/// Applies `I ← I \ I⁻ ⊎ I⁺` to the rows of `id`. Returns the first gram
-/// whose removal failed (the caller rolls back), or `None` on success.
+/// Applies `I ← I \ I⁻ ⊎ I⁺` to the rows of `id` across all three
+/// relations. Returns the first gram (in `delta.removals` order) whose
+/// removal failed — the caller rolls the transaction back — or `None` on
+/// success.
 pub(crate) fn apply_delta_rows(
     pool: &BufferPool,
-    slot: usize,
     id: TreeId,
     delta: &IndexDelta,
 ) -> Result<Option<GramKey>> {
-    let tree = BTree::open(pool, slot)?;
-    for &gram in &delta.removals {
-        let key = (id.0, gram);
-        match tree.get(key)? {
-            None | Some(0) => return Ok(Some(gram)),
-            Some(1) => {
-                tree.delete(key)?;
-            }
-            Some(c) => {
-                tree.insert(key, c - 1)?;
-            }
+    let fwd = BTree::open(pool, SLOT_FWD)?;
+    // Current multiplicity of every touched gram (one point read each).
+    let mut stored: FxHashMap<GramKey, u32> = FxHashMap::default();
+    for &g in delta.removals.iter().chain(&delta.additions) {
+        if let std::collections::hash_map::Entry::Vacant(e) = stored.entry(g) {
+            e.insert(fwd.get((id.0, g))?.unwrap_or(0));
         }
     }
-    for &gram in &delta.additions {
-        let key = (id.0, gram);
-        let current = tree.get(key)?.unwrap_or(0);
-        tree.insert(key, current + 1)?;
+    // Replay removals in order *before* writing anything, so the reported
+    // gram matches the one-at-a-time semantics of version 1.
+    let mut after = stored.clone();
+    for &g in &delta.removals {
+        match after.get_mut(&g) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => return Ok(Some(g)),
+        }
+    }
+    for &g in &delta.additions {
+        if let Some(c) = after.get_mut(&g) {
+            *c += 1;
+        }
+    }
+    // Net row mutations, sorted by gram; unchanged multiplicities drop out.
+    let mut ops: Vec<(GramKey, Option<u32>)> = after
+        .iter()
+        .filter(|&(g, &c)| stored.get(g) != Some(&c))
+        .map(|(&g, &c)| (g, (c > 0).then_some(c)))
+        .collect();
+    ops.sort_unstable_by_key(|&(g, _)| g);
+    fwd.apply_batch_sorted(ops.iter().map(|&(g, v)| ((id.0, g), v)))?;
+    BTree::open(pool, SLOT_INV)?.apply_batch_sorted(ops.iter().map(|&(g, v)| ((g, id.0), v)))?;
+    let tot = BTree::open(pool, SLOT_TOT)?;
+    let old_total = u64::from(tot.get((id.0, 0))?.unwrap_or(0));
+    let removed = u64::try_from(delta.removals.len()).unwrap_or(u64::MAX);
+    let added = u64::try_from(delta.additions.len()).unwrap_or(u64::MAX);
+    let Some(new_total) = (old_total + added).checked_sub(removed) else {
+        return Err(StoreError::Corrupt(format!(
+            "delta removes more grams than {id:?} holds (total {old_total})"
+        )));
+    };
+    if new_total == 0 {
+        tot.delete((id.0, 0))?;
+    } else {
+        tot.insert((id.0, 0), total_u32(new_total)?)?;
     }
     Ok(None)
 }
 
-/// One ordered scan computing the pq-gram distance of `query` to every
-/// stored tree; returns hits below `tau`, ascending by distance.
-pub(crate) fn lookup_scan(
+/// Access-path and work counters of one [`lookup_with_stats`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// B+-tree rows read: posting rows plus one totals row per candidate
+    /// on the inverted plan, every forward row on the scan plan.
+    pub rows_read: u64,
+    /// Distinct query grams probed (inverted plan only).
+    pub grams_probed: usize,
+    /// Trees sharing at least one gram with the query (scan plan: every
+    /// stored tree).
+    pub candidates: usize,
+    /// Candidates surviving the size filter whose distance was computed.
+    pub verified: usize,
+    /// Results below `tau`.
+    pub hits: usize,
+    /// `true` if the candidate-merge plan ran, `false` for the exhaustive
+    /// scan (`τ > 1`).
+    pub used_inverted: bool,
+}
+
+/// The approximate lookup, routed by threshold: the candidate-merge plan
+/// over the inverted relation for `τ ≤ 1`, the exhaustive forward scan for
+/// `τ > 1` (where every stored tree is within distance 1 ≤ τ and no filter
+/// can prune — mirroring `pqgram_core::join`).
+pub(crate) fn lookup_with_stats(
     pool: &BufferPool,
-    slot: usize,
     query: &TreeIndex,
     tau: f64,
-) -> Result<Vec<LookupHit>> {
-    let tree = BTree::open(pool, slot)?;
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    if tau > 1.0 {
+        lookup_scan_with_stats(pool, query, tau)
+    } else {
+        lookup_inverted(pool, query, tau)
+    }
+}
+
+/// Candidate-merge plan: range-probe the inverted relation for each
+/// distinct query gram, accumulating per-tree bag intersections; then
+/// size-filter each candidate against the totals relation and verify the
+/// survivors. Reads only rows of trees sharing a gram with the query.
+fn lookup_inverted(
+    pool: &BufferPool,
+    query: &TreeIndex,
+    tau: f64,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let inv = BTree::open(pool, SLOT_INV)?;
+    let tot = BTree::open(pool, SLOT_TOT)?;
+    let mut stats = LookupStats {
+        used_inverted: true,
+        ..LookupStats::default()
+    };
+    let mut probe: Vec<(GramKey, u32)> = query.iter().collect();
+    probe.sort_unstable_by_key(|&(g, _)| g);
+    stats.grams_probed = probe.len();
+    let mut shared: FxHashMap<u64, u64> = FxHashMap::default();
+    for &(g, qc) in &probe {
+        inv.for_each_range((g, 0), (g, u64::MAX), |(_, t), c| {
+            stats.rows_read += 1;
+            *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
+            true
+        })?;
+    }
+    stats.candidates = shared.len();
+    let mut candidates: Vec<(u64, u64)> = shared.into_iter().collect();
+    candidates.sort_unstable_by_key(|&(t, _)| t);
+    let mut hits = Vec::new();
+    for (t, overlap) in candidates {
+        let Some(total) = tot.get((t, 0))? else {
+            return Err(StoreError::Corrupt(format!(
+                "tree {t} has inverted rows but no totals row"
+            )));
+        };
+        stats.rows_read += 1;
+        if !size_filter(query.total(), u64::from(total), tau) {
+            continue;
+        }
+        stats.verified += 1;
+        let distance = overlap_distance(overlap, query.total(), u64::from(total));
+        if distance < tau {
+            hits.push(LookupHit {
+                tree_id: TreeId(t),
+                distance,
+            });
+        }
+    }
+    sort_hits(&mut hits);
+    stats.hits = hits.len();
+    Ok((hits, stats))
+}
+
+/// One ordered scan of the forward relation computing the distance of
+/// `query` to every stored tree — the version-1 plan, kept as the `τ > 1`
+/// fallback and as the reference side of the benchmark harness.
+pub(crate) fn lookup_scan_with_stats(
+    pool: &BufferPool,
+    query: &TreeIndex,
+    tau: f64,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let tree = BTree::open(pool, SLOT_FWD)?;
+    let mut stats = LookupStats::default();
     let mut hits = Vec::new();
     let mut cur: Option<u64> = None;
     let mut stored_total = 0u64;
     let mut intersection = 0u64;
     let mut flush = |cur: Option<u64>, stored_total: u64, intersection: u64| {
         if let Some(t) = cur {
-            let denom = (query.total() + stored_total) as f64;
-            let distance = if denom == 0.0 {
-                0.0
-            } else {
-                1.0 - 2.0 * intersection as f64 / denom
-            };
+            let distance = overlap_distance(intersection, query.total(), stored_total);
             if distance < tau {
                 hits.push(LookupHit {
                     tree_id: TreeId(t),
@@ -147,22 +370,118 @@ pub(crate) fn lookup_scan(
             }
         }
     };
-    tree.for_each_range((0, 0), (u64::MAX, u64::MAX), |(t, gram), count| {
+    tree.for_each_range(KEY_MIN, KEY_MAX, |(t, gram), count| {
+        stats.rows_read += 1;
         if cur != Some(t) {
             flush(cur, stored_total, intersection);
             cur = Some(t);
+            stats.candidates += 1;
             stored_total = 0;
             intersection = 0;
         }
-        stored_total += count as u64;
-        intersection += count.min(query.count(gram)) as u64;
+        stored_total += u64::from(count);
+        intersection += u64::from(count.min(query.count(gram)));
         true
     })?;
     flush(cur, stored_total, intersection);
+    stats.verified = stats.candidates;
+    sort_hits(&mut hits);
+    stats.hits = hits.len();
+    Ok((hits, stats))
+}
+
+fn sort_hits(hits: &mut [LookupHit]) {
     hits.sort_by(|a, b| {
         a.distance
             .total_cmp(&b.distance)
             .then_with(|| a.tree_id.cmp(&b.tree_id))
     });
-    Ok(hits)
+}
+
+/// Result of a whole-store verification: per-relation B+-tree shape checks
+/// plus the cross-relation consistency audit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCheck {
+    /// Shape of the forward relation `(treeId, pqg) → cnt`.
+    pub forward: BTreeCheck,
+    /// Shape of the inverted relation `(pqg, treeId) → cnt`.
+    pub inverted: BTreeCheck,
+    /// Shape of the totals relation `(treeId, 0) → |I(T)|`.
+    pub totals: BTreeCheck,
+    /// Number of stored trees (totals rows).
+    pub trees: u64,
+}
+
+/// Verifies each relation's B+-tree invariants and that the three relations
+/// describe the same forest: every forward row has its mirrored inverted
+/// row (and nothing else), every tree's totals row equals the sum of its
+/// multiplicities, and no row stores a zero count.
+pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
+    let fwd = BTree::open(pool, SLOT_FWD)?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    let tot = BTree::open(pool, SLOT_TOT)?;
+    let check = StoreCheck {
+        forward: fwd.verify()?,
+        inverted: inv.verify()?,
+        totals: tot.verify()?,
+        trees: 0,
+    };
+    let mut inv_expect: Vec<((u64, u64), u32)> = Vec::new();
+    let mut tot_expect: Vec<(u64, u64)> = Vec::new();
+    let mut zero_row = false;
+    let mut cur: Option<u64> = None;
+    let mut acc = 0u64;
+    fwd.for_each_range(KEY_MIN, KEY_MAX, |(t, g), c| {
+        if c == 0 {
+            zero_row = true;
+            return false;
+        }
+        if cur != Some(t) {
+            if let Some(done) = cur {
+                tot_expect.push((done, acc));
+            }
+            cur = Some(t);
+            acc = 0;
+        }
+        acc += u64::from(c);
+        inv_expect.push(((g, t), c));
+        true
+    })?;
+    if zero_row {
+        return Err(StoreError::Corrupt(
+            "forward relation stores a zero multiplicity".into(),
+        ));
+    }
+    if let Some(done) = cur {
+        tot_expect.push((done, acc));
+    }
+    inv_expect.sort_unstable_by_key(|&(k, _)| k);
+    let mut i = 0usize;
+    let mut inv_ok = true;
+    inv.for_each_range(KEY_MIN, KEY_MAX, |k, c| {
+        inv_ok = inv_expect.get(i) == Some(&(k, c));
+        i += 1;
+        inv_ok
+    })?;
+    if !inv_ok || i != inv_expect.len() {
+        return Err(StoreError::Corrupt(
+            "inverted relation disagrees with forward relation".into(),
+        ));
+    }
+    let mut j = 0usize;
+    let mut tot_ok = true;
+    tot.for_each_range(KEY_MIN, KEY_MAX, |(t, z), c| {
+        tot_ok = z == 0 && tot_expect.get(j) == Some(&(t, u64::from(c)));
+        j += 1;
+        tot_ok
+    })?;
+    if !tot_ok || j != tot_expect.len() {
+        return Err(StoreError::Corrupt(
+            "totals relation disagrees with forward relation".into(),
+        ));
+    }
+    Ok(StoreCheck {
+        trees: u64::try_from(tot_expect.len()).unwrap_or(u64::MAX),
+        ..check
+    })
 }

@@ -24,6 +24,7 @@
 //! * `DropUnsyncedMatching(".db")` — the mirror asymmetry: the data file
 //!   loses unsynced writes while the journal keeps them.
 
+use pqgram_core::maintain::IndexDelta;
 use pqgram_core::{build_index, PQParams, TreeId, TreeIndex};
 use pqgram_store::{CrashMode, DocumentStore, FaultVfs, IndexStore};
 use pqgram_tree::{LabelTable, Tree};
@@ -100,6 +101,17 @@ fn index_ops(fx: &IndexFixtures) -> Vec<IndexOp<'_>> {
         Box::new(|s| s.put_tree(TreeId(1), &fx.a2)),
         Box::new(|s| s.put_tree(TreeId(3), &fx.c)),
         Box::new(|s| s.remove_tree(TreeId(2)).map(|_| ())),
+        // An incremental delta: removals and additions mutate all three
+        // relations (forward, inverted, totals) in one transaction.
+        Box::new(|s| {
+            let mut grams: Vec<_> = fx.a2.iter().map(|(g, _)| g).collect();
+            grams.sort_unstable();
+            let delta = IndexDelta {
+                removals: grams.into_iter().take(2).collect(),
+                additions: vec![0xfeed_f00d, 0x0dd_ba11],
+            };
+            s.apply_delta(TreeId(1), &delta)
+        }),
     ]
 }
 
@@ -263,6 +275,7 @@ struct DocFixtures {
     lt: LabelTable,
     t1: Tree,
     t1b: Tree,
+    t1c: Tree,
     t2: Tree,
     t3: Tree,
 }
@@ -272,6 +285,11 @@ fn doc_fixtures() -> DocFixtures {
     let mut lt = LabelTable::new();
     let t1 = sample_tree(&mut lt, "a", 16);
     let t1b = sample_tree(&mut lt, "r", 22);
+    // A small edit of t1b with the same root label: `sync` derives a script
+    // and takes the incremental index-update path, not the re-index one.
+    let mut t1c = t1b.clone();
+    let n = t1c.add_child(t1c.root(), lt.intern("x1"));
+    t1c.add_child(n, lt.intern("x2"));
     let t2 = sample_tree(&mut lt, "b", 10);
     let t3 = sample_tree(&mut lt, "c", 48);
     DocFixtures {
@@ -279,6 +297,7 @@ fn doc_fixtures() -> DocFixtures {
         lt,
         t1,
         t1b,
+        t1c,
         t2,
         t3,
     }
@@ -300,6 +319,8 @@ fn doc_ops(fx: &DocFixtures) -> Vec<DocOp<'_>> {
         Box::new(|s| s.put(TreeId(1), &fx.t1b, &fx.lt)),
         Box::new(|s| s.put(TreeId(3), &fx.t3, &fx.lt)),
         Box::new(|s| s.remove(TreeId(2)).map(|_| ())),
+        // Diff-driven incremental sync: index delta + new blob, one tx.
+        Box::new(|s| s.sync(TreeId(1), &fx.t1c, &fx.lt).map(|_| ())),
     ]
 }
 
@@ -352,6 +373,9 @@ fn document_store_recovers_at_every_crash_point() {
 
             let reopened = DocumentStore::open_with(Path::new(DB), Arc::new(vfs.surviving()))
                 .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): reopen failed: {e}"));
+            reopened
+                .verify()
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
             let recovered = doc_contents(&reopened);
             assert!(
                 snapshots.contains(&recovered),

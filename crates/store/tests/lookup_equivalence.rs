@@ -1,0 +1,94 @@
+//! Property tests: the persistent lookup plans agree with each other and
+//! with the in-memory [`ForestIndex`] oracle.
+//!
+//! Three implementations of the same approximate lookup are compared on
+//! random forests:
+//!
+//! 1. the candidate-merge plan over the inverted relation (the default for
+//!    `τ ≤ 1`, [`IndexStore::lookup_with_stats`]);
+//! 2. the exhaustive forward-relation scan
+//!    ([`IndexStore::lookup_exhaustive_with_stats`], the version-1 plan and
+//!    the `τ > 1` fallback);
+//! 3. [`ForestIndex::lookup`], the in-memory oracle.
+//!
+//! Equality is **exact** (no epsilon): all three compute
+//! `1 − 2·|I₁ ∩ I₂| / (|I₁| + |I₂|)` over the same integers with the same
+//! float operations (`pqgram_core::join::overlap_distance` /
+//! `pq_distance`), so the results are bit-identical.
+//!
+//! Forests include members with *empty* bags: [`IndexStore::put_tree`]
+//! stores zero rows for them, making them invisible to persistent lookups,
+//! so the oracle only receives the non-empty members.
+
+use pqgram_core::{build_index, ForestIndex, PQParams, TreeId, TreeIndex};
+use pqgram_store::IndexStore;
+use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+use pqgram_tree::LabelTable;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pqgram-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::remove_file(&p).ok();
+    let mut j = p.as_os_str().to_owned();
+    j.push("-journal");
+    std::fs::remove_file(PathBuf::from(j)).ok();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn persistent_lookup_plans_match_the_in_memory_oracle(
+        // (node count, seed) per member; node count 0 means an empty bag.
+        members in proptest::collection::vec((0usize..40, any::<u64>()), 1..16),
+        query_nodes in 1usize..60,
+        query_seed in any::<u64>(),
+        tau_pick in 0usize..4,
+        case in 0u64..u64::MAX,
+    ) {
+        // τ = 1.0 exercises the inverted plan's boundary (distance-1.0
+        // non-hits); τ = 1.2 exercises the exhaustive fallback.
+        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        let params = PQParams::new(2, 3);
+        let path = tmp(&format!("equiv-{case}.pqg"));
+        let mut lt = LabelTable::new();
+        let mut store = IndexStore::create(&path, params).unwrap();
+        let mut oracle = ForestIndex::new();
+        for (i, &(nodes, seed)) in members.iter().enumerate() {
+            let id = TreeId(i as u64);
+            let index = if nodes == 0 {
+                TreeIndex::empty(params)
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(nodes, 5));
+                build_index(&tree, &lt, params)
+            };
+            store.put_tree(id, &index).unwrap();
+            if index.total() > 0 {
+                oracle.insert(id, index);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let qtree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(query_nodes, 5));
+        let query = build_index(&qtree, &lt, params);
+
+        let expected = oracle.lookup(&query, tau);
+        let (inverted, inv_stats) = store.lookup_with_stats(&query, tau).unwrap();
+        let (scanned, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau).unwrap();
+        prop_assert_eq!(inv_stats.used_inverted, tau <= 1.0);
+        prop_assert!(!scan_stats.used_inverted);
+        prop_assert_eq!(&inverted, &expected);
+        prop_assert_eq!(&scanned, &expected);
+        // The scan reads the whole forward relation; the inverted plan
+        // never reads more rows than that plus one totals row per
+        // candidate.
+        prop_assert_eq!(scan_stats.rows_read, store.row_count().unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}
