@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the experiment reproduction (`reproduce` binary) and
 //! the Criterion micro-benchmarks.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `pqgram` — command-line interface to the pq-gram index.
 //!
 //! ```text

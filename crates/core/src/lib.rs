@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! The pq-gram index and its incremental maintenance — the primary
 //! contribution of *Augsten, Böhlen, Gamper: "An Incrementally Maintainable
 //! Index for Approximate Lookups in Hierarchical Data" (VLDB 2006)*.

@@ -25,6 +25,13 @@ impl PQParams {
         PQParams { p, q }
     }
 
+    /// Non-panicking constructor: `None` unless `p ≥ 1` and `q ≥ 1`. Use
+    /// this when the parameters come from untrusted input, e.g. a store
+    /// file header read during recovery.
+    pub fn try_new(p: usize, q: usize) -> Option<Self> {
+        (p >= 1 && q >= 1).then_some(PQParams { p, q })
+    }
+
     /// Stem length (ancestors + anchor).
     #[inline]
     pub fn p(self) -> usize {
@@ -86,6 +93,13 @@ mod tests {
         assert!(p.supports_incremental());
         assert!(!PQParams::new(3, 1).supports_incremental());
         assert_eq!(PQParams::default(), PQParams::new(3, 3));
+    }
+
+    #[test]
+    fn try_new_screens_zero_parameters() {
+        assert_eq!(PQParams::try_new(2, 3), Some(PQParams::new(2, 3)));
+        assert_eq!(PQParams::try_new(0, 3), None);
+        assert_eq!(PQParams::try_new(3, 0), None);
     }
 
     #[test]

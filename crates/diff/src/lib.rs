@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Heuristic tree diff: turn two document *versions* into an edit script.
 //!
 //! The paper's maintenance scenario assumes the application supplies the log

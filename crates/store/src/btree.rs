@@ -22,7 +22,7 @@
 
 use crate::buffer::BufferPool;
 use crate::page::{PageBuf, PageId};
-use crate::pager::Result;
+use crate::pager::{Result, StoreError};
 
 /// B+-tree key: `(tree_id, gram)` in the index store.
 pub type Key = (u64, u64);
@@ -45,6 +45,7 @@ pub struct BTree<'p> {
 impl<'p> BTree<'p> {
     /// Opens the tree whose root page id lives in `meta_slot`; creates an
     /// empty root leaf if the slot is unset (zero).
+    // analyze: txn-exempt(lazy root creation only fires when the relation has never existed — during create and inside the v1-to-v2 migration transaction; every later open sees a nonzero root slot and writes nothing)
     pub fn open(pool: &'p BufferPool, meta_slot: usize) -> Result<Self> {
         let tree = BTree { pool, meta_slot };
         if pool.meta(meta_slot) == 0 {
@@ -305,7 +306,11 @@ impl<'p> BTree<'p> {
             p.put_page_id(OFF_NEXT, right);
             (moved, old_next)
         })?;
-        let sep = moved[0].0;
+        let Some(&(sep, _)) = moved.first() else {
+            return Err(StoreError::Corrupt(
+                "leaf split produced an empty upper half".into(),
+            ));
+        };
         self.pool.with_page_mut(right, |p| {
             init_leaf(p);
             p.put_page_id(OFF_NEXT, old_next);
@@ -842,8 +847,8 @@ impl BTree<'_> {
                 if *leftmost_leaf == PageId::NONE {
                     *leftmost_leaf = page;
                 }
-                for w in keys.windows(2) {
-                    if w[0] >= w[1] {
+                for (a, b) in keys.iter().zip(keys.iter().skip(1)) {
+                    if a >= b {
                         return Err(corrupt("leaf keys out of order"));
                     }
                 }
@@ -864,17 +869,17 @@ impl BTree<'_> {
                     return Err(corrupt("internal node without separators"));
                 }
                 check.internals += 1;
-                for w in keys.windows(2) {
-                    if w[0] >= w[1] {
+                for (a, b) in keys.iter().zip(keys.iter().skip(1)) {
+                    if a >= b {
                         return Err(corrupt("separators out of order"));
                     }
                 }
                 for (i, &child) in children.iter().enumerate() {
-                    let lo = if i == 0 { lower } else { Some(keys[i - 1]) };
+                    let lo = if i == 0 { lower } else { keys.get(i - 1).copied() };
                     let hi = if i == keys.len() {
                         upper
                     } else {
-                        Some(keys[i])
+                        keys.get(i).copied()
                     };
                     self.verify_node(child, lo, hi, depth + 1, check, leftmost_leaf, seen)?;
                 }
@@ -1115,20 +1120,26 @@ impl<'p> BTree<'p> {
                 // One internal node covers up to int_cap + 1 children.
                 let take = (int_cap + 1).min(current.len() - i);
                 let node = self.pool.allocate()?;
-                let group = &current[i..i + take];
+                let group = current.get(i..i + take).unwrap_or(&[]);
+                let Some(&(group_key, group_child)) = group.first() else {
+                    return Err(corrupt("bulk_load built an empty internal group"));
+                };
                 self.pool.with_page_mut(node, |p| {
-                    init_internal(p, group[0].1);
-                    for (j, &(sep, child)) in group[1..].iter().enumerate() {
+                    init_internal(p, group_child);
+                    for (j, &(sep, child)) in group.iter().skip(1).enumerate() {
                         internal_write_at(p, j, sep, child);
                     }
                     set_count(p, group.len() - 1);
                 })?;
-                next_level.push((group[0].0, node));
+                next_level.push((group_key, node));
                 i += take;
             }
             current = next_level;
         }
-        self.set_root(current[0].1)?;
+        let Some(&(_, root)) = current.first() else {
+            return Err(corrupt("bulk_load produced no root"));
+        };
+        self.set_root(root)?;
         Ok(total)
     }
 }

@@ -57,15 +57,16 @@ impl BufferPool {
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> R) -> Result<R> {
         let mut inner = self.inner.lock();
         let slot = inner.load(id)?;
-        inner.frames[slot].referenced = true;
-        Ok(f(&inner.frames[slot].page))
+        let frame = inner.frame_mut(slot)?;
+        frame.referenced = true;
+        Ok(f(&frame.page))
     }
 
     /// Runs `f` against a mutable view of the page and marks it dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PageBuf) -> R) -> Result<R> {
         let mut inner = self.inner.lock();
         let slot = inner.load(id)?;
-        let frame = &mut inner.frames[slot];
+        let frame = inner.frame_mut(slot)?;
         frame.referenced = true;
         frame.dirty = true;
         Ok(f(&mut frame.page))
@@ -83,8 +84,10 @@ impl BufferPool {
     pub fn free(&self, id: PageId) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Some(slot) = inner.by_id.remove(&id) {
-            inner.frames[slot].id = PageId::NONE;
-            inner.frames[slot].dirty = false;
+            if let Some(frame) = inner.frames.get_mut(slot) {
+                frame.id = PageId::NONE;
+                frame.dirty = false;
+            }
         }
         inner.pager.free(id)
     }
@@ -106,6 +109,7 @@ impl BufferPool {
 
     /// Starts a transaction (flushes pending writes first so the journal
     /// sees the logical pre-transaction state).
+    // analyze: txn-boundary
     pub fn begin(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.flush_dirty()?;
@@ -148,6 +152,14 @@ impl BufferPool {
 }
 
 impl Inner {
+    /// The frame at `slot`, or `Corrupt` if the slot map and frame table
+    /// ever disagree (they cannot, absent a bug in this module).
+    fn frame_mut(&mut self, slot: usize) -> Result<&mut Frame> {
+        self.frames
+            .get_mut(slot)
+            .ok_or_else(|| StoreError::Corrupt(format!("buffer frame {slot} out of range")))
+    }
+
     fn load(&mut self, id: PageId) -> Result<usize> {
         if let Some(&slot) = self.by_id.get(&id) {
             return Ok(slot);
@@ -160,7 +172,7 @@ impl Inner {
         if let Some(&slot) = self.by_id.get(&id) {
             // Re-install over an existing frame (e.g. allocate of a freed,
             // still-cached page).
-            self.frames[slot] = Frame {
+            *self.frame_mut(slot)? = Frame {
                 id,
                 page,
                 dirty,
@@ -179,7 +191,7 @@ impl Inner {
         } else {
             let victim = self.pick_victim()?;
             let old = std::mem::replace(
-                &mut self.frames[victim],
+                self.frame_mut(victim)?,
                 Frame {
                     id,
                     page,
@@ -197,11 +209,24 @@ impl Inner {
     }
 
     /// Clock sweep; flushes a dirty victim before eviction.
+    ///
+    /// The write-back below targets a frame some writer dirtied *inside* the
+    /// transaction that is still open (deferred writes never outlive their
+    /// transaction: begin/commit/rollback all drain or drop them), so its
+    /// original image is already journaled by the pager.
+    // analyze: txn-exempt(evicting a dirty frame re-writes a page first written inside the transaction that dirtied it; the pager journals it on first overwrite)
     fn pick_victim(&mut self) -> Result<usize> {
-        for _ in 0..self.frames.len() * 2 + 1 {
+        let n = self.frames.len();
+        if n == 0 {
+            return Err(StoreError::InvalidArgument("buffer pool empty".into()));
+        }
+        for _ in 0..n * 2 + 1 {
             let slot = self.clock;
-            self.clock = (self.clock + 1) % self.frames.len();
-            let frame = &mut self.frames[slot];
+            self.clock = (self.clock + 1) % n;
+            let Some(frame) = self.frames.get_mut(slot) else {
+                self.clock = 0;
+                continue;
+            };
             if frame.referenced {
                 frame.referenced = false;
                 continue;
@@ -215,15 +240,16 @@ impl Inner {
         Err(StoreError::InvalidArgument("buffer pool exhausted".into()))
     }
 
+    // analyze: txn-exempt(drains frames dirtied under the currently open transaction — or pre-transaction bootstrap writes on a store no reader has opened yet)
     fn flush_dirty(&mut self) -> Result<()> {
         for slot in 0..self.frames.len() {
-            if self.frames[slot].dirty && self.frames[slot].id != PageId::NONE {
-                let (id, page) = {
-                    let f = &self.frames[slot];
-                    (f.id, f.page.clone())
-                };
-                self.pager.write_page(id, &page)?;
-                self.frames[slot].dirty = false;
+            let (id, page) = match self.frames.get(slot) {
+                Some(f) if f.dirty && f.id != PageId::NONE => (f.id, f.page.clone()),
+                _ => continue,
+            };
+            self.pager.write_page(id, &page)?;
+            if let Some(f) = self.frames.get_mut(slot) {
+                f.dirty = false;
             }
         }
         Ok(())

@@ -1,0 +1,47 @@
+//! Total (panic-free) byte-slice helpers for on-disk format code.
+//!
+//! The recovery path (`cargo xtask analyze` proves it) must not contain
+//! indexing, `copy_from_slice`, or other length-checked std calls that
+//! panic on bad input. These helpers are total: out-of-bounds requests
+//! degrade to an empty/short slice or `None`, which format code already
+//! treats as corruption (a short slice fails the magic/CRC/length check
+//! it feeds). That keeps "corrupt file" an `Err`, never an abort, without
+//! scattering `trusted` waivers across the crate.
+
+/// The sub-slice `b[off .. off + len]`, or a shorter (possibly empty)
+/// slice when the range leaves `b`.
+pub(crate) fn sub(b: &[u8], off: usize, len: usize) -> &[u8] {
+    let start = off.min(b.len());
+    let end = off.saturating_add(len).min(b.len());
+    b.get(start..end).unwrap_or(&[])
+}
+
+/// Little-endian `u32` at `off`; `None` when fewer than four bytes remain.
+pub(crate) fn le32(b: &[u8], off: usize) -> Option<u32> {
+    let s = b.get(off..off.checked_add(4)?)?;
+    let arr: [u8; 4] = s.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_is_total() {
+        let b = [1u8, 2, 3, 4];
+        assert_eq!(sub(&b, 1, 2), &[2, 3]);
+        assert_eq!(sub(&b, 3, 10), &[4]);
+        assert_eq!(sub(&b, 9, 2), &[] as &[u8]);
+        assert_eq!(sub(&b, usize::MAX, usize::MAX), &[] as &[u8]);
+    }
+
+    #[test]
+    fn le32_reads_and_rejects() {
+        let b = [0x78u8, 0x56, 0x34, 0x12, 0xff];
+        assert_eq!(le32(&b, 0), Some(0x1234_5678));
+        assert_eq!(le32(&b, 2), None);
+        assert_eq!(le32(&b, usize::MAX), None);
+    }
+
+}

@@ -119,6 +119,7 @@ impl DocumentStore {
 
     /// [`DocumentStore::create`] on an explicit [`crate::vfs::Vfs`] (fault
     /// injection, tests).
+    // analyze: txn-exempt(store bootstrap: runs during create before any reader can open the file; callers treat a failed create as fatal and discard the half-built store)
     pub fn create_with(
         path: &Path,
         params: PQParams,
@@ -141,6 +142,7 @@ impl DocumentStore {
 
     /// [`DocumentStore::open`] on an explicit [`crate::vfs::Vfs`] (fault
     /// injection, tests).
+    // analyze: entrypoint(recovery)
     pub fn open_with(
         path: &Path,
         vfs: std::sync::Arc<dyn crate::vfs::Vfs>,
@@ -152,16 +154,13 @@ impl DocumentStore {
             )));
         }
         let (p, q) = (pool.meta(META_P) as usize, pool.meta(META_Q) as usize);
-        if p == 0 || q == 0 {
+        let Some(params) = PQParams::try_new(p, q) else {
             return Err(DocError::Store(StoreError::Corrupt(
                 "missing pq parameters".into(),
             )));
-        }
+        };
         crate::ops::ensure_format(&pool)?;
-        Ok(DocumentStore {
-            pool,
-            params: PQParams::new(p, q),
-        })
+        Ok(DocumentStore { pool, params })
     }
 
     /// The pq-gram parameters of this store.
@@ -170,6 +169,7 @@ impl DocumentStore {
     }
 
     /// Stores (or replaces) a document and its index. Transactional.
+    // analyze: entrypoint
     pub fn put(&mut self, id: TreeId, tree: &Tree, labels: &LabelTable) -> Result<()> {
         let index = build_index(tree, labels, self.params);
         let mut blob = Vec::new();
@@ -177,7 +177,8 @@ impl DocumentStore {
         self.transactional(|store| {
             crate::ops::delete_tree_entries(&store.pool, id)?;
             crate::ops::put_tree_entries(&store.pool, id, &index)?;
-            BlobStore::open(&store.pool, META_BLOBS)?.put(id.0, &blob)?;
+            let blobs = BlobStore::open(&store.pool, META_BLOBS)?;
+            blobs.put(id.0, &blob)?;
             Ok(())
         })
     }
@@ -206,7 +207,8 @@ impl DocumentStore {
         }
         self.transactional(|store| {
             crate::ops::delete_tree_entries(&store.pool, id)?;
-            BlobStore::open(&store.pool, META_BLOBS)?.delete(id.0)?;
+            let blobs = BlobStore::open(&store.pool, META_BLOBS)?;
+            blobs.delete(id.0)?;
             Ok(())
         })?;
         Ok(true)
@@ -223,6 +225,7 @@ impl DocumentStore {
     /// incrementally, and stores the new document blob — all in one
     /// transaction. Falls back to a full re-index when the diff is
     /// impossible (root relabeled).
+    // analyze: entrypoint
     pub fn sync(
         &mut self,
         id: TreeId,
@@ -253,7 +256,8 @@ impl DocumentStore {
                 apply_err = Some(DocError::InconsistentDelta(id, gram));
                 return Err(DocError::InconsistentDelta(id, gram));
             }
-            BlobStore::open(&store.pool, META_BLOBS)?.put(id.0, &blob)?;
+            let blobs = BlobStore::open(&store.pool, META_BLOBS)?;
+            blobs.put(id.0, &blob)?;
             Ok(())
         })?;
         let mut stats = stats;
@@ -274,6 +278,7 @@ impl DocumentStore {
 
     /// [`DocumentStore::lookup`] also returning the access-path counters of
     /// the executed plan.
+    // analyze: entrypoint
     pub fn lookup_with_stats(
         &self,
         query: &TreeIndex,
@@ -295,6 +300,7 @@ impl DocumentStore {
         Ok(crate::ops::verify_relations(&self.pool)?)
     }
 
+    // analyze: txn-boundary
     fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
         self.pool.begin()?;
         match f(self) {
@@ -326,9 +332,11 @@ mod tests {
     use rand::SeedableRng;
     use std::path::PathBuf;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-docstore-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
@@ -338,14 +346,14 @@ mod tests {
     }
 
     #[test]
-    fn put_document_and_read_back() {
+    fn put_document_and_read_back() -> TestResult {
         let params = PQParams::default();
         let mut rng = StdRng::seed_from_u64(1);
         let mut lt = LabelTable::new();
         let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(150, 5));
-        let mut store = DocumentStore::create(&tmp("put.docs"), params).unwrap();
-        store.put(TreeId(1), &tree, &lt).unwrap();
-        let (back, back_lt) = store.document(TreeId(1)).unwrap().unwrap();
+        let mut store = DocumentStore::create(&tmp("put.docs"), params)?;
+        store.put(TreeId(1), &tree, &lt)?;
+        let (back, back_lt) = store.document(TreeId(1))?.ok_or("document 1 missing")?;
         assert_eq!(back.node_count(), tree.node_count());
         // Label-name sequences match (ids are renumbered by serialization).
         let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
@@ -355,24 +363,27 @@ mod tests {
         };
         assert_eq!(names(&tree, &lt), names(&back, &back_lt));
         assert_eq!(
-            store.document_index(TreeId(1)).unwrap().unwrap(),
+            store
+                .document_index(TreeId(1))?
+                .ok_or("index for tree 1 missing")?,
             build_index(&tree, &lt, params)
         );
+        Ok(())
     }
 
     #[test]
-    fn sync_applies_incremental_update() {
+    fn sync_applies_incremental_update() -> TestResult {
         let params = PQParams::default();
         let mut rng = StdRng::seed_from_u64(2);
         let mut lt = LabelTable::new();
         let mut tree = dblp(&mut rng, &mut lt, 3_000);
-        let mut store = DocumentStore::create(&tmp("sync.docs"), params).unwrap();
-        store.put(TreeId(1), &tree, &lt).unwrap();
+        let mut store = DocumentStore::create(&tmp("sync.docs"), params)?;
+        store.put(TreeId(1), &tree, &lt)?;
 
         // The document evolves elsewhere; only the new version arrives.
         let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
         record_script(&mut rng, &mut tree, &ScriptConfig::new(40, alphabet));
-        let outcome = store.sync(TreeId(1), &tree, &lt).unwrap();
+        let outcome = store.sync(TreeId(1), &tree, &lt)?;
         match outcome {
             SyncOutcome::Incremental {
                 script_len,
@@ -384,85 +395,96 @@ mod tests {
                 // A 40-edit change must not look like a full rewrite.
                 assert!(script_len < 600, "script_len {script_len}");
             }
-            SyncOutcome::Reindexed => panic!("expected incremental sync"),
+            SyncOutcome::Reindexed => return Err("expected incremental sync".into()),
         }
         // The stored index equals a rebuild of the new version.
-        let stored = store.document_index(TreeId(1)).unwrap().unwrap();
+        let stored = store
+            .document_index(TreeId(1))?
+            .ok_or("index for tree 1 missing")?;
         assert_eq!(stored, build_index(&tree, &lt, params));
         // The stored document matches the new version.
-        let (back, back_lt) = store.document(TreeId(1)).unwrap().unwrap();
+        let (back, back_lt) = store.document(TreeId(1))?.ok_or("document 1 missing")?;
         let names = |t: &Tree, l: &LabelTable| -> Vec<String> {
             t.preorder(t.root())
                 .map(|n| l.name(t.label(n)).to_string())
                 .collect()
         };
         assert_eq!(names(&tree, &lt), names(&back, &back_lt));
+        Ok(())
     }
 
     #[test]
-    fn repeated_syncs_stay_consistent() {
+    fn repeated_syncs_stay_consistent() -> TestResult {
         let params = PQParams::new(2, 3);
         let mut rng = StdRng::seed_from_u64(3);
         let mut lt = LabelTable::new();
         let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(400, 6));
-        let mut store = DocumentStore::create(&tmp("repeat.docs"), params).unwrap();
-        store.put(TreeId(9), &tree, &lt).unwrap();
+        let mut store = DocumentStore::create(&tmp("repeat.docs"), params)?;
+        store.put(TreeId(9), &tree, &lt)?;
         for round in 0..5 {
             let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
             record_script(&mut rng, &mut tree, &ScriptConfig::new(15, alphabet));
-            store.sync(TreeId(9), &tree, &lt).unwrap();
-            let stored = store.document_index(TreeId(9)).unwrap().unwrap();
+            store.sync(TreeId(9), &tree, &lt)?;
+            let stored = store
+                .document_index(TreeId(9))?
+                .ok_or("index for tree 9 missing")?;
             assert_eq!(stored, build_index(&tree, &lt, params), "round {round}");
         }
+        Ok(())
     }
 
     #[test]
-    fn root_relabel_falls_back_to_reindex() {
+    fn root_relabel_falls_back_to_reindex() -> TestResult {
         let params = PQParams::default();
         let mut lt = LabelTable::new();
         let mut t1 = Tree::with_root(lt.intern("old-root"));
         t1.add_child(t1.root(), lt.intern("x"));
-        let mut store = DocumentStore::create(&tmp("fallback.docs"), params).unwrap();
-        store.put(TreeId(1), &t1, &lt).unwrap();
+        let mut store = DocumentStore::create(&tmp("fallback.docs"), params)?;
+        store.put(TreeId(1), &t1, &lt)?;
         let mut t2 = Tree::with_root(lt.intern("new-root"));
         t2.add_child(t2.root(), lt.intern("x"));
-        let outcome = store.sync(TreeId(1), &t2, &lt).unwrap();
+        let outcome = store.sync(TreeId(1), &t2, &lt)?;
         assert!(matches!(outcome, SyncOutcome::Reindexed));
         assert_eq!(
-            store.document_index(TreeId(1)).unwrap().unwrap(),
+            store
+                .document_index(TreeId(1))?
+                .ok_or("index for tree 1 missing")?,
             build_index(&t2, &lt, params)
         );
+        Ok(())
     }
 
     #[test]
-    fn sync_unknown_document_fails() {
+    fn sync_unknown_document_fails() -> TestResult {
         let params = PQParams::default();
         let mut lt = LabelTable::new();
         let t = Tree::with_root(lt.intern("a"));
-        let mut store = DocumentStore::create(&tmp("unknown.docs"), params).unwrap();
+        let mut store = DocumentStore::create(&tmp("unknown.docs"), params)?;
         assert!(matches!(
-            store.sync(TreeId(5), &t, &lt).unwrap_err(),
-            DocError::UnknownDocument(TreeId(5))
+            store.sync(TreeId(5), &t, &lt),
+            Err(DocError::UnknownDocument(TreeId(5)))
         ));
+        Ok(())
     }
 
     #[test]
-    fn remove_drops_blob_and_rows() {
+    fn remove_drops_blob_and_rows() -> TestResult {
         let params = PQParams::default();
         let mut rng = StdRng::seed_from_u64(4);
         let mut lt = LabelTable::new();
         let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(80, 4));
-        let mut store = DocumentStore::create(&tmp("remove.docs"), params).unwrap();
-        store.put(TreeId(1), &tree, &lt).unwrap();
-        assert!(store.remove(TreeId(1)).unwrap());
-        assert!(!store.remove(TreeId(1)).unwrap());
-        assert!(store.document(TreeId(1)).unwrap().is_none());
-        assert_eq!(store.row_count().unwrap(), 0);
-        assert!(store.ids().unwrap().is_empty());
+        let mut store = DocumentStore::create(&tmp("remove.docs"), params)?;
+        store.put(TreeId(1), &tree, &lt)?;
+        assert!(store.remove(TreeId(1))?);
+        assert!(!store.remove(TreeId(1))?);
+        assert!(store.document(TreeId(1))?.is_none());
+        assert_eq!(store.row_count()?, 0);
+        assert!(store.ids()?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn reopen_and_lookup() {
+    fn reopen_and_lookup() -> TestResult {
         let params = PQParams::default();
         let path = tmp("reopen.docs");
         let mut rng = StdRng::seed_from_u64(5);
@@ -471,25 +493,31 @@ mod tests {
             .map(|_| random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(120, 5)))
             .collect();
         {
-            let mut store = DocumentStore::create(&path, params).unwrap();
+            let mut store = DocumentStore::create(&path, params)?;
             for (i, t) in trees.iter().enumerate() {
-                store.put(TreeId(i as u64), t, &lt).unwrap();
+                store.put(TreeId(i as u64), t, &lt)?;
             }
         }
-        let store = DocumentStore::open(&path).unwrap();
-        assert_eq!(store.ids().unwrap().len(), 5);
-        let query = build_index(&trees[2], &lt, params);
-        let hits = store.lookup(&query, 0.9).unwrap();
-        assert_eq!(hits[0].tree_id, TreeId(2));
-        assert!(hits[0].distance.abs() < 1e-12);
+        let store = DocumentStore::open(&path)?;
+        assert_eq!(store.ids()?.len(), 5);
+        let query = build_index(trees.get(2).ok_or("tree 2 missing")?, &lt, params);
+        let hits = store.lookup(&query, 0.9)?;
+        let best = hits.first().ok_or("no lookup hits")?;
+        assert_eq!(best.tree_id, TreeId(2));
+        assert!(best.distance.abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn index_store_file_is_rejected() {
+    fn index_store_file_is_rejected() -> TestResult {
         let params = PQParams::default();
         let path = tmp("wrongkind.docs");
-        crate::IndexStore::create(&path, params).unwrap();
-        let err = DocumentStore::open(&path).map(|_| ()).unwrap_err();
+        crate::IndexStore::create(&path, params)?;
+        let err = match DocumentStore::open(&path) {
+            Ok(_) => return Err("open accepted an index-store file".into()),
+            Err(e) => e,
+        };
         assert!(matches!(err, DocError::Store(StoreError::Corrupt(_))));
+        Ok(())
     }
 }

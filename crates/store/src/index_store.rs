@@ -92,6 +92,7 @@ impl IndexStore {
 
     /// [`IndexStore::create`] on an explicit [`crate::vfs::Vfs`] (fault
     /// injection, tests).
+    // analyze: txn-exempt(store bootstrap: writes to a file created in this call that no reader has opened; a failed create is fatal and the file is discarded)
     pub fn create_with(
         path: &Path,
         params: PQParams,
@@ -113,6 +114,7 @@ impl IndexStore {
 
     /// [`IndexStore::open`] on an explicit [`crate::vfs::Vfs`] (fault
     /// injection, tests).
+    // analyze: entrypoint(recovery)
     pub fn open_with(path: &Path, vfs: std::sync::Arc<dyn crate::vfs::Vfs>) -> Result<IndexStore> {
         let pool = BufferPool::new(Pager::open_with(path, vfs)?, DEFAULT_CAPACITY);
         if pool.meta(META_KIND) != KIND_INDEX_STORE {
@@ -123,12 +125,11 @@ impl IndexStore {
             )));
         }
         let (p, q) = (pool.meta(META_P) as usize, pool.meta(META_Q) as usize);
-        if p == 0 || q == 0 {
+        let Some(params) = PQParams::try_new(p, q) else {
             return Err(IndexError::Store(StoreError::Corrupt(
                 "missing pq parameters in header".into(),
             )));
-        }
-        let params = PQParams::new(p, q);
+        };
         crate::ops::ensure_format(&pool)?;
         Ok(IndexStore { pool, params })
     }
@@ -143,6 +144,7 @@ impl IndexStore {
     }
 
     /// Inserts (or replaces) the index of one tree. Transactional.
+    // analyze: entrypoint
     pub fn put_tree(&mut self, id: TreeId, index: &TreeIndex) -> Result<()> {
         assert_eq!(index.params(), self.params, "parameter mismatch");
         self.transactional(|store| {
@@ -223,6 +225,7 @@ impl IndexStore {
 
     /// [`IndexStore::lookup`] also returning the access-path counters of
     /// the executed plan.
+    // analyze: entrypoint
     pub fn lookup_with_stats(
         &self,
         query: &TreeIndex,
@@ -264,6 +267,7 @@ impl IndexStore {
     /// Creates a store and bulk-loads a whole forest in one pass (sorted
     /// bottom-up B+-tree build) — much faster than per-tree [`Self::put_tree`]
     /// for initial indexing.
+    // analyze: txn-exempt(bulk bootstrap: loads into a store file created by this call that no reader has opened yet)
     pub fn bulk_create<'a, I>(path: &Path, params: PQParams, forest: I) -> Result<IndexStore>
     where
         I: IntoIterator<Item = (TreeId, &'a TreeIndex)>,
@@ -284,6 +288,7 @@ impl IndexStore {
 
     /// Rewrites the store into a fresh compact file at `target` (bulk-built
     /// B+-trees, no free pages, ~90% leaf fill) and returns the new store.
+    // analyze: txn-exempt(writes only to the fresh target file created by this call; the source store is read-only here)
     pub fn compact_to(&self, target: &Path) -> Result<IndexStore> {
         let compacted = IndexStore::create(target, self.params)?;
         let src = self.tree()?;
@@ -297,6 +302,7 @@ impl IndexStore {
         Ok(compacted)
     }
 
+    // analyze: txn-boundary
     fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
         self.pool.begin()?;
         match f(self) {
@@ -329,9 +335,11 @@ mod tests {
     use rand::SeedableRng;
     use std::path::PathBuf;
 
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pqgram-istore-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let p = dir.join(name);
         std::fs::remove_file(&p).ok();
         let mut j = p.as_os_str().to_owned();
@@ -348,75 +356,75 @@ mod tests {
     }
 
     #[test]
-    fn put_get_roundtrip() {
+    fn put_get_roundtrip() -> TestResult {
         let params = PQParams::default();
         let (t, lt) = setup(1, 300);
         let idx = build_index(&t, &lt, params);
-        let mut store = IndexStore::create(&tmp("roundtrip.pqg"), params).unwrap();
-        store.put_tree(TreeId(7), &idx).unwrap();
-        let back = store.tree_index(TreeId(7)).unwrap().unwrap();
+        let mut store = IndexStore::create(&tmp("roundtrip.pqg"), params)?;
+        store.put_tree(TreeId(7), &idx)?;
+        let back = store.tree_index(TreeId(7))?.ok_or("tree 7 missing")?;
         assert_eq!(back, idx);
-        assert!(store.tree_index(TreeId(8)).unwrap().is_none());
-        assert_eq!(store.tree_ids().unwrap(), vec![TreeId(7)]);
+        assert!(store.tree_index(TreeId(8))?.is_none());
+        assert_eq!(store.tree_ids()?, vec![TreeId(7)]);
+        Ok(())
     }
 
     #[test]
-    fn reopen_preserves_params_and_data() {
+    fn reopen_preserves_params_and_data() -> TestResult {
         let params = PQParams::new(2, 4);
         let path = tmp("reopen.pqg");
         let (t, lt) = setup(2, 200);
         let idx = build_index(&t, &lt, params);
         {
-            let mut store = IndexStore::create(&path, params).unwrap();
-            store.put_tree(TreeId(1), &idx).unwrap();
+            let mut store = IndexStore::create(&path, params)?;
+            store.put_tree(TreeId(1), &idx)?;
         }
-        let store = IndexStore::open(&path).unwrap();
+        let store = IndexStore::open(&path)?;
         assert_eq!(store.params(), params);
-        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx);
+        assert_eq!(store.tree_index(TreeId(1))?.ok_or("tree 1 missing")?, idx);
+        Ok(())
     }
 
     #[test]
-    fn put_replaces_previous_index() {
+    fn put_replaces_previous_index() -> TestResult {
         let params = PQParams::default();
         let (t1, lt) = setup(3, 150);
         let (t2, lt2) = setup(4, 150);
-        let mut store = IndexStore::create(&tmp("replace.pqg"), params).unwrap();
-        store
-            .put_tree(TreeId(1), &build_index(&t1, &lt, params))
-            .unwrap();
+        let mut store = IndexStore::create(&tmp("replace.pqg"), params)?;
+        store.put_tree(TreeId(1), &build_index(&t1, &lt, params))?;
         let idx2 = build_index(&t2, &lt2, params);
-        store.put_tree(TreeId(1), &idx2).unwrap();
-        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx2);
+        store.put_tree(TreeId(1), &idx2)?;
+        assert_eq!(store.tree_index(TreeId(1))?.ok_or("tree 1 missing")?, idx2);
+        Ok(())
     }
 
     #[test]
-    fn remove_tree_works() {
+    fn remove_tree_works() -> TestResult {
         let params = PQParams::default();
         let (t, lt) = setup(5, 100);
-        let mut store = IndexStore::create(&tmp("remove.pqg"), params).unwrap();
-        store
-            .put_tree(TreeId(3), &build_index(&t, &lt, params))
-            .unwrap();
-        assert!(store.remove_tree(TreeId(3)).unwrap());
-        assert!(!store.remove_tree(TreeId(3)).unwrap());
-        assert!(store.tree_index(TreeId(3)).unwrap().is_none());
-        assert_eq!(store.row_count().unwrap(), 0);
+        let mut store = IndexStore::create(&tmp("remove.pqg"), params)?;
+        store.put_tree(TreeId(3), &build_index(&t, &lt, params))?;
+        assert!(store.remove_tree(TreeId(3))?);
+        assert!(!store.remove_tree(TreeId(3))?);
+        assert!(store.tree_index(TreeId(3))?.is_none());
+        assert_eq!(store.row_count()?, 0);
+        Ok(())
     }
 
     #[test]
-    fn lookup_matches_in_memory_distance() {
+    fn lookup_matches_in_memory_distance() -> TestResult {
         let params = PQParams::default();
-        let mut store = IndexStore::create(&tmp("lookup.pqg"), params).unwrap();
+        let mut store = IndexStore::create(&tmp("lookup.pqg"), params)?;
         let mut indexes = Vec::new();
         for i in 0..20u64 {
             let (t, lt) = setup(100 + i, 120);
             let idx = build_index(&t, &lt, params);
-            store.put_tree(TreeId(i), &idx).unwrap();
+            store.put_tree(TreeId(i), &idx)?;
             indexes.push(idx);
         }
         let (q, qlt) = setup(100, 120); // same seed as tree 0: identical
         let query = build_index(&q, &qlt, params);
-        let hits = store.lookup(&query, 1.01).unwrap();
+        let hits = store.lookup(&query, 1.01)?;
         assert_eq!(hits.len(), 20);
         assert_eq!(hits[0].tree_id, TreeId(0));
         assert_eq!(hits[0].distance, 0.0);
@@ -425,48 +433,49 @@ mod tests {
             assert!((hit.distance - expected).abs() < 1e-12);
         }
         // Threshold filters.
-        let close = store.lookup(&query, 0.5).unwrap();
+        let close = store.lookup(&query, 0.5)?;
         assert!(close.len() < 20);
         assert!(close.iter().any(|h| h.tree_id == TreeId(0)));
+        Ok(())
     }
 
     #[test]
-    fn incremental_update_from_log_matches_rebuild() {
+    fn incremental_update_from_log_matches_rebuild() -> TestResult {
         let params = PQParams::default();
         let mut rng = StdRng::seed_from_u64(9);
         let mut lt = LabelTable::new();
         let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(400, 6));
-        let mut store = IndexStore::create(&tmp("incr.pqg"), params).unwrap();
-        store
-            .put_tree(TreeId(0), &build_index(&tree, &lt, params))
-            .unwrap();
+        let mut store = IndexStore::create(&tmp("incr.pqg"), params)?;
+        store.put_tree(TreeId(0), &build_index(&tree, &lt, params))?;
 
         let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
         let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(60, alphabet));
-        let stats = store.update_from_log(TreeId(0), &tree, &lt, &log).unwrap();
+        let stats = store.update_from_log(TreeId(0), &tree, &lt, &log)?;
         assert_eq!(stats.ops, 60);
-        let stored = store.tree_index(TreeId(0)).unwrap().unwrap();
+        let stored = store.tree_index(TreeId(0))?.ok_or("tree 0 missing")?;
         assert_eq!(stored, build_index(&tree, &lt, params));
+        Ok(())
     }
 
     #[test]
-    fn update_unknown_tree_fails() {
+    fn update_unknown_tree_fails() -> TestResult {
         let params = PQParams::default();
         let (t, lt) = setup(6, 50);
-        let mut store = IndexStore::create(&tmp("unknown.pqg"), params).unwrap();
+        let mut store = IndexStore::create(&tmp("unknown.pqg"), params)?;
         let err = store
             .update_from_log(TreeId(9), &t, &lt, &EditLog::new())
             .unwrap_err();
         assert!(matches!(err, IndexError::UnknownTree(TreeId(9))));
+        Ok(())
     }
 
     #[test]
-    fn inconsistent_delta_rolls_back() {
+    fn inconsistent_delta_rolls_back() -> TestResult {
         let params = PQParams::default();
         let (t, lt) = setup(7, 100);
         let idx = build_index(&t, &lt, params);
-        let mut store = IndexStore::create(&tmp("badelta.pqg"), params).unwrap();
-        store.put_tree(TreeId(0), &idx).unwrap();
+        let mut store = IndexStore::create(&tmp("badelta.pqg"), params)?;
+        store.put_tree(TreeId(0), &idx)?;
         // A delta that first adds (visible inside the tx) then removes an
         // absent gram: the whole transaction must roll back.
         let delta = IndexDelta {
@@ -482,57 +491,56 @@ mod tests {
         let err = store.apply_delta(TreeId(0), &delta).unwrap_err();
         assert!(matches!(err, IndexError::InconsistentDelta(..)));
         assert_eq!(
-            store.tree_index(TreeId(0)).unwrap().unwrap(),
+            store.tree_index(TreeId(0))?.ok_or("tree 0 missing")?,
             idx,
             "rolled back"
         );
+        Ok(())
     }
 
     #[test]
-    fn many_trees_skip_scan() {
+    fn many_trees_skip_scan() -> TestResult {
         let params = PQParams::new(2, 2);
-        let mut store = IndexStore::create(&tmp("ids.pqg"), params).unwrap();
+        let mut store = IndexStore::create(&tmp("ids.pqg"), params)?;
         for i in [5u64, 17, 0, 99, 3] {
             let (t, lt) = setup(i, 30);
-            store
-                .put_tree(TreeId(i), &build_index(&t, &lt, params))
-                .unwrap();
+            store.put_tree(TreeId(i), &build_index(&t, &lt, params))?;
         }
         assert_eq!(
-            store.tree_ids().unwrap(),
+            store.tree_ids()?,
             vec![TreeId(0), TreeId(3), TreeId(5), TreeId(17), TreeId(99)]
         );
+        Ok(())
     }
 
     #[test]
-    fn inverted_plan_matches_exhaustive_scan() {
+    fn inverted_plan_matches_exhaustive_scan() -> TestResult {
         let params = PQParams::default();
-        let mut store = IndexStore::create(&tmp("plans.pqg"), params).unwrap();
+        let mut store = IndexStore::create(&tmp("plans.pqg"), params)?;
         for i in 0..30u64 {
             let (t, lt) = setup(500 + i, 80);
-            store
-                .put_tree(TreeId(i), &build_index(&t, &lt, params))
-                .unwrap();
+            store.put_tree(TreeId(i), &build_index(&t, &lt, params))?;
         }
         let (q, qlt) = setup(515, 80);
         let query = build_index(&q, &qlt, params);
         for tau in [0.2, 0.6, 1.0] {
-            let (inv_hits, inv_stats) = store.lookup_with_stats(&query, tau).unwrap();
-            let (scan_hits, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau).unwrap();
+            let (inv_hits, inv_stats) = store.lookup_with_stats(&query, tau)?;
+            let (scan_hits, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau)?;
             assert!(inv_stats.used_inverted);
             assert!(!scan_stats.used_inverted);
             assert_eq!(inv_hits, scan_hits, "tau={tau}");
-            assert_eq!(scan_stats.rows_read, store.row_count().unwrap());
+            assert_eq!(scan_stats.rows_read, store.row_count()?);
         }
         // τ > 1: every stored tree is a hit; the dispatcher must fall back
         // to the scan (the size filter cannot prune anything).
-        let (all_hits, stats) = store.lookup_with_stats(&query, 1.5).unwrap();
+        let (all_hits, stats) = store.lookup_with_stats(&query, 1.5)?;
         assert!(!stats.used_inverted);
         assert_eq!(all_hits.len(), 30);
+        Ok(())
     }
 
     #[test]
-    fn opening_a_version1_file_migrates_in_place() {
+    fn opening_a_version1_file_migrates_in_place() -> TestResult {
         // Build a version-1 file by hand: forward relation only, version
         // slot unset — exactly what a pre-dual-relation build wrote.
         let params = PQParams::new(2, 3);
@@ -543,13 +551,13 @@ mod tests {
         let idx2 = build_index(&t2, &lt2, params);
         {
             let pool = BufferPool::new(
-                Pager::create_with(&path, std::sync::Arc::new(crate::vfs::RealVfs)).unwrap(),
+                Pager::create_with(&path, std::sync::Arc::new(crate::vfs::RealVfs))?,
                 DEFAULT_CAPACITY,
             );
-            pool.set_meta(META_P, 2).unwrap();
-            pool.set_meta(META_Q, 3).unwrap();
-            pool.set_meta(META_KIND, KIND_INDEX_STORE).unwrap();
-            let fwd = BTree::open(&pool, crate::ops::SLOT_FWD).unwrap();
+            pool.set_meta(META_P, 2)?;
+            pool.set_meta(META_Q, 3)?;
+            pool.set_meta(META_KIND, KIND_INDEX_STORE)?;
+            let fwd = BTree::open(&pool, crate::ops::SLOT_FWD)?;
             let mut rows: Vec<((u64, u64), u32)> = Vec::new();
             for (g, c) in idx1.iter() {
                 rows.push(((1, g), c));
@@ -558,46 +566,47 @@ mod tests {
                 rows.push(((2, g), c));
             }
             rows.sort_unstable_by_key(|&(k, _)| k);
-            fwd.bulk_load(rows).unwrap();
-            pool.flush().unwrap();
+            fwd.bulk_load(rows)?;
+            pool.flush()?;
         }
-        let store = IndexStore::open(&path).unwrap();
-        let check = store.verify().unwrap();
+        let store = IndexStore::open(&path)?;
+        let check = store.verify()?;
         assert_eq!(check.trees, 2);
         assert_eq!(check.forward.entries, check.inverted.entries);
-        assert_eq!(store.tree_index(TreeId(1)).unwrap().unwrap(), idx1);
-        assert_eq!(store.tree_index(TreeId(2)).unwrap().unwrap(), idx2);
-        assert_eq!(store.tree_ids().unwrap(), vec![TreeId(1), TreeId(2)]);
+        assert_eq!(store.tree_index(TreeId(1))?.ok_or("tree 1 missing")?, idx1);
+        assert_eq!(store.tree_index(TreeId(2))?.ok_or("tree 2 missing")?, idx2);
+        assert_eq!(store.tree_ids()?, vec![TreeId(1), TreeId(2)]);
         let query = idx1.clone();
-        let (hits, stats) = store.lookup_with_stats(&query, 0.5).unwrap();
+        let (hits, stats) = store.lookup_with_stats(&query, 0.5)?;
         assert!(stats.used_inverted);
         assert_eq!(hits[0].tree_id, TreeId(1));
         assert_eq!(hits[0].distance, 0.0);
         drop(store);
         // The migration was committed: a second open must not migrate again
         // and must see the same consistent state.
-        let again = IndexStore::open(&path).unwrap();
-        assert_eq!(again.verify().unwrap().trees, 2);
+        let again = IndexStore::open(&path)?;
+        assert_eq!(again.verify()?.trees, 2);
+        Ok(())
     }
 
     #[test]
-    fn future_format_version_is_rejected() {
+    fn future_format_version_is_rejected() -> TestResult {
         let params = PQParams::default();
         let path = tmp("future.pqg");
         {
-            IndexStore::create(&path, params).unwrap();
+            IndexStore::create(&path, params)?;
         }
         {
             let pool = BufferPool::new(
-                Pager::open_with(&path, std::sync::Arc::new(crate::vfs::RealVfs)).unwrap(),
+                Pager::open_with(&path, std::sync::Arc::new(crate::vfs::RealVfs))?,
                 DEFAULT_CAPACITY,
             );
-            pool.set_meta(crate::ops::SLOT_VERSION, crate::ops::FORMAT_VERSION + 1)
-                .unwrap();
-            pool.flush().unwrap();
+            pool.set_meta(crate::ops::SLOT_VERSION, crate::ops::FORMAT_VERSION + 1)?;
+            pool.flush()?;
         }
         let err = IndexStore::open(&path).map(|_| ()).unwrap_err();
         assert!(matches!(err, IndexError::Store(StoreError::Corrupt(_))));
+        Ok(())
     }
 }
 
@@ -607,13 +616,15 @@ mod kind_tests {
     use std::path::PathBuf;
 
     #[test]
-    fn document_store_file_is_rejected_by_index_store() {
+    fn document_store_file_is_rejected_by_index_store(
+    ) -> std::result::Result<(), Box<dyn std::error::Error>> {
         let dir = std::env::temp_dir().join(format!("pqgram-kind-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).ok();
         let path: PathBuf = dir.join("docs-as-index.docs");
         std::fs::remove_file(&path).ok();
-        crate::DocumentStore::create(&path, PQParams::default()).unwrap();
+        crate::DocumentStore::create(&path, PQParams::default())?;
         let err = IndexStore::open(&path).map(|_| ()).unwrap_err();
         assert!(matches!(err, IndexError::Store(StoreError::Corrupt(_))));
+        Ok(())
     }
 }

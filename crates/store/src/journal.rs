@@ -30,6 +30,7 @@
 //! bump from `PQGJRNL1` needs no migration: a leftover v1 journal fails the
 //! header check and is discarded exactly like any never-hot journal.
 
+use crate::bytes::{le32, sub};
 use crate::crc::{crc32, update};
 use crate::page::{PageBuf, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 use crate::vfs::{len_u64, Vfs, VfsFile};
@@ -69,11 +70,11 @@ impl Journal {
     pub fn begin(vfs: Arc<dyn Vfs>, store: &Path, original_page_count: u32) -> io::Result<Journal> {
         let path = Self::path_for(store);
         let mut file = vfs.create_truncate(&path)?;
-        let mut header = [0u8; HEADER_LEN];
-        header[..8].copy_from_slice(MAGIC);
-        header[8..12].copy_from_slice(&original_page_count.to_le_bytes());
-        let crc = crc32(&header[..12]);
-        header[12..16].copy_from_slice(&crc.to_le_bytes());
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&original_page_count.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
         file.write_all_at(0, &header)?;
         Ok(Journal {
             file,
@@ -100,12 +101,12 @@ impl Journal {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut entry = vec![0u8; ENTRY_LEN];
-        entry[..4].copy_from_slice(&page.0.to_le_bytes());
-        entry[4..8].copy_from_slice(&seq.to_le_bytes());
-        let crc = entry_crc(&entry[..8], image.as_bytes());
-        entry[8..ENTRY_HEAD].copy_from_slice(&crc.to_le_bytes());
-        entry[ENTRY_HEAD..].copy_from_slice(image.as_bytes());
+        let mut entry = Vec::with_capacity(ENTRY_LEN);
+        entry.extend_from_slice(&page.0.to_le_bytes());
+        entry.extend_from_slice(&seq.to_le_bytes());
+        let crc = entry_crc(&entry, image.as_bytes());
+        entry.extend_from_slice(&crc.to_le_bytes());
+        entry.extend_from_slice(image.as_bytes());
         self.file.write_all_at(self.end, &entry)?;
         self.end += len_u64(entry.len());
         self.synced = false;
@@ -164,24 +165,28 @@ pub struct JournalCheck {
 /// duplicates. Unlike [`replay`], which silently stops at the first broken
 /// entry (by design — that is crash recovery), `validate` reports the
 /// precise violation.
+// analyze: entrypoint(recovery)
 pub fn validate(vfs: &dyn Vfs, journal_path: &Path) -> io::Result<JournalCheck> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut journal = vfs.open(journal_path)?;
     let mut header = [0u8; HEADER_LEN];
-    if journal.read_exact_at(0, &mut header).is_err() || &header[..8] != MAGIC {
+    if journal.read_exact_at(0, &mut header).is_err() || sub(&header, 0, 8) != MAGIC.as_slice() {
         return Err(bad("journal header magic mismatch".into()));
     }
-    if crc32(&header[..12]) != le32(&header[12..16]) {
+    if Some(crc32(sub(&header, 0, 12))) != le32(&header, 12) {
         return Err(bad("journal header checksum mismatch".into()));
     }
-    let original_pages = le32(&header[8..12]);
+    let original_pages =
+        le32(&header, 8).ok_or_else(|| bad("journal header truncated".into()))?;
     let mut entry = vec![0u8; ENTRY_LEN];
     let mut entries = 0u32;
     let mut pos = HEADER_LEN_U64;
     while read_exact_or_eof(journal.as_mut(), pos, &mut entry)? {
         pos += len_u64(entry.len());
-        let seq = le32(&entry[4..8]);
-        if entry_crc(&entry[..8], &entry[ENTRY_HEAD..]) != le32(&entry[8..ENTRY_HEAD]) {
+        let seq = le32(&entry, 4)
+            .ok_or_else(|| bad(format!("journal entry {entries}: truncated head")))?;
+        let head_crc = entry_crc(sub(&entry, 0, 8), sub(&entry, ENTRY_HEAD, PAGE_SIZE));
+        if Some(head_crc) != le32(&entry, 8) {
             return Err(bad(format!("journal entry {entries}: checksum mismatch")));
         }
         if seq != entries {
@@ -199,6 +204,7 @@ pub fn validate(vfs: &dyn Vfs, journal_path: &Path) -> io::Result<JournalCheck> 
 
 /// Recovers `data` from a hot journal next to `store`, if one exists.
 /// Returns `true` if a rollback was performed.
+// analyze: entrypoint(recovery)
 pub fn recover(vfs: &dyn Vfs, store: &Path, data: &mut dyn VfsFile) -> io::Result<bool> {
     let path = Journal::path_for(store);
     if !vfs.exists(&path) {
@@ -219,46 +225,40 @@ pub fn recover(vfs: &dyn Vfs, store: &Path, data: &mut dyn VfsFile) -> io::Resul
 /// the original page count. Invalid or out-of-sequence tails are ignored;
 /// an invalid header is an `InvalidData` error (the journal never became
 /// hot).
+// analyze: entrypoint(recovery)
 fn replay(vfs: &dyn Vfs, journal_path: &Path, data: &mut dyn VfsFile) -> io::Result<()> {
+    let invalid = || io::Error::new(io::ErrorKind::InvalidData, "invalid journal header");
     let mut journal = vfs.open(journal_path)?;
     let mut header = [0u8; HEADER_LEN];
     if journal.read_exact_at(0, &mut header).is_err()
-        || &header[..8] != MAGIC
-        || crc32(&header[..12]) != le32(&header[12..16])
+        || sub(&header, 0, 8) != MAGIC.as_slice()
+        || Some(crc32(sub(&header, 0, 12))) != le32(&header, 12)
     {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "invalid journal header",
-        ));
+        return Err(invalid());
     }
-    let original_pages = le32(&header[8..12]);
+    let original_pages = le32(&header, 8).ok_or_else(invalid)?;
 
     let mut entry = vec![0u8; ENTRY_LEN];
     let mut expected_seq = 0u32;
     let mut pos = HEADER_LEN_U64;
     while read_exact_or_eof(journal.as_mut(), pos, &mut entry)? {
         pos += len_u64(entry.len());
-        let page = le32(&entry[..4]);
-        let seq = le32(&entry[4..8]);
-        if entry_crc(&entry[..8], &entry[ENTRY_HEAD..]) != le32(&entry[8..ENTRY_HEAD]) {
+        let (Some(page), Some(seq)) = (le32(&entry, 0), le32(&entry, 4)) else {
+            break; // unreachable: ENTRY_LEN covers the head
+        };
+        let image = sub(&entry, ENTRY_HEAD, PAGE_SIZE);
+        if Some(entry_crc(sub(&entry, 0, 8), image)) != le32(&entry, 8) {
             break; // torn tail: its data page was never modified
         }
         if seq != expected_seq {
             break; // reordered or duplicated block: refuse to apply
         }
         expected_seq += 1;
-        data.write_all_at(PageId(page).offset(), &entry[ENTRY_HEAD..])?;
+        data.write_all_at(PageId(page).offset(), image)?;
     }
     data.truncate(u64::from(original_pages) * PAGE_SIZE_U64)?;
     data.sync()?;
     Ok(())
-}
-
-/// Little-endian `u32` from the first four bytes of `b`.
-fn le32(b: &[u8]) -> u32 {
-    let mut raw = [0u8; 4];
-    raw.copy_from_slice(&b[..4]);
-    u32::from_le_bytes(raw)
 }
 
 /// Reads exactly `buf.len()` bytes at `offset`, or returns `Ok(false)` on
@@ -266,7 +266,10 @@ fn le32(b: &[u8]) -> u32 {
 fn read_exact_or_eof(f: &mut dyn VfsFile, offset: u64, buf: &mut [u8]) -> io::Result<bool> {
     let mut filled = 0usize;
     while filled < buf.len() {
-        match f.read_at(offset + len_u64(filled), &mut buf[filled..])? {
+        let Some(rest) = buf.get_mut(filled..) else {
+            return Ok(true);
+        };
+        match f.read_at(offset + len_u64(filled), rest)? {
             0 => return Ok(false),
             n => filled += n,
         }

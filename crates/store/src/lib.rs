@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Persistent storage for the pq-gram index.
 //!
 //! The paper stores the index of a forest as a relation `(treeId, pqg, cnt)`
@@ -57,6 +58,7 @@
 
 pub mod blob;
 pub mod btree;
+mod bytes;
 pub mod buffer;
 pub mod crc;
 pub mod document;

@@ -57,6 +57,7 @@ fn total_u32(total: u64) -> Result<u32> {
 
 /// Creates the three relation roots and stamps the format version. Called
 /// once per `create` (the pager journals meta slots with the header).
+// analyze: txn-exempt(store bootstrap: runs during create before any reader can open the file; callers treat a failed create as fatal and discard the half-built store)
 pub(crate) fn init_relations(pool: &BufferPool) -> Result<()> {
     BTree::open(pool, SLOT_FWD)?;
     BTree::open(pool, SLOT_INV)?;
@@ -67,6 +68,7 @@ pub(crate) fn init_relations(pool: &BufferPool) -> Result<()> {
 /// Checks the format version on open, migrating a version-1 file (forward
 /// relation only) by rebuilding the inverted and totals relations in one
 /// transaction. Returns `true` if a migration ran.
+// analyze: entrypoint(recovery)
 pub(crate) fn ensure_format(pool: &BufferPool) -> Result<bool> {
     match pool.meta(SLOT_VERSION) {
         FORMAT_VERSION => Ok(false),

@@ -56,6 +56,7 @@ impl Default for PageBuf {
 
 impl PageBuf {
     /// An all-zero page.
+    // analyze: trusted(infallible: a PAGE_SIZE vec always converts to the boxed array)
     pub fn zeroed() -> Self {
         PageBuf {
             bytes: vec![0u8; PAGE_SIZE]
@@ -66,6 +67,7 @@ impl PageBuf {
     }
 
     /// Builds a page from raw bytes (must be exactly [`PAGE_SIZE`]).
+    // analyze: trusted(documented contract: input must be exactly PAGE_SIZE bytes; all callers pass a PAGE_SIZE buffer)
     pub fn from_bytes(bytes: &[u8]) -> Self {
         assert_eq!(bytes.len(), PAGE_SIZE);
         let mut page = Self::zeroed();
@@ -87,48 +89,56 @@ impl PageBuf {
 
     /// Reads a `u8` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn get_u8(&self, off: usize) -> u8 {
         self.bytes[off]
     }
 
     /// Writes a `u8` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn put_u8(&mut self, off: usize, v: u8) {
         self.bytes[off] = v;
     }
 
     /// Reads a little-endian `u16` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn get_u16(&self, off: usize) -> u16 {
         u16::from_le_bytes(self.bytes[off..off + 2].try_into().expect("in bounds"))
     }
 
     /// Writes a little-endian `u16` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn put_u16(&mut self, off: usize, v: u16) {
         self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u32` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn get_u32(&self, off: usize) -> u32 {
         u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("in bounds"))
     }
 
     /// Writes a little-endian `u32` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn put_u32(&mut self, off: usize, v: u32) {
         self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn get_u64(&self, off: usize) -> u64 {
         u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("in bounds"))
     }
 
     /// Writes a little-endian `u64` at `off`.
     #[inline]
+    // analyze: trusted(const offsets bounded below PAGE_SIZE at every call site)
     pub fn put_u64(&mut self, off: usize, v: u64) {
         self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
@@ -147,18 +157,21 @@ impl PageBuf {
 
     /// Copies `src` to `off`.
     #[inline]
+    // analyze: trusted(offset plus slice length bounded by PAGE_SIZE at every call site)
     pub fn put_slice(&mut self, off: usize, src: &[u8]) {
         self.bytes[off..off + src.len()].copy_from_slice(src);
     }
 
     /// Borrows `len` bytes at `off`.
     #[inline]
+    // analyze: trusted(offset plus length bounded by PAGE_SIZE at every call site)
     pub fn slice(&self, off: usize, len: usize) -> &[u8] {
         &self.bytes[off..off + len]
     }
 
     /// Moves `len` bytes from `src_off` to `dst_off` within the page
     /// (memmove semantics; used for in-page entry shifts).
+    // analyze: trusted(shift ranges bounded by PAGE_SIZE at every call site)
     pub fn shift(&mut self, src_off: usize, dst_off: usize, len: usize) {
         self.bytes.copy_within(src_off..src_off + len, dst_off);
     }

@@ -120,6 +120,7 @@ impl Pager {
     }
 
     /// [`Pager::open`] on an explicit [`Vfs`].
+    // analyze: entrypoint(recovery)
     pub fn open_with(path: &Path, vfs: Arc<dyn Vfs>) -> Result<Pager> {
         let mut file = vfs.open(path)?;
         recover(vfs.as_ref(), path, file.as_mut())?;
@@ -160,15 +161,23 @@ impl Pager {
         self.header.get_u32(OFF_PAGE_COUNT)
     }
 
-    /// Reads a user metadata slot.
+    /// Reads a user metadata slot; out-of-range slots read as zero.
     pub fn meta(&self, slot: usize) -> u64 {
-        assert!(slot < META_SLOTS);
+        debug_assert!(slot < META_SLOTS, "meta slot {slot} out of range");
+        if slot >= META_SLOTS {
+            return 0;
+        }
         self.header.get_u64(OFF_META + slot * 8)
     }
 
     /// Writes a user metadata slot (journaled with the header).
+    // analyze: txn-sink
     pub fn set_meta(&mut self, slot: usize, value: u64) -> Result<()> {
-        assert!(slot < META_SLOTS);
+        if slot >= META_SLOTS {
+            return Err(StoreError::InvalidArgument(format!(
+                "meta slot {slot} out of range"
+            )));
+        }
         self.journal_page(PageId(0))?;
         self.header.put_u64(OFF_META + slot * 8, value);
         self.flush_header()
@@ -187,6 +196,7 @@ impl Pager {
 
     /// Writes page `id`, journaling its original image first when inside a
     /// transaction.
+    // analyze: txn-sink
     pub fn write_page(&mut self, id: PageId, page: &PageBuf) -> Result<()> {
         self.check_id(id)?;
         if id == PageId(0) {
@@ -203,6 +213,7 @@ impl Pager {
     }
 
     /// Allocates a page (reusing the free list when possible).
+    // analyze: txn-sink
     pub fn allocate(&mut self) -> Result<PageId> {
         let head = self.header.get_page_id(OFF_FREELIST);
         if head != PageId::NONE {
@@ -224,6 +235,7 @@ impl Pager {
     }
 
     /// Returns a page to the free list.
+    // analyze: txn-sink
     pub fn free(&mut self, id: PageId) -> Result<()> {
         self.check_id(id)?;
         if id == PageId(0) {
@@ -238,6 +250,7 @@ impl Pager {
     }
 
     /// Starts a transaction.
+    // analyze: txn-boundary
     pub fn begin(&mut self) -> Result<()> {
         if self.journal.is_some() {
             return Err(StoreError::InvalidArgument(
@@ -318,12 +331,14 @@ impl Pager {
                     "free list page {cursor:?} out of range ({pages} pages)"
                 )));
             }
-            if seen[cursor.index()] {
+            if seen.get(cursor.index()).copied().unwrap_or(false) {
                 return Err(StoreError::Corrupt(format!(
                     "free list cycle at {cursor:?}"
                 )));
             }
-            seen[cursor.index()] = true;
+            if let Some(slot) = seen.get_mut(cursor.index()) {
+                *slot = true;
+            }
             free += 1;
             cursor = self.read_page(cursor)?.get_page_id(0);
         }

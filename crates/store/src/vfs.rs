@@ -66,7 +66,10 @@ pub trait VfsFile: Send {
     fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         let mut filled = 0usize;
         while filled < buf.len() {
-            match self.read_at(offset.saturating_add(len_u64(filled)), &mut buf[filled..])? {
+            let Some(rest) = buf.get_mut(filled..) else {
+                return Ok(());
+            };
+            match self.read_at(offset.saturating_add(len_u64(filled)), rest)? {
                 0 => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
@@ -263,7 +266,10 @@ fn write_into(dest: &mut Vec<u8>, offset: u64, data: &[u8]) {
     if dest.len() < end {
         dest.resize(end, 0);
     }
-    dest[start..end].copy_from_slice(data);
+    let tail = dest.get_mut(start..end).unwrap_or(&mut []);
+    for (d, s) in tail.iter_mut().zip(data.iter()) {
+        *d = *s;
+    }
 }
 
 /// Deterministic fault-injecting VFS for crash-recovery tests.
@@ -382,9 +388,13 @@ impl VfsFile for FaultFile {
         }
         let images = state.images(&self.path)?;
         let start = index_of(offset).min(images.current.len());
-        let end = start.saturating_add(buf.len()).min(images.current.len());
-        buf[..end - start].copy_from_slice(&images.current[start..end]);
-        Ok(end - start)
+        let avail = images.current.get(start..).unwrap_or(&[]);
+        let mut copied = 0usize;
+        for (d, s) in buf.iter_mut().zip(avail.iter()) {
+            *d = *s;
+            copied += 1;
+        }
+        Ok(copied)
     }
 
     fn write_all_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
@@ -398,9 +408,9 @@ impl VfsFile for FaultFile {
         if state.tick() {
             // Crash mid-write: a torn sector — only the front half of the
             // buffer reaches the file.
-            let torn_len = buf.len() / 2;
+            let torn = buf.get(..buf.len() / 2).unwrap_or(&[]);
             let images = state.images(&self.path)?;
-            write_into(&mut images.current, offset, &buf[..torn_len]);
+            write_into(&mut images.current, offset, torn);
             return Err(io::Error::other("simulated crash during write"));
         }
         let images = state.images(&self.path)?;

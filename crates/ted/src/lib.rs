@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Zhang–Shasha tree edit distance.
 //!
 //! The pq-gram distance of the reproduced paper is an *approximation* of the

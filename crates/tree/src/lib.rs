@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! Ordered labeled trees with stable node identity, tree edit operations and
 //! workload generators.
 //!

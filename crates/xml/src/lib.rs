@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! A from-scratch XML parser and writer mapping documents onto
 //! [`pqgram_tree::Tree`]s.
 //!

@@ -1,0 +1,824 @@
+//! Intra-workspace call graph over the [`super::model`].
+//!
+//! Call sites are extracted lexically from masked function bodies and
+//! resolved to model functions:
+//!
+//! * `self.method(…)` — methods of the enclosing `impl` type; if the type
+//!   has no such method, every workspace function with that name (the
+//!   method may come from a trait default).
+//! * `self.field.method(…)` — the struct field's type (wrappers like
+//!   `Option<Box<dyn T>>` stripped). A trait-typed field resolves to the
+//!   trait's own defaults *and* every `impl Trait for Type` implementor.
+//! * `Type::method(…)` / `module::function(…)` — the named type's methods
+//!   when `Type` is a workspace type; otherwise functions in the file
+//!   whose stem matches the module segment, falling back to free
+//!   functions of that name.
+//! * `local.method(…)` — typed via `let local: T = …`, `let local =
+//!   T::new(…)`, `let local = self.field…` (through reference-preserving
+//!   calls like `.lock()`/`.take()`/`.as_mut()`), a destructuring
+//!   `let T { field, .. } = …` pattern, or a `local: T` parameter;
+//!   otherwise every workspace *method* of that name (deliberate
+//!   over-approximation — safe for reachability). Method syntax never
+//!   resolves to free functions.
+//!
+//! Calls that resolve to nothing in the workspace (std and other external
+//! APIs) produce no edges: external calls are assumed panic-free, which is
+//! part of the documented trust model (DESIGN.md §10). As a second,
+//! deliberate precision/soundness tradeoff, a fixed list of ubiquitous
+//! std combinator names ([`OPAQUE_STD_METHODS`]) never resolves through an
+//! *unresolved* receiver: `items.iter().enumerate()` must not create an
+//! edge to every workspace method that happens to be called `enumerate`.
+//! Workspace methods sharing such a name are still reached through typed
+//! receivers, which is how all of them are called today.
+
+use super::model::{strip_wrappers, FnItem, Model};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The call graph: `edges[f]` are the model ids `f` may call.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Callee ids per function id.
+    pub edges: Vec<Vec<usize>>,
+    /// Caller ids per function id (transpose of `edges`).
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph for every function in the model.
+    pub fn build(model: &Model) -> Graph {
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(model.fns.len());
+        for f in &model.fns {
+            let mut out = BTreeSet::new();
+            let locals = local_types(f, model);
+            for call in call_sites(&f.body) {
+                resolve(model, f, &call, &locals, &mut out);
+            }
+            edges.push(out.into_iter().collect());
+        }
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); model.fns.len()];
+        for (from, outs) in edges.iter().enumerate() {
+            for &to in outs {
+                callers[to].push(from);
+            }
+        }
+        Graph { edges, callers }
+    }
+}
+
+/// One syntactic call site.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called name (method or function).
+    pub name: String,
+    /// Receiver chain for method calls: `self.file.sync()` → `["self",
+    /// "file"]`; `x.run()` → `["x"]`. Empty for path/free calls.
+    pub recv: Vec<String>,
+    /// Path qualifier segments for `a::b::name(` calls (without `name`).
+    pub path: Vec<String>,
+    /// True when written as a method call (`.name(`).
+    pub is_method: bool,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "move",
+    "unsafe", "break", "continue", "where", "impl", "dyn", "ref", "mut", "pub", "use", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "Some", "Ok", "Err", "None",
+];
+
+/// Extracts call sites from a masked body.
+pub fn call_sites(body: &str) -> Vec<CallSite> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+            // Mid-identifier (e.g. a digit-led tail) — skip the rest.
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let name = &body[start..i];
+        let mut j = i;
+        while bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Tuple-struct / enum-variant constructors in UpperCamelCase that
+        // are not known calls still resolve to nothing later; keep them.
+        let (recv, path, is_method) = context_before(bytes, body, start);
+        out.push(CallSite {
+            name: name.to_string(),
+            recv,
+            path,
+            is_method,
+        });
+    }
+    out
+}
+
+/// Classifies what syntactically precedes the called identifier.
+fn context_before(bytes: &[u8], body: &str, start: usize) -> (Vec<String>, Vec<String>, bool) {
+    if start == 0 {
+        return (Vec::new(), Vec::new(), false);
+    }
+    match bytes[start - 1] {
+        b'.' => {
+            // Walk the receiver chain backwards: ident(.ident)*, tolerating
+            // rustfmt's multi-line chains (whitespace around the dots) —
+            // any other shape (call results, indexing) is an opaque
+            // receiver.
+            let mut chain = Vec::new();
+            let mut k = start - 1;
+            loop {
+                let mut end = k; // points at '.'
+                while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+                    end -= 1;
+                }
+                let mut s = end;
+                while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                    s -= 1;
+                }
+                if s == end {
+                    // `)`/`]`/`?` etc. — opaque receiver.
+                    return (Vec::new(), Vec::new(), true);
+                }
+                chain.push(body[s..end].to_string());
+                let mut p = s;
+                while p > 0 && bytes[p - 1].is_ascii_whitespace() {
+                    p -= 1;
+                }
+                if p > 0 && bytes[p - 1] == b'.' {
+                    k = p - 1;
+                } else {
+                    chain.reverse();
+                    return (chain, Vec::new(), true);
+                }
+            }
+        }
+        b':' if start >= 2 && bytes[start - 2] == b':' => {
+            let mut segs = Vec::new();
+            let mut k = start - 2;
+            loop {
+                let end = k;
+                let mut s = end;
+                while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                    s -= 1;
+                }
+                if s == end {
+                    break;
+                }
+                segs.push(body[s..end].to_string());
+                if s >= 2 && bytes[s - 1] == b':' && bytes[s - 2] == b':' {
+                    k = s - 2;
+                } else {
+                    break;
+                }
+            }
+            segs.reverse();
+            (Vec::new(), segs, false)
+        }
+        _ => (Vec::new(), Vec::new(), false),
+    }
+}
+
+/// Std combinator names that never resolve through an unresolved receiver
+/// (see the module docs for the tradeoff).
+const OPAQUE_STD_METHODS: &[&str] = &[
+    "all",
+    "any",
+    "append",
+    "by_ref",
+    "chain",
+    "chunks",
+    "clear",
+    "cloned",
+    "collect",
+    "contains_key",
+    "copied",
+    "count",
+    "cycle",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "flat_map",
+    "flatten",
+    "fold",
+    "for_each",
+    "fuse",
+    "insert",
+    "inspect",
+    "iter",
+    "iter_mut",
+    "last",
+    "map",
+    "map_while",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "nth",
+    "partition",
+    "peekable",
+    "pop",
+    "position",
+    "product",
+    "push",
+    "read",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "scan",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "splice",
+    "split_off",
+    "step_by",
+    "sum",
+    "swap_remove",
+    "take_while",
+    "truncate",
+    "unzip",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// Reference-preserving call suffixes: `self.journal.take()` still hands
+/// out the `Journal` for typing purposes.
+const PASS_THROUGH_SUFFIXES: &[&str] = &[
+    ".lock()",
+    ".take()",
+    ".as_mut()",
+    ".as_ref()",
+    ".borrow_mut()",
+    ".borrow()",
+    ".clone()",
+    ".unwrap()",
+];
+
+/// The stripped field type when a `let` right-hand side is `self.<field>`
+/// (optionally behind `&`/`&mut` and pass-through suffixes, and followed
+/// only by a statement/block terminator).
+fn self_field_rhs_type(rhs: &str, owner: Option<&str>, model: &Model) -> Option<String> {
+    let owner = owner?;
+    let rhs = rhs.trim_start().trim_start_matches('&').trim_start();
+    let rhs = rhs.strip_prefix("mut ").unwrap_or(rhs).trim_start();
+    let rest = rhs.strip_prefix("self.")?;
+    let field: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if field.is_empty() {
+        return None;
+    }
+    let mut tail = &rest[field.len()..];
+    loop {
+        let before = tail;
+        for suffix in PASS_THROUGH_SUFFIXES {
+            if let Some(t) = tail.strip_prefix(suffix) {
+                tail = t;
+                break;
+            }
+        }
+        if let Some(t) = tail.strip_prefix('?') {
+            tail = t;
+        }
+        if tail.len() == before.len() {
+            break;
+        }
+    }
+    let t = tail.trim_start();
+    let terminated = t.is_empty()
+        || t.starts_with(';')
+        || t.starts_with('{')
+        || t.starts_with(')')
+        || t.starts_with(',')
+        || t.starts_with('}')
+        || t.starts_with("else");
+    if !terminated {
+        return None;
+    }
+    model.fields.get(&(owner.to_string(), field)).cloned()
+}
+
+/// Types of locals and parameters, scraped from the signature and simple
+/// `let` forms in the body.
+fn local_types(f: &FnItem, model: &Model) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    // Parameters: `name: Type` pairs inside the signature parens.
+    if let (Some(open), Some(close)) = (f.sig.find('('), f.sig.rfind(')')) {
+        if open < close {
+            for part in split_top_level(&f.sig[open + 1..close]) {
+                if let Some((name, ty)) = part.split_once(':') {
+                    let name = name.trim().trim_start_matches("mut ").trim();
+                    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                        && !name.is_empty()
+                    {
+                        out.insert(name.to_string(), strip_wrappers(ty));
+                    }
+                }
+            }
+        }
+    }
+    // `let [mut] name: Type = …` and `let [mut] name = Type::…`.
+    let body = &f.body;
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = body[i..].find("let ") {
+        let at = i + pos;
+        i = at + 4;
+        let boundary_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        if !boundary_ok {
+            continue;
+        }
+        let rest = &body[at + 4..];
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        // `let Type { field, other: rename, .. } = …` — each binding gets
+        // the field's declared (stripped) type on the named struct.
+        {
+            let first: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if first.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                let after_first = rest[first.len()..].trim_start();
+                if let Some(pat_body) = after_first.strip_prefix('{') {
+                    if let Some(close) = pat_body.find('}') {
+                        for part in pat_body[..close].split(',') {
+                            let part = part.trim();
+                            if part.is_empty() || part == ".." {
+                                continue;
+                            }
+                            let (fname, bind) = match part.split_once(':') {
+                                Some((fname, bind)) => (fname.trim(), bind.trim()),
+                                None => (part, part),
+                            };
+                            let bind = bind
+                                .trim_start_matches("ref ")
+                                .trim_start_matches("mut ")
+                                .trim();
+                            if !bind.is_empty()
+                                && bind.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                            {
+                                if let Some(ty) =
+                                    model.fields.get(&(first.clone(), fname.to_string()))
+                                {
+                                    out.insert(bind.to_string(), ty.clone());
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        // `let Some(name) = expr` / `let Ok(name) = expr`.
+        let (pat_name, after_pat) = if let Some(inner) = rest
+            .strip_prefix("Some(")
+            .or_else(|| rest.strip_prefix("Ok("))
+        {
+            let Some(close) = inner.find(')') else { continue };
+            (inner[..close].trim().to_string(), &inner[close + 1..])
+        } else {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let after = &rest[name.len()..];
+            (name, after)
+        };
+        if pat_name.is_empty() {
+            continue;
+        }
+        let after = after_pat.trim_start();
+        if let Some(ty_rest) = after.strip_prefix(':') {
+            let ty: String = ty_rest
+                .chars()
+                .take_while(|&c| c != '=' && c != ';')
+                .collect();
+            let stripped = strip_wrappers(&ty);
+            if !stripped.is_empty() {
+                out.insert(pat_name, stripped);
+            }
+        } else if let Some(eq_rest) = after.strip_prefix('=') {
+            let rhs = eq_rest.trim_start();
+            let first: String = rhs
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let after_first = &rhs[first.len()..];
+            if after_first.starts_with("::")
+                && first.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            {
+                out.insert(pat_name, first);
+            } else if let Some(ty) = self_field_rhs_type(rhs, f.owner.as_deref(), model) {
+                out.insert(pat_name, ty);
+            }
+        }
+    }
+    out
+}
+
+/// Splits on top-level commas (ignoring nested `()`/`<>`/`[]`).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    for (idx, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if idx > 0 && bytes[idx - 1] != b'-' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&s[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Ids of functions named `name` owned by `ty`, following trait
+/// implementors when `ty` is a trait.
+fn typed_targets(model: &Model, ty: &str, name: &str) -> Vec<usize> {
+    let mut ids = model.methods_of(ty, name);
+    if model.traits.contains(ty) {
+        for implementor in model.impls.get(ty).map(Vec::as_slice).unwrap_or(&[]) {
+            ids.extend(model.methods_of(implementor, name));
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+fn resolve(
+    model: &Model,
+    caller: &FnItem,
+    call: &CallSite,
+    locals: &BTreeMap<String, String>,
+    out: &mut BTreeSet<usize>,
+) {
+    let all_named = |model: &Model| -> Vec<usize> {
+        model
+            .by_name
+            .get(&call.name)
+            .cloned()
+            .unwrap_or_default()
+    };
+    // Method syntax can only land on methods (inherent, trait, or trait
+    // default) — never on free functions.
+    let all_methods = |model: &Model| -> Vec<usize> {
+        all_named(model)
+            .into_iter()
+            .filter(|&id| model.fns[id].owner.is_some())
+            .collect()
+    };
+    if call.is_method {
+        let recv: Vec<&str> = call.recv.iter().map(String::as_str).collect();
+        let receiver_ty: Option<String> = match recv.as_slice() {
+            ["self"] => caller.owner.clone(),
+            ["self", field] => caller.owner.as_ref().and_then(|o| {
+                model
+                    .fields
+                    .get(&(o.clone(), field.to_string()))
+                    .cloned()
+            }),
+            [local] => locals.get(*local).cloned(),
+            [local, field] => locals
+                .get(*local)
+                .and_then(|t| model.fields.get(&(t.clone(), field.to_string())).cloned()),
+            _ => None,
+        };
+        match receiver_ty {
+            Some(ty) if model.known_types.contains(&ty) => {
+                let ids = typed_targets(model, &ty, &call.name);
+                if !ids.is_empty() {
+                    out.extend(ids);
+                } else if call.recv.first().map(String::as_str) == Some("self")
+                    && call.recv.len() == 1
+                {
+                    // Possibly a trait-default method on self: fall back.
+                    out.extend(all_methods(model));
+                }
+                // A known type without that method and a non-self receiver:
+                // the call goes to a std method on a wrapper (e.g.
+                // `Option::take`) — no edge.
+            }
+            Some(_) => {} // std/primitive type — external, no edge
+            None => {
+                // Unresolved receiver: over-approximate with every
+                // workspace method of that name — except the ubiquitous
+                // std combinators, which would wire iterator chains into
+                // unrelated same-named workspace methods.
+                if !OPAQUE_STD_METHODS.contains(&call.name.as_str()) {
+                    out.extend(all_methods(model));
+                }
+            }
+        }
+        return;
+    }
+    if let Some(last) = call.path.last() {
+        if model.known_types.contains(last) {
+            out.extend(typed_targets(model, last, &call.name));
+            return;
+        }
+        // Module-qualified free call: prefer functions in a file whose
+        // stem matches the module segment.
+        let in_module: Vec<usize> = all_named(model)
+            .into_iter()
+            .filter(|&id| {
+                let f = &model.fns[id];
+                f.owner.is_none()
+                    && f.file
+                        .rsplit('/')
+                        .next()
+                        .is_some_and(|stem| stem == format!("{last}.rs"))
+            })
+            .collect();
+        if !in_module.is_empty() {
+            out.extend(in_module);
+            return;
+        }
+        if matches!(last.as_str(), "crate" | "self" | "super") {
+            out.extend(
+                all_named(model)
+                    .into_iter()
+                    .filter(|&id| model.fns[id].owner.is_none()),
+            );
+        }
+        // Unknown external path (std::…): no edge.
+        return;
+    }
+    // Bare call: free functions, same file first.
+    let free: Vec<usize> = all_named(model)
+        .into_iter()
+        .filter(|&id| model.fns[id].owner.is_none())
+        .collect();
+    let same_file: Vec<usize> = free
+        .iter()
+        .copied()
+        .filter(|&id| model.fns[id].file == caller.file)
+        .collect();
+    if !same_file.is_empty() {
+        out.extend(same_file);
+    } else {
+        out.extend(free);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_method_and_path_calls() {
+        let sites = call_sites("{ self.file.sync(); crate::ops::go(x); helper(); v.len(); }");
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["sync", "go", "helper", "len"], "{sites:?}");
+        assert_eq!(sites[0].recv, ["self", "file"]);
+        assert_eq!(sites[1].path, ["crate", "ops"]);
+        assert!(!sites[2].is_method);
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let sites = call_sites("{ if (x) { return (y); } assert!(z); vec![w]; }");
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn resolves_field_receiver_through_trait() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "trait Flush { fn flush(&mut self); }\n\
+             struct Disk;\n\
+             impl Flush for Disk { fn flush(&mut self) {} }\n\
+             struct Holder { out: Box<dyn Flush> }\n\
+             impl Holder { fn go(&mut self) { self.out.flush(); } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let go = m.fns.iter().position(|f| f.name == "go").expect("go");
+        let disk_flush = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Disk::flush")
+            .expect("impl");
+        assert!(
+            g.edges[go].contains(&disk_flush),
+            "go must reach the trait implementor: {:?}",
+            g.edges[go]
+        );
+    }
+
+    #[test]
+    fn lock_bound_local_resolves_through_field_type() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Inner { pager: Pager }\n\
+             struct Pager;\n\
+             impl Pager { fn commit(&mut self) {} }\n\
+             struct Decoy;\n\
+             impl Decoy { fn commit(&mut self) {} }\n\
+             struct Pool { inner: Mutex<Inner> }\n\
+             impl Pool { fn commit(&self) { let mut inner = self.inner.lock();\n    inner.pager.commit(); } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let pool = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pool::commit")
+            .expect("pool");
+        let pager = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pager::commit")
+            .expect("pager");
+        let decoy = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Decoy::commit")
+            .expect("decoy");
+        assert!(g.edges[pool].contains(&pager), "{:?}", g.edges[pool]);
+        assert!(!g.edges[pool].contains(&decoy), "{:?}", g.edges[pool]);
+    }
+
+    #[test]
+    fn if_let_some_field_binding_is_typed() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Journal;\n\
+             impl Journal { fn sync(&mut self) {} }\n\
+             struct Other;\n\
+             impl Other { fn sync(&mut self) {} }\n\
+             struct Pager { journal: Option<Journal> }\n\
+             impl Pager { fn flush(&mut self) { if let Some(j) = &mut self.journal {\n    j.sync();\n} } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let flush = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pager::flush")
+            .expect("flush");
+        let journal = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Journal::sync")
+            .expect("journal");
+        let other = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Other::sync")
+            .expect("other");
+        assert!(g.edges[flush].contains(&journal), "{:?}", g.edges[flush]);
+        assert!(!g.edges[flush].contains(&other), "{:?}", g.edges[flush]);
+    }
+
+    #[test]
+    fn struct_destructure_binds_field_types() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "trait Vfs { fn delete(&self); }\n\
+             struct RealVfs;\n\
+             impl Vfs for RealVfs { fn delete(&self) {} }\n\
+             fn delete() {}\n\
+             struct Journal { vfs: Arc<dyn Vfs> }\n\
+             impl Journal { fn commit(self) { let Journal { vfs, .. } = self;\n    vfs.delete(); } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let commit = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Journal::commit")
+            .expect("commit");
+        let real = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "RealVfs::delete")
+            .expect("real");
+        let free = m
+            .fns
+            .iter()
+            .position(|f| f.owner.is_none() && f.name == "delete")
+            .expect("free");
+        assert!(g.edges[commit].contains(&real), "{:?}", g.edges[commit]);
+        assert!(
+            !g.edges[commit].contains(&free),
+            "method call must not reach the free fn: {:?}",
+            g.edges[commit]
+        );
+    }
+
+    #[test]
+    fn opaque_iterator_combinators_make_no_edges() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Tables;\n\
+             impl Tables { fn enumerate(&self) {} }\n\
+             fn walk(v: &Vec2) { for (i, x) in v.iter().enumerate() { x; } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let walk = m.fns.iter().position(|f| f.name == "walk").expect("walk");
+        let method = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Tables::enumerate")
+            .expect("m");
+        assert!(
+            !g.edges[walk].contains(&method),
+            "opaque .enumerate() must stay external: {:?}",
+            g.edges[walk]
+        );
+    }
+
+    #[test]
+    fn multiline_chain_receiver_resolves() {
+        // rustfmt breaks long chains as `store\n    .put(...)`; the
+        // whitespace before the dot must not make the receiver opaque.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Store; impl Store { fn put(&mut self) {} }\n\
+             struct Blob; impl Blob { fn put(&mut self) {} }\n\
+             fn driver() {\n\
+                 let mut store = Store::fresh();\n\
+                 store\n\
+                     .put();\n\
+             }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let driver = m.fns.iter().position(|f| f.name == "driver").expect("d");
+        let store_put = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Store::put")
+            .expect("sp");
+        let blob_put = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Blob::put")
+            .expect("bp");
+        assert!(g.edges[driver].contains(&store_put), "{:?}", g.edges[driver]);
+        assert!(
+            !g.edges[driver].contains(&blob_put),
+            "multi-line chain over-approximated: {:?}",
+            g.edges[driver]
+        );
+    }
+
+    #[test]
+    fn unresolved_receiver_over_approximates() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct A; impl A { fn run(&self) {} }\n\
+             fn driver(h: &H) { mystery().run(); }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let driver = m.fns.iter().position(|f| f.name == "driver").expect("d");
+        let run = m.fns.iter().position(|f| f.name == "run").expect("r");
+        assert!(g.edges[driver].contains(&run), "{:?}", g.edges[driver]);
+    }
+}

@@ -1,0 +1,65 @@
+//! `cargo xtask analyze` — whole-workspace semantic analysis.
+//!
+//! The pipeline: [`model`] parses every source file into functions,
+//! fields and impls; [`callgraph`] connects them; [`panic`], [`txn`] and
+//! [`discard`] run the three analyses; [`report`] aggregates. The
+//! entry-point/trust vocabulary is the `// analyze:` marker comments
+//! documented in DESIGN.md §10.
+
+pub mod callgraph;
+pub mod discard;
+pub mod model;
+pub mod panic;
+pub mod report;
+pub mod txn;
+
+use crate::walk::{rel, rust_files};
+use report::Report;
+use std::io;
+use std::path::Path;
+
+/// Builds the model from every `.rs` under `crates/*/src` and the root
+/// `src/` of the workspace at `root` (the same scope as the token lints).
+pub fn workspace_model(root: &Path) -> io::Result<model::Model> {
+    let mut m = model::Model::default();
+    for path in crate::rules::workspace_sources(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        m.add_file(&rel(root, &path), &source)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    }
+    Ok(m)
+}
+
+/// Builds a model from *every* `.rs` under `dir` — used by the fixture
+/// tests, whose mini-crates mirror the `crates/<name>/src` layout.
+pub fn dir_model(dir: &Path) -> io::Result<model::Model> {
+    let mut m = model::Model::default();
+    for path in rust_files(dir)? {
+        let source = std::fs::read_to_string(&path)?;
+        m.add_file(&rel(dir, &path), &source)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    }
+    Ok(m)
+}
+
+/// Runs the three analyses over a built model. `require_anchors` demands
+/// the commit-ordering anchor functions exist (on for workspace runs, off
+/// for fixtures).
+pub fn run_model(m: &model::Model, require_anchors: bool) -> Report {
+    let graph = callgraph::Graph::build(m);
+    let seeds = panic::all_seeds(m);
+    let panic_report = panic::run(m, &graph, &seeds);
+    let mut hard = panic_report.recovery;
+    hard.extend(txn::run(m, &graph));
+    hard.extend(txn::check_ordering(m, require_anchors));
+    hard.extend(discard::run(m));
+    Report {
+        hard,
+        ratcheted: panic_report.ratcheted,
+    }
+}
+
+/// Convenience: model + analyses for a fixture directory.
+pub fn run_dir(dir: &Path) -> io::Result<Report> {
+    Ok(run_model(&dir_model(dir)?, false))
+}

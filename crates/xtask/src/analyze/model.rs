@@ -1,0 +1,712 @@
+//! The parsed-item model: a cheap, offline-friendly approximation of the
+//! workspace's items, built on the [`crate::lexer`] masker instead of a
+//! full parser.
+//!
+//! For every `.rs` file the model records:
+//!
+//! * functions — name, owning `impl`/`trait` type, masked signature and
+//!   body text, whether the item is test-only, and any `// analyze:`
+//!   marker directives written above it;
+//! * struct fields — `(type, field) -> field type`, used by the call
+//!   graph to resolve `self.field.method(...)` receivers;
+//! * `impl Trait for Type` pairs, used to resolve calls through trait
+//!   objects (`Box<dyn VfsFile>`) to every implementor.
+//!
+//! The parser is intentionally lexical: it brace-matches on masked text
+//! (strings and comments blanked), so it never confuses a `{` in a string
+//! for a block. Known approximations are documented in DESIGN.md §10.
+
+use crate::lexer::{line_of, mask};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A `// analyze: …` directive attached to the function below it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Marker {
+    /// `entrypoint(recovery)` — a recovery entry point; *zero* reachable
+    /// panic sites tolerated.
+    EntryRecovery,
+    /// `entrypoint` — an audited entry point; reachable panic sites are
+    /// ratcheted via the `[panic-reach]` baseline section.
+    Entry,
+    /// `trusted(<reason>)` — a reviewed leaf whose panic sites are
+    /// excluded from seeding. The reason is mandatory.
+    Trusted(String),
+    /// `txn-boundary` — this function opens (and closes) a journal
+    /// transaction around everything it runs.
+    TxnBoundary,
+    /// `txn-sink` — a mutating storage write; every unguarded path from a
+    /// root to one of these is a discipline violation.
+    TxnSink,
+    /// `txn-exempt(<reason>)` — deliberately writes outside a transaction
+    /// (e.g. initialising a fresh file). The reason is mandatory.
+    TxnExempt(String),
+}
+
+impl Marker {
+    fn parse(text: &str) -> Result<Marker, String> {
+        let text = text.trim();
+        let (name, arg) = match text.split_once('(') {
+            Some((name, rest)) => {
+                let arg = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed `(` in `// analyze: {text}`"))?;
+                (name.trim(), Some(arg.trim()))
+            }
+            None => (text, None),
+        };
+        match (name, arg) {
+            ("entrypoint", Some("recovery")) => Ok(Marker::EntryRecovery),
+            ("entrypoint", None) => Ok(Marker::Entry),
+            ("trusted", Some(reason)) if !reason.is_empty() => {
+                Ok(Marker::Trusted(reason.to_string()))
+            }
+            ("trusted", _) => Err("`trusted` needs a non-empty reason: trusted(<why>)".into()),
+            ("txn-boundary", None) => Ok(Marker::TxnBoundary),
+            ("txn-sink", None) => Ok(Marker::TxnSink),
+            ("txn-exempt", Some(reason)) if !reason.is_empty() => {
+                Ok(Marker::TxnExempt(reason.to_string()))
+            }
+            ("txn-exempt", _) => Err("`txn-exempt` needs a reason: txn-exempt(<why>)".into()),
+            _ => Err(format!("unknown analyze directive `{text}`")),
+        }
+    }
+}
+
+/// One function (free function, inherent/trait method, or trait default
+/// method) in the model.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `impl`/`trait` owner type name, `None` for free functions.
+    pub owner: Option<String>,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Masked signature text (from `fn` to the body `{` / `;`).
+    pub sig: String,
+    /// Masked body text including the outer braces; empty for
+    /// signature-only trait methods.
+    pub body: String,
+    /// Byte offset of the body start within the masked file, for
+    /// line-number reporting of seeds inside the body.
+    pub body_offset: usize,
+    /// True inside `#[cfg(test)]` regions or under a `#[test]` attribute.
+    pub is_test: bool,
+    /// True when the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Markers written above the function.
+    pub markers: Vec<Marker>,
+}
+
+impl FnItem {
+    /// `Type::name` or the bare name, for reports.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// True when any marker matches the predicate.
+    pub fn has_marker(&self, pred: impl Fn(&Marker) -> bool) -> bool {
+        self.markers.iter().any(pred)
+    }
+}
+
+impl fmt::Display for FnItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}:{})", self.qualified(), self.file, self.line)
+    }
+}
+
+/// The whole-workspace model.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// All functions; indices are the `FnId`s used by the call graph.
+    pub fns: Vec<FnItem>,
+    /// `(owner type, field name) -> field type` (last path segment, with
+    /// `Option`/`Box`/`Arc`/`Rc`/`Mutex`/`RefCell`/`dyn`/refs stripped).
+    pub fields: BTreeMap<(String, String), String>,
+    /// `trait -> implementing types` from `impl Trait for Type` items.
+    pub impls: BTreeMap<String, Vec<String>>,
+    /// Names of types that appear as an `impl`/`struct`/`trait` owner.
+    pub known_types: std::collections::BTreeSet<String>,
+    /// Names declared with `trait Name`.
+    pub traits: std::collections::BTreeSet<String>,
+    /// `fn name -> fn ids` across the workspace.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Model {
+    /// Parses `source` (the contents of `file`) into the model.
+    pub fn add_file(&mut self, file: &str, source: &str) -> Result<(), String> {
+        let masked = mask(source);
+        let bytes = masked.as_bytes();
+        let test_ranges = test_ranges(bytes);
+        let regions = owner_regions(bytes);
+        parse_struct_fields(&masked, &mut self.fields);
+        for region in &regions {
+            self.known_types.insert(region.name.clone());
+            if region.is_trait {
+                self.traits.insert(region.name.clone());
+            }
+            if let Some(trait_name) = &region.trait_name {
+                self.impls
+                    .entry(trait_name.clone())
+                    .or_default()
+                    .push(region.name.clone());
+            }
+        }
+        let mut i = 0;
+        while let Some(at) = find_kw(bytes, i, b"fn") {
+            i = at + 2;
+            let Some(parsed) = parse_fn(&masked, source, at) else {
+                continue;
+            };
+            let owner = regions
+                .iter()
+                .filter(|r| r.body.0 < at && at < r.body.1)
+                .max_by_key(|r| r.body.0)
+                .map(|r| r.name.clone());
+            let in_test_range = test_ranges.iter().any(|(s, e)| *s <= at && at < *e);
+            let id = self.fns.len();
+            let item = FnItem {
+                name: parsed.name.clone(),
+                owner,
+                file: file.to_string(),
+                line: line_of(&masked, at),
+                sig: parsed.sig,
+                body: parsed.body,
+                body_offset: parsed.body_offset,
+                is_test: in_test_range || parsed.attr_test,
+                returns_result: parsed.returns_result,
+                markers: parsed.markers.map_err(|e| format!("{file}: {e}"))?,
+            };
+            self.by_name.entry(parsed.name).or_default().push(id);
+            self.fns.push(item);
+            i = parsed.next;
+        }
+        Ok(())
+    }
+
+    /// Ids of functions named `name` owned by `owner`.
+    pub fn methods_of(&self, owner: &str, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].owner.as_deref() == Some(owner))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Finds keyword `kw` at or after `from`, on identifier boundaries.
+fn find_kw(bytes: &[u8], mut from: usize, kw: &[u8]) -> Option<usize> {
+    while from + kw.len() <= bytes.len() {
+        if bytes[from..].starts_with(kw) {
+            let before_ok = from == 0 || !is_ident_byte(bytes[from - 1]);
+            let after = bytes.get(from + kw.len());
+            let after_ok = !after.is_some_and(|&b| is_ident_byte(b));
+            if before_ok && after_ok {
+                return Some(from);
+            }
+        }
+        from += 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+fn read_ident(bytes: &[u8], mut i: usize) -> (String, usize) {
+    let start = i;
+    while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
+        i += 1;
+    }
+    (
+        String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+        i,
+    )
+}
+
+/// Matches a bracketed region starting at `open_at` (which must hold the
+/// opening delimiter); returns the offset one past the closing delimiter.
+/// Angle brackets are handled `->`-aware by the caller, this one is for
+/// `(`/`[`/`{` which cannot appear unbalanced in masked code.
+fn match_delim(bytes: &[u8], open_at: usize) -> usize {
+    let open = bytes[open_at];
+    let close = match open {
+        b'(' => b')',
+        b'[' => b']',
+        b'{' => b'}',
+        _ => return open_at + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < bytes.len() {
+        if bytes[i] == open {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a generics list starting at `<`; `>` preceded by `-` (i.e. `->`)
+/// does not close.
+fn skip_generics(bytes: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] != b'-' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `#[cfg(test)]` item ranges (the brace-matched block of the annotated
+/// item, typically `mod tests`).
+fn test_ranges(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let needle = b"#[cfg(test)]";
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let mut j = i + needle.len();
+            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'{') {
+                let end = match_delim(bytes, j);
+                out.push((i, end));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+struct OwnerRegion {
+    name: String,
+    trait_name: Option<String>,
+    is_trait: bool,
+    body: (usize, usize),
+}
+
+/// `impl …` and `trait …` regions with the owning type name.
+fn owner_regions(bytes: &[u8]) -> Vec<OwnerRegion> {
+    let mut out = Vec::new();
+    for kw in [&b"impl"[..], &b"trait"[..]] {
+        let mut i = 0;
+        while let Some(at) = find_kw(bytes, i, kw) {
+            i = at + kw.len();
+            let mut j = skip_ws(bytes, i);
+            if bytes.get(j) == Some(&b'<') {
+                j = skip_generics(bytes, j);
+                j = skip_ws(bytes, j);
+            }
+            // Collect path tokens up to `{`, `for`, or `where`.
+            let mut first = read_path_type(bytes, &mut j);
+            let mut trait_name = None;
+            let mut is_for = false;
+            loop {
+                j = skip_ws(bytes, j);
+                match bytes.get(j) {
+                    Some(b'{') => break,
+                    _ => {
+                        if let Some(rest) = find_kw(bytes, j, b"for").filter(|&p| p == j) {
+                            let _ = rest;
+                            is_for = true;
+                            j = skip_ws(bytes, j + 3);
+                            trait_name = Some(first.clone());
+                            first = read_path_type(bytes, &mut j);
+                        } else if let Some(p) = find_kw(bytes, j, b"where").filter(|&p| p == j) {
+                            // Skip the where clause up to `{`.
+                            j = p + 5;
+                            while j < bytes.len() && bytes[j] != b'{' {
+                                j += 1;
+                            }
+                        } else if j >= bytes.len() {
+                            break;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            if bytes.get(j) != Some(&b'{') || first.is_empty() {
+                continue;
+            }
+            let end = match_delim(bytes, j);
+            out.push(OwnerRegion {
+                name: first,
+                trait_name: if is_for { trait_name } else { None },
+                is_trait: kw == b"trait",
+                body: (j, end),
+            });
+        }
+    }
+    out
+}
+
+/// Reads a type path at `*j` (e.g. `crate::vfs::VfsFile<'a>`), returning
+/// the last path segment and advancing `*j` past the path and any generic
+/// arguments.
+fn read_path_type(bytes: &[u8], j: &mut usize) -> String {
+    let mut last = String::new();
+    loop {
+        *j = skip_ws(bytes, *j);
+        if bytes.get(*j) == Some(&b'&') || bytes.get(*j) == Some(&b'\'') {
+            *j += 1;
+            continue;
+        }
+        let (ident, next) = read_ident(bytes, *j);
+        if ident.is_empty() {
+            break;
+        }
+        *j = next;
+        if bytes.get(*j) == Some(&b'<') {
+            let after = skip_generics(bytes, *j);
+            if ident != "dyn" && ident != "mut" {
+                last = ident;
+            }
+            *j = after;
+            break;
+        }
+        if bytes.get(*j) == Some(&b':') && bytes.get(*j + 1) == Some(&b':') {
+            *j += 2;
+            continue;
+        }
+        if ident != "dyn" && ident != "mut" {
+            last = ident;
+        }
+        break;
+    }
+    last
+}
+
+/// Strips wrapper types to the interesting last segment:
+/// `Option<Box<dyn VfsFile>>` → `VfsFile`.
+pub fn strip_wrappers(ty: &str) -> String {
+    let mut t = ty.trim();
+    loop {
+        t = t
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .trim()
+            .trim_start_matches("dyn ")
+            .trim();
+        // `&'a BufferPool` — drop the lifetime token.
+        if let Some(rest) = t.strip_prefix('\'') {
+            t = match rest.find(char::is_whitespace) {
+                Some(ws) => rest[ws..].trim_start(),
+                None => "",
+            };
+            continue;
+        }
+        let mut advanced = false;
+        for wrapper in ["Option<", "Box<", "Arc<", "Rc<", "Mutex<", "RefCell<", "Vec<"] {
+            if let Some(rest) = t.strip_prefix(wrapper) {
+                t = rest.strip_suffix('>').unwrap_or(rest);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    // Last path segment, generics dropped.
+    let t = t.split('<').next().unwrap_or(t);
+    let t = t.rsplit("::").next().unwrap_or(t);
+    t.trim().to_string()
+}
+
+/// Parses `struct Name { field: Type, … }` declarations into `fields`.
+fn parse_struct_fields(masked: &str, fields: &mut BTreeMap<(String, String), String>) {
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while let Some(at) = find_kw(bytes, i, b"struct") {
+        i = at + 6;
+        let mut j = skip_ws(bytes, i);
+        let (name, next) = read_ident(bytes, j);
+        j = next;
+        if name.is_empty() {
+            continue;
+        }
+        if bytes.get(j) == Some(&b'<') {
+            j = skip_generics(bytes, j);
+        }
+        j = skip_ws(bytes, j);
+        // Skip a where clause.
+        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' && bytes[j] != b'(' {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'{') {
+            continue; // unit or tuple struct
+        }
+        let end = match_delim(bytes, j);
+        let body = &masked[j + 1..end.saturating_sub(1)];
+        for part in split_fields(body) {
+            let mut part = part.trim();
+            // `pub` / `pub(crate)` visibility prefixes.
+            if let Some(rest) = part.strip_prefix("pub") {
+                let rest = rest.trim_start();
+                part = match rest.strip_prefix('(') {
+                    Some(vis) => vis.split_once(')').map(|(_, r)| r).unwrap_or(rest),
+                    None => rest,
+                }
+                .trim();
+            }
+            let Some((fname, ftype)) = part.split_once(':') else {
+                continue;
+            };
+            let fname = fname.trim();
+            if fname.is_empty() || !fname.bytes().all(is_ident_byte) {
+                continue;
+            }
+            fields.insert(
+                (name.clone(), fname.to_string()),
+                strip_wrappers(ftype.trim()),
+            );
+        }
+        i = j;
+    }
+}
+
+/// Splits a struct body on top-level commas (nested `()`/`[]`/`<>`
+/// ignored, `->` inside `Fn(…) -> T` fields handled).
+fn split_fields(body: &str) -> Vec<&str> {
+    let bytes = body.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    for (idx, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if idx > 0 && bytes[idx - 1] != b'-' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&body[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+struct ParsedFn {
+    name: String,
+    sig: String,
+    body: String,
+    body_offset: usize,
+    returns_result: bool,
+    attr_test: bool,
+    markers: Result<Vec<Marker>, String>,
+    next: usize,
+}
+
+/// Parses the function starting with the `fn` keyword at `at`. Returns
+/// `None` for `fn(` pointer types and other non-items.
+fn parse_fn(masked: &str, raw: &str, at: usize) -> Option<ParsedFn> {
+    let bytes = masked.as_bytes();
+    let mut j = skip_ws(bytes, at + 2);
+    let (name, next) = read_ident(bytes, j);
+    if name.is_empty() {
+        return None; // `fn(` pointer type
+    }
+    j = next;
+    if bytes.get(j) == Some(&b'<') {
+        j = skip_generics(bytes, j);
+    }
+    j = skip_ws(bytes, j);
+    if bytes.get(j) != Some(&b'(') {
+        return None;
+    }
+    let args_end = match_delim(bytes, j);
+    // Scan from the end of the argument list to the body `{` or a `;`
+    // (trait method signature), at top level.
+    let mut k = args_end;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'{' => break,
+            b';' => break,
+            b'(' | b'[' => k = match_delim(bytes, k),
+            b'<' => k = skip_generics(bytes, k),
+            _ => k += 1,
+        }
+    }
+    let sig = masked[at..k.min(masked.len())].to_string();
+    let returns_result = sig.contains("Result");
+    let (body, body_offset, next) = if bytes.get(k) == Some(&b'{') {
+        let end = match_delim(bytes, k);
+        (masked[k..end].to_string(), k, end)
+    } else {
+        (String::new(), k, k + 1)
+    };
+    let (attr_test, markers) = preamble(raw, masked, at);
+    Some(ParsedFn {
+        name,
+        sig,
+        body,
+        body_offset,
+        returns_result,
+        attr_test,
+        markers,
+        next,
+    })
+}
+
+/// Scans the attribute/doc/marker lines directly above the `fn` at `at`:
+/// collects `// analyze:` directives (from the *raw* source — comments are
+/// blanked in the masked text) and detects `#[test]`-style attributes.
+fn preamble(raw: &str, masked: &str, at: usize) -> (bool, Result<Vec<Marker>, String>) {
+    let mut markers = Vec::new();
+    let mut attr_test = false;
+    // Byte offset of the start of the fn's line.
+    let line_start = raw[..at.min(raw.len())]
+        .rfind('\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    // Words like `pub`, `const`, `unsafe` may precede `fn` on the same
+    // line; anything above is the preamble.
+    let mut cursor = line_start;
+    loop {
+        if cursor == 0 {
+            break;
+        }
+        let prev_start = raw[..cursor - 1].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let raw_line = &raw[prev_start..cursor - 1];
+        let trimmed = raw_line.trim();
+        let masked_line = masked.get(prev_start..cursor - 1).unwrap_or("");
+        if let Some(directive) = trimmed.strip_prefix("// analyze:") {
+            match Marker::parse(directive) {
+                Ok(m) => markers.push(m),
+                Err(e) => return (attr_test, Err(e)),
+            }
+        } else if trimmed.starts_with("///")
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("#[")
+            || masked_line.trim_start().starts_with("#[")
+        {
+            let attr = masked_line.trim();
+            if attr.starts_with("#[")
+                && (attr.contains("test") || attr.contains("bench"))
+            {
+                attr_test = true;
+            }
+        } else {
+            break;
+        }
+        cursor = prev_start;
+        if prev_start == 0 {
+            break;
+        }
+    }
+    markers.reverse();
+    (attr_test, Ok(markers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(src: &str) -> Model {
+        let mut m = Model::default();
+        m.add_file("crates/store/src/demo.rs", src).expect("parse");
+        m
+    }
+
+    #[test]
+    fn parses_free_and_method_fns() {
+        let m = model_of(
+            "fn free(x: u32) -> Result<(), E> { x; }\n\
+             struct S { file: Box<dyn VfsFile>, n: u32 }\n\
+             impl S {\n    fn method(&self) { self.n; }\n}\n\
+             impl VfsFile for S {\n    fn sync(&mut self) {}\n}\n",
+        );
+        let names: Vec<String> = m.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(names, ["free", "S::method", "S::sync"], "{names:?}");
+        assert!(m.fns[0].returns_result);
+        assert!(!m.fns[1].returns_result);
+        assert_eq!(
+            m.fields.get(&("S".into(), "file".into())).map(String::as_str),
+            Some("VfsFile")
+        );
+        assert_eq!(m.impls.get("VfsFile"), Some(&vec!["S".to_string()]));
+    }
+
+    #[test]
+    fn test_code_is_flagged() {
+        let m = model_of(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n",
+        );
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test, "helper inside cfg(test) mod");
+        assert!(m.fns[2].is_test);
+    }
+
+    #[test]
+    fn markers_parse_and_attach() {
+        let m = model_of(
+            "/// Docs.\n// analyze: entrypoint(recovery)\n// analyze: txn-boundary\npub fn open() {}\n\
+             // analyze: trusted(const offsets)\nfn leaf() {}\n",
+        );
+        assert_eq!(
+            m.fns[0].markers,
+            vec![Marker::EntryRecovery, Marker::TxnBoundary]
+        );
+        assert_eq!(
+            m.fns[1].markers,
+            vec![Marker::Trusted("const offsets".into())]
+        );
+    }
+
+    #[test]
+    fn bad_marker_is_an_error() {
+        let mut m = Model::default();
+        let err = m.add_file("f.rs", "// analyze: entrypiont\nfn f() {}\n");
+        assert!(err.is_err(), "{err:?}");
+    }
+
+    #[test]
+    fn strip_wrappers_unwraps_nesting() {
+        assert_eq!(strip_wrappers("Option<Box<dyn VfsFile>>"), "VfsFile");
+        assert_eq!(strip_wrappers("&mut BTree"), "BTree");
+        assert_eq!(strip_wrappers("&'a BufferPool"), "BufferPool");
+        assert_eq!(strip_wrappers("&'a mut Tree"), "Tree");
+        assert_eq!(strip_wrappers("crate::pager::Pager"), "Pager");
+        assert_eq!(strip_wrappers("u32"), "u32");
+    }
+}

@@ -43,6 +43,32 @@ impl Counts {
             .copied()
             .unwrap_or(0)
     }
+
+    /// Keeps only entries whose rule satisfies `pred`.
+    pub fn retain_rules(&mut self, pred: impl Fn(&str) -> bool) {
+        self.map.retain(|(rule, _), _| pred(rule));
+    }
+
+    /// Merges `other`'s entries into `self` (overwriting duplicates).
+    pub fn merge(&mut self, other: Counts) {
+        self.map.extend(other.map);
+    }
+}
+
+/// Rewrites only the sections owned by `owned_rules` in the baseline at
+/// `path`: entries for other rules are carried over untouched, so `cargo
+/// xtask lint --update-baseline` and `cargo xtask analyze
+/// --update-baseline` never clobber each other.
+pub fn update_subset(path: &Path, owned_rules: &[&str], counts: &Counts) -> io::Result<Counts> {
+    let mut merged = match load(path) {
+        Ok(existing) => existing,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Counts::default(),
+        Err(e) => return Err(e),
+    };
+    merged.retain_rules(|rule| !owned_rules.contains(&rule));
+    merged.merge(counts.clone());
+    save(path, &merged)?;
+    Ok(merged)
 }
 
 /// Aggregates violations into per-`(rule, file)` counts.

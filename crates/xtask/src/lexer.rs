@@ -131,16 +131,15 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
         return false;
     }
     let rest = &bytes[i..];
-    let after_prefix = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+    // Only `r` and `br` open raw strings; `rb` is not a Rust prefix, and
+    // inventing it would desynchronise the masker on the tokens that follow.
+    let after_prefix = if rest.starts_with(b"br") {
         2
-    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+    } else if rest.starts_with(b"r") {
         1
     } else {
-        return false;
-    };
-    if rest.first() == Some(&b'b') && after_prefix == 1 {
         return false; // bare `b` handles `b"`/`b'` separately
-    }
+    };
     let mut j = after_prefix;
     while rest.get(j) == Some(&b'#') {
         j += 1;
@@ -245,6 +244,58 @@ mod tests {
         let src = "/* outer /* inner as u64 */ still */ x as u64";
         let masked = mask(src);
         assert_eq!(masked.matches("as u64").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn rb_is_not_a_raw_string_prefix() {
+        // Only `r`/`br` are raw prefixes in Rust. An invented `rb` prefix
+        // would swallow the `#` fence tokens and desynchronise everything
+        // after them.
+        assert!(!is_raw_string_start(b"rb\"x\"", 0));
+        assert!(!is_raw_string_start(b"rb#\"x\"#", 0));
+        assert!(is_raw_string_start(b"br\"x\"", 0));
+        assert!(is_raw_string_start(b"br##\"x\"##", 0));
+        assert!(is_raw_string_start(b"r#\"x\"#", 0));
+        // A prefix mid-identifier is not a raw string (`for r in …`).
+        assert!(!is_raw_string_start(b"for\"", 2));
+    }
+
+    #[test]
+    fn raw_string_fences_respect_hash_count() {
+        // The `"#` inside the literal must not close an `r##`-fenced string.
+        let src = "let s = r##\"a \"# b as u16\"##; let x = y as u16;";
+        let masked = mask(src);
+        assert_eq!(masked.matches("as u16").count(), 1, "{masked}");
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        let src = "let q = '\"'; let s = \"as u32\"; let v = w as u32;";
+        let masked = mask(src);
+        assert_eq!(masked.matches("as u32").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn doc_comment_quote_does_not_open_a_string() {
+        // An unbalanced quote in a `//!` line must not mask following code.
+        let src = "//! prints \"hello\nlet x = y.unwrap();\n";
+        let masked = mask(src);
+        assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn comment_tokens_inside_strings_stay_inert() {
+        let src = "let u = \"http://e/*x*/\"; u.unwrap();";
+        let masked = mask(src);
+        assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn escaped_backslash_before_closing_quote() {
+        let src = "let p = \"dir\\\\\"; p.unwrap();";
+        let masked = mask(src);
+        assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Workspace invariant-audit tooling, as a library.
+//!
+//! The `xtask` binary (see `main.rs`) exposes two passes:
+//!
+//! * [`rules`] — token-level lints (`cargo xtask lint`) over
+//!   [`lexer`]-masked source, ratcheted by [`baseline`].
+//! * [`analyze`] — whole-workspace semantic analysis
+//!   (`cargo xtask analyze`): a parsed item model, an intra-workspace call
+//!   graph, and the panic-reachability / transaction-discipline /
+//!   discarded-`Result` analyses built on top of them.
+//!
+//! Everything lives in a library crate so the integration tests under
+//! `crates/xtask/tests/` can drive the analyses over fixture mini-crates.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;

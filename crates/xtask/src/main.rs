@@ -1,30 +1,31 @@
 //! `cargo xtask` — workspace invariant-audit tooling.
 //!
-//! The only subcommand today is `lint`: a source-level lint pass enforcing
-//! project-specific rules that `clippy` cannot express (see [`rules`] for
-//! the rule catalogue). Violations are compared against a committed
-//! baseline (`crates/xtask/baseline.toml`) with a *ratchet*: per rule and
-//! file, the violation count may only decrease. The pass therefore lands
-//! green on a codebase with existing debt and tightens automatically as
-//! the debt is paid down.
+//! Two subcommands:
+//!
+//! * `lint` — token-level lint pass with a ratcheted baseline
+//!   (`crates/xtask/baseline.toml`); see [`xtask::rules`].
+//! * `analyze` — whole-workspace semantic analysis: panic-reachability
+//!   from annotated entry points, transaction discipline around storage
+//!   writes, commit-ordering anchors, and discarded-`Result` detection in
+//!   the storage crate; see [`xtask::analyze`]. `panic-reach` findings
+//!   ratchet through the same baseline file; everything else is
+//!   zero-tolerance.
 //!
 //! ```text
-//! cargo xtask lint                     # audit against the baseline
-//! cargo xtask lint --verbose           # also list every violation
-//! cargo xtask lint --update-baseline   # re-ratchet after paying down debt
+//! cargo xtask lint                        # audit tokens against the baseline
+//! cargo xtask analyze                     # run the semantic analyses
+//! cargo xtask <cmd> --verbose             # also list every finding
+//! cargo xtask <cmd> --update-baseline     # re-ratchet after paying down debt
 //! ```
 //!
-//! Exit codes: `0` clean, `1` baseline regression (or stale baseline),
-//! `2` usage / I/O error.
+//! Exit codes: `0` clean, `1` findings / baseline regression (or stale
+//! baseline), `2` usage / I/O error.
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
-mod baseline;
-mod lexer;
-mod rules;
-mod walk;
-
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::{analyze, baseline, rules, walk};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
     for arg in &args {
         match arg.as_str() {
             "lint" if cmd.is_none() => cmd = Some("lint"),
+            "analyze" if cmd.is_none() => cmd = Some("analyze"),
             "--update-baseline" => update = true,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
     }
     match cmd {
         Some("lint") => run_lint(update, verbose),
+        Some("analyze") => run_analyze(update, verbose),
         _ => {
             print_usage();
             ExitCode::from(2)
@@ -57,16 +60,20 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask lint [--update-baseline] [--verbose]");
+    eprintln!("usage: cargo xtask <lint|analyze> [--update-baseline] [--verbose]");
+}
+
+fn workspace_root_or_exit() -> Result<PathBuf, ExitCode> {
+    walk::workspace_root().map_err(|e| {
+        eprintln!("xtask: cannot locate workspace root: {e}");
+        ExitCode::from(2)
+    })
 }
 
 fn run_lint(update: bool, verbose: bool) -> ExitCode {
-    let root = match walk::workspace_root() {
+    let root = match workspace_root_or_exit() {
         Ok(root) => root,
-        Err(e) => {
-            eprintln!("xtask: cannot locate workspace root: {e}");
-            return ExitCode::from(2);
-        }
+        Err(code) => return code,
     };
     let violations = match rules::run_all(&root) {
         Ok(v) => v,
@@ -80,33 +87,110 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
             println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
         }
     }
-
     let counts = baseline::counts_of(&violations);
-    let baseline_path = baseline_path(&root);
-    if update {
-        if let Err(e) = baseline::save(&baseline_path, &counts) {
-            eprintln!("xtask: cannot write baseline: {e}");
+    ratchet(
+        &root,
+        rules::RULES,
+        &counts,
+        &violations,
+        update,
+        &format!("{} violation(s) across {} rules", counts.total(), rules::RULES.len()),
+    )
+}
+
+fn run_analyze(update: bool, verbose: bool) -> ExitCode {
+    let root = match workspace_root_or_exit() {
+        Ok(root) => root,
+        Err(code) => return code,
+    };
+    let model = match analyze::workspace_model(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("xtask: cannot build the workspace model: {e}");
             return ExitCode::from(2);
         }
+    };
+    let report = analyze::run_model(&model, true);
+    if verbose {
         println!(
-            "xtask: baseline updated ({} violations across {} rule/file entries)",
-            counts.total(),
-            counts.len()
+            "xtask: analyze: {} fns in the model, {} hard finding(s), {} ratcheted",
+            model.fns.len(),
+            report.hard.len(),
+            report.ratcheted.len()
         );
-        return ExitCode::SUCCESS;
+        for v in report.all() {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
     }
+    let mut failed = false;
+    if !report.hard.is_empty() {
+        for v in &report.hard {
+            eprintln!("xtask: ANALYZE [{}] {}:{}: {}", v.rule, v.file, v.line, v.message);
+        }
+        eprintln!(
+            "xtask: {} semantic violation(s); these rules have no baseline — fix them",
+            report.hard.len()
+        );
+        failed = true;
+    }
+    let counts = baseline::counts_of(&report.ratcheted);
+    let code = ratchet(
+        &root,
+        &["panic-reach"],
+        &counts,
+        &report.ratcheted,
+        update,
+        &format!(
+            "analyze: {} ratcheted panic-reach finding(s)",
+            report.ratcheted.len()
+        ),
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        code
+    }
+}
 
-    let old = match baseline::load(&baseline_path) {
+/// Shared ratchet flow: compare `counts` (covering exactly `owned_rules`)
+/// against the committed baseline, or re-ratchet with `--update-baseline`.
+fn ratchet(
+    root: &Path,
+    owned_rules: &[&str],
+    counts: &baseline::Counts,
+    violations: &[rules::Violation],
+    update: bool,
+    summary: &str,
+) -> ExitCode {
+    let path = baseline_path(root);
+    if update {
+        match baseline::update_subset(&path, owned_rules, counts) {
+            Ok(merged) => {
+                println!(
+                    "xtask: baseline updated ({} violations across {} rule/file entries)",
+                    merged.total(),
+                    merged.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("xtask: cannot write baseline: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut old = match baseline::load(&path) {
         Ok(b) => b,
         Err(e) => {
             eprintln!(
-                "xtask: cannot read {} ({e}); run `cargo xtask lint --update-baseline` once",
-                baseline_path.display()
+                "xtask: cannot read {} ({e}); run with `--update-baseline` once",
+                path.display()
             );
             return ExitCode::from(2);
         }
     };
-    let diff = baseline::compare(&old, &counts);
+    old.retain_rules(|rule| owned_rules.contains(&rule));
+    let diff = baseline::compare(&old, counts);
     for reg in &diff.regressions {
         eprintln!(
             "xtask: REGRESSION [{}] {}: {} violation(s), baseline allows {}",
@@ -126,9 +210,7 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
         );
     }
     println!(
-        "xtask: {} violation(s) across {} rules, baseline {}",
-        counts.total(),
-        rules::RULES.len(),
+        "xtask: {summary}, baseline {}",
         if diff.regressions.is_empty() {
             "respected"
         } else {
@@ -138,7 +220,7 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
     if !diff.regressions.is_empty() {
         eprintln!(
             "xtask: {} regression(s); fix them or (only for deliberate, reviewed debt) \
-             re-ratchet with `cargo xtask lint --update-baseline`",
+             re-ratchet with `--update-baseline`",
             diff.regressions.len()
         );
         return ExitCode::FAILURE;
@@ -146,7 +228,7 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
     if !diff.improvements.is_empty() {
         eprintln!(
             "xtask: baseline is stale ({} entries improved); run \
-             `cargo xtask lint --update-baseline` to lock in the progress",
+             `--update-baseline` to lock in the progress",
             diff.improvements.len()
         );
         return ExitCode::FAILURE;
@@ -154,6 +236,6 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn baseline_path(root: &std::path::Path) -> PathBuf {
+fn baseline_path(root: &Path) -> PathBuf {
     root.join("crates").join("xtask").join("baseline.toml")
 }

@@ -28,6 +28,7 @@ pub const RULES: &[&str] = &[
     "unwrap",
     "as-cast",
     "missing-docs-attr",
+    "forbid-unsafe",
     "error-impl",
     "debug-assert-message",
     "store-raw-fs",
@@ -68,12 +69,23 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Violation>> {
     for path in crate_roots(root)? {
         let source = std::fs::read_to_string(&path)?;
         let file = rel(root, &path);
-        if !mask(&source).contains("#![warn(missing_docs)]") {
+        let masked = mask(&source);
+        if !masked.contains("#![warn(missing_docs)]") {
             violations.push(Violation {
                 rule: "missing-docs-attr",
-                file,
+                file: file.clone(),
                 line: 1,
                 message: "crate root lacks `#![warn(missing_docs)]`".into(),
+            });
+        }
+        // The workspace has no unsafe code; every non-xtask crate root
+        // must keep that locked in with `#![forbid(unsafe_code)]`.
+        if !file.starts_with("crates/xtask") && !masked.contains("#![forbid(unsafe_code)]") {
+            violations.push(Violation {
+                rule: "forbid-unsafe",
+                file,
+                line: 1,
+                message: "crate root lacks `#![forbid(unsafe_code)]`".into(),
             });
         }
     }
@@ -110,8 +122,8 @@ fn crate_roots(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Every `.rs` under `crates/*/src` and the root `src/` — the scope of the
-/// workspace-wide rules.
-fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+/// workspace-wide rules and of `cargo xtask analyze`.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = rust_files(&root.join("src"))?;
     let crates_dir = root.join("crates");
     let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?

@@ -1,0 +1,87 @@
+//! Golden-report tests for `cargo xtask analyze`.
+//!
+//! Each directory under `tests/fixtures/` is a miniature workspace
+//! (mirroring the `crates/store/src` layout the analyses scope on) with an
+//! `expected.txt` golden in the `report::render` format. The seeded
+//! fixtures prove each analysis actually fires; the clean fixture plus
+//! the seeding test prove a newly introduced violation fails the build.
+
+use std::fs;
+use std::path::PathBuf;
+use xtask::analyze::report::render;
+use xtask::analyze::{dir_model, run_dir, run_model};
+
+/// `tests/fixtures/` under the xtask crate. `CARGO_MANIFEST_DIR` is unset
+/// when the suite is built with bare rustc (offline fallback); then the
+/// path is resolved against the workspace root, where xtask always runs.
+fn fixtures() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("crates/xtask"))
+        .join("tests/fixtures")
+}
+
+fn golden(case: &str) -> String {
+    let dir = fixtures().join(case);
+    let report = run_dir(&dir).expect("analyze fixture");
+    let actual = render(&report.all());
+    let expected = fs::read_to_string(dir.join("expected.txt")).expect("read golden");
+    assert_eq!(
+        actual, expected,
+        "fixture `{case}` drifted from its golden report"
+    );
+    actual
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    assert!(golden("clean").is_empty());
+}
+
+#[test]
+fn panic_reachable_fixture_fails_hard() {
+    let text = golden("panic_reachable");
+    assert!(text.contains("panic-recovery"), "{text}");
+    assert!(text.contains("recover -> header"), "{text}");
+}
+
+#[test]
+fn txn_violation_fixture_fails_hard() {
+    let text = golden("txn_violation");
+    assert!(text.contains("txn-discipline"), "{text}");
+    assert!(text.contains("unguarded_put -> Pager::write_page"), "{text}");
+}
+
+#[test]
+fn discarded_result_fixture_flags_both_idioms() {
+    let text = golden("discarded_result");
+    assert_eq!(text.matches("discarded-result").count(), 2, "{text}");
+}
+
+#[test]
+fn sync_order_fixture_fails_hard() {
+    let text = golden("sync_order");
+    assert!(text.contains("txn-ordering"), "{text}");
+}
+
+/// The acceptance property in one test: start from the clean fixture and
+/// seed a fresh violation; the run must flip from green to failing.
+#[test]
+fn seeding_a_violation_into_the_clean_fixture_fails() {
+    let dir = fixtures().join("clean");
+    let clean = run_dir(&dir).expect("analyze fixture");
+    assert!(clean.hard.is_empty(), "clean fixture must start green");
+
+    let mut m = dir_model(&dir).expect("model");
+    m.add_file(
+        "crates/store/src/seeded.rs",
+        "// analyze: entrypoint(recovery)\npub fn reopen(v: &[u8]) -> u8 { v[0] }\n",
+    )
+    .expect("parse seeded file");
+    let report = run_model(&m, false);
+    assert!(
+        report.hard.iter().any(|v| v.rule == "panic-recovery"),
+        "seeded violation must fail the run: {:?}",
+        report.hard
+    );
+}

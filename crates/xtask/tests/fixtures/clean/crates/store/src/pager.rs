@@ -1,0 +1,40 @@
+//! A miniature storage crate in the shape `cargo xtask analyze` accepts:
+//! the recovery entry point reaches no panic site, every mutating path
+//! passes a transaction boundary, commit orders data-sync before journal
+//! retire, and no `Result` is laundered away.
+//!
+//! Fixture files are parsed by the analyzer model, never compiled, so the
+//! bodies only have to be lexically plausible Rust.
+
+pub struct Pager {
+    dirty: bool,
+}
+
+impl Pager {
+    // analyze: txn-sink
+    pub fn write_page(&mut self) {
+        self.dirty = true;
+    }
+
+    // analyze: txn-boundary
+    pub fn transactional(&mut self) {
+        self.write_page();
+    }
+
+    pub fn commit(&mut self) {
+        self.file.sync();
+        self.journal.take();
+    }
+}
+
+// analyze: entrypoint(recovery)
+pub fn recover(p: &mut Pager) -> Result<(), ()> {
+    if p.dirty {
+        return Err(());
+    }
+    Ok(())
+}
+
+pub fn put(p: &mut Pager) {
+    p.transactional();
+}

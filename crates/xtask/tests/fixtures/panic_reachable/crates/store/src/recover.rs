@@ -1,0 +1,19 @@
+//! Seeded violation: a panic site (`.unwrap()`) reachable from a
+//! recovery entry point, two calls deep.
+
+// analyze: entrypoint(recovery)
+pub fn recover(bytes: &[u8]) -> u32 {
+    header(bytes)
+}
+
+fn header(bytes: &[u8]) -> u32 {
+    parse(bytes).unwrap()
+}
+
+fn parse(bytes: &[u8]) -> Option<u32> {
+    if bytes.first().copied() == Some(1) {
+        Some(1)
+    } else {
+        None
+    }
+}

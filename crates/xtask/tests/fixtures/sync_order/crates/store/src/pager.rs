@@ -1,0 +1,11 @@
+//! Seeded violation: commit retires the journal before syncing the data
+//! file — the exact crash-durability bug the ordering anchor exists for.
+
+pub struct Pager;
+
+impl Pager {
+    pub fn commit(&mut self) {
+        self.journal.take();
+        self.file.sync();
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: a public path reaches a mutating write with no
+//! transaction boundary anywhere above it.
+
+pub struct Pager {
+    dirty: bool,
+}
+
+impl Pager {
+    // analyze: txn-sink
+    pub fn write_page(&mut self) {
+        self.dirty = true;
+    }
+}
+
+pub fn unguarded_put(p: &mut Pager) {
+    p.write_page();
+}

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pqgram — an incrementally maintainable index for approximate lookups in hierarchical data
 //!
 //! A production-quality Rust implementation of
