@@ -14,7 +14,7 @@ pub struct Args {
 /// Option names that take a value (everything else passed as `--x` is a
 /// boolean flag).
 const VALUED: &[&str] = &[
-    "p", "q", "tau", "top", "nodes", "seed", "out", "limit", "edits", "id",
+    "p", "q", "tau", "top", "nodes", "seed", "out", "limit", "edits", "id", "threads",
 ];
 
 impl Args {

@@ -41,9 +41,10 @@ pqgram — incrementally maintainable pq-gram index (VLDB 2006)
 USAGE:
   pqgram create  <store.pqg> [--p 3 --q 3]        create an index store
   pqgram add     <store.pqg> --id <n> <doc.xml>…  index XML document(s)
+                 [--threads N]                    (parallel profiling)
   pqgram remove  <store.pqg> --id <n>             drop a document's index
   pqgram lookup  <store.pqg> <query.xml>          approximate lookup
-                 [--tau 0.6] [--top 10]
+                 [--tau 0.6] [--top 10] [--threads N]
   pqgram stats   <store.pqg>                      store statistics
   pqgram dist    <a.xml> <b.xml> [--p --q] [--ted]  pairwise distance
   pqgram grams   <doc.xml> [--p --q] [--limit 20] dump pq-gram tuples
@@ -58,6 +59,7 @@ document store (documents + index in one file, synced via tree diff):
   pqgram find    <store.docs> <query.xml>         approximate lookup
   pqgram diff    <a.xml> <b.xml>                  show the derived edit script
   pqgram join    <left.pqg> <right.pqg> [--tau]   approximate join of stores
+                 [--threads N]                    (parallel verification)
   pqgram show    <doc.xml> [--limit 50] [--dot]   render the document tree
   pqgram compact <store.pqg> <out.pqg>            rewrite a store compactly
   pqgram update  <store.pqg> --id <n> <old.xml> <new.xml>
@@ -141,14 +143,23 @@ fn cmd_add(args: &Args) -> Result<(), String> {
         return Err("missing <doc.xml>".into());
     }
     let first_id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
+    let threads = args.opt_or::<usize>("threads", 1)?;
     let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
     let params = store.params();
     let mut labels = LabelTable::new();
+    let mut trees = Vec::new();
     for (offset, doc) in docs.iter().enumerate() {
         let tree = load_document(doc, &mut labels)?;
-        let index = build_index(&tree, &labels, params);
-        let id = TreeId(first_id + offset as u64);
-        store.put_tree(id, &index).map_err(|e| e.to_string())?;
+        trees.push((TreeId(first_id + offset as u64), tree));
+    }
+    // Profile in parallel (pure and deterministic per document), then feed
+    // the whole batch to the single writer in one transaction.
+    let batch: Vec<(TreeId, pqgram_core::TreeIndex)> =
+        pqgram_core::par::map(&trees, threads, |(id, tree)| {
+            (*id, build_index(tree, &labels, params))
+        });
+    store.put_trees(&batch).map_err(|e| e.to_string())?;
+    for (((id, tree), (_, index)), doc) in trees.iter().zip(&batch).zip(docs) {
         println!(
             "indexed {doc} as tree {}: {} nodes, {} pq-grams ({} distinct)",
             id.0,
@@ -177,12 +188,13 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
     let query_path = args.positional(1, "query.xml")?;
     let tau = args.opt_or::<f64>("tau", 0.6)?;
     let top = args.opt_or::<usize>("top", 10)?;
+    let threads = args.opt_or::<usize>("threads", 1)?;
     let store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
     let mut labels = LabelTable::new();
     let query_tree = load_document(query_path, &mut labels)?;
     let query = build_index(&query_tree, &labels, store.params());
     let (hits, stats) = store
-        .lookup_with_stats(&query, tau)
+        .lookup_with_stats_threads(&query, tau, threads)
         .map_err(|e| e.to_string())?;
     if args.flag("stats") {
         let plan = if stats.used_inverted {
@@ -465,6 +477,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let right_path = args.positional(1, "right.pqg")?;
     let tau = args.opt_or::<f64>("tau", 0.5)?;
     let top = args.opt_or::<usize>("top", 20)?;
+    let threads = args.opt_or::<usize>("threads", 1)?;
     let load = |path: &str| -> Result<pqgram_core::ForestIndex, String> {
         let store = IndexStore::open(Path::new(path)).map_err(|e| e.to_string())?;
         let mut forest = pqgram_core::ForestIndex::new();
@@ -479,7 +492,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     };
     let left = load(left_path)?;
     let right = load(right_path)?;
-    let (pairs, stats) = pqgram_core::join(&left, &right, tau);
+    let (pairs, stats) = pqgram_core::join_parallel(&left, &right, tau, threads);
     println!(
         "join of {} x {} trees (tau = {tau}): {} pairs \
          ({} naive -> {} candidates -> {} verified)",

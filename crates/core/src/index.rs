@@ -200,35 +200,21 @@ pub fn build_index(tree: &Tree, labels: &LabelTable, params: PQParams) -> TreeIn
 }
 
 /// Indexes a whole forest, fanning the per-tree work out over `threads`
-/// scoped workers (index construction is embarrassingly parallel across
-/// documents — the dominant cost of initial indexing, Figure 13 left).
+/// scoped workers through [`crate::par`] (index construction is
+/// embarrassingly parallel across documents — the dominant cost of initial
+/// indexing, Figure 13 left). Each worker profiles its chunk of trees into
+/// a private buffer; the buffers are merged in chunk order at the end, so
+/// the result is identical to the serial build for every thread count.
 pub fn build_forest_index_parallel(
     trees: &[(TreeId, &Tree)],
     labels: &LabelTable,
     params: PQParams,
     threads: usize,
 ) -> ForestIndex {
-    let threads = threads.max(1);
-    let chunk = trees.len().div_ceil(threads).max(1);
     let mut forest = ForestIndex::new();
-    let built: Vec<(TreeId, TreeIndex)> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = trees
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move |_| {
-                    part.iter()
-                        .map(|&(id, tree)| (id, build_index(tree, labels, params)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("index worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
-    for (id, index) in built {
+    for (id, index) in crate::par::map(trees, threads, |&(id, tree)| {
+        (id, build_index(tree, labels, params))
+    }) {
         forest.insert(id, index);
     }
     forest
@@ -383,32 +369,23 @@ impl ForestIndex {
         hits
     }
 
-    /// [`ForestIndex::lookup`] fanned out over `threads` scoped worker
-    /// threads; lookup is read-only and embarrassingly parallel over trees.
+    /// [`ForestIndex::lookup`] with the distance computations fanned out
+    /// over `threads` scoped workers through [`crate::par`]; lookup is
+    /// read-only and embarrassingly parallel over trees. The final sort
+    /// (distance, then id) makes the result identical to the serial path.
     pub fn lookup_parallel(&self, query: &TreeIndex, tau: f64, threads: usize) -> Vec<LookupHit> {
-        let threads = threads.max(1);
         let entries: Vec<(&TreeId, &TreeIndex)> = self.trees.iter().collect();
-        let chunk = entries.len().div_ceil(threads).max(1);
-        let mut hits: Vec<LookupHit> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = entries
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move |_| {
-                        part.iter()
-                            .filter_map(|&(&tree_id, index)| {
-                                let distance = pq_distance(query, index);
-                                (distance < tau).then_some(LookupHit { tree_id, distance })
-                            })
-                            .collect::<Vec<_>>()
-                    })
+        let mut hits: Vec<LookupHit> = Vec::new();
+        for part in crate::par::map_chunks(&entries, threads, |part| {
+            part.iter()
+                .filter_map(|&(&tree_id, index)| {
+                    let distance = pq_distance(query, index);
+                    (distance < tau).then_some(LookupHit { tree_id, distance })
                 })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("lookup worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
+                .collect::<Vec<_>>()
+        }) {
+            hits.extend(part);
+        }
         hits.sort_by(|a, b| {
             a.distance
                 .total_cmp(&b.distance)

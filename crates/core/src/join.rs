@@ -286,6 +286,127 @@ pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>
     (pairs, stats)
 }
 
+/// [`join`] with candidate verification fanned out over `threads` scoped
+/// workers through [`crate::par`]. The inverted index is built once and
+/// shared read-only; each worker probes a contiguous chunk of the probe
+/// side and verifies its own candidates (size filter + exact distance).
+/// Per-worker pair lists and pruning counters merge in chunk order, and the
+/// final sort orders pairs exactly as [`join`] does — the result is
+/// identical to the serial join for every thread count.
+pub fn join_parallel(
+    left: &ForestIndex,
+    right: &ForestIndex,
+    tau: f64,
+    threads: usize,
+) -> (Vec<JoinPair>, JoinStats) {
+    if threads <= 1 {
+        return join(left, right, tau);
+    }
+    let mut stats = JoinStats {
+        pairs_naive: left.len() as u64 * right.len() as u64,
+        ..Default::default()
+    };
+    let mut pairs = Vec::new();
+    if tau > 1.0 {
+        // Exhaustive region: fan the left side out, scan the right per probe.
+        let probes: Vec<(TreeId, &TreeIndex)> = left.iter().collect();
+        for part in crate::par::map_chunks(&probes, threads, |part| {
+            let mut out = Vec::new();
+            for &(l, li) in part {
+                for (r, ri) in right.iter() {
+                    out.push(JoinPair {
+                        left: l,
+                        right: r,
+                        distance: pq_distance(li, ri),
+                    });
+                }
+            }
+            out
+        }) {
+            pairs.extend(part);
+        }
+        stats.pairs_candidates = stats.pairs_naive;
+        stats.pairs_verified = stats.pairs_naive;
+    } else {
+        let invert_left = left.len() <= right.len();
+        let (build_side, probe_side) = if invert_left {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        let inverted = InvertedIndex::build(build_side);
+        let probes: Vec<(TreeId, &TreeIndex)> = probe_side.iter().collect();
+        for (part_pairs, candidates, verified) in
+            crate::par::map_chunks(&probes, threads, |part| {
+                let mut out = Vec::new();
+                let mut candidates = 0u64;
+                let mut verified = 0u64;
+                for &(probe_id, probe_index) in part {
+                    let intersections = inverted.intersections(probe_index);
+                    candidates += intersections.len() as u64;
+                    for (cand, overlap) in intersections {
+                        if !size_filter(probe_index.total(), overlap.total, tau) {
+                            continue;
+                        }
+                        verified += 1;
+                        let distance =
+                            overlap_distance(overlap.shared, probe_index.total(), overlap.total);
+                        if distance < tau {
+                            let (l, r) = if invert_left {
+                                (cand, probe_id)
+                            } else {
+                                (probe_id, cand)
+                            };
+                            pairs_push(&mut out, l, r, distance);
+                        }
+                    }
+                }
+                (out, candidates, verified)
+            })
+        {
+            pairs.extend(part_pairs);
+            stats.pairs_candidates += candidates;
+            stats.pairs_verified += verified;
+        }
+        if tau > 0.0 {
+            // Same degenerate empty×empty enumeration as the serial join.
+            let left_empty: Vec<TreeId> = left
+                .iter()
+                .filter(|(_, i)| i.total() == 0)
+                .map(|(id, _)| id)
+                .collect();
+            let right_empty: Vec<TreeId> = right
+                .iter()
+                .filter(|(_, i)| i.total() == 0)
+                .map(|(id, _)| id)
+                .collect();
+            for &l in &left_empty {
+                for &r in &right_empty {
+                    stats.pairs_candidates += 1;
+                    stats.pairs_verified += 1;
+                    pairs_push(&mut pairs, l, r, 0.0);
+                }
+            }
+        }
+    }
+    stats.pairs_joined = pairs.len() as u64;
+    pairs.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    (pairs, stats)
+}
+
+fn pairs_push(out: &mut Vec<JoinPair>, left: TreeId, right: TreeId, distance: f64) {
+    out.push(JoinPair {
+        left,
+        right,
+        distance,
+    });
+}
+
 /// Reference nested-loop join (used by tests and benchmarks).
 pub fn join_nested_loop(left: &ForestIndex, right: &ForestIndex, tau: f64) -> Vec<JoinPair> {
     let mut pairs = Vec::new();
@@ -480,6 +601,29 @@ mod tests {
         let (at_one, _) = join(&left, &right, 1.0);
         assert_eq!(at_one, join_nested_loop(&left, &right, 1.0));
         assert!(at_one.len() < fast.len());
+    }
+
+    #[test]
+    fn parallel_join_matches_serial() {
+        let params = PQParams::new(2, 3);
+        let (mut left, mut right, _) = forests(29, 20);
+        // Include the degenerate regions: empty bags on both sides.
+        left.insert(TreeId(700), TreeIndex::empty(params));
+        right.insert(TreeId(800), TreeIndex::empty(params));
+        for tau in [0.0, 0.3, 0.8, 1.0, 1.2] {
+            let (serial_pairs, serial_stats) = join(&left, &right, tau);
+            for threads in [1, 2, 3, 8, 64] {
+                let (pairs, stats) = join_parallel(&left, &right, tau, threads);
+                assert_eq!(pairs, serial_pairs, "tau {tau} threads {threads}");
+                assert_eq!(
+                    stats.pairs_candidates, serial_stats.pairs_candidates,
+                    "tau {tau} threads {threads}"
+                );
+                assert_eq!(stats.pairs_verified, serial_stats.pairs_verified);
+                assert_eq!(stats.pairs_joined, serial_stats.pairs_joined);
+                assert_eq!(stats.pairs_naive, serial_stats.pairs_naive);
+            }
+        }
     }
 
     #[test]

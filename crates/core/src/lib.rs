@@ -26,6 +26,9 @@
 //!   (Definition 5, Algorithms 3–4);
 //! * [`mod@join`] implements approximate joins over forests with lossless
 //!   size/candidate pruning (the Guha et al. scenario of the related work);
+//! * [`par`] is the workspace's only sanctioned threading seam: a
+//!   deterministic fork/join fan-out used by parallel index construction,
+//!   parallel lookups and parallel candidate verification;
 //! * [`maintain`] is Algorithm 1: the end-to-end incremental index update
 //!   from the old index, the resulting tree and the log of inverse edit
 //!   operations, with the per-phase timing breakdown of Table 2;
@@ -65,6 +68,7 @@ pub mod index;
 pub mod join;
 pub mod maintain;
 pub mod matrix;
+pub mod par;
 pub mod params;
 pub mod profile;
 pub mod reference;
@@ -78,7 +82,9 @@ pub use index::{
     build_forest_index_parallel, build_index, pq_distance, ForestIndex, GramKey, LookupHit, TreeId,
     TreeIndex,
 };
-pub use join::{join, overlap_distance, size_filter, InvertedIndex, JoinPair, JoinStats};
+pub use join::{
+    join, join_parallel, overlap_distance, size_filter, InvertedIndex, JoinPair, JoinStats,
+};
 pub use maintain::{update_index, IndexDelta, MaintainError, UpdateOutcome, UpdateStats};
 pub use params::PQParams;
 pub use profile::{compute_profile, for_each_gram, Profile};

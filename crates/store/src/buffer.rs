@@ -1,4 +1,4 @@
-//! A clock-eviction buffer pool over the [`Pager`].
+//! A sharded clock-eviction buffer pool over the [`Pager`].
 //!
 //! The B+-tree reads `O(depth)` pages per operation and rewrites the same
 //! leaves over and over during bulk index updates; the pool keeps hot pages
@@ -7,151 +7,66 @@
 //! untouched until its first flush inside the transaction, which is exactly
 //! when the pager captures it in the journal.
 //!
+//! # Sharding
+//!
+//! Frames live in `N` shards (a power of two, derived from the capacity),
+//! each behind its own mutex and keyed by the low bits of the [`PageId`].
+//! A lookup touching shard `i` never contends with a lookup touching shard
+//! `j ≠ i`; the pager itself sits behind a separate mutex that is only
+//! taken on a cache miss, an eviction write-back, or a transaction edge.
+//!
+//! The lock order is **shard → pager**, always. A thread holding the pager
+//! lock never takes a shard lock, so the pair cannot deadlock. Cache-miss
+//! reads release the shard lock across the page I/O and re-check on
+//! re-entry, so a slow read does not serialize the rest of the shard.
+//!
+//! # Read path
+//!
+//! Frames hold their page behind an [`Arc`]; [`BufferPool::with_page`]
+//! clones the `Arc` under the shard lock and runs the caller's closure
+//! *outside* every pool lock. Two readers — even of the same shard, even
+//! when one parks inside its closure — always make progress. Writers clone
+//! the payload on demand (`Arc::make_mut`), so an in-flight reader keeps an
+//! immutable snapshot while the writer updates the cached frame.
+//!
+//! # Concurrency contract
+//!
 //! The pool is internally synchronized (callers use `&self`); the engine's
-//! write path is single-writer by construction (`&mut` on the stores), but
-//! read-only lookups may share the pool across threads.
+//! write path is single-writer by construction (`&mut` on the stores, or an
+//! exclusively-owned store before an `IndexStoreReader` is split off), but
+//! read-only lookups may share the pool across any number of threads.
 
 use crate::page::{PageBuf, PageId};
 use crate::pager::{Pager, Result, StoreError};
 use parking_lot::Mutex;
 use pqgram_tree::FxHashMap;
+use std::sync::Arc;
 
 struct Frame {
     id: PageId,
-    page: PageBuf,
+    page: Arc<PageBuf>,
     dirty: bool,
     referenced: bool,
 }
 
-struct Inner {
-    pager: Pager,
+/// One cache shard: a clock over its own frames. Never touches the pager —
+/// anything that needs I/O lives on [`BufferPool`] so the shard → pager
+/// lock order is visible at the call sites.
+struct Shard {
     frames: Vec<Frame>,
     by_id: FxHashMap<PageId, usize>,
     clock: usize,
-    capacity: usize,
 }
 
-/// Buffer pool; owns the pager.
-pub struct BufferPool {
-    inner: Mutex<Inner>,
-}
-
-/// Default cache capacity (pages): 4 MiB.
-pub const DEFAULT_CAPACITY: usize = 1024;
-
-impl BufferPool {
-    /// Wraps a pager with a cache of `capacity` pages.
-    pub fn new(pager: Pager, capacity: usize) -> Self {
-        BufferPool {
-            inner: Mutex::new(Inner {
-                pager,
-                frames: Vec::new(),
-                by_id: FxHashMap::default(),
-                clock: 0,
-                capacity: capacity.max(8),
-            }),
-        }
-    }
-
-    /// Runs `f` against a read-only view of the page.
-    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let slot = inner.load(id)?;
-        let frame = inner.frame_mut(slot)?;
+impl Shard {
+    /// Snapshot of a cached page, bumping its clock reference bit.
+    fn hit(&mut self, id: PageId) -> Option<Arc<PageBuf>> {
+        let &slot = self.by_id.get(&id)?;
+        let frame = self.frames.get_mut(slot)?;
         frame.referenced = true;
-        Ok(f(&frame.page))
+        Some(Arc::clone(&frame.page))
     }
 
-    /// Runs `f` against a mutable view of the page and marks it dirty.
-    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PageBuf) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let slot = inner.load(id)?;
-        let frame = inner.frame_mut(slot)?;
-        frame.referenced = true;
-        frame.dirty = true;
-        Ok(f(&mut frame.page))
-    }
-
-    /// Allocates a fresh page (cached as an all-zero dirty frame).
-    pub fn allocate(&self) -> Result<PageId> {
-        let mut inner = self.inner.lock();
-        let id = inner.pager.allocate()?;
-        inner.install(id, PageBuf::zeroed(), true)?;
-        Ok(id)
-    }
-
-    /// Frees a page, dropping any cached frame.
-    pub fn free(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if let Some(slot) = inner.by_id.remove(&id) {
-            if let Some(frame) = inner.frames.get_mut(slot) {
-                frame.id = PageId::NONE;
-                frame.dirty = false;
-            }
-        }
-        inner.pager.free(id)
-    }
-
-    /// Reads a user metadata slot.
-    pub fn meta(&self, slot: usize) -> u64 {
-        self.inner.lock().pager.meta(slot)
-    }
-
-    /// Writes a user metadata slot.
-    pub fn set_meta(&self, slot: usize, value: u64) -> Result<()> {
-        self.inner.lock().pager.set_meta(slot, value)
-    }
-
-    /// Number of pages in the underlying file.
-    pub fn page_count(&self) -> u32 {
-        self.inner.lock().pager.page_count()
-    }
-
-    /// Starts a transaction (flushes pending writes first so the journal
-    /// sees the logical pre-transaction state).
-    // analyze: txn-boundary
-    pub fn begin(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.flush_dirty()?;
-        inner.pager.begin()
-    }
-
-    /// Commits: flush dirty frames, sync, retire journal.
-    pub fn commit(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.flush_dirty()?;
-        inner.pager.commit()
-    }
-
-    /// Rolls back: drop all cached frames (they may hold uncommitted data),
-    /// then restore the file.
-    pub fn rollback(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.frames.clear();
-        inner.by_id.clear();
-        inner.clock = 0;
-        inner.pager.rollback()
-    }
-
-    /// Flushes all dirty frames (no transaction semantics).
-    pub fn flush(&self) -> Result<()> {
-        self.inner.lock().flush_dirty()
-    }
-
-    /// True while a transaction is open.
-    pub fn in_transaction(&self) -> bool {
-        self.inner.lock().pager.in_transaction()
-    }
-
-    /// Runs [`Pager::validate`] — the structural audit of the header and
-    /// free list — on the underlying pager. Free pages are never cached, so
-    /// no flush is needed for the walk to see the logical state.
-    pub fn validate_pager(&self) -> Result<u32> {
-        self.inner.lock().pager.validate()
-    }
-}
-
-impl Inner {
     /// The frame at `slot`, or `Corrupt` if the slot map and frame table
     /// ever disagree (they cannot, absent a bug in this module).
     fn frame_mut(&mut self, slot: usize) -> Result<&mut Frame> {
@@ -159,20 +74,236 @@ impl Inner {
             .get_mut(slot)
             .ok_or_else(|| StoreError::Corrupt(format!("buffer frame {slot} out of range")))
     }
+}
 
-    fn load(&mut self, id: PageId) -> Result<usize> {
-        if let Some(&slot) = self.by_id.get(&id) {
-            return Ok(slot);
+/// Sharded buffer pool; owns the pager.
+pub struct BufferPool {
+    pager: Mutex<Pager>,
+    shards: Box<[Mutex<Shard>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: usize,
+    /// Frame budget per shard; totals at most the requested capacity.
+    per_shard: usize,
+}
+
+/// Default cache capacity (pages): 4 MiB.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Ceiling on the shard count — past this, shard mutexes stop paying for
+/// their footprint on the thread counts the engine targets.
+const MAX_SHARDS: usize = 16;
+
+/// Minimum frames per shard; a shard smaller than this would thrash its
+/// clock on a single B+-tree root-to-leaf path.
+const MIN_SHARD_CAPACITY: usize = 8;
+
+impl BufferPool {
+    /// Wraps a pager with a cache of `capacity` pages (floored at
+    /// [`MIN_SHARD_CAPACITY`]), split over the largest power-of-two shard
+    /// count that keeps every shard at least that minimum.
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        let capacity = capacity.max(MIN_SHARD_CAPACITY);
+        let mut count = 1;
+        while count < MAX_SHARDS && count * 2 * MIN_SHARD_CAPACITY <= capacity {
+            count *= 2;
         }
-        let page = self.pager.read_page(id)?;
-        self.install(id, page, false)
+        let shards = (0..count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    frames: Vec::new(),
+                    by_id: FxHashMap::default(),
+                    clock: 0,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BufferPool {
+            pager: Mutex::new(pager),
+            shards,
+            shard_mask: count - 1,
+            per_shard: capacity / count,
+        }
     }
 
-    fn install(&mut self, id: PageId, page: PageBuf, dirty: bool) -> Result<usize> {
-        if let Some(&slot) = self.by_id.get(&id) {
+    /// The shard responsible for `id` (low bits of the page number).
+    fn shard_for(&self, id: PageId) -> Result<&Mutex<Shard>> {
+        let at = id.index() & self.shard_mask;
+        self.shards
+            .get(at)
+            .ok_or_else(|| StoreError::Corrupt(format!("buffer shard {at} out of range")))
+    }
+
+    /// An `Arc` snapshot of the page, faulting it in on a miss. The shard
+    /// lock is *not* held across the pager read, and the caller holds no
+    /// pool lock at all once the snapshot is returned.
+    fn snapshot(&self, id: PageId) -> Result<Arc<PageBuf>> {
+        let shard = self.shard_for(id)?;
+        if let Some(page) = shard.lock().hit(id) {
+            return Ok(page);
+        }
+        // Miss: do the I/O without the shard lock so readers of other
+        // pages in this shard are not serialized behind it.
+        let page = {
+            let mut pager = self.pager.lock();
+            pager.read_page(id)?
+        };
+        let mut guard = shard.lock();
+        if let Some(raced) = guard.hit(id) {
+            // Another thread installed the page while we were reading.
+            return Ok(raced);
+        }
+        let page = Arc::new(page);
+        self.install(&mut guard, id, Arc::clone(&page), false)?;
+        Ok(page)
+    }
+
+    /// Runs `f` against a read-only view of the page. `f` runs outside all
+    /// pool locks: it may block without stalling any other reader.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&PageBuf) -> R) -> Result<R> {
+        let page = self.snapshot(id)?;
+        Ok(f(&page))
+    }
+
+    /// Runs `f` against a mutable view of the page and marks it dirty.
+    ///
+    /// The shard lock is held across `f` (writes are single-threaded by the
+    /// engine's contract, so this blocks no one who is allowed to exist);
+    /// concurrent readers of the same page keep their pre-write snapshots
+    /// via `Arc::make_mut`'s copy-on-write.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PageBuf) -> R) -> Result<R> {
+        let shard = self.shard_for(id)?;
+        let mut guard = shard.lock();
+        let slot = match guard.by_id.get(&id).copied() {
+            Some(slot) => slot,
+            None => {
+                drop(guard);
+                let page = {
+                    let mut pager = self.pager.lock();
+                    pager.read_page(id)?
+                };
+                guard = shard.lock();
+                match guard.by_id.get(&id).copied() {
+                    Some(slot) => slot,
+                    None => self.install(&mut guard, id, Arc::new(page), false)?,
+                }
+            }
+        };
+        let frame = guard.frame_mut(slot)?;
+        frame.referenced = true;
+        frame.dirty = true;
+        Ok(f(Arc::make_mut(&mut frame.page)))
+    }
+
+    /// Allocates a fresh page (cached as an all-zero dirty frame).
+    pub fn allocate(&self) -> Result<PageId> {
+        let id = {
+            let mut pager = self.pager.lock();
+            pager.allocate()?
+        };
+        // Pager lock released before the shard lock: lock order is
+        // shard → pager, never the reverse.
+        let shard = self.shard_for(id)?;
+        let mut guard = shard.lock();
+        self.install(&mut guard, id, Arc::new(PageBuf::zeroed()), true)?;
+        Ok(id)
+    }
+
+    /// Frees a page, dropping any cached frame.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let shard = self.shard_for(id)?;
+        {
+            let mut guard = shard.lock();
+            if let Some(slot) = guard.by_id.remove(&id) {
+                if let Some(frame) = guard.frames.get_mut(slot) {
+                    frame.id = PageId::NONE;
+                    frame.dirty = false;
+                }
+            }
+        }
+        let mut pager = self.pager.lock();
+        pager.free(id)
+    }
+
+    /// Reads a user metadata slot.
+    pub fn meta(&self, slot: usize) -> u64 {
+        let pager = self.pager.lock();
+        pager.meta(slot)
+    }
+
+    /// Writes a user metadata slot.
+    pub fn set_meta(&self, slot: usize, value: u64) -> Result<()> {
+        let mut pager = self.pager.lock();
+        pager.set_meta(slot, value)
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn page_count(&self) -> u32 {
+        let pager = self.pager.lock();
+        pager.page_count()
+    }
+
+    /// Number of frames currently cached across all shards — never exceeds
+    /// the capacity the pool was built with.
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|shard| shard.lock().frames.len()).sum()
+    }
+
+    /// Starts a transaction (flushes pending writes first so the journal
+    /// sees the logical pre-transaction state).
+    // analyze: txn-boundary
+    pub fn begin(&self) -> Result<()> {
+        self.flush_dirty()?;
+        let mut pager = self.pager.lock();
+        pager.begin()
+    }
+
+    /// Commits: flush dirty frames, sync, retire journal.
+    pub fn commit(&self) -> Result<()> {
+        self.flush_dirty()?;
+        let mut pager = self.pager.lock();
+        pager.commit()
+    }
+
+    /// Rolls back: drop all cached frames (they may hold uncommitted data),
+    /// then restore the file.
+    pub fn rollback(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            let mut guard = shard.lock();
+            guard.frames.clear();
+            guard.by_id.clear();
+            guard.clock = 0;
+        }
+        let mut pager = self.pager.lock();
+        pager.rollback()
+    }
+
+    /// Flushes all dirty frames (no transaction semantics).
+    pub fn flush(&self) -> Result<()> {
+        self.flush_dirty()
+    }
+
+    /// True while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        let pager = self.pager.lock();
+        pager.in_transaction()
+    }
+
+    /// Runs [`Pager::validate`] — the structural audit of the header and
+    /// free list — on the underlying pager. Free pages are never cached, so
+    /// no flush is needed for the walk to see the logical state.
+    pub fn validate_pager(&self) -> Result<u32> {
+        let mut pager = self.pager.lock();
+        pager.validate()
+    }
+
+    /// Installs a page into `shard`, evicting if the shard is at budget.
+    /// Caller holds the shard lock; the pager lock is taken only for a
+    /// dirty victim's write-back (shard → pager order).
+    fn install(&self, shard: &mut Shard, id: PageId, page: Arc<PageBuf>, dirty: bool) -> Result<usize> {
+        if let Some(&slot) = shard.by_id.get(&id) {
             // Re-install over an existing frame (e.g. allocate of a freed,
             // still-cached page).
-            *self.frame_mut(slot)? = Frame {
+            *shard.frame_mut(slot)? = Frame {
                 id,
                 page,
                 dirty,
@@ -180,18 +311,18 @@ impl Inner {
             };
             return Ok(slot);
         }
-        let slot = if self.frames.len() < self.capacity {
-            self.frames.push(Frame {
+        let slot = if shard.frames.len() < self.per_shard {
+            shard.frames.push(Frame {
                 id,
                 page,
                 dirty,
                 referenced: true,
             });
-            self.frames.len() - 1
+            shard.frames.len() - 1
         } else {
-            let victim = self.pick_victim()?;
+            let victim = self.pick_victim(shard)?;
             let old = std::mem::replace(
-                self.frame_mut(victim)?,
+                shard.frame_mut(victim)?,
                 Frame {
                     id,
                     page,
@@ -200,31 +331,31 @@ impl Inner {
                 },
             );
             if old.id != PageId::NONE {
-                self.by_id.remove(&old.id);
+                shard.by_id.remove(&old.id);
             }
             victim
         };
-        self.by_id.insert(id, slot);
+        shard.by_id.insert(id, slot);
         Ok(slot)
     }
 
-    /// Clock sweep; flushes a dirty victim before eviction.
+    /// Clock sweep over one shard; flushes a dirty victim before eviction.
     ///
     /// The write-back below targets a frame some writer dirtied *inside* the
     /// transaction that is still open (deferred writes never outlive their
     /// transaction: begin/commit/rollback all drain or drop them), so its
     /// original image is already journaled by the pager.
     // analyze: txn-exempt(evicting a dirty frame re-writes a page first written inside the transaction that dirtied it; the pager journals it on first overwrite)
-    fn pick_victim(&mut self) -> Result<usize> {
-        let n = self.frames.len();
+    fn pick_victim(&self, shard: &mut Shard) -> Result<usize> {
+        let n = shard.frames.len();
         if n == 0 {
-            return Err(StoreError::InvalidArgument("buffer pool empty".into()));
+            return Err(StoreError::InvalidArgument("buffer shard empty".into()));
         }
         for _ in 0..n * 2 + 1 {
-            let slot = self.clock;
-            self.clock = (self.clock + 1) % n;
-            let Some(frame) = self.frames.get_mut(slot) else {
-                self.clock = 0;
+            let slot = shard.clock;
+            shard.clock = (shard.clock + 1) % n;
+            let Some(frame) = shard.frames.get_mut(slot) else {
+                shard.clock = 0;
                 continue;
             };
             if frame.referenced {
@@ -232,24 +363,25 @@ impl Inner {
                 continue;
             }
             if frame.dirty && frame.id != PageId::NONE {
-                self.pager.write_page(frame.id, &frame.page)?;
+                let mut pager = self.pager.lock();
+                pager.write_page(frame.id, &frame.page)?;
                 frame.dirty = false;
             }
             return Ok(slot);
         }
-        Err(StoreError::InvalidArgument("buffer pool exhausted".into()))
+        Err(StoreError::InvalidArgument("buffer shard exhausted".into()))
     }
 
     // analyze: txn-exempt(drains frames dirtied under the currently open transaction — or pre-transaction bootstrap writes on a store no reader has opened yet)
-    fn flush_dirty(&mut self) -> Result<()> {
-        for slot in 0..self.frames.len() {
-            let (id, page) = match self.frames.get(slot) {
-                Some(f) if f.dirty && f.id != PageId::NONE => (f.id, f.page.clone()),
-                _ => continue,
-            };
-            self.pager.write_page(id, &page)?;
-            if let Some(f) = self.frames.get_mut(slot) {
-                f.dirty = false;
+    fn flush_dirty(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            let mut guard = shard.lock();
+            let mut pager = self.pager.lock();
+            for frame in guard.frames.iter_mut() {
+                if frame.dirty && frame.id != PageId::NONE {
+                    pager.write_page(frame.id, &frame.page)?;
+                    frame.dirty = false;
+                }
             }
         }
         Ok(())
@@ -345,6 +477,101 @@ mod tests {
         assert_eq!(a, b);
         // Fresh allocation must be zeroed, not show stale cache content.
         assert_eq!(pool.with_page(b, |p| p.get_u64(0))?, 0);
+        Ok(())
+    }
+
+    /// A reader parked inside its `with_page` closure must not block a
+    /// second reader — even one targeting the *same shard* (capacity 8
+    /// forces a single shard, the strongest version of the claim).
+    #[test]
+    fn parked_reader_does_not_block_other_readers() -> Result<()> {
+        use std::sync::mpsc;
+        let pool = BufferPool::new(Pager::create(&tmp("mt.db"))?, 8);
+        let a = pool.allocate()?;
+        let b = pool.allocate()?;
+        pool.with_page_mut(a, |p| p.put_u64(0, 1))?;
+        pool.with_page_mut(b, |p| p.put_u64(0, 2))?;
+
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let pool = &pool;
+        std::thread::scope(|scope| -> Result<()> {
+            let parked = scope.spawn(move || {
+                pool.with_page(a, |p| {
+                    entered_tx.send(()).ok();
+                    // Park until the main thread has finished its read.
+                    release_rx.recv().ok();
+                    p.get_u64(0)
+                })
+            });
+            entered_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .map_err(|_| StoreError::InvalidArgument("first reader never started".into()))?;
+            // The first reader is now parked inside its closure. If the
+            // closure ran under a pool lock, this read would deadlock.
+            assert_eq!(pool.with_page(b, |p| p.get_u64(0))?, 2);
+            release_tx.send(()).ok();
+            match parked.join() {
+                Ok(got) => assert_eq!(got?, 1),
+                Err(_) => return Err(StoreError::InvalidArgument("reader panicked".into())),
+            }
+            Ok(())
+        })
+    }
+
+    /// Random multi-shard traffic on a capacity-K pool: the pool never
+    /// holds more than K frames, and no dirty page is ever evicted without
+    /// going through the journal — observable because rollback must restore
+    /// every page exactly, which only works if each eviction write-back was
+    /// journaled by the pager first.
+    #[test]
+    fn capacity_and_journal_hold_under_random_access() -> Result<()> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for &capacity in &[8usize, 16, 24, 64] {
+            let path = tmp(&format!("prop{capacity}.db"));
+            let pool = BufferPool::new(Pager::create(&path)?, capacity);
+            let ids: Vec<PageId> = (0..120).map(|_| pool.allocate()).collect::<Result<_>>()?;
+            let mut stamp: u64 = 0;
+            let mut expect = Vec::new();
+            for &id in &ids {
+                stamp += 1;
+                pool.with_page_mut(id, |p| p.put_u64(0, stamp))?;
+                expect.push(stamp);
+            }
+            pool.flush()?;
+
+            pool.begin()?;
+            for round in 0..600 {
+                let at = rng.random_range(0..ids.len());
+                let (id, want) = match (ids.get(at), expect.get(at)) {
+                    (Some(&id), Some(&want)) => (id, want),
+                    _ => continue,
+                };
+                if rng.random_bool(0.5) {
+                    stamp += 1;
+                    pool.with_page_mut(id, |p| p.put_u64(0, stamp))?;
+                } else {
+                    // Reads see either the pre-tx value or some in-tx stamp.
+                    let got = pool.with_page(id, |p| p.get_u64(0))?;
+                    assert!(got == want || got > u64::try_from(ids.len()).unwrap_or(0),
+                        "round {round}: page {id:?} read {got}, expected {want} or an in-tx stamp");
+                }
+                let resident = pool.resident_pages();
+                assert!(
+                    resident <= capacity,
+                    "capacity {capacity} exceeded: {resident} frames resident"
+                );
+            }
+            pool.rollback()?;
+            for (&id, &want) in ids.iter().zip(&expect) {
+                assert_eq!(
+                    pool.with_page(id, |p| p.get_u64(0))?,
+                    want,
+                    "rollback lost the journaled image of {id:?} (capacity {capacity})"
+                );
+            }
+        }
         Ok(())
     }
 }

@@ -285,7 +285,7 @@ impl DocumentStore {
         tau: f64,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
         assert_eq!(query.params(), self.params, "parameter mismatch");
-        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau)?)
+        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, 1)?)
     }
 
     /// Number of index rows.

@@ -154,6 +154,25 @@ impl IndexStore {
         })
     }
 
+    /// Inserts (or replaces) a whole batch of trees in **one** transaction —
+    /// the single-writer half of the parallel ingest pipeline: callers
+    /// profile documents concurrently (`pqgram_core::par`), then hand the
+    /// finished batch to this method. One journal capture and one commit
+    /// sync amortize over the batch instead of per tree.
+    // analyze: entrypoint
+    pub fn put_trees(&mut self, batch: &[(TreeId, TreeIndex)]) -> Result<()> {
+        for (_, index) in batch {
+            assert_eq!(index.params(), self.params, "parameter mismatch");
+        }
+        self.transactional(|store| {
+            for (id, index) in batch {
+                crate::ops::delete_tree_entries(&store.pool, *id)?;
+                crate::ops::put_tree_entries(&store.pool, *id, index)?;
+            }
+            Ok(())
+        })
+    }
+
     /// Removes a tree from the store. Transactional. Returns `true` if the
     /// tree existed.
     pub fn remove_tree(&mut self, id: TreeId) -> Result<bool> {
@@ -231,8 +250,21 @@ impl IndexStore {
         query: &TreeIndex,
         tau: f64,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        self.lookup_with_stats_threads(query, tau, 1)
+    }
+
+    /// [`IndexStore::lookup_with_stats`] with the exact-distance
+    /// verification phase fanned out over `threads` workers (deterministic:
+    /// the result is identical to the serial plan for any thread count).
+    // analyze: entrypoint
+    pub fn lookup_with_stats_threads(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
         assert_eq!(query.params(), self.params, "parameter mismatch");
-        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau)?)
+        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, threads)?)
     }
 
     /// The version-1 lookup plan — one ordered scan of the forward relation
@@ -302,6 +334,18 @@ impl IndexStore {
         Ok(compacted)
     }
 
+    /// Consumes the store into a shareable read-only handle for concurrent
+    /// lookups. Taking `self` by value enforces the engine's single-writer
+    /// XOR many-readers discipline in the type system: while reader clones
+    /// exist there is no `&mut IndexStore` anywhere, so no write can race a
+    /// lookup. Reclaim write access with
+    /// [`IndexStoreReader::try_into_store`] once all clones are dropped.
+    pub fn into_reader(self) -> IndexStoreReader {
+        IndexStoreReader {
+            inner: std::sync::Arc::new(self),
+        }
+    }
+
     // analyze: txn-boundary
     fn transactional(&mut self, f: impl FnOnce(&Self) -> Result<()>) -> Result<()> {
         self.pool.begin()?;
@@ -322,6 +366,82 @@ impl IndexStore {
                 Err(e)
             }
         }
+    }
+}
+
+/// A cloneable, `Send + Sync` read-only view of an [`IndexStore`], built
+/// with [`IndexStore::into_reader`]. Clones share one buffer pool, whose
+/// sharded read path lets lookups proceed concurrently; every method here
+/// takes `&self` and only reads, so any number of threads may hold clones.
+#[derive(Clone)]
+pub struct IndexStoreReader {
+    inner: std::sync::Arc<IndexStore>,
+}
+
+// The whole point of the reader is to cross threads; if a future change
+// smuggles a non-Send/Sync member into the store, fail the build here
+// rather than at every call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IndexStoreReader>();
+};
+
+impl IndexStoreReader {
+    /// The pq-gram parameters the underlying store was created with.
+    pub fn params(&self) -> PQParams {
+        self.inner.params()
+    }
+
+    /// The approximate lookup ([`IndexStore::lookup`]); safe to call from
+    /// any number of threads at once.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        self.inner.lookup(query, tau)
+    }
+
+    /// [`IndexStore::lookup_with_stats`] through the shared handle.
+    pub fn lookup_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        self.inner.lookup_with_stats(query, tau)
+    }
+
+    /// [`IndexStore::lookup_with_stats_threads`] through the shared handle.
+    pub fn lookup_with_stats_threads(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        self.inner.lookup_with_stats_threads(query, tau, threads)
+    }
+
+    /// True if any gram of `id` is stored.
+    pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
+        self.inner.contains_tree(id)
+    }
+
+    /// Materializes the in-memory index of one stored tree.
+    pub fn tree_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
+        self.inner.tree_index(id)
+    }
+
+    /// All stored tree ids, ascending.
+    pub fn tree_ids(&self) -> Result<Vec<TreeId>> {
+        self.inner.tree_ids()
+    }
+
+    /// Verifies the on-disk invariants (read-only audit).
+    pub fn verify(&self) -> Result<StoreCheck> {
+        self.inner.verify()
+    }
+
+    /// Reclaims exclusive (write) access. Fails with `self` unchanged if
+    /// other reader clones are still alive.
+    pub fn try_into_store(self) -> std::result::Result<IndexStore, IndexStoreReader> {
+        std::sync::Arc::try_unwrap(self.inner)
+            .map_err(|inner| IndexStoreReader { inner })
     }
 }
 

@@ -71,7 +71,7 @@ pub mod vfs;
 
 pub use btree::BTree;
 pub use document::DocumentStore;
-pub use index_store::IndexStore;
+pub use index_store::{IndexStore, IndexStoreReader};
 pub use ops::{LookupStats, StoreCheck};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use pager::{Pager, StoreError};

@@ -280,16 +280,18 @@ pub struct LookupStats {
 /// The approximate lookup, routed by threshold: the candidate-merge plan
 /// over the inverted relation for `τ ≤ 1`, the exhaustive forward scan for
 /// `τ > 1` (where every stored tree is within distance 1 ≤ τ and no filter
-/// can prune — mirroring `pqgram_core::join`).
+/// can prune — mirroring `pqgram_core::join`). `threads > 1` fans the
+/// exact-distance verification phase out over that many workers.
 pub(crate) fn lookup_with_stats(
     pool: &BufferPool,
     query: &TreeIndex,
     tau: f64,
+    threads: usize,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
     if tau > 1.0 {
         lookup_scan_with_stats(pool, query, tau)
     } else {
-        lookup_inverted(pool, query, tau)
+        lookup_inverted(pool, query, tau, threads)
     }
 }
 
@@ -297,10 +299,16 @@ pub(crate) fn lookup_with_stats(
 /// distinct query gram, accumulating per-tree bag intersections; then
 /// size-filter each candidate against the totals relation and verify the
 /// survivors. Reads only rows of trees sharing a gram with the query.
+///
+/// The verification phase (one totals read + size filter + exact distance
+/// per candidate) touches disjoint rows per candidate, so it fans out over
+/// `pqgram_core::par` in deterministic chunk order: the merged hit list is
+/// byte-identical to the serial plan for any thread count.
 fn lookup_inverted(
     pool: &BufferPool,
     query: &TreeIndex,
     tau: f64,
+    threads: usize,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
     let inv = BTree::open(pool, SLOT_INV)?;
     let tot = BTree::open(pool, SLOT_TOT)?;
@@ -323,24 +331,36 @@ fn lookup_inverted(
     let mut candidates: Vec<(u64, u64)> = shared.into_iter().collect();
     candidates.sort_unstable_by_key(|&(t, _)| t);
     let mut hits = Vec::new();
-    for (t, overlap) in candidates {
-        let Some(total) = tot.get((t, 0))? else {
-            return Err(StoreError::Corrupt(format!(
-                "tree {t} has inverted rows but no totals row"
-            )));
-        };
-        stats.rows_read += 1;
-        if !size_filter(query.total(), u64::from(total), tau) {
-            continue;
+    let chunks = pqgram_core::par::map_chunks(&candidates, threads, |part| {
+        let mut out = Vec::new();
+        let mut rows_read = 0u64;
+        let mut verified = 0usize;
+        for &(t, overlap) in part {
+            let Some(total) = tot.get((t, 0))? else {
+                return Err(StoreError::Corrupt(format!(
+                    "tree {t} has inverted rows but no totals row"
+                )));
+            };
+            rows_read += 1;
+            if !size_filter(query.total(), u64::from(total), tau) {
+                continue;
+            }
+            verified += 1;
+            let distance = overlap_distance(overlap, query.total(), u64::from(total));
+            if distance < tau {
+                out.push(LookupHit {
+                    tree_id: TreeId(t),
+                    distance,
+                });
+            }
         }
-        stats.verified += 1;
-        let distance = overlap_distance(overlap, query.total(), u64::from(total));
-        if distance < tau {
-            hits.push(LookupHit {
-                tree_id: TreeId(t),
-                distance,
-            });
-        }
+        Ok((out, rows_read, verified))
+    });
+    for chunk in chunks {
+        let (out, rows_read, verified) = chunk?;
+        hits.extend(out);
+        stats.rows_read += rows_read;
+        stats.verified += verified;
     }
     sort_hits(&mut hits);
     stats.hits = hits.len();

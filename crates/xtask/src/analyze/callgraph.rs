@@ -237,6 +237,7 @@ const OPAQUE_STD_METHODS: &[&str] = &[
     "max_by_key",
     "min",
     "min_by_key",
+    "next",
     "nth",
     "partition",
     "peekable",
@@ -615,6 +616,28 @@ mod tests {
     fn keywords_and_macros_are_not_calls() {
         let sites = call_sites("{ if (x) { return (y); } assert!(z); vec![w]; }");
         assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn iterator_next_on_unknown_receiver_resolves_nowhere() {
+        // A bare `chunks.next()` inside one crate must not wire an edge to
+        // an unrelated workspace method that happens to be named `next`
+        // (e.g. a tokenizer) — `next` is an opaque std combinator.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Tokenizer;\n\
+             impl Tokenizer { fn next(&mut self) {} }\n\
+             fn fan_out(items: &[u32]) { let mut chunks = items.chunks(4);\n    chunks.next(); }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let fan = m.fns.iter().position(|f| f.name == "fan_out").expect("fan_out");
+        assert!(
+            g.edges[fan].is_empty(),
+            "fan_out must not reach Tokenizer::next: {:?}",
+            g.edges[fan]
+        );
     }
 
     #[test]

@@ -180,7 +180,7 @@ const ANCHORS: &[Anchor] = &[
         owner: "BufferPool",
         name: "commit",
         first: "flush_dirty(",
-        then: ".pager.commit(",
+        then: "pager.commit(",
         why: "dirty frames must reach the pager before its commit syncs the file",
     },
 ];

@@ -12,6 +12,7 @@
 //! | `error-impl` | library crates | every `pub …Error` type implements `std::error::Error` |
 //! | `debug-assert-message` | whole workspace | every `debug_assert!` family call carries a message |
 //! | `store-raw-fs` | `crates/store/src` | all disk I/O goes through `vfs.rs` — no direct `std::fs` / sync calls |
+//! | `core-thread-discipline` | `crates/core/src` | no raw `thread::spawn` / lock types outside `par.rs`, the one audited fork/join seam |
 
 use crate::lexer::{line_of, mask};
 use crate::walk::{rel, rust_files};
@@ -32,6 +33,7 @@ pub const RULES: &[&str] = &[
     "error-impl",
     "debug-assert-message",
     "store-raw-fs",
+    "core-thread-discipline",
 ];
 
 /// One lint finding.
@@ -62,6 +64,9 @@ pub fn run_all(root: &Path) -> io::Result<Vec<Violation>> {
                 if !file.ends_with("vfs.rs") {
                     store_raw_fs_rule(&file, &masked, &mut violations);
                 }
+            }
+            if *krate == "core" && !file.ends_with("par.rs") {
+                core_thread_discipline_rule(&file, &masked, &mut violations);
             }
             error_impl_rule(root, krate, &file, &masked, &mut violations)?;
         }
@@ -205,6 +210,40 @@ fn store_raw_fs_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
                 line: line_of(masked, at),
                 message: format!(
                     "`{needle}` bypasses the VFS seam; route the I/O through `crate::vfs`"
+                ),
+            });
+        }
+    }
+}
+
+/// The query paths of `pqgram-core` stay spawn- and lock-free: every
+/// fan-out goes through the one audited seam (`core/src/par.rs`, scoped
+/// threads with a deterministic chunk-order merge), so determinism and
+/// panic transparency are proved in one place instead of at every call
+/// site. `#[cfg(test)]` code is exempt — tests may orchestrate threads to
+/// exercise the seam from outside.
+fn core_thread_discipline_rule(file: &str, masked: &str, out: &mut Vec<Violation>) {
+    let scope_end = masked.find("#[cfg(test)]").unwrap_or(masked.len());
+    let scope = &masked[..scope_end];
+    for needle in [
+        "thread::spawn(",
+        "thread::scope(",
+        "Mutex",
+        "RwLock",
+        "Condvar",
+        "crossbeam",
+    ] {
+        let mut from = 0;
+        while let Some(pos) = scope[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            out.push(Violation {
+                rule: "core-thread-discipline",
+                file: file.to_string(),
+                line: line_of(scope, at),
+                message: format!(
+                    "`{needle}` in a core query path; all parallelism must go through \
+                     `core/src/par.rs`, the audited fork/join seam"
                 ),
             });
         }
@@ -390,6 +429,19 @@ mod tests {
         );
         assert_eq!(v.len(), 3, "{v:?}");
         assert!(v.iter().all(|x| x.line <= 3));
+    }
+
+    #[test]
+    fn core_thread_discipline_flags_raw_threading() {
+        let mut v = Vec::new();
+        core_thread_discipline_rule(
+            "f.rs",
+            "let h = std::thread::spawn(|| {});\nlet m = Mutex::new(0);\n\
+             #[cfg(test)]\nmod tests { fn t() { std::thread::scope(|_| {}); } }\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.line <= 2), "test module is exempt: {v:?}");
     }
 
     #[test]
