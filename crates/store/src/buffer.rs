@@ -18,7 +18,13 @@
 //! The lock order is **shard → pager**, always. A thread holding the pager
 //! lock never takes a shard lock, so the pair cannot deadlock. Cache-miss
 //! reads release the shard lock across the page I/O and re-check on
-//! re-entry, so a slow read does not serialize the rest of the shard.
+//! re-entry, so a slow read does not serialize the rest of the shard. The
+//! fields carry `// analyze: lock-class(...)` markers and the order is
+//! machine-checked by the lock-discipline pass of `cargo xtask analyze`
+//! (DESIGN.md §12), including the one sanctioned overlap: `flush_dirty`
+//! and `pick_victim` hold a shard lock across the pager write-back *by
+//! design* — releasing it first would let a reader fault the stale
+//! on-disk image back in.
 //!
 //! # Read path
 //!
@@ -27,7 +33,12 @@
 //! *outside* every pool lock. Two readers — even of the same shard, even
 //! when one parks inside its closure — always make progress. Writers clone
 //! the payload on demand (`Arc::make_mut`), so an in-flight reader keeps an
-//! immutable snapshot while the writer updates the cached frame.
+//! immutable snapshot while the writer updates the cached frame. The read
+//! path never writes: a cache miss installs through
+//! [`BufferPool::install_clean`], which skips dirty frames in its sweep
+//! and serves the page uncached rather than write anything back — so
+//! shared read-only handles ([`crate::IndexStoreReader`]) provably never
+//! reach the pager's mutating surface.
 //!
 //! # Concurrency contract
 //!
@@ -78,7 +89,9 @@ impl Shard {
 
 /// Sharded buffer pool; owns the pager.
 pub struct BufferPool {
+    // analyze: lock-class(pager)
     pager: Mutex<Pager>,
+    // analyze: lock-class(shard)
     shards: Box<[Mutex<Shard>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     shard_mask: usize,
@@ -153,7 +166,7 @@ impl BufferPool {
             return Ok(raced);
         }
         let page = Arc::new(page);
-        self.install(&mut guard, id, Arc::clone(&page), false)?;
+        self.install_clean(&mut guard, id, Arc::clone(&page));
         Ok(page)
     }
 
@@ -166,32 +179,31 @@ impl BufferPool {
 
     /// Runs `f` against a mutable view of the page and marks it dirty.
     ///
-    /// The shard lock is held across `f` (writes are single-threaded by the
-    /// engine's contract, so this blocks no one who is allowed to exist);
-    /// concurrent readers of the same page keep their pre-write snapshots
-    /// via `Arc::make_mut`'s copy-on-write.
+    /// `f` runs *outside* every pool lock, against a private copy-on-write
+    /// clone of the page (`Arc::make_mut`); the result is swapped into the
+    /// cached frame under the shard lock afterwards. Losing an interleaved
+    /// update is impossible because the engine's write path is
+    /// single-writer by contract (readers never mutate frame payloads);
+    /// concurrent readers of the same page keep their pre-write snapshots.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut PageBuf) -> R) -> Result<R> {
+        let mut page = self.snapshot(id)?;
+        let out = f(Arc::make_mut(&mut page));
         let shard = self.shard_for(id)?;
         let mut guard = shard.lock();
-        let slot = match guard.by_id.get(&id).copied() {
-            Some(slot) => slot,
-            None => {
-                drop(guard);
-                let page = {
-                    let mut pager = self.pager.lock();
-                    pager.read_page(id)?
-                };
-                guard = shard.lock();
-                match guard.by_id.get(&id).copied() {
-                    Some(slot) => slot,
-                    None => self.install(&mut guard, id, Arc::new(page), false)?,
-                }
+        match guard.by_id.get(&id).copied() {
+            Some(slot) => {
+                let frame = guard.frame_mut(slot)?;
+                frame.page = page;
+                frame.dirty = true;
+                frame.referenced = true;
             }
-        };
-        let frame = guard.frame_mut(slot)?;
-        frame.referenced = true;
-        frame.dirty = true;
-        Ok(f(Arc::make_mut(&mut frame.page)))
+            None => {
+                // The frame was evicted (or never cached) while `f` ran;
+                // install the mutated page as a fresh dirty frame.
+                self.install(&mut guard, id, page, true)?;
+            }
+        }
+        Ok(out)
     }
 
     /// Allocates a fresh page (cached as an all-zero dirty frame).
@@ -245,7 +257,11 @@ impl BufferPool {
     /// Number of frames currently cached across all shards — never exceeds
     /// the capacity the pool was built with.
     pub fn resident_pages(&self) -> usize {
-        self.shards.iter().map(|shard| shard.lock().frames.len()).sum()
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            total += shard.lock().frames.len();
+        }
+        total
     }
 
     /// Starts a transaction (flushes pending writes first so the journal
@@ -296,7 +312,57 @@ impl BufferPool {
         pager.validate()
     }
 
+    /// Installs a clean page on the read path. **Never performs I/O**: the
+    /// clock sweep skips dirty frames (a reader must not write pages back
+    /// — that is the writer's, and only the writer's, job), and when every
+    /// frame is dirty or hot the page is simply not cached — the caller
+    /// already holds its `Arc` snapshot, so correctness is unaffected.
+    fn install_clean(&self, shard: &mut Shard, id: PageId, page: Arc<PageBuf>) {
+        if shard.by_id.contains_key(&id) {
+            return;
+        }
+        if shard.frames.len() < self.per_shard {
+            shard.frames.push(Frame {
+                id,
+                page,
+                dirty: false,
+                referenced: true,
+            });
+            shard.by_id.insert(id, shard.frames.len() - 1);
+            return;
+        }
+        let n = shard.frames.len();
+        for _ in 0..n * 2 {
+            let slot = shard.clock;
+            shard.clock = (shard.clock + 1) % n;
+            let Some(frame) = shard.frames.get_mut(slot) else {
+                shard.clock = 0;
+                continue;
+            };
+            if frame.dirty {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            let old_id = frame.id;
+            *frame = Frame {
+                id,
+                page,
+                dirty: false,
+                referenced: true,
+            };
+            if old_id != PageId::NONE {
+                shard.by_id.remove(&old_id);
+            }
+            shard.by_id.insert(id, slot);
+            return;
+        }
+    }
+
     /// Installs a page into `shard`, evicting if the shard is at budget.
+    /// Writer-path only (readers go through [`Self::install_clean`]).
     /// Caller holds the shard lock; the pager lock is taken only for a
     /// dirty victim's write-back (shard → pager order).
     fn install(&self, shard: &mut Shard, id: PageId, page: Arc<PageBuf>, dirty: bool) -> Result<usize> {

@@ -88,6 +88,18 @@ impl From<DiffError> for DocError {
 
 type Result<T> = std::result::Result<T, DocError>;
 
+/// Rejects a query built with different `p, q` parameters — comparing
+/// grams across parameterizations would be silently wrong.
+fn check_params(got: PQParams, expected: PQParams) -> Result<()> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(DocError::Store(StoreError::InvalidArgument(format!(
+            "parameter mismatch: got {got:?}, store built with {expected:?}"
+        ))))
+    }
+}
+
 /// How [`DocumentStore::sync`] brought the stored document up to date.
 #[derive(Clone, Debug)]
 pub enum SyncOutcome {
@@ -284,7 +296,7 @@ impl DocumentStore {
         query: &TreeIndex,
         tau: f64,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
-        assert_eq!(query.params(), self.params, "parameter mismatch");
+        check_params(query.params(), self.params)?;
         Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, 1)?)
     }
 

@@ -78,6 +78,18 @@ impl From<MaintainError> for IndexError {
 
 type Result<T> = std::result::Result<T, IndexError>;
 
+/// Rejects an index or query built with different `p, q` parameters — a
+/// lookup or update against mismatched grams would be silently wrong.
+fn check_params(got: PQParams, expected: PQParams) -> Result<()> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(IndexError::Store(StoreError::InvalidArgument(format!(
+            "parameter mismatch: got {got:?}, store built with {expected:?}"
+        ))))
+    }
+}
+
 /// A persistent forest index file.
 pub struct IndexStore {
     pool: BufferPool,
@@ -146,7 +158,7 @@ impl IndexStore {
     /// Inserts (or replaces) the index of one tree. Transactional.
     // analyze: entrypoint
     pub fn put_tree(&mut self, id: TreeId, index: &TreeIndex) -> Result<()> {
-        assert_eq!(index.params(), self.params, "parameter mismatch");
+        check_params(index.params(), self.params)?;
         self.transactional(|store| {
             crate::ops::delete_tree_entries(&store.pool, id)?;
             crate::ops::put_tree_entries(&store.pool, id, index)?;
@@ -162,7 +174,7 @@ impl IndexStore {
     // analyze: entrypoint
     pub fn put_trees(&mut self, batch: &[(TreeId, TreeIndex)]) -> Result<()> {
         for (_, index) in batch {
-            assert_eq!(index.params(), self.params, "parameter mismatch");
+            check_params(index.params(), self.params)?;
         }
         self.transactional(|store| {
             for (id, index) in batch {
@@ -263,7 +275,7 @@ impl IndexStore {
         tau: f64,
         threads: usize,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
-        assert_eq!(query.params(), self.params, "parameter mismatch");
+        check_params(query.params(), self.params)?;
         Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, threads)?)
     }
 
@@ -275,7 +287,7 @@ impl IndexStore {
         query: &TreeIndex,
         tau: f64,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
-        assert_eq!(query.params(), self.params, "parameter mismatch");
+        check_params(query.params(), self.params)?;
         Ok(crate::ops::lookup_scan_with_stats(&self.pool, query, tau)?)
     }
 
@@ -306,7 +318,7 @@ impl IndexStore {
     {
         let mut rows: Vec<((u64, u64), u32)> = Vec::new();
         for (id, index) in forest {
-            assert_eq!(index.params(), params, "parameter mismatch");
+            check_params(index.params(), params)?;
             for (gram, count) in index.iter() {
                 rows.push(((id.0, gram), count));
             }

@@ -279,6 +279,7 @@ fn write_into(dest: &mut Vec<u8>, offset: u64, data: &[u8]) {
 /// model and `crates/store/tests/crash.rs` for the exhaustive enumeration.
 #[derive(Clone, Default)]
 pub struct FaultVfs {
+    // analyze: lock-class(vfs-state)
     state: Arc<Mutex<FaultState>>,
 }
 
@@ -373,6 +374,7 @@ impl FaultVfs {
 }
 
 struct FaultFile {
+    // analyze: lock-class(vfs-state)
     state: Arc<Mutex<FaultState>>,
     path: PathBuf,
 }

@@ -16,7 +16,7 @@ use pqgram_store::{IndexStore, IndexStoreReader};
 use pqgram_tree::generate::{random_tree, RandomTreeConfig};
 use pqgram_tree::{LabelTable, Tree};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 
 fn tmp(name: &str) -> PathBuf {
@@ -134,4 +134,74 @@ fn concurrent_readers_agree_with_serial_lookup() {
         Err(_) => panic!("no clones left, try_into_store must succeed"),
     };
     assert!(store.contains_tree(TreeId(0)).expect("contains"));
+}
+
+/// Reader storm across ingest rounds: between `put_trees` batches the
+/// store flips into a shared reader, and a pack of threads hammers every
+/// read surface at once (lookups, multi-threaded verification phases,
+/// id scans) while asserting each read sees **exactly** the committed
+/// post-batch snapshot — never a partially applied batch, never a stale
+/// page resurrected by the buffer pool's eviction. Reads racing a write
+/// are ruled out in the type system (`into_reader` consumes the store),
+/// so "pre- or post-batch" collapses to "the snapshot the handle was
+/// built from"; this test pins that down under thread contention, and is
+/// the main workload of the nightly ThreadSanitizer job.
+#[test]
+fn reader_storm_sees_exact_post_batch_snapshots() {
+    let (docs, labels) = forest(90, 40);
+    let params = PQParams::default();
+    let indexes: Vec<(TreeId, TreeIndex)> = docs
+        .iter()
+        .map(|(id, tree)| (*id, build_index(tree, &labels, params)))
+        .collect();
+    let mut store = IndexStore::create(&tmp("storm.pqg"), params).expect("create");
+    let mut rng = StdRng::seed_from_u64(0x570_12);
+    let tau = 0.9;
+    for batch in indexes.chunks(30) {
+        store.put_trees(batch).expect("batch ingest");
+
+        // Serial post-batch oracle over randomized queries drawn from
+        // everything ingested so far.
+        let ids = store.tree_ids().expect("ids");
+        let queries: Vec<TreeIndex> = (0..5)
+            .map(|_| {
+                let pick = rng.random_range(0..ids.len());
+                indexes[ids[pick].0 as usize].1.clone()
+            })
+            .collect();
+        let expected: Vec<Vec<_>> = queries
+            .iter()
+            .map(|q| store.lookup(q, tau).expect("oracle lookup"))
+            .collect();
+
+        let reader = store.into_reader();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|worker| {
+                    let reader = reader.clone();
+                    let (queries, expected, ids) = (&queries, &expected, &ids);
+                    scope.spawn(move || {
+                        for (q, want) in queries.iter().zip(expected) {
+                            let threads = 1 + worker % 3;
+                            let (hits, _) = reader
+                                .lookup_with_stats_threads(q, tau, threads)
+                                .expect("storm lookup");
+                            assert_eq!(&hits, want, "lookup drifted from the snapshot");
+                        }
+                        assert_eq!(&reader.tree_ids().expect("ids"), ids);
+                        let probe = ids[worker % ids.len()];
+                        assert!(reader.contains_tree(probe).expect("contains"));
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("storm thread");
+            }
+        });
+        store = match reader.try_into_store() {
+            Ok(store) => store,
+            Err(_) => panic!("no clones left, try_into_store must succeed"),
+        };
+    }
+    store.verify().expect("post-storm store verifies");
 }

@@ -29,6 +29,7 @@
 //! `pqgram-core`.
 
 use crate::edit::{EditLog, EditOp, LogOp};
+use crate::label::LabelSym;
 use crate::tree::{NodeId, Tree};
 use crate::FxHashMap;
 
@@ -54,9 +55,8 @@ pub fn optimize_log(tree: &Tree, log: &EditLog) -> (EditLog, OptimizeStats) {
         original_len: log.len(),
         ..Default::default()
     };
-    let mut entries: Vec<Option<LogOp>> = log.ops().iter().cloned().map(Some).collect();
-
-    cancel_adjacent_pairs(&mut entries, &mut stats);
+    let cancelled = cancel_adjacent_pairs(log.ops().to_vec(), &mut stats);
+    let mut entries: Vec<Option<LogOp>> = cancelled.into_iter().map(Some).collect();
     drop_and_collapse_renames(tree, &mut entries, &mut stats);
 
     let out: EditLog = entries.into_iter().flatten().collect();
@@ -65,40 +65,24 @@ pub fn optimize_log(tree: &Tree, log: &EditLog) -> (EditLog, OptimizeStats) {
 }
 
 /// Rule 1 to a fixpoint: remove `(DEL(x), INS(x, …))` at adjacent live
-/// positions.
-fn cancel_adjacent_pairs(entries: &mut [Option<LogOp>], stats: &mut OptimizeStats) {
-    loop {
-        let mut changed = false;
-        let mut prev: Option<usize> = None; // previous live index
-        for i in 0..entries.len() {
-            if entries[i].is_none() {
-                continue;
-            }
-            if let Some(p) = prev {
-                let cancels = matches!(
-                    (&entries[p], &entries[i]),
-                    (
-                        Some(LogOp { op: EditOp::Delete { node: a }, .. }),
-                        Some(LogOp { op: EditOp::Insert { node: b, .. }, .. }),
-                    ) if a == b
-                );
-                if cancels {
-                    entries[p] = None;
-                    entries[i] = None;
-                    stats.cancelled_pairs += 1;
-                    changed = true;
-                    // `prev` stays at the entry before `p` conceptually; the
-                    // next sweep will pick up any newly adjacent pair.
-                    prev = None;
-                    continue;
-                }
-            }
-            prev = Some(i);
-        }
-        if !changed {
-            return;
+/// positions. Matched-bracket elimination: after a pair cancels, the new
+/// stack top is adjacent to the next entry, so nested brackets collapse in
+/// one pass.
+fn cancel_adjacent_pairs(entries: Vec<LogOp>, stats: &mut OptimizeStats) -> Vec<LogOp> {
+    let mut out: Vec<LogOp> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let cancels = matches!(
+            (out.last().map(|p| &p.op), &entry.op),
+            (Some(EditOp::Delete { node: a }), EditOp::Insert { node: b, .. }) if a == b
+        );
+        if cancels {
+            out.pop();
+            stats.cancelled_pairs += 1;
+        } else {
+            out.push(entry);
         }
     }
+    out
 }
 
 /// Rules 2 and 3.
@@ -107,11 +91,15 @@ fn drop_and_collapse_renames(
     entries: &mut [Option<LogOp>],
     stats: &mut OptimizeStats,
 ) {
-    // Index the per-node entry kinds.
+    // Index the per-node entry kinds. The first rename's label is captured
+    // here so the rewrite loop never has to re-read (and prove live) the
+    // entry behind a stored position.
     #[derive(Default)]
     struct PerNode {
         /// positions of REN(x, ·) entries, ascending.
         renames: Vec<usize>,
+        /// label argument of the earliest rename (x's original label).
+        first_label: Option<LabelSym>,
         /// position of the DEL(x) entry (forward insert), if any.
         del: Option<usize>,
         /// position of the INS(x, …) entry (forward delete), if any.
@@ -122,53 +110,61 @@ fn drop_and_collapse_renames(
         let Some(entry) = slot else { continue };
         let per = by_node.entry(entry.op.target()).or_default();
         match entry.op {
-            EditOp::Rename { .. } => per.renames.push(i),
+            EditOp::Rename { label, .. } => {
+                per.first_label.get_or_insert(label);
+                per.renames.push(i);
+            }
             EditOp::Delete { .. } => per.del = Some(i),
             EditOp::Insert { .. } => per.ins = Some(i),
         }
     }
 
-    for (node, per) in by_node {
-        if per.renames.is_empty() {
-            continue;
+    let clear = |entries: &mut [Option<LogOp>], i: usize| {
+        if let Some(slot) = entries.get_mut(i) {
+            *slot = None;
         }
+    };
+    for (node, per) in by_node {
+        let Some(original_label) = per.first_label else {
+            continue; // no renames for this node
+        };
         // Rule 2: x does not exist in T0 — its labels never matter.
         if per.del.is_some() {
             for &i in &per.renames {
-                entries[i] = None;
+                clear(entries, i);
                 stats.dropped_renames += 1;
             }
             continue;
         }
         // Rule 3: only the earliest rename (the original label) matters.
-        let first = per.renames[0];
-        let original_label = match entries[first].as_ref().expect("live").op {
-            EditOp::Rename { label, .. } => label,
-            _ => unreachable!("indexed as rename"),
+        let mut positions = per.renames.iter().copied();
+        let Some(first) = positions.next() else {
+            continue;
         };
-        for &i in &per.renames[1..] {
-            entries[i] = None;
+        for i in positions {
+            clear(entries, i);
             stats.dropped_renames += 1;
         }
         match per.ins {
             Some(ins_pos) => {
                 // The rewind re-creates x; bake the original label into the
                 // insert and drop the rename.
-                let entry = entries[ins_pos].as_mut().expect("live");
-                if let EditOp::Insert { label, .. } = &mut entry.op {
-                    if *label != original_label {
-                        *label = original_label;
-                        stats.rewritten_inserts += 1;
+                if let Some(entry) = entries.get_mut(ins_pos).and_then(Option::as_mut) {
+                    if let EditOp::Insert { label, .. } = &mut entry.op {
+                        if *label != original_label {
+                            *label = original_label;
+                            stats.rewritten_inserts += 1;
+                        }
                     }
                 }
-                entries[first] = None;
+                clear(entries, first);
                 stats.dropped_renames += 1;
             }
             None => {
                 // x survives into Tn. If its label is already the original,
                 // the remaining rename is a net identity.
                 if tree.contains(node) && tree.label(node) == original_label {
-                    entries[first] = None;
+                    clear(entries, first);
                     stats.dropped_renames += 1;
                 }
             }

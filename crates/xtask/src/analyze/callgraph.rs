@@ -71,12 +71,17 @@ pub struct CallSite {
     /// Called name (method or function).
     pub name: String,
     /// Receiver chain for method calls: `self.file.sync()` → `["self",
-    /// "file"]`; `x.run()` → `["x"]`. Empty for path/free calls.
+    /// "file"]`; `x.run()` → `["x"]`. Index projections are skipped:
+    /// `self.shards[i].lock()` → `["self", "shards"]`. Empty for
+    /// path/free calls.
     pub recv: Vec<String>,
     /// Path qualifier segments for `a::b::name(` calls (without `name`).
     pub path: Vec<String>,
     /// True when written as a method call (`.name(`).
     pub is_method: bool,
+    /// Byte offset of the called name within the body — lets the lock
+    /// pass relate call sites to guard live ranges.
+    pub at: usize,
 }
 
 const KEYWORDS: &[&str] = &[
@@ -126,6 +131,7 @@ pub fn call_sites(body: &str) -> Vec<CallSite> {
             recv,
             path,
             is_method,
+            at: start,
         });
     }
     out
@@ -148,6 +154,32 @@ fn context_before(bytes: &[u8], body: &str, start: usize) -> (Vec<String>, Vec<S
                 let mut end = k; // points at '.'
                 while end > 0 && bytes[end - 1].is_ascii_whitespace() {
                     end -= 1;
+                }
+                // `self.shards[i].lock()` — skip the index projection so
+                // the chain keeps the field name (the element type is what
+                // matters for resolution).
+                if end > 0 && bytes[end - 1] == b']' {
+                    let mut depth = 0usize;
+                    let mut p = end;
+                    let mut matched = false;
+                    while p > 0 {
+                        p -= 1;
+                        match bytes[p] {
+                            b']' => depth += 1,
+                            b'[' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    matched = true;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !matched {
+                        return (Vec::new(), Vec::new(), true);
+                    }
+                    end = p;
                 }
                 let mut s = end;
                 while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
@@ -284,9 +316,65 @@ const PASS_THROUGH_SUFFIXES: &[&str] = &[
     ".unwrap()",
 ];
 
+/// Strips pass-through suffixes, `?`, and index projections `[…]` from the
+/// front of `tail`, returning the remainder.
+fn strip_projections(mut tail: &str) -> &str {
+    loop {
+        let before = tail;
+        for suffix in PASS_THROUGH_SUFFIXES {
+            if let Some(t) = tail.strip_prefix(suffix) {
+                tail = t;
+                break;
+            }
+        }
+        if let Some(t) = tail.strip_prefix('?') {
+            tail = t;
+        }
+        // `self.shards[i]` — an index projection hands out the element.
+        if tail.starts_with('[') {
+            let bytes = tail.as_bytes();
+            let mut depth = 0usize;
+            let mut end = None;
+            for (idx, &b) in bytes.iter().enumerate() {
+                match b {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(idx + 1);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(end) = end {
+                tail = &tail[end..];
+            }
+        }
+        if tail.len() == before.len() {
+            break;
+        }
+    }
+    tail
+}
+
+/// True when `t` is only a statement/block terminator — nothing but
+/// projections followed the expression we typed.
+fn terminated(t: &str) -> bool {
+    let t = t.trim_start();
+    t.is_empty()
+        || t.starts_with(';')
+        || t.starts_with('{')
+        || t.starts_with(')')
+        || t.starts_with(',')
+        || t.starts_with('}')
+        || t.starts_with("else")
+}
+
 /// The stripped field type when a `let` right-hand side is `self.<field>`
-/// (optionally behind `&`/`&mut` and pass-through suffixes, and followed
-/// only by a statement/block terminator).
+/// (optionally behind `&`/`&mut`, pass-through suffixes and index
+/// projections, and followed only by a statement/block terminator).
 fn self_field_rhs_type(rhs: &str, owner: Option<&str>, model: &Model) -> Option<String> {
     let owner = owner?;
     let rhs = rhs.trim_start().trim_start_matches('&').trim_start();
@@ -299,39 +387,110 @@ fn self_field_rhs_type(rhs: &str, owner: Option<&str>, model: &Model) -> Option<
     if field.is_empty() {
         return None;
     }
-    let mut tail = &rest[field.len()..];
-    loop {
-        let before = tail;
-        for suffix in PASS_THROUGH_SUFFIXES {
-            if let Some(t) = tail.strip_prefix(suffix) {
-                tail = t;
-                break;
-            }
-        }
-        if let Some(t) = tail.strip_prefix('?') {
-            tail = t;
-        }
-        if tail.len() == before.len() {
-            break;
-        }
-    }
-    let t = tail.trim_start();
-    let terminated = t.is_empty()
-        || t.starts_with(';')
-        || t.starts_with('{')
-        || t.starts_with(')')
-        || t.starts_with(',')
-        || t.starts_with('}')
-        || t.starts_with("else");
-    if !terminated {
+    let tail = strip_projections(&rest[field.len()..]);
+    if !terminated(tail) {
         return None;
     }
     model.fields.get(&(owner.to_string(), field)).cloned()
 }
 
-/// Types of locals and parameters, scraped from the signature and simple
-/// `let` forms in the body.
-fn local_types(f: &FnItem, model: &Model) -> BTreeMap<String, String> {
+/// The return type of a method when a `let` right-hand side is
+/// `self.<method>(…)` — `let shard = self.shard_for(id)?` carries the
+/// `Result<&Mutex<Shard>>` return type through to `shard`.
+fn self_method_rhs_type(rhs: &str, owner: Option<&str>, model: &Model) -> Option<String> {
+    let owner = owner?;
+    let rhs = rhs.trim_start().trim_start_matches('&').trim_start();
+    let rhs = rhs.strip_prefix("mut ").unwrap_or(rhs).trim_start();
+    let rest = rhs.strip_prefix("self.")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let after = rest[name.len()..].trim_start();
+    if name.is_empty() || !after.starts_with('(') {
+        return None;
+    }
+    // Skip the balanced argument list.
+    let bytes = after.as_bytes();
+    let mut depth = 0usize;
+    let mut args_end = None;
+    for (idx, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    args_end = Some(idx + 1);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let tail = strip_projections(&after[args_end?..]);
+    if !terminated(tail) {
+        return None;
+    }
+    let id = *model.methods_of(owner, &name).first()?;
+    return_type_of(&model.fns[id].sig)
+}
+
+/// The stripped return type of a masked signature, unwrapping a top-level
+/// `Result<…>` / `Option<…>`: `-> Result<&Mutex<Shard>>` → `Shard`.
+pub fn return_type_of(sig: &str) -> Option<String> {
+    let (_, ret) = sig.split_once("->")?;
+    let ret = ret.split(" where ").next().unwrap_or(ret).trim();
+    let inner = ["Result", "Option"].iter().find_map(|kw| {
+        let rest = ret.strip_prefix(kw)?.trim_start();
+        let rest = rest.strip_prefix('<')?;
+        // Balanced up to the matching `>`, then the first type parameter.
+        let bytes = rest.as_bytes();
+        let mut depth = 1usize;
+        let mut end = rest.len();
+        for (idx, &b) in bytes.iter().enumerate() {
+            match b {
+                b'<' => depth += 1,
+                b'>' if idx == 0 || bytes[idx - 1] != b'-' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = idx;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let inner = &rest[..end];
+        Some(split_top_level(inner).first().map(|s| s.to_string())?)
+    });
+    let ty = strip_wrappers(inner.as_deref().unwrap_or(ret));
+    // Only plain type names are useful for receiver typing — tuples,
+    // lifetimes, and generic applications resolve to nothing anyway.
+    (!ty.is_empty() && ty.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')).then_some(ty)
+}
+
+/// The type of a `let` right-hand side that is another, already-typed
+/// local behind projections: `let guard = shard.lock();`.
+fn local_rhs_type(rhs: &str, locals: &BTreeMap<String, String>) -> Option<String> {
+    let rhs = rhs.trim_start().trim_start_matches('&').trim_start();
+    let rhs = rhs.strip_prefix("mut ").unwrap_or(rhs).trim_start();
+    let name: String = rhs
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let tail = strip_projections(&rhs[name.len()..]);
+    if !terminated(tail) {
+        return None;
+    }
+    locals.get(&name).cloned()
+}
+
+/// Types of locals and parameters, scraped from the signature, simple
+/// `let` forms, and `for` bindings in the body.
+pub fn local_types(f: &FnItem, model: &Model) -> BTreeMap<String, String> {
     let mut out = BTreeMap::new();
     // Parameters: `name: Type` pairs inside the signature parens.
     if let (Some(open), Some(close)) = (f.sig.find('('), f.sig.rfind(')')) {
@@ -348,7 +507,23 @@ fn local_types(f: &FnItem, model: &Model) -> BTreeMap<String, String> {
             }
         }
     }
-    // `let [mut] name: Type = …` and `let [mut] name = Type::…`.
+    // Body scans insert types that later scans may depend on (`for s in
+    // self.shards` before `let g = s.lock()` and vice versa) — iterate to
+    // a fixpoint; chains are shallow so this converges in a pass or two.
+    loop {
+        let before = out.len();
+        scan_let_bindings(f, model, &mut out);
+        scan_for_bindings(f, model, &mut out);
+        if out.len() == before {
+            break;
+        }
+    }
+    out
+}
+
+/// `let [mut] name: Type = …`, `let [mut] name = Type::…`, and the typed
+/// right-hand-side forms (`self.field`, `self.method(…)`, another local).
+fn scan_let_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, String>) {
     let body = &f.body;
     let bytes = body.as_bytes();
     let mut i = 0;
@@ -441,10 +616,52 @@ fn local_types(f: &FnItem, model: &Model) -> BTreeMap<String, String> {
                 out.insert(pat_name, first);
             } else if let Some(ty) = self_field_rhs_type(rhs, f.owner.as_deref(), model) {
                 out.insert(pat_name, ty);
+            } else if let Some(ty) = self_method_rhs_type(rhs, f.owner.as_deref(), model) {
+                out.insert(pat_name, ty);
+            } else if let Some(ty) = local_rhs_type(rhs, &out) {
+                out.insert(pat_name, ty);
             }
         }
     }
-    out
+}
+
+/// `for shard in self.shards.iter()` — the binding gets the field's
+/// (element) type; `.iter()`/`.iter_mut()`/`.into_iter()` and `&`/`&mut`
+/// are reference-preserving for typing purposes.
+fn scan_for_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, String>) {
+    let body = &f.body;
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = body[i..].find("for ") {
+        let at = i + pos;
+        i = at + 4;
+        let boundary_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        if !boundary_ok {
+            continue;
+        }
+        let rest = &body[at + 4..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after = rest[name.len()..].trim_start();
+        let Some(expr) = after.strip_prefix("in ") else { continue };
+        let Some(brace) = expr.find('{') else { continue };
+        let mut expr = expr[..brace].trim();
+        expr = expr.trim_start_matches('&').trim_start();
+        expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+        for suffix in [".iter()", ".iter_mut()", ".into_iter()"] {
+            expr = expr.strip_suffix(suffix).unwrap_or(expr);
+        }
+        if let Some(ty) = self_field_rhs_type(expr, f.owner.as_deref(), model) {
+            out.insert(name, ty);
+        } else if let Some(ty) = local_rhs_type(expr, out) {
+            out.insert(name, ty);
+        }
+    }
 }
 
 /// Splits on top-level commas (ignoring nested `()`/`<>`/`[]`).
@@ -467,6 +684,62 @@ fn split_top_level(s: &str) -> Vec<&str> {
     }
     parts.push(&s[start..]);
     parts
+}
+
+/// Resolves one call site to model function ids — the lock pass's entry
+/// point into the resolution rules above.
+pub fn resolve_site(
+    model: &Model,
+    caller: &FnItem,
+    call: &CallSite,
+    locals: &BTreeMap<String, String>,
+) -> Vec<usize> {
+    let mut out = BTreeSet::new();
+    resolve(model, caller, call, locals, &mut out);
+    out.into_iter().collect()
+}
+
+/// Like [`resolve_site`], but without the unresolved-receiver
+/// over-approximation: a method call whose receiver cannot be typed
+/// contributes no edges at all. The lock pass resolves its call edges
+/// through this — its rules are zero-tolerance, so one phantom edge onto
+/// a same-named workspace method (`frames.len()` landing on `PPart::len`)
+/// becomes an unfixable hard finding. The precision this costs is
+/// backstopped dynamically by the ThreadSanitizer stress job.
+pub fn resolve_site_typed(
+    model: &Model,
+    caller: &FnItem,
+    call: &CallSite,
+    locals: &BTreeMap<String, String>,
+) -> Vec<usize> {
+    if call.is_method && receiver_type(model, caller, call, locals).is_none() {
+        return Vec::new();
+    }
+    resolve_site(model, caller, call, locals)
+}
+
+/// Types a method call's receiver chain, if the chain is one the model
+/// can follow: `self`, `self.field`, a typed local, or a typed local's
+/// field.
+fn receiver_type(
+    model: &Model,
+    caller: &FnItem,
+    call: &CallSite,
+    locals: &BTreeMap<String, String>,
+) -> Option<String> {
+    let recv: Vec<&str> = call.recv.iter().map(String::as_str).collect();
+    match recv.as_slice() {
+        ["self"] => caller.owner.clone(),
+        ["self", field] => caller
+            .owner
+            .as_ref()
+            .and_then(|o| model.fields.get(&(o.clone(), field.to_string())).cloned()),
+        [local] => locals.get(*local).cloned(),
+        [local, field] => locals
+            .get(*local)
+            .and_then(|t| model.fields.get(&(t.clone(), field.to_string())).cloned()),
+        _ => None,
+    }
 }
 
 /// Ids of functions named `name` owned by `ty`, following trait
@@ -506,22 +779,7 @@ fn resolve(
             .collect()
     };
     if call.is_method {
-        let recv: Vec<&str> = call.recv.iter().map(String::as_str).collect();
-        let receiver_ty: Option<String> = match recv.as_slice() {
-            ["self"] => caller.owner.clone(),
-            ["self", field] => caller.owner.as_ref().and_then(|o| {
-                model
-                    .fields
-                    .get(&(o.clone(), field.to_string()))
-                    .cloned()
-            }),
-            [local] => locals.get(*local).cloned(),
-            [local, field] => locals
-                .get(*local)
-                .and_then(|t| model.fields.get(&(t.clone(), field.to_string())).cloned()),
-            _ => None,
-        };
-        match receiver_ty {
+        match receiver_type(model, caller, call, locals) {
             Some(ty) if model.known_types.contains(&ty) => {
                 let ids = typed_targets(model, &ty, &call.name);
                 if !ids.is_empty() {
@@ -637,6 +895,30 @@ mod tests {
             g.edges[fan].is_empty(),
             "fan_out must not reach Tokenizer::next: {:?}",
             g.edges[fan]
+        );
+    }
+
+    #[test]
+    fn typed_resolver_drops_unresolved_receivers() {
+        // `entries.len()` on an untyped receiver over-approximates in the
+        // full graph, but must contribute no edge under the typed resolver
+        // the lock pass uses — a phantom edge there is a hard finding.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Part;\n\
+             impl Part { fn len(&self) {} }\n\
+             fn walk(x: u32) { let entries = mystery(x);\n    entries.len(); }\n",
+        )
+        .expect("parse");
+        let walk = &m.fns[m.fns.iter().position(|f| f.name == "walk").expect("walk")];
+        let locals = local_types(walk, &m);
+        let sites = call_sites(&walk.body);
+        let site = sites.iter().find(|s| s.name == "len").expect("len site");
+        assert!(!resolve_site(&m, walk, site, &locals).is_empty());
+        assert!(
+            resolve_site_typed(&m, walk, site, &locals).is_empty(),
+            "typed resolver must not land on Part::len"
         );
     }
 
@@ -827,6 +1109,142 @@ mod tests {
             !g.edges[driver].contains(&blob_put),
             "multi-line chain over-approximated: {:?}",
             g.edges[driver]
+        );
+    }
+
+    #[test]
+    fn indexed_lock_guard_is_typed_through_the_field() {
+        // Regression: `let guard = self.shards[i].lock()` must carry the
+        // shard type through the index projection — previously the `[i]`
+        // made the rhs untyped and `guard.hit(id)` over-approximated onto
+        // every workspace method named `hit`.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Shard; impl Shard { fn hit(&mut self, id: u32) {} }\n\
+             struct Decoy; impl Decoy { fn hit(&mut self, id: u32) {} }\n\
+             struct Pool { shards: Box<[Mutex<Shard>]> }\n\
+             impl Pool { fn touch(&self, i: usize, id: u32) {\n\
+                 let mut guard = self.shards[i].lock();\n\
+                 guard.hit(id);\n\
+             } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let touch = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pool::touch")
+            .expect("touch");
+        let shard_hit = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Shard::hit")
+            .expect("shard");
+        let decoy_hit = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Decoy::hit")
+            .expect("decoy");
+        assert!(g.edges[touch].contains(&shard_hit), "{:?}", g.edges[touch]);
+        assert!(
+            !g.edges[touch].contains(&decoy_hit),
+            "index projection must not erase the receiver type: {:?}",
+            g.edges[touch]
+        );
+    }
+
+    #[test]
+    fn method_return_types_a_local() {
+        // `let shard = self.shard_for(id)?` — the local carries the
+        // method's (unwrapped) return type.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Shard; impl Shard { fn evict(&mut self) {} }\n\
+             struct Decoy; impl Decoy { fn evict(&mut self) {} }\n\
+             struct Pool;\n\
+             impl Pool {\n\
+                 fn shard_for(&self, id: u32) -> Result<&Mutex<Shard>> { todo!() }\n\
+                 fn trim(&self, id: u32) {\n\
+                     let shard = self.shard_for(id)?;\n\
+                     let mut guard = shard.lock();\n\
+                     guard.evict();\n\
+                 }\n\
+             }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let trim = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pool::trim")
+            .expect("trim");
+        let shard_evict = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Shard::evict")
+            .expect("shard");
+        let decoy_evict = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Decoy::evict")
+            .expect("decoy");
+        assert!(g.edges[trim].contains(&shard_evict), "{:?}", g.edges[trim]);
+        assert!(!g.edges[trim].contains(&decoy_evict), "{:?}", g.edges[trim]);
+    }
+
+    #[test]
+    fn for_loop_binding_over_a_field_is_typed() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Shard; impl Shard { fn wipe(&mut self) {} }\n\
+             struct Decoy; impl Decoy { fn wipe(&mut self) {} }\n\
+             struct Pool { shards: Box<[Mutex<Shard>]> }\n\
+             impl Pool { fn reset(&self) {\n\
+                 for shard in self.shards.iter() {\n\
+                     let mut guard = shard.lock();\n\
+                     guard.wipe();\n\
+                 }\n\
+             } }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let reset = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Pool::reset")
+            .expect("reset");
+        let shard_wipe = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Shard::wipe")
+            .expect("shard");
+        let decoy_wipe = m
+            .fns
+            .iter()
+            .position(|f| f.qualified() == "Decoy::wipe")
+            .expect("decoy");
+        assert!(g.edges[reset].contains(&shard_wipe), "{:?}", g.edges[reset]);
+        assert!(!g.edges[reset].contains(&decoy_wipe), "{:?}", g.edges[reset]);
+    }
+
+    #[test]
+    fn return_type_of_unwraps_result_and_wrappers() {
+        assert_eq!(
+            return_type_of("fn shard_for(&self) -> Result<&Mutex<Shard>>").as_deref(),
+            Some("Shard")
+        );
+        assert_eq!(
+            return_type_of("fn get(&self) -> Option<Arc<Page>>").as_deref(),
+            Some("Page")
+        );
+        assert_eq!(return_type_of("fn go(&self)"), None);
+        assert_eq!(
+            return_type_of("fn pick(&self) -> Result<(u32, bool), Error>"),
+            None,
+            "tuple returns carry no single type"
         );
     }
 

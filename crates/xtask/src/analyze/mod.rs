@@ -1,13 +1,14 @@
 //! `cargo xtask analyze` — whole-workspace semantic analysis.
 //!
 //! The pipeline: [`model`] parses every source file into functions,
-//! fields and impls; [`callgraph`] connects them; [`panic`], [`txn`] and
-//! [`discard`] run the three analyses; [`report`] aggregates. The
+//! fields and impls; [`callgraph`] connects them; [`panic`], [`txn`],
+//! [`lock`] and [`discard`] run the analyses; [`report`] aggregates. The
 //! entry-point/trust vocabulary is the `// analyze:` marker comments
-//! documented in DESIGN.md §10.
+//! documented in DESIGN.md §10; the concurrency pass is DESIGN.md §12.
 
 pub mod callgraph;
 pub mod discard;
+pub mod lock;
 pub mod model;
 pub mod panic;
 pub mod report;
@@ -42,21 +43,22 @@ pub fn dir_model(dir: &Path) -> io::Result<model::Model> {
     Ok(m)
 }
 
-/// Runs the three analyses over a built model. `require_anchors` demands
-/// the commit-ordering anchor functions exist (on for workspace runs, off
-/// for fixtures).
+/// Runs the analyses over a built model. `require_anchors` demands the
+/// commit-ordering and lock-discipline anchors exist (on for workspace
+/// runs, off for fixtures).
 pub fn run_model(m: &model::Model, require_anchors: bool) -> Report {
     let graph = callgraph::Graph::build(m);
     let seeds = panic::all_seeds(m);
     let panic_report = panic::run(m, &graph, &seeds);
+    let lock_report = lock::run(m, &graph, require_anchors);
     let mut hard = panic_report.recovery;
     hard.extend(txn::run(m, &graph));
     hard.extend(txn::check_ordering(m, require_anchors));
     hard.extend(discard::run(m));
-    Report {
-        hard,
-        ratcheted: panic_report.ratcheted,
-    }
+    hard.extend(lock_report.hard);
+    let mut ratcheted = panic_report.ratcheted;
+    ratcheted.extend(lock_report.census);
+    Report { hard, ratcheted }
 }
 
 /// Convenience: model + analyses for a fixture directory.

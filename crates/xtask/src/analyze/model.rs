@@ -68,6 +68,11 @@ impl Marker {
                 Ok(Marker::TxnExempt(reason.to_string()))
             }
             ("txn-exempt", _) => Err("`txn-exempt` needs a reason: txn-exempt(<why>)".into()),
+            ("lock-class", _) => Err(
+                "`lock-class` is a field-level directive; write it directly above the \
+                 Mutex/RwLock field it classifies"
+                    .into(),
+            ),
             _ => Err(format!("unknown analyze directive `{text}`")),
         }
     }
@@ -122,6 +127,22 @@ impl fmt::Display for FnItem {
     }
 }
 
+/// One `Mutex`/`RwLock` struct field — the unit the lock-discipline pass
+/// classifies. Declared with `// analyze: lock-class(<name>)` directly
+/// above the field; a lock field without a class is a hard finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockField {
+    /// Declared lock class, `None` when the field carries no marker.
+    pub class: Option<String>,
+    /// Stripped content type behind the lock (`Mutex<Pager>` → `Pager`),
+    /// used to classify acquisitions through typed locals.
+    pub content: String,
+    /// Repo-relative file of the declaration.
+    pub file: String,
+    /// 1-based line of the field.
+    pub line: usize,
+}
+
 /// The whole-workspace model.
 #[derive(Debug, Default)]
 pub struct Model {
@@ -130,6 +151,9 @@ pub struct Model {
     /// `(owner type, field name) -> field type` (last path segment, with
     /// `Option`/`Box`/`Arc`/`Rc`/`Mutex`/`RefCell`/`dyn`/refs stripped).
     pub fields: BTreeMap<(String, String), String>,
+    /// `(owner type, field name) -> lock field` for every `Mutex`/`RwLock`
+    /// field, with its declared `lock-class(<name>)` when present.
+    pub lock_fields: BTreeMap<(String, String), LockField>,
     /// `trait -> implementing types` from `impl Trait for Type` items.
     pub impls: BTreeMap<String, Vec<String>>,
     /// Names of types that appear as an `impl`/`struct`/`trait` owner.
@@ -147,7 +171,8 @@ impl Model {
         let bytes = masked.as_bytes();
         let test_ranges = test_ranges(bytes);
         let regions = owner_regions(bytes);
-        parse_struct_fields(&masked, &mut self.fields);
+        parse_struct_fields(&masked, source, file, &mut self.fields, &mut self.lock_fields)
+            .map_err(|e| format!("{file}: {e}"))?;
         for region in &regions {
             self.known_types.insert(region.name.clone());
             if region.is_trait {
@@ -434,11 +459,19 @@ pub fn strip_wrappers(ty: &str) -> String {
             continue;
         }
         let mut advanced = false;
-        for wrapper in ["Option<", "Box<", "Arc<", "Rc<", "Mutex<", "RefCell<", "Vec<"] {
+        for wrapper in ["Option<", "Box<", "Arc<", "Rc<", "Mutex<", "RwLock<", "RefCell<", "Vec<"] {
             if let Some(rest) = t.strip_prefix(wrapper) {
                 t = rest.strip_suffix('>').unwrap_or(rest);
                 advanced = true;
                 break;
+            }
+        }
+        // Slice / array types: `[Mutex<Shard>]`, `[u8; 4]` → element type.
+        if !advanced {
+            if let Some(rest) = t.strip_prefix('[') {
+                let inner = rest.strip_suffix(']').unwrap_or(rest);
+                t = inner.split(';').next().unwrap_or(inner).trim();
+                advanced = true;
             }
         }
         if !advanced {
@@ -451,8 +484,19 @@ pub fn strip_wrappers(ty: &str) -> String {
     t.trim().to_string()
 }
 
-/// Parses `struct Name { field: Type, … }` declarations into `fields`.
-fn parse_struct_fields(masked: &str, fields: &mut BTreeMap<(String, String), String>) {
+/// Parses `struct Name { field: Type, … }` declarations into `fields`,
+/// recording every `Mutex`/`RwLock` field into `lock_fields` together with
+/// its `// analyze: lock-class(<name>)` marker (scanned from the *raw*
+/// source above the field — comments are blanked in the masked text).
+/// A malformed or misplaced field directive is a parse error, exactly like
+/// an unknown function marker.
+fn parse_struct_fields(
+    masked: &str,
+    raw: &str,
+    file: &str,
+    fields: &mut BTreeMap<(String, String), String>,
+    lock_fields: &mut BTreeMap<(String, String), LockField>,
+) -> Result<(), String> {
     let bytes = masked.as_bytes();
     let mut i = 0;
     while let Some(at) = find_kw(bytes, i, b"struct") {
@@ -475,18 +519,25 @@ fn parse_struct_fields(masked: &str, fields: &mut BTreeMap<(String, String), Str
             continue; // unit or tuple struct
         }
         let end = match_delim(bytes, j);
-        let body = &masked[j + 1..end.saturating_sub(1)];
-        for part in split_fields(body) {
-            let mut part = part.trim();
+        let body_start = j + 1;
+        let body = &masked[body_start..end.saturating_sub(1)];
+        for (part_at, raw_part) in split_fields(body) {
+            let mut part = raw_part.trim_start();
+            let mut offset = part_at + (raw_part.len() - part.len());
             // `pub` / `pub(crate)` visibility prefixes.
             if let Some(rest) = part.strip_prefix("pub") {
-                let rest = rest.trim_start();
-                part = match rest.strip_prefix('(') {
-                    Some(vis) => vis.split_once(')').map(|(_, r)| r).unwrap_or(rest),
-                    None => rest,
-                }
-                .trim();
+                let rest2 = rest.trim_start();
+                let stripped = match rest2.strip_prefix('(') {
+                    Some(vis) => vis.split_once(')').map(|(_, r)| r).unwrap_or(rest2),
+                    None => rest2,
+                };
+                offset += part.len() - stripped.len();
+                part = stripped;
+                let trimmed = part.trim_start();
+                offset += part.len() - trimmed.len();
+                part = trimmed;
             }
+            let part = part.trim_end();
             let Some((fname, ftype)) = part.split_once(':') else {
                 continue;
             };
@@ -494,18 +545,128 @@ fn parse_struct_fields(masked: &str, fields: &mut BTreeMap<(String, String), Str
             if fname.is_empty() || !fname.bytes().all(is_ident_byte) {
                 continue;
             }
-            fields.insert(
-                (name.clone(), fname.to_string()),
-                strip_wrappers(ftype.trim()),
-            );
+            let ftype = ftype.trim();
+            let field_at = body_start + offset;
+            let line = line_of(masked, field_at);
+            let marker = field_marker(raw, field_at)?;
+            if let Some(lock) = lock_content_type(ftype) {
+                lock_fields.insert(
+                    (name.clone(), fname.to_string()),
+                    LockField {
+                        class: marker,
+                        content: lock,
+                        file: file.to_string(),
+                        line,
+                    },
+                );
+            } else if let Some(class) = marker {
+                return Err(format!(
+                    "`lock-class({class})` on `{name}.{fname}`, which is not a \
+                     Mutex/RwLock field"
+                ));
+            }
+            fields.insert((name.clone(), fname.to_string()), strip_wrappers(ftype));
         }
         i = j;
     }
+    Ok(())
+}
+
+/// The stripped content type when `ftype` is (or wraps) a `Mutex`/`RwLock`:
+/// `Arc<Mutex<FaultState>>` → `FaultState`, `Box<[Mutex<Shard>]>` → `Shard`.
+fn lock_content_type(ftype: &str) -> Option<String> {
+    let at = ["Mutex<", "RwLock<"].iter().find_map(|kw| {
+        ftype.find(kw).and_then(|p| {
+            // Token boundary: `FxMutex<` must not match.
+            let boundary = p == 0 || !is_ident_byte(ftype.as_bytes()[p - 1]);
+            boundary.then_some(p + kw.len())
+        })
+    })?;
+    let inner_end = skip_generics(ftype.as_bytes(), at - 1).saturating_sub(1);
+    let inner = ftype.get(at..inner_end)?;
+    // Mutex/RwLock take one type parameter; a top-level comma means we
+    // misparsed — bail out rather than classify garbage.
+    Some(strip_wrappers(split_top(inner, ',').first()?))
+}
+
+/// First segments of `s` split on top-level `sep` (nested brackets ignored).
+fn split_top(s: &str, sep: char) -> Vec<&str> {
+    let bytes = s.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    for (idx, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if idx > 0 && bytes[idx - 1] != b'-' => depth -= 1,
+            _ if b == sep as u8 && depth == 0 => {
+                parts.push(&s[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Scans the comment/attribute lines directly above the field at byte
+/// offset `field_at` for a `// analyze: lock-class(<name>)` directive.
+/// Any other `// analyze:` directive above a field is an error.
+fn field_marker(raw: &str, field_at: usize) -> Result<Option<String>, String> {
+    let mut class: Option<String> = None;
+    let line_start = raw[..field_at.min(raw.len())]
+        .rfind('\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let mut cursor = line_start;
+    while cursor > 0 {
+        let prev_start = raw[..cursor - 1].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let trimmed = raw[prev_start..cursor - 1].trim();
+        if let Some(directive) = trimmed.strip_prefix("// analyze:") {
+            let directive = directive.trim();
+            let inner = directive
+                .strip_prefix("lock-class(")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .map(str::trim);
+            match inner {
+                Some(name)
+                    if !name.is_empty()
+                        && name
+                            .bytes()
+                            .all(|b| is_ident_byte(b) || b == b'-') =>
+                {
+                    if class.is_some() {
+                        return Err("duplicate `lock-class` directives on one field".into());
+                    }
+                    class = Some(name.to_string());
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown field directive `{directive}` (fields accept only \
+                         `lock-class(<name>)`)"
+                    ))
+                }
+            }
+        } else if !(trimmed.starts_with("///")
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("#["))
+        {
+            break;
+        }
+        cursor = prev_start;
+        if prev_start == 0 {
+            break;
+        }
+    }
+    Ok(class)
 }
 
 /// Splits a struct body on top-level commas (nested `()`/`[]`/`<>`
-/// ignored, `->` inside `Fn(…) -> T` fields handled).
-fn split_fields(body: &str) -> Vec<&str> {
+/// ignored, `->` inside `Fn(…) -> T` fields handled), keeping each part's
+/// byte offset within `body`.
+fn split_fields(body: &str) -> Vec<(usize, &str)> {
     let bytes = body.as_bytes();
     let mut parts = Vec::new();
     let mut depth = 0isize;
@@ -516,13 +677,13 @@ fn split_fields(body: &str) -> Vec<&str> {
             b')' | b']' => depth -= 1,
             b'>' if idx > 0 && bytes[idx - 1] != b'-' => depth -= 1,
             b',' if depth == 0 => {
-                parts.push(&body[start..idx]);
+                parts.push((start, &body[start..idx]));
                 start = idx + 1;
             }
             _ => {}
         }
     }
-    parts.push(&body[start..]);
+    parts.push((start, &body[start..]));
     parts
 }
 
@@ -708,5 +869,61 @@ mod tests {
         assert_eq!(strip_wrappers("&'a mut Tree"), "Tree");
         assert_eq!(strip_wrappers("crate::pager::Pager"), "Pager");
         assert_eq!(strip_wrappers("u32"), "u32");
+        assert_eq!(strip_wrappers("Box<[Mutex<Shard>]>"), "Shard");
+        assert_eq!(strip_wrappers("[u8; 4]"), "u8");
+    }
+
+    #[test]
+    fn lock_fields_record_classes_and_content() {
+        let m = model_of(
+            "struct Pool {\n\
+             \x20   /// The pager.\n\
+             \x20   // analyze: lock-class(pager)\n\
+             \x20   pager: Mutex<Pager>,\n\
+             \x20   // analyze: lock-class(shard)\n\
+             \x20   shards: Box<[Mutex<Shard>]>,\n\
+             \x20   naked: Mutex<State>,\n\
+             \x20   n: u32,\n\
+             }\n",
+        );
+        let pager = m.lock_fields.get(&("Pool".into(), "pager".into())).expect("pager");
+        assert_eq!(pager.class.as_deref(), Some("pager"));
+        assert_eq!(pager.content, "Pager");
+        let shards = m.lock_fields.get(&("Pool".into(), "shards".into())).expect("shards");
+        assert_eq!(shards.class.as_deref(), Some("shard"));
+        assert_eq!(shards.content, "Shard");
+        let naked = m.lock_fields.get(&("Pool".into(), "naked".into())).expect("naked");
+        assert_eq!(naked.class, None, "unmarked lock field has no class");
+        assert!(
+            !m.lock_fields.contains_key(&("Pool".into(), "n".into())),
+            "plain fields are not lock fields"
+        );
+    }
+
+    #[test]
+    fn unknown_field_directive_is_an_error() {
+        let mut m = Model::default();
+        let err = m.add_file(
+            "f.rs",
+            "struct S {\n    // analyze: lock-klass(shard)\n    x: Mutex<T>,\n}\n",
+        );
+        assert!(err.is_err(), "{err:?}");
+    }
+
+    #[test]
+    fn lock_class_on_non_lock_field_is_an_error() {
+        let mut m = Model::default();
+        let err = m.add_file(
+            "f.rs",
+            "struct S {\n    // analyze: lock-class(shard)\n    x: u32,\n}\n",
+        );
+        assert!(err.is_err(), "{err:?}");
+    }
+
+    #[test]
+    fn lock_class_on_a_fn_is_an_error() {
+        let mut m = Model::default();
+        let err = m.add_file("f.rs", "// analyze: lock-class(shard)\nfn f() {}\n");
+        assert!(err.is_err(), "{err:?}");
     }
 }

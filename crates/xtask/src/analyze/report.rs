@@ -1,9 +1,11 @@
 //! Aggregation and rendering of the analyzer's findings.
 //!
 //! Zero-tolerance rules (`panic-recovery`, `txn-discipline`,
-//! `txn-ordering`, `discarded-result`) fail the run directly; the
-//! `panic-reach` rule is ratcheted through the `[panic-reach]` section of
-//! `baseline.toml`, exactly like the token lints.
+//! `txn-ordering`, `discarded-result`, `lock-class`, `lock-order`,
+//! `lock-guard-io`, `reader-writes`) fail the run directly; the
+//! `panic-reach` rule and the `lock-discipline` acquisition census are
+//! ratcheted through their `baseline.toml` sections, exactly like the
+//! token lints.
 
 use crate::rules::Violation;
 

@@ -6,10 +6,11 @@
 //!   (`crates/xtask/baseline.toml`); see [`xtask::rules`].
 //! * `analyze` — whole-workspace semantic analysis: panic-reachability
 //!   from annotated entry points, transaction discipline around storage
-//!   writes, commit-ordering anchors, and discarded-`Result` detection in
+//!   writes, commit-ordering anchors, lock discipline (class order, I/O
+//!   under guards, single-writer), and discarded-`Result` detection in
 //!   the storage crate; see [`xtask::analyze`]. `panic-reach` findings
-//!   ratchet through the same baseline file; everything else is
-//!   zero-tolerance.
+//!   and the `lock-discipline` acquisition census ratchet through the
+//!   same baseline file; everything else is zero-tolerance.
 //!
 //! ```text
 //! cargo xtask lint                        # audit tokens against the baseline
@@ -136,12 +137,12 @@ fn run_analyze(update: bool, verbose: bool) -> ExitCode {
     let counts = baseline::counts_of(&report.ratcheted);
     let code = ratchet(
         &root,
-        &["panic-reach"],
+        &["panic-reach", "lock-discipline"],
         &counts,
         &report.ratcheted,
         update,
         &format!(
-            "analyze: {} ratcheted panic-reach finding(s)",
+            "analyze: {} ratcheted finding(s) (panic-reach + lock-discipline census)",
             report.ratcheted.len()
         ),
     );

@@ -85,3 +85,62 @@ fn seeding_a_violation_into_the_clean_fixture_fails() {
         report.hard
     );
 }
+
+#[test]
+fn clean_locks_fixture_is_hard_clean_with_census() {
+    let dir = fixtures().join("clean_locks");
+    let report = run_dir(&dir).expect("analyze fixture");
+    assert!(report.hard.is_empty(), "{:?}", report.hard);
+    let text = golden("clean_locks");
+    assert_eq!(text.matches("lock-discipline").count(), 2, "{text}");
+}
+
+#[test]
+fn lock_inversion_fixture_fails_hard() {
+    let text = golden("lock_inversion");
+    assert!(text.contains("lock-order"), "{text}");
+    assert!(
+        text.contains("acquires `shard` while holding `pager`"),
+        "{text}"
+    );
+}
+
+#[test]
+fn guard_across_io_fixture_fails_hard() {
+    let text = golden("guard_across_io");
+    assert!(text.contains("lock-guard-io"), "{text}");
+    assert!(text.contains("reaches the VFS seam"), "{text}");
+}
+
+#[test]
+fn reader_writes_fixture_fails_hard() {
+    let text = golden("reader_writes");
+    assert!(text.contains("reader-writes"), "{text}");
+    assert!(
+        text.contains("IndexStoreReader::lookup -> Pager::transactional -> Pager::write_page"),
+        "{text}"
+    );
+}
+
+/// Seeding analogue for the lock pass: drop an inversion into the clean
+/// lock fixture; the run must flip from green to failing.
+#[test]
+fn seeding_an_inversion_into_the_clean_lock_fixture_fails() {
+    let dir = fixtures().join("clean_locks");
+    let clean = run_dir(&dir).expect("analyze fixture");
+    assert!(clean.hard.is_empty(), "clean_locks must start green");
+
+    let mut m = dir_model(&dir).expect("model");
+    m.add_file(
+        "crates/store/src/seeded.rs",
+        "impl Pool {\npub fn seeded(&self) {\nlet mut pager = self.pager.lock();\n\
+         let mut shard = self.shard.lock();\n} }\n",
+    )
+    .expect("parse seeded file");
+    let report = run_model(&m, false);
+    assert!(
+        report.hard.iter().any(|v| v.rule == "lock-order"),
+        "seeded inversion must fail the run: {:?}",
+        report.hard
+    );
+}

@@ -1,0 +1,66 @@
+//! Correct lock discipline, in miniature: every lock field carries a
+//! class, `shard` is taken before `pager`, the only I/O under the shard
+//! guard is mediated by the live pager-class guard, and the reader type
+//! never reaches a write. The golden report is just the acquisition
+//! census.
+//!
+//! Fixture files are parsed by the analyzer model, never compiled, so the
+//! bodies only have to be lexically plausible Rust.
+
+pub trait VfsFile {
+    fn sync(&mut self);
+}
+
+pub struct RealFile;
+
+impl VfsFile for RealFile {
+    fn sync(&mut self) {}
+}
+
+pub struct Shard {
+    hits: u64,
+}
+
+impl Shard {
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+}
+
+pub struct Pager {
+    file: RealFile,
+}
+
+impl Pager {
+    // analyze: txn-sink
+    pub fn write_page(&mut self) {
+        self.file.sync();
+    }
+}
+
+pub struct Pool {
+    // analyze: lock-class(shard)
+    shard: Mutex<Shard>,
+    // analyze: lock-class(pager)
+    pager: Mutex<Pager>,
+}
+
+impl Pool {
+    // analyze: txn-boundary
+    pub fn flush(&self) {
+        let mut shard = self.shard.lock();
+        let mut pager = self.pager.lock();
+        pager.write_page();
+        shard.hit();
+    }
+}
+
+pub struct IndexStoreReader {
+    total: u64,
+}
+
+impl IndexStoreReader {
+    pub fn lookup(&self) -> u64 {
+        self.total
+    }
+}

@@ -1,0 +1,35 @@
+//! I/O under a no-I/O guard: `flush_under_shard` keeps the `shard`-class
+//! guard live across a call that reaches the VFS seam, with no mediating
+//! `pager`-class guard — a fault-injection stall under the lock blocks
+//! every other thread hashing to that shard.
+//!
+//! Fixture files are parsed by the analyzer model, never compiled, so the
+//! bodies only have to be lexically plausible Rust.
+
+pub trait VfsFile {
+    fn sync(&mut self);
+}
+
+pub struct RealFile;
+
+impl VfsFile for RealFile {
+    fn sync(&mut self) {}
+}
+
+pub struct Shard {
+    hits: u64,
+}
+
+pub struct Pool {
+    // analyze: lock-class(shard)
+    shard: Mutex<Shard>,
+    file: RealFile,
+}
+
+impl Pool {
+    pub fn flush_under_shard(&mut self) {
+        let mut shard = self.shard.lock();
+        self.file.sync();
+        shard.hits += 1;
+    }
+}

@@ -1,0 +1,29 @@
+//! Lock-order inversion: `backwards` takes the `pager`-class lock first
+//! and then a `shard`-class lock, inverting the declared `shard → pager`
+//! order — the classic two-thread deadlock shape.
+//!
+//! Fixture files are parsed by the analyzer model, never compiled, so the
+//! bodies only have to be lexically plausible Rust.
+
+pub struct Shard {
+    hits: u64,
+}
+
+pub struct Pager {
+    count: u64,
+}
+
+pub struct Pool {
+    // analyze: lock-class(shard)
+    shard: Mutex<Shard>,
+    // analyze: lock-class(pager)
+    pager: Mutex<Pager>,
+}
+
+impl Pool {
+    pub fn backwards(&self) {
+        let mut pager = self.pager.lock();
+        let mut shard = self.shard.lock();
+        shard.hits += pager.count;
+    }
+}

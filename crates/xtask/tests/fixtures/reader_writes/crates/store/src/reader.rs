@@ -1,0 +1,34 @@
+//! Single-writer violation: a method of the read-only snapshot handle
+//! `IndexStoreReader` reaches a mutating `txn-sink` — the shape the
+//! reader/writer split exists to forbid. The write goes through the
+//! transaction boundary, so only the `reader-writes` rule fires.
+//!
+//! Fixture files are parsed by the analyzer model, never compiled, so the
+//! bodies only have to be lexically plausible Rust.
+
+pub struct Pager {
+    dirty: bool,
+}
+
+impl Pager {
+    // analyze: txn-sink
+    pub fn write_page(&mut self) {
+        self.dirty = true;
+    }
+
+    // analyze: txn-boundary
+    pub fn transactional(&mut self) {
+        self.write_page();
+    }
+}
+
+pub struct IndexStoreReader {
+    pager: Pager,
+}
+
+impl IndexStoreReader {
+    pub fn lookup(&mut self) -> u64 {
+        self.pager.transactional();
+        1
+    }
+}
