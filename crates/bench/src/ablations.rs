@@ -73,7 +73,8 @@ pub fn ablation_pq(nodes: usize) -> Table {
             .iter()
             .map(|(t, ted)| {
                 (
-                    pq_distance(&base_idx, &build_index(t, &lt_quality, params)),
+                    pq_distance(&base_idx, &build_index(t, &lt_quality, params))
+                        .expect("same params"),
                     *ted,
                 )
             })

@@ -16,18 +16,27 @@
 //! count. Every worker asserts its hits equal the serial answer, at every
 //! thread count.
 //!
-//! Scaling acceptance criteria — ≥ 3× aggregate QPS at 4 reader threads
-//! and ≥ 2× ingest speedup at 4 profiling threads — are asserted when the
-//! host exposes at least 4 CPUs; on smaller hosts (1-core CI containers)
-//! the workload still runs and the correctness assertions still hold, but
-//! the scaling bars are reported without being enforced (recorded as
-//! `"scaling_asserted": false` in the JSON).
+//! A second ingest phase drives the segmented engine
+//! ([`SegmentedIndexStore::put_trees_parallel`]): the same pre-profiled
+//! batch is written serially (one worker, one segment) and with 4 workers
+//! (four segments built concurrently, registered in one manifest commit).
+//!
+//! Scaling acceptance criteria — ≥ 3× aggregate QPS at 4 reader threads,
+//! ≥ 2× ingest speedup at 4 profiling threads, and ≥ 1.8× segmented-ingest
+//! speedup at 4 workers — are asserted when the host exposes at least 4
+//! CPUs; on smaller hosts (1-core CI containers) the workload still runs
+//! and the correctness assertions still hold, but the scaling bars are
+//! reported without being enforced (recorded as `"scaling_asserted": false`
+//! in the JSON). The host core count is recorded in the JSON, and a
+//! baseline recorded with `"scaling_asserted": true` is **not** silently
+//! downgraded: rerunning on a smaller host refuses to overwrite it unless
+//! `--force` is passed.
 
 use pqgram_bench::datasets::xmark_tree;
 use pqgram_bench::experiments::query_variant;
 use pqgram_bench::report::Table;
 use pqgram_core::{build_index, PQParams, TreeId, TreeIndex};
-use pqgram_store::{IndexStore, IndexStoreReader};
+use pqgram_store::{IndexStore, IndexStoreReader, SegmentedIndexStore};
 use pqgram_tree::{LabelTable, Tree};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -102,6 +111,52 @@ fn ingest(
     }
     ok(store.flush(), "flush");
     t.elapsed()
+}
+
+/// One segmented ingest: write the pre-profiled batch through
+/// [`SegmentedIndexStore::put_trees_parallel`] with `workers` concurrent
+/// segment builders (one manifest commit registers them all). Profiling is
+/// excluded — this measures the segment-build write path itself.
+fn seg_ingest(
+    dir: &Path,
+    batch: &[(TreeId, TreeIndex)],
+    params: PQParams,
+    workers: usize,
+) -> Duration {
+    std::fs::remove_dir_all(dir).ok();
+    ok(std::fs::create_dir_all(dir), "segmented work dir");
+    let base = dir.join("forest.seg");
+    let t = Instant::now();
+    let mut store = ok(
+        SegmentedIndexStore::create(&base, params),
+        "create segmented store",
+    );
+    ok(
+        store.put_trees_parallel(batch, workers),
+        "put_trees_parallel",
+    );
+    let elapsed = t.elapsed();
+    assert_eq!(
+        ok(store.tree_ids(), "segmented tree_ids").len(),
+        batch.len(),
+        "segmented ingest lost trees"
+    );
+    elapsed
+}
+
+/// Median wall time of `reps` segmented ingests at the given worker count.
+fn seg_ingest_median(
+    dir: &Path,
+    batch: &[(TreeId, TreeIndex)],
+    params: PQParams,
+    workers: usize,
+    reps: usize,
+) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| seg_ingest(dir, batch, params, workers))
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
 }
 
 /// Median wall time of `reps` ingests at the given thread count.
@@ -181,6 +236,8 @@ fn write_json(
     scaling_asserted: bool,
     serial_ms: f64,
     parallel_ms: f64,
+    seg_serial_ms: f64,
+    seg_parallel_ms: f64,
     rows: &[Row],
 ) {
     let mut json = String::new();
@@ -196,6 +253,12 @@ fn write_json(
         "  \"ingest\": {{\"serial_ms\": {serial_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
          \"threads\": {INGEST_THREADS}, \"speedup\": {:.2}}},",
         serial_ms / parallel_ms.max(1e-9),
+    );
+    let _ = writeln!(
+        json,
+        "  \"segmented_ingest\": {{\"serial_ms\": {seg_serial_ms:.3}, \"parallel_ms\": \
+         {seg_parallel_ms:.3}, \"workers\": {INGEST_THREADS}, \"speedup\": {:.2}}},",
+        seg_serial_ms / seg_parallel_ms.max(1e-9),
     );
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -219,7 +282,9 @@ fn main() {
     } else {
         (1_000, 40_000, 240_000, 240, 3)
     };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let work_dir =
         std::env::temp_dir().join(format!("pqgram-concurrent-lookup-{}", std::process::id()));
     ok(std::fs::create_dir_all(&work_dir), "work dir");
@@ -244,13 +309,38 @@ fn main() {
     // the same single writer; `crates/store/tests/parallel.rs` proves the
     // resulting files are byte-identical.
     let serial = ingest_median(&store_path, &docs, &labels, params, 1, ingest_reps);
-    let parallel = ingest_median(&store_path, &docs, &labels, params, INGEST_THREADS, ingest_reps);
+    let parallel = ingest_median(
+        &store_path,
+        &docs,
+        &labels,
+        params,
+        INGEST_THREADS,
+        ingest_reps,
+    );
     let serial_ms = serial.as_secs_f64() * 1e3;
     let parallel_ms = parallel.as_secs_f64() * 1e3;
     let ingest_speedup = serial_ms / parallel_ms.max(1e-9);
     println!(
         "  ingest: serial {serial_ms:.1} ms, {INGEST_THREADS}-thread {parallel_ms:.1} ms \
          ({ingest_speedup:.2}x)"
+    );
+
+    // Segmented ingest: the same batch, pre-profiled, written through the
+    // memtable → segment path with 1 and 4 concurrent segment builders.
+    let batch: Vec<(TreeId, TreeIndex)> = docs
+        .iter()
+        .map(|(id, tree)| (*id, build_index(tree, &labels, params)))
+        .collect();
+    let seg_dir = work_dir.join("segmented");
+    let seg_serial = seg_ingest_median(&seg_dir, &batch, params, 1, ingest_reps);
+    let seg_parallel = seg_ingest_median(&seg_dir, &batch, params, INGEST_THREADS, ingest_reps);
+    drop(batch);
+    let seg_serial_ms = seg_serial.as_secs_f64() * 1e3;
+    let seg_parallel_ms = seg_parallel.as_secs_f64() * 1e3;
+    let seg_speedup = seg_serial_ms / seg_parallel_ms.max(1e-9);
+    println!(
+        "  segmented ingest: serial {seg_serial_ms:.1} ms, {INGEST_THREADS}-worker \
+         {seg_parallel_ms:.1} ms ({seg_speedup:.2}x)"
     );
 
     // Queries derive from small members; expected answers come from the
@@ -287,9 +377,19 @@ fn main() {
             "  {threads} thread(s): {qps:>8.1} qps, p50 {p50_ms:>7.3} ms, p99 {p99_ms:>7.3} ms \
              ({speedup:.2}x)"
         );
-        rows.push(Row { threads, ops: total_ops, qps, p50_ms, p99_ms, speedup });
+        rows.push(Row {
+            threads,
+            ops: total_ops,
+            qps,
+            p50_ms,
+            p99_ms,
+            speedup,
+        });
     }
-    ok(std::fs::remove_dir_all(&work_dir).map_err(|e| e.to_string()), "cleanup");
+    ok(
+        std::fs::remove_dir_all(&work_dir).map_err(|e| e.to_string()),
+        "cleanup",
+    );
 
     // Scaling acceptance criteria need real CPUs to be meaningful.
     let scaling_asserted = cores >= 4;
@@ -305,6 +405,10 @@ fn main() {
         assert!(
             ingest_speedup >= 2.0,
             "{INGEST_THREADS}-thread ingest only {ingest_speedup:.2}x over serial"
+        );
+        assert!(
+            seg_speedup >= 1.8,
+            "{INGEST_THREADS}-worker segmented ingest only {seg_speedup:.2}x over serial"
         );
     } else {
         println!(
@@ -332,15 +436,33 @@ fn main() {
         Ok(path) => println!("   -> {}", path.display()),
         Err(e) => eprintln!("   (csv not written: {e})"),
     }
+    // A baseline recorded on a real multi-core host (scaling_asserted:
+    // true) must not be silently replaced by an unasserted run from a
+    // 1-core container — that would erase the only enforced numbers.
+    let json_path = "BENCH_concurrent_lookup.json";
+    let force = std::env::args().any(|a| a == "--force");
+    let baseline_asserted = std::fs::read_to_string(json_path)
+        .map(|s| s.contains("\"scaling_asserted\": true"))
+        .unwrap_or(false);
+    if baseline_asserted && !scaling_asserted && !force {
+        eprintln!(
+            "refusing to overwrite {json_path}: the existing baseline was recorded with \
+             scaling assertions enforced, but this host has only {cores} core(s) \
+             (need >= 4). Pass --force to downgrade it anyway."
+        );
+        std::process::exit(1);
+    }
     write_json(
-        "BENCH_concurrent_lookup.json",
+        json_path,
         if smoke { "smoke" } else { "full" },
         cores,
         count,
         scaling_asserted,
         serial_ms,
         parallel_ms,
+        seg_serial_ms,
+        seg_parallel_ms,
         &rows,
     );
-    println!("   -> BENCH_concurrent_lookup.json");
+    println!("   -> {json_path}");
 }

@@ -122,7 +122,7 @@ pub fn fig13_lookup(scale: &Scale) -> Table {
         for (i, t) in trees.iter().enumerate() {
             forest.insert(TreeId(i as u64), build_index(t, &labels, params));
         }
-        let (hits, with_index) = time(|| forest.lookup(&query, 0.8));
+        let (hits, with_index) = time(|| forest.lookup(&query, 0.8).expect("same params"));
         assert!(!hits.is_empty(), "the query's source document must match");
 
         // The paper's actual setup: the precomputed index is *persistent*
@@ -141,7 +141,7 @@ pub fn fig13_lookup(scale: &Scale) -> Table {
             let mut found = 0usize;
             for t in &trees {
                 let idx = build_index(t, &labels, params);
-                if pq_distance(&query, &idx) < 0.8 {
+                if pq_distance(&query, &idx).expect("same params") < 0.8 {
                     found += 1;
                 }
             }
@@ -401,7 +401,8 @@ pub fn quality(nodes: usize) -> Table {
                 cfg.max_adopted = 1;
                 let mut rng2 = StdRng::seed_from_u64((edits * 31 + rep) as u64);
                 record_script(&mut rng2, &mut variant, &cfg);
-                let pq = pq_distance(&base_idx, &build_index(&variant, &labels, params));
+                let pq = pq_distance(&base_idx, &build_index(&variant, &labels, params))
+                    .expect("same params");
                 let ted = pqgram_ted::tree_edit_distance(&base, &variant) as f64;
                 pq_sum += pq;
                 ted_sum += ted;

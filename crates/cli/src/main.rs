@@ -2,7 +2,7 @@
 //! `pqgram` — command-line interface to the pq-gram index.
 //!
 //! ```text
-//! pqgram create  <store.pqg> [--p 3 --q 3]
+//! pqgram create  <store.pqg> [--p 3 --q 3] [--segmented]
 //! pqgram add     <store.pqg> --id <n> <doc.xml>...
 //! pqgram remove  <store.pqg> --id <n>
 //! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top 10] [--stats]
@@ -26,7 +26,9 @@ mod args;
 use args::Args;
 use pqgram_core::{build_index, pq_distance, PQParams, TreeId};
 use pqgram_store::document::{DocumentStore, SyncOutcome};
-use pqgram_store::IndexStore;
+use pqgram_store::{
+    IndexStore, LookupStats, SegmentedIndexStore, StoreCheck, MAIN_SOURCE, MEMTABLE_SOURCE,
+};
 use pqgram_tree::generate::{dblp, random_tree, xmark, RandomTreeConfig};
 use pqgram_tree::{LabelTable, Tree};
 use pqgram_xml::{parse_document, write_document, WriteOptions};
@@ -40,8 +42,11 @@ pqgram — incrementally maintainable pq-gram index (VLDB 2006)
 
 USAGE:
   pqgram create  <store.pqg> [--p 3 --q 3]        create an index store
+                 [--segmented]                    (memtable/segment layout)
   pqgram add     <store.pqg> --id <n> <doc.xml>…  index XML document(s)
-                 [--threads N]                    (parallel profiling)
+                 [--threads N]                    (parallel profiling; on a
+                                                  segmented store also
+                                                  parallel segment builds)
   pqgram remove  <store.pqg> --id <n>             drop a document's index
   pqgram lookup  <store.pqg> <query.xml>          approximate lookup
                  [--tau 0.6] [--top 10] [--threads N]
@@ -59,7 +64,7 @@ document store (documents + index in one file, synced via tree diff):
   pqgram find    <store.docs> <query.xml>         approximate lookup
   pqgram diff    <a.xml> <b.xml>                  show the derived edit script
   pqgram join    <left.pqg> <right.pqg> [--tau]   approximate join of stores
-                 [--threads N]                    (parallel verification)
+                 [--threads N] [--stats]          (parallel verification)
   pqgram show    <doc.xml> [--limit 50] [--dot]   render the document tree
   pqgram compact <store.pqg> <out.pqg>            rewrite a store compactly
   pqgram update  <store.pqg> --id <n> <old.xml> <new.xml>
@@ -128,11 +133,126 @@ fn load_document(path: &str, labels: &mut LabelTable) -> Result<Tree, String> {
     parse_document(&content, labels).map_err(|e| format!("{path}: {e}"))
 }
 
+/// An index store of either on-disk layout. The two formats carry
+/// distinct kind markers, so opening a path probes the single-file layout
+/// first and falls back to the segmented manifest — commands work on both
+/// without a flag.
+enum AnyStore {
+    Single(IndexStore),
+    Segmented(SegmentedIndexStore),
+}
+
+impl AnyStore {
+    fn open(path: &str) -> Result<AnyStore, String> {
+        match IndexStore::open(Path::new(path)) {
+            Ok(store) => Ok(AnyStore::Single(store)),
+            Err(single_err) => match SegmentedIndexStore::open(Path::new(path)) {
+                Ok(store) => Ok(AnyStore::Segmented(store)),
+                Err(_) => Err(single_err.to_string()),
+            },
+        }
+    }
+
+    fn params(&self) -> PQParams {
+        match self {
+            AnyStore::Single(s) => s.params(),
+            AnyStore::Segmented(s) => s.params(),
+        }
+    }
+
+    // Segmented mutations buffer in an in-process memtable; the CLI is a
+    // one-shot process, so every mutating command must flush before exit
+    // or the change silently evaporates with the process.
+    fn put_trees(
+        &mut self,
+        batch: &[(TreeId, pqgram_core::TreeIndex)],
+        workers: usize,
+    ) -> Result<(), String> {
+        match self {
+            AnyStore::Single(s) => s.put_trees(batch).map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) if workers > 1 => s
+                .put_trees_parallel(batch, workers)
+                .map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => s
+                .put_trees(batch)
+                .and_then(|()| s.flush())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn remove_tree(&mut self, id: TreeId) -> Result<bool, String> {
+        match self {
+            AnyStore::Single(s) => s.remove_tree(id).map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => {
+                let existed = s.remove_tree(id).map_err(|e| e.to_string())?;
+                s.flush().map_err(|e| e.to_string())?;
+                Ok(existed)
+            }
+        }
+    }
+
+    fn lookup_with_stats_threads(
+        &self,
+        query: &pqgram_core::TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<(Vec<pqgram_core::LookupHit>, LookupStats), String> {
+        match self {
+            AnyStore::Single(s) => s
+                .lookup_with_stats_threads(query, tau, threads)
+                .map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => s
+                .lookup_with_stats_threads(query, tau, threads)
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn tree_ids(&self) -> Result<Vec<TreeId>, String> {
+        match self {
+            AnyStore::Single(s) => s.tree_ids().map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => s.tree_ids().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn tree_index(&self, id: TreeId) -> Result<Option<pqgram_core::TreeIndex>, String> {
+        match self {
+            AnyStore::Single(s) => s.tree_index(id).map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => s.tree_index(id).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn verify(&self) -> Result<StoreCheck, String> {
+        match self {
+            AnyStore::Single(s) => s.verify().map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => s.verify().map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// `by_source` rendered as `memtable`, `seg <n>`, and `main` row counts.
+fn describe_sources(stats: &LookupStats) -> String {
+    stats
+        .by_source
+        .iter()
+        .map(|&(source, rows)| match source {
+            MEMTABLE_SOURCE => format!("memtable {rows}"),
+            MAIN_SOURCE => format!("main {rows}"),
+            seq => format!("seg {seq}: {rows}"),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn cmd_create(args: &Args) -> Result<(), String> {
     let store_path = args.positional(0, "store.pqg")?;
     let params = params_from(args)?;
-    IndexStore::create(Path::new(store_path), params).map_err(|e| e.to_string())?;
-    println!("created {store_path} ({params}-grams)");
+    if args.flag("segmented") {
+        SegmentedIndexStore::create(Path::new(store_path), params).map_err(|e| e.to_string())?;
+        println!("created segmented store {store_path} ({params}-grams)");
+    } else {
+        IndexStore::create(Path::new(store_path), params).map_err(|e| e.to_string())?;
+        println!("created {store_path} ({params}-grams)");
+    }
     Ok(())
 }
 
@@ -144,7 +264,7 @@ fn cmd_add(args: &Args) -> Result<(), String> {
     }
     let first_id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
     let threads = args.opt_or::<usize>("threads", 1)?;
-    let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let mut store = AnyStore::open(store_path)?;
     let params = store.params();
     let mut labels = LabelTable::new();
     let mut trees = Vec::new();
@@ -153,12 +273,13 @@ fn cmd_add(args: &Args) -> Result<(), String> {
         trees.push((TreeId(first_id + offset as u64), tree));
     }
     // Profile in parallel (pure and deterministic per document), then feed
-    // the whole batch to the single writer in one transaction.
+    // the whole batch to the writer: one transaction on a single-file
+    // store, one segment per worker on a segmented one.
     let batch: Vec<(TreeId, pqgram_core::TreeIndex)> =
         pqgram_core::par::map(&trees, threads, |(id, tree)| {
             (*id, build_index(tree, &labels, params))
         });
-    store.put_trees(&batch).map_err(|e| e.to_string())?;
+    store.put_trees(&batch, threads)?;
     for (((id, tree), (_, index)), doc) in trees.iter().zip(&batch).zip(docs) {
         println!(
             "indexed {doc} as tree {}: {} nodes, {} pq-grams ({} distinct)",
@@ -174,8 +295,8 @@ fn cmd_add(args: &Args) -> Result<(), String> {
 fn cmd_remove(args: &Args) -> Result<(), String> {
     let store_path = args.positional(0, "store.pqg")?;
     let id = args.opt::<u64>("id")?.ok_or("missing --id <n>")?;
-    let mut store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
-    if store.remove_tree(TreeId(id)).map_err(|e| e.to_string())? {
+    let mut store = AnyStore::open(store_path)?;
+    if store.remove_tree(TreeId(id))? {
         println!("removed tree {id}");
         Ok(())
     } else {
@@ -189,23 +310,25 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
     let tau = args.opt_or::<f64>("tau", 0.6)?;
     let top = args.opt_or::<usize>("top", 10)?;
     let threads = args.opt_or::<usize>("threads", 1)?;
-    let store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
+    let store = AnyStore::open(store_path)?;
     let mut labels = LabelTable::new();
     let query_tree = load_document(query_path, &mut labels)?;
     let query = build_index(&query_tree, &labels, store.params());
-    let (hits, stats) = store
-        .lookup_with_stats_threads(&query, tau, threads)
-        .map_err(|e| e.to_string())?;
+    let (hits, stats) = store.lookup_with_stats_threads(&query, tau, threads)?;
+    let plan = if stats.used_inverted {
+        "inverted candidate-merge"
+    } else {
+        "exhaustive scan"
+    };
+    // The plan is a performance cliff (tau > 1 silently degrades to the
+    // full scan), so it is always announced on stderr, not only on --stats.
+    eprintln!("plan: {plan} (tau = {tau})");
     if args.flag("stats") {
-        let plan = if stats.used_inverted {
-            "inverted candidate-merge"
-        } else {
-            "exhaustive scan"
-        };
         println!(
             "plan: {plan} ({} rows read, {} grams probed, {} candidates, {} verified)",
             stats.rows_read, stats.grams_probed, stats.candidates, stats.verified
         );
+        println!("rows by source: {}", describe_sources(&stats));
     }
     if hits.is_empty() {
         println!("no documents within distance {tau}");
@@ -223,17 +346,30 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let store_path = args.positional(0, "store.pqg")?;
-    let store = IndexStore::open(Path::new(store_path)).map_err(|e| e.to_string())?;
-    let ids = store.tree_ids().map_err(|e| e.to_string())?;
-    let rows = store.row_count().map_err(|e| e.to_string())?;
-    let file_len = std::fs::metadata(store_path).map(|m| m.len()).unwrap_or(0);
+    let store = AnyStore::open(store_path)?;
+    let ids = store.tree_ids()?;
     println!("store:      {store_path}");
     println!("params:     {}-grams", store.params());
     println!("documents:  {}", ids.len());
-    println!("index rows: {rows}");
-    println!("file size:  {:.1} KiB", file_len as f64 / 1024.0);
+    match &store {
+        AnyStore::Single(s) => {
+            let rows = s.row_count().map_err(|e| e.to_string())?;
+            let file_len = std::fs::metadata(store_path).map(|m| m.len()).unwrap_or(0);
+            println!("index rows: {rows}");
+            println!("file size:  {:.1} KiB", file_len as f64 / 1024.0);
+        }
+        AnyStore::Segmented(s) => {
+            println!(
+                "layout:     segmented (generation {}, {} live segment(s), {} buffered \
+                 memtable entries)",
+                s.generation(),
+                s.segment_count(),
+                s.pending_entries()
+            );
+        }
+    }
     if args.flag("verify") {
-        let check = store.verify().map_err(|e| e.to_string())?;
+        let check = store.verify()?;
         println!(
             "integrity:  ok ({} trees; forward {} entries depth {}, inverted {} entries depth {}, \
              totals {} entries)",
@@ -246,7 +382,7 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         );
     }
     for id in ids.iter().take(20) {
-        if let Some(idx) = store.tree_index(*id).map_err(|e| e.to_string())? {
+        if let Some(idx) = store.tree_index(*id)? {
             println!(
                 "  tree {:>6}: {:>8} grams ({} distinct)",
                 id.0,
@@ -271,7 +407,8 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
     let d = pq_distance(
         &build_index(&a, &labels, params),
         &build_index(&b, &labels, params),
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!("pq-gram distance ({params}-grams): {d:.6}");
     if args.flag("ted") {
         let ted = pqgram_ted::tree_edit_distance(&a, &b);
@@ -492,7 +629,21 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     };
     let left = load(left_path)?;
     let right = load(right_path)?;
-    let (pairs, stats) = pqgram_core::join_parallel(&left, &right, tau, threads);
+    let (pairs, stats) =
+        pqgram_core::join_parallel(&left, &right, tau, threads).map_err(|e| e.to_string())?;
+    let plan = if stats.used_filter {
+        "inverted candidate filter"
+    } else {
+        "exhaustive nested scan"
+    };
+    // tau > 1 silently falls off the filtered plan; always say so on stderr.
+    eprintln!("plan: {plan} (tau = {tau})");
+    if args.flag("stats") {
+        println!(
+            "plan: {plan} ({} naive, {} candidates, {} verified)",
+            stats.pairs_naive, stats.pairs_candidates, stats.pairs_verified
+        );
+    }
     println!(
         "join of {} x {} trees (tau = {tau}): {} pairs \
          ({} naive -> {} candidates -> {} verified)",

@@ -83,7 +83,7 @@ pub fn build_unordered_index(tree: &Tree, labels: &LabelTable, params: PQParams)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::pq_distance;
+    use crate::index::{pq_distance, ParamsMismatch};
     use pqgram_tree::generate::{random_tree, RandomTreeConfig};
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
@@ -107,7 +107,7 @@ mod tests {
     }
 
     #[test]
-    fn permuted_trees_have_unordered_distance_zero() {
+    fn permuted_trees_have_unordered_distance_zero() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(1);
         let mut lt = LabelTable::new();
         let params = PQParams::default();
@@ -118,17 +118,18 @@ mod tests {
             let unordered = pq_distance(
                 &build_unordered_index(&t, &lt, params),
                 &build_unordered_index(&shuffled, &lt, params),
-            );
+            )?;
             assert_eq!(unordered, 0.0, "seed {seed}");
             assert_eq!(
                 unordered_fingerprint(&t, &lt),
                 unordered_fingerprint(&shuffled, &lt)
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn ordered_distance_detects_permutation_unordered_does_not() {
+    fn ordered_distance_detects_permutation_unordered_does_not() -> Result<(), ParamsMismatch> {
         let mut lt = LabelTable::new();
         let (r, a, b, c) = (
             lt.intern("r"),
@@ -148,17 +149,18 @@ mod tests {
         let ordered = pq_distance(
             &build_index(&t1, &lt, params),
             &build_index(&t2, &lt, params),
-        );
+        )?;
         let unordered = pq_distance(
             &build_unordered_index(&t1, &lt, params),
             &build_unordered_index(&t2, &lt, params),
-        );
+        )?;
         assert!(ordered > 0.0);
         assert_eq!(unordered, 0.0);
+        Ok(())
     }
 
     #[test]
-    fn unordered_distance_still_detects_real_changes() {
+    fn unordered_distance_still_detects_real_changes() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(3);
         let mut lt = LabelTable::new();
         let params = PQParams::default();
@@ -178,12 +180,13 @@ mod tests {
         let d = pq_distance(
             &build_unordered_index(&t, &lt, params),
             &build_unordered_index(&edited, &lt, params),
-        );
+        )?;
         assert!(d > 0.0 && d < 0.3, "distance {d}");
         assert_ne!(
             unordered_fingerprint(&t, &lt),
             unordered_fingerprint(&edited, &lt)
         );
+        Ok(())
     }
 
     #[test]

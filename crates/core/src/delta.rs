@@ -50,7 +50,10 @@ pub fn accumulate_delta(
             let Some(v) = tree.parent(node) else {
                 return Ok(false);
             };
-            let k = tree.sibling_pos(node).expect("has a parent") as u32;
+            let k = tree.sibling_pos(node).ok_or(TableError::Inconsistency(
+                node,
+                "non-root node has no sibling position",
+            ))? as u32;
             add_p(tables, tree, v, params)?;
             add_q_window(tables, tree, v, k, k, params)?;
             for x in tree.descendants_within(node, params.p() - 1) {
@@ -65,7 +68,10 @@ pub fn accumulate_delta(
             if tree.contains(node) || !tree.contains(v) {
                 return Ok(false);
             }
-            let anchor = entry.anchor.as_ref().expect("log inserts carry an anchor");
+            let anchor = entry.anchor.as_ref().ok_or(TableError::Inconsistency(
+                node,
+                "log insert carries no anchor",
+            ))?;
             match anchor {
                 InsertAnchor::Adopted(run) => adopted_delta(tables, tree, v, run, params),
                 InsertAnchor::Gap { pred, succ } => {
@@ -131,8 +137,13 @@ fn adopted_delta(
         any = true;
         // Grams with c in the q-part: anchored at c's parent (which is at
         // distance d−1 ≤ p−1 from v), windows covering c.
-        let parent = tree.parent(c).expect("c below v");
-        let pos = tree.sibling_pos(c).expect("c below v") as u32;
+        let parent = tree
+            .parent(c)
+            .ok_or(TableError::Inconsistency(c, "adopted node lost its parent"))?;
+        let pos = tree.sibling_pos(c).ok_or(TableError::Inconsistency(
+            c,
+            "adopted node has no sibling position",
+        ))? as u32;
         add_p(tables, tree, parent, params)?;
         add_q_window(tables, tree, parent, pos, pos, params)?;
         // Grams with c in the p-part: anchored in c's subtree within
@@ -157,8 +168,11 @@ fn resolve_gap(
 ) -> Option<usize> {
     let children = tree.children(v);
     let pos_of = |n: NodeId| -> Option<usize> {
-        (tree.contains(n) && tree.parent(n) == Some(v))
-            .then(|| tree.sibling_pos(n).expect("child of v"))
+        if tree.contains(n) && tree.parent(n) == Some(v) {
+            tree.sibling_pos(n)
+        } else {
+            None
+        }
     };
     match (pred, succ) {
         (None, None) => children.is_empty().then_some(1),
@@ -422,6 +436,37 @@ mod tests {
             params
         )
         .unwrap());
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    fn anchorless_insert_entry_is_an_error_not_a_panic() {
+        // A hand-forged (untrusted) log entry: an applicable insert with no
+        // anchor. Must surface as a structured inconsistency.
+        let (t2, lt, n) = paper_t2();
+        let params = PQParams::new(3, 3);
+        let x = lt.lookup("g").unwrap();
+        let node = NodeId::from_index(9);
+        // Bypasses `LogOp::new` (which asserts the invariant) the way any
+        // deserialized/forged log could: the fields are public.
+        let forged = LogOp {
+            op: EditOp::Insert {
+                node,
+                label: x,
+                parent: n[0],
+                k: 1,
+                m: 0,
+            },
+            anchor: None,
+        };
+        let mut tables = DeltaTables::new();
+        assert_eq!(
+            accumulate_delta(&mut tables, &t2, &forged, params),
+            Err(TableError::Inconsistency(
+                node,
+                "log insert carries no anchor"
+            ))
+        );
         assert!(tables.is_empty());
     }
 

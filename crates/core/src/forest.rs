@@ -26,11 +26,11 @@
 //! let new_label = forest.labels_mut().intern("headline");
 //! forest.edit(id, &[EditOp::Rename { node, label: new_label }]).unwrap();
 //!
-//! let hits = forest.lookup_tree(forest.get(id).unwrap(), forest.labels(), 0.1);
+//! let hits = forest.lookup_tree(forest.get(id).unwrap(), forest.labels(), 0.1).unwrap();
 //! assert_eq!(hits[0].tree_id, id);
 //! ```
 
-use crate::index::{build_index, ForestIndex, LookupHit, TreeId, TreeIndex};
+use crate::index::{build_index, ForestIndex, LookupHit, ParamsMismatch, TreeId, TreeIndex};
 use crate::maintain::{update_index, MaintainError, UpdateStats};
 use crate::params::PQParams;
 use pqgram_tree::{EditError, EditLog, EditOp, FxHashMap, LabelTable, Tree};
@@ -239,13 +239,29 @@ impl Forest {
     /// a different table still matches correctly; resolving its symbols
     /// against the forest's table instead would silently compute distances
     /// between unrelated labels that happen to share a symbol id.
-    pub fn lookup_tree(&self, query: &Tree, query_labels: &LabelTable, tau: f64) -> Vec<LookupHit> {
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice — the query is indexed under this forest's
+    /// own parameters — but propagates [`ParamsMismatch`] for API symmetry
+    /// with [`Forest::lookup`].
+    pub fn lookup_tree(
+        &self,
+        query: &Tree,
+        query_labels: &LabelTable,
+        tau: f64,
+    ) -> Result<Vec<LookupHit>, ParamsMismatch> {
         let query_index = build_index(query, query_labels, self.params);
         self.index.lookup(&query_index, tau)
     }
 
     /// Approximate lookup with a prebuilt query index.
-    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Vec<LookupHit> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsMismatch`] if `query` was built under different
+    /// `PQParams` than this forest.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>, ParamsMismatch> {
         self.index.lookup(query, tau)
     }
 
@@ -341,7 +357,7 @@ mod tests {
     }
 
     #[test]
-    fn lookup_finds_edited_document() {
+    fn lookup_finds_edited_document() -> Result<(), ParamsMismatch> {
         let (mut forest, ids) = forest_with_docs(6, 10);
         let id = ids[4];
         let snapshot = forest.get(id).unwrap().clone();
@@ -351,13 +367,14 @@ mod tests {
         let alphabet: Vec<_> = forest.labels().iter().map(|(s, _)| s).collect();
         let (_, forward) = record_script(&mut rng, &mut scratch, &ScriptConfig::new(5, alphabet));
         forest.edit(id, &forward).unwrap();
-        let hits = forest.lookup_tree(&scratch, forest.labels(), 0.2);
+        let hits = forest.lookup_tree(&scratch, forest.labels(), 0.2)?;
         assert_eq!(hits[0].tree_id, id);
         assert!(hits[0].distance.abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn lookup_accepts_foreign_label_tables() {
+    fn lookup_accepts_foreign_label_tables() -> Result<(), ParamsMismatch> {
         let mut forest = Forest::new(PQParams::default());
         let a = forest.labels_mut().intern("a");
         let b = forest.labels_mut().intern("b");
@@ -379,7 +396,7 @@ mod tests {
         let qmid = query.add_child(query.root(), fb);
         query.add_child(qmid, fc);
 
-        let hits = forest.lookup_tree(&query, &foreign, 0.5);
+        let hits = forest.lookup_tree(&query, &foreign, 0.5)?;
         assert!(!hits.is_empty(), "foreign-table query must match");
         assert_eq!(hits[0].tree_id, id);
         assert!(hits[0].distance.abs() < 1e-12);
@@ -388,7 +405,8 @@ mod tests {
         let mut twin = Tree::with_root(a);
         let tmid = twin.add_child(twin.root(), b);
         twin.add_child(tmid, c);
-        assert_eq!(forest.lookup_tree(&twin, forest.labels(), 0.5), hits);
+        assert_eq!(forest.lookup_tree(&twin, forest.labels(), 0.5)?, hits);
+        Ok(())
     }
 
     #[test]

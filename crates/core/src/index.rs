@@ -234,6 +234,33 @@ where
     index
 }
 
+/// Two indexes built with different [`PQParams`] were compared.
+///
+/// Distances across parameterizations are meaningless — the bags draw from
+/// different gram shapes — so the comparison is rejected as an invalid
+/// argument instead of computed, mirroring the `check_params` guard of the
+/// persistent stores. Indexes can come from untrusted files, so this is a
+/// data condition, not a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamsMismatch {
+    /// Parameters of the query (left-hand) index.
+    pub got: PQParams,
+    /// Parameters of the indexed (right-hand) side.
+    pub expected: PQParams,
+}
+
+impl fmt::Display for ParamsMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid argument: parameter mismatch: got {:?}, index built with {:?}",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParamsMismatch {}
+
 /// The pq-gram distance (Section 3.2):
 /// `dist(T, T') = 1 − 2·|I(T) ∩ I(T')| / |I(T) ⊎ I(T')|`,
 /// with bag intersection and bag union. Ranges over `[0, 1]`; `0` for trees
@@ -241,22 +268,22 @@ where
 /// indexes are at distance `0`: with nothing in either bag the trees are
 /// indistinguishable under these parameters.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the indexes were built with different [`PQParams`]: distances
-/// across parameterizations are meaningless (the bags draw from different
-/// gram shapes), so mixing them is a programming error, not a data
-/// condition — callers comparing stores must check
-/// [`TreeIndex::params`] up front. The check precedes every other code
-/// path, including the empty-bags shortcut.
-pub fn pq_distance(a: &TreeIndex, b: &TreeIndex) -> f64 {
-    assert_eq!(
-        a.params, b.params,
-        "cannot compare indexes with different p,q"
-    );
+/// Returns [`ParamsMismatch`] if the indexes were built with different
+/// [`PQParams`]. The check precedes every other code path, including the
+/// empty-bags shortcut: "both empty, distance 0" would silently paper over
+/// a caller mixing parameterizations.
+pub fn pq_distance(a: &TreeIndex, b: &TreeIndex) -> Result<f64, ParamsMismatch> {
+    if a.params != b.params {
+        return Err(ParamsMismatch {
+            got: a.params,
+            expected: b.params,
+        });
+    }
     let denominator = a.total + b.total;
     if denominator == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     // Iterate the smaller side.
     let (small, large) = if a.counts.len() <= b.counts.len() {
@@ -268,7 +295,7 @@ pub fn pq_distance(a: &TreeIndex, b: &TreeIndex) -> f64 {
     for (&key, &c) in &small.counts {
         intersection += c.min(large.count(key)) as u64;
     }
-    1.0 - 2.0 * intersection as f64 / denominator as f64
+    Ok(1.0 - 2.0 * intersection as f64 / denominator as f64)
 }
 
 /// One approximate-lookup result.
@@ -330,68 +357,76 @@ impl ForestIndex {
 
     /// The approximate lookup of Section 3.2: all trees whose pq-gram
     /// distance to `query` is below `tau`, sorted by ascending distance
-    /// (ties by id).
-    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Vec<LookupHit> {
-        let mut hits: Vec<LookupHit> = self
-            .trees
-            .iter()
-            .filter_map(|(&tree_id, index)| {
-                let distance = pq_distance(query, index);
-                (distance < tau).then_some(LookupHit { tree_id, distance })
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then_with(|| a.tree_id.cmp(&b.tree_id))
-        });
-        hits
-    }
-
-    /// The `k` nearest trees to `query` by pq-gram distance (ascending;
-    /// ties by id). Unlike [`ForestIndex::lookup`] there is no threshold —
-    /// useful for "find the best matches" interfaces.
-    pub fn lookup_top_k(&self, query: &TreeIndex, k: usize) -> Vec<LookupHit> {
-        let mut hits: Vec<LookupHit> = self
-            .trees
-            .iter()
-            .map(|(&tree_id, index)| LookupHit {
-                tree_id,
-                distance: pq_distance(query, index),
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then_with(|| a.tree_id.cmp(&b.tree_id))
-        });
-        hits.truncate(k);
-        hits
-    }
-
-    /// [`ForestIndex::lookup`] with the distance computations fanned out
-    /// over `threads` scoped workers through [`crate::par`]; lookup is
-    /// read-only and embarrassingly parallel over trees. The final sort
-    /// (distance, then id) makes the result identical to the serial path.
-    pub fn lookup_parallel(&self, query: &TreeIndex, tau: f64, threads: usize) -> Vec<LookupHit> {
-        let entries: Vec<(&TreeId, &TreeIndex)> = self.trees.iter().collect();
+    /// (ties by id). Fails with [`ParamsMismatch`] if the query was built
+    /// with different parameters than the forest members.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>, ParamsMismatch> {
         let mut hits: Vec<LookupHit> = Vec::new();
-        for part in crate::par::map_chunks(&entries, threads, |part| {
-            part.iter()
-                .filter_map(|&(&tree_id, index)| {
-                    let distance = pq_distance(query, index);
-                    (distance < tau).then_some(LookupHit { tree_id, distance })
-                })
-                .collect::<Vec<_>>()
-        }) {
-            hits.extend(part);
+        for (&tree_id, index) in &self.trees {
+            let distance = pq_distance(query, index)?;
+            if distance < tau {
+                hits.push(LookupHit { tree_id, distance });
+            }
         }
         hits.sort_by(|a, b| {
             a.distance
                 .total_cmp(&b.distance)
                 .then_with(|| a.tree_id.cmp(&b.tree_id))
         });
-        hits
+        Ok(hits)
+    }
+
+    /// The `k` nearest trees to `query` by pq-gram distance (ascending;
+    /// ties by id). Unlike [`ForestIndex::lookup`] there is no threshold —
+    /// useful for "find the best matches" interfaces.
+    pub fn lookup_top_k(
+        &self,
+        query: &TreeIndex,
+        k: usize,
+    ) -> Result<Vec<LookupHit>, ParamsMismatch> {
+        let mut hits: Vec<LookupHit> = Vec::new();
+        for (&tree_id, index) in &self.trees {
+            let distance = pq_distance(query, index)?;
+            hits.push(LookupHit { tree_id, distance });
+        }
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.tree_id.cmp(&b.tree_id))
+        });
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    /// [`ForestIndex::lookup`] with the distance computations fanned out
+    /// over `threads` scoped workers through [`crate::par`]; lookup is
+    /// read-only and embarrassingly parallel over trees. The final sort
+    /// (distance, then id) makes the result identical to the serial path.
+    pub fn lookup_parallel(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<Vec<LookupHit>, ParamsMismatch> {
+        let entries: Vec<(&TreeId, &TreeIndex)> = self.trees.iter().collect();
+        let mut hits: Vec<LookupHit> = Vec::new();
+        for part in crate::par::map_chunks(&entries, threads, |part| {
+            let mut out = Vec::new();
+            for &(&tree_id, index) in part {
+                let distance = pq_distance(query, index)?;
+                if distance < tau {
+                    out.push(LookupHit { tree_id, distance });
+                }
+            }
+            Ok::<_, ParamsMismatch>(out)
+        }) {
+            hits.extend(part?);
+        }
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.tree_id.cmp(&b.tree_id))
+        });
+        Ok(hits)
     }
 }
 
@@ -474,7 +509,7 @@ mod tests {
         let (t, lt) = paper_t0();
         let i1 = build_index(&t, &lt, PQParams::default());
         let i2 = build_index(&t, &lt, PQParams::default());
-        assert_eq!(pq_distance(&i1, &i2), 0.0);
+        assert_eq!(pq_distance(&i1, &i2), Ok(0.0));
     }
 
     #[test]
@@ -484,11 +519,11 @@ mod tests {
         let t2 = Tree::with_root(lt.intern("y"));
         let p = PQParams::default();
         let d = pq_distance(&build_index(&t1, &lt, p), &build_index(&t2, &lt, p));
-        assert_eq!(d, 1.0);
+        assert_eq!(d, Ok(1.0));
     }
 
     #[test]
-    fn small_edit_small_distance() {
+    fn small_edit_small_distance() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(8);
         let mut lt = LabelTable::new();
         let t1 = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(300, 5));
@@ -504,8 +539,9 @@ mod tests {
         })
         .unwrap();
         let p = PQParams::default();
-        let d = pq_distance(&build_index(&t1, &lt, p), &build_index(&t2, &lt, p));
+        let d = pq_distance(&build_index(&t1, &lt, p), &build_index(&t2, &lt, p))?;
         assert!(d > 0.0 && d < 0.1, "distance {d} out of expected band");
+        Ok(())
     }
 
     #[test]
@@ -522,24 +558,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different p,q")]
-    fn mismatched_params_panic() {
+    fn mismatched_params_are_rejected() {
         let (t, lt) = paper_t0();
         let i1 = build_index(&t, &lt, PQParams::new(2, 2));
         let i2 = build_index(&t, &lt, PQParams::new(3, 3));
-        pq_distance(&i1, &i2);
+        let err = pq_distance(&i1, &i2).unwrap_err();
+        assert_eq!(err.got, PQParams::new(2, 2));
+        assert_eq!(err.expected, PQParams::new(3, 3));
+        let msg = err.to_string();
+        assert!(msg.contains("parameter mismatch"), "{msg}");
     }
 
     #[test]
-    #[should_panic(expected = "different p,q")]
-    fn mismatched_params_panic_even_for_empty_indexes() {
+    fn mismatched_params_rejected_even_for_empty_indexes() {
         // The parameter check must come before the empty-bags shortcut:
         // "both empty, distance 0" would silently paper over a caller mixing
         // parameterizations.
-        pq_distance(
+        let err = pq_distance(
             &TreeIndex::empty(PQParams::new(2, 2)),
             &TreeIndex::empty(PQParams::new(3, 3)),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err.got, PQParams::new(2, 2));
     }
 
     #[test]
@@ -578,7 +618,7 @@ mod tests {
     }
 
     #[test]
-    fn forest_lookup_orders_by_distance() {
+    fn forest_lookup_orders_by_distance() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(10);
         let mut lt = LabelTable::new();
         let p = PQParams::default();
@@ -604,17 +644,18 @@ mod tests {
         let unrelated = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(200, 5));
         forest.insert(TreeId(2), build_index(&unrelated, &lt, p));
 
-        let hits = forest.lookup(&query, 0.5);
+        let hits = forest.lookup(&query, 0.5)?;
         assert!(hits.len() >= 2);
         assert_eq!(hits[0].tree_id, TreeId(0));
         assert_eq!(hits[0].distance, 0.0);
         assert_eq!(hits[1].tree_id, TreeId(1));
         assert!(hits[1].distance > 0.0);
         assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+        Ok(())
     }
 
     #[test]
-    fn parallel_lookup_matches_serial() {
+    fn parallel_lookup_matches_serial() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(11);
         let mut lt = LabelTable::new();
         let p = PQParams::new(2, 2);
@@ -625,10 +666,22 @@ mod tests {
         }
         let q = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 4));
         let query = build_index(&q, &lt, p);
-        let serial = forest.lookup(&query, 0.9);
+        let serial = forest.lookup(&query, 0.9)?;
         for threads in [1, 2, 4, 16, 64] {
-            assert_eq!(forest.lookup_parallel(&query, 0.9, threads), serial);
+            assert_eq!(forest.lookup_parallel(&query, 0.9, threads)?, serial);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn forest_lookup_rejects_mismatched_query() {
+        let (t, lt) = paper_t0();
+        let mut forest = ForestIndex::new();
+        forest.insert(TreeId(0), build_index(&t, &lt, PQParams::new(3, 3)));
+        let query = build_index(&t, &lt, PQParams::new(2, 2));
+        assert!(forest.lookup(&query, 0.5).is_err());
+        assert!(forest.lookup_top_k(&query, 3).is_err());
+        assert!(forest.lookup_parallel(&query, 0.5, 4).is_err());
     }
 
     #[test]
@@ -650,7 +703,7 @@ mod top_k_tests {
     use rand::SeedableRng;
 
     #[test]
-    fn top_k_orders_and_truncates() {
+    fn top_k_orders_and_truncates() -> Result<(), ParamsMismatch> {
         let mut rng = StdRng::seed_from_u64(21);
         let mut lt = LabelTable::new();
         let params = PQParams::new(2, 2);
@@ -661,16 +714,17 @@ mod top_k_tests {
         }
         let q = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(40, 4));
         let query = build_index(&q, &lt, params);
-        let top = forest.lookup_top_k(&query, 5);
+        let top = forest.lookup_top_k(&query, 5)?;
         assert_eq!(top.len(), 5);
         assert!(top.windows(2).all(|w| w[0].distance <= w[1].distance));
         // Consistent with the thresholded lookup at tau just above the 5th.
         let tau = top[4].distance + 1e-9;
-        let thresholded = forest.lookup(&query, tau);
+        let thresholded = forest.lookup(&query, tau)?;
         assert_eq!(&thresholded[..5], &top[..]);
         // k larger than the forest returns everything.
-        assert_eq!(forest.lookup_top_k(&query, 100).len(), 25);
-        assert!(forest.lookup_top_k(&query, 0).is_empty());
+        assert_eq!(forest.lookup_top_k(&query, 100)?.len(), 25);
+        assert!(forest.lookup_top_k(&query, 0)?.is_empty());
+        Ok(())
     }
 }
 

@@ -28,7 +28,7 @@
 //!   filters cannot prune anything and [`join`] degenerates to the
 //!   exhaustive scan.
 
-use crate::index::{pq_distance, ForestIndex, GramKey, TreeId, TreeIndex};
+use crate::index::{pq_distance, ForestIndex, GramKey, ParamsMismatch, TreeId, TreeIndex};
 use pqgram_tree::{FxHashMap, FxHashSet};
 
 /// One join result pair.
@@ -185,6 +185,11 @@ pub struct JoinStats {
     pub pairs_verified: u64,
     /// Result pairs below `tau`.
     pub pairs_joined: u64,
+    /// Which plan ran: `true` when candidate generation + size filter
+    /// pruned the pair space, `false` when `τ > 1` forced the exhaustive
+    /// nested scan (the filters cannot prune — a production cliff callers
+    /// should see, not guess).
+    pub used_filter: bool,
 }
 
 /// Approximate join: all pairs across the two forests with pq-gram distance
@@ -195,7 +200,17 @@ pub struct JoinStats {
 /// index cannot see are handled separately (see the module docs): for
 /// `τ > 1` the join is exhaustive, and for `0 < τ ≤ 1` the empty×empty
 /// pairs (distance 0) are enumerated directly.
-pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>, JoinStats) {
+///
+/// # Errors
+///
+/// Returns [`ParamsMismatch`] if the `τ > 1` exhaustive region encounters
+/// trees indexed under different `PQParams` (the filtered region never
+/// compares raw bags, so it cannot observe a mismatch).
+pub fn join(
+    left: &ForestIndex,
+    right: &ForestIndex,
+    tau: f64,
+) -> Result<(Vec<JoinPair>, JoinStats), ParamsMismatch> {
     let mut stats = JoinStats {
         pairs_naive: left.len() as u64 * right.len() as u64,
         ..Default::default()
@@ -210,13 +225,14 @@ pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>
                 pairs.push(JoinPair {
                     left: l,
                     right: r,
-                    distance: pq_distance(li, ri),
+                    distance: pq_distance(li, ri)?,
                 });
             }
         }
         stats.pairs_candidates = stats.pairs_naive;
         stats.pairs_verified = stats.pairs_naive;
     } else {
+        stats.used_filter = true;
         // Invert the smaller side, probe with the larger.
         let invert_left = left.len() <= right.len();
         let (build_side, probe_side) = if invert_left {
@@ -283,7 +299,7 @@ pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>
             .then_with(|| a.left.cmp(&b.left))
             .then_with(|| a.right.cmp(&b.right))
     });
-    (pairs, stats)
+    Ok((pairs, stats))
 }
 
 /// [`join`] with candidate verification fanned out over `threads` scoped
@@ -293,12 +309,16 @@ pub fn join(left: &ForestIndex, right: &ForestIndex, tau: f64) -> (Vec<JoinPair>
 /// Per-worker pair lists and pruning counters merge in chunk order, and the
 /// final sort orders pairs exactly as [`join`] does — the result is
 /// identical to the serial join for every thread count.
+///
+/// # Errors
+///
+/// Returns [`ParamsMismatch`] under the same conditions as [`join`].
 pub fn join_parallel(
     left: &ForestIndex,
     right: &ForestIndex,
     tau: f64,
     threads: usize,
-) -> (Vec<JoinPair>, JoinStats) {
+) -> Result<(Vec<JoinPair>, JoinStats), ParamsMismatch> {
     if threads <= 1 {
         return join(left, right, tau);
     }
@@ -317,17 +337,18 @@ pub fn join_parallel(
                     out.push(JoinPair {
                         left: l,
                         right: r,
-                        distance: pq_distance(li, ri),
+                        distance: pq_distance(li, ri)?,
                     });
                 }
             }
-            out
+            Ok::<_, ParamsMismatch>(out)
         }) {
-            pairs.extend(part);
+            pairs.extend(part?);
         }
         stats.pairs_candidates = stats.pairs_naive;
         stats.pairs_verified = stats.pairs_naive;
     } else {
+        stats.used_filter = true;
         let invert_left = left.len() <= right.len();
         let (build_side, probe_side) = if invert_left {
             (left, right)
@@ -396,7 +417,7 @@ pub fn join_parallel(
             .then_with(|| a.left.cmp(&b.left))
             .then_with(|| a.right.cmp(&b.right))
     });
-    (pairs, stats)
+    Ok((pairs, stats))
 }
 
 fn pairs_push(out: &mut Vec<JoinPair>, left: TreeId, right: TreeId, distance: f64) {
@@ -408,11 +429,20 @@ fn pairs_push(out: &mut Vec<JoinPair>, left: TreeId, right: TreeId, distance: f6
 }
 
 /// Reference nested-loop join (used by tests and benchmarks).
-pub fn join_nested_loop(left: &ForestIndex, right: &ForestIndex, tau: f64) -> Vec<JoinPair> {
+///
+/// # Errors
+///
+/// Returns [`ParamsMismatch`] when two trees were indexed under different
+/// `PQParams`.
+pub fn join_nested_loop(
+    left: &ForestIndex,
+    right: &ForestIndex,
+    tau: f64,
+) -> Result<Vec<JoinPair>, ParamsMismatch> {
     let mut pairs = Vec::new();
     for (l, li) in left.iter() {
         for (r, ri) in right.iter() {
-            let distance = pq_distance(li, ri);
+            let distance = pq_distance(li, ri)?;
             if distance < tau {
                 pairs.push(JoinPair {
                     left: l,
@@ -428,7 +458,7 @@ pub fn join_nested_loop(left: &ForestIndex, right: &ForestIndex, tau: f64) -> Ve
             .then_with(|| a.left.cmp(&b.left))
             .then_with(|| a.right.cmp(&b.right))
     });
-    pairs
+    Ok(pairs)
 }
 
 #[cfg(test)]
@@ -460,23 +490,25 @@ mod tests {
     }
 
     #[test]
-    fn join_matches_nested_loop() {
+    fn join_matches_nested_loop() -> Result<(), ParamsMismatch> {
         for seed in 0..5 {
             let (left, right, _) = forests(seed, 25);
             for tau in [0.2, 0.5, 0.8] {
-                let (fast, stats) = join(&left, &right, tau);
-                let slow = join_nested_loop(&left, &right, tau);
+                let (fast, stats) = join(&left, &right, tau)?;
+                let slow = join_nested_loop(&left, &right, tau)?;
                 assert_eq!(fast, slow, "seed {seed} tau {tau}");
                 assert!(stats.pairs_verified <= stats.pairs_naive);
                 assert_eq!(stats.pairs_joined, fast.len() as u64);
+                assert!(stats.used_filter, "tau <= 1 runs the filtered plan");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn join_finds_the_noisy_copies() {
+    fn join_finds_the_noisy_copies() -> Result<(), ParamsMismatch> {
         let (left, right, _) = forests(9, 30);
-        let (pairs, _) = join(&left, &right, 0.5);
+        let (pairs, _) = join(&left, &right, 0.5)?;
         // Every left tree joins with (at least) its own noisy copy.
         for i in 0..30u64 {
             assert!(
@@ -486,10 +518,11 @@ mod tests {
                 "pair {i} missing"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn filters_prune_on_heterogeneous_collections() {
+    fn filters_prune_on_heterogeneous_collections() -> Result<(), ParamsMismatch> {
         // Clusters with disjoint vocabularies and varied sizes: candidate
         // generation and the size filter both prune.
         let params = PQParams::new(2, 3);
@@ -508,7 +541,7 @@ mod tests {
                 right.insert(TreeId(5000 + id), build_index(&tree, &lt, params));
             }
         }
-        let (pairs, stats) = join(&left, &right, 0.3);
+        let (pairs, stats) = join(&left, &right, 0.3)?;
         assert_eq!(stats.pairs_naive, 1600);
         assert!(
             stats.pairs_verified < stats.pairs_naive / 2,
@@ -516,9 +549,10 @@ mod tests {
             stats.pairs_verified,
             stats.pairs_naive
         );
-        assert_eq!(join_nested_loop(&left, &right, 0.3), pairs);
+        assert_eq!(join_nested_loop(&left, &right, 0.3)?, pairs);
         // Every tree joins with its identical twin.
         assert!(pairs.len() >= 40);
+        Ok(())
     }
 
     #[test]
@@ -535,15 +569,16 @@ mod tests {
     }
 
     #[test]
-    fn empty_forests() {
+    fn empty_forests() -> Result<(), ParamsMismatch> {
         let empty = ForestIndex::new();
-        let (pairs, stats) = join(&empty, &empty, 0.5);
+        let (pairs, stats) = join(&empty, &empty, 0.5)?;
         assert!(pairs.is_empty());
         assert_eq!(stats.pairs_naive, 0);
+        Ok(())
     }
 
     #[test]
-    fn empty_trees_join_each_other() {
+    fn empty_trees_join_each_other() -> Result<(), ParamsMismatch> {
         // An empty tree index (e.g. a tree too small to yield any gram bag
         // under the store's conventions) is at distance 0 from any other
         // empty one — the pair must join for every tau > 0 even though no
@@ -554,8 +589,8 @@ mod tests {
         right.insert(TreeId(60), TreeIndex::empty(params));
         right.insert(TreeId(61), TreeIndex::empty(params));
         for tau in [0.5, 1.0] {
-            let (fast, stats) = join(&left, &right, tau);
-            let slow = join_nested_loop(&left, &right, tau);
+            let (fast, stats) = join(&left, &right, tau)?;
+            let slow = join_nested_loop(&left, &right, tau)?;
             assert_eq!(fast, slow, "tau {tau}");
             for r in [60, 61] {
                 assert!(
@@ -568,13 +603,14 @@ mod tests {
             assert!(stats.pairs_verified >= 2, "empty pairs count as verified");
         }
         // tau = 0 admits nothing, not even identical trees.
-        let (none, _) = join(&left, &right, 0.0);
-        assert_eq!(none, join_nested_loop(&left, &right, 0.0));
+        let (none, _) = join(&left, &right, 0.0)?;
+        assert_eq!(none, join_nested_loop(&left, &right, 0.0)?);
         assert!(none.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn tau_above_one_joins_every_pair() {
+    fn tau_above_one_joins_every_pair() -> Result<(), ParamsMismatch> {
         // Distances never exceed 1, so tau > 1 joins all pairs — including
         // vocabulary-disjoint ones with zero gram overlap that the inverted
         // index cannot surface.
@@ -591,29 +627,32 @@ mod tests {
                 forest.insert(TreeId(i), build_index(&tree, &lt, params));
             }
         }
-        let (fast, stats) = join(&left, &right, 1.2);
-        let slow = join_nested_loop(&left, &right, 1.2);
+        let (fast, stats) = join(&left, &right, 1.2)?;
+        let slow = join_nested_loop(&left, &right, 1.2)?;
         assert_eq!(fast, slow);
         assert_eq!(fast.len() as u64, stats.pairs_naive, "every pair joins");
         assert_eq!(stats.pairs_candidates, stats.pairs_naive);
         assert_eq!(stats.pairs_verified, stats.pairs_naive);
+        assert!(!stats.used_filter, "tau > 1 runs the exhaustive plan");
         // At tau = 1.0 the disjoint pairs (distance exactly 1) drop out.
-        let (at_one, _) = join(&left, &right, 1.0);
-        assert_eq!(at_one, join_nested_loop(&left, &right, 1.0));
+        let (at_one, at_one_stats) = join(&left, &right, 1.0)?;
+        assert_eq!(at_one, join_nested_loop(&left, &right, 1.0)?);
         assert!(at_one.len() < fast.len());
+        assert!(at_one_stats.used_filter);
+        Ok(())
     }
 
     #[test]
-    fn parallel_join_matches_serial() {
+    fn parallel_join_matches_serial() -> Result<(), ParamsMismatch> {
         let params = PQParams::new(2, 3);
         let (mut left, mut right, _) = forests(29, 20);
         // Include the degenerate regions: empty bags on both sides.
         left.insert(TreeId(700), TreeIndex::empty(params));
         right.insert(TreeId(800), TreeIndex::empty(params));
         for tau in [0.0, 0.3, 0.8, 1.0, 1.2] {
-            let (serial_pairs, serial_stats) = join(&left, &right, tau);
+            let (serial_pairs, serial_stats) = join(&left, &right, tau)?;
             for threads in [1, 2, 3, 8, 64] {
-                let (pairs, stats) = join_parallel(&left, &right, tau, threads);
+                let (pairs, stats) = join_parallel(&left, &right, tau, threads)?;
                 assert_eq!(pairs, serial_pairs, "tau {tau} threads {threads}");
                 assert_eq!(
                     stats.pairs_candidates, serial_stats.pairs_candidates,
@@ -622,8 +661,10 @@ mod tests {
                 assert_eq!(stats.pairs_verified, serial_stats.pairs_verified);
                 assert_eq!(stats.pairs_joined, serial_stats.pairs_joined);
                 assert_eq!(stats.pairs_naive, serial_stats.pairs_naive);
+                assert_eq!(stats.used_filter, serial_stats.used_filter);
             }
         }
+        Ok(())
     }
 
     #[test]

@@ -79,8 +79,8 @@ pub use canonical::{build_unordered_index, canonicalize, unordered_fingerprint};
 pub use forest::Forest;
 pub use gram::{GramNode, PQGram};
 pub use index::{
-    build_forest_index_parallel, build_index, pq_distance, ForestIndex, GramKey, LookupHit, TreeId,
-    TreeIndex,
+    build_forest_index_parallel, build_index, pq_distance, ForestIndex, GramKey, LookupHit,
+    ParamsMismatch, TreeId, TreeIndex,
 };
 pub use join::{
     join, join_parallel, overlap_distance, size_filter, InvertedIndex, JoinPair, JoinStats,

@@ -53,6 +53,11 @@ pub enum TableError {
     MissingPEntry(NodeId),
     /// The update function needed q-rows the tables do not contain.
     MissingQRows(NodeId, u32, u32),
+    /// A log entry asserted a structural fact the tree contradicts (e.g. an
+    /// insert without its anchor, or a node whose recorded adjacency is
+    /// gone). Reachable from untrusted edit logs, so it is an error — never
+    /// a panic.
+    Inconsistency(NodeId, &'static str),
 }
 
 impl std::fmt::Display for TableError {
@@ -63,6 +68,9 @@ impl std::fmt::Display for TableError {
             TableError::MissingPEntry(n) => write!(f, "missing P entry for {n:?}"),
             TableError::MissingQRows(n, k, m) => {
                 write!(f, "missing Q rows {k}..={m} for {n:?}")
+            }
+            TableError::Inconsistency(n, what) => {
+                write!(f, "log/tree inconsistency at {n:?}: {what}")
             }
         }
     }

@@ -56,6 +56,20 @@ impl<'p> BTree<'p> {
         Ok(tree)
     }
 
+    /// Opens a tree that must already exist — the read path's entry point.
+    /// Unlike [`BTree::open`] this never allocates: every relation is
+    /// rooted at create time, so an unset slot on a read path is
+    /// corruption, not a first touch. This keeps read-only handles
+    /// provably free of page writes.
+    pub fn open_existing(pool: &'p BufferPool, meta_slot: usize) -> Result<Self> {
+        if pool.meta(meta_slot) == 0 {
+            return Err(StoreError::Corrupt(format!(
+                "relation rooted at meta slot {meta_slot} does not exist"
+            )));
+        }
+        Ok(BTree { pool, meta_slot })
+    }
+
     fn root(&self) -> PageId {
         PageId((self.pool.meta(self.meta_slot) - 1) as u32)
     }
@@ -875,7 +889,11 @@ impl BTree<'_> {
                     }
                 }
                 for (i, &child) in children.iter().enumerate() {
-                    let lo = if i == 0 { lower } else { keys.get(i - 1).copied() };
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        keys.get(i - 1).copied()
+                    };
                     let hi = if i == keys.len() {
                         upper
                     } else {

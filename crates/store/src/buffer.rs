@@ -298,6 +298,15 @@ impl BufferPool {
         self.flush_dirty()
     }
 
+    /// Flushes all dirty frames and syncs the underlying file — the
+    /// durability barrier a bootstrap bulk load needs before any other file
+    /// (a manifest, say) is allowed to reference the one being built.
+    pub fn sync(&self) -> Result<()> {
+        self.flush_dirty()?;
+        let mut pager = self.pager.lock();
+        pager.sync_file()
+    }
+
     /// True while a transaction is open.
     pub fn in_transaction(&self) -> bool {
         let pager = self.pager.lock();
@@ -365,7 +374,13 @@ impl BufferPool {
     /// Writer-path only (readers go through [`Self::install_clean`]).
     /// Caller holds the shard lock; the pager lock is taken only for a
     /// dirty victim's write-back (shard → pager order).
-    fn install(&self, shard: &mut Shard, id: PageId, page: Arc<PageBuf>, dirty: bool) -> Result<usize> {
+    fn install(
+        &self,
+        shard: &mut Shard,
+        id: PageId,
+        page: Arc<PageBuf>,
+        dirty: bool,
+    ) -> Result<usize> {
         if let Some(&slot) = shard.by_id.get(&id) {
             // Re-install over an existing frame (e.g. allocate of a freed,
             // still-cached page).
@@ -620,8 +635,10 @@ mod tests {
                 } else {
                     // Reads see either the pre-tx value or some in-tx stamp.
                     let got = pool.with_page(id, |p| p.get_u64(0))?;
-                    assert!(got == want || got > u64::try_from(ids.len()).unwrap_or(0),
-                        "round {round}: page {id:?} read {got}, expected {want} or an in-tx stamp");
+                    assert!(
+                        got == want || got > u64::try_from(ids.len()).unwrap_or(0),
+                        "round {round}: page {id:?} read {got}, expected {want} or an in-tx stamp"
+                    );
                 }
                 let resident = pool.resident_pages();
                 assert!(

@@ -43,5 +43,4 @@ mod tests {
         assert_eq!(le32(&b, 2), None);
         assert_eq!(le32(&b, usize::MAX), None);
     }
-
 }

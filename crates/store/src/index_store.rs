@@ -31,10 +31,10 @@ use std::fmt;
 use std::path::Path;
 
 const META_ROOT: usize = crate::ops::SLOT_FWD;
-const META_P: usize = 1;
-const META_Q: usize = 2;
-const META_KIND: usize = 7;
-const KIND_INDEX_STORE: u64 = 1;
+pub(crate) const META_P: usize = 1;
+pub(crate) const META_Q: usize = 2;
+pub(crate) const META_KIND: usize = 7;
+pub(crate) const KIND_INDEX_STORE: u64 = 1;
 
 /// Errors of the persistent index layer.
 #[derive(Debug)]
@@ -80,7 +80,7 @@ type Result<T> = std::result::Result<T, IndexError>;
 
 /// Rejects an index or query built with different `p, q` parameters — a
 /// lookup or update against mismatched grams would be silently wrong.
-fn check_params(got: PQParams, expected: PQParams) -> Result<()> {
+pub(crate) fn check_params(got: PQParams, expected: PQParams) -> Result<()> {
     if got == expected {
         Ok(())
     } else {
@@ -276,7 +276,9 @@ impl IndexStore {
         threads: usize,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
         check_params(query.params(), self.params)?;
-        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, threads)?)
+        Ok(crate::ops::lookup_with_stats(
+            &self.pool, query, tau, threads,
+        )?)
     }
 
     /// The version-1 lookup plan — one ordered scan of the forward relation
@@ -344,6 +346,29 @@ impl IndexStore {
         crate::ops::bulk_load_relations(&compacted.pool, &rows)?;
         compacted.pool.flush()?;
         Ok(compacted)
+    }
+
+    /// Read-only access to the underlying pool for sibling modules: the
+    /// segmented engine runs its masked lookup plans and compaction scans
+    /// against the main file's relations directly.
+    pub(crate) fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// [`IndexStore::bulk_create`] on an explicit vfs from pre-sorted rows,
+    /// ending in a full durability barrier — the segmented engine builds
+    /// main-file generations with this before the manifest references them.
+    // analyze: txn-exempt(bulk bootstrap: loads into a store file created by this call that no reader has opened yet)
+    pub(crate) fn bulk_create_rows_with(
+        path: &Path,
+        params: PQParams,
+        vfs: std::sync::Arc<dyn crate::vfs::Vfs>,
+        rows: &[((u64, u64), u32)],
+    ) -> Result<IndexStore> {
+        let store = IndexStore::create_with(path, params, vfs)?;
+        crate::ops::bulk_load_relations(&store.pool, rows)?;
+        store.pool.sync()?;
+        Ok(store)
     }
 
     /// Consumes the store into a shareable read-only handle for concurrent
@@ -452,8 +477,7 @@ impl IndexStoreReader {
     /// Reclaims exclusive (write) access. Fails with `self` unchanged if
     /// other reader clones are still alive.
     pub fn try_into_store(self) -> std::result::Result<IndexStore, IndexStoreReader> {
-        std::sync::Arc::try_unwrap(self.inner)
-            .map_err(|inner| IndexStoreReader { inner })
+        std::sync::Arc::try_unwrap(self.inner).map_err(|inner| IndexStoreReader { inner })
     }
 }
 
@@ -561,7 +585,7 @@ mod tests {
         assert_eq!(hits[0].tree_id, TreeId(0));
         assert_eq!(hits[0].distance, 0.0);
         for hit in &hits {
-            let expected = pq_distance(&query, &indexes[hit.tree_id.0 as usize]);
+            let expected = pq_distance(&query, &indexes[hit.tree_id.0 as usize])?;
             assert!((hit.distance - expected).abs() < 1e-12);
         }
         // Threshold filters.

@@ -176,8 +176,7 @@ pub fn validate(vfs: &dyn Vfs, journal_path: &Path) -> io::Result<JournalCheck> 
     if Some(crc32(sub(&header, 0, 12))) != le32(&header, 12) {
         return Err(bad("journal header checksum mismatch".into()));
     }
-    let original_pages =
-        le32(&header, 8).ok_or_else(|| bad("journal header truncated".into()))?;
+    let original_pages = le32(&header, 8).ok_or_else(|| bad("journal header truncated".into()))?;
     let mut entry = vec![0u8; ENTRY_LEN];
     let mut entries = 0u32;
     let mut pos = HEADER_LEN_U64;

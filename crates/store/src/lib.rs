@@ -24,6 +24,12 @@
 //! * [`index_store`] — the persistent forest index: per-tree pq-gram bags,
 //!   approximate lookups and transactional application of incremental
 //!   update deltas ([`pqgram_core::maintain::IndexDelta`]);
+//! * [`segmented`] — the segmented ingest path over the same relation
+//!   format: an in-memory memtable flushes into immutable sorted segment
+//!   files under one journal-protected manifest, background compaction
+//!   folds segments back into the main file, and lookups candidate-merge
+//!   across all live sources with results bit-identical to a single-file
+//!   store;
 //! * [`vfs`] — the file-system seam: [`vfs::RealVfs`] passes through to
 //!   `std::fs`, [`vfs::FaultVfs`] deterministically injects crashes and
 //!   I/O errors so the crash-recovery invariants above are tested at every
@@ -58,21 +64,26 @@
 
 pub mod blob;
 pub mod btree;
-mod bytes;
 pub mod buffer;
+mod bytes;
 pub mod crc;
 pub mod document;
 pub mod index_store;
 pub mod journal;
+mod manifest;
+mod memtable;
 pub mod ops;
 pub mod page;
 pub mod pager;
+mod segment;
+pub mod segmented;
 pub mod vfs;
 
 pub use btree::BTree;
 pub use document::DocumentStore;
 pub use index_store::{IndexStore, IndexStoreReader};
-pub use ops::{LookupStats, StoreCheck};
+pub use ops::{LookupStats, StoreCheck, MAIN_SOURCE};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use pager::{Pager, StoreError};
+pub use segmented::{SegmentedIndexStore, SegmentedReader, MEMTABLE_SOURCE};
 pub use vfs::{CrashMode, FaultVfs, RealVfs, Vfs, VfsFile};

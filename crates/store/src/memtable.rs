@@ -1,0 +1,106 @@
+//! The in-memory write buffer of the segmented engine.
+//!
+//! A [`Memtable`] absorbs puts and removals until the segmented store
+//! flushes it into one immutable segment file
+//! ([`crate::segment::Segment`]). Entries are keyed by tree id; a `None`
+//! value is a **tombstone** — the tree was removed (or replaced by an
+//! empty index, which the relation format cannot represent; see
+//! [`crate::ops::put_tree_entries`]) and the flushed segment must shadow
+//! any older rows of that tree.
+//!
+//! The memtable is the newest source in the lookup merge order, so its
+//! entries win over every segment and over the main file. Nothing here is
+//! durable: a crash loses exactly the buffered entries and nothing else —
+//! the usual memtable contract.
+
+use pqgram_core::{TreeId, TreeIndex};
+use std::collections::BTreeMap;
+
+/// Buffered per-tree replacements, newest state only: a second put of the
+/// same tree overwrites the first in place.
+#[derive(Debug, Default)]
+pub(crate) struct Memtable {
+    entries: BTreeMap<u64, Option<TreeIndex>>,
+    grams: u64,
+}
+
+impl Memtable {
+    pub(crate) fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Number of buffered entries (tombstones included).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Distinct grams buffered across all puts since the last clear — the
+    /// flush-threshold heuristic (a proxy for the eventual segment size).
+    pub(crate) fn grams(&self) -> u64 {
+        self.grams
+    }
+
+    /// Buffers a full replacement of `id`. An empty index becomes a
+    /// tombstone, matching the single-file semantics where empty trees are
+    /// not representable in the relation.
+    pub(crate) fn put(&mut self, id: TreeId, index: TreeIndex) {
+        self.grams += u64::try_from(index.distinct()).unwrap_or(u64::MAX);
+        let entry = (index.total() > 0).then_some(index);
+        self.entries.insert(id.0, entry);
+    }
+
+    /// Buffers a removal of `id` (a tombstone).
+    pub(crate) fn remove(&mut self, id: TreeId) {
+        self.entries.insert(id.0, None);
+    }
+
+    /// The buffered entry of `id`: `None` if the memtable holds nothing
+    /// for this tree, `Some(None)` for a tombstone.
+    pub(crate) fn get(&self, id: TreeId) -> Option<&Option<TreeIndex>> {
+        self.entries.get(&id.0)
+    }
+
+    /// All buffered entries, ascending by tree id.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &Option<TreeIndex>)> {
+        self.entries.iter().map(|(&t, e)| (t, e))
+    }
+
+    /// Read access to the whole map (segment builds iterate it in order).
+    pub(crate) fn entries(&self) -> &BTreeMap<u64, Option<TreeIndex>> {
+        &self.entries
+    }
+
+    /// Empties the memtable after a successful flush.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.grams = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqgram_core::PQParams;
+
+    #[test]
+    fn put_of_empty_index_is_a_tombstone() {
+        let params = PQParams::default();
+        let mut mt = Memtable::new();
+        mt.put(TreeId(3), TreeIndex::empty(params));
+        assert_eq!(mt.get(TreeId(3)), Some(&None));
+        let mut idx = TreeIndex::empty(params);
+        idx.add(7);
+        mt.put(TreeId(3), idx.clone());
+        assert_eq!(mt.get(TreeId(3)), Some(&Some(idx)));
+        mt.remove(TreeId(3));
+        assert_eq!(mt.get(TreeId(3)), Some(&None));
+        assert_eq!(mt.len(), 1);
+        mt.clear();
+        assert!(mt.is_empty());
+        assert_eq!(mt.grams(), 0);
+    }
+}

@@ -32,7 +32,7 @@ use crate::pager::{Result, StoreError};
 use pqgram_core::join::{overlap_distance, size_filter};
 use pqgram_core::maintain::IndexDelta;
 use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
-use pqgram_tree::FxHashMap;
+use pqgram_tree::{FxHashMap, FxHashSet};
 
 /// Meta slot of the forward relation root: `(treeId, pqg) → cnt`.
 pub(crate) const SLOT_FWD: usize = 0;
@@ -170,7 +170,9 @@ pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex)
 
 /// True if `id` is stored: one point lookup in the totals relation.
 pub(crate) fn contains_tree(pool: &BufferPool, id: TreeId) -> Result<bool> {
-    Ok(BTree::open(pool, SLOT_TOT)?.get((id.0, 0))?.is_some())
+    Ok(BTree::open_existing(pool, SLOT_TOT)?
+        .get((id.0, 0))?
+        .is_some())
 }
 
 /// Materializes the stored index of `id` (`None` if no rows).
@@ -179,7 +181,7 @@ pub(crate) fn tree_index(
     params: PQParams,
     id: TreeId,
 ) -> Result<Option<TreeIndex>> {
-    let tree = BTree::open(pool, SLOT_FWD)?;
+    let tree = BTree::open_existing(pool, SLOT_FWD)?;
     let mut index = TreeIndex::empty(params);
     tree.for_each_range((id.0, 0), (id.0, u64::MAX), |(_, gram), count| {
         index.add_n(gram, count);
@@ -191,7 +193,7 @@ pub(crate) fn tree_index(
 /// All stored tree ids, ascending: one ordered scan of the totals relation
 /// (one row per tree) instead of a skip scan over the forward relation.
 pub(crate) fn tree_ids(pool: &BufferPool) -> Result<Vec<TreeId>> {
-    let tot = BTree::open(pool, SLOT_TOT)?;
+    let tot = BTree::open_existing(pool, SLOT_TOT)?;
     let mut ids = Vec::new();
     tot.for_each_range(KEY_MIN, KEY_MAX, |(t, _), _| {
         ids.push(TreeId(t));
@@ -257,8 +259,12 @@ pub(crate) fn apply_delta_rows(
     Ok(None)
 }
 
+/// Source id used in [`LookupStats::by_source`] for the main store file.
+/// Segment sources report their sequence number instead.
+pub const MAIN_SOURCE: u64 = u64::MAX;
+
 /// Access-path and work counters of one [`lookup_with_stats`] call.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LookupStats {
     /// B+-tree rows read: posting rows plus one totals row per candidate
     /// on the inverted plan, every forward row on the scan plan.
@@ -275,6 +281,11 @@ pub struct LookupStats {
     /// `true` if the candidate-merge plan ran, `false` for the exhaustive
     /// scan (`τ > 1`).
     pub used_inverted: bool,
+    /// Rows read per source, in probe order: one `(source, rows)` entry per
+    /// live segment (keyed by its sequence number) and one for the main
+    /// file (keyed by [`MAIN_SOURCE`]). A single-file store reports exactly
+    /// one [`MAIN_SOURCE`] entry.
+    pub by_source: Vec<(u64, u64)>,
 }
 
 /// The approximate lookup, routed by threshold: the candidate-merge plan
@@ -288,11 +299,14 @@ pub(crate) fn lookup_with_stats(
     tau: f64,
     threads: usize,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
-    if tau > 1.0 {
-        lookup_scan_with_stats(pool, query, tau)
+    let skip = FxHashSet::default();
+    let (hits, mut stats) = if tau > 1.0 {
+        lookup_scan_masked(pool, query, tau, &skip)
     } else {
-        lookup_inverted(pool, query, tau, threads)
-    }
+        lookup_inverted_masked(pool, query, tau, threads, &skip)
+    }?;
+    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
+    Ok((hits, stats))
 }
 
 /// Candidate-merge plan: range-probe the inverted relation for each
@@ -304,14 +318,20 @@ pub(crate) fn lookup_with_stats(
 /// per candidate) touches disjoint rows per candidate, so it fans out over
 /// `pqgram_core::par` in deterministic chunk order: the merged hit list is
 /// byte-identical to the serial plan for any thread count.
-fn lookup_inverted(
+///
+/// `skip` masks out trees owned by a newer source in a segmented store:
+/// their posting rows are still read (and counted) during the probe, but
+/// they contribute no candidate. An empty mask is the plain single-file
+/// plan, byte for byte.
+pub(crate) fn lookup_inverted_masked(
     pool: &BufferPool,
     query: &TreeIndex,
     tau: f64,
     threads: usize,
+    skip: &FxHashSet<u64>,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
-    let inv = BTree::open(pool, SLOT_INV)?;
-    let tot = BTree::open(pool, SLOT_TOT)?;
+    let inv = BTree::open_existing(pool, SLOT_INV)?;
+    let tot = BTree::open_existing(pool, SLOT_TOT)?;
     let mut stats = LookupStats {
         used_inverted: true,
         ..LookupStats::default()
@@ -323,7 +343,9 @@ fn lookup_inverted(
     for &(g, qc) in &probe {
         inv.for_each_range((g, 0), (g, u64::MAX), |(_, t), c| {
             stats.rows_read += 1;
-            *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
+            if !skip.contains(&t) {
+                *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
+            }
             true
         })?;
     }
@@ -375,10 +397,26 @@ pub(crate) fn lookup_scan_with_stats(
     query: &TreeIndex,
     tau: f64,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
-    let tree = BTree::open(pool, SLOT_FWD)?;
+    let skip = FxHashSet::default();
+    let (hits, mut stats) = lookup_scan_masked(pool, query, tau, &skip)?;
+    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
+    Ok((hits, stats))
+}
+
+/// The exhaustive forward scan with a mask: rows of trees in `skip` are
+/// read (and counted) but never verified or reported. An empty mask is the
+/// plain single-file scan, byte for byte.
+pub(crate) fn lookup_scan_masked(
+    pool: &BufferPool,
+    query: &TreeIndex,
+    tau: f64,
+    skip: &FxHashSet<u64>,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let tree = BTree::open_existing(pool, SLOT_FWD)?;
     let mut stats = LookupStats::default();
     let mut hits = Vec::new();
     let mut cur: Option<u64> = None;
+    let mut cur_skipped = false;
     let mut stored_total = 0u64;
     let mut intersection = 0u64;
     let mut flush = |cur: Option<u64>, stored_total: u64, intersection: u64| {
@@ -395,9 +433,14 @@ pub(crate) fn lookup_scan_with_stats(
     tree.for_each_range(KEY_MIN, KEY_MAX, |(t, gram), count| {
         stats.rows_read += 1;
         if cur != Some(t) {
-            flush(cur, stored_total, intersection);
+            if !cur_skipped {
+                flush(cur, stored_total, intersection);
+            }
             cur = Some(t);
-            stats.candidates += 1;
+            cur_skipped = skip.contains(&t);
+            if !cur_skipped {
+                stats.candidates += 1;
+            }
             stored_total = 0;
             intersection = 0;
         }
@@ -405,14 +448,16 @@ pub(crate) fn lookup_scan_with_stats(
         intersection += u64::from(count.min(query.count(gram)));
         true
     })?;
-    flush(cur, stored_total, intersection);
+    if !cur_skipped {
+        flush(cur, stored_total, intersection);
+    }
     stats.verified = stats.candidates;
     sort_hits(&mut hits);
     stats.hits = hits.len();
     Ok((hits, stats))
 }
 
-fn sort_hits(hits: &mut [LookupHit]) {
+pub(crate) fn sort_hits(hits: &mut [LookupHit]) {
     hits.sort_by(|a, b| {
         a.distance
             .total_cmp(&b.distance)
@@ -439,9 +484,9 @@ pub struct StoreCheck {
 /// row (and nothing else), every tree's totals row equals the sum of its
 /// multiplicities, and no row stores a zero count.
 pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
-    let fwd = BTree::open(pool, SLOT_FWD)?;
-    let inv = BTree::open(pool, SLOT_INV)?;
-    let tot = BTree::open(pool, SLOT_TOT)?;
+    let fwd = BTree::open_existing(pool, SLOT_FWD)?;
+    let inv = BTree::open_existing(pool, SLOT_INV)?;
+    let tot = BTree::open_existing(pool, SLOT_TOT)?;
     let check = StoreCheck {
         forward: fwd.verify()?,
         inverted: inv.verify()?,

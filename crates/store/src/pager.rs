@@ -301,6 +301,15 @@ impl Pager {
         Ok(())
     }
 
+    /// Forces everything written so far down to durable storage without
+    /// transaction semantics. Bootstrap bulk loads run outside any journal;
+    /// they need this barrier before another file is allowed to reference
+    /// the one being built.
+    pub fn sync_file(&mut self) -> Result<()> {
+        self.file.sync()?;
+        Ok(())
+    }
+
     /// Structural invariant audit of the page file.
     ///
     /// Checks that the header's page count is covered by the file length and

@@ -1,0 +1,194 @@
+//! Immutable sorted segment files of the segmented ingest path.
+//!
+//! A segment is a small store file holding the same three relations as the
+//! main file (forward, inverted, totals — see [`crate::ops`]) plus a
+//! fourth **tombstone** relation `(treeId, 0) → 1` at slot
+//! [`SLOT_TOMB`]: trees removed (or replaced by an empty index) while the
+//! source memtable was live. A segment **owns** a tree id if it stores
+//! data or a tombstone for it; during merged lookups the owning segment's
+//! verdict shadows every older segment and the main file.
+//!
+//! Segments are written exactly once — bulk-built, fully synced, then
+//! registered in the manifest — and never mutated afterwards. That
+//! immutability is what makes them safe to share across reader snapshots
+//! without any locking beyond the buffer pool's own shards.
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::index_store::{META_KIND, META_P, META_Q};
+use crate::ops::{FORMAT_VERSION, SLOT_VERSION};
+use crate::pager::{Pager, Result, StoreError};
+use crate::vfs::Vfs;
+use pqgram_core::{PQParams, TreeIndex};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Kind marker of a segment file (slot [`META_KIND`]). Distinct from the
+/// index-store and document-store kinds so a segment can never be opened
+/// as a store (or vice versa) by accident.
+pub(crate) const KIND_SEGMENT: u64 = 4;
+
+/// Meta slot of the tombstone relation root: `(treeId, 0) → 1`. Slot 3 is
+/// unused by the index-store relation layout (0 forward, 1–2 parameters,
+/// 4 inverted, 5 totals, 6 version, 7 kind).
+pub(crate) const SLOT_TOMB: usize = 3;
+
+/// One immutable segment: its buffer pool, its manifest sequence number,
+/// and the cached id sets that drive shadowing during merged reads.
+pub(crate) struct Segment {
+    pool: BufferPool,
+    seq: u64,
+    /// Every tree id this segment decides (data and tombstones), ascending.
+    owned: Vec<u64>,
+    /// The tombstoned subset of `owned`, ascending.
+    tombstones: Vec<u64>,
+}
+
+impl Segment {
+    /// Bulk-builds a segment at `path` from memtable entries and syncs it
+    /// to durable storage. The caller registers the file in the manifest
+    /// only after this returns — a crash before registration leaves an
+    /// orphan that the next open sweeps away.
+    // analyze: txn-exempt(segment bootstrap: writes a fresh file no reader has opened; the manifest references it only after the durability barrier at the end, and a failed build is discarded by the orphan sweep)
+    pub(crate) fn build(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        params: PQParams,
+        seq: u64,
+        entries: &BTreeMap<u64, Option<TreeIndex>>,
+    ) -> Result<Segment> {
+        // A stale file can only be a pre-crash orphan (sequence numbers are
+        // reserved durably before any build starts, so live segments never
+        // collide); replace it.
+        if vfs.exists(path) {
+            vfs.delete(path)?;
+        }
+        let pool = BufferPool::new(Pager::create_with(path, vfs)?, DEFAULT_CAPACITY);
+        pool.set_meta(META_P, params.p() as u64)?;
+        pool.set_meta(META_Q, params.q() as u64)?;
+        pool.set_meta(META_KIND, KIND_SEGMENT)?;
+        crate::ops::init_relations(&pool)?;
+        let mut rows: Vec<((u64, u64), u32)> = Vec::new();
+        let mut owned = Vec::with_capacity(entries.len());
+        let mut tombstones = Vec::new();
+        for (&t, entry) in entries {
+            owned.push(t);
+            match entry {
+                Some(index) if index.total() > 0 => {
+                    for (gram, count) in index.iter() {
+                        rows.push(((t, gram), count));
+                    }
+                }
+                _ => tombstones.push(t),
+            }
+        }
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        crate::ops::bulk_load_relations(&pool, &rows)?;
+        BTree::open(&pool, SLOT_TOMB)?.bulk_load(tombstones.iter().map(|&t| ((t, 0), 1)))?;
+        pool.sync()?;
+        Ok(Segment {
+            pool,
+            seq,
+            owned,
+            tombstones,
+        })
+    }
+
+    /// Opens a live segment, checking the kind marker, format version, and
+    /// parameters against the manifest's, and caches the owned-id sets.
+    // analyze: entrypoint(recovery)
+    pub(crate) fn open(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        params: PQParams,
+        seq: u64,
+    ) -> Result<Segment> {
+        let pool = BufferPool::new(Pager::open_with(path, vfs)?, DEFAULT_CAPACITY);
+        if pool.meta(META_KIND) != KIND_SEGMENT {
+            return Err(StoreError::Corrupt(
+                "not a segment file (kind marker mismatch)".into(),
+            ));
+        }
+        let version = pool.meta(SLOT_VERSION);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "segment format version {version} (this build writes {FORMAT_VERSION})"
+            )));
+        }
+        let (p, q) = (pool.meta(META_P) as usize, pool.meta(META_Q) as usize);
+        if (p, q) != (params.p(), params.q()) {
+            return Err(StoreError::Corrupt(format!(
+                "segment parameters ({p}, {q}) disagree with the manifest's {params:?}"
+            )));
+        }
+        let mut tombstones = Vec::new();
+        let tomb = BTree::open_existing(&pool, SLOT_TOMB)?;
+        tomb.for_each_range((0, 0), (u64::MAX, u64::MAX), |(t, _), _| {
+            tombstones.push(t);
+            true
+        })?;
+        let mut owned: Vec<u64> = crate::ops::tree_ids(&pool)?.iter().map(|id| id.0).collect();
+        owned.extend(&tombstones);
+        owned.sort_unstable();
+        owned.dedup();
+        Ok(Segment {
+            pool,
+            seq,
+            owned,
+            tombstones,
+        })
+    }
+
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub(crate) fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Every tree id this segment decides, ascending.
+    pub(crate) fn owned(&self) -> &[u64] {
+        &self.owned
+    }
+
+    /// True if this segment tombstones `id` (in-memory check).
+    pub(crate) fn is_tombstoned(&self, id: u64) -> bool {
+        self.tombstones.binary_search(&id).is_ok()
+    }
+
+    /// The segment's containment verdict on `id`: `None` if it does not
+    /// own the tree, `Some(false)` for a tombstone, `Some(true)` for data.
+    pub(crate) fn decides(&self, id: u64) -> Result<Option<bool>> {
+        if self.is_tombstoned(id) {
+            return Ok(Some(false));
+        }
+        Ok(crate::ops::contains_tree(&self.pool, pqgram_core::TreeId(id))?.then_some(true))
+    }
+
+    /// The segment's verdict on `id`: `None` if it does not own the tree,
+    /// `Some(None)` for a tombstone, `Some(Some(index))` for stored data.
+    pub(crate) fn entry(&self, params: PQParams, id: u64) -> Result<Option<Option<TreeIndex>>> {
+        if self.tombstones.binary_search(&id).is_ok() {
+            return Ok(Some(None));
+        }
+        Ok(crate::ops::tree_index(&self.pool, params, pqgram_core::TreeId(id))?.map(Some))
+    }
+
+    /// Verifies the relation invariants plus the tombstone relation's
+    /// disjointness from the data rows.
+    pub(crate) fn verify(&self) -> Result<crate::ops::StoreCheck> {
+        let check = crate::ops::verify_relations(&self.pool)?;
+        BTree::open_existing(&self.pool, SLOT_TOMB)?.verify()?;
+        for &t in &self.tombstones {
+            if crate::ops::contains_tree(&self.pool, pqgram_core::TreeId(t))? {
+                return Err(StoreError::Corrupt(format!(
+                    "segment {} both stores and tombstones tree {t}",
+                    self.seq
+                )));
+            }
+        }
+        Ok(check)
+    }
+}

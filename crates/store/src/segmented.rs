@@ -1,0 +1,1057 @@
+//! The segmented ingest engine: memtable → immutable segments →
+//! compaction, under one manifest.
+//!
+//! A [`SegmentedIndexStore`] spreads one logical forest over several
+//! files, all named off one `base` path:
+//!
+//! * `<base>` — the [`crate::manifest::Manifest`], the **only** file ever
+//!   mutated in place (journal-protected transactions);
+//! * `<base>.main.<g>` — the main file, a plain [`IndexStore`] holding
+//!   the compacted bulk of the forest; immutable between compactions;
+//! * `<base>.seg.<s>` — immutable [`crate::segment::Segment`] files, the
+//!   flushed memtables, newest sequence number winning.
+//!
+//! **Write path.** Puts and removals buffer in a [`Memtable`]. A flush
+//! durably reserves a sequence number (manifest transaction A), bulk-builds
+//! and syncs the segment file, then registers it (manifest transaction B).
+//! A crash anywhere lands on exactly one side of B: either the segment is
+//! live, or it is an unreferenced orphan the next open deletes — the
+//! sequence high-water mark committed by A guarantees the orphan can never
+//! be confused with a future segment. Parallel ingest
+//! ([`SegmentedIndexStore::put_trees_parallel`]) builds one segment per
+//! worker concurrently (later chunks get higher sequence numbers, so
+//! batch order decides duplicates exactly like sequential puts) and
+//! registers them in one transaction.
+//!
+//! **Read path.** Lookups merge newest-to-oldest: memtable, then live
+//! segments by descending sequence, then the main file. Each older source
+//! runs the ordinary single-file plan of [`crate::ops`] with a *mask* of
+//! every tree id a newer source owns — the distance arithmetic is the very
+//! same code path as the single-file store, so merged results are
+//! bit-identical to a store holding the merged forest.
+//! [`SegmentedReader`] clones share a published snapshot pointer and see
+//! each flush/compaction atomically.
+//!
+//! **Compaction.** Folds all live segments into a fresh
+//! `<base>.main.<g+1>` (newest-wins, tombstones erased), then commits the
+//! generation bump and the emptied segment list in one manifest
+//! transaction; superseded files are deleted best-effort afterwards and
+//! swept at the next open if a crash intervenes.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::index_store::{check_params, IndexError, IndexStore};
+use crate::manifest::Manifest;
+use crate::memtable::Memtable;
+use crate::ops::{LookupStats, StoreCheck, MAIN_SOURCE, SLOT_FWD};
+use crate::segment::Segment;
+use crate::vfs::{RealVfs, Vfs};
+use parking_lot::Mutex;
+use pqgram_core::join::{overlap_distance, size_filter};
+use pqgram_core::maintain::{compute_index_delta, IndexDelta, UpdateStats};
+use pqgram_core::{LookupHit, PQParams, TreeId, TreeIndex};
+use pqgram_tree::{EditLog, FxHashSet, LabelTable, Tree};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, IndexError>;
+
+fn delete_file(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<()> {
+    vfs.delete(path).map_err(crate::pager::StoreError::from)?;
+    Ok(())
+}
+
+/// Source id used in [`LookupStats::by_source`] for the in-memory
+/// memtable (it reads no disk rows, so its row count is always zero).
+pub const MEMTABLE_SOURCE: u64 = u64::MAX - 1;
+
+/// Memtable flush threshold: buffered distinct grams (a proxy for the
+/// eventual segment size) beyond which a put triggers an automatic flush.
+const DEFAULT_FLUSH_GRAMS: u64 = 64 * 1024;
+
+fn suffixed(base: &Path, suffix: &str) -> PathBuf {
+    let mut s = base.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// Path of main-file generation `gen` under `base`.
+pub(crate) fn main_path(base: &Path, gen: u64) -> PathBuf {
+    suffixed(base, &format!(".main.{gen}"))
+}
+
+/// Path of segment sequence `seq` under `base`.
+pub(crate) fn seg_path(base: &Path, seq: u64) -> PathBuf {
+    suffixed(base, &format!(".seg.{seq}"))
+}
+
+/// One immutable snapshot of the on-disk sources, newest segment first.
+/// Published via an RCU pointer: writers swap in a fresh `Arc`, readers
+/// clone the current one and keep querying it unperturbed.
+pub(crate) struct SourceSet {
+    /// Live segments, descending by sequence number (newest first).
+    segments: Vec<Arc<Segment>>,
+    /// The compacted main file, immutable between compactions.
+    main: Arc<IndexStore>,
+}
+
+/// The single-writer handle of a segmented store.
+pub struct SegmentedIndexStore {
+    vfs: Arc<dyn Vfs>,
+    base: PathBuf,
+    params: PQParams,
+    manifest: Manifest,
+    memtable: Memtable,
+    flush_grams: u64,
+    /// Superseded files the compactor failed to unlink. They hold no live
+    /// data (the manifest commit already excluded them) and the next
+    /// open's orphan sweep retries; the count is surfaced so callers can
+    /// observe leaked disk space instead of the error vanishing.
+    deferred_cleanup: usize,
+    // analyze: lock-class(manifest)
+    published: Arc<Mutex<Arc<SourceSet>>>,
+}
+
+impl SegmentedIndexStore {
+    /// Creates a new segmented store: `<base>.main.0` (empty) plus the
+    /// manifest at `base`.
+    pub fn create(base: &Path, params: PQParams) -> Result<SegmentedIndexStore> {
+        Self::create_with(base, params, Arc::new(RealVfs))
+    }
+
+    /// [`SegmentedIndexStore::create`] on an explicit vfs (fault
+    /// injection, tests). The main file is built and synced first, so a
+    /// committed manifest always implies its generation-0 main exists; a
+    /// crash in between leaves only a main-file orphan that a later
+    /// `create` replaces.
+    pub fn create_with(
+        base: &Path,
+        params: PQParams,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<SegmentedIndexStore> {
+        let mp = main_path(base, 0);
+        if vfs.exists(&mp) {
+            delete_file(&vfs, &mp)?;
+        }
+        let main = IndexStore::bulk_create_rows_with(&mp, params, Arc::clone(&vfs), &[])?;
+        let manifest = Manifest::create(base, params, Arc::clone(&vfs))?;
+        let set = Arc::new(SourceSet {
+            segments: Vec::new(),
+            main: Arc::new(main),
+        });
+        Ok(SegmentedIndexStore {
+            vfs,
+            base: base.to_path_buf(),
+            params,
+            manifest,
+            memtable: Memtable::new(),
+            flush_grams: DEFAULT_FLUSH_GRAMS,
+            deferred_cleanup: 0,
+            published: Arc::new(Mutex::new(set)),
+        })
+    }
+
+    /// Opens an existing segmented store (running crash recovery on the
+    /// manifest, then sweeping every file the committed manifest state
+    /// does not reference).
+    pub fn open(base: &Path) -> Result<SegmentedIndexStore> {
+        Self::open_with(base, Arc::new(RealVfs))
+    }
+
+    /// [`SegmentedIndexStore::open`] on an explicit vfs.
+    ///
+    /// The orphan sweep walks all reserved sequence numbers (`0..hwm`), so
+    /// open cost grows with the store's lifetime flush count — O(hwm)
+    /// existence probes. Acceptable for the forest sizes of the paper; a
+    /// future format bump could add a low-water mark.
+    // analyze: entrypoint(recovery)
+    pub fn open_with(base: &Path, vfs: Arc<dyn Vfs>) -> Result<SegmentedIndexStore> {
+        let manifest = Manifest::open(base, Arc::clone(&vfs))?;
+        let params = manifest.params();
+        let gen = manifest.generation();
+        // A crashed compaction can leave the superseded main (gen - 1,
+        // commit won) or an unfinished next main (gen + 1, commit lost).
+        for g in [gen.wrapping_sub(1), gen + 1] {
+            if g == gen || g == u64::MAX {
+                continue;
+            }
+            let p = main_path(base, g);
+            if vfs.exists(&p) {
+                delete_file(&vfs, &p)?;
+            }
+        }
+        let main = IndexStore::open_with(&main_path(base, gen), Arc::clone(&vfs))?;
+        check_params(main.params(), params)?;
+        let live = manifest.live_segments()?;
+        let live_set: FxHashSet<u64> = live.iter().copied().collect();
+        for s in 0..manifest.hwm() {
+            if live_set.contains(&s) {
+                continue;
+            }
+            let p = seg_path(base, s);
+            if vfs.exists(&p) {
+                delete_file(&vfs, &p)?;
+            }
+        }
+        let mut segments = Vec::with_capacity(live.len());
+        for &s in live.iter().rev() {
+            let seg = Segment::open(Arc::clone(&vfs), &seg_path(base, s), params, s)?;
+            segments.push(Arc::new(seg));
+        }
+        let set = Arc::new(SourceSet {
+            segments,
+            main: Arc::new(main),
+        });
+        Ok(SegmentedIndexStore {
+            vfs,
+            base: base.to_path_buf(),
+            params,
+            manifest,
+            memtable: Memtable::new(),
+            flush_grams: DEFAULT_FLUSH_GRAMS,
+            deferred_cleanup: 0,
+            published: Arc::new(Mutex::new(set)),
+        })
+    }
+
+    /// The pq-gram parameters this store was created with.
+    pub fn params(&self) -> PQParams {
+        self.params
+    }
+
+    /// The current main-file generation (bumps once per compaction).
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation()
+    }
+
+    /// Number of live segment files (excludes the memtable).
+    pub fn segment_count(&self) -> usize {
+        self.snapshot().segments.len()
+    }
+
+    /// Number of entries buffered in the memtable (tombstones included).
+    pub fn pending_entries(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Number of superseded files compaction failed to unlink so far.
+    /// They carry no live data and the next open's orphan sweep retries
+    /// the deletes; a nonzero count means disk space is leaked until then.
+    pub fn deferred_cleanup(&self) -> usize {
+        self.deferred_cleanup
+    }
+
+    /// Overrides the automatic flush threshold (buffered distinct grams).
+    /// Tests and benchmarks use this to force small or suppressed flushes.
+    pub fn set_flush_threshold(&mut self, grams: u64) {
+        self.flush_grams = grams;
+    }
+
+    fn snapshot(&self) -> Arc<SourceSet> {
+        let set = Arc::clone(&*self.published.lock());
+        set
+    }
+
+    fn publish(&self, set: SourceSet) {
+        let next = Arc::new(set);
+        *self.published.lock() = next;
+    }
+
+    /// Inserts (or replaces) the index of one tree. Buffered: durable at
+    /// the next flush (explicit, threshold-triggered, or on
+    /// [`SegmentedIndexStore::reader`]).
+    pub fn put_tree(&mut self, id: TreeId, index: &TreeIndex) -> Result<()> {
+        check_params(index.params(), self.params)?;
+        self.memtable.put(id, index.clone());
+        self.maybe_flush()
+    }
+
+    /// Inserts (or replaces) a whole batch of trees through the memtable.
+    pub fn put_trees(&mut self, batch: &[(TreeId, TreeIndex)]) -> Result<()> {
+        for (_, index) in batch {
+            check_params(index.params(), self.params)?;
+        }
+        for (id, index) in batch {
+            self.memtable.put(*id, index.clone());
+        }
+        self.maybe_flush()
+    }
+
+    /// Parallel ingest: flushes the memtable, splits `batch` into one
+    /// contiguous chunk per worker, and bulk-builds the chunk segments
+    /// concurrently. Later chunks receive higher sequence numbers, so a
+    /// tree id appearing twice resolves to its later batch position —
+    /// exactly the sequential-put semantics. All new segments are
+    /// registered in one manifest transaction: a crash publishes either
+    /// none or all of them.
+    pub fn put_trees_parallel(
+        &mut self,
+        batch: &[(TreeId, TreeIndex)],
+        threads: usize,
+    ) -> Result<()> {
+        for (_, index) in batch {
+            check_params(index.params(), self.params)?;
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.flush()?;
+        let workers = threads.clamp(1, batch.len());
+        let chunk = batch.len().div_ceil(workers);
+        let chunks: Vec<(usize, &[(TreeId, TreeIndex)])> =
+            batch.chunks(chunk).enumerate().collect();
+        let first = self
+            .manifest
+            .reserve_seqs(u64::try_from(chunks.len()).unwrap_or(u64::MAX))?;
+        let vfs = Arc::clone(&self.vfs);
+        let base = self.base.clone();
+        let params = self.params;
+        let built = pqgram_core::par::map(&chunks, workers, |&(i, part)| {
+            let seq = first + i as u64;
+            let mut entries: BTreeMap<u64, Option<TreeIndex>> = BTreeMap::new();
+            for (id, index) in part {
+                entries.insert(id.0, (index.total() > 0).then(|| index.clone()));
+            }
+            Segment::build(
+                Arc::clone(&vfs),
+                &seg_path(&base, seq),
+                params,
+                seq,
+                &entries,
+            )
+        });
+        let mut fresh = Vec::with_capacity(built.len());
+        for seg in built {
+            fresh.push(Arc::new(seg?));
+        }
+        let seqs: Vec<u64> = fresh.iter().map(|s| s.seq()).collect();
+        self.manifest.register_segments(&seqs)?;
+        fresh.reverse(); // descending sequence: newest first
+        let current = self.snapshot();
+        let mut segments = fresh;
+        segments.extend(current.segments.iter().cloned());
+        self.publish(SourceSet {
+            segments,
+            main: Arc::clone(&current.main),
+        });
+        Ok(())
+    }
+
+    /// Removes a tree (a memtable tombstone). Returns `true` if the tree
+    /// existed in the merged view.
+    pub fn remove_tree(&mut self, id: TreeId) -> Result<bool> {
+        let existed = self.contains_tree(id)?;
+        if existed {
+            self.memtable.remove(id);
+        }
+        Ok(existed)
+    }
+
+    /// True if `id` is stored in the merged view.
+    pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
+        if let Some(entry) = self.memtable.get(id) {
+            return Ok(entry.is_some());
+        }
+        let set = self.snapshot();
+        contains_on_disk(&set, id)
+    }
+
+    /// Materializes the merged in-memory index of one stored tree.
+    pub fn tree_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
+        if let Some(entry) = self.memtable.get(id) {
+            return Ok(entry.clone());
+        }
+        let set = self.snapshot();
+        tree_index_on_disk(&set, self.params, id)
+    }
+
+    /// All stored tree ids of the merged view, ascending.
+    pub fn tree_ids(&self) -> Result<Vec<TreeId>> {
+        let set = self.snapshot();
+        tree_ids_merged(&set, Some(&self.memtable))
+    }
+
+    /// Applies an incremental update delta (`I ← I \ I⁻ ⊎ I⁺`) to one
+    /// tree: materializes the merged index, applies the delta in memory
+    /// (first inconsistent removal rejects the whole delta, leaving the
+    /// store unchanged), and buffers the result as a full replacement.
+    pub fn apply_delta(&mut self, id: TreeId, delta: &IndexDelta) -> Result<()> {
+        let mut index = self
+            .tree_index(id)?
+            .unwrap_or_else(|| TreeIndex::empty(self.params));
+        for &g in &delta.removals {
+            if !index.remove(g) {
+                return Err(IndexError::InconsistentDelta(id, g));
+            }
+        }
+        for &g in &delta.additions {
+            index.add(g);
+        }
+        self.memtable.put(id, index);
+        self.maybe_flush()
+    }
+
+    /// The full incremental pipeline: computes `I⁺`/`I⁻` from the edit
+    /// log (Algorithm 1) and applies them through
+    /// [`SegmentedIndexStore::apply_delta`].
+    pub fn update_from_log(
+        &mut self,
+        id: TreeId,
+        tree: &Tree,
+        labels: &LabelTable,
+        log: &EditLog,
+    ) -> Result<UpdateStats> {
+        if !self.contains_tree(id)? {
+            return Err(IndexError::UnknownTree(id));
+        }
+        let (delta, mut stats) = compute_index_delta(tree, labels, log, self.params)?;
+        let t = std::time::Instant::now();
+        self.apply_delta(id, &delta)?;
+        stats.apply = t.elapsed();
+        Ok(stats)
+    }
+
+    /// The approximate lookup over the merged view, ascending by distance.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_with_stats(query, tau)?.0)
+    }
+
+    /// [`SegmentedIndexStore::lookup`] with per-source access counters.
+    pub fn lookup_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        self.lookup_with_stats_threads(query, tau, 1)
+    }
+
+    /// [`SegmentedIndexStore::lookup_with_stats`] with the verification
+    /// phase of each on-disk source fanned out over `threads` workers
+    /// (deterministic for any thread count).
+    pub fn lookup_with_stats_threads(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        check_params(query.params(), self.params)?;
+        let set = self.snapshot();
+        lookup_merged(&set, Some(&self.memtable), query, tau, threads)
+    }
+
+    /// Flushes the memtable into one new immutable segment. No-op when
+    /// empty. Crash-safe: sequence reservation and segment registration
+    /// are separate manifest transactions around a fully synced build.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let seq = self.manifest.reserve_seqs(1)?;
+        let seg = Segment::build(
+            Arc::clone(&self.vfs),
+            &seg_path(&self.base, seq),
+            self.params,
+            seq,
+            self.memtable.entries(),
+        )?;
+        self.manifest.register_segments(&[seq])?;
+        self.memtable.clear();
+        let current = self.snapshot();
+        let mut segments = Vec::with_capacity(current.segments.len() + 1);
+        segments.push(Arc::new(seg));
+        segments.extend(current.segments.iter().cloned());
+        self.publish(SourceSet {
+            segments,
+            main: Arc::clone(&current.main),
+        });
+        Ok(())
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.memtable.grams() >= self.flush_grams {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Folds the memtable and every live segment into a fresh main file
+    /// (newest-wins; tombstones erased for good), commits the generation
+    /// bump, and deletes the superseded files. Readers holding the old
+    /// snapshot keep working — the deletes are POSIX-unlink style, the
+    /// open pools stay valid until dropped.
+    pub fn compact(&mut self) -> Result<()> {
+        self.flush()?;
+        let current = self.snapshot();
+        if current.segments.is_empty() {
+            return Ok(());
+        }
+        let mut claimed: FxHashSet<u64> = FxHashSet::default();
+        let mut rows: Vec<((u64, u64), u32)> = Vec::new();
+        for seg in &current.segments {
+            // `claimed` holds ids of strictly newer segments only, so this
+            // segment's own rows pass the filter.
+            let fwd = BTree::open(seg.pool(), SLOT_FWD).map_err(IndexError::Store)?;
+            fwd.for_each_range((0, 0), (u64::MAX, u64::MAX), |(t, g), c| {
+                if !claimed.contains(&t) {
+                    rows.push(((t, g), c));
+                }
+                true
+            })
+            .map_err(IndexError::Store)?;
+            claimed.extend(seg.owned().iter().copied());
+        }
+        let main_fwd = BTree::open(current.main.pool(), SLOT_FWD).map_err(IndexError::Store)?;
+        main_fwd
+            .for_each_range((0, 0), (u64::MAX, u64::MAX), |(t, g), c| {
+                if !claimed.contains(&t) {
+                    rows.push(((t, g), c));
+                }
+                true
+            })
+            .map_err(IndexError::Store)?;
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        let old_gen = self.manifest.generation();
+        let new_gen = old_gen + 1;
+        let path = main_path(&self.base, new_gen);
+        if self.vfs.exists(&path) {
+            delete_file(&self.vfs, &path)?;
+        }
+        let new_main =
+            IndexStore::bulk_create_rows_with(&path, self.params, Arc::clone(&self.vfs), &rows)?;
+        self.manifest.commit_compaction(new_gen)?;
+        // Best-effort cleanup; a crash or failure from here on only leaves
+        // garbage the next open sweeps (the commit above already decided
+        // the outcome), so failed unlinks are counted, not propagated.
+        let old_main = main_path(&self.base, old_gen);
+        if self.vfs.exists(&old_main) && self.vfs.delete(&old_main).is_err() {
+            self.deferred_cleanup += 1;
+        }
+        for seg in &current.segments {
+            let p = seg_path(&self.base, seg.seq());
+            if self.vfs.exists(&p) && self.vfs.delete(&p).is_err() {
+                self.deferred_cleanup += 1;
+            }
+        }
+        self.publish(SourceSet {
+            segments: Vec::new(),
+            main: Arc::new(new_main),
+        });
+        Ok(())
+    }
+
+    /// A cloneable snapshot-following read handle. Flushes the memtable
+    /// first so the reader sees everything written so far; afterwards the
+    /// reader observes each flush/compaction atomically through the shared
+    /// snapshot pointer while this writer keeps ingesting.
+    pub fn reader(&mut self) -> Result<SegmentedReader> {
+        self.flush()?;
+        Ok(SegmentedReader {
+            shared: Arc::clone(&self.published),
+            params: self.params,
+        })
+    }
+
+    /// Verifies every on-disk source (relation invariants, tombstone
+    /// disjointness) plus the manifest/published-set agreement.
+    pub fn verify(&self) -> Result<StoreCheck> {
+        let set = self.snapshot();
+        let check = set.main.verify()?;
+        for seg in &set.segments {
+            seg.verify().map_err(IndexError::Store)?;
+        }
+        let live = self.manifest.live_segments()?;
+        let mut published: Vec<u64> = set.segments.iter().map(|s| s.seq()).collect();
+        published.reverse();
+        if live != published {
+            return Err(IndexError::Store(crate::pager::StoreError::Corrupt(
+                format!("manifest live segments {live:?} disagree with published {published:?}"),
+            )));
+        }
+        let trees = tree_ids_merged(&set, Some(&self.memtable))?.len();
+        Ok(StoreCheck {
+            trees: u64::try_from(trees).unwrap_or(u64::MAX),
+            ..check
+        })
+    }
+}
+
+/// A cloneable, `Send + Sync` read handle over the published snapshot of a
+/// [`SegmentedIndexStore`]. Each call re-reads the snapshot pointer, so a
+/// reader observes every flush and compaction the writer publishes — but
+/// any single lookup runs against one consistent snapshot.
+#[derive(Clone)]
+pub struct SegmentedReader {
+    // analyze: lock-class(manifest)
+    shared: Arc<Mutex<Arc<SourceSet>>>,
+    params: PQParams,
+}
+
+// Compile-time proof the reader handle crosses threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SegmentedReader>()
+};
+
+impl SegmentedReader {
+    /// The pq-gram parameters of the underlying store.
+    pub fn params(&self) -> PQParams {
+        self.params
+    }
+
+    fn snapshot(&self) -> Arc<SourceSet> {
+        let set = Arc::clone(&*self.shared.lock());
+        set
+    }
+
+    /// The approximate lookup over the current published snapshot.
+    pub fn lookup(&self, query: &TreeIndex, tau: f64) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_with_stats(query, tau)?.0)
+    }
+
+    /// [`SegmentedReader::lookup`] with per-source access counters.
+    pub fn lookup_with_stats(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        self.lookup_with_stats_threads(query, tau, 1)
+    }
+
+    /// [`SegmentedReader::lookup_with_stats`] with parallel verification.
+    pub fn lookup_with_stats_threads(
+        &self,
+        query: &TreeIndex,
+        tau: f64,
+        threads: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        check_params(query.params(), self.params)?;
+        let set = self.snapshot();
+        lookup_merged(&set, None, query, tau, threads)
+    }
+
+    /// True if `id` is stored in the current published snapshot.
+    pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
+        let set = self.snapshot();
+        contains_on_disk(&set, id)
+    }
+
+    /// Materializes the index of one stored tree from the snapshot.
+    pub fn tree_index(&self, id: TreeId) -> Result<Option<TreeIndex>> {
+        let set = self.snapshot();
+        tree_index_on_disk(&set, self.params, id)
+    }
+
+    /// All stored tree ids of the snapshot, ascending.
+    pub fn tree_ids(&self) -> Result<Vec<TreeId>> {
+        let set = self.snapshot();
+        tree_ids_merged(&set, None)
+    }
+}
+
+fn run_masked(
+    pool: &BufferPool,
+    query: &TreeIndex,
+    tau: f64,
+    threads: usize,
+    skip: &FxHashSet<u64>,
+) -> crate::pager::Result<(Vec<LookupHit>, LookupStats)> {
+    if tau > 1.0 {
+        crate::ops::lookup_scan_masked(pool, query, tau, skip)
+    } else {
+        crate::ops::lookup_inverted_masked(pool, query, tau, threads, skip)
+    }
+}
+
+/// The merged lookup: memtable (if any), then segments newest-first, then
+/// the main file, each masked by everything newer. Runs the identical
+/// per-source plans of [`crate::ops`], so the merged result is
+/// bit-identical to a single-file store holding the merged forest.
+fn lookup_merged(
+    set: &SourceSet,
+    memtable: Option<&Memtable>,
+    query: &TreeIndex,
+    tau: f64,
+    threads: usize,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let mut skip: FxHashSet<u64> = FxHashSet::default();
+    let mut hits: Vec<LookupHit> = Vec::new();
+    let mut stats = LookupStats {
+        used_inverted: tau <= 1.0,
+        ..LookupStats::default()
+    };
+    if let Some(mt) = memtable {
+        if !mt.is_empty() {
+            let probe: Vec<(u64, u32)> = query.iter().collect();
+            for (t, entry) in mt.iter() {
+                skip.insert(t);
+                let Some(index) = entry else { continue };
+                let mut overlap = 0u64;
+                for &(g, qc) in &probe {
+                    overlap += u64::from(qc.min(index.count(g)));
+                }
+                if tau <= 1.0 {
+                    // Mirror the candidate-merge plan: only trees sharing a
+                    // gram are candidates, and only size-filter survivors
+                    // get verified.
+                    if overlap == 0 {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    if !size_filter(query.total(), index.total(), tau) {
+                        continue;
+                    }
+                } else {
+                    // Mirror the exhaustive scan: every tree is verified.
+                    stats.candidates += 1;
+                }
+                stats.verified += 1;
+                let distance = overlap_distance(overlap, query.total(), index.total());
+                if distance < tau {
+                    hits.push(LookupHit {
+                        tree_id: TreeId(t),
+                        distance,
+                    });
+                }
+            }
+            stats.by_source.push((MEMTABLE_SOURCE, 0));
+        }
+    }
+    for seg in &set.segments {
+        let (h, s) = run_masked(seg.pool(), query, tau, threads, &skip)?;
+        hits.extend(h);
+        stats.rows_read += s.rows_read;
+        stats.candidates += s.candidates;
+        stats.verified += s.verified;
+        stats.by_source.push((seg.seq(), s.rows_read));
+        skip.extend(seg.owned().iter().copied());
+    }
+    let (h, s) = run_masked(set.main.pool(), query, tau, threads, &skip)?;
+    hits.extend(h);
+    stats.rows_read += s.rows_read;
+    stats.candidates += s.candidates;
+    stats.verified += s.verified;
+    stats.grams_probed = s.grams_probed;
+    stats.by_source.push((MAIN_SOURCE, s.rows_read));
+    crate::ops::sort_hits(&mut hits);
+    stats.hits = hits.len();
+    Ok((hits, stats))
+}
+
+fn contains_on_disk(set: &SourceSet, id: TreeId) -> Result<bool> {
+    for seg in &set.segments {
+        if let Some(verdict) = seg.decides(id.0).map_err(IndexError::Store)? {
+            return Ok(verdict);
+        }
+    }
+    Ok(crate::ops::contains_tree(set.main.pool(), id)?)
+}
+
+fn tree_index_on_disk(set: &SourceSet, params: PQParams, id: TreeId) -> Result<Option<TreeIndex>> {
+    for seg in &set.segments {
+        if let Some(verdict) = seg.entry(params, id.0).map_err(IndexError::Store)? {
+            return Ok(verdict);
+        }
+    }
+    Ok(crate::ops::tree_index(set.main.pool(), params, id)?)
+}
+
+fn tree_ids_merged(set: &SourceSet, memtable: Option<&Memtable>) -> Result<Vec<TreeId>> {
+    let mut claimed: FxHashSet<u64> = FxHashSet::default();
+    let mut ids: Vec<u64> = Vec::new();
+    if let Some(mt) = memtable {
+        for (t, entry) in mt.iter() {
+            claimed.insert(t);
+            if entry.is_some() {
+                ids.push(t);
+            }
+        }
+    }
+    for seg in &set.segments {
+        for &t in seg.owned() {
+            if claimed.insert(t) && !seg.is_tombstoned(t) {
+                ids.push(t);
+            }
+        }
+    }
+    for id in crate::ops::tree_ids(set.main.pool())? {
+        if !claimed.contains(&id.0) {
+            ids.push(id.0);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids.into_iter().map(TreeId).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::FaultVfs;
+    use pqgram_core::build_index;
+    use pqgram_tree::generate::{random_tree, RandomTreeConfig};
+    use pqgram_tree::{record_script, ScriptConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    fn mem_vfs() -> Arc<dyn Vfs> {
+        Arc::new(FaultVfs::new())
+    }
+
+    fn make_indexes(seed: u64, n: usize, params: PQParams) -> Vec<TreeIndex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lt = LabelTable::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 5));
+            out.push(build_index(&t, &lt, params));
+        }
+        out
+    }
+
+    /// Builds a segmented store whose forest is spread over all four source
+    /// kinds (main, two segments, memtable) plus the equivalent single-file
+    /// store, and returns both.
+    fn spread_store(
+        v: &Arc<dyn Vfs>,
+        params: PQParams,
+        idxs: &[TreeIndex],
+    ) -> TestResult2<(SegmentedIndexStore, IndexStore)> {
+        let mut seg =
+            SegmentedIndexStore::create_with(Path::new("/seg/db"), params, Arc::clone(v))?;
+        seg.set_flush_threshold(u64::MAX);
+        let cut = idxs.len() / 3;
+        for (i, idx) in idxs.iter().enumerate() {
+            seg.put_tree(TreeId(i as u64), idx)?;
+            if i + 1 == cut {
+                seg.compact()?; // these land in the main file
+            } else if (i + 1) % 5 == 0 && i + 1 > cut && i + 2 < idxs.len() {
+                seg.flush()?; // these land in segments
+            }
+            // the tail stays in the memtable
+        }
+        let mut single = IndexStore::create_with(Path::new("/ref/db"), params, Arc::clone(v))?;
+        for (i, idx) in idxs.iter().enumerate() {
+            single.put_tree(TreeId(i as u64), idx)?;
+        }
+        Ok((seg, single))
+    }
+
+    type TestResult2<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+    #[test]
+    fn merged_reads_equal_single_file() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let idxs = make_indexes(11, 24, params);
+        let (seg, single) = spread_store(&v, params, &idxs)?;
+        assert!(
+            seg.segment_count() >= 2,
+            "spread left {} segments",
+            seg.segment_count()
+        );
+        assert!(seg.pending_entries() > 0, "spread left an empty memtable");
+        assert_eq!(seg.tree_ids()?, single.tree_ids()?);
+        for i in 0..idxs.len() as u64 {
+            assert_eq!(
+                seg.contains_tree(TreeId(i))?,
+                single.contains_tree(TreeId(i))?
+            );
+            assert_eq!(seg.tree_index(TreeId(i))?, single.tree_index(TreeId(i))?);
+        }
+        for tau in [0.3, 0.7, 1.0, 1.5] {
+            for q in idxs.iter().step_by(7) {
+                let (mh, ms) = seg.lookup_with_stats(q, tau)?;
+                let (sh, ss) = single.lookup_with_stats(q, tau)?;
+                assert_eq!(mh, sh, "tau {tau}");
+                assert_eq!(ms.used_inverted, ss.used_inverted);
+                assert_eq!(ms.hits, ss.hits);
+            }
+        }
+        seg.verify()?;
+        Ok(())
+    }
+
+    #[test]
+    fn newer_sources_shadow_older_ones() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let idxs = make_indexes(12, 3, params);
+        let mut seg =
+            SegmentedIndexStore::create_with(Path::new("/shadow/db"), params, Arc::clone(&v))?;
+        seg.set_flush_threshold(u64::MAX);
+        seg.put_tree(TreeId(1), &idxs[0])?;
+        seg.compact()?; // v1 lives in the main file
+        seg.put_tree(TreeId(1), &idxs[1])?;
+        seg.flush()?; // v2 lives in a segment
+        assert_eq!(seg.tree_index(TreeId(1))?.as_ref(), Some(&idxs[1]));
+        seg.put_tree(TreeId(1), &idxs[2])?; // v3 in the memtable
+        assert_eq!(seg.tree_index(TreeId(1))?.as_ref(), Some(&idxs[2]));
+        let hits = seg.lookup(&idxs[2], 0.95)?;
+        assert!(hits
+            .iter()
+            .all(|h| h.tree_id != TreeId(1) || h.distance == 0.0));
+        // Tombstone in the memtable shadows both older copies.
+        assert!(seg.remove_tree(TreeId(1))?);
+        assert!(!seg.contains_tree(TreeId(1))?);
+        assert!(seg.lookup(&idxs[2], 1.01)?.is_empty());
+        seg.flush()?; // tombstone now in a segment
+        assert!(!seg.contains_tree(TreeId(1))?);
+        assert_eq!(seg.tree_ids()?, Vec::<TreeId>::new());
+        seg.compact()?; // tombstone erased for good
+        assert_eq!(seg.segment_count(), 0);
+        assert!(!seg.contains_tree(TreeId(1))?);
+        seg.verify()?;
+        Ok(())
+    }
+
+    #[test]
+    fn reopen_recovers_all_sources() -> TestResult {
+        let params = PQParams::new(2, 4);
+        let v = mem_vfs();
+        let idxs = make_indexes(13, 9, params);
+        let base = Path::new("/reopen/db");
+        {
+            let mut seg = SegmentedIndexStore::create_with(base, params, Arc::clone(&v))?;
+            seg.set_flush_threshold(u64::MAX);
+            for (i, idx) in idxs.iter().enumerate().take(4) {
+                seg.put_tree(TreeId(i as u64), idx)?;
+            }
+            seg.compact()?;
+            for (i, idx) in idxs.iter().enumerate().skip(4).take(3) {
+                seg.put_tree(TreeId(i as u64), idx)?;
+            }
+            seg.flush()?;
+            for (i, idx) in idxs.iter().enumerate().skip(7) {
+                seg.put_tree(TreeId(i as u64), idx)?;
+            }
+            seg.flush()?;
+        }
+        let seg = SegmentedIndexStore::open_with(base, Arc::clone(&v))?;
+        assert_eq!(seg.params(), params);
+        assert_eq!(seg.segment_count(), 2);
+        assert_eq!(seg.generation(), 1);
+        for (i, idx) in idxs.iter().enumerate() {
+            assert_eq!(seg.tree_index(TreeId(i as u64))?.as_ref(), Some(idx));
+        }
+        seg.verify()?;
+        Ok(())
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_puts() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let idxs = make_indexes(14, 13, params);
+        // Duplicate id 3 at the end: the later batch position must win,
+        // exactly like sequential puts.
+        let mut batch: Vec<(TreeId, TreeIndex)> = idxs
+            .iter()
+            .enumerate()
+            .map(|(i, idx)| (TreeId(i as u64 % 12), idx.clone()))
+            .collect();
+        batch.push((TreeId(3), idxs[0].clone()));
+        let mut par_store =
+            SegmentedIndexStore::create_with(Path::new("/par/db"), params, Arc::clone(&v))?;
+        par_store.put_trees_parallel(&batch, 4)?;
+        assert!(par_store.segment_count() >= 2);
+        let mut seq_store =
+            SegmentedIndexStore::create_with(Path::new("/seq/db"), params, Arc::clone(&v))?;
+        for (id, idx) in &batch {
+            seq_store.put_tree(*id, idx)?;
+        }
+        assert_eq!(par_store.tree_ids()?, seq_store.tree_ids()?);
+        for id in par_store.tree_ids()? {
+            assert_eq!(par_store.tree_index(id)?, seq_store.tree_index(id)?);
+        }
+        for q in idxs.iter().step_by(5) {
+            assert_eq!(par_store.lookup(q, 0.8)?, seq_store.lookup(q, 0.8)?);
+        }
+        par_store.verify()?;
+        Ok(())
+    }
+
+    #[test]
+    fn reader_follows_published_snapshots() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let idxs = make_indexes(15, 6, params);
+        let mut seg =
+            SegmentedIndexStore::create_with(Path::new("/rdr/db"), params, Arc::clone(&v))?;
+        seg.set_flush_threshold(u64::MAX);
+        for (i, idx) in idxs.iter().enumerate().take(5) {
+            seg.put_tree(TreeId(i as u64), idx)?;
+        }
+        let reader = seg.reader()?;
+        assert_eq!(seg.pending_entries(), 0, "reader() must flush");
+        let from_thread = std::thread::scope(|s| {
+            let r = reader.clone();
+            let q = &idxs[0];
+            s.spawn(move || r.lookup(q, 0.9)).join()
+        });
+        let hits = match from_thread {
+            Ok(h) => h?,
+            Err(_) => return Err("reader thread panicked".into()),
+        };
+        assert_eq!(hits, seg.lookup(&idxs[0], 0.9)?);
+        // The reader observes the writer's next flush and compaction.
+        seg.put_tree(TreeId(5), &idxs[5])?;
+        assert!(
+            !reader.contains_tree(TreeId(5))?,
+            "memtable is writer-private"
+        );
+        seg.flush()?;
+        assert!(reader.contains_tree(TreeId(5))?);
+        seg.compact()?;
+        assert!(reader.contains_tree(TreeId(5))?);
+        assert_eq!(reader.tree_ids()?, seg.tree_ids()?);
+        Ok(())
+    }
+
+    #[test]
+    fn stats_attribute_rows_per_source() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let idxs = make_indexes(16, 24, params);
+        let (seg, single) = spread_store(&v, params, &idxs)?;
+        let (_, stats) = seg.lookup_with_stats(&idxs[0], 1.0)?;
+        let sources: Vec<u64> = stats.by_source.iter().map(|&(s, _)| s).collect();
+        assert_eq!(sources.first(), Some(&MEMTABLE_SOURCE));
+        assert_eq!(sources.last(), Some(&MAIN_SOURCE));
+        assert!(
+            sources.len() >= 4,
+            "expected >= 2 segment entries: {sources:?}"
+        );
+        let sum: u64 = stats.by_source.iter().map(|&(_, r)| r).sum();
+        assert_eq!(sum, stats.rows_read);
+        let (_, sstats) = single.lookup_with_stats(&idxs[0], 1.0)?;
+        assert_eq!(sstats.by_source, vec![(MAIN_SOURCE, sstats.rows_read)]);
+        Ok(())
+    }
+
+    #[test]
+    fn incremental_update_from_log_matches_rebuild() -> TestResult {
+        let params = PQParams::default();
+        let v = mem_vfs();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut lt = LabelTable::new();
+        let mut tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(300, 6));
+        let mut seg =
+            SegmentedIndexStore::create_with(Path::new("/upd/db"), params, Arc::clone(&v))?;
+        seg.set_flush_threshold(u64::MAX);
+        seg.put_tree(TreeId(0), &build_index(&tree, &lt, params))?;
+        seg.compact()?; // the old index lives in the main file
+        let alphabet: Vec<_> = lt.iter().map(|(s, _)| s).collect();
+        let (log, _) = record_script(&mut rng, &mut tree, &ScriptConfig::new(40, alphabet));
+        let stats = seg.update_from_log(TreeId(0), &tree, &lt, &log)?;
+        assert_eq!(stats.ops, 40);
+        let stored = seg.tree_index(TreeId(0))?.ok_or("tree 0 missing")?;
+        assert_eq!(stored, build_index(&tree, &lt, params));
+        let Err(err) = seg.update_from_log(TreeId(9), &tree, &lt, &log) else {
+            return Err("update of an unknown tree must fail".into());
+        };
+        assert!(matches!(err, IndexError::UnknownTree(TreeId(9))));
+        Ok(())
+    }
+}

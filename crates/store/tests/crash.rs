@@ -385,3 +385,118 @@ fn document_store_recovers_at_every_crash_point() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SegmentedIndexStore
+// ---------------------------------------------------------------------------
+
+use pqgram_store::SegmentedIndexStore;
+
+/// Fault-free setup: create the segmented store and flush the initial trees
+/// into segment 0, so the mutation phase starts from a durable state.
+fn seg_setup(vfs: &FaultVfs, fx: &IndexFixtures) -> SegmentedIndexStore {
+    let vfs: Arc<FaultVfs> = Arc::new(vfs.clone());
+    let mut store = SegmentedIndexStore::create_with(Path::new(DB), fx.params, vfs).unwrap();
+    store.put_tree(TreeId(1), &fx.a).unwrap();
+    store.put_tree(TreeId(2), &fx.b).unwrap();
+    store.flush().unwrap();
+    store
+}
+
+type SegOp<'a> =
+    Box<dyn Fn(&mut SegmentedIndexStore) -> Result<(), pqgram_store::index_store::IndexError> + 'a>;
+
+/// The mutation phase. The memtable is volatile by contract, so every op
+/// ends at a durability point (flush, parallel-ingest registration, or
+/// compaction commit) — the recorded snapshots are exactly the states a
+/// crash is allowed to recover to.
+fn seg_ops(fx: &IndexFixtures) -> Vec<SegOp<'_>> {
+    vec![
+        // Memtable flush: an overwrite plus an insert become one segment,
+        // registered in one manifest commit.
+        Box::new(|s| {
+            s.put_tree(TreeId(1), &fx.a2)?;
+            s.put_tree(TreeId(3), &fx.c)?;
+            s.flush()
+        }),
+        // Tombstone flush: the segment shadows tree 2 without touching it.
+        Box::new(|s| {
+            s.remove_tree(TreeId(2))?;
+            s.flush()
+        }),
+        // Parallel ingest: two segments built concurrently, one commit.
+        Box::new(|s| {
+            s.put_trees_parallel(&[(TreeId(4), fx.b.clone()), (TreeId(5), fx.c.clone())], 2)
+        }),
+        // Compaction: all segments fold into main generation 1; the old
+        // main and every segment file are deleted after the commit.
+        Box::new(|s| s.compact()),
+        // Post-compaction incremental delta, flushed into a fresh segment.
+        Box::new(|s| {
+            let mut grams: Vec<_> = fx.a2.iter().map(|(g, _)| g).collect();
+            grams.sort_unstable();
+            let delta = IndexDelta {
+                removals: grams.into_iter().take(2).collect(),
+                additions: vec![0xfeed_f00d, 0x0dd_ba11],
+            };
+            s.apply_delta(TreeId(1), &delta)?;
+            s.flush()
+        }),
+    ]
+}
+
+fn seg_contents(store: &SegmentedIndexStore) -> BTreeMap<u64, TreeIndex> {
+    store
+        .tree_ids()
+        .unwrap()
+        .into_iter()
+        .map(|id| (id.0, store.tree_index(id).unwrap().unwrap()))
+        .collect()
+}
+
+/// The segmented moat: for every mutating I/O event of a workload covering
+/// flush, parallel ingest, manifest swap, and compaction — and every crash
+/// mode — recovery lands on exactly a pre- or post-commit segment set,
+/// passes structural verification, and never serves a hybrid forest.
+#[test]
+fn segmented_store_recovers_at_every_crash_point() {
+    let fx = index_fixtures();
+
+    let vfs = FaultVfs::new();
+    let mut store = seg_setup(&vfs, &fx);
+    let setup_events = vfs.io_events();
+    let mut snapshots = vec![seg_contents(&store)];
+    for op in seg_ops(&fx) {
+        op(&mut store).unwrap();
+        snapshots.push(seg_contents(&store));
+    }
+    drop(store);
+    let total_events = vfs.io_events();
+    assert!(total_events > setup_events, "mutation phase must do I/O");
+
+    for mode in modes() {
+        for n in setup_events..total_events {
+            let vfs = FaultVfs::new();
+            let mut store = seg_setup(&vfs, &fx);
+            assert_eq!(vfs.io_events(), setup_events, "workload is deterministic");
+            vfs.crash_at(n, mode.clone());
+            for op in seg_ops(&fx) {
+                let _ = op(&mut store);
+            }
+            drop(store);
+            assert!(vfs.crashed(), "crash point {n} ({mode:?}) never fired");
+
+            let reopened = SegmentedIndexStore::open_with(Path::new(DB), Arc::new(vfs.surviving()))
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): reopen failed: {e}"));
+            reopened
+                .verify()
+                .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
+            let recovered = seg_contents(&reopened);
+            assert!(
+                snapshots.contains(&recovered),
+                "crash point {n} ({mode:?}): recovered to a hybrid state with ids {:?}",
+                recovered.keys().collect::<Vec<_>>(),
+            );
+        }
+    }
+}

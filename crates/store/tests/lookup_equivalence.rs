@@ -21,13 +21,14 @@
 //! so the oracle only receives the non-empty members.
 
 use pqgram_core::{build_index, ForestIndex, PQParams, TreeId, TreeIndex};
-use pqgram_store::IndexStore;
+use pqgram_store::{FaultVfs, IndexStore, SegmentedIndexStore, MAIN_SOURCE, MEMTABLE_SOURCE};
 use pqgram_tree::generate::{random_tree, RandomTreeConfig};
 use pqgram_tree::LabelTable;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pqgram-equiv-{}", std::process::id()));
@@ -78,7 +79,7 @@ proptest! {
         let qtree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(query_nodes, 5));
         let query = build_index(&qtree, &lt, params);
 
-        let expected = oracle.lookup(&query, tau);
+        let expected = oracle.lookup(&query, tau).unwrap();
         let (inverted, inv_stats) = store.lookup_with_stats(&query, tau).unwrap();
         let (scanned, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau).unwrap();
         prop_assert_eq!(inv_stats.used_inverted, tau <= 1.0);
@@ -90,5 +91,105 @@ proptest! {
         // candidate.
         prop_assert_eq!(scan_stats.rows_read, store.row_count().unwrap());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The segmented engine must answer every lookup **bit-identically** to
+    /// a single-file store holding the merged forest, no matter how the
+    /// members are spread over memtable, segment files (an N-way merge with
+    /// overwrites and tombstones), and the compacted main file.
+    #[test]
+    fn segmented_lookups_match_the_single_file_plan_and_oracle(
+        members in proptest::collection::vec((0usize..40, any::<u64>()), 1..20),
+        // Per-member placement directive, cycled: after this member, 0-2 do
+        // nothing, 3 flushes the memtable, 4 compacts everything.
+        moves in proptest::collection::vec(0u8..5, 1..20),
+        // Members overwritten with a fresh index and members tombstoned.
+        overwrites in proptest::collection::vec((any::<prop::sample::Index>(), any::<u64>()), 0..4),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        query_nodes in 1usize..60,
+        query_seed in any::<u64>(),
+        tau_pick in 0usize..4,
+    ) {
+        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        let params = PQParams::new(2, 3);
+        let vfs: Arc<dyn pqgram_store::Vfs> = Arc::new(FaultVfs::new());
+        let mut lt = LabelTable::new();
+        let mut seg =
+            SegmentedIndexStore::create_with(Path::new("/equiv/seg"), params, Arc::clone(&vfs))
+                .unwrap();
+        seg.set_flush_threshold(u64::MAX);
+        let mk = |lt: &mut LabelTable, nodes: usize, seed: u64| {
+            if nodes == 0 {
+                TreeIndex::empty(params)
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_tree(&mut rng, lt, &RandomTreeConfig::new(nodes, 5));
+                build_index(&tree, lt, params)
+            }
+        };
+        // Final logical contents, mirrored into the single-file reference
+        // and the oracle after the segmented store is fully built.
+        let mut latest: Vec<TreeIndex> = Vec::new();
+        for (i, &(nodes, seed)) in members.iter().enumerate() {
+            let index = mk(&mut lt, nodes, seed);
+            seg.put_tree(TreeId(i as u64), &index).unwrap();
+            latest.push(index);
+            match moves[i % moves.len()] {
+                3 => seg.flush().unwrap(),
+                4 => seg.compact().unwrap(),
+                _ => {}
+            }
+        }
+        for (pick, seed) in &overwrites {
+            let i = pick.index(members.len());
+            let index = mk(&mut lt, members[i].0 / 2 + 1, *seed);
+            seg.put_tree(TreeId(i as u64), &index).unwrap();
+            latest[i] = index;
+        }
+        for pick in &removals {
+            let i = pick.index(members.len());
+            seg.remove_tree(TreeId(i as u64)).unwrap();
+            latest[i] = TreeIndex::empty(params);
+        }
+
+        let mut single =
+            IndexStore::create_with(Path::new("/equiv/single"), params, Arc::clone(&vfs)).unwrap();
+        let mut oracle = ForestIndex::new();
+        for (i, index) in latest.iter().enumerate() {
+            single.put_tree(TreeId(i as u64), index).unwrap();
+            if index.total() > 0 {
+                oracle.insert(TreeId(i as u64), index.clone());
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let qtree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(query_nodes, 5));
+        let query = build_index(&qtree, &lt, params);
+
+        let expected = oracle.lookup(&query, tau).unwrap();
+        let (single_hits, _) = single.lookup_with_stats(&query, tau).unwrap();
+        let (merged, stats) = seg.lookup_with_stats(&query, tau).unwrap();
+        prop_assert_eq!(&single_hits, &expected);
+        prop_assert_eq!(&merged, &expected);
+        prop_assert_eq!(seg.tree_ids().unwrap(), single.tree_ids().unwrap());
+        // Row attribution covers every source exactly once, memtable (if
+        // non-empty) first, main last, and sums to the rows read.
+        let sources: Vec<u64> = stats.by_source.iter().map(|&(s, _)| s).collect();
+        prop_assert_eq!(sources.last(), Some(&MAIN_SOURCE));
+        prop_assert_eq!(
+            sources.iter().filter(|&&s| s == MEMTABLE_SOURCE).count(),
+            usize::from(seg.pending_entries() > 0)
+        );
+        prop_assert_eq!(
+            stats.by_source.iter().map(|&(_, r)| r).sum::<u64>(),
+            stats.rows_read
+        );
+        seg.verify().unwrap();
+
+        // Reopening after a clean shutdown (flush) preserves equivalence.
+        seg.flush().unwrap();
+        drop(seg);
+        let seg = SegmentedIndexStore::open_with(Path::new("/equiv/seg"), vfs).unwrap();
+        prop_assert_eq!(seg.lookup(&query, tau).unwrap(), expected);
     }
 }

@@ -530,7 +530,8 @@ fn scan_let_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, Strin
     while let Some(pos) = body[i..].find("let ") {
         let at = i + pos;
         i = at + 4;
-        let boundary_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let boundary_ok =
+            at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
         if !boundary_ok {
             continue;
         }
@@ -580,7 +581,9 @@ fn scan_let_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, Strin
             .strip_prefix("Some(")
             .or_else(|| rest.strip_prefix("Ok("))
         {
-            let Some(close) = inner.find(')') else { continue };
+            let Some(close) = inner.find(')') else {
+                continue;
+            };
             (inner[..close].trim().to_string(), &inner[close + 1..])
         } else {
             let name: String = rest
@@ -635,7 +638,8 @@ fn scan_for_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, Strin
     while let Some(pos) = body[i..].find("for ") {
         let at = i + pos;
         i = at + 4;
-        let boundary_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let boundary_ok =
+            at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
         if !boundary_ok {
             continue;
         }
@@ -648,8 +652,12 @@ fn scan_for_bindings(f: &FnItem, model: &Model, out: &mut BTreeMap<String, Strin
             continue;
         }
         let after = rest[name.len()..].trim_start();
-        let Some(expr) = after.strip_prefix("in ") else { continue };
-        let Some(brace) = expr.find('{') else { continue };
+        let Some(expr) = after.strip_prefix("in ") else {
+            continue;
+        };
+        let Some(brace) = expr.find('{') else {
+            continue;
+        };
         let mut expr = expr[..brace].trim();
         expr = expr.trim_start_matches('&').trim_start();
         expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
@@ -764,24 +772,28 @@ fn resolve(
     out: &mut BTreeSet<usize>,
 ) {
     let all_named = |model: &Model| -> Vec<usize> {
-        model
-            .by_name
-            .get(&call.name)
-            .cloned()
-            .unwrap_or_default()
+        model.by_name.get(&call.name).cloned().unwrap_or_default()
     };
     // Method syntax can only land on methods (inherent, trait, or trait
-    // default) — never on free functions.
+    // default) with a `self` receiver — never on free functions or
+    // associated functions (`x.create(true)` cannot dispatch to
+    // `Manifest::create(path, …)`).
     let all_methods = |model: &Model| -> Vec<usize> {
         all_named(model)
             .into_iter()
-            .filter(|&id| model.fns[id].owner.is_some())
+            .filter(|&id| {
+                let f = &model.fns[id];
+                f.owner.is_some() && f.has_self_receiver()
+            })
             .collect()
     };
     if call.is_method {
         match receiver_type(model, caller, call, locals) {
             Some(ty) if model.known_types.contains(&ty) => {
-                let ids = typed_targets(model, &ty, &call.name);
+                let ids: Vec<usize> = typed_targets(model, &ty, &call.name)
+                    .into_iter()
+                    .filter(|&id| model.fns[id].has_self_receiver())
+                    .collect();
                 if !ids.is_empty() {
                     out.extend(ids);
                 } else if call.recv.first().map(String::as_str) == Some("self")
@@ -890,12 +902,71 @@ mod tests {
         )
         .expect("parse");
         let g = Graph::build(&m);
-        let fan = m.fns.iter().position(|f| f.name == "fan_out").expect("fan_out");
+        let fan = m
+            .fns
+            .iter()
+            .position(|f| f.name == "fan_out")
+            .expect("fan_out");
         assert!(
             g.edges[fan].is_empty(),
             "fan_out must not reach Tokenizer::next: {:?}",
             g.edges[fan]
         );
+    }
+
+    #[test]
+    fn method_calls_never_land_on_associated_functions() {
+        // `OpenOptions::new().create(true)` has an opaque receiver; the
+        // over-approximation may fan out to workspace *methods* named
+        // `create`, but an associated function (`Manifest::create(path)`)
+        // is not a method-dispatch target and must stay edge-free, or
+        // every builder chain wires the whole constructor graph together.
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct Manifest;\n\
+             impl Manifest { fn create(path: u32) {} }\n\
+             struct Cache;\n\
+             impl Cache { fn create(&mut self, flag: bool) {} }\n\
+             fn open_file(opts: u32) { let o = mystery(opts);\n    o.create(true); }\n",
+        )
+        .expect("parse");
+        let g = Graph::build(&m);
+        let open = m
+            .fns
+            .iter()
+            .position(|f| f.name == "open_file")
+            .expect("open_file");
+        let targets: Vec<String> = g.edges[open]
+            .iter()
+            .map(|&id| m.fns[id].qualified())
+            .collect();
+        assert_eq!(targets, ["Cache::create"], "{targets:?}");
+    }
+
+    #[test]
+    fn self_receiver_detection_reads_the_signature() {
+        let mut m = Model::default();
+        m.add_file(
+            "crates/store/src/a.rs",
+            "struct S;\n\
+             impl S {\n\
+             fn a(&self) {}\n\
+             fn b(&mut self, x: u32) {}\n\
+             fn c(self) {}\n\
+             fn d(mut self) {}\n\
+             fn e(&'a self) {}\n\
+             fn f(self: Box<S>) {}\n\
+             fn g() {}\n\
+             fn h(path: u32) {}\n\
+             fn i(selfish: u32) {}\n\
+             }\n",
+        )
+        .expect("parse");
+        for f in &m.fns {
+            let expect = matches!(f.name.as_str(), "a" | "b" | "c" | "d" | "e" | "f");
+            assert_eq!(f.has_self_receiver(), expect, "{}: `{}`", f.name, f.sig);
+        }
     }
 
     #[test]
@@ -1104,7 +1175,11 @@ mod tests {
             .iter()
             .position(|f| f.qualified() == "Blob::put")
             .expect("bp");
-        assert!(g.edges[driver].contains(&store_put), "{:?}", g.edges[driver]);
+        assert!(
+            g.edges[driver].contains(&store_put),
+            "{:?}",
+            g.edges[driver]
+        );
         assert!(
             !g.edges[driver].contains(&blob_put),
             "multi-line chain over-approximated: {:?}",
@@ -1227,7 +1302,11 @@ mod tests {
             .position(|f| f.qualified() == "Decoy::wipe")
             .expect("decoy");
         assert!(g.edges[reset].contains(&shard_wipe), "{:?}", g.edges[reset]);
-        assert!(!g.edges[reset].contains(&decoy_wipe), "{:?}", g.edges[reset]);
+        assert!(
+            !g.edges[reset].contains(&decoy_wipe),
+            "{:?}",
+            g.edges[reset]
+        );
     }
 
     #[test]

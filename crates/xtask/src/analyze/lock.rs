@@ -7,7 +7,8 @@
 //! ([`LOCK_CLASSES`]):
 //!
 //! ```text
-//! shard (rank 0, no I/O)  ->  pager (rank 1, I/O)  ->  vfs-state (rank 2, no I/O)
+//! manifest (rank 0, no I/O)  ->  shard (rank 1, no I/O)
+//!   ->  pager (rank 2, I/O)  ->  vfs-state (rank 3, no I/O)
 //! ```
 //!
 //! Four zero-tolerance rules are proved over the masked bodies and the
@@ -64,18 +65,37 @@ struct LockClass {
     io_allowed: bool,
 }
 
-/// The declared classes, in acquisition order. `shard` guards a buffer
-/// shard's frame table, `pager` the file-backed pager (the only class
-/// whose guards may cover I/O), `vfs-state` the fault-injection VFS's
-/// in-memory bookkeeping.
+/// The declared classes, in acquisition order. `manifest` guards the
+/// segmented store's published source-set pointer (an RCU swap: guards are
+/// statement-scoped temporaries covering one `Arc` clone or one pointer
+/// store, never I/O), `shard` a buffer shard's frame table, `pager` the
+/// file-backed pager (the only class whose guards may cover I/O),
+/// `vfs-state` the fault-injection VFS's in-memory bookkeeping.
 const LOCK_CLASSES: &[LockClass] = &[
-    LockClass { name: "shard", rank: 0, io_allowed: false },
-    LockClass { name: "pager", rank: 1, io_allowed: true },
-    LockClass { name: "vfs-state", rank: 2, io_allowed: false },
+    LockClass {
+        name: "manifest",
+        rank: 0,
+        io_allowed: false,
+    },
+    LockClass {
+        name: "shard",
+        rank: 1,
+        io_allowed: false,
+    },
+    LockClass {
+        name: "pager",
+        rank: 2,
+        io_allowed: true,
+    },
+    LockClass {
+        name: "vfs-state",
+        rank: 3,
+        io_allowed: false,
+    },
 ];
 
 /// Read-only handle types: their methods must never reach a `txn-sink`.
-const READER_TYPES: &[&str] = &["IndexStoreReader"];
+const READER_TYPES: &[&str] = &["IndexStoreReader", "SegmentedReader"];
 
 /// The I/O seam: owners whose methods count as performing I/O.
 const VFS_SEAM_TRAITS: &[&str] = &["Vfs", "VfsFile"];
@@ -199,7 +219,11 @@ fn binding_name(body: &str, name_at: usize) -> Option<String> {
         .unwrap_or(0);
     let head = body[stmt_start..name_at].trim_start();
     let rest = match head.strip_prefix("let ") {
-        Some(r) => r.trim_start().strip_prefix("mut ").unwrap_or(r).trim_start(),
+        Some(r) => r
+            .trim_start()
+            .strip_prefix("mut ")
+            .unwrap_or(r)
+            .trim_start(),
         None => head,
     };
     let name: String = rest
@@ -304,7 +328,10 @@ fn find_drop(body: &str, from: usize, to: usize, name: &str) -> Option<usize> {
             continue;
         }
         let inner = body[at + 5..].trim_start();
-        if inner.strip_prefix(name).is_some_and(|r| r.trim_start().starts_with(')')) {
+        if inner
+            .strip_prefix(name)
+            .is_some_and(|r| r.trim_start().starts_with(')'))
+        {
             return Some(at);
         }
     }
@@ -413,7 +440,11 @@ fn closure_params(sig: &str) -> Vec<String> {
     let Some(close) = close else { return out };
     for part in split_commas(&sig[open + 1..close]) {
         if let Some((name, ty)) = part.split_once(':') {
-            let name = name.trim().strip_prefix("mut ").unwrap_or(name.trim()).trim();
+            let name = name
+                .trim()
+                .strip_prefix("mut ")
+                .unwrap_or(name.trim())
+                .trim();
             let ty = ty.trim();
             let bare = super::model::strip_wrappers(ty);
             if (ty.contains("Fn") || fn_generics.contains(&bare))
@@ -479,7 +510,11 @@ fn scan_fn(model: &Model, f: &FnItem, by_content: &BTreeMap<String, usize>) -> F
     let params = closure_params(&f.sig);
     let body_line = f.line + f.sig.bytes().filter(|&b| b == b'\n').count();
     let line_at = |pos: usize| {
-        body_line + f.body.as_bytes()[..pos].iter().filter(|&&b| b == b'\n').count()
+        body_line
+            + f.body.as_bytes()[..pos]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
     };
     let mut data = FnLockData {
         acqs: Vec::new(),
@@ -568,7 +603,13 @@ pub fn run(model: &Model, graph: &Graph, require_anchors: bool) -> LockReport {
         .iter()
         .copied()
         .chain(VFS_SEAM_TRAITS.iter().flat_map(|t| {
-            model.impls.get(*t).map(Vec::as_slice).unwrap_or(&[]).iter().map(String::as_str)
+            model
+                .impls
+                .get(*t)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .map(String::as_str)
         }))
         .collect();
     // vfs-unguarded fixpoint: f reaches the seam through a call site not
@@ -601,12 +642,9 @@ pub fn run(model: &Model, graph: &Graph, require_anchors: bool) -> LockReport {
                 continue;
             }
             let Some(d) = &data[id] else { continue };
-            let reaches = d
-                .calls
-                .iter()
-                .any(|(at, _, callees)| {
-                    !mediated(id, *at) && callees.iter().any(|&c| vfs_unguarded[c])
-                });
+            let reaches = d.calls.iter().any(|(at, _, callees)| {
+                !mediated(id, *at) && callees.iter().any(|&c| vfs_unguarded[c])
+            });
             if reaches {
                 vfs_unguarded[id] = true;
                 changed = true;
@@ -618,7 +656,11 @@ pub fn run(model: &Model, graph: &Graph, require_anchors: bool) -> LockReport {
         let Some(d) = &data[id] else { continue };
         let body_line = f.line + f.sig.bytes().filter(|&b| b == b'\n').count();
         let line_at = |pos: usize| {
-            body_line + f.body.as_bytes()[..pos].iter().filter(|&&b| b == b'\n').count()
+            body_line
+                + f.body.as_bytes()[..pos]
+                    .iter()
+                    .filter(|&&b| b == b'\n')
+                    .count()
         };
         for a in &d.acqs {
             let held = &LOCK_CLASSES[a.class];
@@ -764,7 +806,12 @@ pub fn run(model: &Model, graph: &Graph, require_anchors: bool) -> LockReport {
 fn reader_writes(model: &Model, graph: &Graph) -> Vec<Violation> {
     let mut out = Vec::new();
     for (id, f) in model.fns.iter().enumerate() {
-        if f.is_test || !f.owner.as_deref().is_some_and(|o| READER_TYPES.contains(&o)) {
+        if f.is_test
+            || !f
+                .owner
+                .as_deref()
+                .is_some_and(|o| READER_TYPES.contains(&o))
+        {
             continue;
         }
         // BFS with parent links for an example path.
@@ -869,10 +916,7 @@ fn check_anchors(model: &Model, data: &[Option<FnLockData>]) -> Vec<Violation> {
                 .into(),
         });
     }
-    let any_acq = data
-        .iter()
-        .flatten()
-        .any(|d| !d.acqs.is_empty());
+    let any_acq = data.iter().flatten().any(|d| !d.acqs.is_empty());
     if !any_acq {
         out.push(Violation {
             rule: "lock-class",
@@ -916,9 +960,8 @@ mod tests {
 
     #[test]
     fn unknown_class_is_hard_even_without_anchors() {
-        let r = run_src(
-            "struct S;\nstruct P {\n// analyze: lock-class(bogus)\nnaked: Mutex<S>,\n}\n",
-        );
+        let r =
+            run_src("struct S;\nstruct P {\n// analyze: lock-class(bogus)\nnaked: Mutex<S>,\n}\n");
         assert_eq!(r.hard.len(), 1, "{:?}", r.hard);
         assert!(r.hard[0].message.contains("unknown lock class `bogus`"));
     }
@@ -945,7 +988,9 @@ mod tests {
         ));
         assert_eq!(r.hard.len(), 1, "{:?}", r.hard);
         assert_eq!(r.hard[0].rule, "lock-order");
-        assert!(r.hard[0].message.contains("acquires `shard` while holding `pager`"));
+        assert!(r.hard[0]
+            .message
+            .contains("acquires `shard` while holding `pager`"));
     }
 
     #[test]
@@ -998,6 +1043,33 @@ mod tests {
     }
 
     #[test]
+    fn manifest_class_orders_before_shard() {
+        // The RCU pointer class ranks lowest: taking it while a shard
+        // guard is live is an inversion, the opposite order is clean.
+        let src = "struct SourceSet;\nstruct Shard;\nstruct Store {\n\
+                   // analyze: lock-class(manifest)\npublished: Arc<Mutex<Arc<SourceSet>>>,\n\
+                   // analyze: lock-class(shard)\nshard: Mutex<Shard>,\n}\n\
+                   impl Store {\nfn bad(&self) {\n\
+                   let g = self.shard.lock();\n\
+                   let set = Arc::clone(&*self.published.lock());\n\
+                   }\nfn ok(&self) {\n\
+                   let set = Arc::clone(&*self.published.lock());\n\
+                   let g = self.shard.lock();\n\
+                   }\n}\n";
+        let r = run_src(src);
+        assert_eq!(r.hard.len(), 1, "{:?}", r.hard);
+        assert_eq!(r.hard[0].rule, "lock-order");
+        assert!(
+            r.hard[0]
+                .message
+                .contains("acquires `manifest` while holding `shard`"),
+            "{:?}",
+            r.hard
+        );
+        assert_eq!(r.census.len(), 4, "{:?}", r.census);
+    }
+
+    #[test]
     fn transitive_inversion_is_flagged() {
         let r = run_src(&format!(
             "{POOL}impl Pool {{\n\
@@ -1009,7 +1081,11 @@ mod tests {
         ));
         assert_eq!(r.hard.len(), 1, "{:?}", r.hard);
         assert_eq!(r.hard[0].rule, "lock-order");
-        assert!(r.hard[0].message.contains("may acquire `shard`"), "{:?}", r.hard);
+        assert!(
+            r.hard[0].message.contains("may acquire `shard`"),
+            "{:?}",
+            r.hard
+        );
     }
 
     const VFS: &str = "trait VfsFile { fn sync(&mut self); }\n\

@@ -119,6 +119,37 @@ impl FnItem {
     pub fn has_marker(&self, pred: impl Fn(&Marker) -> bool) -> bool {
         self.markers.iter().any(pred)
     }
+
+    /// True when the first parameter is a `self` receiver (`self`,
+    /// `&self`, `&mut self`, `mut self`, `&'a self`, `self: …`). Only
+    /// such functions are dispatch targets of method-call syntax;
+    /// associated functions like `Manifest::create(path, …)` are not.
+    pub fn has_self_receiver(&self) -> bool {
+        let Some(open) = self.sig.find('(') else {
+            return false;
+        };
+        let first = self.sig[open + 1..]
+            .trim_start()
+            .trim_start_matches('&')
+            .trim_start();
+        // Skip an optional lifetime (`'a `) and `mut` on the receiver.
+        let first = match first.strip_prefix('\'') {
+            Some(rest) => rest
+                .split_once(char::is_whitespace)
+                .map(|(_, r)| r)
+                .unwrap_or("")
+                .trim_start(),
+            None => first,
+        };
+        let first = first
+            .strip_prefix("mut ")
+            .map(str::trim_start)
+            .unwrap_or(first);
+        first == "self"
+            || first.strip_prefix("self").is_some_and(|r| {
+                r.starts_with(|c: char| c == ',' || c == ')' || c == ':' || c.is_whitespace())
+            })
+    }
 }
 
 impl fmt::Display for FnItem {
@@ -171,8 +202,14 @@ impl Model {
         let bytes = masked.as_bytes();
         let test_ranges = test_ranges(bytes);
         let regions = owner_regions(bytes);
-        parse_struct_fields(&masked, source, file, &mut self.fields, &mut self.lock_fields)
-            .map_err(|e| format!("{file}: {e}"))?;
+        parse_struct_fields(
+            &masked,
+            source,
+            file,
+            &mut self.fields,
+            &mut self.lock_fields,
+        )
+        .map_err(|e| format!("{file}: {e}"))?;
         for region in &regions {
             self.known_types.insert(region.name.clone());
             if region.is_trait {
@@ -263,10 +300,7 @@ fn read_ident(bytes: &[u8], mut i: usize) -> (String, usize) {
     while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
         i += 1;
     }
-    (
-        String::from_utf8_lossy(&bytes[start..i]).into_owned(),
-        i,
-    )
+    (String::from_utf8_lossy(&bytes[start..i]).into_owned(), i)
 }
 
 /// Matches a bracketed region starting at `open_at` (which must hold the
@@ -459,7 +493,9 @@ pub fn strip_wrappers(ty: &str) -> String {
             continue;
         }
         let mut advanced = false;
-        for wrapper in ["Option<", "Box<", "Arc<", "Rc<", "Mutex<", "RwLock<", "RefCell<", "Vec<"] {
+        for wrapper in [
+            "Option<", "Box<", "Arc<", "Rc<", "Mutex<", "RwLock<", "RefCell<", "Vec<",
+        ] {
             if let Some(rest) = t.strip_prefix(wrapper) {
                 t = rest.strip_suffix('>').unwrap_or(rest);
                 advanced = true;
@@ -524,8 +560,13 @@ fn parse_struct_fields(
         for (part_at, raw_part) in split_fields(body) {
             let mut part = raw_part.trim_start();
             let mut offset = part_at + (raw_part.len() - part.len());
-            // `pub` / `pub(crate)` visibility prefixes.
-            if let Some(rest) = part.strip_prefix("pub") {
+            // `pub` / `pub(crate)` visibility prefixes. Token boundary
+            // required: a field *named* `published` starts with the same
+            // three bytes.
+            let visibility = part
+                .strip_prefix("pub")
+                .filter(|r| r.starts_with('(') || r.starts_with(|c: char| c.is_whitespace()));
+            if let Some(rest) = visibility {
                 let rest2 = rest.trim_start();
                 let stripped = match rest2.strip_prefix('(') {
                     Some(vis) => vis.split_once(')').map(|(_, r)| r).unwrap_or(rest2),
@@ -632,10 +673,7 @@ fn field_marker(raw: &str, field_at: usize) -> Result<Option<String>, String> {
                 .map(str::trim);
             match inner {
                 Some(name)
-                    if !name.is_empty()
-                        && name
-                            .bytes()
-                            .all(|b| is_ident_byte(b) || b == b'-') =>
+                    if !name.is_empty() && name.bytes().all(|b| is_ident_byte(b) || b == b'-') =>
                 {
                     if class.is_some() {
                         return Err("duplicate `lock-class` directives on one field".into());
@@ -782,9 +820,7 @@ fn preamble(raw: &str, masked: &str, at: usize) -> (bool, Result<Vec<Marker>, St
             || masked_line.trim_start().starts_with("#[")
         {
             let attr = masked_line.trim();
-            if attr.starts_with("#[")
-                && (attr.contains("test") || attr.contains("bench"))
-            {
+            if attr.starts_with("#[") && (attr.contains("test") || attr.contains("bench")) {
                 attr_test = true;
             }
         } else {
@@ -822,7 +858,9 @@ mod tests {
         assert!(m.fns[0].returns_result);
         assert!(!m.fns[1].returns_result);
         assert_eq!(
-            m.fields.get(&("S".into(), "file".into())).map(String::as_str),
+            m.fields
+                .get(&("S".into(), "file".into()))
+                .map(String::as_str),
             Some("VfsFile")
         );
         assert_eq!(m.impls.get("VfsFile"), Some(&vec!["S".to_string()]));
@@ -886,18 +924,51 @@ mod tests {
              \x20   n: u32,\n\
              }\n",
         );
-        let pager = m.lock_fields.get(&("Pool".into(), "pager".into())).expect("pager");
+        let pager = m
+            .lock_fields
+            .get(&("Pool".into(), "pager".into()))
+            .expect("pager");
         assert_eq!(pager.class.as_deref(), Some("pager"));
         assert_eq!(pager.content, "Pager");
-        let shards = m.lock_fields.get(&("Pool".into(), "shards".into())).expect("shards");
+        let shards = m
+            .lock_fields
+            .get(&("Pool".into(), "shards".into()))
+            .expect("shards");
         assert_eq!(shards.class.as_deref(), Some("shard"));
         assert_eq!(shards.content, "Shard");
-        let naked = m.lock_fields.get(&("Pool".into(), "naked".into())).expect("naked");
+        let naked = m
+            .lock_fields
+            .get(&("Pool".into(), "naked".into()))
+            .expect("naked");
         assert_eq!(naked.class, None, "unmarked lock field has no class");
         assert!(
             !m.lock_fields.contains_key(&("Pool".into(), "n".into())),
             "plain fields are not lock fields"
         );
+    }
+
+    #[test]
+    fn pub_prefixed_field_names_keep_their_name() {
+        // `published` starts with the bytes `pub`; the visibility stripper
+        // must not eat them.
+        let m = model_of(
+            "struct Store {\n\
+             // analyze: lock-class(manifest)\n\
+             published: Arc<Mutex<Arc<SourceSet>>>,\n\
+             pub pubsub: Mutex<Bus>,\n\
+             }\n",
+        );
+        let p = m
+            .lock_fields
+            .get(&("Store".into(), "published".into()))
+            .expect("published");
+        assert_eq!(p.class.as_deref(), Some("manifest"));
+        assert_eq!(p.content, "SourceSet");
+        let b = m
+            .lock_fields
+            .get(&("Store".into(), "pubsub".into()))
+            .expect("pubsub");
+        assert_eq!(b.content, "Bus");
     }
 
     #[test]

@@ -42,10 +42,10 @@ fn main() {
 
     let tau = 0.45;
     let t = Instant::now();
-    let (pairs, stats) = join(&left, &right, tau);
+    let (pairs, stats) = join(&left, &right, tau).expect("same params");
     let indexed = t.elapsed();
     let t = Instant::now();
-    let reference = join_nested_loop(&left, &right, tau);
+    let reference = join_nested_loop(&left, &right, tau).expect("same params");
     let nested = t.elapsed();
     assert_eq!(pairs, reference, "the filters are lossless");
 

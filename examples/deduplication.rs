@@ -148,7 +148,7 @@ fn main() {
     let tau = 0.5;
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     for (i, idx) in indexes.iter().enumerate() {
-        let hits = forest.lookup_parallel(idx, tau, 4);
+        let hits = forest.lookup_parallel(idx, tau, 4).expect("same params");
         let best_other = hits.iter().find(|h| h.tree_id.0 as usize != i);
         let predicted = best_other.map(|h| h.tree_id.0 as usize);
         let truth = duplicate_of[i].or_else(|| duplicate_of.iter().position(|&d| d == Some(i)));

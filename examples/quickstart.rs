@@ -48,11 +48,11 @@ fn main() {
     let i2 = build_index(&doc2, &labels, params);
     println!(
         "pq-gram distance after one rename: {:.4}",
-        pq_distance(&i1, &i2)
+        pq_distance(&i1, &i2).expect("same params")
     );
     println!(
         "pq-gram distance to itself:        {:.4}",
-        pq_distance(&i1, &i1)
+        pq_distance(&i1, &i1).expect("same params")
     );
 
     // ---- 2. Approximate lookup in a forest -------------------------------
@@ -64,7 +64,7 @@ fn main() {
         let t = random_tree(&mut rng, &mut labels, &RandomTreeConfig::new(40, 6));
         forest.insert(TreeId(i), build_index(&t, &labels, params));
     }
-    let hits = forest.lookup(&i1, 0.5);
+    let hits = forest.lookup(&i1, 0.5).expect("same params");
     println!("\nlookup(doc, tau = 0.5) over {} trees:", forest.len());
     for hit in &hits {
         println!("  {:?}  distance {:.4}", hit.tree_id, hit.distance);

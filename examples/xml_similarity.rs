@@ -87,7 +87,7 @@ fn main() {
     println!("query: the canonical pq-grams paper record\n");
     println!("{:<42} {:>10} {:>12}", "candidate", "pq-dist", "exact TED");
     println!("{}", "-".repeat(66));
-    let hits = forest.lookup(&query, 1.01); // keep all, ranked
+    let hits = forest.lookup(&query, 1.01).expect("same params"); // keep all, ranked
     for hit in &hits {
         let (name, tree) = &trees[hit.tree_id.0 as usize];
         let ted = tree_edit_distance(&query_tree, tree);
@@ -108,7 +108,7 @@ fn main() {
             "differs from"
         }
     );
-    let thresholded = forest.lookup(&query, 0.55);
+    let thresholded = forest.lookup(&query, 0.55).expect("same params");
     println!(
         "with tau = 0.55 the lookup returns {} of {} documents (the near-duplicates)",
         thresholded.len(),

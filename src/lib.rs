@@ -72,7 +72,8 @@ pub use pqgram_xml as xml;
 pub use pqgram_core::join::{join as approximate_join, JoinPair, JoinStats};
 pub use pqgram_core::maintain::{update_index, IndexDelta, MaintainError, UpdateStats};
 pub use pqgram_core::{
-    build_index, pq_distance, ForestIndex, GramKey, LookupHit, PQParams, TreeId, TreeIndex,
+    build_index, pq_distance, ForestIndex, GramKey, LookupHit, PQParams, ParamsMismatch, TreeId,
+    TreeIndex,
 };
 pub use pqgram_diff::{sync as diff_sync, DiffError};
 pub use pqgram_store::document::{DocumentStore, SyncOutcome};

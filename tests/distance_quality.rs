@@ -15,7 +15,7 @@ fn identical_trees_have_both_distances_zero() {
     let t = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(60, 5));
     assert_eq!(tree_edit_distance(&t, &t), 0);
     let idx = build_index(&t, &lt, PQParams::default());
-    assert_eq!(pq_distance(&idx, &idx), 0.0);
+    assert_eq!(pq_distance(&idx, &idx), Ok(0.0));
 }
 
 #[test]
@@ -36,7 +36,7 @@ fn pq_distance_grows_with_edit_count() {
         let mut cfg = ScriptConfig::new(edits, alphabet.clone());
         cfg.max_adopted = 1;
         record_script(&mut rng, &mut t, &cfg);
-        let d = pq_distance(&base_idx, &build_index(&t, &lt, params));
+        let d = pq_distance(&base_idx, &build_index(&t, &lt, params)).unwrap();
         distances.push((edits, d));
         assert!(
             d >= previous - 0.05,
@@ -69,7 +69,7 @@ fn pq_distance_ranks_like_ted_on_average() {
         let mut cfg = ScriptConfig::new(edits, alphabet.clone());
         cfg.max_adopted = 0;
         record_script(&mut rng, &mut t, &cfg);
-        let pq = pq_distance(&base_idx, &build_index(&t, &lt, params));
+        let pq = pq_distance(&base_idx, &build_index(&t, &lt, params)).unwrap();
         let ted = tree_edit_distance(&base, &t) as f64;
         pairs.push((pq, ted));
     }
@@ -100,8 +100,8 @@ fn pq_distance_is_bounded_and_symmetric() {
         let a = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(50, 4));
         let b = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(70, 4));
         let (ia, ib) = (build_index(&a, &lt, params), build_index(&b, &lt, params));
-        let d = pq_distance(&ia, &ib);
+        let d = pq_distance(&ia, &ib).unwrap();
         assert!((0.0..=1.0).contains(&d));
-        assert_eq!(d, pq_distance(&ib, &ia));
+        assert_eq!(d, pq_distance(&ib, &ia).unwrap());
     }
 }
