@@ -27,7 +27,8 @@ use args::Args;
 use pqgram_core::{build_index, pq_distance, PQParams, TreeId};
 use pqgram_store::document::{DocumentStore, SyncOutcome};
 use pqgram_store::{
-    IndexStore, LookupStats, SegmentedIndexStore, StoreCheck, MAIN_SOURCE, MEMTABLE_SOURCE,
+    IndexStore, LookupPlan, LookupStats, RelationBytes, SegmentedIndexStore, StoreCheck,
+    MAIN_SOURCE, MEMTABLE_SOURCE,
 };
 use pqgram_tree::generate::{dblp, random_tree, xmark, RandomTreeConfig};
 use pqgram_tree::{LabelTable, Tree};
@@ -229,6 +230,20 @@ impl AnyStore {
     }
 }
 
+/// Per-relation on-disk footprint as one human-readable line.
+fn describe_relation_bytes(b: &RelationBytes) -> String {
+    let kib = |n: u64| format!("{:.1} KiB", n as f64 / 1024.0);
+    format!(
+        "forward {}, inverted {} (directory {} + blocks {}), totals {}, relations total {}",
+        kib(b.forward),
+        kib(b.inverted_total()),
+        kib(b.inverted_directory),
+        kib(b.posting_blocks),
+        kib(b.totals),
+        kib(b.total())
+    )
+}
+
 /// `by_source` rendered as `memtable`, `seg <n>`, and `main` row counts.
 fn describe_sources(stats: &LookupStats) -> String {
     stats
@@ -315,18 +330,31 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
     let query_tree = load_document(query_path, &mut labels)?;
     let query = build_index(&query_tree, &labels, store.params());
     let (hits, stats) = store.lookup_with_stats_threads(&query, tau, threads)?;
-    let plan = if stats.used_inverted {
-        "inverted candidate-merge"
-    } else {
-        "exhaustive scan"
+    let plan = match stats.plan {
+        LookupPlan::CandidateMerge => "inverted candidate-merge",
+        LookupPlan::ExhaustiveReference => "exhaustive scan (reference)",
+        LookupPlan::TauExhaustiveFallback => "exhaustive scan (tau > 1 fallback)",
     };
     // The plan is a performance cliff (tau > 1 silently degrades to the
     // full scan), so it is always announced on stderr, not only on --stats.
     eprintln!("plan: {plan} (tau = {tau})");
+    if stats.plan == LookupPlan::TauExhaustiveFallback {
+        eprintln!(
+            "warning: tau = {tau} exceeds 1, the maximum pq-gram distance — the \
+             inverted-relation candidate filter prunes nothing at this threshold, so every \
+             lookup reads the entire forward relation ({} rows here). Use tau <= 1 for \
+             indexed lookups; see DESIGN.md §14.",
+            stats.rows_read
+        );
+    }
     if args.flag("stats") {
         println!(
             "plan: {plan} ({} rows read, {} grams probed, {} candidates, {} verified)",
             stats.rows_read, stats.grams_probed, stats.candidates, stats.verified
+        );
+        println!(
+            "postings: {} blocks decoded ({} bytes), {} blocks skipped",
+            stats.blocks_decoded, stats.bytes_decoded, stats.blocks_skipped
         );
         println!("rows by source: {}", describe_sources(&stats));
     }
@@ -357,6 +385,8 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             let file_len = std::fs::metadata(store_path).map(|m| m.len()).unwrap_or(0);
             println!("index rows: {rows}");
             println!("file size:  {:.1} KiB", file_len as f64 / 1024.0);
+            let bytes = s.relation_bytes().map_err(|e| e.to_string())?;
+            println!("on disk:    {}", describe_relation_bytes(&bytes));
         }
         AnyStore::Segmented(s) => {
             println!(
@@ -366,6 +396,19 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
                 s.segment_count(),
                 s.pending_entries()
             );
+            let mut sum = RelationBytes::default();
+            for (source, bytes) in s.relation_bytes().map_err(|e| e.to_string())? {
+                let name = match source {
+                    MAIN_SOURCE => "main".to_string(),
+                    seq => format!("seg {seq}"),
+                };
+                println!("  {name:<9} {}", describe_relation_bytes(&bytes));
+                sum.forward += bytes.forward;
+                sum.inverted_directory += bytes.inverted_directory;
+                sum.posting_blocks += bytes.posting_blocks;
+                sum.totals += bytes.totals;
+            }
+            println!("  {:<9} {}", "all", describe_relation_bytes(&sum));
         }
     }
     if args.flag("verify") {

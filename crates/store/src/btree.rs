@@ -761,6 +761,38 @@ impl BTree<'_> {
     /// page reachable exactly once), leaf-chain order and reachability.
     /// Returns a description of the first violation.
     ///
+    /// Every page of the tree (root, internals, leaves) via a DFS that
+    /// only reads node headers — no entry validation, no key order checks.
+    fn all_pages(&self) -> Result<Vec<PageId>> {
+        let root = self.root();
+        let mut pages = vec![root];
+        let mut stack = vec![root];
+        let limit = u64::from(self.pool.page_count()).saturating_add(1);
+        while let Some(id) = stack.pop() {
+            let children = self.pool.with_page(id, |p| match p.get_u8(0) {
+                TYPE_INTERNAL => {
+                    let n = count(p);
+                    Ok((0..=n).map(|i| internal_child(p, i)).collect::<Vec<_>>())
+                }
+                TYPE_LEAF => Ok(Vec::new()),
+                t => Err(corrupt(&format!("page walk hit unknown node type {t}"))),
+            })??;
+            for c in children {
+                pages.push(c);
+                stack.push(c);
+            }
+            if u64::try_from(pages.len()).unwrap_or(u64::MAX) > limit {
+                return Err(corrupt("tree page walk exceeds the file page count"));
+            }
+        }
+        Ok(pages)
+    }
+
+    /// Number of 4 KiB pages the tree occupies on disk.
+    pub(crate) fn page_span(&self) -> Result<u64> {
+        Ok(u64::try_from(self.all_pages()?.len()).unwrap_or(u64::MAX))
+    }
+
     /// Intended for tests, recovery checks and the CLI's `stats --verify`.
     pub fn verify(&self) -> Result<BTreeCheck> {
         let mut check = BTreeCheck::default();
@@ -909,6 +941,20 @@ impl BTree<'_> {
 
 fn corrupt(msg: &str) -> crate::pager::StoreError {
     crate::pager::StoreError::Corrupt(msg.into())
+}
+
+/// Frees every page of the relation rooted at `meta_slot` and clears the
+/// slot, so the relation can be rebuilt from scratch inside the same
+/// transaction (used by the format-v3 inverted-relation migration).
+pub(crate) fn free_tree(pool: &BufferPool, meta_slot: usize) -> Result<()> {
+    if pool.meta(meta_slot) == 0 {
+        return Ok(());
+    }
+    let tree = BTree { pool, meta_slot };
+    for id in tree.all_pages()? {
+        pool.free(id)?;
+    }
+    pool.set_meta(meta_slot, 0)
 }
 
 /// Result of [`BTree::verify`]: shape statistics of a healthy tree.

@@ -1,16 +1,21 @@
-//! CRC-32 (IEEE 802.3 polynomial), table-driven, implemented from scratch.
+//! CRC-32 (IEEE 802.3 polynomial), slicing-by-8, implemented from scratch.
 //!
-//! Used to checksum journal entries and the pager header so that torn
-//! writes are detected during crash recovery.
+//! Used to checksum journal entries, the pager header and posting-block
+//! entries so that torn writes and bit rot are detected during crash
+//! recovery and lookups. Posting-block decodes checksum every probed
+//! block, so the hot loop processes eight bytes per step against eight
+//! compile-time tables instead of one byte against one.
 
 /// Reflected IEEE polynomial.
 const POLY: u32 = 0xedb8_8320;
 
-/// 256-entry lookup table, built at compile time.
-const TABLE: [u32; 256] = build_table();
+/// Slicing-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k]` advances a byte `k` positions
+/// further through the register.
+const TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -23,10 +28,32 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+/// One table lookup. The `& 0xff` mask keeps the index below 256 by
+/// construction, so the lookup is total even without the bound encoded in
+/// the type.
+#[inline(always)]
+fn tab(k: usize, i: u32) -> u32 {
+    TABLES
+        .get(k)
+        .and_then(|t| t.get(usize::try_from(i & 0xff).unwrap_or(0)))
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Computes the CRC-32 of `data`.
@@ -36,11 +63,21 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 /// Streaming update (state is the raw register, start from `0xffff_ffff`).
 pub fn update(mut state: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        // The `& 0xff` mask keeps the index below 256 by construction, so
-        // the lookup is total even without the bound encoded in the type.
-        let entry = TABLE.get(((state ^ b as u32) & 0xff) as usize);
-        state = (state >> 8) ^ entry.copied().unwrap_or(0);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c.get(..4).and_then(|s| s.try_into().ok()).unwrap_or([0; 4])) ^ state;
+        let hi = u32::from_le_bytes(c.get(4..).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]));
+        state = tab(7, lo)
+            ^ tab(6, lo >> 8)
+            ^ tab(5, lo >> 16)
+            ^ tab(4, lo >> 24)
+            ^ tab(3, hi)
+            ^ tab(2, hi >> 8)
+            ^ tab(1, hi >> 16)
+            ^ tab(0, hi >> 24);
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ tab(0, state ^ u32::from(b));
     }
     state
 }

@@ -1,0 +1,302 @@
+//! PGM-style learned fence index over an immutable inverted directory.
+//!
+//! Immutable segments never mutate their inverted relation after bulk load,
+//! so the directory can be mirrored into three flat arrays at open time and
+//! probed without any B+-tree descent. On top of the arrays sits a
+//! piecewise-linear model (one-pass shrinking-cone fit, max error
+//! [`FENCE_EPSILON`]): `locate` predicts the position of a gram, verifies
+//! the prediction with an O(1) neighbour check, and only falls back to a
+//! full binary search when floating-point precision loss over 64-bit gram
+//! fingerprints makes the prediction unusable. Lookup correctness never
+//! depends on the model — the model only narrows the search window.
+//!
+//! Inline postings are answered straight from the arrays; posting blocks
+//! are still decoded from their pack pages via [`postings::read_block`].
+
+use std::ops::Range;
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::pager::Result;
+use crate::postings::{self, DirValue, ProbeCounters};
+
+/// Maximum positions a prediction may be off before `locate` falls back to
+/// binary search within the window.
+const FENCE_EPSILON: usize = 16;
+
+/// One linear segment of the piecewise model: for grams at or after `key`,
+/// predicted index = `intercept + slope * (gram - key)`.
+#[derive(Clone, Copy, Debug)]
+struct PlaSegment {
+    key: u64,
+    slope: f64,
+    intercept: f64,
+}
+
+/// A learned fence over one immutable inverted directory.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Fence {
+    grams: Vec<u64>,
+    tids: Vec<u64>,
+    vals: Vec<u32>,
+    segs: Vec<PlaSegment>,
+}
+
+impl Fence {
+    /// Builds a fence by scanning the inverted directory once.
+    pub fn build(dir: &BTree<'_>) -> Result<Fence> {
+        let mut grams = Vec::new();
+        let mut tids = Vec::new();
+        let mut vals = Vec::new();
+        dir.for_each_range((u64::MIN, u64::MIN), (u64::MAX, u64::MAX), |(g, t), v| {
+            grams.push(g);
+            tids.push(t);
+            vals.push(v);
+            true
+        })?;
+        Ok(Fence::from_rows(grams, tids, vals))
+    }
+
+    /// Builds a fence from already-materialised directory rows.
+    pub fn from_rows(grams: Vec<u64>, tids: Vec<u64>, vals: Vec<u32>) -> Fence {
+        let segs = fit_pla(&grams);
+        Fence {
+            grams,
+            tids,
+            vals,
+            segs,
+        }
+    }
+
+    /// Number of directory rows covered by the fence.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Number of linear segments in the model (diagnostics).
+    #[cfg(test)]
+    pub fn segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// The directory row range holding `gram`'s entries (empty if absent).
+    pub fn locate(&self, gram: u64) -> Range<usize> {
+        let n = self.grams.len();
+        let start = match self.predict(gram) {
+            Some(p) => p,
+            None => self.grams.partition_point(|&g| g < gram),
+        };
+        let end = start
+            + self
+                .grams
+                .get(start..)
+                .map(|rest| rest.partition_point(|&g| g <= gram))
+                .unwrap_or(0);
+        debug_assert!(
+            start <= end && end <= n,
+            "locate range must be ordered and in bounds"
+        );
+        start..end
+    }
+
+    /// Predicted-and-verified first index with `grams[i] >= gram`, or
+    /// `None` when the prediction cannot be validated in O(1).
+    fn predict(&self, gram: u64) -> Option<usize> {
+        let n = self.grams.len();
+        let si = self.segs.partition_point(|s| s.key <= gram);
+        let seg = self.segs.get(si.checked_sub(1)?)?;
+        let dx = (gram - seg.key) as f64;
+        let raw = seg.intercept + seg.slope * dx;
+        let guess = if raw.is_finite() && raw > 0.0 {
+            (raw as usize).min(n)
+        } else {
+            0
+        };
+        let lo = guess.saturating_sub(FENCE_EPSILON);
+        let hi = (guess + FENCE_EPSILON).min(n);
+        let window = self.grams.get(lo..hi)?;
+        let p = lo + window.partition_point(|&g| g < gram);
+        // O(1) validation: p must be the true partition point globally.
+        let ok_left = p == 0 || self.grams.get(p - 1).is_some_and(|&g| g < gram);
+        let ok_right = p == n || self.grams.get(p).is_some_and(|&g| g >= gram);
+        (ok_left && ok_right).then_some(p)
+    }
+
+    /// Streams every posting of `gram` in ascending treeId order, answering
+    /// inline rows from the in-memory arrays and decoding blocks from their
+    /// pack pages. Blocks span gram boundaries, so besides the rows keyed
+    /// inside the gram the entry just past it is inspected: its block may
+    /// still start inside the gram. `f` returns `false` to stop early.
+    pub fn for_each_posting(
+        &self,
+        pool: &BufferPool,
+        gram: u64,
+        cache: &mut postings::BlockCache,
+        counters: &mut ProbeCounters,
+        mut f: impl FnMut(u64, u32) -> bool,
+    ) -> Result<()> {
+        let range = self.locate(gram);
+        let boundary = range.end;
+        for i in range {
+            let (t, raw) = match (self.tids.get(i), self.vals.get(i)) {
+                (Some(&t), Some(&v)) => (t, v),
+                _ => break,
+            };
+            match postings::dir_value_checked(raw)? {
+                DirValue::Inline(c) => {
+                    counters.rows += 1;
+                    if !f(t, c) {
+                        return Ok(());
+                    }
+                }
+                DirValue::Block(page) => {
+                    if !emit_block(pool, page, (gram, t), gram, cache, counters, &mut f)? {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // Boundary entry keyed past the gram: only a block can still hold
+        // rows of `gram`; its header metadata decides without a decode.
+        if let (Some(&g), Some(&t), Some(&raw)) = (
+            self.grams.get(boundary),
+            self.tids.get(boundary),
+            self.vals.get(boundary),
+        ) {
+            if let DirValue::Block(page) = postings::dir_value_checked(raw)? {
+                if cache.peek_first(pool, page, (g, t))?.0 > gram {
+                    counters.blocks_skipped += 1;
+                } else {
+                    emit_block(pool, page, (g, t), gram, cache, counters, &mut f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes the block keyed `key` (through the probe memo) and emits its
+/// rows matching `gram`. Returns `false` if `f` asked to stop.
+fn emit_block(
+    pool: &BufferPool,
+    page: crate::page::PageId,
+    key: (u64, u64),
+    gram: u64,
+    cache: &mut postings::BlockCache,
+    counters: &mut ProbeCounters,
+    f: &mut impl FnMut(u64, u32) -> bool,
+) -> Result<bool> {
+    cache.for_each_gram(pool, page, key, gram, counters, f)
+}
+
+/// One-pass shrinking-cone piecewise-linear fit over the first index of
+/// each distinct gram, with maximum prediction error [`FENCE_EPSILON`].
+fn fit_pla(grams: &[u64]) -> Vec<PlaSegment> {
+    let eps = FENCE_EPSILON as f64;
+    let mut segs: Vec<PlaSegment> = Vec::new();
+    let mut origin: Option<(u64, usize)> = None;
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+
+    let mut seal = |origin: &mut Option<(u64, usize)>, lo: &mut f64, hi: &mut f64| {
+        if let Some((x0, y0)) = origin.take() {
+            let slope = match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => (*lo + *hi) / 2.0,
+                (true, false) => *lo,
+                (false, true) => *hi,
+                (false, false) => 0.0,
+            };
+            segs.push(PlaSegment {
+                key: x0,
+                slope,
+                intercept: y0 as f64,
+            });
+        }
+        *lo = f64::NEG_INFINITY;
+        *hi = f64::INFINITY;
+    };
+
+    let mut prev_gram: Option<u64> = None;
+    for (i, &g) in grams.iter().enumerate() {
+        if prev_gram == Some(g) {
+            continue;
+        }
+        prev_gram = Some(g);
+        match origin {
+            None => {
+                origin = Some((g, i));
+            }
+            Some((x0, y0)) => {
+                let dx = (g - x0) as f64;
+                let y = i as f64;
+                let y0f = y0 as f64;
+                // Feasible slope band for this point, intersected with the cone.
+                let band_lo = (y - eps - y0f) / dx;
+                let band_hi = (y + eps - y0f) / dx;
+                let new_lo = lo.max(band_lo);
+                let new_hi = hi.min(band_hi);
+                if new_lo > new_hi || !dx.is_finite() || dx == 0.0 {
+                    seal(&mut origin, &mut lo, &mut hi);
+                    origin = Some((g, i));
+                } else {
+                    lo = new_lo;
+                    hi = new_hi;
+                }
+            }
+        }
+    }
+    seal(&mut origin, &mut lo, &mut hi);
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fence_over(grams: Vec<u64>) -> Fence {
+        let n = grams.len();
+        let tids = (0..n as u64).collect();
+        let vals = vec![postings::INLINE_BIT | 1; n];
+        Fence::from_rows(grams, tids, vals)
+    }
+
+    #[test]
+    fn locate_matches_binary_search_on_linear_keys() {
+        let grams: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+        let fence = fence_over(grams.clone());
+        assert!(fence.segments() < 50, "linear data should need few segments");
+        for probe in [0u64, 1, 2, 3, 299, 300, 29_997, 29_998, 40_000] {
+            let expect = grams.partition_point(|&g| g < probe)
+                ..grams.partition_point(|&g| g <= probe);
+            assert_eq!(fence.locate(probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn locate_matches_binary_search_on_adversarial_keys() {
+        // Clustered + huge jumps + duplicate runs: precision loss territory.
+        let mut grams = Vec::new();
+        for base in [0u64, 1 << 20, 1 << 44, u64::MAX - 4096] {
+            for i in 0..512u64 {
+                grams.push(base + i / 4); // runs of 4 duplicates
+            }
+        }
+        grams.sort_unstable();
+        let fence = fence_over(grams.clone());
+        let mut probes: Vec<u64> = grams.clone();
+        probes.extend([5u64, 1 << 30, u64::MAX, 0]);
+        for probe in probes {
+            let expect = grams.partition_point(|&g| g < probe)
+                ..grams.partition_point(|&g| g <= probe);
+            assert_eq!(fence.locate(probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn empty_fence_locates_nothing() {
+        let fence = fence_over(Vec::new());
+        assert_eq!(fence.locate(42), 0..0);
+        assert_eq!(fence.len(), 0);
+    }
+}

@@ -68,11 +68,13 @@ pub mod buffer;
 mod bytes;
 pub mod crc;
 pub mod document;
+mod fence;
 pub mod index_store;
 pub mod journal;
 mod manifest;
 mod memtable;
 pub mod ops;
+mod postings;
 pub mod page;
 pub mod pager;
 mod segment;
@@ -82,7 +84,7 @@ pub mod vfs;
 pub use btree::BTree;
 pub use document::DocumentStore;
 pub use index_store::{IndexStore, IndexStoreReader};
-pub use ops::{LookupStats, StoreCheck, MAIN_SOURCE};
+pub use ops::{InvertedEncoding, LookupPlan, LookupStats, RelationBytes, StoreCheck, MAIN_SOURCE};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
 pub use pager::{Pager, StoreError};
 pub use segmented::{SegmentedIndexStore, SegmentedReader, MEMTABLE_SOURCE};

@@ -25,10 +25,18 @@
 //! [`crate::btree::BTree::apply_batch_sorted`], so one tree's update costs
 //! a handful of descents plus sequential leaf edits instead of a random
 //! root-to-leaf walk per gram.
+//!
+//! Since format version 3 the inverted relation is a posting *directory*:
+//! short posting lists stay as inline rows, long ones are grouped into
+//! partitioned Elias-Fano posting blocks on dedicated pack pages (see
+//! `crate::postings`). Older files are migrated in place on open.
 
 use crate::btree::{BTree, BTreeCheck};
 use crate::buffer::BufferPool;
+use crate::fence::Fence;
+use crate::page::PAGE_SIZE_U64;
 use crate::pager::{Result, StoreError};
+use crate::postings::{self, ProbeCounters};
 use pqgram_core::join::{overlap_distance, size_filter};
 use pqgram_core::maintain::IndexDelta;
 use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
@@ -42,9 +50,13 @@ pub(crate) const SLOT_INV: usize = 4;
 pub(crate) const SLOT_TOT: usize = 5;
 /// Meta slot holding the on-disk format version.
 pub(crate) const SLOT_VERSION: usize = 6;
-/// Current format: dual relations + totals. Version-1 files (slot unset,
-/// forward relation only) are migrated in place on open.
-pub(crate) const FORMAT_VERSION: u64 = 2;
+/// Current format: dual relations + totals, with the inverted relation
+/// stored as a posting directory over Elias-Fano blocks. Version-1 files
+/// (slot unset, forward relation only) and version-2 files (row-per-posting
+/// inverted relation) are migrated in place on open.
+pub(crate) const FORMAT_VERSION: u64 = 3;
+/// The previous format: row-per-posting inverted relation.
+pub(crate) const FORMAT_VERSION_V2: u64 = 2;
 
 const KEY_MIN: (u64, u64) = (0, 0);
 const KEY_MAX: (u64, u64) = (u64::MAX, u64::MAX);
@@ -65,44 +77,59 @@ pub(crate) fn init_relations(pool: &BufferPool) -> Result<()> {
     pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
 }
 
-/// Checks the format version on open, migrating a version-1 file (forward
-/// relation only) by rebuilding the inverted and totals relations in one
-/// transaction. Returns `true` if a migration ran.
+/// Checks the format version on open, migrating older files in place inside
+/// one transaction. A version-1 file (forward relation only) gets its
+/// inverted directory and totals relation rebuilt; a version-2 file
+/// (row-per-posting inverted relation) gets only its inverted relation
+/// re-encoded as a posting directory. Returns `true` if a migration ran.
 // analyze: entrypoint(recovery)
 pub(crate) fn ensure_format(pool: &BufferPool) -> Result<bool> {
-    match pool.meta(SLOT_VERSION) {
-        FORMAT_VERSION => Ok(false),
-        0 => {
-            pool.begin()?;
-            let migrate = || -> Result<()> {
-                build_secondary_relations(pool)?;
-                pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
-            };
-            match migrate() {
-                Ok(()) => pool.commit().map(|()| true),
-                Err(e) => {
-                    pool.rollback()?;
-                    Err(e)
-                }
-            }
+    let version = pool.meta(SLOT_VERSION);
+    let migrate: fn(&BufferPool) -> Result<()> = match version {
+        FORMAT_VERSION => return Ok(false),
+        0 => |pool| build_secondary_relations(pool, true),
+        FORMAT_VERSION_V2 => |pool| {
+            crate::btree::free_tree(pool, SLOT_INV)?;
+            rebuild_inverted(pool, true)
+        },
+        v => {
+            return Err(StoreError::Corrupt(format!(
+                "store format version {v} is newer than this build (reads up to {FORMAT_VERSION})"
+            )))
         }
-        v => Err(StoreError::Corrupt(format!(
-            "store format version {v} is newer than this build (reads up to {FORMAT_VERSION})"
-        ))),
+    };
+    pool.begin()?;
+    let migration = || -> Result<()> {
+        migrate(pool)?;
+        pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
+    };
+    match migration() {
+        Ok(()) => pool.commit().map(|()| true),
+        Err(e) => {
+            pool.rollback()?;
+            Err(e)
+        }
     }
 }
 
 /// Bulk-loads all three relations from rows sorted strictly ascending by
 /// `(treeId, pqg)`; the relations must be empty. Returns the row count.
-pub(crate) fn bulk_load_relations(pool: &BufferPool, rows: &[((u64, u64), u32)]) -> Result<u64> {
+/// `compress` selects the posting-directory encoding (`true`, the default
+/// path) or row-per-posting inline rows (the ablation path).
+pub(crate) fn bulk_load_relations(
+    pool: &BufferPool,
+    rows: &[((u64, u64), u32)],
+    compress: bool,
+) -> Result<u64> {
     let n = BTree::open(pool, SLOT_FWD)?.bulk_load(rows.iter().copied())?;
-    build_secondary_relations(pool)?;
+    build_secondary_relations(pool, compress)?;
     Ok(n)
 }
 
-/// Rebuilds the inverted and totals relations (which must be empty) from
-/// one ordered scan of the forward relation.
-fn build_secondary_relations(pool: &BufferPool) -> Result<()> {
+/// One ordered scan of the forward relation yielding the inverted rows
+/// (sorted by `(pqg, treeId)`) and per-tree totals.
+#[allow(clippy::type_complexity)]
+fn forward_derived_rows(pool: &BufferPool) -> Result<(Vec<((u64, u64), u32)>, Vec<(u64, u64)>)> {
     let fwd = BTree::open(pool, SLOT_FWD)?;
     let mut inv_rows: Vec<((u64, u64), u32)> = Vec::new();
     let mut totals: Vec<(u64, u64)> = Vec::new();
@@ -124,7 +151,23 @@ fn build_secondary_relations(pool: &BufferPool) -> Result<()> {
         totals.push((done, acc));
     }
     inv_rows.sort_unstable_by_key(|&(k, _)| k);
-    BTree::open(pool, SLOT_INV)?.bulk_load(inv_rows)?;
+    Ok((inv_rows, totals))
+}
+
+/// Rebuilds the inverted directory (which must be empty) from one ordered
+/// scan of the forward relation.
+fn rebuild_inverted(pool: &BufferPool, compress: bool) -> Result<()> {
+    let (inv_rows, _) = forward_derived_rows(pool)?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    postings::bulk_load_inverted(pool, &inv, &inv_rows, compress)
+}
+
+/// Rebuilds the inverted and totals relations (which must be empty) from
+/// one ordered scan of the forward relation.
+fn build_secondary_relations(pool: &BufferPool, compress: bool) -> Result<()> {
+    let (inv_rows, totals) = forward_derived_rows(pool)?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    postings::bulk_load_inverted(pool, &inv, &inv_rows, compress)?;
     let mut tot_rows: Vec<((u64, u64), u32)> = Vec::with_capacity(totals.len());
     for (t, total) in totals {
         tot_rows.push(((t, 0), total_u32(total)?));
@@ -144,9 +187,17 @@ pub(crate) fn delete_tree_entries(pool: &BufferPool, id: TreeId) -> Result<()> {
     if grams.is_empty() {
         return Ok(());
     }
-    // The range scan yields grams ascending: both batches are sorted.
+    // The range scan yields grams ascending: the batch is sorted.
     fwd.apply_batch_sorted(grams.iter().map(|&g| ((id.0, g), None)))?;
-    BTree::open(pool, SLOT_INV)?.apply_batch_sorted(grams.iter().map(|&g| ((g, id.0), None)))?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    for &g in &grams {
+        if !postings::remove_posting(pool, &inv, g, id.0)? {
+            return Err(StoreError::Corrupt(format!(
+                "inverted relation missing posting ({g}, {}) during delete",
+                id.0
+            )));
+        }
+    }
     BTree::open(pool, SLOT_TOT)?.delete((id.0, 0))?;
     Ok(())
 }
@@ -162,8 +213,10 @@ pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex)
     rows.sort_unstable_by_key(|&(g, _)| g);
     BTree::open(pool, SLOT_FWD)?
         .apply_batch_sorted(rows.iter().map(|&(g, c)| ((id.0, g), Some(c))))?;
-    BTree::open(pool, SLOT_INV)?
-        .apply_batch_sorted(rows.iter().map(|&(g, c)| ((g, id.0), Some(c))))?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    for &(g, c) in &rows {
+        postings::upsert_posting(pool, &inv, g, id.0, c)?;
+    }
     BTree::open(pool, SLOT_TOT)?.insert((id.0, 0), total_u32(index.total())?)?;
     Ok(())
 }
@@ -241,7 +294,20 @@ pub(crate) fn apply_delta_rows(
         .collect();
     ops.sort_unstable_by_key(|&(g, _)| g);
     fwd.apply_batch_sorted(ops.iter().map(|&(g, v)| ((id.0, g), v)))?;
-    BTree::open(pool, SLOT_INV)?.apply_batch_sorted(ops.iter().map(|&(g, v)| ((g, id.0), v)))?;
+    let inv = BTree::open(pool, SLOT_INV)?;
+    for &(g, v) in &ops {
+        match v {
+            Some(c) => postings::upsert_posting(pool, &inv, g, id.0, c)?,
+            None => {
+                if !postings::remove_posting(pool, &inv, g, id.0)? {
+                    return Err(StoreError::Corrupt(format!(
+                        "inverted relation missing posting ({g}, {}) during delta",
+                        id.0
+                    )));
+                }
+            }
+        }
+    }
     let tot = BTree::open(pool, SLOT_TOT)?;
     let old_total = u64::from(tot.get((id.0, 0))?.unwrap_or(0));
     let removed = u64::try_from(delta.removals.len()).unwrap_or(u64::MAX);
@@ -263,6 +329,74 @@ pub(crate) fn apply_delta_rows(
 /// Segment sources report their sequence number instead.
 pub const MAIN_SOURCE: u64 = u64::MAX;
 
+/// Which access plan a lookup executed.
+///
+/// The `τ > 1` cliff: at thresholds above 1 every pair of trees is within
+/// distance 1 ≤ τ, so neither the size filter nor the candidate merge can
+/// prune anything and the store silently falls back to a full scan of the
+/// forward relation. Costs jump from "rows sharing a gram with the query"
+/// to "every row in the store" — see DESIGN.md §14.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LookupPlan {
+    /// Candidate merge over the inverted posting directory (`τ ≤ 1`).
+    #[default]
+    CandidateMerge,
+    /// Exhaustive forward scan requested explicitly (benchmark reference).
+    ExhaustiveReference,
+    /// Exhaustive forward scan forced by `τ > 1`, where no filter prunes.
+    TauExhaustiveFallback,
+}
+
+/// How the inverted relation is encoded at bulk-load time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InvertedEncoding {
+    /// Partitioned Elias-Fano posting blocks (the format-v3 default).
+    #[default]
+    PostingBlocks,
+    /// One directory row per posting (the `--no-compress` ablation; still a
+    /// valid v3 store, matching the v2 footprint).
+    RowPerPosting,
+}
+
+/// On-disk footprint of one store's relations, in bytes (whole pages).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelationBytes {
+    /// Forward relation B+-tree pages.
+    pub forward: u64,
+    /// Inverted posting-directory B+-tree pages.
+    pub inverted_directory: u64,
+    /// Pack pages holding Elias-Fano posting blocks.
+    pub posting_blocks: u64,
+    /// Totals relation B+-tree pages.
+    pub totals: u64,
+}
+
+impl RelationBytes {
+    /// Bytes of the whole inverted relation: directory plus posting blocks.
+    pub fn inverted_total(&self) -> u64 {
+        self.inverted_directory + self.posting_blocks
+    }
+
+    /// Bytes across all relations.
+    pub fn total(&self) -> u64 {
+        self.forward + self.inverted_directory + self.posting_blocks + self.totals
+    }
+}
+
+/// Measures the on-disk footprint of each relation by walking its pages.
+pub(crate) fn relation_bytes(pool: &BufferPool) -> Result<RelationBytes> {
+    let fwd = BTree::open_existing(pool, SLOT_FWD)?;
+    let inv = BTree::open_existing(pool, SLOT_INV)?;
+    let tot = BTree::open_existing(pool, SLOT_TOT)?;
+    let (_, _, pack_pages) = postings::expand_all(pool, &inv)?;
+    Ok(RelationBytes {
+        forward: fwd.page_span()? * PAGE_SIZE_U64,
+        inverted_directory: inv.page_span()? * PAGE_SIZE_U64,
+        posting_blocks: u64::try_from(pack_pages.len()).unwrap_or(u64::MAX) * PAGE_SIZE_U64,
+        totals: tot.page_span()? * PAGE_SIZE_U64,
+    })
+}
+
 /// Access-path and work counters of one [`lookup_with_stats`] call.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LookupStats {
@@ -281,11 +415,30 @@ pub struct LookupStats {
     /// `true` if the candidate-merge plan ran, `false` for the exhaustive
     /// scan (`τ > 1`).
     pub used_inverted: bool,
+    /// Which access plan ran (finer-grained than [`Self::used_inverted`]:
+    /// distinguishes the explicit reference scan from the `τ > 1` cliff).
+    pub plan: LookupPlan,
+    /// Elias-Fano posting blocks decoded during the probe phase.
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped on per-block metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Posting-block payload bytes run through the decoder.
+    pub bytes_decoded: u64,
     /// Rows read per source, in probe order: one `(source, rows)` entry per
     /// live segment (keyed by its sequence number) and one for the main
     /// file (keyed by [`MAIN_SOURCE`]). A single-file store reports exactly
     /// one [`MAIN_SOURCE`] entry.
     pub by_source: Vec<(u64, u64)>,
+}
+
+impl LookupStats {
+    /// Folds probe-phase decode counters into the stats.
+    pub(crate) fn absorb(&mut self, counters: &ProbeCounters) {
+        self.rows_read += counters.rows;
+        self.blocks_decoded += counters.blocks_decoded;
+        self.blocks_skipped += counters.blocks_skipped;
+        self.bytes_decoded += counters.bytes_decoded;
+    }
 }
 
 /// The approximate lookup, routed by threshold: the candidate-merge plan
@@ -301,10 +454,12 @@ pub(crate) fn lookup_with_stats(
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
     let skip = FxHashSet::default();
     let (hits, mut stats) = if tau > 1.0 {
-        lookup_scan_masked(pool, query, tau, &skip)
+        let (hits, mut stats) = lookup_scan_masked(pool, query, tau, &skip)?;
+        stats.plan = LookupPlan::TauExhaustiveFallback;
+        (hits, stats)
     } else {
-        lookup_inverted_masked(pool, query, tau, threads, &skip)
-    }?;
+        lookup_inverted_masked(pool, None, query, tau, threads, &skip)?
+    };
     stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
     Ok((hits, stats))
 }
@@ -323,32 +478,55 @@ pub(crate) fn lookup_with_stats(
 /// their posting rows are still read (and counted) during the probe, but
 /// they contribute no candidate. An empty mask is the plain single-file
 /// plan, byte for byte.
+///
+/// With `fence` set (immutable segment sources), probes answer from the
+/// learned fence arrays instead of descending the directory B+-tree.
 pub(crate) fn lookup_inverted_masked(
     pool: &BufferPool,
+    fence: Option<&Fence>,
     query: &TreeIndex,
     tau: f64,
     threads: usize,
     skip: &FxHashSet<u64>,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
-    let inv = BTree::open_existing(pool, SLOT_INV)?;
     let tot = BTree::open_existing(pool, SLOT_TOT)?;
     let mut stats = LookupStats {
         used_inverted: true,
+        plan: LookupPlan::CandidateMerge,
         ..LookupStats::default()
     };
     let mut probe: Vec<(GramKey, u32)> = query.iter().collect();
     probe.sort_unstable_by_key(|&(g, _)| g);
     stats.grams_probed = probe.len();
     let mut shared: FxHashMap<u64, u64> = FxHashMap::default();
-    for &(g, qc) in &probe {
-        inv.for_each_range((g, 0), (g, u64::MAX), |(_, t), c| {
-            stats.rows_read += 1;
+    let mut counters = ProbeCounters::default();
+    {
+        let mut emit = |qc: u32, t: u64, c: u32| {
             if !skip.contains(&t) {
                 *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
             }
             true
-        })?;
+        };
+        let mut cache = postings::BlockCache::default();
+        match fence {
+            Some(fence) => {
+                for &(g, qc) in &probe {
+                    fence.for_each_posting(pool, g, &mut cache, &mut counters, |t, c| {
+                        emit(qc, t, c)
+                    })?;
+                }
+            }
+            None => {
+                let inv = BTree::open_existing(pool, SLOT_INV)?;
+                for &(g, qc) in &probe {
+                    postings::for_each_posting(pool, &inv, g, &mut cache, &mut counters, |t, c| {
+                        emit(qc, t, c)
+                    })?;
+                }
+            }
+        }
     }
+    stats.absorb(&counters);
     stats.candidates = shared.len();
     let mut candidates: Vec<(u64, u64)> = shared.into_iter().collect();
     candidates.sort_unstable_by_key(|&(t, _)| t);
@@ -413,7 +591,10 @@ pub(crate) fn lookup_scan_masked(
     skip: &FxHashSet<u64>,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
     let tree = BTree::open_existing(pool, SLOT_FWD)?;
-    let mut stats = LookupStats::default();
+    let mut stats = LookupStats {
+        plan: LookupPlan::ExhaustiveReference,
+        ..LookupStats::default()
+    };
     let mut hits = Vec::new();
     let mut cur: Option<u64> = None;
     let mut cur_skipped = false;
@@ -477,6 +658,10 @@ pub struct StoreCheck {
     pub totals: BTreeCheck,
     /// Number of stored trees (totals rows).
     pub trees: u64,
+    /// Elias-Fano posting blocks in the inverted directory.
+    pub blocks: u64,
+    /// Distinct pack pages holding those blocks.
+    pub pack_pages: u64,
 }
 
 /// Verifies each relation's B+-tree invariants and that the three relations
@@ -492,6 +677,8 @@ pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
         inverted: inv.verify()?,
         totals: tot.verify()?,
         trees: 0,
+        blocks: 0,
+        pack_pages: 0,
     };
     let mut inv_expect: Vec<((u64, u64), u32)> = Vec::new();
     let mut tot_expect: Vec<(u64, u64)> = Vec::new();
@@ -523,14 +710,10 @@ pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
         tot_expect.push((done, acc));
     }
     inv_expect.sort_unstable_by_key(|&(k, _)| k);
-    let mut i = 0usize;
-    let mut inv_ok = true;
-    inv.for_each_range(KEY_MIN, KEY_MAX, |k, c| {
-        inv_ok = inv_expect.get(i) == Some(&(k, c));
-        i += 1;
-        inv_ok
-    })?;
-    if !inv_ok || i != inv_expect.len() {
+    // Expanding the directory decodes (and structurally validates) every
+    // posting block: CRC, monotonicity, key agreement with the directory.
+    let (inv_rows, blocks, pack_pages) = postings::expand_all(pool, &inv)?;
+    if inv_rows != inv_expect {
         return Err(StoreError::Corrupt(
             "inverted relation disagrees with forward relation".into(),
         ));
@@ -549,6 +732,8 @@ pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
     }
     Ok(StoreCheck {
         trees: u64::try_from(tot_expect.len()).unwrap_or(u64::MAX),
+        blocks,
+        pack_pages: u64::try_from(pack_pages.len()).unwrap_or(u64::MAX),
         ..check
     })
 }

@@ -41,7 +41,11 @@ const OFF_META: usize = 24;
 const OFF_CRC: usize = PAGE_SIZE - 4;
 
 /// Number of `u64` user metadata slots in the header.
-pub const META_SLOTS: usize = 8;
+///
+/// Grew from 8 to 16 for format v3 (the pack fill-page slot). Old headers
+/// simply carry zeros in the new slots — the region was always part of the
+/// checksummed header page — so the extension is backward compatible.
+pub const META_SLOTS: usize = 16;
 
 /// Storage-layer errors.
 #[derive(Debug)]

@@ -1,0 +1,1781 @@
+//! Succinct posting-block storage for the inverted relation (format v3).
+//!
+//! The inverted relation maps `(pqgram, treeId) -> count`. In format v2
+//! every posting was its own B+-tree row — 20-odd bytes per posting once
+//! leaf overhead is counted. Format v3 keeps the same B+-tree as a
+//! *directory* but partitions the full `(gram, treeId)` row sequence into
+//! compressed **posting blocks** stored on dedicated pack pages:
+//!
+//! * **Inline posting** — directory row `(gram, treeId) -> count | INLINE_BIT`.
+//!   Used for fresh point inserts and tiny relations.
+//! * **Posting block** — directory row `(last_gram, last_treeId) -> pack
+//!   PageId`. The block holds up to [`MAX_BLOCK_ROWS`] lexicographically
+//!   ascending `(gram, treeId, count)` rows — *across gram boundaries* —
+//!   encoded as an Elias-Fano sequence of the distinct grams, bit-packed
+//!   cumulative per-gram row counts, bit-packed treeIds and counts, ending
+//!   in a CRC-32. Blocks are not per-gram: rare grams share blocks with their
+//!   neighbours, so the directory shrinks to one row per ~256 postings.
+//!
+//! Keying blocks by their *last* row makes the covering block of a point
+//! `(g, t)` the first directory entry `>= (g, t)` — one bounded B+-tree
+//! descent, no reverse scan. Block row ranges are disjoint and ascending,
+//! and inline rows never fall inside a block's range, so range probes
+//! stream the directory in order, skip blocks whose header range excludes
+//! the probed gram (per-block metadata, no decode), and decode the rest.
+//!
+//! All decode paths are reachable from recovery and lookup entrypoints, so
+//! every read is bounds-checked and every structural violation returns
+//! [`StoreError::Corrupt`] — this module must never panic on disk bytes.
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::crc::crc32;
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::pager::{Result, StoreError};
+
+/// One posting row: `((gram, treeId), count)`.
+pub(crate) type Row = ((u64, u64), u32);
+
+/// Meta slot holding the current fill pack page (`id + 1`, `0` = none).
+pub(crate) const SLOT_FILL: usize = 8;
+
+/// Tag bit distinguishing inline directory values from pack-page pointers.
+pub(crate) const INLINE_BIT: u32 = 1 << 31;
+
+/// Maximum postings per block.
+pub(crate) const MAX_BLOCK_ROWS: usize = 256;
+
+/// Bulk loads leave row chunks below this size inline: a block costs a
+/// directory row plus the pack entry header, which only pays off once a
+/// few rows share them.
+pub(crate) const BLOCK_MIN: usize = 4;
+
+/// Maintenance collapses a run of at least this many consecutive inline
+/// postings into a block.
+const COLLAPSE_MIN: usize = 64;
+
+/// First byte of a pack page.
+const PACK_TAG: u8 = 0xB7;
+
+/// Pack-page header: tag u8, pad u8, n_entries u16, used u16, pad u16.
+const PACK_HDR: usize = 8;
+
+/// Pack-entry header: last_gram u64, last_tid u64, first_gram u64,
+/// first_tid u64, n u16, len u16. The directory key comes first so entry
+/// lookup reads one aligned pair.
+const ENTRY_HDR: usize = 36;
+
+/// Payload prefix: G u16, gram-low width u8, run width u8, treeId width
+/// u8, count width u8.
+const PREFIX: usize = 6;
+
+/// Payload bytes available on one pack page.
+const PACK_CAPACITY: usize = PAGE_SIZE - PACK_HDR;
+
+/// Tags a raw posting count as an inline directory value.
+pub(crate) fn inline_value(count: u32) -> Result<u32> {
+    if count == 0 || count >= INLINE_BIT {
+        return Err(StoreError::Corrupt(format!(
+            "posting count {count} out of range for inline encoding"
+        )));
+    }
+    Ok(count | INLINE_BIT)
+}
+
+/// Tags a pack page id as a block directory value.
+fn block_value(page: PageId) -> Result<u32> {
+    if page.0 >= INLINE_BIT {
+        return Err(StoreError::Corrupt(format!(
+            "pack page id {} out of range for block encoding",
+            page.0
+        )));
+    }
+    Ok(page.0)
+}
+
+/// A directory value, untagged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DirValue {
+    /// The posting count is stored inline in the directory row.
+    Inline(u32),
+    /// The postings live in a block on this pack page.
+    Block(PageId),
+}
+
+/// Decodes a tagged directory value.
+pub(crate) fn dir_value(raw: u32) -> DirValue {
+    if raw & INLINE_BIT != 0 {
+        DirValue::Inline(raw & !INLINE_BIT)
+    } else {
+        DirValue::Block(PageId(raw))
+    }
+}
+
+/// Decodes a tagged directory value, rejecting zero inline counts.
+pub(crate) fn dir_value_checked(raw: u32) -> Result<DirValue> {
+    match dir_value(raw) {
+        DirValue::Inline(0) => Err(corrupt("inline posting with zero count")),
+        v => Ok(v),
+    }
+}
+
+fn corrupt(msg: &str) -> StoreError {
+    StoreError::Corrupt(format!("posting block: {msg}"))
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level encoding
+// ---------------------------------------------------------------------------
+
+/// LSB-first bit writer over a byte vector.
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn with_bits(bits: usize) -> Self {
+        BitWriter {
+            bytes: vec![0u8; bits.div_ceil(8)],
+            bit: 0,
+        }
+    }
+
+    /// Sets the bit at an absolute position (used for unary high bits).
+    fn set(&mut self, pos: usize) -> Result<()> {
+        let byte = self
+            .bytes
+            .get_mut(pos / 8)
+            .ok_or_else(|| corrupt("bit position out of range while encoding"))?;
+        *byte |= 1u8 << (pos % 8);
+        Ok(())
+    }
+
+    /// Appends the low `width` bits of `value` at the write cursor.
+    fn push(&mut self, value: u64, width: u8) -> Result<()> {
+        for i in 0..width {
+            if value >> i & 1 != 0 {
+                let pos = self
+                    .bit
+                    .checked_add(usize::from(i))
+                    .ok_or_else(|| corrupt("bit cursor overflow while encoding"))?;
+                self.set(pos)?;
+            }
+        }
+        self.bit = self
+            .bit
+            .checked_add(usize::from(width))
+            .ok_or_else(|| corrupt("bit cursor overflow while encoding"))?;
+        Ok(())
+    }
+}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl BitReader<'_> {
+    /// Reads `width` bits starting at absolute bit `pos`, word-at-a-time:
+    /// the value spans at most 9 bytes, loaded into a `u128` and shifted.
+    fn read(&self, pos: usize, width: u8) -> Result<u64> {
+        if width == 0 {
+            return Ok(0);
+        }
+        let byte = pos / 8;
+        let shift = pos % 8;
+        let need = (shift + usize::from(width)).div_ceil(8);
+        let end = byte
+            .checked_add(need)
+            .ok_or_else(|| corrupt("bit cursor overflow while decoding"))?;
+        let src = self
+            .bytes
+            .get(byte..end)
+            .ok_or_else(|| corrupt("bit position out of range while decoding"))?;
+        let mut buf = [0u8; 16];
+        if let Some(dst) = buf.get_mut(..need) {
+            dst.copy_from_slice(src);
+        }
+        let word = u128::from_le_bytes(buf) >> shift;
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        Ok((word as u64) & mask)
+    }
+}
+
+/// Sequential LSB-first bit reader: keeps a bit buffer across reads so
+/// fixed-stride row loops skip the per-read slice arithmetic of
+/// [`BitReader::read`]. Refills eight bytes at a time while they last.
+struct SeqBits<'a> {
+    bytes: &'a [u8],
+    next: usize,
+    buf: u128,
+    avail: u32,
+}
+
+impl<'a> SeqBits<'a> {
+    /// A reader positioned at absolute bit `pos`.
+    fn at(bytes: &'a [u8], pos: usize) -> SeqBits<'a> {
+        let mut r = SeqBits {
+            bytes,
+            next: pos / 8,
+            buf: 0,
+            avail: 0,
+        };
+        let skip = (pos % 8) as u32;
+        if skip > 0 {
+            if let Some(&b) = bytes.get(r.next) {
+                r.buf = u128::from(b >> skip);
+                r.avail = 8 - skip;
+                r.next += 1;
+            }
+            // Out of bytes: `avail` stays 0 and the first read errors.
+        }
+        r
+    }
+
+    /// Reads the next `width` bits.
+    #[inline]
+    fn read(&mut self, width: u8) -> Result<u64> {
+        let w = u32::from(width);
+        if w == 0 {
+            return Ok(0);
+        }
+        while self.avail < w {
+            if let Some(chunk) = self.bytes.get(self.next..self.next + 8) {
+                let mut b8 = [0u8; 8];
+                b8.copy_from_slice(chunk);
+                self.buf |= u128::from(u64::from_le_bytes(b8)) << self.avail;
+                self.next += 8;
+                self.avail += 64;
+            } else if let Some(&b) = self.bytes.get(self.next) {
+                self.buf |= u128::from(b) << self.avail;
+                self.next += 1;
+                self.avail += 8;
+            } else {
+                return Err(corrupt("bit position out of range while decoding"));
+            }
+        }
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let val = (self.buf as u64) & mask;
+        self.buf >>= w;
+        self.avail -= w;
+        Ok(val)
+    }
+}
+
+/// Bits needed for `v` (0 for `v == 0`).
+fn bit_width(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Low-bit width for Elias-Fano over universe `u` with `n` elements.
+fn low_width(u: u64, n: u64) -> u8 {
+    if n == 0 || u / n == 0 {
+        0
+    } else {
+        (63 - (u / n).leading_zeros()) as u8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block encode / decode
+// ---------------------------------------------------------------------------
+
+/// The size plan of one block encoding: section widths plus the total
+/// entry length. Shared between the encoder and the chunker so "will it
+/// fit a pack page" is answered without encoding.
+struct Plan {
+    grams: Vec<u64>,
+    runs: Vec<usize>,
+    gw: u8,
+    rw: u8,
+    tw: u8,
+    cw: u8,
+    gram_high_bits: usize,
+    total: usize,
+}
+
+/// Validates `rows` (non-empty, ≤ [`MAX_BLOCK_ROWS`], strictly ascending
+/// `(gram, treeId)` pairs, positive counts) and computes the size plan.
+fn plan_block(rows: &[Row]) -> Result<Plan> {
+    let n = rows.len();
+    if n == 0 || n > MAX_BLOCK_ROWS {
+        return Err(corrupt("row count out of range while encoding"));
+    }
+    for (a, b) in rows.iter().zip(rows.iter().skip(1)) {
+        if a.0 >= b.0 {
+            return Err(corrupt("rows not strictly ascending while encoding"));
+        }
+    }
+    if rows.iter().any(|&(_, c)| c == 0) {
+        return Err(corrupt("zero posting count while encoding"));
+    }
+    let mut grams: Vec<u64> = Vec::new();
+    let mut runs: Vec<usize> = Vec::new();
+    for &((g, _), _) in rows {
+        if grams.last() == Some(&g) {
+            if let Some(r) = runs.last_mut() {
+                *r += 1;
+            }
+        } else {
+            grams.push(g);
+            runs.push(1);
+        }
+    }
+    let g_count = grams.len() as u64;
+    let first_gram = grams.first().copied().unwrap_or(0);
+    let last_gram = grams.last().copied().unwrap_or(0);
+    let u_g = last_gram - first_gram;
+    let gw = low_width(u_g, g_count);
+    let rw = bit_width(n as u64 - 1);
+    let tw = bit_width(rows.iter().map(|&((_, t), _)| t).max().unwrap_or(0));
+    let cw = bit_width(u64::from(
+        rows.iter().map(|&(_, c)| c - 1).max().unwrap_or(0),
+    ));
+    let gram_high_bits = grams
+        .len()
+        .checked_add(usize::try_from(u_g >> gw).map_err(|_| corrupt("gram universe too large"))?)
+        .and_then(|v| v.checked_add(1))
+        .ok_or_else(|| corrupt("gram universe too large"))?;
+    let sections = gram_high_bits
+        .div_ceil(8)
+        .checked_add(grams.len() * usize::from(gw) / 8 + usize::from(grams.len() * usize::from(gw) % 8 != 0))
+        .and_then(|v| v.checked_add((grams.len() * usize::from(rw)).div_ceil(8)))
+        .and_then(|v| v.checked_add((n * usize::from(tw)).div_ceil(8)))
+        .and_then(|v| v.checked_add((n * usize::from(cw)).div_ceil(8)))
+        .ok_or_else(|| corrupt("payload too large"))?;
+    let total = ENTRY_HDR
+        .checked_add(PREFIX)
+        .and_then(|v| v.checked_add(sections))
+        .and_then(|v| v.checked_add(4)) // trailing crc
+        .ok_or_else(|| corrupt("payload too large"))?;
+    Ok(Plan {
+        grams,
+        runs,
+        gw,
+        rw,
+        tw,
+        cw,
+        gram_high_bits,
+        total,
+    })
+}
+
+/// A decoded posting block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Decoded {
+    /// Smallest `(gram, treeId)` in the block.
+    pub first: (u64, u64),
+    /// Largest `(gram, treeId)` in the block (the directory key).
+    pub last: (u64, u64),
+    /// Rows, strictly ascending by `(gram, treeId)`.
+    pub rows: Vec<Row>,
+}
+
+/// Encodes one posting block (entry header + payload + CRC).
+///
+/// `rows` must be non-empty, at most [`MAX_BLOCK_ROWS`] long, strictly
+/// ascending by `(gram, treeId)`, with positive counts, and the encoding
+/// must fit a pack page — use [`chunk_rows`] to pre-split.
+pub(crate) fn encode_block(rows: &[Row]) -> Result<Vec<u8>> {
+    let plan = plan_block(rows)?;
+    if plan.total > PACK_CAPACITY {
+        return Err(corrupt("encoded block exceeds pack page capacity"));
+    }
+    let n = rows.len();
+    let (first, last) = match (rows.first(), rows.last()) {
+        (Some(f), Some(l)) => (f.0, l.0),
+        _ => return Err(corrupt("row count out of range while encoding")),
+    };
+    let first_gram = first.0;
+
+    let mut gram_high = BitWriter::with_bits(plan.gram_high_bits);
+    let mut gram_low = BitWriter::with_bits(plan.grams.len() * usize::from(plan.gw));
+    let mut run_bits = BitWriter::with_bits(plan.grams.len() * usize::from(plan.rw));
+    let mut cum = 0usize;
+    for (i, (&g, &r)) in plan.grams.iter().zip(plan.runs.iter()).enumerate() {
+        let delta = g - first_gram;
+        let pos = usize::try_from(delta >> plan.gw)
+            .ok()
+            .and_then(|p| p.checked_add(i))
+            .ok_or_else(|| corrupt("gram universe too large"))?;
+        gram_high.set(pos)?;
+        if plan.gw > 0 {
+            gram_low.push(delta & ((1u64 << plan.gw) - 1), plan.gw)?;
+        }
+        // Cumulative row count through this gram, biased by one: probes
+        // read any gram's row prefix and run length in O(1).
+        cum += r;
+        if plan.rw > 0 {
+            run_bits.push(cum as u64 - 1, plan.rw)?;
+        }
+    }
+    let mut tids = BitWriter::with_bits(n * usize::from(plan.tw));
+    let mut counts = BitWriter::with_bits(n * usize::from(plan.cw));
+    for &((_, t), c) in rows {
+        if plan.tw > 0 {
+            tids.push(t, plan.tw)?;
+        }
+        if plan.cw > 0 {
+            counts.push(u64::from(c - 1), plan.cw)?;
+        }
+    }
+
+    let len = plan.total - ENTRY_HDR;
+    let len16 = u16::try_from(len).map_err(|_| corrupt("payload too large"))?;
+    let n16 = u16::try_from(n).map_err(|_| corrupt("row count too large"))?;
+    let g16 = u16::try_from(plan.grams.len()).map_err(|_| corrupt("gram count too large"))?;
+
+    let mut out = Vec::with_capacity(plan.total);
+    out.extend_from_slice(&last.0.to_le_bytes());
+    out.extend_from_slice(&last.1.to_le_bytes());
+    out.extend_from_slice(&first.0.to_le_bytes());
+    out.extend_from_slice(&first.1.to_le_bytes());
+    out.extend_from_slice(&n16.to_le_bytes());
+    out.extend_from_slice(&len16.to_le_bytes());
+    out.extend_from_slice(&g16.to_le_bytes());
+    out.push(plan.gw);
+    out.push(plan.rw);
+    out.push(plan.tw);
+    out.push(plan.cw);
+    out.extend_from_slice(&gram_high.bytes);
+    out.extend_from_slice(&gram_low.bytes);
+    out.extend_from_slice(&run_bits.bytes);
+    out.extend_from_slice(&tids.bytes);
+    out.extend_from_slice(&counts.bytes);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    if out.len() != plan.total {
+        return Err(corrupt("encoder produced an inconsistent length"));
+    }
+    Ok(out)
+}
+
+/// Splits `rows` into consecutive chunks that each satisfy the block
+/// limits (row count and pack-page capacity). Concatenating the chunks in
+/// order reproduces `rows`.
+pub(crate) fn chunk_rows(rows: &[Row]) -> Result<Vec<&[Row]>> {
+    let mut out = Vec::new();
+    if rows.is_empty() {
+        return Ok(out);
+    }
+    // Depth-first halving over index ranges; pushing the right half first
+    // keeps the popped order left-to-right.
+    let mut stack = vec![(0usize, rows.len(), 0u32)];
+    while let Some((start, end, depth)) = stack.pop() {
+        if depth > 64 {
+            return Err(corrupt("block chunking did not converge"));
+        }
+        let chunk = rows
+            .get(start..end)
+            .ok_or_else(|| corrupt("block chunking range out of bounds"))?;
+        if chunk.len() <= MAX_BLOCK_ROWS && plan_block(chunk)?.total <= PACK_CAPACITY {
+            out.push(chunk);
+            continue;
+        }
+        if chunk.len() < 2 {
+            return Err(corrupt("single row exceeds pack page capacity"));
+        }
+        let mid = start + chunk.len() / 2;
+        stack.push((mid, end, depth + 1));
+        stack.push((start, mid, depth + 1));
+    }
+    Ok(out)
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> Result<u64> {
+    let end = off.checked_add(8).ok_or_else(|| corrupt("offset overflow"))?;
+    let slice = bytes
+        .get(off..end)
+        .ok_or_else(|| corrupt("entry truncated"))?;
+    let arr: [u8; 8] = slice.try_into().map_err(|_| corrupt("entry truncated"))?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+fn read_u16(bytes: &[u8], off: usize) -> Result<u16> {
+    let end = off.checked_add(2).ok_or_else(|| corrupt("offset overflow"))?;
+    let slice = bytes
+        .get(off..end)
+        .ok_or_else(|| corrupt("entry truncated"))?;
+    let arr: [u8; 2] = slice.try_into().map_err(|_| corrupt("entry truncated"))?;
+    Ok(u16::from_le_bytes(arr))
+}
+
+/// Bounds-checked section view of one pack entry: header fields parsed and
+/// validated, every section sliced. Built by [`parse_sections`] (no CRC) or
+/// [`validate_entry`] (with CRC); rows are decoded lazily from this.
+struct Sections<'a> {
+    first: (u64, u64),
+    last: (u64, u64),
+    n: usize,
+    g_count: usize,
+    gw: u8,
+    rw: u8,
+    tw: u8,
+    cw: u8,
+    gram_high_bits: usize,
+    gram_high: &'a [u8],
+    gram_low: BitReader<'a>,
+    run_bits: BitReader<'a>,
+    tid_bits: BitReader<'a>,
+    count_bits: BitReader<'a>,
+}
+
+/// The validated section layout of one pack entry: header fields plus the
+/// byte offset of every section. Plain data (no borrows), so the probe
+/// memo in [`BlockCache`] can keep it alongside the entry bytes and skip
+/// re-parsing on every hit.
+#[derive(Clone, Copy)]
+struct Layout {
+    first: (u64, u64),
+    last: (u64, u64),
+    n: usize,
+    g_count: usize,
+    gw: u8,
+    rw: u8,
+    tw: u8,
+    cw: u8,
+    gram_high_bits: usize,
+    gram_low_off: usize,
+    run_off: usize,
+    tid_off: usize,
+    count_off: usize,
+    crc_off: usize,
+}
+
+/// Slices the sections of `bytes` according to an already-parsed `Layout`
+/// (which must have been produced from these same bytes).
+fn sections_of<'a>(bytes: &'a [u8], l: &Layout) -> Result<Sections<'a>> {
+    let section = |a: usize, b: usize| -> Result<&'a [u8]> {
+        bytes.get(a..b).ok_or_else(|| corrupt("entry truncated"))
+    };
+    Ok(Sections {
+        first: l.first,
+        last: l.last,
+        n: l.n,
+        g_count: l.g_count,
+        gw: l.gw,
+        rw: l.rw,
+        tw: l.tw,
+        cw: l.cw,
+        gram_high_bits: l.gram_high_bits,
+        gram_high: section(ENTRY_HDR + PREFIX, l.gram_low_off)?,
+        gram_low: BitReader {
+            bytes: section(l.gram_low_off, l.run_off)?,
+        },
+        run_bits: BitReader {
+            bytes: section(l.run_off, l.tid_off)?,
+        },
+        tid_bits: BitReader {
+            bytes: section(l.tid_off, l.count_off)?,
+        },
+        count_bits: BitReader {
+            bytes: section(l.count_off, l.crc_off)?,
+        },
+    })
+}
+
+/// Parses and bounds-checks the header and section layout of one entry
+/// *without* verifying the CRC — callers either verify it themselves
+/// ([`validate_entry`]) or hold bytes already verified once (the probe
+/// memo in [`BlockCache`]).
+fn parse_layout(bytes: &[u8]) -> Result<Layout> {
+    if bytes.len() < ENTRY_HDR + PREFIX + 4 {
+        return Err(corrupt("entry shorter than minimum"));
+    }
+    let last = (read_u64(bytes, 0)?, read_u64(bytes, 8)?);
+    let first = (read_u64(bytes, 16)?, read_u64(bytes, 24)?);
+    let n = usize::from(read_u16(bytes, 32)?);
+    let len = usize::from(read_u16(bytes, 34)?);
+    if ENTRY_HDR
+        .checked_add(len)
+        .map(|total| total != bytes.len())
+        .unwrap_or(true)
+    {
+        return Err(corrupt("entry length disagrees with header"));
+    }
+    if n == 0 || n > MAX_BLOCK_ROWS {
+        return Err(corrupt("row count out of range"));
+    }
+    if last < first {
+        return Err(corrupt("last row below first"));
+    }
+    let g_count = usize::from(read_u16(bytes, ENTRY_HDR)?);
+    let widths = bytes
+        .get(ENTRY_HDR + 2..ENTRY_HDR + PREFIX)
+        .ok_or_else(|| corrupt("entry truncated"))?;
+    let (gw, rw, tw, cw) = (widths[0], widths[1], widths[2], widths[3]);
+    if g_count == 0 || g_count > n {
+        return Err(corrupt("gram count out of range"));
+    }
+    if gw > 63 || rw > 8 || tw > 64 || cw > 32 {
+        return Err(corrupt("section width out of range"));
+    }
+    let u_g = last
+        .0
+        .checked_sub(first.0)
+        .ok_or_else(|| corrupt("last row below first"))?;
+    let gram_high_bits = g_count
+        .checked_add(usize::try_from(u_g >> gw).map_err(|_| corrupt("gram universe too large"))?)
+        .and_then(|v| v.checked_add(1))
+        .ok_or_else(|| corrupt("gram universe too large"))?;
+    let gram_high_len = gram_high_bits.div_ceil(8);
+    let gram_low_len = (g_count * usize::from(gw)).div_ceil(8);
+    let run_len = (g_count * usize::from(rw)).div_ceil(8);
+    let tid_len = (n * usize::from(tw)).div_ceil(8);
+    let count_len = (n * usize::from(cw)).div_ceil(8);
+    let expect_len = gram_high_len
+        .checked_add(gram_low_len)
+        .and_then(|v| v.checked_add(run_len))
+        .and_then(|v| v.checked_add(tid_len))
+        .and_then(|v| v.checked_add(count_len))
+        .and_then(|v| v.checked_add(PREFIX + 4))
+        .ok_or_else(|| corrupt("section sizes overflow"))?;
+    if expect_len != len {
+        return Err(corrupt("section sizes disagree with entry length"));
+    }
+    let gram_high_off = ENTRY_HDR + PREFIX;
+    let gram_low_off = gram_high_off + gram_high_len;
+    let run_off = gram_low_off + gram_low_len;
+    Ok(Layout {
+        first,
+        last,
+        n,
+        g_count,
+        gw,
+        rw,
+        tw,
+        cw,
+        gram_high_bits,
+        gram_low_off,
+        run_off,
+        tid_off: run_off + run_len,
+        count_off: run_off + run_len + tid_len,
+        crc_off: bytes.len() - 4,
+    })
+}
+
+/// [`parse_layout`] plus section slicing.
+fn parse_sections(bytes: &[u8]) -> Result<Sections<'_>> {
+    let layout = parse_layout(bytes)?;
+    sections_of(bytes, &layout)
+}
+
+/// Verifies the trailing CRC of one entry (covers everything before the
+/// last 4 bytes).
+fn check_crc(bytes: &[u8]) -> Result<()> {
+    let crc_off = bytes
+        .len()
+        .checked_sub(4)
+        .ok_or_else(|| corrupt("entry truncated"))?;
+    let body = bytes
+        .get(..crc_off)
+        .ok_or_else(|| corrupt("entry truncated"))?;
+    let stored = u32::from_le_bytes(
+        bytes
+            .get(crc_off..)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .ok_or_else(|| corrupt("entry truncated"))?,
+    );
+    if crc32(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(())
+}
+
+/// [`parse_sections`] plus CRC verification.
+fn validate_entry(bytes: &[u8]) -> Result<Sections<'_>> {
+    let sections = parse_sections(bytes)?;
+    check_crc(bytes)?;
+    Ok(sections)
+}
+
+/// Calls `f` with the position of every set bit among the first `nbits`
+/// bits of `section`, word-at-a-time (zeros are skipped 64 bits per step).
+/// `f` returns `false` to stop the scan.
+fn scan_set_bits(section: &[u8], nbits: usize, mut f: impl FnMut(usize) -> bool) {
+    let mut base = 0usize;
+    for chunk in section.chunks(8) {
+        let mut buf = [0u8; 8];
+        if let Some(dst) = buf.get_mut(..chunk.len()) {
+            dst.copy_from_slice(chunk);
+        }
+        let mut word = u64::from_le_bytes(buf);
+        if nbits < base + 64 {
+            // Mask garbage past the logical end of the section.
+            let keep = nbits.saturating_sub(base) as u32;
+            word &= 1u64.checked_shl(keep).map(|v| v - 1).unwrap_or(u64::MAX);
+        }
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            if !f(base + bit) {
+                return;
+            }
+            word &= word - 1;
+        }
+        base += 64;
+    }
+}
+
+/// Position of the `b`-th zero bit (1-indexed) among the first `nbits`
+/// bits of `section`, word-at-a-time: whole words of set bits are skipped
+/// with a popcount, and the final word is selected by clearing low bits.
+/// `None` when the section holds fewer than `b` zeros.
+fn select_zero(section: &[u8], nbits: usize, b: usize) -> Option<usize> {
+    if b == 0 {
+        return None;
+    }
+    let mut remaining = b;
+    let mut base = 0usize;
+    for chunk in section.chunks(8) {
+        if base >= nbits {
+            break;
+        }
+        let mut buf = [0u8; 8];
+        if let Some(dst) = buf.get_mut(..chunk.len()) {
+            dst.copy_from_slice(chunk);
+        }
+        // Complement so zeros become the countable bits, masking garbage
+        // past the logical end of the section.
+        let mut word = !u64::from_le_bytes(buf);
+        let keep = nbits.saturating_sub(base).min(64) as u32;
+        word &= 1u64.checked_shl(keep).map(|v| v - 1).unwrap_or(u64::MAX);
+        let zeros = word.count_ones() as usize;
+        if remaining > zeros {
+            remaining -= zeros;
+        } else {
+            for _ in 1..remaining {
+                word &= word - 1;
+            }
+            return Some(base + word.trailing_zeros() as usize);
+        }
+        base += 64;
+    }
+    None
+}
+
+/// The bit at `pos` among the first `nbits` bits of `section` (`false`
+/// past the logical end).
+fn bit_at(section: &[u8], nbits: usize, pos: usize) -> bool {
+    pos < nbits && section.get(pos / 8).is_some_and(|&b| b >> (pos % 8) & 1 != 0)
+}
+
+/// The `i`-th distinct gram from the Elias-Fano sections, given the
+/// position of its set high bit.
+fn ef_gram(s: &Sections<'_>, i: usize, pos: usize) -> Result<u64> {
+    let bucket = pos
+        .checked_sub(i)
+        .ok_or_else(|| corrupt("gram high bit before its rank"))? as u64;
+    let lo = if s.gw > 0 {
+        s.gram_low.read(i * usize::from(s.gw), s.gw)?
+    } else {
+        0
+    };
+    let delta = bucket
+        .checked_shl(u32::from(s.gw))
+        .and_then(|v| v.checked_add(lo))
+        .ok_or_else(|| corrupt("gram delta overflow"))?;
+    s.first
+        .0
+        .checked_add(delta)
+        .ok_or_else(|| corrupt("gram overflow"))
+}
+
+/// Cumulative row count through the `i`-th distinct gram (rows of grams
+/// `0..=i`). Stored biased by one so a probe reads any gram's row prefix
+/// and run length in O(1) instead of summing run lengths.
+fn ef_cum(s: &Sections<'_>, i: usize) -> Result<usize> {
+    let raw = if s.rw > 0 {
+        s.run_bits.read(i * usize::from(s.rw), s.rw)?
+    } else {
+        0
+    };
+    usize::try_from(raw)
+        .ok()
+        .and_then(|r| r.checked_add(1))
+        .ok_or_else(|| corrupt("cumulative count overflow"))
+}
+
+/// Decodes one posting block entry (header + payload + CRC).
+///
+/// Every structural violation — truncation, CRC mismatch, non-monotone
+/// rows, header/payload disagreement — returns [`StoreError::Corrupt`];
+/// this function must never panic on arbitrary bytes.
+pub(crate) fn decode_block(bytes: &[u8]) -> Result<Decoded> {
+    let s = validate_entry(bytes)?;
+    let (first, last) = (s.first, s.last);
+
+    // Distinct grams: Elias-Fano, strictly ascending.
+    let mut grams = Vec::with_capacity(s.g_count);
+    let mut scan_err: Option<StoreError> = None;
+    scan_set_bits(s.gram_high, s.gram_high_bits, |pos| {
+        let i = grams.len();
+        if i >= s.g_count {
+            scan_err = Some(corrupt("more set gram bits than grams"));
+            return false;
+        }
+        match ef_gram(&s, i, pos) {
+            Ok(gram) => {
+                if grams.last().is_some_and(|&p| gram <= p) {
+                    scan_err = Some(corrupt("grams not strictly ascending"));
+                    return false;
+                }
+                grams.push(gram);
+                true
+            }
+            Err(e) => {
+                scan_err = Some(e);
+                false
+            }
+        }
+    });
+    if let Some(e) = scan_err {
+        return Err(e);
+    }
+    if grams.len() != s.g_count {
+        return Err(corrupt("fewer set gram bits than grams"));
+    }
+
+    // Cumulative counts: strictly increasing, ending exactly at n.
+    let mut runs = Vec::with_capacity(s.g_count);
+    let mut prev = 0usize;
+    for i in 0..s.g_count {
+        let cum = ef_cum(&s, i)?;
+        if cum <= prev || cum > s.n {
+            return Err(corrupt("cumulative counts not strictly increasing"));
+        }
+        runs.push(cum - prev);
+        prev = cum;
+    }
+    if prev != s.n {
+        return Err(corrupt("cumulative counts disagree with row count"));
+    }
+
+    // Rows: per-gram strictly ascending treeIds, positive counts.
+    let mut rows: Vec<Row> = Vec::with_capacity(s.n);
+    let mut tids = SeqBits::at(s.tid_bits.bytes, 0);
+    let mut cnts = SeqBits::at(s.count_bits.bytes, 0);
+    for (&gram, &run) in grams.iter().zip(runs.iter()) {
+        let mut prev_tid: Option<u64> = None;
+        for _ in 0..run {
+            let tid = tids.read(s.tw)?;
+            let count = decode_count(&mut cnts, s.cw)?;
+            if prev_tid.is_some_and(|p| tid <= p) {
+                return Err(corrupt("treeIds not strictly ascending"));
+            }
+            prev_tid = Some(tid);
+            rows.push(((gram, tid), count));
+        }
+    }
+    if rows.first().map(|r| r.0) != Some(first) {
+        return Err(corrupt("first row disagrees with header"));
+    }
+    if rows.last().map(|r| r.0) != Some(last) {
+        return Err(corrupt("last row disagrees with header"));
+    }
+    Ok(Decoded { first, last, rows })
+}
+
+/// Streams the rows of a single `gram` out of one entry whose CRC has
+/// already been verified (see [`BlockCache`]): a select-zero jump lands on
+/// the gram's Elias-Fano bucket, the cumulative-count section gives its row
+/// prefix and run length in O(1), then only that run's treeIds and counts
+/// are decoded — the rest of the block is never materialised.
+///
+/// Returns `false` if `f` asked to stop early.
+fn for_each_gram_in_sections(
+    s: &Sections<'_>,
+    gram: u64,
+    counters: &mut ProbeCounters,
+    f: &mut impl FnMut(u64, u32) -> bool,
+) -> Result<bool> {
+    if gram < s.first.0 || gram > s.last.0 {
+        return Ok(true);
+    }
+    let delta = gram - s.first.0;
+    let bucket = delta.checked_shr(u32::from(s.gw)).unwrap_or(0);
+    let low_mask = 1u64
+        .checked_shl(u32::from(s.gw))
+        .map(|v| v - 1)
+        .unwrap_or(u64::MAX);
+    let lo_t = delta & low_mask;
+    // Bucket `b`'s set bits (grams sharing the high part) sit between the
+    // b-th and (b+1)-th zero bits; bucket 0 starts at position 0.
+    let (mut idx, mut pos) = if bucket == 0 {
+        (0usize, 0usize)
+    } else {
+        let b = usize::try_from(bucket).map_err(|_| corrupt("gram bucket overflow"))?;
+        let pz = select_zero(s.gram_high, s.gram_high_bits, b)
+            .ok_or_else(|| corrupt("gram bucket past high-bit section"))?;
+        let idx = (pz + 1)
+            .checked_sub(b)
+            .ok_or_else(|| corrupt("gram high bit before its rank"))?;
+        (idx, pz + 1)
+    };
+    // Walk the bucket's consecutive set bits; low bits ascend strictly
+    // within a bucket, so the first miss past `lo_t` ends the search.
+    let mut found: Option<usize> = None;
+    while idx < s.g_count && bit_at(s.gram_high, s.gram_high_bits, pos) {
+        let lo = if s.gw > 0 {
+            s.gram_low.read(idx * usize::from(s.gw), s.gw)?
+        } else {
+            0
+        };
+        if lo >= lo_t {
+            if lo == lo_t {
+                found = Some(idx);
+            }
+            break;
+        }
+        idx += 1;
+        pos += 1;
+    }
+    let Some(index) = found else { return Ok(true) };
+    let prefix = if index == 0 { 0 } else { ef_cum(s, index - 1)? };
+    let end = ef_cum(s, index)?;
+    if end > s.n || prefix >= end {
+        return Err(corrupt("cumulative counts disagree with row count"));
+    }
+    let mut tids = SeqBits::at(s.tid_bits.bytes, prefix * usize::from(s.tw));
+    let mut cnts = SeqBits::at(s.count_bits.bytes, prefix * usize::from(s.cw));
+    let mut prev_tid: Option<u64> = None;
+    for _ in prefix..end {
+        let tid = tids.read(s.tw)?;
+        let count = decode_count(&mut cnts, s.cw)?;
+        if prev_tid.is_some_and(|p| tid <= p) {
+            return Err(corrupt("treeIds not strictly ascending"));
+        }
+        prev_tid = Some(tid);
+        counters.rows += 1;
+        if !f(tid, count) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one biased count (`count - 1` on disk, `1` when `cw == 0`).
+#[inline]
+fn decode_count(cnts: &mut SeqBits<'_>, cw: u8) -> Result<u32> {
+    if cw == 0 {
+        return Ok(1);
+    }
+    let raw = cnts.read(cw)?;
+    u32::try_from(raw)
+        .ok()
+        .and_then(|c| c.checked_add(1))
+        .ok_or_else(|| corrupt("count overflow"))
+}
+
+// ---------------------------------------------------------------------------
+// Pack pages
+// ---------------------------------------------------------------------------
+
+fn pack_used(p: &PageBuf) -> usize {
+    usize::from(p.get_u16(4))
+}
+
+fn pack_entry_count(p: &PageBuf) -> usize {
+    usize::from(p.get_u16(2))
+}
+
+fn pack_init(p: &mut PageBuf) {
+    p.put_slice(0, &[0u8; PAGE_SIZE]);
+    p.put_u8(0, PACK_TAG);
+}
+
+fn is_pack(p: &PageBuf) -> bool {
+    p.get_u8(0) == PACK_TAG
+}
+
+/// Walks the entries of a pack page, returning `(offset, total_len)` pairs.
+///
+/// Validates that every entry (header plus payload) lies inside the used
+/// region and that the entries exactly fill it.
+fn pack_entries(p: &PageBuf) -> Result<Vec<(usize, usize)>> {
+    if !is_pack(p) {
+        return Err(corrupt("page is not a pack page"));
+    }
+    let used = pack_used(p);
+    let n = pack_entry_count(p);
+    let end = PACK_HDR
+        .checked_add(used)
+        .filter(|&e| e <= PAGE_SIZE)
+        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let mut out = Vec::with_capacity(n);
+    let mut off = PACK_HDR;
+    for _ in 0..n {
+        let len_off = off
+            .checked_add(34)
+            .filter(|&o| o + 2 <= end)
+            .ok_or_else(|| corrupt("pack entry header out of range"))?;
+        let len = usize::from(p.get_u16(len_off));
+        let total = ENTRY_HDR
+            .checked_add(len)
+            .ok_or_else(|| corrupt("pack entry length overflow"))?;
+        let entry_end = off
+            .checked_add(total)
+            .filter(|&e| e <= end)
+            .ok_or_else(|| corrupt("pack entry exceeds used region"))?;
+        out.push((off, total));
+        off = entry_end;
+    }
+    if off != end {
+        return Err(corrupt("pack page used-bytes mismatch"));
+    }
+    Ok(out)
+}
+
+/// Finds the entry keyed by its last row `key` on a pack page. Walks the
+/// entries without materialising them (probe hot path): bounds checks
+/// match [`pack_entries`], but the walk stops at the match.
+fn pack_find(p: &PageBuf, key: (u64, u64)) -> Result<Option<(usize, usize)>> {
+    if !is_pack(p) {
+        return Err(corrupt("page is not a pack page"));
+    }
+    let used = pack_used(p);
+    let n = pack_entry_count(p);
+    let end = PACK_HDR
+        .checked_add(used)
+        .filter(|&e| e <= PAGE_SIZE)
+        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let mut off = PACK_HDR;
+    for _ in 0..n {
+        let len_off = off
+            .checked_add(34)
+            .filter(|&o| o + 2 <= end)
+            .ok_or_else(|| corrupt("pack entry header out of range"))?;
+        let len = usize::from(p.get_u16(len_off));
+        let total = ENTRY_HDR
+            .checked_add(len)
+            .ok_or_else(|| corrupt("pack entry length overflow"))?;
+        let entry_end = off
+            .checked_add(total)
+            .filter(|&e| e <= end)
+            .ok_or_else(|| corrupt("pack entry exceeds used region"))?;
+        if (p.get_u64(off), p.get_u64(off + 8)) == key {
+            return Ok(Some((off, total)));
+        }
+        off = entry_end;
+    }
+    Ok(None)
+}
+
+/// Copies the raw bytes of the entry keyed `key` off a pack page.
+fn pack_read(p: &PageBuf, key: (u64, u64)) -> Result<Vec<u8>> {
+    match pack_find(p, key)? {
+        Some((off, total)) => Ok(p.slice(off, total).to_vec()),
+        None => Err(corrupt("directory points at a missing pack entry")),
+    }
+}
+
+/// Appends an encoded entry to a pack page if it fits.
+fn pack_try_add(p: &mut PageBuf, bytes: &[u8]) -> Result<bool> {
+    if !is_pack(p) {
+        return Err(corrupt("page is not a pack page"));
+    }
+    let used = pack_used(p);
+    let end = PACK_HDR
+        .checked_add(used)
+        .filter(|&e| e <= PAGE_SIZE)
+        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let new_end = match end.checked_add(bytes.len()) {
+        Some(e) if e <= PAGE_SIZE => e,
+        _ => return Ok(false),
+    };
+    p.put_slice(end, bytes);
+    let n = pack_entry_count(p);
+    let used16 =
+        u16::try_from(new_end - PACK_HDR).map_err(|_| corrupt("pack page used-bytes overflow"))?;
+    let n16 = u16::try_from(n + 1).map_err(|_| corrupt("pack entry count overflow"))?;
+    p.put_u16(2, n16);
+    p.put_u16(4, used16);
+    Ok(true)
+}
+
+/// Removes the entry keyed `key` from a pack page.
+fn pack_remove(p: &mut PageBuf, key: (u64, u64)) -> Result<()> {
+    let (off, total) = pack_find(p, key)?
+        .ok_or_else(|| corrupt("directory points at a missing pack entry"))?;
+    let used = pack_used(p);
+    let end = PACK_HDR + used;
+    let tail = p.slice(off + total, end - (off + total)).to_vec();
+    p.put_slice(off, &tail);
+    // Zero the freed region so stale bytes never alias a live entry.
+    let freed_at = off + tail.len();
+    p.put_slice(freed_at, &vec![0u8; end - freed_at]);
+    let n = pack_entry_count(p);
+    let used16 =
+        u16::try_from(used - total).map_err(|_| corrupt("pack page used-bytes overflow"))?;
+    p.put_u16(2, u16::try_from(n.saturating_sub(1)).unwrap_or(0));
+    p.put_u16(4, used16);
+    Ok(())
+}
+
+/// Stores an encoded block, preferring the current fill page.
+///
+/// Returns the pack page that received the entry and updates the fill-page
+/// meta slot when a new page is opened.
+fn place_block(pool: &BufferPool, bytes: &[u8]) -> Result<PageId> {
+    let fill = pool.meta(SLOT_FILL);
+    if fill != 0 {
+        let id = PageId(
+            u32::try_from(fill - 1).map_err(|_| corrupt("fill page meta slot out of range"))?,
+        );
+        let added = pool.with_page_mut(id, |p| {
+            if is_pack(p) {
+                pack_try_add(p, bytes)
+            } else {
+                Ok(false)
+            }
+        })??;
+        if added {
+            return Ok(id);
+        }
+    }
+    let id = pool.allocate()?;
+    block_value(id)?;
+    let added = pool.with_page_mut(id, |p| {
+        pack_init(p);
+        pack_try_add(p, bytes)
+    })??;
+    if !added {
+        return Err(corrupt("encoded block exceeds pack page capacity"));
+    }
+    pool.set_meta(SLOT_FILL, u64::from(id.0) + 1)?;
+    Ok(id)
+}
+
+/// Frees a pack page once its last entry is removed.
+fn free_if_empty(pool: &BufferPool, id: PageId) -> Result<()> {
+    let empty = pool.with_page(id, |p| is_pack(p) && pack_entry_count(p) == 0)?;
+    if empty {
+        if pool.meta(SLOT_FILL) == u64::from(id.0) + 1 {
+            pool.set_meta(SLOT_FILL, 0)?;
+        }
+        pool.free(id)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load
+// ---------------------------------------------------------------------------
+
+/// Bulk loads the inverted directory from `(gram, treeId) -> count` rows
+/// sorted ascending. With `compress` set, the row sequence is partitioned
+/// into ~[`MAX_BLOCK_ROWS`]-row blocks across gram boundaries; otherwise
+/// every row is inline (the row-per-posting ablation, still a valid v3
+/// store).
+pub(crate) fn bulk_load_inverted(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    rows: &[Row],
+    compress: bool,
+) -> Result<()> {
+    let mut dir_rows: Vec<((u64, u64), u32)> = Vec::new();
+    if !compress {
+        for &(k, c) in rows {
+            dir_rows.push((k, inline_value(c)?));
+        }
+    } else {
+        for group in rows.chunks(MAX_BLOCK_ROWS) {
+            if group.len() < BLOCK_MIN {
+                for &(k, c) in group {
+                    dir_rows.push((k, inline_value(c)?));
+                }
+                continue;
+            }
+            for chunk in chunk_rows(group)? {
+                let last = chunk.last().map(|r| r.0).unwrap_or((0, 0));
+                let bytes = encode_block(chunk)?;
+                let page = place_block(pool, &bytes)?;
+                dir_rows.push((last, block_value(page)?));
+            }
+        }
+    }
+    dir.bulk_load(dir_rows)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Probing
+// ---------------------------------------------------------------------------
+
+/// Decode-side counters surfaced through `LookupStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ProbeCounters {
+    /// Posting rows materialised (inline rows plus decoded block rows).
+    pub rows: u64,
+    /// Posting blocks Elias-Fano decoded.
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped on per-block metadata without decoding.
+    pub blocks_skipped: u64,
+    /// Payload bytes run through the block decoder.
+    pub bytes_decoded: u64,
+}
+
+/// Reads and decodes the block keyed `key` from a pack page.
+pub(crate) fn read_block(
+    pool: &BufferPool,
+    page: PageId,
+    key: (u64, u64),
+    counters: &mut ProbeCounters,
+) -> Result<Decoded> {
+    let bytes = pool.with_page(page, |p| pack_read(p, key))??;
+    counters.blocks_decoded += 1;
+    counters.bytes_decoded += bytes.len() as u64;
+    let decoded = decode_block(&bytes)?;
+    if decoded.last != key {
+        return Err(corrupt("pack entry key disagrees with directory"));
+    }
+    Ok(decoded)
+}
+
+/// One-block memo for probe loops. Query grams are probed in ascending
+/// order and multi-gram blocks hold ~[`MAX_BLOCK_ROWS`] rows, so
+/// consecutive grams usually land in the same block — memoising the last
+/// entry's validated bytes and parsed [`Layout`] turns O(grams) page
+/// reads, CRC passes and header parses into O(blocks touched).
+#[derive(Default)]
+pub(crate) struct BlockCache {
+    entry: Option<((u32, (u64, u64)), Vec<u8>, Layout)>,
+}
+
+impl BlockCache {
+    /// Streams the rows of `gram` from the block keyed `key` on `page`.
+    /// The entry bytes are copied off the page, CRC-verified and
+    /// layout-parsed only on a memo miss (counted in `counters`); the
+    /// gram's rows are then decoded selectively without materialising the
+    /// rest of the block. Returns `false` if `f` asked to stop early.
+    pub(crate) fn for_each_gram(
+        &mut self,
+        pool: &BufferPool,
+        page: PageId,
+        key: (u64, u64),
+        gram: u64,
+        counters: &mut ProbeCounters,
+        f: &mut impl FnMut(u64, u32) -> bool,
+    ) -> Result<bool> {
+        let tag = (page.0, key);
+        let hit = matches!(&self.entry, Some((t, _, _)) if *t == tag);
+        if !hit {
+            let bytes = pool.with_page(page, |p| pack_read(p, key))??;
+            counters.blocks_decoded += 1;
+            counters.bytes_decoded += bytes.len() as u64;
+            let layout = parse_layout(&bytes)?;
+            check_crc(&bytes)?;
+            if layout.last != key {
+                return Err(corrupt("pack entry key disagrees with directory"));
+            }
+            self.entry = Some((tag, bytes, layout));
+        }
+        match &self.entry {
+            Some((_, bytes, layout)) => {
+                let s = sections_of(bytes, layout)?;
+                for_each_gram_in_sections(&s, gram, counters, f)
+            }
+            None => Err(corrupt("block cache lost its entry")),
+        }
+    }
+
+    /// The first `(gram, treeId)` of the block keyed `key` — from the memo
+    /// when it holds that block, otherwise straight from the entry header
+    /// on the pack page. The per-block metadata that lets probes skip
+    /// boundary blocks without a decode (and, on a memo hit, without even
+    /// a page access).
+    pub(crate) fn peek_first(
+        &self,
+        pool: &BufferPool,
+        page: PageId,
+        key: (u64, u64),
+    ) -> Result<(u64, u64)> {
+        match &self.entry {
+            Some((tag, _, layout)) if *tag == (page.0, key) => Ok(layout.first),
+            _ => peek_block_first(pool, page, key),
+        }
+    }
+}
+
+/// Reads the first `(gram, treeId)` of the block keyed `key` straight from
+/// its entry header — the per-block metadata that lets probes skip blocks
+/// without decoding them.
+pub(crate) fn peek_block_first(
+    pool: &BufferPool,
+    page: PageId,
+    key: (u64, u64),
+) -> Result<(u64, u64)> {
+    pool.with_page(page, |p| {
+        let (off, _) = pack_find(p, key)?
+            .ok_or_else(|| corrupt("directory points at a missing pack entry"))?;
+        Ok((p.get_u64(off + 16), p.get_u64(off + 24)))
+    })?
+}
+
+/// The directory rows that can hold postings of `gram`: every row keyed
+/// inside the gram plus the first row keyed past it (whose block may
+/// still start inside the gram).
+fn gram_dir_rows(dir: &BTree<'_>, gram: u64) -> Result<Vec<((u64, u64), u32)>> {
+    let mut rows = Vec::new();
+    dir.for_each_range((gram, 0), (u64::MAX, u64::MAX), |(g, t), v| {
+        rows.push(((g, t), v));
+        g == gram
+    })?;
+    Ok(rows)
+}
+
+/// Streams every posting of `gram` in ascending treeId order.
+///
+/// `f` receives `(treeId, count)` and returns `false` to stop early.
+/// `cache` memoises block decodes across the caller's probe loop.
+pub(crate) fn for_each_posting(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    gram: u64,
+    cache: &mut BlockCache,
+    counters: &mut ProbeCounters,
+    mut f: impl FnMut(u64, u32) -> bool,
+) -> Result<()> {
+    for ((g, t), raw) in gram_dir_rows(dir, gram)? {
+        match dir_value_checked(raw)? {
+            DirValue::Inline(c) => {
+                if g != gram {
+                    // The boundary row: an inline posting of a later gram.
+                    return Ok(());
+                }
+                counters.rows += 1;
+                if !f(t, c) {
+                    return Ok(());
+                }
+            }
+            DirValue::Block(page) => {
+                if g != gram && cache.peek_first(pool, page, (g, t))?.0 > gram {
+                    // Boundary block that starts past the gram: skip on
+                    // header metadata, no decode.
+                    counters.blocks_skipped += 1;
+                    return Ok(());
+                }
+                if !cache.for_each_gram(pool, page, (g, t), gram, counters, &mut f)? {
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Point maintenance
+// ---------------------------------------------------------------------------
+
+/// The first directory entry at or after `(gram, tid)`, if any.
+fn dir_entry_at_or_after(dir: &BTree<'_>, gram: u64, tid: u64) -> Result<Option<((u64, u64), u32)>> {
+    let mut found = None;
+    dir.for_each_range((gram, tid), (u64::MAX, u64::MAX), |k, v| {
+        found = Some((k, v));
+        false
+    })?;
+    Ok(found)
+}
+
+/// Removes the entry keyed `old_key` (on `old_page`) and re-inserts
+/// `rows` as one or more freshly placed blocks. The general rewrite path:
+/// handles key changes, page changes, and splits in one sweep.
+fn reinsert_chunks(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    old_key: (u64, u64),
+    old_page: PageId,
+    rows: &[Row],
+) -> Result<()> {
+    pool.with_page_mut(old_page, |p| pack_remove(p, old_key))??;
+    dir.delete(old_key)?;
+    for chunk in chunk_rows(rows)? {
+        let last = chunk.last().map(|r| r.0).unwrap_or((0, 0));
+        let bytes = encode_block(chunk)?;
+        let page = place_block(pool, &bytes)?;
+        dir.insert(last, block_value(page)?)?;
+    }
+    free_if_empty(pool, old_page)?;
+    Ok(())
+}
+
+/// Rewrites the block keyed `old_key` with new rows, updating the
+/// directory when the key or the pack page changes and splitting when the
+/// rows no longer fit one block. `rows` must be non-empty.
+fn rewrite_block(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    old_key: (u64, u64),
+    old_page: PageId,
+    rows: &[Row],
+) -> Result<()> {
+    if rows.len() > MAX_BLOCK_ROWS || plan_block(rows)?.total > PACK_CAPACITY {
+        return reinsert_chunks(pool, dir, old_key, old_page, rows);
+    }
+    let new_key = rows.last().map(|r| r.0).unwrap_or((0, 0));
+    let bytes = encode_block(rows)?;
+    // Try to reuse the slot on the same page: remove then re-add.
+    let readded = pool.with_page_mut(old_page, |p| {
+        pack_remove(p, old_key)?;
+        pack_try_add(p, &bytes)
+    })??;
+    let page = if readded {
+        old_page
+    } else {
+        let page = place_block(pool, &bytes)?;
+        free_if_empty(pool, old_page)?;
+        page
+    };
+    if new_key != old_key {
+        dir.delete(old_key)?;
+        dir.insert(new_key, block_value(page)?)?;
+    } else if page != old_page {
+        dir.insert(old_key, block_value(page)?)?;
+    }
+    Ok(())
+}
+
+/// Inserts or overwrites the posting `(gram, tid) -> count`.
+///
+/// Runs inside the caller's open transaction. New postings that do not fall
+/// inside an existing block are inserted inline; a long enough run of
+/// consecutive inline postings is collapsed into a block afterwards.
+pub(crate) fn upsert_posting(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    gram: u64,
+    tid: u64,
+    count: u32,
+) -> Result<()> {
+    let inline = inline_value(count)?;
+    match dir_entry_at_or_after(dir, gram, tid)? {
+        None => {
+            dir.insert((gram, tid), inline)?;
+            maybe_collapse(pool, dir, gram)
+        }
+        Some((key, raw)) => match dir_value(raw) {
+            DirValue::Inline(_) if key == (gram, tid) => {
+                dir.insert((gram, tid), inline)?;
+                Ok(())
+            }
+            DirValue::Inline(_) => {
+                dir.insert((gram, tid), inline)?;
+                maybe_collapse(pool, dir, gram)
+            }
+            DirValue::Block(page) => {
+                if peek_block_first(pool, page, key)? > (gram, tid) {
+                    // The block starts past the posting: it goes inline in
+                    // the gap before the block.
+                    dir.insert((gram, tid), inline)?;
+                    return maybe_collapse(pool, dir, gram);
+                }
+                let mut decoded = read_block(pool, page, key, &mut ProbeCounters::default())?;
+                match decoded.rows.binary_search_by_key(&(gram, tid), |r| r.0) {
+                    Ok(i) => {
+                        if let Some(r) = decoded.rows.get_mut(i) {
+                            r.1 = count;
+                        }
+                    }
+                    Err(i) => decoded
+                        .rows
+                        .insert(i.min(decoded.rows.len()), ((gram, tid), count)),
+                }
+                rewrite_block(pool, dir, key, page, &decoded.rows)
+            }
+        },
+    }
+}
+
+/// Removes the posting `(gram, tid)`. Returns `false` if it was absent.
+pub(crate) fn remove_posting(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+    gram: u64,
+    tid: u64,
+) -> Result<bool> {
+    match dir_entry_at_or_after(dir, gram, tid)? {
+        None => Ok(false),
+        Some((key, raw)) => match dir_value(raw) {
+            DirValue::Inline(_) if key == (gram, tid) => {
+                dir.delete((gram, tid))?;
+                Ok(true)
+            }
+            DirValue::Inline(_) => Ok(false),
+            DirValue::Block(page) => {
+                if peek_block_first(pool, page, key)? > (gram, tid) {
+                    return Ok(false);
+                }
+                let mut decoded = read_block(pool, page, key, &mut ProbeCounters::default())?;
+                let i = match decoded.rows.binary_search_by_key(&(gram, tid), |r| r.0) {
+                    Ok(i) => i,
+                    Err(_) => return Ok(false),
+                };
+                decoded.rows.remove(i);
+                if decoded.rows.is_empty() {
+                    pool.with_page_mut(page, |p| pack_remove(p, key))??;
+                    free_if_empty(pool, page)?;
+                    dir.delete(key)?;
+                } else {
+                    rewrite_block(pool, dir, key, page, &decoded.rows)?;
+                }
+                Ok(true)
+            }
+        },
+    }
+}
+
+/// Collapses a run of consecutive inline postings starting at or after
+/// `(gram, 0)` into a block once it reaches [`COLLAPSE_MIN`] rows,
+/// bounding directory growth under point inserts between bulk rebuilds.
+/// Runs may cross gram boundaries — blocks are not per-gram.
+fn maybe_collapse(pool: &BufferPool, dir: &BTree<'_>, gram: u64) -> Result<()> {
+    let mut run: Vec<Row> = Vec::new();
+    let mut best: Option<Vec<Row>> = None;
+    dir.for_each_range((gram, 0), (u64::MAX, u64::MAX), |k, v| {
+        match dir_value(v) {
+            DirValue::Inline(c) => {
+                run.push((k, c));
+                if run.len() >= MAX_BLOCK_ROWS {
+                    best = Some(std::mem::take(&mut run));
+                    return false;
+                }
+            }
+            DirValue::Block(_) => {
+                if run.len() >= COLLAPSE_MIN {
+                    best = Some(std::mem::take(&mut run));
+                }
+                return false;
+            }
+        }
+        true
+    })?;
+    if best.is_none() && run.len() >= COLLAPSE_MIN {
+        best = Some(run);
+    }
+    let Some(rows) = best else { return Ok(()) };
+    // Delete every inline key of the run, then insert one block row per
+    // chunk (inline keys never sit inside a block's row range, so the new
+    // blocks stay disjoint from their neighbours).
+    let ops: Vec<((u64, u64), Option<u32>)> = rows.iter().map(|&(k, _)| (k, None)).collect();
+    dir.apply_batch_sorted(ops)?;
+    for chunk in chunk_rows(&rows)? {
+        let last = chunk.last().map(|r| r.0).unwrap_or((0, 0));
+        let bytes = encode_block(chunk)?;
+        let page = place_block(pool, &bytes)?;
+        dir.insert(last, block_value(page)?)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Verification support
+// ---------------------------------------------------------------------------
+
+/// Expands every directory row of the inverted relation into posting rows,
+/// verifying block structure along the way. Returns the posting rows (in
+/// directory order), the number of blocks, and the distinct pack pages.
+pub(crate) fn expand_all(
+    pool: &BufferPool,
+    dir: &BTree<'_>,
+) -> Result<(Vec<Row>, u64, Vec<PageId>)> {
+    let mut dir_rows: Vec<((u64, u64), u32)> = Vec::new();
+    dir.for_each_range((u64::MIN, u64::MIN), (u64::MAX, u64::MAX), |k, v| {
+        dir_rows.push((k, v));
+        true
+    })?;
+    let mut rows = Vec::new();
+    let mut blocks = 0u64;
+    let mut pages: Vec<PageId> = Vec::new();
+    let mut counters = ProbeCounters::default();
+    for (key, raw) in dir_rows {
+        match dir_value_checked(raw)? {
+            DirValue::Inline(c) => {
+                rows.push((key, c));
+            }
+            DirValue::Block(page) => {
+                if !pages.contains(&page) {
+                    // First visit: walk the whole entry chain, validating
+                    // that it exactly fills the page's used region —
+                    // [`pack_find`] alone stops at its match.
+                    pool.with_page(page, |p| pack_entries(p))??;
+                    pages.push(page);
+                }
+                let decoded = read_block(pool, page, key, &mut counters)?;
+                blocks += 1;
+                rows.extend(decoded.rows);
+            }
+        }
+    }
+    Ok((rows, blocks, pages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `n` rows spread over `grams` distinct grams with the given treeId
+    /// stride.
+    fn sample_rows(n: u64, grams: u64, stride: u64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                let g = 1000 + (i % grams.max(1)) * 77;
+                let t = 100 + (i / grams.max(1)) * stride;
+                ((g, t), (i % 7 + 1) as u32)
+            })
+            .collect::<Vec<_>>()
+            .tap_sort()
+    }
+
+    trait TapSort {
+        fn tap_sort(self) -> Self;
+    }
+    impl TapSort for Vec<Row> {
+        fn tap_sort(mut self) -> Self {
+            self.sort_unstable_by_key(|&(k, _)| k);
+            self
+        }
+    }
+
+    #[test]
+    fn roundtrip_dense_and_sparse() {
+        for grams in [1u64, 2, 5, 64] {
+            for stride in [1u64, 13, 1_000_000] {
+                for n in [1u64, 2, 7, 64, 256] {
+                    let rows = sample_rows(n, grams.min(n), stride);
+                    let bytes = encode_block(&rows).unwrap();
+                    let back = decode_block(&bytes).unwrap();
+                    assert_eq!(back.rows, rows, "grams {grams} stride {stride} n {n}");
+                    assert_eq!(back.first, rows.first().unwrap().0);
+                    assert_eq!(back.last, rows.last().unwrap().0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_gram_dense_runs_compress_hard() {
+        // 256 postings of one gram over 1000 consecutive trees with unit
+        // counts: the dominant shape in a bulk-loaded skewed collection.
+        let rows: Vec<Row> = (0..256u64).map(|t| ((42, t * 3), 1)).collect();
+        let bytes = encode_block(&rows).unwrap();
+        // tids fit 10 bits each; everything else is near-zero overhead.
+        assert!(bytes.len() < ENTRY_HDR + PREFIX + 4 + 256 * 2, "len {}", bytes.len());
+        assert_eq!(decode_block(&bytes).unwrap().rows, rows);
+    }
+
+    #[test]
+    fn encode_rejects_bad_input() {
+        assert!(encode_block(&[]).is_err());
+        assert!(encode_block(&[((1, 5), 1), ((1, 5), 1)]).is_err());
+        assert!(encode_block(&[((1, 5), 1), ((1, 4), 1)]).is_err());
+        assert!(encode_block(&[((2, 5), 1), ((1, 9), 1)]).is_err());
+        assert!(encode_block(&[((1, 5), 0)]).is_err());
+        let too_many: Vec<Row> = (0..257u64).map(|i| ((1, i), 1)).collect();
+        assert!(encode_block(&too_many).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let rows = sample_rows(50, 7, 17);
+        let bytes = encode_block(&rows).unwrap();
+        for bit in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            match decode_block(&bad) {
+                Err(StoreError::Corrupt(_)) => {}
+                Err(e) => panic!("flip at bit {bit}: unexpected error {e:?}"),
+                Ok(d) => {
+                    // A flip that survives CRC must not silently change the
+                    // decoded rows (CRC-32 catches all single-bit flips, so
+                    // this should be unreachable).
+                    panic!("flip at bit {bit} went undetected: {d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let rows = sample_rows(30, 4, 5);
+        let bytes = encode_block(&rows).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_block(&bytes[..cut]), Err(StoreError::Corrupt(_))),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_crc_but_non_monotone_is_detected() {
+        // Craft an entry whose header says first > last but with a correct
+        // CRC: structural checks must still reject it.
+        let rows = sample_rows(10, 3, 3);
+        let mut bytes = encode_block(&rows).unwrap();
+        // Swap the last/first header pairs, then fix up the CRC.
+        let last: [u8; 16] = bytes[0..16].try_into().unwrap();
+        let first: [u8; 16] = bytes[16..32].try_into().unwrap();
+        bytes[0..16].copy_from_slice(&first);
+        bytes[16..32].copy_from_slice(&last);
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(decode_block(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_never_panics_on_random_bytes() {
+        // Deterministic xorshift fuzzing: decode must return, never panic.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for len in [0usize, 1, 27, 42, 46, 100, 500, 4000] {
+            for _ in 0..50 {
+                let mut bytes = vec![0u8; len];
+                for b in bytes.iter_mut() {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    *b = state as u8;
+                }
+                let _ = decode_block(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_rows_chunk_to_fitting_blocks() {
+        // 256 rows of distinct far-apart grams, 64-bit treeIds and max
+        // counts: too big for one pack page, so chunking must split them
+        // while preserving order and content.
+        let rows: Vec<Row> = (0..256u64)
+            .map(|i| {
+                (
+                    (i * ((1u64 << 50) / 256), u64::MAX - 1024 + i),
+                    u32::MAX - 1,
+                )
+            })
+            .collect();
+        let chunks = chunk_rows(&rows).unwrap();
+        assert!(chunks.len() >= 2, "adversarial rows must split");
+        let mut rejoined = Vec::new();
+        for chunk in chunks {
+            let bytes = encode_block(chunk).unwrap();
+            assert!(bytes.len() <= PACK_CAPACITY, "len {}", bytes.len());
+            rejoined.extend(decode_block(&bytes).unwrap().rows);
+        }
+        assert_eq!(rejoined, rows);
+    }
+
+    #[test]
+    fn typical_mixed_block_fits_a_pack_page() {
+        // The bulk-load shape: 256 rows over a few dozen grams, small ids.
+        let rows = sample_rows(256, 40, 2);
+        let bytes = encode_block(&rows).unwrap();
+        assert!(bytes.len() <= PACK_CAPACITY, "len {}", bytes.len());
+        assert_eq!(decode_block(&bytes).unwrap().rows, rows);
+    }
+}

@@ -15,8 +15,9 @@
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
+use crate::fence::Fence;
 use crate::index_store::{META_KIND, META_P, META_Q};
-use crate::ops::{FORMAT_VERSION, SLOT_VERSION};
+use crate::ops::{FORMAT_VERSION, SLOT_INV, SLOT_VERSION};
 use crate::pager::{Pager, Result, StoreError};
 use crate::vfs::Vfs;
 use pqgram_core::{PQParams, TreeIndex};
@@ -43,6 +44,9 @@ pub(crate) struct Segment {
     owned: Vec<u64>,
     /// The tombstoned subset of `owned`, ascending.
     tombstones: Vec<u64>,
+    /// Learned fence over the immutable inverted directory: probes answer
+    /// from its flat arrays instead of descending the directory B+-tree.
+    fence: Fence,
 }
 
 impl Segment {
@@ -84,14 +88,16 @@ impl Segment {
             }
         }
         rows.sort_unstable_by_key(|&(k, _)| k);
-        crate::ops::bulk_load_relations(&pool, &rows)?;
+        crate::ops::bulk_load_relations(&pool, &rows, true)?;
         BTree::open(&pool, SLOT_TOMB)?.bulk_load(tombstones.iter().map(|&t| ((t, 0), 1)))?;
         pool.sync()?;
+        let fence = Fence::build(&BTree::open_existing(&pool, SLOT_INV)?)?;
         Ok(Segment {
             pool,
             seq,
             owned,
             tombstones,
+            fence,
         })
     }
 
@@ -132,11 +138,13 @@ impl Segment {
         owned.extend(&tombstones);
         owned.sort_unstable();
         owned.dedup();
+        let fence = Fence::build(&BTree::open_existing(&pool, SLOT_INV)?)?;
         Ok(Segment {
             pool,
             seq,
             owned,
             tombstones,
+            fence,
         })
     }
 
@@ -146,6 +154,16 @@ impl Segment {
 
     pub(crate) fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The learned fence over this segment's inverted directory.
+    pub(crate) fn fence(&self) -> &Fence {
+        &self.fence
+    }
+
+    /// On-disk footprint of this segment's relations.
+    pub(crate) fn relation_bytes(&self) -> Result<crate::ops::RelationBytes> {
+        crate::ops::relation_bytes(&self.pool)
     }
 
     /// Every tree id this segment decides, ascending.

@@ -574,6 +574,19 @@ impl SegmentedIndexStore {
             ..check
         })
     }
+
+    /// On-disk footprint of every live source, newest first: one
+    /// `(source, bytes)` entry per segment (keyed by sequence number) and
+    /// one for the main file (keyed by [`MAIN_SOURCE`]).
+    pub fn relation_bytes(&self) -> Result<Vec<(u64, crate::ops::RelationBytes)>> {
+        let set = self.snapshot();
+        let mut out = Vec::with_capacity(set.segments.len() + 1);
+        for seg in &set.segments {
+            out.push((seg.seq(), seg.relation_bytes().map_err(IndexError::Store)?));
+        }
+        out.push((MAIN_SOURCE, set.main.relation_bytes()?));
+        Ok(out)
+    }
 }
 
 /// A cloneable, `Send + Sync` read handle over the published snapshot of a
@@ -651,6 +664,7 @@ impl SegmentedReader {
 
 fn run_masked(
     pool: &BufferPool,
+    fence: Option<&crate::fence::Fence>,
     query: &TreeIndex,
     tau: f64,
     threads: usize,
@@ -659,7 +673,7 @@ fn run_masked(
     if tau > 1.0 {
         crate::ops::lookup_scan_masked(pool, query, tau, skip)
     } else {
-        crate::ops::lookup_inverted_masked(pool, query, tau, threads, skip)
+        crate::ops::lookup_inverted_masked(pool, fence, query, tau, threads, skip)
     }
 }
 
@@ -678,6 +692,11 @@ fn lookup_merged(
     let mut hits: Vec<LookupHit> = Vec::new();
     let mut stats = LookupStats {
         used_inverted: tau <= 1.0,
+        plan: if tau > 1.0 {
+            crate::ops::LookupPlan::TauExhaustiveFallback
+        } else {
+            crate::ops::LookupPlan::CandidateMerge
+        },
         ..LookupStats::default()
     };
     if let Some(mt) = memtable {
@@ -718,19 +737,25 @@ fn lookup_merged(
         }
     }
     for seg in &set.segments {
-        let (h, s) = run_masked(seg.pool(), query, tau, threads, &skip)?;
+        let (h, s) = run_masked(seg.pool(), Some(seg.fence()), query, tau, threads, &skip)?;
         hits.extend(h);
         stats.rows_read += s.rows_read;
         stats.candidates += s.candidates;
         stats.verified += s.verified;
+        stats.blocks_decoded += s.blocks_decoded;
+        stats.blocks_skipped += s.blocks_skipped;
+        stats.bytes_decoded += s.bytes_decoded;
         stats.by_source.push((seg.seq(), s.rows_read));
         skip.extend(seg.owned().iter().copied());
     }
-    let (h, s) = run_masked(set.main.pool(), query, tau, threads, &skip)?;
+    let (h, s) = run_masked(set.main.pool(), None, query, tau, threads, &skip)?;
     hits.extend(h);
     stats.rows_read += s.rows_read;
     stats.candidates += s.candidates;
     stats.verified += s.verified;
+    stats.blocks_decoded += s.blocks_decoded;
+    stats.blocks_skipped += s.blocks_skipped;
+    stats.bytes_decoded += s.bytes_decoded;
     stats.grams_probed = s.grams_probed;
     stats.by_source.push((MAIN_SOURCE, s.rows_read));
     crate::ops::sort_hits(&mut hits);

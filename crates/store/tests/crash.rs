@@ -83,12 +83,26 @@ fn index_fixtures() -> IndexFixtures {
     }
 }
 
-/// Fault-free setup phase: create the store and commit the initial trees.
+/// Fault-free setup phase: bulk-create the store with the initial trees
+/// plus four clones of tree `a` — every gram of `a` then carries five
+/// postings, over the block threshold, so the mutation phase below
+/// exercises posting-block rewrites (not just inline rows) at every
+/// enumerated crash point.
 fn index_setup(vfs: &FaultVfs, fx: &IndexFixtures) -> IndexStore {
     let vfs: Arc<FaultVfs> = Arc::new(vfs.clone());
-    let mut store = IndexStore::create_with(Path::new(DB), fx.params, vfs).unwrap();
-    store.put_tree(TreeId(1), &fx.a).unwrap();
-    store.put_tree(TreeId(2), &fx.b).unwrap();
+    let forest = [
+        (TreeId(1), &fx.a),
+        (TreeId(2), &fx.b),
+        (TreeId(11), &fx.a),
+        (TreeId(12), &fx.a),
+        (TreeId(13), &fx.a),
+        (TreeId(14), &fx.a),
+    ];
+    let store = IndexStore::bulk_create_with(Path::new(DB), fx.params, forest, vfs).unwrap();
+    assert!(
+        store.verify().unwrap().blocks > 0,
+        "setup must produce a block-bearing inverted relation"
+    );
     store
 }
 

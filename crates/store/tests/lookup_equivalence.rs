@@ -21,7 +21,10 @@
 //! so the oracle only receives the non-empty members.
 
 use pqgram_core::{build_index, ForestIndex, PQParams, TreeId, TreeIndex};
-use pqgram_store::{FaultVfs, IndexStore, SegmentedIndexStore, MAIN_SOURCE, MEMTABLE_SOURCE};
+use pqgram_store::{
+    FaultVfs, IndexStore, InvertedEncoding, LookupPlan, SegmentedIndexStore, MAIN_SOURCE,
+    MEMTABLE_SOURCE,
+};
 use pqgram_tree::generate::{random_tree, RandomTreeConfig};
 use pqgram_tree::LabelTable;
 use proptest::prelude::*;
@@ -191,5 +194,118 @@ proptest! {
         drop(seg);
         let seg = SegmentedIndexStore::open_with(Path::new("/equiv/seg"), vfs).unwrap();
         prop_assert_eq!(seg.lookup(&query, tau).unwrap(), expected);
+    }
+
+    /// A bulk-created posting-block store must answer every lookup
+    /// **bit-identically** to a row-per-posting store (the format-v2
+    /// encoding, kept as the benchmark ablation) and to the in-memory
+    /// oracle — through arbitrary point mutations, which rewrite, split,
+    /// shrink and collapse blocks in place.
+    #[test]
+    fn posting_block_stores_match_row_per_posting_and_the_oracle(
+        members in proptest::collection::vec((0usize..40, any::<u64>()), 1..12),
+        // Each member is cloned under this many ids: ≥ 4 clones push every
+        // shared gram over the block threshold, so real blocks form.
+        clones in 1usize..6,
+        overwrites in proptest::collection::vec((any::<prop::sample::Index>(), any::<u64>()), 0..4),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        query_nodes in 1usize..60,
+        query_seed in any::<u64>(),
+        tau_pick in 0usize..4,
+    ) {
+        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        let params = PQParams::new(2, 3);
+        let vfs: Arc<dyn pqgram_store::Vfs> = Arc::new(FaultVfs::new());
+        let mut lt = LabelTable::new();
+        let mk = |lt: &mut LabelTable, nodes: usize, seed: u64| {
+            if nodes == 0 {
+                TreeIndex::empty(params)
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_tree(&mut rng, lt, &RandomTreeConfig::new(nodes, 5));
+                build_index(&tree, lt, params)
+            }
+        };
+        // Forest: member i cloned under ids i, i+N, i+2N, … — shared grams
+        // then carry `clones` postings each.
+        let n = members.len() as u64;
+        let mut latest: Vec<(TreeId, TreeIndex)> = Vec::new();
+        for (i, &(nodes, seed)) in members.iter().enumerate() {
+            let index = mk(&mut lt, nodes, seed);
+            for c in 0..clones as u64 {
+                latest.push((TreeId(i as u64 + c * n), index.clone()));
+            }
+        }
+        latest.sort_unstable_by_key(|&(id, _)| id);
+        let mut blocked = IndexStore::bulk_create_with_encoding(
+            Path::new("/equiv/blocked"),
+            params,
+            latest.iter().map(|(id, ix)| (*id, ix)),
+            Arc::clone(&vfs),
+            InvertedEncoding::PostingBlocks,
+        ).unwrap();
+        let mut raw = IndexStore::bulk_create_with_encoding(
+            Path::new("/equiv/raw"),
+            params,
+            latest.iter().map(|(id, ix)| (*id, ix)),
+            Arc::clone(&vfs),
+            InvertedEncoding::RowPerPosting,
+        ).unwrap();
+        if clones >= 4 && members.iter().any(|&(nodes, _)| nodes > 0) {
+            prop_assert!(
+                blocked.verify().unwrap().blocks > 0,
+                "≥ 4 clones of a non-empty member must produce blocks"
+            );
+        }
+        prop_assert_eq!(raw.verify().unwrap().blocks, 0);
+
+        // The same point mutations against both encodings: overwrites and
+        // removals hit a clone of a random member, exercising block
+        // rewrite/split/shrink on `blocked` and plain rows on `raw`.
+        for (pick, seed) in &overwrites {
+            let i = pick.index(latest.len());
+            let id = latest[i].0;
+            let index = mk(&mut lt, members[pick.index(members.len())].0 / 2 + 1, *seed);
+            blocked.put_tree(id, &index).unwrap();
+            raw.put_tree(id, &index).unwrap();
+            latest[i].1 = index;
+        }
+        for pick in &removals {
+            let i = pick.index(latest.len());
+            let id = latest[i].0;
+            blocked.remove_tree(id).unwrap();
+            raw.remove_tree(id).unwrap();
+            latest[i].1 = TreeIndex::empty(params);
+        }
+        blocked.verify().unwrap();
+        raw.verify().unwrap();
+
+        let mut oracle = ForestIndex::new();
+        for (id, index) in &latest {
+            if index.total() > 0 {
+                oracle.insert(*id, index.clone());
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let qtree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(query_nodes, 5));
+        let query = build_index(&qtree, &lt, params);
+
+        let expected = oracle.lookup(&query, tau).unwrap();
+        let (blocked_hits, blocked_stats) = blocked.lookup_with_stats(&query, tau).unwrap();
+        let (raw_hits, raw_stats) = raw.lookup_with_stats(&query, tau).unwrap();
+        prop_assert_eq!(&blocked_hits, &expected);
+        prop_assert_eq!(&raw_hits, &expected);
+        prop_assert_eq!(blocked_stats.used_inverted, tau <= 1.0);
+        prop_assert_eq!(raw_stats.used_inverted, tau <= 1.0);
+        let want_plan = if tau <= 1.0 {
+            LookupPlan::CandidateMerge
+        } else {
+            LookupPlan::TauExhaustiveFallback
+        };
+        prop_assert_eq!(blocked_stats.plan, want_plan);
+        prop_assert_eq!(raw_stats.plan, want_plan);
+        // A row-per-posting store never touches a block.
+        prop_assert_eq!(raw_stats.blocks_decoded, 0);
+        prop_assert_eq!(raw_stats.bytes_decoded, 0);
     }
 }
