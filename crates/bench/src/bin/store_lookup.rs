@@ -354,7 +354,10 @@ fn main() {
     let (csv_name, json_name) = if compress {
         ("store_lookup", "BENCH_store_lookup.json")
     } else {
-        ("store_lookup_nocompress", "BENCH_store_lookup_nocompress.json")
+        (
+            "store_lookup_nocompress",
+            "BENCH_store_lookup_nocompress.json",
+        )
     };
     match table.write_csv(&PathBuf::from("bench_results"), csv_name) {
         Ok(path) => println!("   -> {}", path.display()),

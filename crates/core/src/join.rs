@@ -357,34 +357,32 @@ pub fn join_parallel(
         };
         let inverted = InvertedIndex::build(build_side);
         let probes: Vec<(TreeId, &TreeIndex)> = probe_side.iter().collect();
-        for (part_pairs, candidates, verified) in
-            crate::par::map_chunks(&probes, threads, |part| {
-                let mut out = Vec::new();
-                let mut candidates = 0u64;
-                let mut verified = 0u64;
-                for &(probe_id, probe_index) in part {
-                    let intersections = inverted.intersections(probe_index);
-                    candidates += intersections.len() as u64;
-                    for (cand, overlap) in intersections {
-                        if !size_filter(probe_index.total(), overlap.total, tau) {
-                            continue;
-                        }
-                        verified += 1;
-                        let distance =
-                            overlap_distance(overlap.shared, probe_index.total(), overlap.total);
-                        if distance < tau {
-                            let (l, r) = if invert_left {
-                                (cand, probe_id)
-                            } else {
-                                (probe_id, cand)
-                            };
-                            pairs_push(&mut out, l, r, distance);
-                        }
+        for (part_pairs, candidates, verified) in crate::par::map_chunks(&probes, threads, |part| {
+            let mut out = Vec::new();
+            let mut candidates = 0u64;
+            let mut verified = 0u64;
+            for &(probe_id, probe_index) in part {
+                let intersections = inverted.intersections(probe_index);
+                candidates += intersections.len() as u64;
+                for (cand, overlap) in intersections {
+                    if !size_filter(probe_index.total(), overlap.total, tau) {
+                        continue;
+                    }
+                    verified += 1;
+                    let distance =
+                        overlap_distance(overlap.shared, probe_index.total(), overlap.total);
+                    if distance < tau {
+                        let (l, r) = if invert_left {
+                            (cand, probe_id)
+                        } else {
+                            (probe_id, cand)
+                        };
+                        pairs_push(&mut out, l, r, distance);
                     }
                 }
-                (out, candidates, verified)
-            })
-        {
+            }
+            (out, candidates, verified)
+        }) {
             pairs.extend(part_pairs);
             stats.pairs_candidates += candidates;
             stats.pairs_verified += verified;

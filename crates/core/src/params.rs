@@ -28,6 +28,7 @@ impl PQParams {
     /// Non-panicking constructor: `None` unless `p ≥ 1` and `q ≥ 1`. Use
     /// this when the parameters come from untrusted input, e.g. a store
     /// file header read during recovery.
+    // analyze: validates(count)
     pub fn try_new(p: usize, q: usize) -> Option<Self> {
         (p >= 1 && q >= 1).then_some(PQParams { p, q })
     }

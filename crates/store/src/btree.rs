@@ -70,8 +70,13 @@ impl<'p> BTree<'p> {
         Ok(BTree { pool, meta_slot })
     }
 
+    /// The slot is checked non-zero at open time, and an out-of-range
+    /// value degrades to an unmapped page id that the very next page read
+    /// rejects as `Corrupt` — it can never wrap into a live page.
+    // analyze: taint-exempt(out-of-range roots saturate to an invalid page id; the pager rejects it)
     fn root(&self) -> PageId {
-        PageId((self.pool.meta(self.meta_slot) - 1) as u32)
+        let raw = self.pool.meta(self.meta_slot).saturating_sub(1);
+        PageId(u32::try_from(raw).unwrap_or(u32::MAX))
     }
 
     fn set_root(&self, id: PageId) -> Result<()> {

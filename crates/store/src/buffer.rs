@@ -236,7 +236,10 @@ impl BufferPool {
         pager.free(id)
     }
 
-    /// Reads a user metadata slot.
+    /// Reads a user metadata slot. The value is raw header-page state off
+    /// disk: callers must validate it before it steers a page id, length,
+    /// or allocation.
+    // analyze: untrusted-source
     pub fn meta(&self, slot: usize) -> u64 {
         let pager = self.pager.lock();
         pager.meta(slot)

@@ -65,7 +65,8 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub fn update(mut state: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for c in &mut chunks {
-        let lo = u32::from_le_bytes(c.get(..4).and_then(|s| s.try_into().ok()).unwrap_or([0; 4])) ^ state;
+        let lo = u32::from_le_bytes(c.get(..4).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]))
+            ^ state;
         let hi = u32::from_le_bytes(c.get(4..).and_then(|s| s.try_into().ok()).unwrap_or([0; 4]));
         state = tab(7, lo)
             ^ tab(6, lo >> 8)

@@ -265,10 +265,13 @@ mod tests {
     fn locate_matches_binary_search_on_linear_keys() {
         let grams: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
         let fence = fence_over(grams.clone());
-        assert!(fence.segments() < 50, "linear data should need few segments");
+        assert!(
+            fence.segments() < 50,
+            "linear data should need few segments"
+        );
         for probe in [0u64, 1, 2, 3, 299, 300, 29_997, 29_998, 40_000] {
-            let expect = grams.partition_point(|&g| g < probe)
-                ..grams.partition_point(|&g| g <= probe);
+            let expect =
+                grams.partition_point(|&g| g < probe)..grams.partition_point(|&g| g <= probe);
             assert_eq!(fence.locate(probe), expect, "probe {probe}");
         }
     }
@@ -287,8 +290,8 @@ mod tests {
         let mut probes: Vec<u64> = grams.clone();
         probes.extend([5u64, 1 << 30, u64::MAX, 0]);
         for probe in probes {
-            let expect = grams.partition_point(|&g| g < probe)
-                ..grams.partition_point(|&g| g <= probe);
+            let expect =
+                grams.partition_point(|&g| g < probe)..grams.partition_point(|&g| g <= probe);
             assert_eq!(fence.locate(probe), expect, "probe {probe}");
         }
     }
@@ -298,5 +301,96 @@ mod tests {
         let fence = fence_over(Vec::new());
         assert_eq!(fence.locate(42), 0..0);
         assert_eq!(fence.len(), 0);
+        assert_eq!(fence.segments(), 0, "no rows fit no model segments");
+    }
+
+    /// Binary-search oracle: `locate` must equal the partition-point range
+    /// for every probe, no matter what the model predicts.
+    fn assert_matches_oracle(grams: &[u64], probes: impl IntoIterator<Item = u64>) {
+        let fence = fence_over(grams.to_vec());
+        for probe in probes {
+            let expect =
+                grams.partition_point(|&g| g < probe)..grams.partition_point(|&g| g <= probe);
+            assert_eq!(fence.locate(probe), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn single_key_directory_round_trips() {
+        for key in [0u64, 1, 7, u64::MAX - 1, u64::MAX] {
+            assert_matches_oracle(
+                &[key],
+                [
+                    key,
+                    key.saturating_sub(1),
+                    key.saturating_add(1),
+                    0,
+                    u64::MAX,
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn all_duplicate_directory_round_trips() {
+        let grams = vec![99u64; 1000];
+        assert_matches_oracle(&grams, [98, 99, 100, 0, u64::MAX]);
+    }
+
+    /// Duplicate runs of exactly [`FENCE_EPSILON`] rows shift every later
+    /// first-index by the model's maximum tolerated error, pinning
+    /// predictions to the verification boundary. `locate` must stay exact
+    /// whether the prediction is accepted or falls back.
+    #[test]
+    fn predictions_exactly_epsilon_off_stay_correct() {
+        let mut grams = Vec::new();
+        for i in 0..256u64 {
+            grams.push(i * 2);
+            if i % 32 == 31 {
+                // A run that drifts positions by exactly the model error.
+                for _ in 0..FENCE_EPSILON {
+                    grams.push(i * 2);
+                }
+            }
+        }
+        let probes: Vec<u64> = (0..520u64).collect();
+        assert_matches_oracle(&grams, probes);
+    }
+
+    /// Randomised clustered keys against the oracle, deterministic
+    /// splitmix64 (self-contained: the suite must build without external
+    /// crates).
+    #[test]
+    fn randomised_directories_match_binary_search() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for round in 0..20 {
+            let n = 1 + usize::try_from(next() % 2000).unwrap_or(0);
+            let mut grams: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Mix tight clusters with full-range outliers.
+                    if next() % 4 == 0 {
+                        next()
+                    } else {
+                        (1 << 40) + next() % 512
+                    }
+                })
+                .collect();
+            grams.sort_unstable();
+            let mut probes: Vec<u64> = grams.clone();
+            for _ in 0..64 {
+                probes.push(next());
+            }
+            probes.push(0);
+            probes.push(u64::MAX);
+            assert_matches_oracle(&grams, probes);
+            let _ = round;
+        }
     }
 }

@@ -318,7 +318,12 @@ impl IndexStore {
     where
         I: IntoIterator<Item = (TreeId, &'a TreeIndex)>,
     {
-        Self::bulk_create_with(path, params, forest, std::sync::Arc::new(crate::vfs::RealVfs))
+        Self::bulk_create_with(
+            path,
+            params,
+            forest,
+            std::sync::Arc::new(crate::vfs::RealVfs),
+        )
     }
 
     /// [`IndexStore::bulk_create`] on an explicit vfs (crash-enumeration
@@ -897,11 +902,8 @@ mod tests {
                 // The migrating open may fail; the error is the point.
                 let _ = IndexStore::open_with(path, std::sync::Arc::new(vfs.clone()));
                 assert!(vfs.crashed(), "crash point {n} ({mode:?}) never fired");
-                let reopened =
-                    IndexStore::open_with(path, std::sync::Arc::new(vfs.surviving()))
-                        .unwrap_or_else(|e| {
-                            panic!("crash point {n} ({mode:?}): reopen failed: {e}")
-                        });
+                let reopened = IndexStore::open_with(path, std::sync::Arc::new(vfs.surviving()))
+                    .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): reopen failed: {e}"));
                 reopened
                     .verify()
                     .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify: {e}"));

@@ -74,12 +74,58 @@ pub mod journal;
 mod manifest;
 mod memtable;
 pub mod ops;
-mod postings;
 pub mod page;
 pub mod pager;
+mod postings;
 mod segment;
 pub mod segmented;
 pub mod vfs;
+
+/// Structure-aware fuzzing hooks over the internal decode entry points.
+///
+/// Hidden from docs and exempt from any stability promise: this exists so
+/// the out-of-crate byte-mutator harness (`tests/decode_fuzz.rs`) can
+/// drive `pub(crate)` decoders — posting-block decode, fence
+/// construction/probe — directly, without widening the real API. Never
+/// call this from production code.
+#[doc(hidden)]
+pub mod fuzz {
+    use crate::pager::Result;
+    use crate::postings;
+
+    /// Upper bound on rows per posting block (mirrors the internal cap).
+    pub const MAX_BLOCK_ROWS: usize = postings::MAX_BLOCK_ROWS;
+
+    /// Encodes sorted `((gram, treeId), count)` rows into one block entry
+    /// (used to build seed corpora, not to fuzz the encoder).
+    pub fn encode_block(rows: &[((u64, u64), u32)]) -> Result<Vec<u8>> {
+        postings::encode_block(rows)
+    }
+
+    /// Full posting-block decode. The contract under fuzzing: any byte
+    /// string returns `Ok` or `Err(Corrupt)` — never a panic, hang, or
+    /// allocation beyond the structural caps.
+    pub fn decode_block(bytes: &[u8]) -> Result<Vec<((u64, u64), u32)>> {
+        postings::decode_block(bytes).map(|d| d.rows)
+    }
+
+    /// A learned fence built over a sorted gram column (treeIds and
+    /// inline values synthesised), probed via [`Fence::locate`].
+    pub struct Fence(crate::fence::Fence);
+
+    impl Fence {
+        pub fn over_grams(grams: Vec<u64>) -> Fence {
+            let n = grams.len();
+            let tids = (0..u64::try_from(n).unwrap_or(0)).collect();
+            let vals = vec![postings::INLINE_BIT | 1; n];
+            Fence(crate::fence::Fence::from_rows(grams, tids, vals))
+        }
+
+        pub fn locate(&self, gram: u64) -> std::ops::Range<usize> {
+            self.0.locate(gram)
+        }
+    }
+}
 
 pub use btree::BTree;
 pub use document::DocumentStore;

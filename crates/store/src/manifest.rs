@@ -95,12 +95,16 @@ impl Manifest {
         self.params
     }
 
-    /// The current main-file generation.
+    /// The current main-file generation. Raw manifest state: callers must
+    /// not trust it as a loop bound or arithmetic operand unchecked.
+    // analyze: untrusted-source
     pub(crate) fn generation(&self) -> u64 {
         self.pool.meta(SLOT_GEN)
     }
 
     /// The segment sequence high-water mark (first unreserved sequence).
+    /// Raw manifest state — see [`generation`](Self::generation).
+    // analyze: untrusted-source
     pub(crate) fn hwm(&self) -> u64 {
         self.pool.meta(SLOT_HWM)
     }
@@ -121,9 +125,12 @@ impl Manifest {
     /// the orphan-sweep invariant (`.seg.<s>` on disk implies `s < hwm`).
     pub(crate) fn reserve_seqs(&mut self, n: u64) -> Result<u64> {
         let first = self.hwm();
-        let next = first.checked_add(n).ok_or_else(|| {
-            StoreError::InvalidArgument("segment sequence space exhausted".into())
-        })?;
+        if first > u64::MAX - n {
+            return Err(StoreError::InvalidArgument(
+                "segment sequence space exhausted".into(),
+            ));
+        }
+        let next = first + n;
         self.transactional(|pool| pool.set_meta(SLOT_HWM, next))?;
         Ok(first)
     }

@@ -519,9 +519,14 @@ pub(crate) fn lookup_inverted_masked(
             None => {
                 let inv = BTree::open_existing(pool, SLOT_INV)?;
                 for &(g, qc) in &probe {
-                    postings::for_each_posting(pool, &inv, g, &mut cache, &mut counters, |t, c| {
-                        emit(qc, t, c)
-                    })?;
+                    postings::for_each_posting(
+                        pool,
+                        &inv,
+                        g,
+                        &mut cache,
+                        &mut counters,
+                        |t, c| emit(qc, t, c),
+                    )?;
                 }
             }
         }

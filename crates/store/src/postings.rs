@@ -178,6 +178,7 @@ struct BitReader<'a> {
 impl BitReader<'_> {
     /// Reads `width` bits starting at absolute bit `pos`, word-at-a-time:
     /// the value spans at most 9 bytes, loaded into a `u128` and shifted.
+    // analyze: untrusted-source
     fn read(&self, pos: usize, width: u8) -> Result<u64> {
         if width == 0 {
             return Ok(0);
@@ -202,7 +203,7 @@ impl BitReader<'_> {
         } else {
             (1u64 << width) - 1
         };
-        Ok((word as u64) & mask)
+        u64::try_from(word & u128::from(mask)).map_err(|_| corrupt("bit read exceeds word"))
     }
 }
 
@@ -218,6 +219,7 @@ struct SeqBits<'a> {
 
 impl<'a> SeqBits<'a> {
     /// A reader positioned at absolute bit `pos`.
+    // analyze: untrusted-source
     fn at(bytes: &'a [u8], pos: usize) -> SeqBits<'a> {
         let mut r = SeqBits {
             bytes,
@@ -225,7 +227,7 @@ impl<'a> SeqBits<'a> {
             buf: 0,
             avail: 0,
         };
-        let skip = (pos % 8) as u32;
+        let skip = u32::try_from(pos % 8).unwrap_or(0);
         if skip > 0 {
             if let Some(&b) = bytes.get(r.next) {
                 r.buf = u128::from(b >> skip);
@@ -238,6 +240,7 @@ impl<'a> SeqBits<'a> {
     }
 
     /// Reads the next `width` bits.
+    // analyze: untrusted-source
     #[inline]
     fn read(&mut self, width: u8) -> Result<u64> {
         let w = u32::from(width);
@@ -260,7 +263,8 @@ impl<'a> SeqBits<'a> {
             }
         }
         let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-        let val = (self.buf as u64) & mask;
+        let val = u64::try_from(self.buf & u128::from(mask))
+            .map_err(|_| corrupt("bit read exceeds word"))?;
         self.buf >>= w;
         self.avail -= w;
         Ok(val)
@@ -269,7 +273,7 @@ impl<'a> SeqBits<'a> {
 
 /// Bits needed for `v` (0 for `v == 0`).
 fn bit_width(v: u64) -> u8 {
-    (64 - v.leading_zeros()) as u8
+    u8::try_from(64 - v.leading_zeros()).unwrap_or(64)
 }
 
 /// Low-bit width for Elias-Fano over universe `u` with `n` elements.
@@ -277,7 +281,7 @@ fn low_width(u: u64, n: u64) -> u8 {
     if n == 0 || u / n == 0 {
         0
     } else {
-        (63 - (u / n).leading_zeros()) as u8
+        u8::try_from(63 - (u / n).leading_zeros()).unwrap_or(63)
     }
 }
 
@@ -326,12 +330,13 @@ fn plan_block(rows: &[Row]) -> Result<Plan> {
             runs.push(1);
         }
     }
-    let g_count = grams.len() as u64;
+    let g_count = u64::try_from(grams.len()).map_err(|_| corrupt("gram count too large"))?;
     let first_gram = grams.first().copied().unwrap_or(0);
     let last_gram = grams.last().copied().unwrap_or(0);
     let u_g = last_gram - first_gram;
     let gw = low_width(u_g, g_count);
-    let rw = bit_width(n as u64 - 1);
+    let n64 = u64::try_from(n).map_err(|_| corrupt("row count too large"))?;
+    let rw = bit_width(n64 - 1);
     let tw = bit_width(rows.iter().map(|&((_, t), _)| t).max().unwrap_or(0));
     let cw = bit_width(u64::from(
         rows.iter().map(|&(_, c)| c - 1).max().unwrap_or(0),
@@ -343,7 +348,9 @@ fn plan_block(rows: &[Row]) -> Result<Plan> {
         .ok_or_else(|| corrupt("gram universe too large"))?;
     let sections = gram_high_bits
         .div_ceil(8)
-        .checked_add(grams.len() * usize::from(gw) / 8 + usize::from(grams.len() * usize::from(gw) % 8 != 0))
+        .checked_add(
+            grams.len() * usize::from(gw) / 8 + usize::from(grams.len() * usize::from(gw) % 8 != 0),
+        )
         .and_then(|v| v.checked_add((grams.len() * usize::from(rw)).div_ceil(8)))
         .and_then(|v| v.checked_add((n * usize::from(tw)).div_ceil(8)))
         .and_then(|v| v.checked_add((n * usize::from(cw)).div_ceil(8)))
@@ -410,8 +417,9 @@ pub(crate) fn encode_block(rows: &[Row]) -> Result<Vec<u8>> {
         // Cumulative row count through this gram, biased by one: probes
         // read any gram's row prefix and run length in O(1).
         cum += r;
+        let cum64 = u64::try_from(cum).map_err(|_| corrupt("row count too large"))?;
         if plan.rw > 0 {
-            run_bits.push(cum as u64 - 1, plan.rw)?;
+            run_bits.push(cum64 - 1, plan.rw)?;
         }
     }
     let mut tids = BitWriter::with_bits(n * usize::from(plan.tw));
@@ -487,8 +495,11 @@ pub(crate) fn chunk_rows(rows: &[Row]) -> Result<Vec<&[Row]>> {
     Ok(out)
 }
 
+// analyze: untrusted-source
 fn read_u64(bytes: &[u8], off: usize) -> Result<u64> {
-    let end = off.checked_add(8).ok_or_else(|| corrupt("offset overflow"))?;
+    let end = off
+        .checked_add(8)
+        .ok_or_else(|| corrupt("offset overflow"))?;
     let slice = bytes
         .get(off..end)
         .ok_or_else(|| corrupt("entry truncated"))?;
@@ -496,8 +507,11 @@ fn read_u64(bytes: &[u8], off: usize) -> Result<u64> {
     Ok(u64::from_le_bytes(arr))
 }
 
+// analyze: untrusted-source
 fn read_u16(bytes: &[u8], off: usize) -> Result<u16> {
-    let end = off.checked_add(2).ok_or_else(|| corrupt("offset overflow"))?;
+    let end = off
+        .checked_add(2)
+        .ok_or_else(|| corrupt("offset overflow"))?;
     let slice = bytes
         .get(off..end)
         .ok_or_else(|| corrupt("entry truncated"))?;
@@ -549,6 +563,7 @@ struct Layout {
 
 /// Slices the sections of `bytes` according to an already-parsed `Layout`
 /// (which must have been produced from these same bytes).
+// analyze: validates(offset|len)
 fn sections_of<'a>(bytes: &'a [u8], l: &Layout) -> Result<Sections<'a>> {
     let section = |a: usize, b: usize| -> Result<&'a [u8]> {
         bytes.get(a..b).ok_or_else(|| corrupt("entry truncated"))
@@ -583,6 +598,7 @@ fn sections_of<'a>(bytes: &'a [u8], l: &Layout) -> Result<Sections<'a>> {
 /// *without* verifying the CRC — callers either verify it themselves
 /// ([`validate_entry`]) or hold bytes already verified once (the probe
 /// memo in [`BlockCache`]).
+// analyze: validates(len|offset|count)
 fn parse_layout(bytes: &[u8]) -> Result<Layout> {
     if bytes.len() < ENTRY_HDR + PREFIX + 4 {
         return Err(corrupt("entry shorter than minimum"));
@@ -660,6 +676,7 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout> {
 }
 
 /// [`parse_layout`] plus section slicing.
+// analyze: validates(len|offset|count)
 fn parse_sections(bytes: &[u8]) -> Result<Sections<'_>> {
     let layout = parse_layout(bytes)?;
     sections_of(bytes, &layout)
@@ -667,6 +684,7 @@ fn parse_sections(bytes: &[u8]) -> Result<Sections<'_>> {
 
 /// Verifies the trailing CRC of one entry (covers everything before the
 /// last 4 bytes).
+// analyze: taint-exempt(verifies the trailing checksum; total — every read is a bounds-checked slice and nothing here steers memory)
 fn check_crc(bytes: &[u8]) -> Result<()> {
     let crc_off = bytes
         .len()
@@ -688,6 +706,7 @@ fn check_crc(bytes: &[u8]) -> Result<()> {
 }
 
 /// [`parse_sections`] plus CRC verification.
+// analyze: validates(len|offset|count)
 fn validate_entry(bytes: &[u8]) -> Result<Sections<'_>> {
     let sections = parse_sections(bytes)?;
     check_crc(bytes)?;
@@ -697,6 +716,7 @@ fn validate_entry(bytes: &[u8]) -> Result<Sections<'_>> {
 /// Calls `f` with the position of every set bit among the first `nbits`
 /// bits of `section`, word-at-a-time (zeros are skipped 64 bits per step).
 /// `f` returns `false` to stop the scan.
+// analyze: taint-exempt(branchless bit trick over raw words; total on all inputs, emits positions only)
 fn scan_set_bits(section: &[u8], nbits: usize, mut f: impl FnMut(usize) -> bool) {
     let mut base = 0usize;
     for chunk in section.chunks(8) {
@@ -707,11 +727,11 @@ fn scan_set_bits(section: &[u8], nbits: usize, mut f: impl FnMut(usize) -> bool)
         let mut word = u64::from_le_bytes(buf);
         if nbits < base + 64 {
             // Mask garbage past the logical end of the section.
-            let keep = nbits.saturating_sub(base) as u32;
+            let keep = u32::try_from(nbits.saturating_sub(base)).unwrap_or(64);
             word &= 1u64.checked_shl(keep).map(|v| v - 1).unwrap_or(u64::MAX);
         }
         while word != 0 {
-            let bit = word.trailing_zeros() as usize;
+            let bit = usize::try_from(word.trailing_zeros()).unwrap_or(usize::MAX);
             if !f(base + bit) {
                 return;
             }
@@ -725,6 +745,7 @@ fn scan_set_bits(section: &[u8], nbits: usize, mut f: impl FnMut(usize) -> bool)
 /// bits of `section`, word-at-a-time: whole words of set bits are skipped
 /// with a popcount, and the final word is selected by clearing low bits.
 /// `None` when the section holds fewer than `b` zeros.
+// analyze: taint-exempt(branchless popcount select over raw words; total on all inputs, emits positions only)
 fn select_zero(section: &[u8], nbits: usize, b: usize) -> Option<usize> {
     if b == 0 {
         return None;
@@ -742,16 +763,16 @@ fn select_zero(section: &[u8], nbits: usize, b: usize) -> Option<usize> {
         // Complement so zeros become the countable bits, masking garbage
         // past the logical end of the section.
         let mut word = !u64::from_le_bytes(buf);
-        let keep = nbits.saturating_sub(base).min(64) as u32;
+        let keep = u32::try_from(nbits.saturating_sub(base).min(64)).unwrap_or(64);
         word &= 1u64.checked_shl(keep).map(|v| v - 1).unwrap_or(u64::MAX);
-        let zeros = word.count_ones() as usize;
+        let zeros = usize::try_from(word.count_ones()).unwrap_or(64);
         if remaining > zeros {
             remaining -= zeros;
         } else {
             for _ in 1..remaining {
                 word &= word - 1;
             }
-            return Some(base + word.trailing_zeros() as usize);
+            return Some(base + usize::try_from(word.trailing_zeros()).unwrap_or(0));
         }
         base += 64;
     }
@@ -760,16 +781,23 @@ fn select_zero(section: &[u8], nbits: usize, b: usize) -> Option<usize> {
 
 /// The bit at `pos` among the first `nbits` bits of `section` (`false`
 /// past the logical end).
+// analyze: taint-exempt(single checked bit probe; total on all inputs)
 fn bit_at(section: &[u8], nbits: usize, pos: usize) -> bool {
-    pos < nbits && section.get(pos / 8).is_some_and(|&b| b >> (pos % 8) & 1 != 0)
+    pos < nbits
+        && section
+            .get(pos / 8)
+            .is_some_and(|&b| b >> (pos % 8) & 1 != 0)
 }
 
 /// The `i`-th distinct gram from the Elias-Fano sections, given the
 /// position of its set high bit.
+// analyze: untrusted-source
 fn ef_gram(s: &Sections<'_>, i: usize, pos: usize) -> Result<u64> {
     let bucket = pos
         .checked_sub(i)
-        .ok_or_else(|| corrupt("gram high bit before its rank"))? as u64;
+        .ok_or_else(|| corrupt("gram high bit before its rank"))
+        .map(u64::try_from)?
+        .map_err(|_| corrupt("gram high bit out of range"))?;
     let lo = if s.gw > 0 {
         s.gram_low.read(i * usize::from(s.gw), s.gw)?
     } else {
@@ -788,6 +816,7 @@ fn ef_gram(s: &Sections<'_>, i: usize, pos: usize) -> Result<u64> {
 /// Cumulative row count through the `i`-th distinct gram (rows of grams
 /// `0..=i`). Stored biased by one so a probe reads any gram's row prefix
 /// and run length in O(1) instead of summing run lengths.
+// analyze: untrusted-source
 fn ef_cum(s: &Sections<'_>, i: usize) -> Result<usize> {
     let raw = if s.rw > 0 {
         s.run_bits.read(i * usize::from(s.rw), s.rw)?
@@ -805,6 +834,7 @@ fn ef_cum(s: &Sections<'_>, i: usize) -> Result<usize> {
 /// Every structural violation — truncation, CRC mismatch, non-monotone
 /// rows, header/payload disagreement — returns [`StoreError::Corrupt`];
 /// this function must never panic on arbitrary bytes.
+// analyze: validates(len|offset|count)
 pub(crate) fn decode_block(bytes: &[u8]) -> Result<Decoded> {
     let s = validate_entry(bytes)?;
     let (first, last) = (s.first, s.last);
@@ -959,6 +989,7 @@ fn for_each_gram_in_sections(
 }
 
 /// Reads one biased count (`count - 1` on disk, `1` when `cw == 0`).
+// analyze: untrusted-source
 #[inline]
 fn decode_count(cnts: &mut SeqBits<'_>, cw: u8) -> Result<u32> {
     if cw == 0 {
@@ -975,12 +1006,52 @@ fn decode_count(cnts: &mut SeqBits<'_>, cw: u8) -> Result<u32> {
 // Pack pages
 // ---------------------------------------------------------------------------
 
+/// Total bounds-checked u16 read off a pack page (raw disk bytes).
+// analyze: untrusted-source
+fn pack_u16(p: &PageBuf, off: usize) -> Result<u16> {
+    if off.checked_add(2).is_none_or(|e| e > PAGE_SIZE) {
+        return Err(corrupt("pack read out of page bounds"));
+    }
+    Ok(p.get_u16(off))
+}
+
+/// Total bounds-checked u64 read off a pack page (raw disk bytes).
+// analyze: untrusted-source
+fn pack_u64(p: &PageBuf, off: usize) -> Result<u64> {
+    if off.checked_add(8).is_none_or(|e| e > PAGE_SIZE) {
+        return Err(corrupt("pack read out of page bounds"));
+    }
+    Ok(p.get_u64(off))
+}
+
+// analyze: untrusted-source
 fn pack_used(p: &PageBuf) -> usize {
     usize::from(p.get_u16(4))
 }
 
+// analyze: untrusted-source
 fn pack_entry_count(p: &PageBuf) -> usize {
     usize::from(p.get_u16(2))
+}
+
+/// The smallest possible pack entry: header, empty-payload prefix, CRC.
+const MIN_ENTRY: usize = ENTRY_HDR + PREFIX + 4;
+
+/// Reads and validates the pack-page header, returning the entry count
+/// and the end of the used region. The count is clamped against the
+/// smallest possible entry and the used bytes against the page capacity,
+/// so a corrupt header can never size an allocation or bound a walk.
+// analyze: validates(len|count)
+fn pack_header(p: &PageBuf) -> Result<(usize, usize)> {
+    if !is_pack(p) {
+        return Err(corrupt("page is not a pack page"));
+    }
+    let used = pack_used(p);
+    let n = pack_entry_count(p);
+    if used > PACK_CAPACITY || n > PACK_CAPACITY / MIN_ENTRY {
+        return Err(corrupt("pack page header out of range"));
+    }
+    Ok((n, PACK_HDR + used))
 }
 
 fn pack_init(p: &mut PageBuf) {
@@ -996,16 +1067,9 @@ fn is_pack(p: &PageBuf) -> bool {
 ///
 /// Validates that every entry (header plus payload) lies inside the used
 /// region and that the entries exactly fill it.
+// analyze: validates(offset|len|count)
 fn pack_entries(p: &PageBuf) -> Result<Vec<(usize, usize)>> {
-    if !is_pack(p) {
-        return Err(corrupt("page is not a pack page"));
-    }
-    let used = pack_used(p);
-    let n = pack_entry_count(p);
-    let end = PACK_HDR
-        .checked_add(used)
-        .filter(|&e| e <= PAGE_SIZE)
-        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let (n, end) = pack_header(p)?;
     let mut out = Vec::with_capacity(n);
     let mut off = PACK_HDR;
     for _ in 0..n {
@@ -1013,7 +1077,7 @@ fn pack_entries(p: &PageBuf) -> Result<Vec<(usize, usize)>> {
             .checked_add(34)
             .filter(|&o| o + 2 <= end)
             .ok_or_else(|| corrupt("pack entry header out of range"))?;
-        let len = usize::from(p.get_u16(len_off));
+        let len = usize::from(pack_u16(p, len_off)?);
         let total = ENTRY_HDR
             .checked_add(len)
             .ok_or_else(|| corrupt("pack entry length overflow"))?;
@@ -1033,23 +1097,16 @@ fn pack_entries(p: &PageBuf) -> Result<Vec<(usize, usize)>> {
 /// Finds the entry keyed by its last row `key` on a pack page. Walks the
 /// entries without materialising them (probe hot path): bounds checks
 /// match [`pack_entries`], but the walk stops at the match.
+// analyze: validates(offset|len|count)
 fn pack_find(p: &PageBuf, key: (u64, u64)) -> Result<Option<(usize, usize)>> {
-    if !is_pack(p) {
-        return Err(corrupt("page is not a pack page"));
-    }
-    let used = pack_used(p);
-    let n = pack_entry_count(p);
-    let end = PACK_HDR
-        .checked_add(used)
-        .filter(|&e| e <= PAGE_SIZE)
-        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let (n, end) = pack_header(p)?;
     let mut off = PACK_HDR;
     for _ in 0..n {
         let len_off = off
             .checked_add(34)
             .filter(|&o| o + 2 <= end)
             .ok_or_else(|| corrupt("pack entry header out of range"))?;
-        let len = usize::from(p.get_u16(len_off));
+        let len = usize::from(pack_u16(p, len_off)?);
         let total = ENTRY_HDR
             .checked_add(len)
             .ok_or_else(|| corrupt("pack entry length overflow"))?;
@@ -1057,7 +1114,7 @@ fn pack_find(p: &PageBuf, key: (u64, u64)) -> Result<Option<(usize, usize)>> {
             .checked_add(total)
             .filter(|&e| e <= end)
             .ok_or_else(|| corrupt("pack entry exceeds used region"))?;
-        if (p.get_u64(off), p.get_u64(off + 8)) == key {
+        if (pack_u64(p, off)?, pack_u64(p, off + 8)?) == key {
             return Ok(Some((off, total)));
         }
         off = entry_end;
@@ -1066,6 +1123,7 @@ fn pack_find(p: &PageBuf, key: (u64, u64)) -> Result<Option<(usize, usize)>> {
 }
 
 /// Copies the raw bytes of the entry keyed `key` off a pack page.
+// analyze: validates(offset|len)
 fn pack_read(p: &PageBuf, key: (u64, u64)) -> Result<Vec<u8>> {
     match pack_find(p, key)? {
         Some((off, total)) => Ok(p.slice(off, total).to_vec()),
@@ -1075,20 +1133,12 @@ fn pack_read(p: &PageBuf, key: (u64, u64)) -> Result<Vec<u8>> {
 
 /// Appends an encoded entry to a pack page if it fits.
 fn pack_try_add(p: &mut PageBuf, bytes: &[u8]) -> Result<bool> {
-    if !is_pack(p) {
-        return Err(corrupt("page is not a pack page"));
-    }
-    let used = pack_used(p);
-    let end = PACK_HDR
-        .checked_add(used)
-        .filter(|&e| e <= PAGE_SIZE)
-        .ok_or_else(|| corrupt("pack page used-bytes out of range"))?;
+    let (n, end) = pack_header(p)?;
     let new_end = match end.checked_add(bytes.len()) {
         Some(e) if e <= PAGE_SIZE => e,
         _ => return Ok(false),
     };
     p.put_slice(end, bytes);
-    let n = pack_entry_count(p);
     let used16 =
         u16::try_from(new_end - PACK_HDR).map_err(|_| corrupt("pack page used-bytes overflow"))?;
     let n16 = u16::try_from(n + 1).map_err(|_| corrupt("pack entry count overflow"))?;
@@ -1099,21 +1149,32 @@ fn pack_try_add(p: &mut PageBuf, bytes: &[u8]) -> Result<bool> {
 
 /// Removes the entry keyed `key` from a pack page.
 fn pack_remove(p: &mut PageBuf, key: (u64, u64)) -> Result<()> {
-    let (off, total) = pack_find(p, key)?
-        .ok_or_else(|| corrupt("directory points at a missing pack entry"))?;
-    let used = pack_used(p);
-    let end = PACK_HDR + used;
+    let (off, total) =
+        pack_find(p, key)?.ok_or_else(|| corrupt("directory points at a missing pack entry"))?;
+    let (n, end) = pack_header(p)?;
     let tail = p.slice(off + total, end - (off + total)).to_vec();
     p.put_slice(off, &tail);
     // Zero the freed region so stale bytes never alias a live entry.
     let freed_at = off + tail.len();
     p.put_slice(freed_at, &vec![0u8; end - freed_at]);
-    let n = pack_entry_count(p);
-    let used16 =
-        u16::try_from(used - total).map_err(|_| corrupt("pack page used-bytes overflow"))?;
+    let used16 = u16::try_from(end - PACK_HDR - total)
+        .map_err(|_| corrupt("pack page used-bytes overflow"))?;
     p.put_u16(2, u16::try_from(n.saturating_sub(1)).unwrap_or(0));
     p.put_u16(4, used16);
     Ok(())
+}
+
+/// Turns a non-zero fill-page meta slot (`id + 1` biased) into a checked
+/// [`PageId`]. A raw slot value is attacker-controlled disk state: reject
+/// anything that cannot be a page id rather than wrapping.
+// analyze: validates(pageid)
+fn page_id_from_meta(raw: u64) -> Result<PageId> {
+    if raw == 0 || raw > u64::from(u32::MAX) {
+        return Err(corrupt("fill page meta slot out of range"));
+    }
+    u32::try_from(raw - 1)
+        .map(PageId)
+        .map_err(|_| corrupt("fill page meta slot out of range"))
 }
 
 /// Stores an encoded block, preferring the current fill page.
@@ -1123,9 +1184,7 @@ fn pack_remove(p: &mut PageBuf, key: (u64, u64)) -> Result<()> {
 fn place_block(pool: &BufferPool, bytes: &[u8]) -> Result<PageId> {
     let fill = pool.meta(SLOT_FILL);
     if fill != 0 {
-        let id = PageId(
-            u32::try_from(fill - 1).map_err(|_| corrupt("fill page meta slot out of range"))?,
-        );
+        let id = page_id_from_meta(fill)?;
         let added = pool.with_page_mut(id, |p| {
             if is_pack(p) {
                 pack_try_add(p, bytes)
@@ -1150,9 +1209,16 @@ fn place_block(pool: &BufferPool, bytes: &[u8]) -> Result<PageId> {
     Ok(id)
 }
 
+/// True when a pack page holds no entries. The raw count never leaves
+/// this function — only the comparison does.
+// analyze: validates(count)
+fn pack_is_empty(p: &PageBuf) -> bool {
+    is_pack(p) && pack_entry_count(p) == 0
+}
+
 /// Frees a pack page once its last entry is removed.
 fn free_if_empty(pool: &BufferPool, id: PageId) -> Result<()> {
-    let empty = pool.with_page(id, |p| is_pack(p) && pack_entry_count(p) == 0)?;
+    let empty = pool.with_page(id, |p| pack_is_empty(p))?;
     if empty {
         if pool.meta(SLOT_FILL) == u64::from(id.0) + 1 {
             pool.set_meta(SLOT_FILL, 0)?;
@@ -1228,7 +1294,7 @@ pub(crate) fn read_block(
 ) -> Result<Decoded> {
     let bytes = pool.with_page(page, |p| pack_read(p, key))??;
     counters.blocks_decoded += 1;
-    counters.bytes_decoded += bytes.len() as u64;
+    counters.bytes_decoded += u64::try_from(bytes.len()).unwrap_or(u64::MAX);
     let decoded = decode_block(&bytes)?;
     if decoded.last != key {
         return Err(corrupt("pack entry key disagrees with directory"));
@@ -1266,7 +1332,7 @@ impl BlockCache {
         if !hit {
             let bytes = pool.with_page(page, |p| pack_read(p, key))??;
             counters.blocks_decoded += 1;
-            counters.bytes_decoded += bytes.len() as u64;
+            counters.bytes_decoded += u64::try_from(bytes.len()).unwrap_or(u64::MAX);
             let layout = parse_layout(&bytes)?;
             check_crc(&bytes)?;
             if layout.last != key {
@@ -1304,6 +1370,7 @@ impl BlockCache {
 /// Reads the first `(gram, treeId)` of the block keyed `key` straight from
 /// its entry header — the per-block metadata that lets probes skip blocks
 /// without decoding them.
+// analyze: untrusted-source
 pub(crate) fn peek_block_first(
     pool: &BufferPool,
     page: PageId,
@@ -1312,7 +1379,7 @@ pub(crate) fn peek_block_first(
     pool.with_page(page, |p| {
         let (off, _) = pack_find(p, key)?
             .ok_or_else(|| corrupt("directory points at a missing pack entry"))?;
-        Ok((p.get_u64(off + 16), p.get_u64(off + 24)))
+        Ok((pack_u64(p, off + 16)?, pack_u64(p, off + 24)?))
     })?
 }
 
@@ -1373,7 +1440,11 @@ pub(crate) fn for_each_posting(
 // ---------------------------------------------------------------------------
 
 /// The first directory entry at or after `(gram, tid)`, if any.
-fn dir_entry_at_or_after(dir: &BTree<'_>, gram: u64, tid: u64) -> Result<Option<((u64, u64), u32)>> {
+fn dir_entry_at_or_after(
+    dir: &BTree<'_>,
+    gram: u64,
+    tid: u64,
+) -> Result<Option<((u64, u64), u32)>> {
     let mut found = None;
     dir.for_each_range((gram, tid), (u64::MAX, u64::MAX), |k, v| {
         found = Some((k, v));
@@ -1625,7 +1696,7 @@ mod tests {
             .map(|i| {
                 let g = 1000 + (i % grams.max(1)) * 77;
                 let t = 100 + (i / grams.max(1)) * stride;
-                ((g, t), (i % 7 + 1) as u32)
+                ((g, t), u32::try_from(i % 7 + 1).unwrap_or(1))
             })
             .collect::<Vec<_>>()
             .tap_sort()
@@ -1664,8 +1735,55 @@ mod tests {
         let rows: Vec<Row> = (0..256u64).map(|t| ((42, t * 3), 1)).collect();
         let bytes = encode_block(&rows).unwrap();
         // tids fit 10 bits each; everything else is near-zero overhead.
-        assert!(bytes.len() < ENTRY_HDR + PREFIX + 4 + 256 * 2, "len {}", bytes.len());
+        assert!(
+            bytes.len() < ENTRY_HDR + PREFIX + 4 + 256 * 2,
+            "len {}",
+            bytes.len()
+        );
         assert_eq!(decode_block(&bytes).unwrap().rows, rows);
+    }
+
+    /// Regression: an inflated on-disk row count must be rejected by the
+    /// layout parse — before it can size any decode allocation. The cap
+    /// is structural (`MAX_BLOCK_ROWS`), not the CRC: a forged checksum
+    /// changes nothing.
+    #[test]
+    fn inflated_row_count_is_rejected_before_allocating() {
+        let rows = sample_rows(64, 8, 13);
+        let Ok(mut bytes) = encode_block(&rows) else {
+            panic!("fixture block must encode");
+        };
+        for n in [0u16, 257, 4096, u16::MAX] {
+            bytes[32..34].copy_from_slice(&n.to_le_bytes());
+            let crc = crate::crc::crc32(&bytes[..bytes.len() - 4]);
+            let at = bytes.len() - 4;
+            bytes[at..].copy_from_slice(&crc.to_le_bytes());
+            assert!(
+                decode_block(&bytes).is_err(),
+                "row count {n} must be out of range"
+            );
+        }
+    }
+
+    /// Regression: a pack page advertising more entries than could
+    /// physically fit must be rejected by the header clamp — previously
+    /// `pack_entries` sized a `Vec` straight from the raw u16 (up to
+    /// ~64 Ki spurious capacity per corrupted page).
+    #[test]
+    fn inflated_pack_entry_count_is_rejected_by_the_header_clamp() {
+        let mut p = PageBuf::zeroed();
+        pack_init(&mut p);
+        assert_eq!(pack_header(&p).ok(), Some((0, PACK_HDR)));
+        p.put_u16(2, u16::MAX); // entry count: impossible
+        assert!(pack_header(&p).is_err());
+        assert!(pack_entries(&p).is_err());
+        p.put_u16(2, 0);
+        p.put_u16(4, u16::MAX); // used bytes: beyond the page
+        assert!(pack_header(&p).is_err());
+        // Largest consistent claim: capacity full of minimal entries.
+        p.put_u16(2, u16::try_from(PACK_CAPACITY / MIN_ENTRY).unwrap_or(0));
+        p.put_u16(4, u16::try_from(PACK_CAPACITY).unwrap_or(0));
+        assert!(pack_header(&p).is_ok());
     }
 
     #[test]
@@ -1739,7 +1857,7 @@ mod tests {
                     state ^= state << 13;
                     state ^= state >> 7;
                     state ^= state << 17;
-                    *b = state as u8;
+                    *b = u8::try_from(state & 0xff).unwrap_or(0);
                 }
                 let _ = decode_block(&bytes);
             }

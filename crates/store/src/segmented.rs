@@ -70,6 +70,12 @@ pub const MEMTABLE_SOURCE: u64 = u64::MAX - 1;
 /// eventual segment size) beyond which a put triggers an automatic flush.
 const DEFAULT_FLUSH_GRAMS: u64 = 64 * 1024;
 
+/// Most sequence numbers the open-time orphan sweep will probe below the
+/// manifest's high-water mark. The mark is raw disk state: without a cap a
+/// corrupt (inflated) value would turn open into an unbounded existence
+/// scan.
+const SWEEP_PROBE_CAP: u64 = 64 * 1024;
+
 fn suffixed(base: &Path, suffix: &str) -> PathBuf {
     let mut s = base.as_os_str().to_owned();
     s.push(suffix);
@@ -77,11 +83,13 @@ fn suffixed(base: &Path, suffix: &str) -> PathBuf {
 }
 
 /// Path of main-file generation `gen` under `base`.
+// analyze: taint-exempt(formats a file name; the value steers no memory)
 pub(crate) fn main_path(base: &Path, gen: u64) -> PathBuf {
     suffixed(base, &format!(".main.{gen}"))
 }
 
 /// Path of segment sequence `seq` under `base`.
+// analyze: taint-exempt(formats a file name; the value steers no memory)
 pub(crate) fn seg_path(base: &Path, seq: u64) -> PathBuf {
     suffixed(base, &format!(".seg.{seq}"))
 }
@@ -172,7 +180,9 @@ impl SegmentedIndexStore {
         let gen = manifest.generation();
         // A crashed compaction can leave the superseded main (gen - 1,
         // commit won) or an unfinished next main (gen + 1, commit lost).
-        for g in [gen.wrapping_sub(1), gen + 1] {
+        // `gen` is raw manifest state: saturate instead of overflowing and
+        // let the `u64::MAX` guard skip both wrap artifacts.
+        for g in [gen.wrapping_sub(1), gen.saturating_add(1)] {
             if g == gen || g == u64::MAX {
                 continue;
             }
@@ -184,8 +194,20 @@ impl SegmentedIndexStore {
         let main = IndexStore::open_with(&main_path(base, gen), Arc::clone(&vfs))?;
         check_params(main.params(), params)?;
         let live = manifest.live_segments()?;
+        let hwm = manifest.hwm();
+        if live.iter().any(|&s| s >= hwm) {
+            return Err(IndexError::Store(crate::pager::StoreError::Corrupt(
+                "live segment sequence at or above the high-water mark".into(),
+            )));
+        }
         let live_set: FxHashSet<u64> = live.iter().copied().collect();
-        for s in 0..manifest.hwm() {
+        // The sweep is opportunistic garbage collection, not a correctness
+        // requirement: an orphan that survives it is wasted disk, nothing
+        // more. Bounding the walk to the top window below `hwm` keeps a
+        // corrupt (inflated) high-water mark from stalling open with
+        // billions of existence probes; legitimate stores sit far below
+        // the cap, and crash orphans are always recent reservations.
+        for s in hwm.saturating_sub(SWEEP_PROBE_CAP)..hwm {
             if live_set.contains(&s) {
                 continue;
             }
@@ -512,6 +534,11 @@ impl SegmentedIndexStore {
             .map_err(IndexError::Store)?;
         rows.sort_unstable_by_key(|&(k, _)| k);
         let old_gen = self.manifest.generation();
+        if old_gen >= u64::MAX - 1 {
+            return Err(IndexError::Store(crate::pager::StoreError::Corrupt(
+                "main-file generation space exhausted".into(),
+            )));
+        }
         let new_gen = old_gen + 1;
         let path = main_path(&self.base, new_gen);
         if self.vfs.exists(&path) {

@@ -44,10 +44,16 @@ fn forest(count: usize, nodes: usize) -> (Vec<(TreeId, Tree)>, LabelTable) {
 
 /// The full ingest pipeline: profile `docs` over `threads` workers, then
 /// stream sorted batches of 10 into the single writer.
-fn ingest(path: &PathBuf, docs: &[(TreeId, Tree)], labels: &LabelTable, threads: usize) -> IndexStore {
+fn ingest(
+    path: &PathBuf,
+    docs: &[(TreeId, Tree)],
+    labels: &LabelTable,
+    threads: usize,
+) -> IndexStore {
     let params = PQParams::default();
-    let batch: Vec<(TreeId, TreeIndex)> =
-        pqgram_core::par::map(docs, threads, |(id, tree)| (*id, build_index(tree, labels, params)));
+    let batch: Vec<(TreeId, TreeIndex)> = pqgram_core::par::map(docs, threads, |(id, tree)| {
+        (*id, build_index(tree, labels, params))
+    });
     let mut store = IndexStore::create(path, params).expect("create");
     for chunk in batch.chunks(10) {
         store.put_trees(chunk).expect("put_trees");
@@ -93,7 +99,11 @@ fn concurrent_readers_agree_with_serial_lookup() {
     )
     .expect("bulk_create");
 
-    let queries: Vec<TreeIndex> = indexes.iter().step_by(7).map(|(_, idx)| idx.clone()).collect();
+    let queries: Vec<TreeIndex> = indexes
+        .iter()
+        .step_by(7)
+        .map(|(_, idx)| idx.clone())
+        .collect();
     let tau = 0.8;
     let expected: Vec<_> = queries
         .iter()

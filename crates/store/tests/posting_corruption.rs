@@ -159,3 +159,180 @@ fn zeroed_pack_page_is_detected() {
         "a directory entry points into a zeroed page; verify must object"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Segment + manifest header corruption (the fence probes live on top of
+// segment files; the manifest's scalar slots bound open-time work)
+// ---------------------------------------------------------------------------
+
+/// Header-page layout constants (see `crates/store/src/pager.rs`): meta
+/// slot `i` is the little-endian u64 at byte `24 + 8 * i` of page 0, and
+/// the header CRC-32 covers bytes `0..PAGE_SIZE - 4`.
+const OFF_META: usize = 24;
+const OFF_HDR_CRC: usize = PAGE_SIZE - 4;
+
+/// Rewrites meta slot `slot` of the header page in `image`, then repairs
+/// the header CRC so only *semantic* validation can reject the value.
+fn set_meta_raw(image: &mut [u8], slot: usize, value: u64) {
+    let at = OFF_META + slot * 8;
+    image[at..at + 8].copy_from_slice(&value.to_le_bytes());
+    let crc = pqgram_store::crc::crc32(&image[..OFF_HDR_CRC]);
+    image[OFF_HDR_CRC..OFF_HDR_CRC + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Builds a segmented store with one flushed (live) segment holding real
+/// posting blocks, returning `(base, query)`.
+fn segmented_fixture(name: &str) -> (PathBuf, TreeIndex) {
+    use pqgram_store::SegmentedIndexStore;
+    let params = PQParams::new(2, 3);
+    let mut lt = LabelTable::new();
+    let tree = sample_tree(&mut lt, "x", 120);
+    let idx = build_index(&tree, &lt, params);
+    let base = tmp(name);
+    for suffix in [".main.0", ".seg.0", ".seg.1"] {
+        let mut p = base.as_os_str().to_owned();
+        p.push(suffix);
+        std::fs::remove_file(PathBuf::from(p)).ok();
+    }
+    let mut store = SegmentedIndexStore::create(&base, params).unwrap();
+    for i in 1..=8 {
+        store.put_tree(TreeId(i), &idx).unwrap();
+    }
+    store.flush().unwrap();
+    assert_eq!(store.segment_count(), 1, "fixture must hold a live segment");
+    store.verify().unwrap();
+    drop(store);
+    (base, idx)
+}
+
+/// Every semantically tampered manifest header (CRC repaired, so the
+/// value is "validly committed" garbage) must fail open with an error,
+/// never a panic, hang, or silent acceptance.
+#[test]
+fn tampered_manifest_headers_are_rejected() {
+    use pqgram_store::SegmentedIndexStore;
+    let (base, _query) = segmented_fixture("manifest.pqg");
+    let pristine = std::fs::read(&base).unwrap();
+    // (slot, value): wrong kind marker, wrong format version, zeroed
+    // pq-parameters, and an HWM below the live segment sequence.
+    for (slot, value) in [(7, 1u64), (7, 999), (6, 99), (1, 0), (2, 0), (4, 0)] {
+        let mut image = pristine.clone();
+        set_meta_raw(&mut image, slot, value);
+        std::fs::write(&base, &image).unwrap();
+        assert!(
+            SegmentedIndexStore::open(&base).is_err(),
+            "tampered manifest meta slot {slot} = {value} went undetected"
+        );
+    }
+    std::fs::write(&base, &pristine).unwrap();
+    SegmentedIndexStore::open(&base).unwrap().verify().unwrap();
+}
+
+/// An inflated high-water mark must not stall open: the orphan sweep is
+/// probe-capped, so open terminates (quickly) and still serves lookups.
+#[test]
+fn inflated_high_water_mark_cannot_stall_open() {
+    use pqgram_store::SegmentedIndexStore;
+    let (base, query) = segmented_fixture("hwm.pqg");
+    let mut image = std::fs::read(&base).unwrap();
+    // Far above any real reservation, still above the live sequences.
+    set_meta_raw(&mut image, 4, u64::MAX - 1);
+    std::fs::write(&base, &image).unwrap();
+    let store = SegmentedIndexStore::open(&base).expect("capped sweep must terminate");
+    let hits = store.lookup(&query, 0.4).unwrap();
+    assert!(!hits.is_empty(), "postings must survive the inflated mark");
+}
+
+/// Every semantically tampered segment header must fail open of the
+/// segmented store (the segment's kind, version and parameters are
+/// cross-checked against the manifest's).
+#[test]
+fn tampered_segment_headers_are_rejected() {
+    use pqgram_store::SegmentedIndexStore;
+    let (base, _query) = segmented_fixture("seghdr.pqg");
+    let mut seg = base.as_os_str().to_owned();
+    seg.push(".seg.0");
+    let seg = PathBuf::from(seg);
+    let pristine = std::fs::read(&seg).unwrap();
+    for (slot, value) in [(7, 1u64), (7, 0), (6, 2), (6, 99), (1, 9), (2, 0)] {
+        let mut image = pristine.clone();
+        set_meta_raw(&mut image, slot, value);
+        std::fs::write(&seg, &image).unwrap();
+        assert!(
+            SegmentedIndexStore::open(&base).is_err(),
+            "tampered segment meta slot {slot} = {value} went undetected"
+        );
+    }
+    std::fs::write(&seg, &pristine).unwrap();
+    SegmentedIndexStore::open(&base).unwrap().verify().unwrap();
+}
+
+/// Bit flips inside a segment's pack pages must never mis-probe through
+/// the learned fence: open may reject, otherwise verify must object and
+/// lookups must stay panic-free.
+#[test]
+fn segment_pack_page_flips_never_misprobe_through_the_fence() {
+    use pqgram_store::SegmentedIndexStore;
+    let (base, query) = segmented_fixture("segflip.pqg");
+    let mut seg = base.as_os_str().to_owned();
+    seg.push(".seg.0");
+    let seg = PathBuf::from(seg);
+    let pristine = std::fs::read(&seg).unwrap();
+    let packs = pack_page_offsets(&pristine);
+    assert!(!packs.is_empty(), "segment must contain pack pages");
+
+    let mut flips = 0usize;
+    for &page in &packs {
+        let used = pack_used(&pristine, page);
+        for bit in ((page * 8)..(page + PACK_HDR + used) * 8).step_by(53) {
+            if matches!(bit / 8 - page, 1 | 6 | 7) {
+                continue;
+            }
+            let mut image = pristine.clone();
+            image[bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(&seg, &image).unwrap();
+            match SegmentedIndexStore::open(&base) {
+                Err(_) => {}
+                Ok(store) => {
+                    // The flip may sit in a dead region; if verification
+                    // passes, the lookup must agree with the pristine
+                    // answer — a mis-probe here is silent wrong data.
+                    let verdict = store.verify();
+                    let looked = store.lookup(&query, 0.4);
+                    if verdict.is_ok() {
+                        assert!(
+                            looked.is_ok(),
+                            "verified store failed lookup after flip at byte {}",
+                            bit / 8
+                        );
+                    }
+                }
+            }
+            flips += 1;
+        }
+    }
+    assert!(flips > 50, "sampling must actually cover bits ({flips})");
+    std::fs::write(&seg, &pristine).unwrap();
+    SegmentedIndexStore::open(&base).unwrap().verify().unwrap();
+}
+
+/// Inflating a pack page's length fields (entry count and used bytes) to
+/// their u16 maxima must be detected as corruption — and must not drive a
+/// huge allocation: the entry count is clamped against the smallest
+/// physical entry before any `Vec::with_capacity`.
+#[test]
+fn inflated_pack_length_fields_are_rejected_without_overallocation() {
+    let (path, _query) = block_bearing_store("inflate.pqg");
+    let pristine = std::fs::read(&path).unwrap();
+    let page = pack_page_offsets(&pristine)[0];
+    for (off, value) in [(2usize, u16::MAX), (4, u16::MAX)] {
+        let mut image = pristine.clone();
+        image[page + off..page + off + 2].copy_from_slice(&value.to_le_bytes());
+        std::fs::write(&path, &image).unwrap();
+        let verdict = IndexStore::open(&path).and_then(|s| Ok(s.verify()?));
+        assert!(
+            verdict.is_err(),
+            "inflated pack length field at offset {off} went undetected"
+        );
+    }
+}

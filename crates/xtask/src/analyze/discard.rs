@@ -36,7 +36,11 @@ pub fn run(model: &Model) -> Vec<Violation> {
 
 fn scan_body(body: &str, start_line: usize, file: &str, out: &mut Vec<Violation>) {
     let line_at = |pos: usize| {
-        start_line + body.as_bytes()[..pos].iter().filter(|&&b| b == b'\n').count()
+        start_line
+            + body.as_bytes()[..pos]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
     };
     let mut from = 0;
     while let Some(pos) = body[from..].find("let _ =") {
@@ -97,8 +101,11 @@ mod tests {
     #[test]
     fn out_of_scope_and_tests_are_ignored() {
         let mut m = Model::default();
-        m.add_file("crates/core/src/demo.rs", "fn f() { let _ = fallible(); }\n")
-            .expect("parse");
+        m.add_file(
+            "crates/core/src/demo.rs",
+            "fn f() { let _ = fallible(); }\n",
+        )
+        .expect("parse");
         m.add_file(
             "crates/store/src/demo.rs",
             "#[cfg(test)]\nmod tests {\n    fn t() { let _ = fallible(); }\n}\n",

@@ -2,9 +2,10 @@
 //!
 //! The pipeline: [`model`] parses every source file into functions,
 //! fields and impls; [`callgraph`] connects them; [`panic`], [`txn`],
-//! [`lock`] and [`discard`] run the analyses; [`report`] aggregates. The
-//! entry-point/trust vocabulary is the `// analyze:` marker comments
-//! documented in DESIGN.md §10; the concurrency pass is DESIGN.md §12.
+//! [`lock`], [`taint`] and [`discard`] run the analyses; [`report`]
+//! aggregates. The entry-point/trust vocabulary is the `// analyze:`
+//! marker comments documented in DESIGN.md §10; the concurrency pass is
+//! DESIGN.md §12; the untrusted-bytes taint pass is DESIGN.md §15.
 
 pub mod callgraph;
 pub mod discard;
@@ -12,6 +13,7 @@ pub mod lock;
 pub mod model;
 pub mod panic;
 pub mod report;
+pub mod taint;
 pub mod txn;
 
 use crate::walk::{rel, rust_files};
@@ -56,6 +58,7 @@ pub fn run_model(m: &model::Model, require_anchors: bool) -> Report {
     hard.extend(txn::check_ordering(m, require_anchors));
     hard.extend(discard::run(m));
     hard.extend(lock_report.hard);
+    hard.extend(taint::run(m, require_anchors));
     let mut ratcheted = panic_report.ratcheted;
     ratcheted.extend(lock_report.census);
     Report { hard, ratcheted }

@@ -41,7 +41,26 @@ pub enum Marker {
     /// `txn-exempt(<reason>)` — deliberately writes outside a transaction
     /// (e.g. initialising a fresh file). The reason is mandatory.
     TxnExempt(String),
+    /// `untrusted-source` — the function's return value originates from
+    /// raw on-disk bytes (page buffers, journal records, headers). The
+    /// function must be *total* — erroring, never panicking, on any input
+    /// — and every caller must validate the value before using it as an
+    /// index, length, allocation size, page id, loop bound, or arithmetic
+    /// operand.
+    UntrustedSource,
+    /// `validates(len|offset|pageid|count)` — a validation boundary: the
+    /// function fully checks the listed kinds of untrusted quantities and
+    /// its return value is trusted. Kinds are `|`-separated and restricted
+    /// to the four listed.
+    Validates(Vec<String>),
+    /// `taint-exempt(<reason>)` — a reviewed leaf that intentionally
+    /// operates on raw untrusted values (e.g. branchless bit tricks that
+    /// are total over all inputs). The reason is mandatory.
+    TaintExempt(String),
 }
+
+/// The only quantities `validates(…)` may claim to check.
+pub const VALIDATE_KINDS: &[&str] = &["len", "offset", "pageid", "count"];
 
 impl Marker {
     fn parse(text: &str) -> Result<Marker, String> {
@@ -68,6 +87,29 @@ impl Marker {
                 Ok(Marker::TxnExempt(reason.to_string()))
             }
             ("txn-exempt", _) => Err("`txn-exempt` needs a reason: txn-exempt(<why>)".into()),
+            ("untrusted-source", None) => Ok(Marker::UntrustedSource),
+            ("untrusted-source", Some(_)) => Err("`untrusted-source` takes no argument".into()),
+            ("validates", Some(kinds)) if !kinds.is_empty() => {
+                let parts: Vec<String> = kinds.split('|').map(|k| k.trim().to_string()).collect();
+                for k in &parts {
+                    if !VALIDATE_KINDS.contains(&k.as_str()) {
+                        return Err(format!(
+                            "`validates({k})` is not a known kind; use one of \
+                             validates({})",
+                            VALIDATE_KINDS.join("|")
+                        ));
+                    }
+                }
+                Ok(Marker::Validates(parts))
+            }
+            ("validates", _) => Err(format!(
+                "`validates` needs the checked kinds: validates({})",
+                VALIDATE_KINDS.join("|")
+            )),
+            ("taint-exempt", Some(reason)) if !reason.is_empty() => {
+                Ok(Marker::TaintExempt(reason.to_string()))
+            }
+            ("taint-exempt", _) => Err("`taint-exempt` needs a reason: taint-exempt(<why>)".into()),
             ("lock-class", _) => Err(
                 "`lock-class` is a field-level directive; write it directly above the \
                  Mutex/RwLock field it classifies"
@@ -890,6 +932,43 @@ mod tests {
             m.fns[1].markers,
             vec![Marker::Trusted("const offsets".into())]
         );
+    }
+
+    #[test]
+    fn taint_markers_parse_and_attach() {
+        let m = model_of(
+            "// analyze: untrusted-source\nfn read_u64() {}\n\
+             // analyze: validates(len|count)\nfn parse_layout() {}\n\
+             // analyze: taint-exempt(branchless bit trick, total on all inputs)\n\
+             fn select_zero() {}\n",
+        );
+        assert_eq!(m.fns[0].markers, vec![Marker::UntrustedSource]);
+        assert_eq!(
+            m.fns[1].markers,
+            vec![Marker::Validates(vec!["len".into(), "count".into()])]
+        );
+        assert_eq!(
+            m.fns[2].markers,
+            vec![Marker::TaintExempt(
+                "branchless bit trick, total on all inputs".into()
+            )]
+        );
+    }
+
+    #[test]
+    fn malformed_taint_markers_are_errors() {
+        for src in [
+            "// analyze: untrusted-source(page)\nfn f() {}\n",
+            "// analyze: validates\nfn f() {}\n",
+            "// analyze: validates(size)\nfn f() {}\n",
+            "// analyze: validates(len|sizes)\nfn f() {}\n",
+            "// analyze: taint-exempt\nfn f() {}\n",
+            "// analyze: taint-exempt()\nfn f() {}\n",
+        ] {
+            let mut m = Model::default();
+            let err = m.add_file("f.rs", src);
+            assert!(err.is_err(), "`{src}` must be rejected");
+        }
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn seeds_of_body(body: &str, start_line: usize) -> Vec<Seed> {
     let bytes = body.as_bytes();
     let mut out = Vec::new();
     let line_at = |pos: usize| {
-        start_line + body.as_bytes()[..pos].iter().filter(|&&b| b == b'\n').count()
+        start_line
+            + body.as_bytes()[..pos]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
     };
     let mut i = 0;
     while i < bytes.len() {
@@ -74,9 +78,7 @@ pub fn seeds_of_body(body: &str, start_line: usize) -> Vec<Seed> {
             // Indexing: `[` directly after a value (identifier, call or
             // index result, or `?`). Attribute `#[…]`, macro `…![…]`,
             // types and array/pattern literals are preceded by other bytes.
-            let prev_at = bytes[..i]
-                .iter()
-                .rposition(|b| !b.is_ascii_whitespace());
+            let prev_at = bytes[..i].iter().rposition(|b| !b.is_ascii_whitespace());
             let is_index = prev_at.is_some_and(|p| {
                 let b = bytes[p];
                 if b == b')' || b == b']' || b == b'?' {
@@ -93,8 +95,18 @@ pub fn seeds_of_body(body: &str, start_line: usize) -> Vec<Seed> {
                 }
                 !matches!(
                     &body[s..=p],
-                    "let" | "in" | "return" | "else" | "mut" | "ref" | "move" | "break"
-                        | "continue" | "match" | "if" | "while"
+                    "let"
+                        | "in"
+                        | "return"
+                        | "else"
+                        | "mut"
+                        | "ref"
+                        | "move"
+                        | "break"
+                        | "continue"
+                        | "match"
+                        | "if"
+                        | "while"
                 )
             });
             if is_index {
@@ -191,7 +203,11 @@ pub fn run(model: &Model, graph: &Graph, seeds: &[Vec<Seed>]) -> PanicReport {
             let path = path_to(model, &parent, entry_id, id);
             for seed in &seeds[id] {
                 let v = Violation {
-                    rule: if recovery { "panic-recovery" } else { "panic-reach" },
+                    rule: if recovery {
+                        "panic-recovery"
+                    } else {
+                        "panic-reach"
+                    },
                     file: f.file.clone(),
                     line: seed.line,
                     message: format!(
@@ -217,9 +233,7 @@ pub fn run(model: &Model, graph: &Graph, seeds: &[Vec<Seed>]) -> PanicReport {
 /// Drops duplicate findings for the same site (reached from several
 /// entry points) so baseline counts track *sites*, not paths.
 fn dedup(violations: &mut Vec<Violation>) {
-    violations.sort_by(|a, b| {
-        (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message))
-    });
+    violations.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
     violations.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
 }
 
@@ -276,7 +290,9 @@ mod tests {
         let seeds = all_seeds(&m);
         let report = run(&m, &g, &seeds);
         assert_eq!(report.recovery.len(), 1, "{report:?}");
-        assert!(report.recovery[0].message.contains("open -> helper -> inner"));
+        assert!(report.recovery[0]
+            .message
+            .contains("open -> helper -> inner"));
         assert!(report.ratcheted.is_empty());
     }
 

@@ -2,7 +2,9 @@
 //!
 //! Zero-tolerance rules (`panic-recovery`, `txn-discipline`,
 //! `txn-ordering`, `discarded-result`, `lock-class`, `lock-order`,
-//! `lock-guard-io`, `reader-writes`) fail the run directly; the
+//! `lock-guard-io`, `reader-writes`, and the taint rules `taint-index`,
+//! `taint-alloc`, `taint-loop`, `taint-arith`, `taint-pageid`,
+//! `taint-escape`, `taint-anchor`) fail the run directly; the
 //! `panic-reach` rule and the `lock-discipline` acquisition census are
 //! ratcheted through their `baseline.toml` sections, exactly like the
 //! token lints.

@@ -47,9 +47,9 @@ fn unguarded_reach(model: &Model, graph: &Graph) -> Vec<bool> {
             if f.has_marker(|m| matches!(m, Marker::TxnBoundary | Marker::TxnExempt(_))) {
                 return true;
             }
-            graph.edges[id].iter().any(|&c| {
-                model.fns[c].has_marker(|m| matches!(m, Marker::TxnBoundary))
-            })
+            graph.edges[id]
+                .iter()
+                .any(|&c| model.fns[c].has_marker(|m| matches!(m, Marker::TxnBoundary)))
         })
         .collect();
     // Fixpoint: reach[f] = sink[f] || (!covered[f] && any(reach[callee])).
@@ -136,9 +136,7 @@ pub fn run(model: &Model, graph: &Graph) -> Vec<Violation> {
         if !is_root {
             continue;
         }
-        let covered = f.has_marker(|m| {
-            matches!(m, Marker::TxnBoundary | Marker::TxnExempt(_))
-        });
+        let covered = f.has_marker(|m| matches!(m, Marker::TxnBoundary | Marker::TxnExempt(_)));
         if covered {
             continue;
         }
@@ -241,8 +239,8 @@ pub fn check_ordering(model: &Model, require_anchors: bool) -> Vec<Violation> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::callgraph::Graph;
+    use super::*;
 
     fn setup(src: &str) -> (Model, Graph) {
         let mut m = Model::default();

@@ -95,7 +95,11 @@ fn run_lint(update: bool, verbose: bool) -> ExitCode {
         &counts,
         &violations,
         update,
-        &format!("{} violation(s) across {} rules", counts.total(), rules::RULES.len()),
+        &format!(
+            "{} violation(s) across {} rules",
+            counts.total(),
+            rules::RULES.len()
+        ),
     )
 }
 
@@ -126,7 +130,10 @@ fn run_analyze(update: bool, verbose: bool) -> ExitCode {
     let mut failed = false;
     if !report.hard.is_empty() {
         for v in &report.hard {
-            eprintln!("xtask: ANALYZE [{}] {}:{}: {}", v.rule, v.file, v.line, v.message);
+            eprintln!(
+                "xtask: ANALYZE [{}] {}:{}: {}",
+                v.rule, v.file, v.line, v.message
+            );
         }
         eprintln!(
             "xtask: {} semantic violation(s); these rules have no baseline — fix them",

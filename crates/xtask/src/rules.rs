@@ -441,7 +441,10 @@ mod tests {
             &mut v,
         );
         assert_eq!(v.len(), 2, "{v:?}");
-        assert!(v.iter().all(|x| x.line <= 2), "test module is exempt: {v:?}");
+        assert!(
+            v.iter().all(|x| x.line <= 2),
+            "test module is exempt: {v:?}"
+        );
     }
 
     #[test]

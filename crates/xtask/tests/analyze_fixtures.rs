@@ -49,7 +49,10 @@ fn panic_reachable_fixture_fails_hard() {
 fn txn_violation_fixture_fails_hard() {
     let text = golden("txn_violation");
     assert!(text.contains("txn-discipline"), "{text}");
-    assert!(text.contains("unguarded_put -> Pager::write_page"), "{text}");
+    assert!(
+        text.contains("unguarded_put -> Pager::write_page"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -119,6 +122,53 @@ fn reader_writes_fixture_fails_hard() {
     assert!(
         text.contains("IndexStoreReader::lookup -> Pager::transactional -> Pager::write_page"),
         "{text}"
+    );
+}
+
+#[test]
+fn tainted_index_fixture_fails_hard() {
+    let text = golden("tainted_index");
+    assert!(text.contains("taint-index"), "{text}");
+    assert!(text.contains("untrusted `off` as a slice index"), "{text}");
+}
+
+#[test]
+fn tainted_alloc_fixture_fails_hard() {
+    let text = golden("tainted_alloc");
+    assert!(text.contains("taint-alloc"), "{text}");
+    assert!(
+        text.contains("untrusted `n` as an allocation size"),
+        "{text}"
+    );
+}
+
+#[test]
+fn missing_validator_fixture_fails_hard() {
+    let text = golden("missing_validator");
+    assert!(text.contains("taint-escape"), "{text}");
+    assert!(text.contains("declares no validation"), "{text}");
+}
+
+/// Seeding analogue for the taint pass: mark a source in the clean
+/// fixture and index with its result; the run must flip to failing.
+#[test]
+fn seeding_a_tainted_use_into_the_clean_fixture_fails() {
+    let dir = fixtures().join("clean");
+    let clean = run_dir(&dir).expect("analyze fixture");
+    assert!(clean.hard.is_empty(), "clean fixture must start green");
+
+    let mut m = dir_model(&dir).expect("model");
+    m.add_file(
+        "crates/store/src/seeded.rs",
+        "// analyze: untrusted-source\npub fn raw_len(b: &[u8]) -> u64 { 0 }\n\
+         pub fn read(b: &[u8]) -> u8 {\nlet n = raw_len(b);\nb[n as usize]\n}\n",
+    )
+    .expect("parse seeded file");
+    let report = run_model(&m, false);
+    assert!(
+        report.hard.iter().any(|v| v.rule == "taint-index"),
+        "seeded tainted index must fail the run: {:?}",
+        report.hard
     );
 }
 

@@ -1,0 +1,19 @@
+//! Seeded violation: a raw header value is handed to workspace code that
+//! declares no taint contract — the missing-validator case. `place` would
+//! be fine if it were marked `validates(pageid)` (and checked).
+
+// analyze: untrusted-source
+pub fn meta_slot(bytes: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(w)
+}
+
+pub fn place(raw: u64) -> u32 {
+    raw as u32
+}
+
+pub fn root_page(bytes: &[u8]) -> u32 {
+    let raw = meta_slot(bytes);
+    place(raw)
+}

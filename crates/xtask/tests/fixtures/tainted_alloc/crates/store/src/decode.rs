@@ -1,0 +1,14 @@
+//! Seeded violation: an on-disk row count sizes a `Vec` before anything
+//! clamps it against the physical entry size — the corrupt-length OOM.
+
+// analyze: untrusted-source
+pub fn row_count(bytes: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(w)
+}
+
+pub fn decode_rows(bytes: &[u8]) -> Vec<u64> {
+    let n = row_count(bytes) as usize;
+    Vec::with_capacity(n)
+}

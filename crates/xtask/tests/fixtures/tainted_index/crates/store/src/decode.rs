@@ -1,0 +1,14 @@
+//! Seeded violation: a count decoded from raw disk bytes steers a slice
+//! index without any validation boundary in between.
+
+// analyze: untrusted-source
+pub fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    let mut w = [0u8; 2];
+    w.copy_from_slice(&bytes[at..at + 2]);
+    u16::from_le_bytes(w)
+}
+
+pub fn first_row(bytes: &[u8]) -> u8 {
+    let off = usize::from(read_u16(bytes, 0));
+    bytes[off]
+}
