@@ -1,7 +1,7 @@
 //! Dataset construction for the experiments.
 
 use pqgram_tree::generate::{dblp, xmark};
-use pqgram_tree::{LabelTable, Tree};
+use pqgram_tree::{FxHashMap, LabelSym, LabelTable, Tree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -9,6 +9,39 @@ use rand::SeedableRng;
 pub fn xmark_tree(seed: u64, labels: &mut LabelTable, nodes: usize) -> Tree {
     let mut rng = StdRng::seed_from_u64(seed);
     xmark(&mut rng, labels, nodes)
+}
+
+/// An XMark-shaped document whose labels below the top two levels are
+/// suffixed with `@tag`, making its content vocabulary unique to that tag.
+/// Only the root scaffold — `site` and its four hub children — keeps the
+/// plain XMark names, so two documents with different tags overlap on a
+/// handful of scaffold grams and nothing else. Collections mixing tags
+/// model heterogeneous corpora, the regime the lookup planner's pruning
+/// stages (gram filters, overlap budget, size window) are built for.
+pub fn tagged_xmark_tree(seed: u64, labels: &mut LabelTable, nodes: usize, tag: &str) -> Tree {
+    let base = xmark_tree(seed, labels, nodes);
+    let mut out = Tree::with_root(base.label(base.root()));
+    let mut mapped = vec![out.root(); base.slot_count()];
+    let mut tagged: FxHashMap<LabelSym, LabelSym> = FxHashMap::default();
+    // Preorder maps each parent before its children and preserves sibling
+    // order, so `out` is an exact structural copy of `base`.
+    let order: Vec<_> = base.preorder(base.root()).collect();
+    for node in order {
+        let Some(parent) = base.parent(node) else {
+            continue;
+        };
+        let orig = base.label(node);
+        let sym = if base.node_depth(node) < 2 {
+            orig
+        } else {
+            *tagged.entry(orig).or_insert_with(|| {
+                let name = format!("{}@{}", labels.name(orig), tag);
+                labels.intern(&name)
+            })
+        };
+        mapped[node.index()] = out.add_child(mapped[parent.index()], sym);
+    }
+    out
 }
 
 /// A DBLP-shaped document of roughly `nodes` nodes.

@@ -14,7 +14,7 @@ pub struct Args {
 /// Option names that take a value (everything else passed as `--x` is a
 /// boolean flag).
 const VALUED: &[&str] = &[
-    "p", "q", "tau", "top", "nodes", "seed", "out", "limit", "edits", "id", "threads",
+    "p", "q", "tau", "top", "top-k", "nodes", "seed", "out", "limit", "edits", "id", "threads",
 ];
 
 impl Args {

@@ -5,7 +5,7 @@
 //! pqgram create  <store.pqg> [--p 3 --q 3] [--segmented]
 //! pqgram add     <store.pqg> --id <n> <doc.xml>...
 //! pqgram remove  <store.pqg> --id <n>
-//! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top 10] [--stats]
+//! pqgram lookup  <store.pqg> <query.xml> [--tau 0.6] [--top-k K] [--top 10] [--stats]
 //! pqgram stats   <store.pqg>
 //! pqgram dist    <a.xml> <b.xml> [--p 3 --q 3] [--ted]
 //! pqgram grams   <doc.xml> [--p 3 --q 3] [--limit 20]
@@ -51,6 +51,8 @@ USAGE:
   pqgram remove  <store.pqg> --id <n>             drop a document's index
   pqgram lookup  <store.pqg> <query.xml>          approximate lookup
                  [--tau 0.6] [--top 10] [--threads N]
+                 [--top-k K]                      (k nearest, any distance)
+                 [--stats]                        (pruning/access counters)
   pqgram stats   <store.pqg>                      store statistics
   pqgram dist    <a.xml> <b.xml> [--p --q] [--ted]  pairwise distance
   pqgram grams   <doc.xml> [--p --q] [--limit 20] dump pq-gram tuples
@@ -208,6 +210,19 @@ impl AnyStore {
         }
     }
 
+    fn lookup_top_k_with_stats(
+        &self,
+        query: &pqgram_core::TreeIndex,
+        k: usize,
+    ) -> Result<(Vec<pqgram_core::LookupHit>, LookupStats), String> {
+        match self {
+            AnyStore::Single(s) => s.lookup_top_k_with_stats(query, k).map_err(|e| e.to_string()),
+            AnyStore::Segmented(s) => {
+                s.lookup_top_k_with_stats(query, k).map_err(|e| e.to_string())
+            }
+        }
+    }
+
     fn tree_ids(&self) -> Result<Vec<TreeId>, String> {
         match self {
             AnyStore::Single(s) => s.tree_ids().map_err(|e| e.to_string()),
@@ -329,28 +344,37 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
     let mut labels = LabelTable::new();
     let query_tree = load_document(query_path, &mut labels)?;
     let query = build_index(&query_tree, &labels, store.params());
-    let (hits, stats) = store.lookup_with_stats_threads(&query, tau, threads)?;
+    let top_k = args.opt::<usize>("top-k")?;
+    let (hits, stats) = match top_k {
+        // --top-k: the k nearest trees regardless of any threshold, via
+        // the heap-tightened planner bound.
+        Some(k) => store.lookup_top_k_with_stats(&query, k)?,
+        None => store.lookup_with_stats_threads(&query, tau, threads)?,
+    };
     let plan = match stats.plan {
         LookupPlan::CandidateMerge => "inverted candidate-merge",
         LookupPlan::ExhaustiveReference => "exhaustive scan (reference)",
-        LookupPlan::TauExhaustiveFallback => "exhaustive scan (tau > 1 fallback)",
     };
-    // The plan is a performance cliff (tau > 1 silently degrades to the
-    // full scan), so it is always announced on stderr, not only on --stats.
-    eprintln!("plan: {plan} (tau = {tau})");
-    if stats.plan == LookupPlan::TauExhaustiveFallback {
-        eprintln!(
-            "warning: tau = {tau} exceeds 1, the maximum pq-gram distance — the \
-             inverted-relation candidate filter prunes nothing at this threshold, so every \
-             lookup reads the entire forward relation ({} rows here). Use tau <= 1 for \
-             indexed lookups; see DESIGN.md §14.",
-            stats.rows_read
-        );
+    match top_k {
+        Some(k) => eprintln!("plan: {plan} (top-k = {k})"),
+        None => eprintln!("plan: {plan} (tau = {tau})"),
     }
     if args.flag("stats") {
         println!(
             "plan: {plan} ({} rows read, {} grams probed, {} candidates, {} verified)",
             stats.rows_read, stats.grams_probed, stats.candidates, stats.verified
+        );
+        println!(
+            "pruning: {} sources considered, {} skipped by filter, {} skipped by size \
+             window; {} grams skipped by filter, {} by overlap budget; {} rows pruned by \
+             size window, {} filter false-positive probes",
+            stats.sources_considered,
+            stats.sources_skipped_filter,
+            stats.sources_skipped_window,
+            stats.grams_skipped_filter,
+            stats.grams_skipped_budget,
+            stats.rows_pruned_window,
+            stats.filter_false_positive_probes
         );
         println!(
             "postings: {} blocks decoded ({} bytes), {} blocks skipped",
@@ -359,7 +383,10 @@ fn cmd_lookup(args: &Args) -> Result<(), String> {
         println!("rows by source: {}", describe_sources(&stats));
     }
     if hits.is_empty() {
-        println!("no documents within distance {tau}");
+        match top_k {
+            Some(_) => println!("no documents in the store"),
+            None => println!("no documents within distance {tau}"),
+        }
         return Ok(());
     }
     println!("{:>8}  {:>10}", "tree", "distance");

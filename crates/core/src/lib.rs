@@ -70,9 +70,11 @@ pub mod maintain;
 pub mod matrix;
 pub mod par;
 pub mod params;
+pub mod plan;
 pub mod profile;
 pub mod reference;
 pub mod table;
+pub mod topk;
 pub mod update;
 
 pub use canonical::{build_unordered_index, canonicalize, unordered_fingerprint};
@@ -87,4 +89,6 @@ pub use join::{
 };
 pub use maintain::{update_index, IndexDelta, MaintainError, UpdateOutcome, UpdateStats};
 pub use params::PQParams;
+pub use plan::{Bound, LookupPlanner};
 pub use profile::{compute_profile, for_each_gram, Profile};
+pub use topk::TopK;

@@ -264,7 +264,7 @@ impl DocumentStore {
         let t = std::time::Instant::now();
         let mut apply_err = None;
         self.transactional(|store| {
-            if let Some(gram) = crate::ops::apply_delta_rows(&store.pool, id, &delta)? {
+            if let (Some(gram), _) = crate::ops::apply_delta_rows(&store.pool, id, &delta)? {
                 apply_err = Some(DocError::InconsistentDelta(id, gram));
                 return Err(DocError::InconsistentDelta(id, gram));
             }
@@ -297,7 +297,13 @@ impl DocumentStore {
         tau: f64,
     ) -> Result<(Vec<LookupHit>, LookupStats)> {
         check_params(query.params(), self.params)?;
-        Ok(crate::ops::lookup_with_stats(&self.pool, query, tau, 1)?)
+        Ok(crate::ops::lookup_with_stats(
+            &self.pool,
+            &crate::ops::SourceProbe::default(),
+            query,
+            tau,
+            1,
+        )?)
     }
 
     /// Number of index rows.
@@ -310,6 +316,14 @@ impl DocumentStore {
     /// [`crate::ops::verify_relations`]).
     pub fn verify(&self) -> Result<StoreCheck> {
         Ok(crate::ops::verify_relations(&self.pool)?)
+    }
+
+    /// Whether the persisted gram filter loads — see
+    /// `IndexStore::has_gram_filter`; crash tests assert this after every
+    /// recovery.
+    #[doc(hidden)]
+    pub fn has_gram_filter(&self) -> Result<bool> {
+        Ok(crate::filter::load(&self.pool)?.is_some())
     }
 
     // analyze: txn-boundary

@@ -123,6 +123,39 @@ impl Fence {
         (ok_left && ok_right).then_some(p)
     }
 
+    /// Row estimate for `gram`'s postings from the in-memory directory
+    /// arrays alone — no block decode, no page reads. Same cost model as
+    /// [`crate::postings::estimate_rows`]: inline rows count one (exact);
+    /// blocks span gram boundaries, so only blocks beyond the first keyed
+    /// inside the gram count the per-block cap, while the first one and a
+    /// block at the boundary entry just past the gram count the small
+    /// straddle allowance. Feeds the lookup planner's skip-cost ordering
+    /// only — any value is correct.
+    pub fn estimate_rows(&self, gram: u64) -> u64 {
+        let cap = u64::try_from(postings::MAX_BLOCK_ROWS).unwrap_or(u64::MAX);
+        let straddle = u64::try_from(postings::BLOCK_MIN).unwrap_or(u64::MAX);
+        let range = self.locate(gram);
+        let boundary = range.end;
+        let mut rows = 0u64;
+        let mut blocks_inside = 0u64;
+        for i in range {
+            match self.vals.get(i).map(|&v| postings::dir_value(v)) {
+                Some(DirValue::Inline(_)) => rows += 1,
+                Some(DirValue::Block(_)) => {
+                    rows += if blocks_inside == 0 { straddle } else { cap };
+                    blocks_inside += 1;
+                }
+                None => break,
+            }
+        }
+        if let Some(&raw) = self.vals.get(boundary) {
+            if matches!(postings::dir_value(raw), DirValue::Block(_)) {
+                rows += straddle;
+            }
+        }
+        rows
+    }
+
     /// Streams every posting of `gram` in ascending treeId order, answering
     /// inline rows from the in-memory arrays and decoding blocks from their
     /// pack pages. Blocks span gram boundaries, so besides the rows keyed

@@ -69,6 +69,7 @@ mod bytes;
 pub mod crc;
 pub mod document;
 mod fence;
+mod filter;
 pub mod index_store;
 pub mod journal;
 mod manifest;
@@ -107,6 +108,41 @@ pub mod fuzz {
     /// allocation beyond the structural caps.
     pub fn decode_block(bytes: &[u8]) -> Result<Vec<((u64, u64), u32)>> {
         postings::decode_block(bytes).map(|d| d.rows)
+    }
+
+    /// Gram-filter page layout constants for field-targeted mutation and
+    /// CRC repair in the fuzz harness (`crate::filter` documents the
+    /// format; these mirror its internal offsets).
+    pub mod filter_layout {
+        /// Trailing CRC-32 offset on the filter header page.
+        pub const OFF_HEADER_CRC: usize = crate::filter::OFF_HEADER_CRC;
+        /// Payload CRC-32 offset on data / indirect pages.
+        pub const OFF_PAGE_CRC: usize = crate::filter::OFF_PAGE_CRC;
+        /// Payload start on data / indirect pages.
+        pub const OFF_PAYLOAD: usize = crate::filter::OFF_PAYLOAD;
+        /// Payload bytes covered by a data page's CRC.
+        pub const DATA_PAYLOAD: usize = crate::filter::DATA_PAYLOAD;
+    }
+
+    /// Byte offsets of the gram-filter pages (header page first, then data
+    /// pages, then indirect pages) inside the single-file store at `path`;
+    /// empty when no valid filter is installed. For aiming on-disk
+    /// mutations at the filter decoder.
+    pub fn filter_page_offsets(path: &std::path::Path) -> Result<Vec<u64>> {
+        let pool = crate::buffer::BufferPool::new(crate::pager::Pager::open(path)?, 16);
+        let ids = crate::filter::page_ids(&pool)?.unwrap_or_default();
+        let page = u64::try_from(crate::page::PAGE_SIZE).unwrap_or(0);
+        Ok(ids.iter().map(|id| u64::from(id.0) * page).collect())
+    }
+
+    /// Runs the gram-filter loader against the store file at `path`:
+    /// `Ok(true)` means a filter loaded, `Ok(false)` that it was rejected
+    /// (the filter is advisory, so rejection is a clean outcome). The
+    /// contract under fuzzing: any on-disk bytes return `Ok` or `Err` —
+    /// never a panic, hang, or allocation beyond the structural caps.
+    pub fn filter_load(path: &std::path::Path) -> Result<bool> {
+        let pool = crate::buffer::BufferPool::new(crate::pager::Pager::open(path)?, 16);
+        Ok(crate::filter::load(&pool)?.is_some())
     }
 
     /// A learned fence built over a sorted gram column (treeIds and

@@ -14,12 +14,18 @@
 //!
 //! The inverted relation turns the approximate lookup from a full scan of
 //! the forward relation into a candidate merge: probe only the query's
-//! distinct grams, accumulate per-candidate bag intersections, prune with
-//! the lossless size filter ([`pqgram_core::join::size_filter`]) against
-//! the totals table, and verify just the survivors — the same plan the
-//! in-memory join proves in `pqgram_core::join`. Only `τ > 1`, where no
-//! filter can prune (every pair is within distance 1), falls back to the
-//! exhaustive scan.
+//! distinct grams, accumulate per-candidate bag intersections, and verify
+//! just the candidates a [`pqgram_core::plan::LookupPlanner`] cannot rule
+//! out. The planner derives every pruning decision losslessly from the
+//! pq-gram distance formula: query grams may be skipped while the overlap
+//! they could contribute stays below the admissible bound (the exact
+//! overlap is recovered by forward-relation point reads for surviving
+//! candidates), posting rows of trees whose bag size falls outside the
+//! feasible window are dropped at emit time, and candidates whose observed
+//! overlap cannot reach the bound are never verified. One plan serves every
+//! `τ`: thresholds above 1 — where zero-overlap trees, at distance exactly
+//! 1, are also results — enumerate those trees from the totals relation
+//! instead of falling back to an exhaustive scan.
 //!
 //! All writers sort their rows and go through
 //! [`crate::btree::BTree::apply_batch_sorted`], so one tree's update costs
@@ -29,18 +35,26 @@
 //! Since format version 3 the inverted relation is a posting *directory*:
 //! short posting lists stay as inline rows, long ones are grouped into
 //! partitioned Elias-Fano posting blocks on dedicated pack pages (see
-//! `crate::postings`). Older files are migrated in place on open.
+//! `crate::postings`). Since format version 4 each store also persists a
+//! gram membership filter (see `crate::filter`), maintained in the same
+//! transaction as the relations, so lookups can skip probes — and whole
+//! sources — that provably hold none of the query's grams. Older files are
+//! migrated in place on open.
 
 use crate::btree::{BTree, BTreeCheck};
 use crate::buffer::BufferPool;
 use crate::fence::Fence;
+use crate::filter::{self, GramFilter};
 use crate::page::PAGE_SIZE_U64;
 use crate::pager::{Result, StoreError};
 use crate::postings::{self, ProbeCounters};
-use pqgram_core::join::{overlap_distance, size_filter};
+use pqgram_core::join::overlap_distance;
 use pqgram_core::maintain::IndexDelta;
+use pqgram_core::plan::LookupPlanner;
+use pqgram_core::topk::TopK;
 use pqgram_core::{GramKey, LookupHit, PQParams, TreeId, TreeIndex};
 use pqgram_tree::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 
 /// Meta slot of the forward relation root: `(treeId, pqg) → cnt`.
 pub(crate) const SLOT_FWD: usize = 0;
@@ -50,13 +64,16 @@ pub(crate) const SLOT_INV: usize = 4;
 pub(crate) const SLOT_TOT: usize = 5;
 /// Meta slot holding the on-disk format version.
 pub(crate) const SLOT_VERSION: usize = 6;
-/// Current format: dual relations + totals, with the inverted relation
-/// stored as a posting directory over Elias-Fano blocks. Version-1 files
-/// (slot unset, forward relation only) and version-2 files (row-per-posting
-/// inverted relation) are migrated in place on open.
-pub(crate) const FORMAT_VERSION: u64 = 3;
-/// The previous format: row-per-posting inverted relation.
+/// Current format: dual relations + totals + posting directory, plus a
+/// per-file gram membership filter (`crate::filter`). Version-1 files
+/// (slot unset, forward relation only), version-2 files (row-per-posting
+/// inverted relation), and version-3 files (no gram filter) are migrated
+/// in place on open.
+pub(crate) const FORMAT_VERSION: u64 = 4;
+/// Row-per-posting inverted relation, no posting directory.
 pub(crate) const FORMAT_VERSION_V2: u64 = 2;
+/// Posting directory but no gram membership filter.
+pub(crate) const FORMAT_VERSION_V3: u64 = 3;
 
 const KEY_MIN: (u64, u64) = (0, 0);
 const KEY_MAX: (u64, u64) = (u64::MAX, u64::MAX);
@@ -74,14 +91,17 @@ pub(crate) fn init_relations(pool: &BufferPool) -> Result<()> {
     BTree::open(pool, SLOT_FWD)?;
     BTree::open(pool, SLOT_INV)?;
     BTree::open(pool, SLOT_TOT)?;
+    filter::create(pool, 0)?;
     pool.set_meta(SLOT_VERSION, FORMAT_VERSION)
 }
 
 /// Checks the format version on open, migrating older files in place inside
 /// one transaction. A version-1 file (forward relation only) gets its
 /// inverted directory and totals relation rebuilt; a version-2 file
-/// (row-per-posting inverted relation) gets only its inverted relation
-/// re-encoded as a posting directory. Returns `true` if a migration ran.
+/// (row-per-posting inverted relation) gets its inverted relation
+/// re-encoded as a posting directory; either way the gram filter is built
+/// alongside. A version-3 file only gains its gram filter. Returns `true`
+/// if a migration ran.
 // analyze: entrypoint(recovery)
 pub(crate) fn ensure_format(pool: &BufferPool) -> Result<bool> {
     let version = pool.meta(SLOT_VERSION);
@@ -90,8 +110,10 @@ pub(crate) fn ensure_format(pool: &BufferPool) -> Result<bool> {
         0 => |pool| build_secondary_relations(pool, true),
         FORMAT_VERSION_V2 => |pool| {
             crate::btree::free_tree(pool, SLOT_INV)?;
-            rebuild_inverted(pool, true)
+            rebuild_inverted(pool, true)?;
+            filter::rebuild_from_forward(pool)
         },
+        FORMAT_VERSION_V3 => filter::rebuild_from_forward,
         v => {
             return Err(StoreError::Corrupt(format!(
                 "store format version {v} is newer than this build (reads up to {FORMAT_VERSION})"
@@ -162,8 +184,8 @@ fn rebuild_inverted(pool: &BufferPool, compress: bool) -> Result<()> {
     postings::bulk_load_inverted(pool, &inv, &inv_rows, compress)
 }
 
-/// Rebuilds the inverted and totals relations (which must be empty) from
-/// one ordered scan of the forward relation.
+/// Rebuilds the inverted and totals relations (which must be empty) and the
+/// gram filter from one ordered scan of the forward relation.
 fn build_secondary_relations(pool: &BufferPool, compress: bool) -> Result<()> {
     let (inv_rows, totals) = forward_derived_rows(pool)?;
     let inv = BTree::open(pool, SLOT_INV)?;
@@ -173,7 +195,8 @@ fn build_secondary_relations(pool: &BufferPool, compress: bool) -> Result<()> {
         tot_rows.push(((t, 0), total_u32(total)?));
     }
     BTree::open(pool, SLOT_TOT)?.bulk_load(tot_rows)?;
-    Ok(())
+    let mut grams: Vec<u64> = inv_rows.iter().map(|&((g, _), _)| g).collect();
+    filter::rebuild_from_grams(pool, &mut grams)
 }
 
 /// Deletes every row of `id` from all three relations.
@@ -203,12 +226,15 @@ pub(crate) fn delete_tree_entries(pool: &BufferPool, id: TreeId) -> Result<()> {
 }
 
 /// Inserts all rows of `index` under `id` into all three relations (caller
-/// clears old rows first). An empty index stores nothing — empty trees are
-/// not representable in the relation, matching version 1.
-pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex) -> Result<()> {
+/// clears old rows first) and folds the tree's grams into the gram filter.
+/// An empty index stores nothing — empty trees are not representable in the
+/// relation, matching version 1. Returns `true` if the filter was rebuilt
+/// (or dropped) rather than updated in place: callers holding an in-memory
+/// mirror of the filter must reload it.
+pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex) -> Result<bool> {
     let mut rows: Vec<(GramKey, u32)> = index.iter().collect();
     if rows.is_empty() {
-        return Ok(());
+        return Ok(false);
     }
     rows.sort_unstable_by_key(|&(g, _)| g);
     BTree::open(pool, SLOT_FWD)?
@@ -218,14 +244,20 @@ pub(crate) fn put_tree_entries(pool: &BufferPool, id: TreeId, index: &TreeIndex)
         postings::upsert_posting(pool, &inv, g, id.0, c)?;
     }
     BTree::open(pool, SLOT_TOT)?.insert((id.0, 0), total_u32(index.total())?)?;
-    Ok(())
+    let mut grams: Vec<u64> = rows.iter().map(|&(g, _)| g).collect();
+    filter::insert_grams(pool, &mut grams)
 }
 
 /// True if `id` is stored: one point lookup in the totals relation.
 pub(crate) fn contains_tree(pool: &BufferPool, id: TreeId) -> Result<bool> {
-    Ok(BTree::open_existing(pool, SLOT_TOT)?
-        .get((id.0, 0))?
-        .is_some())
+    Ok(stored_total(pool, id)?.is_some())
+}
+
+/// The stored bag size of `id`, if any: one totals-relation point read.
+/// Mirror maintainers use this after a committed write to refresh their
+/// [`TotalsView`] entry.
+pub(crate) fn stored_total(pool: &BufferPool, id: TreeId) -> Result<Option<u32>> {
+    BTree::open_existing(pool, SLOT_TOT)?.get((id.0, 0))
 }
 
 /// Materializes the stored index of `id` (`None` if no rows).
@@ -256,14 +288,17 @@ pub(crate) fn tree_ids(pool: &BufferPool) -> Result<Vec<TreeId>> {
 }
 
 /// Applies `I ← I \ I⁻ ⊎ I⁺` to the rows of `id` across all three
-/// relations. Returns the first gram (in `delta.removals` order) whose
-/// removal failed — the caller rolls the transaction back — or `None` on
-/// success.
+/// relations, folding the added grams into the gram filter (removals never
+/// shrink it — the filter stays a superset). Returns `(failed, rebuilt)`:
+/// `failed` is the first gram (in `delta.removals` order) whose removal
+/// failed — the caller rolls the transaction back — and `rebuilt` is `true`
+/// if the filter was rebuilt (or dropped) rather than updated in place, so
+/// callers holding an in-memory mirror must reload it.
 pub(crate) fn apply_delta_rows(
     pool: &BufferPool,
     id: TreeId,
     delta: &IndexDelta,
-) -> Result<Option<GramKey>> {
+) -> Result<(Option<GramKey>, bool)> {
     let fwd = BTree::open(pool, SLOT_FWD)?;
     // Current multiplicity of every touched gram (one point read each).
     let mut stored: FxHashMap<GramKey, u32> = FxHashMap::default();
@@ -278,7 +313,7 @@ pub(crate) fn apply_delta_rows(
     for &g in &delta.removals {
         match after.get_mut(&g) {
             Some(c) if *c > 0 => *c -= 1,
-            _ => return Ok(Some(g)),
+            _ => return Ok((Some(g), false)),
         }
     }
     for &g in &delta.additions {
@@ -322,7 +357,13 @@ pub(crate) fn apply_delta_rows(
     } else {
         tot.insert((id.0, 0), total_u32(new_total)?)?;
     }
-    Ok(None)
+    let mut added: Vec<u64> = delta.additions.clone();
+    let rebuilt = if added.is_empty() {
+        false
+    } else {
+        filter::insert_grams(pool, &mut added)?
+    };
+    Ok((None, rebuilt))
 }
 
 /// Source id used in [`LookupStats::by_source`] for the main store file.
@@ -331,20 +372,19 @@ pub const MAIN_SOURCE: u64 = u64::MAX;
 
 /// Which access plan a lookup executed.
 ///
-/// The `τ > 1` cliff: at thresholds above 1 every pair of trees is within
-/// distance 1 ≤ τ, so neither the size filter nor the candidate merge can
-/// prune anything and the store silently falls back to a full scan of the
-/// forward relation. Costs jump from "rows sharing a gram with the query"
-/// to "every row in the store" — see DESIGN.md §14.
+/// Every threshold runs the candidate merge. Thresholds above 1 — where
+/// zero-overlap trees, at distance exactly 1, are also results — enumerate
+/// those trees from the totals relation (one row per tree) instead of
+/// falling back to an exhaustive forward scan, so the old `τ > 1` cost
+/// cliff ("every row in the store") no longer exists; see DESIGN.md §15.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum LookupPlan {
-    /// Candidate merge over the inverted posting directory (`τ ≤ 1`).
+    /// Planner-driven candidate merge over the inverted posting directory.
     #[default]
     CandidateMerge,
-    /// Exhaustive forward scan requested explicitly (benchmark reference).
+    /// Exhaustive forward scan requested explicitly (benchmark reference
+    /// and test oracle).
     ExhaustiveReference,
-    /// Exhaustive forward scan forced by `τ > 1`, where no filter prunes.
-    TauExhaustiveFallback,
 }
 
 /// How the inverted relation is encoded at bulk-load time.
@@ -400,24 +440,46 @@ pub(crate) fn relation_bytes(pool: &BufferPool) -> Result<RelationBytes> {
 /// Access-path and work counters of one [`lookup_with_stats`] call.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LookupStats {
-    /// B+-tree rows read: posting rows plus one totals row per candidate
-    /// on the inverted plan, every forward row on the scan plan.
+    /// B+-tree rows read: posting rows, one totals row per candidate (or
+    /// zero-overlap tree), and one forward point read per budget-skipped
+    /// gram per verified candidate on the merge plan; every forward row on
+    /// the scan plan.
     pub rows_read: u64,
-    /// Distinct query grams probed (inverted plan only).
+    /// Distinct query grams actually probed (merge plan only).
     pub grams_probed: usize,
-    /// Trees sharing at least one gram with the query (scan plan: every
-    /// stored tree).
+    /// Trees that surfaced as candidates: trees sharing a probed gram with
+    /// the query, plus the zero-overlap trees enumerated when `τ > 1` (scan
+    /// plan: every stored tree).
     pub candidates: usize,
-    /// Candidates surviving the size filter whose distance was computed.
+    /// Candidates surviving the planner's size window whose distance was
+    /// computed.
     pub verified: usize,
-    /// Results below `tau`.
+    /// Results admitted by the threshold (or kept by the top-k heap).
     pub hits: usize,
-    /// `true` if the candidate-merge plan ran, `false` for the exhaustive
-    /// scan (`τ > 1`).
+    /// `true` if the candidate-merge plan ran, `false` for the explicit
+    /// exhaustive reference scan.
     pub used_inverted: bool,
-    /// Which access plan ran (finer-grained than [`Self::used_inverted`]:
-    /// distinguishes the explicit reference scan from the `τ > 1` cliff).
+    /// Which access plan ran (mirrors [`Self::used_inverted`]).
     pub plan: LookupPlan,
+    /// Sources (memtable, segments, main file) the lookup considered.
+    pub sources_considered: usize,
+    /// Sources skipped whole because their gram filter rejected every
+    /// query gram.
+    pub sources_skipped_filter: usize,
+    /// Sources skipped whole because no stored bag size in the source's
+    /// totals range fits the planner's feasible size window.
+    pub sources_skipped_window: usize,
+    /// Query grams never probed because a source's filter rejected them.
+    pub grams_skipped_filter: usize,
+    /// Query grams never probed because the overlap they could contribute
+    /// stays below the planner's admissible bound (their exact overlap is
+    /// recovered per verified candidate by forward point reads).
+    pub grams_skipped_budget: usize,
+    /// Probes the gram filter admitted that then produced no posting rows.
+    pub filter_false_positive_probes: u64,
+    /// Posting rows dropped at emit time because the tree's bag size falls
+    /// outside the planner's feasible size window.
+    pub rows_pruned_window: u64,
     /// Elias-Fano posting blocks decoded during the probe phase.
     pub blocks_decoded: u64,
     /// Posting blocks skipped on per-block metadata without decoding.
@@ -441,125 +503,392 @@ impl LookupStats {
     }
 }
 
-/// The approximate lookup, routed by threshold: the candidate-merge plan
-/// over the inverted relation for `τ ≤ 1`, the exhaustive forward scan for
-/// `τ > 1` (where every stored tree is within distance 1 ≤ τ and no filter
-/// can prune — mirroring `pqgram_core::join`). `threads > 1` fans the
-/// exact-distance verification phase out over that many workers.
-pub(crate) fn lookup_with_stats(
-    pool: &BufferPool,
-    query: &TreeIndex,
-    tau: f64,
-    threads: usize,
-) -> Result<(Vec<LookupHit>, LookupStats)> {
-    let skip = FxHashSet::default();
-    let (hits, mut stats) = if tau > 1.0 {
-        let (hits, mut stats) = lookup_scan_masked(pool, query, tau, &skip)?;
-        stats.plan = LookupPlan::TauExhaustiveFallback;
-        (hits, stats)
-    } else {
-        lookup_inverted_masked(pool, None, query, tau, threads, &skip)?
-    };
-    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
-    Ok((hits, stats))
+/// An in-memory mirror of one source's totals relation: the exact
+/// `treeId → |I(T)|` map plus loose min/max bag-size bounds. The bounds
+/// only widen (removals never shrink them), so they always cover every
+/// stored bag size — a conservative input to the planner's size window.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TotalsView {
+    map: BTreeMap<u64, u32>,
+    min_total: u32,
+    max_total: u32,
 }
 
-/// Candidate-merge plan: range-probe the inverted relation for each
-/// distinct query gram, accumulating per-tree bag intersections; then
-/// size-filter each candidate against the totals relation and verify the
-/// survivors. Reads only rows of trees sharing a gram with the query.
-///
-/// The verification phase (one totals read + size filter + exact distance
-/// per candidate) touches disjoint rows per candidate, so it fans out over
-/// `pqgram_core::par` in deterministic chunk order: the merged hit list is
-/// byte-identical to the serial plan for any thread count.
+impl TotalsView {
+    /// An empty view (bounds cover nothing).
+    pub(crate) fn empty() -> TotalsView {
+        TotalsView {
+            map: BTreeMap::new(),
+            min_total: u32::MAX,
+            max_total: 0,
+        }
+    }
+
+    /// Loads the view from one ordered scan of the totals relation.
+    pub(crate) fn load(pool: &BufferPool) -> Result<TotalsView> {
+        let tot = BTree::open_existing(pool, SLOT_TOT)?;
+        let mut view = TotalsView::empty();
+        tot.for_each_range(KEY_MIN, KEY_MAX, |(t, _), c| {
+            view.set(t, c);
+            true
+        })?;
+        Ok(view)
+    }
+
+    /// Inserts or updates one tree's bag size, widening the bounds.
+    pub(crate) fn set(&mut self, t: u64, total: u32) {
+        self.min_total = self.min_total.min(total);
+        self.max_total = self.max_total.max(total);
+        self.map.insert(t, total);
+    }
+
+    /// Removes one tree (the bounds stay wide — still a superset).
+    pub(crate) fn remove(&mut self, t: u64) {
+        self.map.remove(&t);
+    }
+
+    /// The stored bag size of `t`, if present.
+    pub(crate) fn get(&self, t: u64) -> Option<u32> {
+        self.map.get(&t).copied()
+    }
+
+    /// Number of trees in the view.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Conservative `(lo, hi)` covering every stored bag size. An empty
+    /// view returns an empty range (`lo > hi`).
+    pub(crate) fn bounds(&self) -> (u64, u64) {
+        if self.map.is_empty() {
+            (1, 0)
+        } else {
+            (u64::from(self.min_total), u64::from(self.max_total))
+        }
+    }
+
+    /// All `(treeId, total)` pairs, ascending by tree id.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.map.iter().map(|(&t, &c)| (t, c))
+    }
+}
+
+/// One lookup source's acceleration state: the learned fence of an
+/// immutable segment, the gram membership filter, and the in-memory totals
+/// view. Every field is advisory — `None` degrades to relation probes and
+/// disk reads, never to wrong answers.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SourceProbe<'a> {
+    /// Learned fence over the source's immutable inverted directory.
+    pub(crate) fence: Option<&'a Fence>,
+    /// Gram membership filter (a superset of the source's stored grams).
+    pub(crate) filter: Option<&'a GramFilter>,
+    /// Totals mirror for emit-time size-window pruning and in-memory
+    /// totals reads.
+    pub(crate) totals: Option<&'a TotalsView>,
+}
+
+/// Budget skipping only pays when a gram's postings dwarf the per-survivor
+/// compensation point read; grams estimated below this many rows are
+/// always probed.
+const SKIP_MIN_ROWS: u64 = 16;
+
+/// The probe phase's output for one source.
+struct Gathered {
+    /// `(treeId, observed overlap)` of every surviving candidate,
+    /// ascending by tree id.
+    candidates: Vec<(u64, u64)>,
+    /// Budget-skipped query grams `(gram, query multiplicity)`, ascending
+    /// by gram; their overlap is recovered per candidate at verify time.
+    skipped: Vec<(GramKey, u32)>,
+}
+
+/// The probe phase of the candidate merge against one source: consult the
+/// gram filter, the planner's size window, and the overlap budget, then
+/// range-probe the remaining query grams and accumulate per-tree bag
+/// intersections. With `prune` false every advisory stage is disabled and
+/// this degrades to the exhaustive probe of every query gram (the
+/// pre-planner plan, kept as the benchmark ablation baseline).
 ///
 /// `skip` masks out trees owned by a newer source in a segmented store:
 /// their posting rows are still read (and counted) during the probe, but
 /// they contribute no candidate. An empty mask is the plain single-file
 /// plan, byte for byte.
-///
-/// With `fence` set (immutable segment sources), probes answer from the
-/// learned fence arrays instead of descending the directory B+-tree.
-pub(crate) fn lookup_inverted_masked(
+fn gather_candidates(
     pool: &BufferPool,
-    fence: Option<&Fence>,
+    src: &SourceProbe<'_>,
+    query: &TreeIndex,
+    planner: &LookupPlanner,
+    skip: &FxHashSet<u64>,
+    prune: bool,
+    stats: &mut LookupStats,
+) -> Result<Gathered> {
+    stats.sources_considered += 1;
+    let done = Gathered {
+        candidates: Vec::new(),
+        skipped: Vec::new(),
+    };
+    let mut probe: Vec<(GramKey, u32)> = query.iter().collect();
+    probe.sort_unstable_by_key(|&(g, _)| g);
+    let had_grams = !probe.is_empty();
+    if prune {
+        // Membership filter: a rejected gram is definitively absent from
+        // this source — zero overlap, nothing to probe or compensate.
+        if let Some(f) = src.filter {
+            let before = probe.len();
+            probe.retain(|&(g, _)| f.contains(g));
+            stats.grams_skipped_filter += before - probe.len();
+            if had_grams && probe.is_empty() && !planner.needs_zero_overlap() {
+                stats.sources_skipped_filter += 1;
+                return Ok(done);
+            }
+        }
+        // Size window: if no bag size this source stores can reach the
+        // bound even at maximal overlap, nothing here is a result. (When
+        // the bound admits distance 1.0 every size is feasible, so this
+        // never conflicts with zero-overlap enumeration.)
+        if let Some(view) = src.totals {
+            let (lo, hi) = view.bounds();
+            if !planner.admits_total_range(lo, hi) && !planner.needs_zero_overlap() {
+                stats.sources_skipped_window += 1;
+                return Ok(done);
+            }
+        }
+    }
+    let inv = match src.fence {
+        Some(_) => None,
+        None => Some(BTree::open_existing(pool, SLOT_INV)?),
+    };
+    // Overlap budget: a set of grams whose summed query multiplicity stays
+    // at or below the budget can be skipped — a tree found only in them
+    // cannot reach the bound, and one found elsewhere gets their exact
+    // contribution back via forward point reads. Skip the costliest grams
+    // first (directory-walk row estimates; walks are not counted as reads).
+    let mut skipped: Vec<(u64, GramKey, u32)> = Vec::new();
+    let mut skipped_mass = 0u64;
+    if prune {
+        let budget = planner.overlap_budget();
+        if budget > 0 {
+            let mut est: Vec<(u64, GramKey, u32)> = Vec::with_capacity(probe.len());
+            for &(g, qc) in &probe {
+                let rows = match (src.fence, inv.as_ref()) {
+                    (Some(f), _) => f.estimate_rows(g),
+                    (None, Some(dir)) => postings::estimate_rows(dir, g)?,
+                    (None, None) => 0,
+                };
+                est.push((rows, g, qc));
+            }
+            est.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut picked: FxHashSet<GramKey> = FxHashSet::default();
+            for &(rows, g, qc) in &est {
+                if rows < SKIP_MIN_ROWS {
+                    break;
+                }
+                if skipped_mass + u64::from(qc) <= budget {
+                    skipped_mass += u64::from(qc);
+                    skipped.push((rows, g, qc));
+                    picked.insert(g);
+                }
+            }
+            if !picked.is_empty() {
+                probe.retain(|&(g, _)| !picked.contains(&g));
+            }
+        }
+    }
+    let mut probed = probe.len();
+    let mut shared: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut counters = ProbeCounters::default();
+    let mut pruned_window = 0u64;
+    {
+        let view = if prune { src.totals } else { None };
+        let mut cache = postings::BlockCache::default();
+        let mut probe_grams = |grams: &[(GramKey, u32)],
+                       shared: &mut FxHashMap<u64, u64>,
+                       counters: &mut ProbeCounters,
+                       pruned_window: &mut u64,
+                       stats: &mut LookupStats|
+         -> Result<()> {
+            for &(g, qc) in grams {
+                let before = counters.rows;
+                let mut emit = |t: u64, c: u32| {
+                    if skip.contains(&t) {
+                        return true;
+                    }
+                    if let Some(view) = view {
+                        if let Some(m) = view.get(t) {
+                            if !planner.admits_total(u64::from(m)) {
+                                *pruned_window += 1;
+                                return true;
+                            }
+                        }
+                    }
+                    *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
+                    true
+                };
+                match (src.fence, inv.as_ref()) {
+                    (Some(fence), _) => {
+                        fence.for_each_posting(pool, g, &mut cache, counters, &mut emit)?;
+                    }
+                    (None, Some(dir)) => {
+                        postings::for_each_posting(pool, dir, g, &mut cache, counters, &mut emit)?;
+                    }
+                    (None, None) => {}
+                }
+                if prune && src.filter.is_some() && counters.rows == before {
+                    stats.filter_false_positive_probes += 1;
+                }
+            }
+            Ok(())
+        };
+        probe_grams(&probe, &mut shared, &mut counters, &mut pruned_window, stats)?;
+        // Second look at the provisional skips: compensation later costs
+        // one forward point read per surviving candidate, so a skipped
+        // gram only pays off when its posting list outweighs the current
+        // candidate set. Re-probe the rest, cheapest first — a re-probe
+        // can only add candidates, so the greedy cut is monotone.
+        if !skipped.is_empty() {
+            skipped.sort_unstable();
+            let mut kept: Vec<(u64, GramKey, u32)> = Vec::with_capacity(skipped.len());
+            for &(rows, g, qc) in &skipped {
+                let survivors = u64::try_from(shared.len()).unwrap_or(u64::MAX);
+                if rows <= survivors {
+                    probe_grams(&[(g, qc)], &mut shared, &mut counters, &mut pruned_window, stats)?;
+                    skipped_mass -= u64::from(qc);
+                    probed += 1;
+                } else {
+                    kept.push((rows, g, qc));
+                }
+            }
+            skipped = kept;
+        }
+    }
+    stats.grams_probed += probed;
+    stats.grams_skipped_budget += skipped.len();
+    stats.absorb(&counters);
+    stats.rows_pruned_window += pruned_window;
+    stats.candidates += shared.len();
+    // Coarse overlap prune: `observed + skipped_mass` bounds the true
+    // overlap from above, so a candidate the planner rejects here cannot
+    // reach the bound with any compensation.
+    let mut candidates: Vec<(u64, u64)> = if prune {
+        shared
+            .into_iter()
+            .filter(|&(_, o)| planner.admits_overlap(o + skipped_mass))
+            .collect()
+    } else {
+        shared.into_iter().collect()
+    };
+    candidates.sort_unstable_by_key(|&(t, _)| t);
+    let mut skipped: Vec<(GramKey, u32)> = skipped.into_iter().map(|(_, g, qc)| (g, qc)).collect();
+    skipped.sort_unstable_by_key(|&(g, _)| g);
+    Ok(Gathered {
+        candidates,
+        skipped,
+    })
+}
+
+/// Enumerates the trees of one source sharing **no** gram with the query —
+/// at pq-gram distance exactly 1 — ascending by tree id, excluding the
+/// `skip` mask and the already-surfaced `exclude` candidates (sorted by
+/// tree id). Runs only when the planner admits distance 1.0, in which case
+/// no window or overlap prune can have fired, so `exclude` holds *every*
+/// tree sharing a gram and the union is exactly the stored forest. Each
+/// enumerated tree costs one totals row (from the view when present).
+fn for_each_zero_overlap(
+    pool: &BufferPool,
+    src: &SourceProbe<'_>,
+    skip: &FxHashSet<u64>,
+    exclude: &[(u64, u64)],
+    stats: &mut LookupStats,
+    mut f: impl FnMut(u64, u32) -> bool,
+) -> Result<()> {
+    let mut i = 0usize;
+    let mut visit = |t: u64, m: u32, stats: &mut LookupStats| -> bool {
+        while exclude.get(i).is_some_and(|&(e, _)| e < t) {
+            i += 1;
+        }
+        if exclude.get(i).is_some_and(|&(e, _)| e == t) || skip.contains(&t) {
+            return true;
+        }
+        stats.rows_read += 1;
+        stats.candidates += 1;
+        stats.verified += 1;
+        f(t, m)
+    };
+    match src.totals {
+        Some(view) => {
+            for (t, m) in view.iter() {
+                if !visit(t, m, stats) {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        None => {
+            let tot = BTree::open_existing(pool, SLOT_TOT)?;
+            tot.for_each_range(KEY_MIN, KEY_MAX, |(t, _), m| visit(t, m, stats))
+        }
+    }
+}
+
+/// The planner-driven candidate merge against one source, appending its
+/// hits (unsorted — the caller sorts once at the end).
+///
+/// The verification phase (one totals read + size window + compensation
+/// point reads + exact distance per candidate) touches disjoint rows per
+/// candidate, so it fans out over `pqgram_core::par` in deterministic
+/// chunk order: the merged hit list is byte-identical to the serial plan
+/// for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lookup_source_threshold(
+    pool: &BufferPool,
+    src: &SourceProbe<'_>,
     query: &TreeIndex,
     tau: f64,
     threads: usize,
     skip: &FxHashSet<u64>,
-) -> Result<(Vec<LookupHit>, LookupStats)> {
+    prune: bool,
+    stats: &mut LookupStats,
+    hits: &mut Vec<LookupHit>,
+) -> Result<()> {
+    let planner = LookupPlanner::threshold(query.total(), tau);
+    let gathered = gather_candidates(pool, src, query, &planner, skip, prune, stats)?;
+    let fwd = BTree::open_existing(pool, SLOT_FWD)?;
     let tot = BTree::open_existing(pool, SLOT_TOT)?;
-    let mut stats = LookupStats {
-        used_inverted: true,
-        plan: LookupPlan::CandidateMerge,
-        ..LookupStats::default()
-    };
-    let mut probe: Vec<(GramKey, u32)> = query.iter().collect();
-    probe.sort_unstable_by_key(|&(g, _)| g);
-    stats.grams_probed = probe.len();
-    let mut shared: FxHashMap<u64, u64> = FxHashMap::default();
-    let mut counters = ProbeCounters::default();
-    {
-        let mut emit = |qc: u32, t: u64, c: u32| {
-            if !skip.contains(&t) {
-                *shared.entry(t).or_insert(0) += u64::from(qc.min(c));
-            }
-            true
-        };
-        let mut cache = postings::BlockCache::default();
-        match fence {
-            Some(fence) => {
-                for &(g, qc) in &probe {
-                    fence.for_each_posting(pool, g, &mut cache, &mut counters, |t, c| {
-                        emit(qc, t, c)
-                    })?;
-                }
-            }
-            None => {
-                let inv = BTree::open_existing(pool, SLOT_INV)?;
-                for &(g, qc) in &probe {
-                    postings::for_each_posting(
-                        pool,
-                        &inv,
-                        g,
-                        &mut cache,
-                        &mut counters,
-                        |t, c| emit(qc, t, c),
-                    )?;
-                }
-            }
-        }
-    }
-    stats.absorb(&counters);
-    stats.candidates = shared.len();
-    let mut candidates: Vec<(u64, u64)> = shared.into_iter().collect();
-    candidates.sort_unstable_by_key(|&(t, _)| t);
-    let mut hits = Vec::new();
-    let chunks = pqgram_core::par::map_chunks(&candidates, threads, |part| {
+    let skipped = &gathered.skipped;
+    let view = src.totals;
+    let chunks = pqgram_core::par::map_chunks(&gathered.candidates, threads, |part| {
         let mut out = Vec::new();
         let mut rows_read = 0u64;
         let mut verified = 0usize;
         for &(t, overlap) in part {
-            let Some(total) = tot.get((t, 0))? else {
-                return Err(StoreError::Corrupt(format!(
-                    "tree {t} has inverted rows but no totals row"
-                )));
+            let total = match view.and_then(|v| v.get(t)) {
+                Some(m) => m,
+                None => tot.get((t, 0))?.ok_or_else(|| {
+                    StoreError::Corrupt(format!("tree {t} has inverted rows but no totals row"))
+                })?,
             };
             rows_read += 1;
-            if !size_filter(query.total(), u64::from(total), tau) {
+            if !planner.admits_total(u64::from(total)) {
                 continue;
+            }
+            let mut overlap = overlap;
+            for &(g, qc) in skipped {
+                rows_read += 1;
+                if let Some(c) = fwd.get((t, g))? {
+                    overlap += u64::from(qc.min(c));
+                }
             }
             verified += 1;
             let distance = overlap_distance(overlap, query.total(), u64::from(total));
-            if distance < tau {
+            if planner.admits_distance(distance) {
                 out.push(LookupHit {
                     tree_id: TreeId(t),
                     distance,
                 });
             }
         }
-        Ok((out, rows_read, verified))
+        Ok::<_, StoreError>((out, rows_read, verified))
     });
     for chunk in chunks {
         let (out, rows_read, verified) = chunk?;
@@ -567,14 +896,157 @@ pub(crate) fn lookup_inverted_masked(
         stats.rows_read += rows_read;
         stats.verified += verified;
     }
+    if planner.needs_zero_overlap() {
+        for_each_zero_overlap(pool, src, skip, &gathered.candidates, stats, |t, m| {
+            let distance = overlap_distance(0, query.total(), u64::from(m));
+            if planner.admits_distance(distance) {
+                hits.push(LookupHit {
+                    tree_id: TreeId(t),
+                    distance,
+                });
+            }
+            true
+        })?;
+    }
+    Ok(())
+}
+
+/// The top-k candidate merge against one source, folding its trees into
+/// the shared heap. Verification is sequential in descending observed
+/// overlap (ties: ascending tree id) so the heap's bound tightens as early
+/// as possible; once the planner rejects an observed overlap it rejects
+/// every later one, so the loop breaks. Zero-overlap trees (distance
+/// exactly 1) are enumerated ascending only while the heap still admits
+/// them.
+pub(crate) fn lookup_source_top_k(
+    pool: &BufferPool,
+    src: &SourceProbe<'_>,
+    query: &TreeIndex,
+    planner: &mut LookupPlanner,
+    topk: &mut TopK,
+    skip: &FxHashSet<u64>,
+    stats: &mut LookupStats,
+) -> Result<()> {
+    planner.tighten_to(topk.bound());
+    let gathered = gather_candidates(pool, src, query, planner, skip, true, stats)?;
+    let fwd = BTree::open_existing(pool, SLOT_FWD)?;
+    let tot = BTree::open_existing(pool, SLOT_TOT)?;
+    let mass: u64 = gathered.skipped.iter().map(|&(_, qc)| u64::from(qc)).sum();
+    let mut by_overlap = gathered.candidates.clone();
+    by_overlap.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(t, overlap) in &by_overlap {
+        planner.tighten_to(topk.bound());
+        if !planner.admits_overlap(overlap + mass) {
+            break;
+        }
+        let total = match src.totals.and_then(|v| v.get(t)) {
+            Some(m) => m,
+            None => tot.get((t, 0))?.ok_or_else(|| {
+                StoreError::Corrupt(format!("tree {t} has inverted rows but no totals row"))
+            })?,
+        };
+        stats.rows_read += 1;
+        if !planner.admits_total(u64::from(total)) {
+            continue;
+        }
+        let mut overlap = overlap;
+        for &(g, qc) in &gathered.skipped {
+            stats.rows_read += 1;
+            if let Some(c) = fwd.get((t, g))? {
+                overlap += u64::from(qc.min(c));
+            }
+        }
+        stats.verified += 1;
+        let distance = overlap_distance(overlap, query.total(), u64::from(total));
+        topk.offer(TreeId(t), distance);
+    }
+    planner.tighten_to(topk.bound());
+    if planner.needs_zero_overlap() {
+        // All zero-overlap trees sit at distance exactly 1 and are offered
+        // in ascending id order, so the first rejection ends the source.
+        for_each_zero_overlap(pool, src, skip, &gathered.candidates, stats, |t, m| {
+            let distance = overlap_distance(0, query.total(), u64::from(m));
+            topk.offer(TreeId(t), distance)
+        })?;
+    }
+    Ok(())
+}
+
+pub(crate) fn merge_stats_base() -> LookupStats {
+    LookupStats {
+        used_inverted: true,
+        plan: LookupPlan::CandidateMerge,
+        ..LookupStats::default()
+    }
+}
+
+/// The approximate lookup: one planner-driven candidate merge for every
+/// threshold — `τ > 1` enumerates the zero-overlap trees from the totals
+/// relation instead of scanning the forward relation. `threads > 1` fans
+/// the exact-distance verification phase out over that many workers.
+pub(crate) fn lookup_with_stats(
+    pool: &BufferPool,
+    src: &SourceProbe<'_>,
+    query: &TreeIndex,
+    tau: f64,
+    threads: usize,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let skip = FxHashSet::default();
+    let mut stats = merge_stats_base();
+    let mut hits = Vec::new();
+    lookup_source_threshold(pool, src, query, tau, threads, &skip, true, &mut stats, &mut hits)?;
     sort_hits(&mut hits);
     stats.hits = hits.len();
+    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
+    Ok((hits, stats))
+}
+
+/// The candidate merge with every advisory pruning stage disabled: no
+/// filter consults, no size window, no gram skipping, no overlap prune —
+/// the plan exactly as it ran before the planner existed. Kept as the
+/// benchmark ablation baseline so pruning wins are measured in-binary
+/// against identical data.
+pub(crate) fn lookup_unpruned_with_stats(
+    pool: &BufferPool,
+    query: &TreeIndex,
+    tau: f64,
+    threads: usize,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let skip = FxHashSet::default();
+    let mut stats = merge_stats_base();
+    let mut hits = Vec::new();
+    let src = SourceProbe::default();
+    lookup_source_threshold(pool, &src, query, tau, threads, &skip, false, &mut stats, &mut hits)?;
+    sort_hits(&mut hits);
+    stats.hits = hits.len();
+    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
+    Ok((hits, stats))
+}
+
+/// The k-nearest lookup: a candidate merge whose bound starts at distance
+/// 1 (every stored tree qualifies) and tightens to the heap's worst kept
+/// distance as it fills. Returns the hits ascending by `(distance, id)` —
+/// exactly the first `k` of the distance-sorted exhaustive answer.
+pub(crate) fn lookup_top_k_with_stats(
+    pool: &BufferPool,
+    src: &SourceProbe<'_>,
+    query: &TreeIndex,
+    k: usize,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let skip = FxHashSet::default();
+    let mut stats = merge_stats_base();
+    let mut planner = LookupPlanner::nearest(query.total());
+    let mut topk = TopK::new(k);
+    lookup_source_top_k(pool, src, query, &mut planner, &mut topk, &skip, &mut stats)?;
+    let hits = topk.into_sorted_hits();
+    stats.hits = hits.len();
+    stats.by_source = vec![(MAIN_SOURCE, stats.rows_read)];
     Ok((hits, stats))
 }
 
 /// One ordered scan of the forward relation computing the distance of
-/// `query` to every stored tree — the version-1 plan, kept as the `τ > 1`
-/// fallback and as the reference side of the benchmark harness.
+/// `query` to every stored tree — the version-1 plan, kept only as the
+/// reference side of the benchmark harness and as the test-suite oracle.
 pub(crate) fn lookup_scan_with_stats(
     pool: &BufferPool,
     query: &TreeIndex,
@@ -715,6 +1187,23 @@ pub(crate) fn verify_relations(pool: &BufferPool) -> Result<StoreCheck> {
         tot_expect.push((done, acc));
     }
     inv_expect.sort_unstable_by_key(|&(k, _)| k);
+    // The gram filter is advisory — lookups stay correct without it — but
+    // a loadable filter must be a superset of the stored grams: a false
+    // negative would silently drop candidates.
+    if let Some(f) = filter::load(pool)? {
+        let mut last: Option<u64> = None;
+        for &((g, _), _) in &inv_expect {
+            if last == Some(g) {
+                continue;
+            }
+            last = Some(g);
+            if !f.contains(g) {
+                return Err(StoreError::Corrupt(format!(
+                    "gram filter is missing stored gram {g}"
+                )));
+            }
+        }
+    }
     // Expanding the directory decodes (and structurally validates) every
     // posting block: CRC, monotonicity, key agreement with the directory.
     let (inv_rows, blocks, pack_pages) = postings::expand_all(pool, &inv)?;

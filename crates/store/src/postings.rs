@@ -1395,6 +1395,43 @@ fn gram_dir_rows(dir: &BTree<'_>, gram: u64) -> Result<Vec<((u64, u64), u32)>> {
     Ok(rows)
 }
 
+/// Row estimate for `gram`'s postings from one directory range walk — no
+/// block decode, no pack-page reads. Inline rows count one (exact).
+/// Blocks are keyed by their *last* row and may span gram boundaries, so
+/// only blocks beyond the first keyed inside the gram are known to start
+/// inside it too: those count the per-block cap, while the first such
+/// block and the boundary block just past the gram (each possibly holding
+/// only a handful of this gram's rows) count [`BLOCK_MIN`]. Deliberately
+/// an *estimate*, not a bound: it feeds the lookup planner's skip-cost
+/// ordering only, and any value is correct — over-counting a straddled
+/// gram would make the planner skip it and then pay more in compensation
+/// reads than the probe it avoided.
+pub(crate) fn estimate_rows(dir: &BTree<'_>, gram: u64) -> Result<u64> {
+    let cap = u64::try_from(MAX_BLOCK_ROWS).unwrap_or(u64::MAX);
+    let straddle = u64::try_from(BLOCK_MIN).unwrap_or(u64::MAX);
+    let mut rows = 0u64;
+    let mut blocks_inside = 0u64;
+    dir.for_each_range((gram, 0), (u64::MAX, u64::MAX), |(g, _), raw| {
+        match dir_value(raw) {
+            DirValue::Inline(_) => {
+                if g == gram {
+                    rows += 1;
+                }
+            }
+            DirValue::Block(_) => {
+                if g == gram {
+                    rows += if blocks_inside == 0 { straddle } else { cap };
+                    blocks_inside += 1;
+                } else {
+                    rows += straddle;
+                }
+            }
+        }
+        g == gram
+    })?;
+    Ok(rows)
+}
+
 /// Streams every posting of `gram` in ascending treeId order.
 ///
 /// `f` receives `(treeId, count)` and returns `false` to stop early.

@@ -16,8 +16,9 @@
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, DEFAULT_CAPACITY};
 use crate::fence::Fence;
+use crate::filter::{self, GramFilter};
 use crate::index_store::{META_KIND, META_P, META_Q};
-use crate::ops::{FORMAT_VERSION, SLOT_INV, SLOT_VERSION};
+use crate::ops::{SourceProbe, TotalsView, FORMAT_VERSION, FORMAT_VERSION_V3, SLOT_INV, SLOT_VERSION};
 use crate::pager::{Pager, Result, StoreError};
 use crate::vfs::Vfs;
 use pqgram_core::{PQParams, TreeIndex};
@@ -47,6 +48,14 @@ pub(crate) struct Segment {
     /// Learned fence over the immutable inverted directory: probes answer
     /// from its flat arrays instead of descending the directory B+-tree.
     fence: Fence,
+    /// Gram membership filter, loaded once at open (segments are
+    /// immutable). `None` on segments written before format v4 — the
+    /// filter is advisory, so merged lookups simply probe such segments.
+    filter: Option<GramFilter>,
+    /// In-memory mirror of the totals relation, loaded once at open:
+    /// merged lookups answer size-window checks and per-candidate totals
+    /// reads from it without touching the segment's pages.
+    totals: TotalsView,
 }
 
 impl Segment {
@@ -92,12 +101,16 @@ impl Segment {
         BTree::open(&pool, SLOT_TOMB)?.bulk_load(tombstones.iter().map(|&t| ((t, 0), 1)))?;
         pool.sync()?;
         let fence = Fence::build(&BTree::open_existing(&pool, SLOT_INV)?)?;
+        let filter = filter::load(&pool)?;
+        let totals = TotalsView::load(&pool)?;
         Ok(Segment {
             pool,
             seq,
             owned,
             tombstones,
             fence,
+            filter,
+            totals,
         })
     }
 
@@ -117,7 +130,10 @@ impl Segment {
             ));
         }
         let version = pool.meta(SLOT_VERSION);
-        if version != FORMAT_VERSION {
+        // v3 segments (no gram filter) stay readable: segments are
+        // immutable, so there is nothing to migrate — the filter is simply
+        // absent and merged lookups probe the segment unconditionally.
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V3 {
             return Err(StoreError::Corrupt(format!(
                 "segment format version {version} (this build writes {FORMAT_VERSION})"
             )));
@@ -139,17 +155,38 @@ impl Segment {
         owned.sort_unstable();
         owned.dedup();
         let fence = Fence::build(&BTree::open_existing(&pool, SLOT_INV)?)?;
+        let filter = filter::load(&pool)?;
+        let totals = TotalsView::load(&pool)?;
         Ok(Segment {
             pool,
             seq,
             owned,
             tombstones,
             fence,
+            filter,
+            totals,
         })
     }
 
     pub(crate) fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The probe surface merged lookups use for this segment: its fence,
+    /// its gram filter (if the file carries one), and its totals mirror.
+    pub(crate) fn source_probe(&self) -> SourceProbe<'_> {
+        SourceProbe {
+            fence: Some(&self.fence),
+            filter: self.filter.as_ref(),
+            totals: Some(&self.totals),
+        }
+    }
+
+    /// Whether this segment's gram filter decoded and validated at open
+    /// (always true for files this build writes; version-3 segments have
+    /// none).
+    pub(crate) fn has_filter(&self) -> bool {
+        self.filter.is_some()
     }
 
     pub(crate) fn pool(&self) -> &BufferPool {

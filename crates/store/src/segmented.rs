@@ -39,7 +39,6 @@
 //! swept at the next open if a crash intervenes.
 
 use crate::btree::BTree;
-use crate::buffer::BufferPool;
 use crate::index_store::{check_params, IndexError, IndexStore};
 use crate::manifest::Manifest;
 use crate::memtable::Memtable;
@@ -47,7 +46,9 @@ use crate::ops::{LookupStats, StoreCheck, MAIN_SOURCE, SLOT_FWD};
 use crate::segment::Segment;
 use crate::vfs::{RealVfs, Vfs};
 use parking_lot::Mutex;
-use pqgram_core::join::{overlap_distance, size_filter};
+use pqgram_core::join::overlap_distance;
+use pqgram_core::plan::LookupPlanner;
+use pqgram_core::topk::TopK;
 use pqgram_core::maintain::{compute_index_delta, IndexDelta, UpdateStats};
 use pqgram_core::{LookupHit, PQParams, TreeId, TreeIndex};
 use pqgram_tree::{EditLog, FxHashSet, LabelTable, Tree};
@@ -250,6 +251,17 @@ impl SegmentedIndexStore {
     /// Number of live segment files (excludes the memtable).
     pub fn segment_count(&self) -> usize {
         self.snapshot().segments.len()
+    }
+
+    /// Whether the main file *and* every live segment carry a loadable
+    /// gram filter. Crash tests assert recovery always lands here —
+    /// every committed source has a filter — not merely on correct
+    /// answers. (Version-3 segments opened read-only are the one
+    /// legitimate exception; this store never creates them.)
+    #[doc(hidden)]
+    pub fn has_gram_filters(&self) -> bool {
+        let set = self.snapshot();
+        set.main.has_gram_filter() && set.segments.iter().all(|s| s.has_filter())
     }
 
     /// Number of entries buffered in the memtable (tombstones included).
@@ -462,6 +474,25 @@ impl SegmentedIndexStore {
         lookup_merged(&set, Some(&self.memtable), query, tau, threads)
     }
 
+    /// The `k` nearest stored trees of the merged view, ascending by
+    /// `(distance, tree_id)` — exactly the first `k` of the
+    /// distance-sorted exhaustive answer.
+    pub fn lookup_top_k(&self, query: &TreeIndex, k: usize) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_top_k_with_stats(query, k)?.0)
+    }
+
+    /// [`SegmentedIndexStore::lookup_top_k`] with per-source access
+    /// counters.
+    pub fn lookup_top_k_with_stats(
+        &self,
+        query: &TreeIndex,
+        k: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        check_params(query.params(), self.params)?;
+        let set = self.snapshot();
+        lookup_top_k_merged(&set, Some(&self.memtable), query, k)
+    }
+
     /// Flushes the memtable into one new immutable segment. No-op when
     /// empty. Crash-safe: sequence reservation and segment registration
     /// are separate manifest transactions around a fully synced build.
@@ -670,6 +701,23 @@ impl SegmentedReader {
         lookup_merged(&set, None, query, tau, threads)
     }
 
+    /// The `k` nearest stored trees of the published snapshot, ascending
+    /// by `(distance, tree_id)`.
+    pub fn lookup_top_k(&self, query: &TreeIndex, k: usize) -> Result<Vec<LookupHit>> {
+        Ok(self.lookup_top_k_with_stats(query, k)?.0)
+    }
+
+    /// [`SegmentedReader::lookup_top_k`] with per-source access counters.
+    pub fn lookup_top_k_with_stats(
+        &self,
+        query: &TreeIndex,
+        k: usize,
+    ) -> Result<(Vec<LookupHit>, LookupStats)> {
+        check_params(query.params(), self.params)?;
+        let set = self.snapshot();
+        lookup_top_k_merged(&set, None, query, k)
+    }
+
     /// True if `id` is stored in the current published snapshot.
     pub fn contains_tree(&self, id: TreeId) -> Result<bool> {
         let set = self.snapshot();
@@ -689,25 +737,35 @@ impl SegmentedReader {
     }
 }
 
-fn run_masked(
-    pool: &BufferPool,
-    fence: Option<&crate::fence::Fence>,
+/// Shared memtable pass of the merged lookups: masks every
+/// memtable-owned id and hands each buffered index (with its exact query
+/// overlap) to `emit`. The memtable is in-memory, so it reads no disk
+/// rows and probes no filter — but the callers feed its trees through the
+/// same planner arithmetic as the on-disk sources, keeping merged results
+/// bit-identical to a single-file store holding the merged forest.
+fn memtable_pass(
+    mt: &Memtable,
     query: &TreeIndex,
-    tau: f64,
-    threads: usize,
-    skip: &FxHashSet<u64>,
-) -> crate::pager::Result<(Vec<LookupHit>, LookupStats)> {
-    if tau > 1.0 {
-        crate::ops::lookup_scan_masked(pool, query, tau, skip)
-    } else {
-        crate::ops::lookup_inverted_masked(pool, fence, query, tau, threads, skip)
+    skip: &mut FxHashSet<u64>,
+    mut emit: impl FnMut(u64, u64, &TreeIndex),
+) {
+    let probe: Vec<(u64, u32)> = query.iter().collect();
+    for (t, entry) in mt.iter() {
+        skip.insert(t);
+        let Some(index) = entry else { continue };
+        let mut overlap = 0u64;
+        for &(g, qc) in &probe {
+            overlap += u64::from(qc.min(index.count(g)));
+        }
+        emit(t, overlap, index);
     }
 }
 
 /// The merged lookup: memtable (if any), then segments newest-first, then
 /// the main file, each masked by everything newer. Runs the identical
-/// per-source plans of [`crate::ops`], so the merged result is
-/// bit-identical to a single-file store holding the merged forest.
+/// per-source candidate-merge plan of [`crate::ops`] — every τ, no
+/// exhaustive fallback — so the merged result is bit-identical to a
+/// single-file store holding the merged forest.
 fn lookup_merged(
     set: &SourceSet,
     memtable: Option<&Memtable>,
@@ -715,77 +773,124 @@ fn lookup_merged(
     tau: f64,
     threads: usize,
 ) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let planner = LookupPlanner::threshold(query.total(), tau);
     let mut skip: FxHashSet<u64> = FxHashSet::default();
     let mut hits: Vec<LookupHit> = Vec::new();
-    let mut stats = LookupStats {
-        used_inverted: tau <= 1.0,
-        plan: if tau > 1.0 {
-            crate::ops::LookupPlan::TauExhaustiveFallback
-        } else {
-            crate::ops::LookupPlan::CandidateMerge
-        },
-        ..LookupStats::default()
-    };
+    let mut stats = crate::ops::merge_stats_base();
     if let Some(mt) = memtable {
         if !mt.is_empty() {
-            let probe: Vec<(u64, u32)> = query.iter().collect();
-            for (t, entry) in mt.iter() {
-                skip.insert(t);
-                let Some(index) = entry else { continue };
-                let mut overlap = 0u64;
-                for &(g, qc) in &probe {
-                    overlap += u64::from(qc.min(index.count(g)));
+            memtable_pass(mt, query, &mut skip, |t, overlap, index| {
+                // Mirror the candidate-merge plan: trees sharing a gram are
+                // candidates (plus every tree when the bound admits the
+                // zero-overlap distance), size-window survivors get
+                // verified.
+                if overlap == 0 && !planner.needs_zero_overlap() {
+                    return;
                 }
-                if tau <= 1.0 {
-                    // Mirror the candidate-merge plan: only trees sharing a
-                    // gram are candidates, and only size-filter survivors
-                    // get verified.
-                    if overlap == 0 {
-                        continue;
-                    }
-                    stats.candidates += 1;
-                    if !size_filter(query.total(), index.total(), tau) {
-                        continue;
-                    }
-                } else {
-                    // Mirror the exhaustive scan: every tree is verified.
-                    stats.candidates += 1;
+                stats.candidates += 1;
+                if !planner.admits_total(index.total()) {
+                    return;
                 }
                 stats.verified += 1;
                 let distance = overlap_distance(overlap, query.total(), index.total());
-                if distance < tau {
+                if planner.admits_distance(distance) {
                     hits.push(LookupHit {
                         tree_id: TreeId(t),
                         distance,
                     });
                 }
-            }
+            });
             stats.by_source.push((MEMTABLE_SOURCE, 0));
         }
     }
     for seg in &set.segments {
-        let (h, s) = run_masked(seg.pool(), Some(seg.fence()), query, tau, threads, &skip)?;
-        hits.extend(h);
-        stats.rows_read += s.rows_read;
-        stats.candidates += s.candidates;
-        stats.verified += s.verified;
-        stats.blocks_decoded += s.blocks_decoded;
-        stats.blocks_skipped += s.blocks_skipped;
-        stats.bytes_decoded += s.bytes_decoded;
-        stats.by_source.push((seg.seq(), s.rows_read));
+        let before = stats.rows_read;
+        crate::ops::lookup_source_threshold(
+            seg.pool(),
+            &seg.source_probe(),
+            query,
+            tau,
+            threads,
+            &skip,
+            true,
+            &mut stats,
+            &mut hits,
+        )?;
+        stats.by_source.push((seg.seq(), stats.rows_read - before));
         skip.extend(seg.owned().iter().copied());
     }
-    let (h, s) = run_masked(set.main.pool(), None, query, tau, threads, &skip)?;
-    hits.extend(h);
-    stats.rows_read += s.rows_read;
-    stats.candidates += s.candidates;
-    stats.verified += s.verified;
-    stats.blocks_decoded += s.blocks_decoded;
-    stats.blocks_skipped += s.blocks_skipped;
-    stats.bytes_decoded += s.bytes_decoded;
-    stats.grams_probed = s.grams_probed;
-    stats.by_source.push((MAIN_SOURCE, s.rows_read));
+    let before = stats.rows_read;
+    crate::ops::lookup_source_threshold(
+        set.main.pool(),
+        &set.main.source_probe(),
+        query,
+        tau,
+        threads,
+        &skip,
+        true,
+        &mut stats,
+        &mut hits,
+    )?;
+    stats.by_source.push((MAIN_SOURCE, stats.rows_read - before));
     crate::ops::sort_hits(&mut hits);
+    stats.hits = hits.len();
+    Ok((hits, stats))
+}
+
+/// The merged top-k lookup: the same newest-to-oldest masked walk as
+/// [`lookup_merged`], but over one shared max-heap and one planner whose
+/// bound tightens as the heap fills — sources probed later benefit from
+/// every result a newer source already produced.
+fn lookup_top_k_merged(
+    set: &SourceSet,
+    memtable: Option<&Memtable>,
+    query: &TreeIndex,
+    k: usize,
+) -> Result<(Vec<LookupHit>, LookupStats)> {
+    let mut planner = LookupPlanner::nearest(query.total());
+    let mut topk = TopK::new(k);
+    let mut skip: FxHashSet<u64> = FxHashSet::default();
+    let mut stats = crate::ops::merge_stats_base();
+    if k == 0 {
+        return Ok((Vec::new(), stats));
+    }
+    if let Some(mt) = memtable {
+        if !mt.is_empty() {
+            memtable_pass(mt, query, &mut skip, |t, overlap, index| {
+                stats.candidates += 1;
+                stats.verified += 1;
+                let distance = overlap_distance(overlap, query.total(), index.total());
+                topk.offer(TreeId(t), distance);
+            });
+            stats.by_source.push((MEMTABLE_SOURCE, 0));
+        }
+    }
+    for seg in &set.segments {
+        let before = stats.rows_read;
+        crate::ops::lookup_source_top_k(
+            seg.pool(),
+            &seg.source_probe(),
+            query,
+            &mut planner,
+            &mut topk,
+            &skip,
+            &mut stats,
+        )?;
+        stats.by_source.push((seg.seq(), stats.rows_read - before));
+        skip.extend(seg.owned().iter().copied());
+    }
+    let before = stats.rows_read;
+    crate::ops::lookup_source_top_k(
+        set.main.pool(),
+        &set.main.source_probe(),
+        query,
+        &mut planner,
+        &mut topk,
+        &skip,
+        &mut stats,
+    )?;
+    stats.by_source.push((MAIN_SOURCE, stats.rows_read - before));
+    let hits = topk.into_sorted_hits();
     stats.hits = hits.len();
     Ok((hits, stats))
 }

@@ -176,6 +176,14 @@ fn index_store_recovers_at_every_crash_point() {
             reopened
                 .verify()
                 .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
+            // Filter pages commit under the same journal as the relations,
+            // so recovery must land on a *loadable* filter (verify already
+            // audited it as a superset) — a dropped filter would mean a
+            // torn filter write survived the journal.
+            assert!(
+                reopened.has_gram_filter(),
+                "crash point {n} ({mode:?}): recovered without a loadable gram filter",
+            );
             let recovered = index_contents(&reopened);
             assert!(
                 snapshots.contains(&recovered),
@@ -390,6 +398,10 @@ fn document_store_recovers_at_every_crash_point() {
             reopened
                 .verify()
                 .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
+            assert!(
+                reopened.has_gram_filter().unwrap(),
+                "crash point {n} ({mode:?}): recovered without a loadable gram filter",
+            );
             let recovered = doc_contents(&reopened);
             assert!(
                 snapshots.contains(&recovered),
@@ -505,6 +517,14 @@ fn segmented_store_recovers_at_every_crash_point() {
             reopened
                 .verify()
                 .unwrap_or_else(|e| panic!("crash point {n} ({mode:?}): verify failed: {e}"));
+            // Every recovered source — main file and each live segment —
+            // must carry a loadable gram filter: segment builds and
+            // compactions write it before the manifest commit publishes
+            // them.
+            assert!(
+                reopened.has_gram_filters(),
+                "crash point {n} ({mode:?}): a recovered source lost its gram filter",
+            );
             let recovered = seg_contents(&reopened);
             assert!(
                 snapshots.contains(&recovered),

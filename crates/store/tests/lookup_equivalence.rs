@@ -4,12 +4,19 @@
 //! Three implementations of the same approximate lookup are compared on
 //! random forests:
 //!
-//! 1. the candidate-merge plan over the inverted relation (the default for
-//!    `τ ≤ 1`, [`IndexStore::lookup_with_stats`]);
+//! 1. the planner-driven candidate merge over the inverted relation — the
+//!    only plan, for **every** threshold including `τ > 1`
+//!    ([`IndexStore::lookup_with_stats`]; `τ > 1` enumerates the
+//!    zero-overlap trees from the totals relation, there is no exhaustive
+//!    fallback);
 //! 2. the exhaustive forward-relation scan
-//!    ([`IndexStore::lookup_exhaustive_with_stats`], the version-1 plan and
-//!    the `τ > 1` fallback);
+//!    ([`IndexStore::lookup_exhaustive_with_stats`], the version-1 plan,
+//!    kept as the reference oracle);
 //! 3. [`ForestIndex::lookup`], the in-memory oracle.
+//!
+//! Top-k lookups are checked against the same reference: `top_k(K)` must
+//! equal the first `K` entries of the distance-sorted exhaustive answer,
+//! ties broken by tree id.
 //!
 //! Equality is **exact** (no epsilon): all three compute
 //! `1 − 2·|I₁ ∩ I₂| / (|I₁| + |I₂|)` over the same integers with the same
@@ -53,12 +60,12 @@ proptest! {
         members in proptest::collection::vec((0usize..40, any::<u64>()), 1..16),
         query_nodes in 1usize..60,
         query_seed in any::<u64>(),
-        tau_pick in 0usize..4,
+        tau_pick in 0usize..5,
         case in 0u64..u64::MAX,
     ) {
-        // τ = 1.0 exercises the inverted plan's boundary (distance-1.0
-        // non-hits); τ = 1.2 exercises the exhaustive fallback.
-        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        // τ = 1.0 exercises the plan's boundary (distance-1.0 non-hits);
+        // τ > 1 exercises the zero-overlap enumeration (distance-1.0 hits).
+        let tau = [0.1, 0.5, 1.0, 1.5, 2.0][tau_pick];
         let params = PQParams::new(2, 3);
         let path = tmp(&format!("equiv-{case}.pqg"));
         let mut lt = LabelTable::new();
@@ -85,13 +92,14 @@ proptest! {
         let expected = oracle.lookup(&query, tau).unwrap();
         let (inverted, inv_stats) = store.lookup_with_stats(&query, tau).unwrap();
         let (scanned, scan_stats) = store.lookup_exhaustive_with_stats(&query, tau).unwrap();
-        prop_assert_eq!(inv_stats.used_inverted, tau <= 1.0);
+        // Every threshold — τ > 1 included — runs the candidate merge.
+        prop_assert!(inv_stats.used_inverted);
+        prop_assert_eq!(inv_stats.plan, LookupPlan::CandidateMerge);
         prop_assert!(!scan_stats.used_inverted);
+        prop_assert_eq!(scan_stats.plan, LookupPlan::ExhaustiveReference);
         prop_assert_eq!(&inverted, &expected);
         prop_assert_eq!(&scanned, &expected);
-        // The scan reads the whole forward relation; the inverted plan
-        // never reads more rows than that plus one totals row per
-        // candidate.
+        // The scan reads the whole forward relation.
         prop_assert_eq!(scan_stats.rows_read, store.row_count().unwrap());
         std::fs::remove_file(&path).ok();
     }
@@ -111,9 +119,9 @@ proptest! {
         removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
         query_nodes in 1usize..60,
         query_seed in any::<u64>(),
-        tau_pick in 0usize..4,
+        tau_pick in 0usize..5,
     ) {
-        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        let tau = [0.1, 0.5, 1.0, 1.5, 2.0][tau_pick];
         let params = PQParams::new(2, 3);
         let vfs: Arc<dyn pqgram_store::Vfs> = Arc::new(FaultVfs::new());
         let mut lt = LabelTable::new();
@@ -189,11 +197,23 @@ proptest! {
         );
         seg.verify().unwrap();
 
+        // Top-k over the N-way merge must equal top-k over the single
+        // file, which must equal the first k of the distance-sorted
+        // exhaustive answer (τ = 1.5 admits every stored tree).
+        let (all_sorted, _) = single.lookup_exhaustive_with_stats(&query, 1.5).unwrap();
+        for k in [0usize, 1, 3, latest.len() + 4] {
+            let top_seg = seg.lookup_top_k(&query, k).unwrap();
+            let top_single = single.lookup_top_k(&query, k).unwrap();
+            prop_assert_eq!(&top_seg, &top_single);
+            prop_assert_eq!(&top_seg[..], &all_sorted[..k.min(all_sorted.len())]);
+        }
+
         // Reopening after a clean shutdown (flush) preserves equivalence.
         seg.flush().unwrap();
         drop(seg);
         let seg = SegmentedIndexStore::open_with(Path::new("/equiv/seg"), vfs).unwrap();
         prop_assert_eq!(seg.lookup(&query, tau).unwrap(), expected);
+        prop_assert_eq!(seg.lookup_top_k(&query, 3).unwrap(), &all_sorted[..3.min(all_sorted.len())]);
     }
 
     /// A bulk-created posting-block store must answer every lookup
@@ -211,9 +231,9 @@ proptest! {
         removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
         query_nodes in 1usize..60,
         query_seed in any::<u64>(),
-        tau_pick in 0usize..4,
+        tau_pick in 0usize..5,
     ) {
-        let tau = [0.1, 0.5, 1.0, 1.2][tau_pick];
+        let tau = [0.1, 0.5, 1.0, 1.5, 2.0][tau_pick];
         let params = PQParams::new(2, 3);
         let vfs: Arc<dyn pqgram_store::Vfs> = Arc::new(FaultVfs::new());
         let mut lt = LabelTable::new();
@@ -295,17 +315,54 @@ proptest! {
         let (raw_hits, raw_stats) = raw.lookup_with_stats(&query, tau).unwrap();
         prop_assert_eq!(&blocked_hits, &expected);
         prop_assert_eq!(&raw_hits, &expected);
-        prop_assert_eq!(blocked_stats.used_inverted, tau <= 1.0);
-        prop_assert_eq!(raw_stats.used_inverted, tau <= 1.0);
-        let want_plan = if tau <= 1.0 {
-            LookupPlan::CandidateMerge
-        } else {
-            LookupPlan::TauExhaustiveFallback
-        };
-        prop_assert_eq!(blocked_stats.plan, want_plan);
-        prop_assert_eq!(raw_stats.plan, want_plan);
+        // The candidate merge is the only plan, for every threshold.
+        prop_assert!(blocked_stats.used_inverted);
+        prop_assert!(raw_stats.used_inverted);
+        prop_assert_eq!(blocked_stats.plan, LookupPlan::CandidateMerge);
+        prop_assert_eq!(raw_stats.plan, LookupPlan::CandidateMerge);
         // A row-per-posting store never touches a block.
         prop_assert_eq!(raw_stats.blocks_decoded, 0);
         prop_assert_eq!(raw_stats.bytes_decoded, 0);
+    }
+
+    /// `top_k(K)` on a single-file store must equal the first `K` entries
+    /// of the distance-sorted exhaustive answer — for every `K`, including
+    /// 0, exact forest size, and past-the-end — with ties broken by tree
+    /// id on both sides.
+    #[test]
+    fn top_k_matches_the_distance_sorted_exhaustive_prefix(
+        members in proptest::collection::vec((0usize..40, any::<u64>()), 1..16),
+        query_nodes in 1usize..60,
+        query_seed in any::<u64>(),
+        case in 0u64..u64::MAX,
+    ) {
+        let params = PQParams::new(2, 3);
+        let path = tmp(&format!("topk-{case}.pqg"));
+        let mut lt = LabelTable::new();
+        let mut store = IndexStore::create(&path, params).unwrap();
+        for (i, &(nodes, seed)) in members.iter().enumerate() {
+            let index = if nodes == 0 {
+                TreeIndex::empty(params)
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(nodes, 5));
+                build_index(&tree, &lt, params)
+            };
+            store.put_tree(TreeId(i as u64), &index).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let qtree = random_tree(&mut rng, &mut lt, &RandomTreeConfig::new(query_nodes, 5));
+        let query = build_index(&qtree, &lt, params);
+
+        // τ = 1.5 admits every stored tree (all distances are ≤ 1), so the
+        // sorted scan is the full nearest-neighbour ranking.
+        let (all_sorted, _) = store.lookup_exhaustive_with_stats(&query, 1.5).unwrap();
+        for k in [0usize, 1, 2, members.len(), members.len() + 5] {
+            let (top, stats) = store.lookup_top_k_with_stats(&query, k).unwrap();
+            prop_assert_eq!(&top[..], &all_sorted[..k.min(all_sorted.len())]);
+            prop_assert_eq!(stats.hits, top.len());
+            prop_assert!(stats.used_inverted);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -316,6 +316,217 @@ fn segment_pack_page_flips_never_misprobe_through_the_fence() {
     SegmentedIndexStore::open(&base).unwrap().verify().unwrap();
 }
 
+// ---------------------------------------------------------------------------
+// Gram-filter corruption: the filter is *advisory*, so the failure mode
+// inverts — damage must never change answers, only cost extra probes.
+// A filter page whose CRC no longer matches is dropped at load; a header
+// whose CRC was forged back to validity is rejected by semantic checks;
+// forged *extra* bits keep the superset invariant and thus only produce
+// false-positive probes.
+// ---------------------------------------------------------------------------
+
+/// Builds a store whose trees use disjoint label sets, so a query over
+/// tree 1 genuinely exercises the gram filter (most stored grams are
+/// absent from the query and vice versa), plus a "foreign" query sharing
+/// no labels with the store at all. Returns `(path, member, foreign)`.
+fn filter_bearing_store(name: &str) -> (PathBuf, TreeIndex, TreeIndex) {
+    let params = PQParams::new(2, 3);
+    let mut lt = LabelTable::new();
+    let unique_tree = |tag: &str, nodes: usize, lt: &mut LabelTable| {
+        let mut tree = Tree::with_root(lt.intern(&format!("{tag}root")));
+        let mut ids = vec![tree.root()];
+        for i in 1..nodes {
+            let parent = ids[i / 2];
+            ids.push(tree.add_child(parent, lt.intern(&format!("{tag}n{i}"))));
+        }
+        tree
+    };
+    let trees: Vec<Tree> = (0..6)
+        .map(|t| unique_tree(&format!("u{t}"), 150, &mut lt))
+        .collect();
+    let indexes: Vec<TreeIndex> = trees.iter().map(|t| build_index(t, &lt, params)).collect();
+    let forest: Vec<(TreeId, &TreeIndex)> = indexes
+        .iter()
+        .enumerate()
+        .map(|(i, idx)| (TreeId(u64::try_from(i).unwrap_or(0) + 1), idx))
+        .collect();
+    let path = tmp(name);
+    let store = IndexStore::bulk_create(&path, params, forest).unwrap();
+    store.verify().unwrap();
+    drop(store);
+    let foreign = build_index(&unique_tree("zz", 80, &mut lt), &lt, params);
+    (path, indexes[0].clone(), foreign)
+}
+
+/// The answer set probed by every tamper case: sub-unit and super-unit
+/// thresholds plus a top-k plan, over a member and a foreign query.
+fn filter_answers(
+    path: &PathBuf,
+    member: &TreeIndex,
+    foreign: &TreeIndex,
+) -> Vec<Vec<pqgram_core::LookupHit>> {
+    let store = IndexStore::open(path).unwrap();
+    vec![
+        store.lookup(member, 0.8).unwrap(),
+        store.lookup(member, 1.5).unwrap(),
+        store.lookup(foreign, 0.8).unwrap(),
+        store.lookup_top_k(member, 3).unwrap(),
+    ]
+}
+
+/// Pristine and corrupted stores must answer identically for both
+/// queries across threshold and top-k plans, and verification must still
+/// pass: the filter is advisory, so damage to it is *not* a store error.
+fn assert_same_answers(
+    path: &PathBuf,
+    member: &TreeIndex,
+    foreign: &TreeIndex,
+    baseline: &[Vec<pqgram_core::LookupHit>],
+    what: &str,
+) {
+    IndexStore::open(path)
+        .unwrap_or_else(|e| panic!("{what}: open failed: {e}"))
+        .verify()
+        .unwrap_or_else(|e| panic!("{what}: verify failed: {e}"));
+    let got = filter_answers(path, member, foreign);
+    for (i, (hits, base)) in got.iter().zip(baseline.iter()).enumerate() {
+        assert_eq!(hits, base, "{what}: query {i} answered differently");
+    }
+}
+
+/// A bit flip in a filter data page (CRC now stale) drops the filter at
+/// load: answers identical, the only cost is un-skipped probes — visible
+/// as the foreign query's filter skip counters falling to zero.
+#[test]
+fn flipped_filter_data_page_is_dropped_not_trusted() {
+    let (path, member, foreign) = filter_bearing_store("filterflip.pqg");
+    let baseline = filter_answers(&path, &member, &foreign);
+    {
+        let store = IndexStore::open(&path).unwrap();
+        let (_, stats) = store.lookup_with_stats(&foreign, 0.8).unwrap();
+        assert!(
+            stats.grams_skipped_filter > 0,
+            "pristine filter must actually skip foreign grams"
+        );
+    }
+    let pristine = std::fs::read(&path).unwrap();
+    let offsets = pqgram_store::fuzz::filter_page_offsets(&path).unwrap();
+    assert!(offsets.len() >= 2, "filter must have data pages");
+
+    // Flip one payload bit on every filter data page in turn.
+    for &off in &offsets[1..] {
+        let off = usize::try_from(off).unwrap();
+        let mut image = pristine.clone();
+        image[off + pqgram_store::fuzz::filter_layout::OFF_PAYLOAD + 17] ^= 0x20;
+        std::fs::write(&path, &image).unwrap();
+        assert!(
+            !pqgram_store::fuzz::filter_load(&path).unwrap(),
+            "stale-CRC filter page must be rejected"
+        );
+        assert_same_answers(&path, &member, &foreign, &baseline, "flipped data page");
+        let store = IndexStore::open(&path).unwrap();
+        let (_, stats) = store.lookup_with_stats(&foreign, 0.8).unwrap();
+        assert_eq!(
+            stats.grams_skipped_filter, 0,
+            "dropped filter must not skip anything"
+        );
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    IndexStore::open(&path).unwrap().verify().unwrap();
+}
+
+/// Forged *extra* bits (payload bytes forced to 0xFF, page CRC repaired)
+/// keep the filter loadable and keep the superset invariant: verification
+/// passes and answers stay identical — the damage can only manifest as
+/// false-positive probes.
+#[test]
+fn forged_extra_filter_bits_only_cost_false_positive_probes() {
+    use pqgram_store::fuzz::filter_layout as fl;
+    let (path, member, foreign) = filter_bearing_store("filterbits.pqg");
+    let baseline = filter_answers(&path, &member, &foreign);
+    let pristine = std::fs::read(&path).unwrap();
+    let offsets = pqgram_store::fuzz::filter_page_offsets(&path).unwrap();
+
+    let mut image = pristine.clone();
+    for &off in &offsets[1..] {
+        let off = usize::try_from(off).unwrap();
+        for b in 0..64 {
+            image[off + fl::OFF_PAYLOAD + b * 9] = 0xFF;
+        }
+        let crc =
+            pqgram_store::crc::crc32(&image[off + fl::OFF_PAYLOAD..off + fl::OFF_PAYLOAD + fl::DATA_PAYLOAD]);
+        image[off + fl::OFF_PAGE_CRC..off + fl::OFF_PAGE_CRC + 4]
+            .copy_from_slice(&crc.to_le_bytes());
+    }
+    std::fs::write(&path, &image).unwrap();
+    assert!(
+        pqgram_store::fuzz::filter_load(&path).unwrap(),
+        "extra bits keep the filter loadable"
+    );
+    assert_same_answers(&path, &member, &foreign, &baseline, "forged extra bits");
+}
+
+/// Semantically tampered filter headers (CRC forged back to validity)
+/// must be rejected by the plausibility checks — zero or absurd block
+/// counts, inconsistent page counts, null page ids — and a rejected
+/// filter never changes answers.
+#[test]
+fn tampered_filter_headers_are_rejected_cleanly() {
+    use pqgram_store::fuzz::filter_layout as fl;
+    let (path, member, foreign) = filter_bearing_store("filterhdr.pqg");
+    let baseline = filter_answers(&path, &member, &foreign);
+    let pristine = std::fs::read(&path).unwrap();
+    let header = usize::try_from(pqgram_store::fuzz::filter_page_offsets(&path).unwrap()[0]).unwrap();
+
+    // (offset-in-page, u64 value): nblocks 0 / huge, npages+nindirect
+    // garbage, first direct page id nulled.
+    let cases: &[(usize, u64)] = &[
+        (8, 0),
+        (8, u64::MAX),
+        (8, (1 << 24) + 1),
+        (32, u64::MAX),
+        (40, 0),
+        (40, u64::from(u32::MAX)),
+    ];
+    for &(at, value) in cases {
+        let mut image = pristine.clone();
+        image[header + at..header + at + 8].copy_from_slice(&value.to_le_bytes());
+        let crc = pqgram_store::crc::crc32(&image[header..header + fl::OFF_HEADER_CRC]);
+        image[header + fl::OFF_HEADER_CRC..header + fl::OFF_HEADER_CRC + 4]
+            .copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &image).unwrap();
+        assert!(
+            !pqgram_store::fuzz::filter_load(&path).unwrap(),
+            "forged header field at {at} = {value} must be rejected"
+        );
+        assert_same_answers(&path, &member, &foreign, &baseline, "forged header");
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    IndexStore::open(&path).unwrap().verify().unwrap();
+}
+
+/// A filter meta slot pointing at the wrong page (or no u32 page at all)
+/// is rejected by the magic/plausibility checks, never trusted.
+#[test]
+fn filter_slot_pointing_at_garbage_is_rejected() {
+    let (path, member, foreign) = filter_bearing_store("filterslot.pqg");
+    let baseline = filter_answers(&path, &member, &foreign);
+    let pristine = std::fs::read(&path).unwrap();
+    // Slot 9 (`SLOT_FILTER`): a live non-filter page, then a non-u32 value.
+    for value in [1u64, u64::MAX - 7] {
+        let mut image = pristine.clone();
+        set_meta_raw(&mut image, 9, value);
+        std::fs::write(&path, &image).unwrap();
+        assert!(
+            !pqgram_store::fuzz::filter_load(&path).unwrap(),
+            "filter slot {value} must be rejected"
+        );
+        assert_same_answers(&path, &member, &foreign, &baseline, "garbage filter slot");
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    IndexStore::open(&path).unwrap().verify().unwrap();
+}
+
 /// Inflating a pack page's length fields (entry count and used bytes) to
 /// their u16 maxima must be detected as corruption — and must not drive a
 /// huge allocation: the entry count is clamped against the smallest

@@ -5,7 +5,7 @@
 //! [`lock`], [`taint`] and [`discard`] run the analyses; [`report`]
 //! aggregates. The entry-point/trust vocabulary is the `// analyze:`
 //! marker comments documented in DESIGN.md §10; the concurrency pass is
-//! DESIGN.md §12; the untrusted-bytes taint pass is DESIGN.md §15.
+//! DESIGN.md §12; the untrusted-bytes taint pass is DESIGN.md §16.
 
 pub mod callgraph;
 pub mod discard;

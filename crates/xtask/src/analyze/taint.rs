@@ -45,7 +45,7 @@
 //! skipped (that arm is the rejection path); plain reassignment without
 //! `let` is not tracked — shadow with `let` instead. The structure-aware
 //! decode fuzz harness (`crates/store/tests/decode_fuzz.rs`) backstops
-//! all of this dynamically. Triage guide: DESIGN.md §15.
+//! all of this dynamically. Triage guide: DESIGN.md §16.
 
 use super::callgraph::{call_sites, local_types, resolve_site_typed};
 use super::model::{FnItem, Marker, Model};
@@ -68,7 +68,7 @@ pub fn run(model: &Model, require_anchors: bool) -> Vec<Violation> {
             file: "<workspace>".into(),
             line: 0,
             message: "no `untrusted-source` markers found; the taint pass has nothing \
-                      to track — re-mark the decode seam (see DESIGN.md §15)"
+                      to track — re-mark the decode seam (see DESIGN.md §16)"
                 .into(),
         });
     }
